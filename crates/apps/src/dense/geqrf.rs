@@ -1,0 +1,137 @@
+//! Tile QR factorization (flat-tree, right-looking).
+
+use mp_dag::{AccessMode, StfBuilder};
+
+use super::{DenseConfig, DenseWorkload, TileMatrix};
+use crate::assign_bottom_level_priorities;
+
+/// Generate the `geqrf` DAG: GEQRT factors the diagonal tile, UNMQR
+/// applies it across the row, TSQRT couples each subdiagonal tile with the
+/// diagonal one, and TSMQR applies those reflectors to the trailing
+/// tiles. The auxiliary `T` factors are per-tile handles of `tile × ib`.
+///
+/// Flop counts (tile side `b`): GEQRT `4b³/3`, UNMQR `2b³`, TSQRT
+/// `10b³/3`, TSMQR `4b³` — totalling `≈ 4n³/3`.
+pub fn geqrf(cfg: DenseConfig) -> DenseWorkload {
+    const IB: usize = 32; // inner block of the T factors
+    let mut stf = StfBuilder::new();
+    let k_geqrt = stf.graph_mut().register_type("GEQRT", true, true);
+    let k_unmqr = stf.graph_mut().register_type("UNMQR", true, true);
+    let k_tsqrt = stf.graph_mut().register_type("TSQRT", true, true);
+    let k_tsmqr = stf.graph_mut().register_type("TSMQR", true, true);
+    let a = TileMatrix::new(stf.graph_mut(), &cfg, "A");
+    let nt = cfg.nt();
+    let t_bytes = (cfg.tile * IB * 8) as u64;
+    // T factors: one per (i, k) pair actually produced.
+    let mut t_of = vec![None; nt * nt];
+    for k in 0..nt {
+        for i in k..nt {
+            t_of[i * nt + k] =
+                Some(stf.graph_mut().add_data(t_bytes, format!("T({i},{k})")));
+        }
+    }
+    let t_at = |i: usize, k: usize| t_of[i * nt + k].expect("T factor allocated");
+    let b = cfg.tile as f64;
+    let b3 = b * b * b;
+    let (f_geqrt, f_unmqr, f_tsqrt, f_tsmqr) =
+        (4.0 * b3 / 3.0, 2.0 * b3, 10.0 * b3 / 3.0, 4.0 * b3);
+
+    for k in 0..nt {
+        stf.submit(
+            k_geqrt,
+            vec![(a.at(k, k), AccessMode::ReadWrite), (t_at(k, k), AccessMode::Write)],
+            f_geqrt,
+            format!("GEQRT({k})"),
+        );
+        for j in k + 1..nt {
+            stf.submit(
+                k_unmqr,
+                vec![
+                    (a.at(k, k), AccessMode::Read),
+                    (t_at(k, k), AccessMode::Read),
+                    (a.at(k, j), AccessMode::ReadWrite),
+                ],
+                f_unmqr,
+                format!("UNMQR({k},{j})"),
+            );
+        }
+        for i in k + 1..nt {
+            stf.submit(
+                k_tsqrt,
+                vec![
+                    (a.at(k, k), AccessMode::ReadWrite),
+                    (a.at(i, k), AccessMode::ReadWrite),
+                    (t_at(i, k), AccessMode::Write),
+                ],
+                f_tsqrt,
+                format!("TSQRT({i},{k})"),
+            );
+            for j in k + 1..nt {
+                stf.submit(
+                    k_tsmqr,
+                    vec![
+                        (a.at(i, k), AccessMode::Read),
+                        (t_at(i, k), AccessMode::Read),
+                        (a.at(k, j), AccessMode::ReadWrite),
+                        (a.at(i, j), AccessMode::ReadWrite),
+                    ],
+                    f_tsmqr,
+                    format!("TSMQR({i},{j},{k})"),
+                );
+            }
+        }
+    }
+    let mut graph = stf.finish();
+    assign_bottom_level_priorities(&mut graph);
+    let total_flops = graph.stats().total_flops;
+    DenseWorkload { graph, total_flops, nt, config: cfg }
+}
+
+/// Closed-form task count of [`geqrf`] for `nt` tiles:
+/// `nt` GEQRT + `nt(nt−1)/2` UNMQR + `nt(nt−1)/2` TSQRT + `Σ (nt−1−k)²` TSMQR.
+pub fn geqrf_task_count(nt: usize) -> usize {
+    nt + nt * (nt - 1) + (nt - 1) * nt * (2 * nt - 1) / 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_count_matches_closed_form() {
+        for nt in [1usize, 2, 3, 6, 10] {
+            let w = geqrf(DenseConfig::new(nt * 960, 960));
+            assert_eq!(w.graph.task_count(), geqrf_task_count(nt), "nt={nt}");
+            assert!(w.graph.validate_acyclic().is_ok());
+        }
+    }
+
+    #[test]
+    fn qr_has_roughly_4x_cholesky_work() {
+        let cfg = DenseConfig::new(12 * 960, 960);
+        let qr = geqrf(cfg);
+        let chol = super::super::potrf(cfg);
+        let ratio = qr.total_flops / chol.total_flops;
+        assert!((3.0..=5.5).contains(&ratio), "QR/Cholesky flop ratio {ratio}");
+    }
+
+    #[test]
+    fn tsqrt_chain_serializes_the_panel() {
+        // The k-th panel's TSQRTs all RW the diagonal tile: strict chain.
+        let w = geqrf(DenseConfig::new(4 * 960, 960));
+        let g = &w.graph;
+        let tsqrts: Vec<_> = g
+            .tasks()
+            .iter()
+            .filter(|t| g.task_type(t.ttype).name == "TSQRT" && t.label.ends_with(",0)"))
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(tsqrts.len(), 3);
+        for pair in tsqrts.windows(2) {
+            assert!(
+                g.preds(pair[1]).contains(&pair[0]),
+                "panel TSQRTs must chain through the diagonal tile"
+            );
+        }
+    }
+}

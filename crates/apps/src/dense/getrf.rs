@@ -1,0 +1,112 @@
+//! Tile LU factorization without pivoting (right-looking).
+
+use mp_dag::{AccessMode, StfBuilder};
+
+use super::{DenseConfig, DenseWorkload, TileMatrix};
+use crate::assign_bottom_level_priorities;
+
+/// Generate the `getrf` (no pivoting) DAG: factor the diagonal tile, solve
+/// the row panel (U) and column panel (L), then GEMM-update the trailing
+/// submatrix. Same diamond DAG as Cholesky but non-symmetric: roughly
+/// twice the work and twice the tiles touched, which is why the paper
+/// observes more memory traffic.
+///
+/// Flop counts (tile side `b`): GETRF `2b³/3`, TRSM `b³`, GEMM `2b³` —
+/// totalling `≈ 2n³/3`.
+pub fn getrf(cfg: DenseConfig) -> DenseWorkload {
+    let mut stf = StfBuilder::new();
+    let k_getrf = stf.graph_mut().register_type("GETRF", true, true);
+    let k_trsm = stf.graph_mut().register_type("TRSM", true, true);
+    let k_gemm = stf.graph_mut().register_type("GEMM", true, true);
+    let a = TileMatrix::new(stf.graph_mut(), &cfg, "A");
+    let nt = cfg.nt();
+    let b = cfg.tile as f64;
+    let (f_getrf, f_trsm, f_gemm) = (2.0 * b * b * b / 3.0, b * b * b, 2.0 * b * b * b);
+
+    for k in 0..nt {
+        stf.submit(
+            k_getrf,
+            vec![(a.at(k, k), AccessMode::ReadWrite)],
+            f_getrf,
+            format!("GETRF({k})"),
+        );
+        for j in k + 1..nt {
+            // U panel: row k.
+            stf.submit(
+                k_trsm,
+                vec![(a.at(k, k), AccessMode::Read), (a.at(k, j), AccessMode::ReadWrite)],
+                f_trsm,
+                format!("TRSM_U({k},{j})"),
+            );
+        }
+        for i in k + 1..nt {
+            // L panel: column k.
+            stf.submit(
+                k_trsm,
+                vec![(a.at(k, k), AccessMode::Read), (a.at(i, k), AccessMode::ReadWrite)],
+                f_trsm,
+                format!("TRSM_L({i},{k})"),
+            );
+        }
+        for i in k + 1..nt {
+            for j in k + 1..nt {
+                stf.submit(
+                    k_gemm,
+                    vec![
+                        (a.at(i, k), AccessMode::Read),
+                        (a.at(k, j), AccessMode::Read),
+                        (a.at(i, j), AccessMode::ReadWrite),
+                    ],
+                    f_gemm,
+                    format!("GEMM({i},{j},{k})"),
+                );
+            }
+        }
+    }
+    let mut graph = stf.finish();
+    assign_bottom_level_priorities(&mut graph);
+    let total_flops = graph.stats().total_flops;
+    DenseWorkload { graph, total_flops, nt, config: cfg }
+}
+
+/// Closed-form task count of [`getrf`] for `nt` tiles:
+/// `nt` GETRF + `nt(nt−1)` TRSM + `Σ (nt−1−k)²` GEMM.
+pub fn getrf_task_count(nt: usize) -> usize {
+    nt + nt * (nt - 1) + (nt - 1) * nt * (2 * nt - 1) / 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_count_matches_closed_form() {
+        for nt in [1usize, 2, 3, 5, 12] {
+            let w = getrf(DenseConfig::new(nt * 960, 960));
+            assert_eq!(w.graph.task_count(), getrf_task_count(nt), "nt={nt}");
+            assert!(w.graph.validate_acyclic().is_ok());
+        }
+    }
+
+    #[test]
+    fn lu_has_roughly_double_cholesky_work() {
+        let cfg = DenseConfig::new(16 * 960, 960);
+        let lu = getrf(cfg);
+        let chol = super::super::potrf(cfg);
+        let ratio = lu.total_flops / chol.total_flops;
+        assert!((1.6..=2.4).contains(&ratio), "LU/Cholesky flop ratio {ratio}");
+    }
+
+    #[test]
+    fn trailing_update_depends_on_both_panels() {
+        // nt = 2: GEMM(1,1,0) needs TRSM_U(0,1) and TRSM_L(1,0).
+        let w = getrf(DenseConfig::new(2 * 960, 960));
+        let g = &w.graph;
+        let gemm = g
+            .tasks()
+            .iter()
+            .find(|t| g.task_type(t.ttype).name == "GEMM")
+            .expect("one gemm");
+        assert_eq!(g.preds(gemm.id).len(), 2, "both panel solves feed the update");
+    }
+}

@@ -1,0 +1,138 @@
+//! Tile Cholesky factorization (right-looking).
+
+use mp_dag::{AccessMode, StfBuilder};
+
+use super::{DenseConfig, DenseWorkload, TileMatrix};
+use crate::assign_bottom_level_priorities;
+
+/// Generate the `potrf` DAG: for each panel `k`, factor the diagonal tile,
+/// solve the panel below it, then update the trailing submatrix
+/// (SYRK on diagonals, GEMM elsewhere). Only the lower triangle is used.
+///
+/// Flop counts per kernel (tile side `b`): POTRF `b³/3`, TRSM `b³`,
+/// SYRK `b³`, GEMM `2b³` — totalling `≈ n³/3`.
+pub fn potrf(cfg: DenseConfig) -> DenseWorkload {
+    let mut stf = StfBuilder::new();
+    let k_potrf = stf.graph_mut().register_type("POTRF", true, true);
+    let k_trsm = stf.graph_mut().register_type("TRSM", true, true);
+    let k_syrk = stf.graph_mut().register_type("SYRK", true, true);
+    let k_gemm = stf.graph_mut().register_type("GEMM", true, true);
+    let a = TileMatrix::new(stf.graph_mut(), &cfg, "A");
+    let nt = cfg.nt();
+    let b = cfg.tile as f64;
+    let (f_potrf, f_trsm, f_syrk, f_gemm) =
+        (b * b * b / 3.0, b * b * b, b * b * b, 2.0 * b * b * b);
+
+    for k in 0..nt {
+        stf.submit(
+            k_potrf,
+            vec![(a.at(k, k), AccessMode::ReadWrite)],
+            f_potrf,
+            format!("POTRF({k})"),
+        );
+        for i in k + 1..nt {
+            stf.submit(
+                k_trsm,
+                vec![(a.at(k, k), AccessMode::Read), (a.at(i, k), AccessMode::ReadWrite)],
+                f_trsm,
+                format!("TRSM({i},{k})"),
+            );
+        }
+        for i in k + 1..nt {
+            stf.submit(
+                k_syrk,
+                vec![(a.at(i, k), AccessMode::Read), (a.at(i, i), AccessMode::ReadWrite)],
+                f_syrk,
+                format!("SYRK({i},{k})"),
+            );
+            for j in k + 1..i {
+                stf.submit(
+                    k_gemm,
+                    vec![
+                        (a.at(i, k), AccessMode::Read),
+                        (a.at(j, k), AccessMode::Read),
+                        (a.at(i, j), AccessMode::ReadWrite),
+                    ],
+                    f_gemm,
+                    format!("GEMM({i},{j},{k})"),
+                );
+            }
+        }
+    }
+    let mut graph = stf.finish();
+    assign_bottom_level_priorities(&mut graph);
+    let total_flops = graph.stats().total_flops;
+    DenseWorkload { graph, total_flops, nt, config: cfg }
+}
+
+/// Closed-form task count of [`potrf`] for `nt` tiles:
+/// `nt` POTRF + `nt(nt−1)/2` TRSM + `nt(nt−1)/2` SYRK + `C(nt,3)` GEMM.
+pub fn potrf_task_count(nt: usize) -> usize {
+    let gemm = if nt >= 3 { nt * (nt - 1) * (nt - 2) / 6 } else { 0 };
+    nt + nt * (nt - 1) / 2 + nt * (nt - 1) / 2 + gemm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_dag::TaskId;
+
+    #[test]
+    fn task_count_matches_closed_form() {
+        for nt in [1usize, 2, 3, 5, 10, 20] {
+            let w = potrf(DenseConfig::new(nt * 960, 960));
+            assert_eq!(w.graph.task_count(), potrf_task_count(nt), "nt={nt}");
+            assert!(w.graph.validate_acyclic().is_ok());
+        }
+    }
+
+    #[test]
+    fn total_flops_close_to_n_cubed_over_3() {
+        let cfg = DenseConfig::new(20 * 960, 960);
+        let w = potrf(cfg);
+        let n = cfg.n as f64;
+        // Tile algorithm does slightly more (SYRK on full tiles), stay
+        // within 2× of n³/3 and above it.
+        let ideal = n * n * n / 3.0;
+        assert!(w.total_flops >= ideal * 0.9 && w.total_flops <= ideal * 2.5);
+    }
+
+    #[test]
+    fn first_task_is_potrf_and_ready() {
+        let w = potrf(DenseConfig::new(4 * 960, 960));
+        let t0 = TaskId(0);
+        assert_eq!(w.graph.type_of(t0).name, "POTRF");
+        assert!(w.graph.preds(t0).is_empty());
+    }
+
+    #[test]
+    fn diamond_dependency_structure() {
+        // nt = 2: POTRF(0) -> TRSM(1,0) -> SYRK(1,0) -> POTRF(1).
+        let w = potrf(DenseConfig::new(2 * 960, 960));
+        let g = &w.graph;
+        assert_eq!(g.task_count(), 4);
+        let names: Vec<String> =
+            g.tasks().iter().map(|t| g.task_type(t.ttype).name.clone()).collect();
+        assert_eq!(names, vec!["POTRF", "TRSM", "SYRK", "POTRF"]);
+        assert_eq!(g.preds(TaskId(1)), &[TaskId(0)]);
+        assert_eq!(g.preds(TaskId(2)), &[TaskId(1)]);
+        assert_eq!(g.preds(TaskId(3)), &[TaskId(2)]);
+    }
+
+    #[test]
+    fn priorities_favor_the_panel() {
+        let w = potrf(DenseConfig::new(10 * 960, 960));
+        let g = &w.graph;
+        // POTRF(0) sits at the top of the critical path: max priority.
+        let p0 = g.task(TaskId(0)).user_priority;
+        assert!(g.tasks().iter().all(|t| t.user_priority <= p0));
+        // Priorities strictly decrease along the panel chain.
+        let potrfs: Vec<i64> = g
+            .tasks()
+            .iter()
+            .filter(|t| g.task_type(t.ttype).name == "POTRF")
+            .map(|t| t.user_priority)
+            .collect();
+        assert!(potrfs.windows(2).all(|w| w[0] > w[1]));
+    }
+}

@@ -1,0 +1,95 @@
+//! TBFMM-style task-based Fast Multipole Method (paper Sec. VI-B).
+//!
+//! The FMM evaluates pairwise particle interactions in O(N) by combining
+//! near-field direct sums (P2P) with a hierarchical far-field
+//! approximation over an octree (P2M → M2M → M2L → L2L → L2P). TBFMM
+//! groups octree cells into *blocks* of consecutive Morton indices and
+//! submits one task per group (pair), which is what we reproduce:
+//!
+//! * per leaf group: `P2M` (particles → multipole), `P2P` (direct sums
+//!   with neighbor groups), `L2P` (local expansion → potentials);
+//! * per non-leaf level: `M2M` (child multipoles → parent), `L2L`
+//!   (parent locals → children);
+//! * per level ≥ 2: `M2L` (far-field translations between groups).
+//!
+//! The resulting DAG is wide and disconnected — short critical path, lots
+//! of independent work — exactly the structure the paper credits for
+//! MultiPrio's advantage on this application. Only `P2P` and `M2L` have
+//! GPU implementations (see [`crate::kernels::fmm_model`]), so good
+//! schedules must co-run the CPU-only tree kernels with GPU work.
+
+pub mod builder;
+pub mod morton;
+
+pub use builder::{fmm, FmmStats, FmmWorkload};
+
+/// Particle distribution shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform in the unit cube (regular leaf occupancy).
+    Uniform,
+    /// A few Gaussian clusters (irregular occupancy, uneven task sizes).
+    Clustered,
+}
+
+/// Parameters of an FMM workload.
+#[derive(Clone, Copy, Debug)]
+pub struct FmmConfig {
+    /// Number of particles (the paper's Fig. 6 uses 10⁶).
+    pub particles: usize,
+    /// Octree height: leaves live at level `tree_height - 1` (Fig. 6: 6).
+    pub tree_height: usize,
+    /// Cells per group/block (TBFMM's blocking factor).
+    pub group_size: usize,
+    /// Particle distribution.
+    pub distribution: Distribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FmmConfig {
+    fn default() -> Self {
+        Self {
+            particles: 1_000_000,
+            tree_height: 6,
+            group_size: 64,
+            distribution: Distribution::Uniform,
+            seed: 42,
+        }
+    }
+}
+
+impl FmmConfig {
+    /// Validate ranges (height ≥ 3 so M2L exists; ≤ 10 for Morton u32).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(3..=10).contains(&self.tree_height) {
+            return Err(format!("tree_height {} outside [3,10]", self.tree_height));
+        }
+        if self.group_size == 0 || self.particles == 0 {
+            return Err("group_size and particles must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_figure6() {
+        let c = FmmConfig::default();
+        assert_eq!(c.particles, 1_000_000);
+        assert_eq!(c.tree_height, 6);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = FmmConfig::default();
+        c.tree_height = 2;
+        assert!(c.validate().is_err());
+        c = FmmConfig { group_size: 0, ..FmmConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

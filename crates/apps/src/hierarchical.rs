@@ -1,0 +1,269 @@
+//! Hierarchical-task workloads (paper Sec. VII): DAGs mixing coarse tasks
+//! with the fine-grained subgraphs they expand into.
+//!
+//! StarPU's hierarchical tasks submit a subgraph at runtime, "exposing
+//! different task sizes in the DAG — a sufficient amount of
+//! large-granularity tasks to efficiently utilize GPUs along with
+//! fine-granularity tasks to take advantage of CPUs". The paper predicts
+//! MultiPrio should do well here because the mix resembles QR_MUMPS.
+//!
+//! We reproduce the *scheduling-visible* structure: a Cholesky-like outer
+//! DAG over big blocks in which each outer task is either submitted as
+//! one **coarse** task (large tile, GPU-friendly) or **expanded** into
+//! its inner tile subgraph (small tiles, CPU-friendly), controlled by an
+//! expansion ratio. Expansion happens at graph build time — the ready
+//! stream a dynamic scheduler observes is the same as with StarPU's
+//! runtime expansion, because an expanded subgraph's tasks only become
+//! ready once their cross-block dependencies are met.
+
+use mp_dag::{AccessMode, DataId, StfBuilder, TaskGraph, TaskTypeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a hierarchical workload.
+#[derive(Clone, Copy, Debug)]
+pub struct HierConfig {
+    /// Outer blocks per side (outer DAG is a `potrf` over these).
+    pub outer: usize,
+    /// Outer block size in elements.
+    pub block: usize,
+    /// Inner tiles per side when a block task is expanded.
+    pub split: usize,
+    /// Fraction of expandable tasks actually expanded (0 = all coarse,
+    /// 1 = all fine).
+    pub expand_ratio: f64,
+    /// RNG seed for the expansion choices.
+    pub seed: u64,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        Self { outer: 8, block: 2048, split: 4, expand_ratio: 0.5, seed: 11 }
+    }
+}
+
+/// A generated hierarchical workload.
+#[derive(Clone, Debug)]
+pub struct HierWorkload {
+    /// The task graph.
+    pub graph: TaskGraph,
+    /// Total flops.
+    pub total_flops: f64,
+    /// How many outer tasks were expanded into subgraphs.
+    pub expanded: usize,
+    /// How many stayed coarse.
+    pub coarse: usize,
+}
+
+struct Kernels {
+    potrf: TaskTypeId,
+    trsm: TaskTypeId,
+    syrk: TaskTypeId,
+    gemm: TaskTypeId,
+}
+
+/// One block's handle set: either a single coarse handle or `split²`
+/// tile handles. Cross-block dependencies always go through the coarse
+/// handle; an expanded block's subgraph starts by "unpacking" it and ends
+/// by "packing" it back (the hierarchical-task runtime's data partitioning
+/// steps, which are real tasks in StarPU too).
+struct Block {
+    coarse: DataId,
+}
+
+/// Generate the workload.
+pub fn hierarchical(cfg: HierConfig) -> HierWorkload {
+    assert!(cfg.split >= 2, "expansion needs at least a 2x2 split");
+    assert!((0.0..=1.0).contains(&cfg.expand_ratio));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stf = StfBuilder::new();
+    let k = Kernels {
+        potrf: stf.graph_mut().register_type("POTRF", true, true),
+        trsm: stf.graph_mut().register_type("TRSM", true, true),
+        syrk: stf.graph_mut().register_type("SYRK", true, true),
+        gemm: stf.graph_mut().register_type("GEMM", true, true),
+    };
+    let k_part = stf.graph_mut().register_type("PARTITION", true, false);
+
+    let n = cfg.outer;
+    let bytes = (cfg.block * cfg.block * 8) as u64;
+    let mut blocks: Vec<Option<Block>> = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            blocks.push((j <= i).then(|| Block {
+                coarse: stf.graph_mut().add_data(bytes, format!("B({i},{j})")),
+            }));
+        }
+    }
+    let at = |i: usize, j: usize| blocks[i * n + j].as_ref().expect("lower block").coarse;
+
+    let b = cfg.block as f64;
+    let b3 = b * b * b;
+    let mut expanded = 0usize;
+    let mut coarse = 0usize;
+
+    // Submit one outer kernel either coarse or expanded.
+    let emit = |stf: &mut StfBuilder,
+                    ttype: TaskTypeId,
+                    flops: f64,
+                    accesses: Vec<(DataId, AccessMode)>,
+                    label: String,
+                    expandable: bool,
+                    rng: &mut StdRng,
+                    expanded_ctr: &mut usize,
+                    coarse_ctr: &mut usize| {
+        if expandable && rng.gen_bool(cfg.expand_ratio) {
+            *expanded_ctr += 1;
+            let s = cfg.split;
+            // s² inner tasks carry the block task's full work.
+            let inner_flops = flops / (s * s) as f64;
+            // Partition step: RW the touched handles (cheap, CPU).
+            stf.submit(k_part, accesses.clone(), 0.0, format!("{label}:part"));
+            // The inner subgraph: s³-ish small tasks re-reading the same
+            // coarse handles (serialization across *different* blocks is
+            // preserved through them; tasks inside the expansion are kept
+            // parallel by read-mostly accesses).
+            let (rw_handle, _) = *accesses.last().expect("kernel writes one handle");
+            let reads: Vec<(DataId, AccessMode)> = accesses
+                .iter()
+                .take(accesses.len() - 1)
+                .map(|&(d, _)| (d, AccessMode::Read))
+                .collect();
+            for z in 0..s * s {
+                let mut acc = reads.clone();
+                // Inner tiles of one block are independent: model with
+                // read access plus one tiny private handle each.
+                acc.push((rw_handle, AccessMode::Read));
+                let scratch = stf
+                    .graph_mut()
+                    .add_data(bytes / (s * s) as u64, format!("{label}:t{z}"));
+                acc.push((scratch, AccessMode::Write));
+                stf.submit(ttype, acc, inner_flops, format!("{label}:{z}"));
+            }
+            // Pack step: gathers the inner results back into the handle.
+            stf.submit(k_part, vec![(rw_handle, AccessMode::ReadWrite)], 0.0, format!("{label}:pack"));
+        } else {
+            *coarse_ctr += 1;
+            stf.submit(ttype, accesses, flops, label);
+        }
+    };
+
+    for kk in 0..n {
+        emit(
+            &mut stf,
+            k.potrf,
+            b3 / 3.0,
+            vec![(at(kk, kk), AccessMode::ReadWrite)],
+            format!("POTRF({kk})"),
+            false, // panel stays coarse (it is on the critical path)
+            &mut rng,
+            &mut expanded,
+            &mut coarse,
+        );
+        for i in kk + 1..n {
+            emit(
+                &mut stf,
+                k.trsm,
+                b3,
+                vec![(at(kk, kk), AccessMode::Read), (at(i, kk), AccessMode::ReadWrite)],
+                format!("TRSM({i},{kk})"),
+                true,
+                &mut rng,
+                &mut expanded,
+                &mut coarse,
+            );
+        }
+        for i in kk + 1..n {
+            emit(
+                &mut stf,
+                k.syrk,
+                b3,
+                vec![(at(i, kk), AccessMode::Read), (at(i, i), AccessMode::ReadWrite)],
+                format!("SYRK({i},{kk})"),
+                true,
+                &mut rng,
+                &mut expanded,
+                &mut coarse,
+            );
+            for j in kk + 1..i {
+                emit(
+                    &mut stf,
+                    k.gemm,
+                    2.0 * b3,
+                    vec![
+                        (at(i, kk), AccessMode::Read),
+                        (at(j, kk), AccessMode::Read),
+                        (at(i, j), AccessMode::ReadWrite),
+                    ],
+                    format!("GEMM({i},{j},{kk})"),
+                    true,
+                    &mut rng,
+                    &mut expanded,
+                    &mut coarse,
+                );
+            }
+        }
+    }
+
+    let graph = stf.finish();
+    let total_flops = graph.stats().total_flops;
+    HierWorkload { graph, total_flops, expanded, coarse }
+}
+
+/// Kernel table for hierarchical workloads: the same dense rates, plus
+/// the CPU-only partition/pack steps. Small (expanded) tasks naturally
+/// run near CPU speed parity because of the per-task GPU overhead.
+pub fn hierarchical_model() -> mp_perfmodel::TableModel {
+    mp_perfmodel::TableModel::builder()
+        .rates("POTRF", 30.0, 250.0, 8.0)
+        .rates("TRSM", 35.0, 1800.0, 8.0)
+        .rates("SYRK", 38.0, 2600.0, 8.0)
+        .rates("GEMM", 42.0, 3000.0, 8.0)
+        .set(
+            "PARTITION",
+            mp_platform::types::ArchClass::Cpu,
+            mp_perfmodel::TimeFn::PerByte { overhead_us: 3.0, us_per_kib: 0.005 },
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_coarse_matches_potrf_counts() {
+        let w = hierarchical(HierConfig { expand_ratio: 0.0, ..Default::default() });
+        assert_eq!(w.expanded, 0);
+        assert_eq!(w.coarse, crate::dense::potrf::potrf_task_count(8));
+        assert!(w.graph.validate_acyclic().is_ok());
+    }
+
+    #[test]
+    fn expansion_grows_the_graph_but_keeps_flops() {
+        let base = hierarchical(HierConfig { expand_ratio: 0.0, ..Default::default() });
+        let mixed = hierarchical(HierConfig { expand_ratio: 1.0, ..Default::default() });
+        assert!(mixed.graph.task_count() > 3 * base.graph.task_count());
+        let ratio = mixed.total_flops / base.total_flops;
+        assert!((0.99..=1.01).contains(&ratio), "flops preserved, ratio {ratio}");
+        assert!(mixed.expanded > 0 && mixed.coarse >= 8, "panels stay coarse");
+    }
+
+    #[test]
+    fn mixed_granularity_is_visible() {
+        let w = hierarchical(HierConfig::default());
+        let flops: Vec<f64> =
+            w.graph.tasks().iter().map(|t| t.flops).filter(|&f| f > 0.0).collect();
+        let min = flops.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = flops.iter().copied().fold(0.0, f64::max);
+        assert!(max >= 30.0 * min, "granularity spread {min:.2e}..{max:.2e}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = hierarchical(HierConfig::default());
+        let b = hierarchical(HierConfig::default());
+        assert_eq!(a.graph.task_count(), b.graph.task_count());
+        assert_eq!(a.expanded, b.expanded);
+    }
+}

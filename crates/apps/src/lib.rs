@@ -1,0 +1,64 @@
+//! # mp-apps — workload generators for the paper's three applications
+//!
+//! Produces `mp-dag` task graphs (plus matching `mp-perfmodel` kernel
+//! tables) for:
+//!
+//! * [`dense`] — CHAMELEON-style tile algorithms: Cholesky (`potrf`),
+//!   LU without pivoting (`getrf`), QR (`geqrf`), with expert priorities
+//!   derived from bottom levels (the paper's *regular* workloads, Fig. 5);
+//! * [`fmm`] — a TBFMM-style group-tree Fast Multipole Method over
+//!   synthetic particle distributions (*irregular*, Fig. 6);
+//! * [`sparseqr`] — a QR_MUMPS-style multifrontal sparse QR over
+//!   synthetic elimination trees calibrated to the ten matrices of the
+//!   paper's Fig. 7 (*highly irregular*, Fig. 8);
+//! * [`hierarchical`] — mixed-granularity DAGs modeling StarPU's
+//!   hierarchical tasks (the paper's Sec. VII outlook);
+//! * [`random`] — layered random DAGs for tests and fuzzing.
+//!
+//! Every generator is deterministic given its parameters (and seed, where
+//! randomness is involved).
+
+pub mod dense;
+pub mod fmm;
+pub mod hierarchical;
+pub mod kernels;
+pub mod random;
+pub mod sparseqr;
+
+pub use kernels::{dense_model, fmm_model, sparseqr_model};
+
+/// Set every task's user priority to its bottom level in *task hops*
+/// (longest path to a sink). This mimics the expert-tuned priorities
+/// shipped by CHAMELEON: tasks deeper on the critical path get higher
+/// priorities. Used by the dense generators only — the paper's FMM and
+/// sparse-QR runs have no user priorities.
+pub fn assign_bottom_level_priorities(graph: &mut mp_dag::TaskGraph) {
+    let levels = mp_dag::bottom_levels(graph, |_| 1.0);
+    for i in 0..graph.task_count() {
+        let t = mp_dag::TaskId::from_index(i);
+        graph.set_user_priority(t, levels[i] as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_dag::{AccessMode, TaskGraph, TaskId};
+
+    #[test]
+    fn bottom_level_priorities_decrease_along_chains() {
+        let mut g = TaskGraph::new();
+        let k = g.register_type("K", true, false);
+        let d = g.add_data(8, "d");
+        let a = g.add_task(k, vec![(d, AccessMode::ReadWrite)], 1.0, "a");
+        let b = g.add_task(k, vec![(d, AccessMode::ReadWrite)], 1.0, "b");
+        let c = g.add_task(k, vec![(d, AccessMode::ReadWrite)], 1.0, "c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        assign_bottom_level_priorities(&mut g);
+        let p = |t: TaskId| g.task(t).user_priority;
+        assert!(p(a) > p(b));
+        assert!(p(b) > p(c));
+        assert_eq!(p(c), 1);
+    }
+}

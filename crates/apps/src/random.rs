@@ -1,0 +1,117 @@
+//! Layered random DAGs for tests, fuzzing and scheduler stress.
+
+use mp_dag::{AccessMode, StfBuilder, TaskGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a random layered DAG.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomDagConfig {
+    /// Number of layers (sequential depth).
+    pub layers: usize,
+    /// Tasks per layer.
+    pub width: usize,
+    /// Probability that a task has a GPU implementation.
+    pub gpu_fraction: f64,
+    /// Data handle sizes (bytes), sampled uniformly.
+    pub data_min: u64,
+    /// Upper bound of the size range.
+    pub data_max: u64,
+    /// Flops per task, sampled log-uniformly in `[flops_min, flops_max]`.
+    pub flops_min: f64,
+    /// Upper bound of the flops range.
+    pub flops_max: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        Self {
+            layers: 8,
+            width: 12,
+            gpu_fraction: 0.7,
+            data_min: 16 << 10,
+            data_max: 256 << 10,
+            flops_min: 1e6,
+            flops_max: 1e9,
+            seed: 1,
+        }
+    }
+}
+
+/// Build a layered random DAG: each layer's task `x` read-writes column
+/// `x`'s handle and reads a few random other columns, creating diagonal
+/// dependencies between layers. Kernels are `RBOTH` (CPU+GPU, 20× GPU
+/// speedup via the bundled [`random_model`]) or `RCPU` (CPU-only).
+pub fn random_dag(cfg: RandomDagConfig) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut stf = StfBuilder::new();
+    let kb = stf.graph_mut().register_type("RBOTH", true, true);
+    let kc = stf.graph_mut().register_type("RCPU", true, false);
+    let handles: Vec<_> = (0..cfg.width)
+        .map(|i| {
+            let size = rng.gen_range(cfg.data_min..=cfg.data_max);
+            stf.graph_mut().add_data(size, format!("col{i}"))
+        })
+        .collect();
+    for l in 0..cfg.layers {
+        for x in 0..cfg.width {
+            let k = if rng.gen_bool(cfg.gpu_fraction) { kb } else { kc };
+            let mut acc = vec![(handles[x], AccessMode::ReadWrite)];
+            for _ in 0..rng.gen_range(0..3usize) {
+                let other = handles[rng.gen_range(0..cfg.width)];
+                if acc.iter().all(|&(d, _)| d != other) {
+                    acc.push((other, AccessMode::Read));
+                }
+            }
+            let flops = cfg.flops_min
+                * (cfg.flops_max / cfg.flops_min).powf(rng.gen::<f64>());
+            stf.submit(k, acc, flops, format!("r{l}-{x}"));
+        }
+    }
+    stf.finish()
+}
+
+/// Kernel table for [`random_dag`] graphs.
+pub fn random_model() -> mp_perfmodel::TableModel {
+    mp_perfmodel::TableModel::builder()
+        .rates("RBOTH", 30.0, 600.0, 5.0)
+        .set(
+            "RCPU",
+            mp_platform::types::ArchClass::Cpu,
+            mp_perfmodel::TimeFn::Rate { gflops: 30.0, overhead_us: 1.0 },
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = RandomDagConfig::default();
+        let a = random_dag(cfg);
+        let b = random_dag(cfg);
+        assert_eq!(a.task_count(), cfg.layers * cfg.width);
+        assert_eq!(a.task_count(), b.task_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.validate_acyclic().is_ok());
+    }
+
+    #[test]
+    fn layers_serialize_columns() {
+        let g = random_dag(RandomDagConfig { layers: 3, width: 1, ..Default::default() });
+        // Single column: strict chain of 3.
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(mp_dag::width_profile(&g), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn model_covers_both_kernels() {
+        let m = random_model();
+        assert!(m.entry("RBOTH", mp_platform::types::ArchClass::Gpu).is_some());
+        assert!(m.entry("RCPU", mp_platform::types::ArchClass::Gpu).is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! Synthetic elimination-tree generation calibrated to matrix statistics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::matrices::MatrixMeta;
+
+/// One frontal matrix of the elimination tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Front {
+    /// Index in child-before-parent order (the root is last).
+    pub id: usize,
+    /// Parent front (None for the root).
+    pub parent: Option<usize>,
+    /// Children (derived).
+    pub children: Vec<usize>,
+    /// Front rows (m ≥ n).
+    pub rows: usize,
+    /// Front columns (the pivotal block width).
+    pub cols: usize,
+}
+
+impl Front {
+    /// Dense QR factorization flops of an m×n front: `2n²(m − n/3)`.
+    pub fn factor_flops(&self) -> f64 {
+        let (m, n) = (self.rows as f64, self.cols as f64);
+        2.0 * n * n * (m - n / 3.0)
+    }
+
+    /// Contribution-block side passed to the parent: `m − n` rows clipped
+    /// to the front's own column count (what a parent can absorb).
+    pub fn cb_rows(&self) -> usize {
+        (self.rows - self.cols).min(self.cols).max(1)
+    }
+}
+
+/// Generate a synthetic elimination tree whose *total factorization flop
+/// count equals* `meta.gflops` (after rescaling), with front-size and
+/// tree-shape irregularity driven by the matrix statistics:
+///
+/// * front count grows with the column count;
+/// * front sizes follow a log-normal spread, growing toward the root
+///   (supernode amalgamation);
+/// * front aspect ratio (rows/cols) follows the matrix's global
+///   over-determination (Rucci1's fronts are very tall, neos2's nearly
+///   square).
+pub fn elimination_tree(meta: &MatrixMeta, seed: u64) -> Vec<Front> {
+    let mut rng = StdRng::seed_from_u64(seed ^ meta.nnz);
+    // Front count ~ √cols: enough tree parallelism for the schedulers to
+    // exploit while keeping fronts wide enough that the GPU-friendly
+    // block updates carry most of the flops (as in qr_mumps, where heavy
+    // amalgamation produces hundreds of multi-panel fronts).
+    let nf = ((meta.cols as f64).sqrt() as usize).clamp(24, 320);
+    let aspect = (meta.rows as f64 / meta.cols as f64).clamp(1.15, 10.0);
+
+    // Raw column widths: log-normal, sorted ascending (root is biggest).
+    let mut widths: Vec<f64> = (0..nf)
+        .map(|_| {
+            let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            (0.9 * z).exp()
+        })
+        .collect();
+    widths.sort_by(|a, b| a.total_cmp(b));
+
+    // Topology: METIS-ordered elimination trees are leaf-bushy and
+    // logarithmically deep (nested dissection ≈ a binary separator tree).
+    // Use a heap-shaped tree over the child-before-parent ids (root =
+    // nf−1), with occasional amalgamation jitter hoisting a front one
+    // level up — depth stays O(log nf), leaves dominate.
+    let mut parent: Vec<Option<usize>> = vec![None; nf];
+    for (i, p) in parent.iter_mut().enumerate().take(nf - 1) {
+        let rev = nf - 1 - i;
+        let mut parent_rev = (rev - 1) / 2;
+        if parent_rev > 0 && rng.gen_bool(0.25) {
+            parent_rev = (parent_rev - 1) / 2; // amalgamation jitter
+        }
+        *p = Some(nf - 1 - parent_rev);
+    }
+
+    // Two-pass flop calibration: build with unit scale, measure, rescale
+    // linear dimensions by (target/raw)^(1/3).
+    let build = |scale: f64, widths: &[f64], rng_aspect: &[f64]| -> Vec<Front> {
+        let mut fronts: Vec<Front> = (0..nf)
+            .map(|i| {
+                let n = ((widths[i] * scale) as usize).max(8);
+                let m = ((n as f64) * rng_aspect[i]) as usize + n;
+                Front { id: i, parent: parent[i], children: Vec::new(), rows: m, cols: n }
+            })
+            .collect();
+        for i in 0..nf {
+            if let Some(p) = fronts[i].parent {
+                fronts[p].children.push(i);
+            }
+        }
+        fronts
+    };
+    let aspects: Vec<f64> = (0..nf)
+        .map(|i| {
+            // Leaves carry the matrix's global tallness; internal fronts
+            // are squarer.
+            if i < nf / 2 {
+                0.2 + aspect * rng.gen_range(0.5..1.5)
+            } else {
+                0.2 + rng.gen_range(0.3..1.2)
+            }
+        })
+        .collect();
+
+    let probe = build(64.0, &widths, &aspects);
+    let raw: f64 = probe.iter().map(Front::factor_flops).sum();
+    let target = meta.gflops * 1e9;
+    let scale = 64.0 * (target / raw).powf(1.0 / 3.0);
+    let fronts = build(scale, &widths, &aspects);
+    debug_assert!(fronts.iter().all(|f| f.rows >= f.cols));
+    fronts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparseqr::matrices::{matrix, FIG7_MATRICES};
+
+    #[test]
+    fn total_flops_close_to_published() {
+        for meta in &FIG7_MATRICES {
+            let tree = elimination_tree(meta, 7);
+            let total: f64 = tree.iter().map(Front::factor_flops).sum();
+            let target = meta.gflops * 1e9;
+            let ratio = total / target;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{}: generated {total:.3e} vs published {target:.3e}",
+                meta.name
+            );
+        }
+    }
+
+    #[test]
+    fn tree_is_well_formed() {
+        let tree = elimination_tree(matrix("TF17").unwrap(), 7);
+        let nf = tree.len();
+        assert!(tree[nf - 1].parent.is_none(), "last front is the root");
+        for f in &tree[..nf - 1] {
+            let p = f.parent.expect("non-root has a parent");
+            assert!(p > f.id, "children come before parents");
+            assert!(tree[p].children.contains(&f.id));
+        }
+        assert!(tree.iter().all(|f| f.rows >= f.cols && f.cols >= 8));
+    }
+
+    #[test]
+    fn rucci_fronts_are_taller_than_neos2() {
+        let tall = elimination_tree(matrix("Rucci1").unwrap(), 7);
+        let square = elimination_tree(matrix("neos2").unwrap(), 7);
+        let mean_aspect = |t: &[Front]| {
+            t.iter().map(|f| f.rows as f64 / f.cols as f64).sum::<f64>() / t.len() as f64
+        };
+        assert!(
+            mean_aspect(&tall) > 1.5 * mean_aspect(&square),
+            "Rucci1 {} vs neos2 {}",
+            mean_aspect(&tall),
+            mean_aspect(&square)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = elimination_tree(matrix("e18").unwrap(), 3);
+        let b = elimination_tree(matrix("e18").unwrap(), 3);
+        assert_eq!(a, b);
+        let c = elimination_tree(matrix("e18").unwrap(), 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn front_sizes_are_irregular() {
+        let tree = elimination_tree(matrix("TF18").unwrap(), 7);
+        let min = tree.iter().map(|f| f.cols).min().unwrap();
+        let max = tree.iter().map(|f| f.cols).max().unwrap();
+        assert!(max > 10 * min, "front widths must span >10x ({min}..{max})");
+    }
+}

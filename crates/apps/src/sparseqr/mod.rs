@@ -1,0 +1,43 @@
+//! QR_MUMPS-style multifrontal sparse QR factorization (paper Sec. VI-C).
+//!
+//! A sparse QR factorization is organized along an *elimination tree* of
+//! dense frontal matrices: each front assembles contribution blocks from
+//! its children, is factored as a (tall) dense QR, and passes its own
+//! contribution block to its parent. Following Agullo et al. [7, 29]
+//! (the qr_mumps GPU design the paper builds on), each front is
+//! partitioned 1-D into block-column *panels*, yielding panel
+//! factorization tasks (`SQR_GEQRT`, GPU-unfriendly) and block updates
+//! (`SQR_TSMQR`, GPU-friendly), plus memory-bound activation/assembly
+//! tasks (CPU-only).
+//!
+//! We do not parse SuiteSparse matrices: the elimination tree is
+//! synthesized per matrix from the published shape statistics (rows,
+//! cols, nnz, flop count — the paper's Fig. 7 table, reproduced in
+//! [`matrices`]) with a seeded RNG, then rescaled so the total flop count
+//! matches the published one exactly. What the schedulers experience —
+//! tree-shaped dependencies, wildly mixed task granularities, variable
+//! memory pressure — is preserved; see DESIGN.md for the substitution
+//! rationale.
+
+pub mod fronts;
+pub mod matrices;
+pub mod tasks;
+
+pub use fronts::{elimination_tree, Front};
+pub use matrices::{matrix, MatrixMeta, FIG7_MATRICES};
+pub use tasks::{sparse_qr, SparseQrWorkload};
+
+/// Parameters of a sparse QR workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SparseQrConfig {
+    /// Panel width (block-column size), qr_mumps-style.
+    pub panel: usize,
+    /// RNG seed for the synthetic elimination tree.
+    pub seed: u64,
+}
+
+impl Default for SparseQrConfig {
+    fn default() -> Self {
+        Self { panel: 128, seed: 7 }
+    }
+}

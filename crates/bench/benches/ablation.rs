@@ -1,0 +1,112 @@
+//! Ablation study of MultiPrio's design choices (DESIGN.md §8):
+//!
+//! * component ablations — eviction, locality, criticality, backlog
+//!   normalization, energy policy;
+//! * hyperparameter sweeps — locality window `n` and threshold `ε`
+//!   (the paper fixes `n = 10`, `ε = 0.8` empirically);
+//! * the hierarchical-task outlook workload (Sec. VII).
+//!
+//! Results are printed as tables; criterion times one representative
+//! configuration per group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_apps::hierarchical::{hierarchical, hierarchical_model, HierConfig};
+use mp_apps::sparseqr::{matrix, sparse_qr, SparseQrConfig};
+use mp_apps::sparseqr_model;
+use mp_bench::{make_scheduler, run_noisy};
+use mp_platform::presets::intel_v100_streams;
+use mp_sim::{simulate, SimConfig};
+use multiprio::{MultiPrioConfig, MultiPrioScheduler};
+
+fn component_ablation(c: &mut Criterion) {
+    let w = sparse_qr(matrix("flower_7_4").unwrap(), SparseQrConfig::default());
+    let platform = intel_v100_streams(4);
+    let model = sparseqr_model();
+    println!("== component ablation (sparse QR flower_7_4, Intel-V100) ==");
+    for sched in [
+        "multiprio",
+        "multiprio-noevict",
+        "multiprio-nolocality",
+        "multiprio-nocrit",
+        "multiprio-brwtotal",
+        "multiprio-energy",
+    ] {
+        let r = run_noisy(&w.graph, &platform, &model, sched, 8, 0.25);
+        println!("[ablation] {:22} {:8.3} s", sched, r.makespan / 1e6);
+    }
+
+    let mut group = c.benchmark_group("component_ablation");
+    for sched in ["multiprio", "multiprio-noevict"] {
+        group.bench_function(sched, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    run_noisy(&w.graph, &platform, &model, sched, 8, 0.25).makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn hyperparameter_sweep(_c: &mut Criterion) {
+    let w = sparse_qr(matrix("flower_7_4").unwrap(), SparseQrConfig::default());
+    let platform = intel_v100_streams(4);
+    let model = sparseqr_model();
+    println!("== locality window n sweep (paper default n = 10) ==");
+    for n in [1usize, 4, 10, 25, 50] {
+        let cfg = MultiPrioConfig { locality_window: n, ..MultiPrioConfig::default() };
+        let mut s = MultiPrioScheduler::new(cfg);
+        let r = simulate(&w.graph, &platform, &model, &mut s, SimConfig::seeded(8).with_noise(0.25));
+        println!("[sweep] n={n:3}  {:8.3} s", r.makespan / 1e6);
+    }
+    println!("== epsilon sweep (paper default eps = 0.8) ==");
+    for eps in [0.05, 0.2, 0.4, 0.8, 1.0] {
+        let cfg = MultiPrioConfig { epsilon: eps, ..MultiPrioConfig::default() };
+        let mut s = MultiPrioScheduler::new(cfg);
+        let r = simulate(&w.graph, &platform, &model, &mut s, SimConfig::seeded(8).with_noise(0.25));
+        println!("[sweep] eps={eps:4}  {:8.3} s", r.makespan / 1e6);
+    }
+}
+
+fn hierarchical_outlook(c: &mut Criterion) {
+    let platform = intel_v100_streams(2);
+    let model = hierarchical_model();
+    println!("== hierarchical tasks (Sec. VII outlook): expansion ratio sweep ==");
+    println!("{:>8} {:>12} {:>12} {:>12}", "expand", "multiprio", "dmdas", "heteroprio");
+    for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let w = hierarchical(HierConfig { expand_ratio: ratio, ..Default::default() });
+        let t = |sched: &str| {
+            let mut s = make_scheduler(sched);
+            simulate(&w.graph, &platform, &model, s.as_mut(), SimConfig::seeded(11)).makespan / 1e3
+        };
+        println!(
+            "{:>8.2} {:>10.1}ms {:>10.1}ms {:>10.1}ms",
+            ratio,
+            t("multiprio"),
+            t("dmdas"),
+            t("heteroprio")
+        );
+    }
+
+    let w = hierarchical(HierConfig::default());
+    let mut group = c.benchmark_group("hierarchical");
+    for sched in ["multiprio", "dmdas"] {
+        group.bench_function(sched, |b| {
+            b.iter(|| {
+                let mut s = make_scheduler(sched);
+                std::hint::black_box(
+                    simulate(&w.graph, &platform, &model, s.as_mut(), SimConfig::seeded(11))
+                        .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = component_ablation, hyperparameter_sweep, hierarchical_outlook
+}
+criterion_main!(benches);

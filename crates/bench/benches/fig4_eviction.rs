@@ -1,0 +1,36 @@
+//! Fig. 4 bench: the eviction-mechanism ablation (Cholesky 960×20 tiles
+//! on 1 GPU + 6 CPUs). Prints the regenerated idle/makespan rows, then
+//! times the two full simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_apps::dense::{potrf, DenseConfig};
+use mp_apps::dense_model;
+use mp_bench::run_once;
+use mp_platform::presets::fig4;
+
+fn bench(c: &mut Criterion) {
+    for row in mp_bench::figures::fig4::run() {
+        println!(
+            "[fig4] eviction={:5} makespan={:9.1} us gpu_idle={:5.1}% cpu_idle={:5.1}% (paper: 29% -> 1%)",
+            row.eviction, row.makespan, row.gpu_idle_pct, row.cpu_idle_pct
+        );
+    }
+
+    let w = potrf(DenseConfig::new(20 * 960, 960));
+    let platform = fig4();
+    let model = dense_model();
+    let mut group = c.benchmark_group("fig4");
+    for sched in ["multiprio", "multiprio-noevict"] {
+        group.bench_function(sched, |b| {
+            b.iter(|| std::hint::black_box(run_once(&w.graph, &platform, &model, sched, 4).makespan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 5 bench: dense potrf/getrf/geqrf — MultiPrio vs Dmdas on both
+//! platforms. Prints the GFlop/s rows and relative gains (paper: mostly
+//! comparable, Dmdas ahead on potrf/getrf at AMD, MultiPrio up to +14% on
+//! large getrf), then times one representative simulation per kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_apps::dense::{geqrf, getrf, potrf, DenseConfig};
+use mp_apps::dense_model;
+use mp_bench::figures::fig5;
+use mp_bench::run_once;
+use mp_platform::presets::intel_v100_streams;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig5::run(fig5::Scale::Quick, &["multiprio", "dmdas"]);
+    for r in &rows {
+        println!(
+            "[fig5] {:11} {:6} n={:6} tile={:5} {:10} {:8.1} GF/s",
+            r.platform, r.kernel, r.n, r.tile, r.sched, r.gflops
+        );
+    }
+    for (p, k, n, g) in fig5::gains_vs_dmdas(&rows) {
+        println!("[fig5] gain {p:11} {k:6} n={n:6} {g:+6.1}%");
+    }
+
+    let platform = intel_v100_streams(2);
+    let model = dense_model();
+    let mut group = c.benchmark_group("fig5_sim");
+    let cfg = DenseConfig::new(16 * 960, 960);
+    for (name, w) in
+        [("potrf", potrf(cfg)), ("getrf", getrf(cfg)), ("geqrf", geqrf(cfg))]
+    {
+        group.bench_function(format!("{name}_multiprio"), |b| {
+            b.iter(|| {
+                std::hint::black_box(run_once(&w.graph, &platform, &model, "multiprio", 5).makespan)
+            })
+        });
+        group.bench_function(format!("{name}_dmdas"), |b| {
+            b.iter(|| {
+                std::hint::black_box(run_once(&w.graph, &platform, &model, "dmdas", 5).makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 6 bench: TBFMM execution time vs GPU streams for the three
+//! schedulers on both platforms. Prints the series (paper: MultiPrio
+//! achieves the shortest makespan), then times one simulation per
+//! scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_apps::fmm::{fmm, Distribution, FmmConfig};
+use mp_apps::fmm_model;
+use mp_bench::figures::fig6;
+use mp_bench::run_noisy;
+use mp_platform::presets::intel_v100_streams;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig6::run(fig6::Scale::Quick, &["multiprio", "dmdas", "heteroprio"], &[1, 2, 4]);
+    for r in &rows {
+        println!(
+            "[fig6] {:11} streams={} {:10} {:8.4} s",
+            r.platform, r.streams, r.sched, r.time_s
+        );
+    }
+
+    let w = fmm(FmmConfig {
+        particles: 50_000,
+        tree_height: 5,
+        group_size: 32,
+        distribution: Distribution::Uniform,
+        seed: 6,
+    });
+    let platform = intel_v100_streams(2);
+    let model = fmm_model();
+    let mut group = c.benchmark_group("fig6_sim");
+    for sched in ["multiprio", "dmdas", "heteroprio"] {
+        group.bench_function(sched, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    run_noisy(&w.graph, &platform, &model, sched, 6, fig6::FMM_NOISE_CV).makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 8 bench: sparse multifrontal QR, ratio vs Dmdas on both platforms
+//! (paper: MultiPrio +31% avg on Intel-V100, +12% on AMD-A100). Prints
+//! the quick-scale ratio rows (plus TF17 as a mid-size witness where the
+//! work-sharing gains appear), then times one simulation per scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_apps::sparseqr::{matrix, sparse_qr, SparseQrConfig};
+use mp_apps::sparseqr_model;
+use mp_bench::figures::fig8;
+use mp_bench::run_noisy;
+use mp_platform::presets::{amd_a100_streams, intel_v100_streams};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig8::run(fig8::Scale::Quick, &["multiprio", "dmdas", "heteroprio"]);
+    for r in &rows {
+        println!(
+            "[fig8] {:11} {:14} {:10} {:8.3} s ratio {:5.3}",
+            r.platform, r.matrix, r.sched, r.time_s, r.ratio_vs_dmdas
+        );
+    }
+    for (p, m) in fig8::mean_multiprio_ratio(&rows) {
+        println!("[fig8] mean multiprio ratio on {p}: {m:.3} (paper: 1.31 / 1.12)");
+    }
+    // Mid-size witness: TF17 on both platforms.
+    let w = sparse_qr(matrix("TF17").unwrap(), SparseQrConfig::default());
+    let model = sparseqr_model();
+    for (pname, platform) in
+        [("Intel-V100", intel_v100_streams(4)), ("AMD-A100", amd_a100_streams(4))]
+    {
+        let mp = run_noisy(&w.graph, &platform, &model, "multiprio", 8, fig8::SPARSE_NOISE_CV);
+        let dm = run_noisy(&w.graph, &platform, &model, "dmdas", 8, fig8::SPARSE_NOISE_CV);
+        println!(
+            "[fig8] TF17 {pname}: multiprio {:.3} s, dmdas {:.3} s, ratio {:.3}",
+            mp.makespan / 1e6,
+            dm.makespan / 1e6,
+            dm.makespan / mp.makespan
+        );
+    }
+
+    let small = sparse_qr(matrix("cat_ears_4_4").unwrap(), SparseQrConfig::default());
+    let platform = intel_v100_streams(4);
+    let mut group = c.benchmark_group("fig8_sim");
+    for sched in ["multiprio", "dmdas", "heteroprio"] {
+        group.bench_function(sched, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    run_noisy(&small.graph, &platform, &model, sched, 8, fig8::SPARSE_NOISE_CV)
+                        .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Microbenchmarks of the scheduler building blocks: the removable heap,
+//! MultiPrio push/pop throughput, and raw simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_apps::random::{random_dag, random_model, RandomDagConfig};
+use mp_bench::{make_scheduler, run_once};
+use mp_dag::TaskId;
+use mp_platform::presets::simple;
+use multiprio::{RemovableMaxHeap, Score};
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    group.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut h = RemovableMaxHeap::new();
+            for i in 0..10_000u32 {
+                let g = ((i * 2654435761u32) >> 8) as f64 / (1u32 << 24) as f64;
+                h.push(TaskId(i), Score::new(g, 0.0));
+            }
+            let mut acc = 0u32;
+            while let Some((t, _)) = h.pop() {
+                acc = acc.wrapping_add(t.0);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("top_k_of_10k", |b| {
+        let mut h = RemovableMaxHeap::new();
+        for i in 0..10_000u32 {
+            let g = ((i * 2654435761u32) >> 8) as f64 / (1u32 << 24) as f64;
+            h.push(TaskId(i), Score::new(g, 0.0));
+        }
+        b.iter(|| std::hint::black_box(h.top_k(10)))
+    });
+    group.bench_function("remove_middle_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut h = RemovableMaxHeap::new();
+                for i in 0..10_000u32 {
+                    let g = ((i * 2654435761u32) >> 8) as f64 / (1u32 << 24) as f64;
+                    h.push(TaskId(i), Score::new(g, 0.0));
+                }
+                h
+            },
+            |mut h| {
+                for i in (0..10_000u32).step_by(7) {
+                    h.remove(TaskId(i));
+                }
+                std::hint::black_box(h.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let g = random_dag(RandomDagConfig { layers: 40, width: 25, ..Default::default() });
+    let m = random_model();
+    let p = simple(6, 2);
+    let mut group = c.benchmark_group("sim_throughput_1000_tasks");
+    group.throughput(criterion::Throughput::Elements(g.task_count() as u64));
+    for sched in ["fifo", "dmdas", "heteroprio", "multiprio"] {
+        group.bench_function(sched, |b| {
+            b.iter(|| std::hint::black_box(run_once(&g, &p, &m, sched, 1).makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_ops(c: &mut Criterion) {
+    // Push/pop overhead in isolation: schedule 1000 independent tasks.
+    let g = random_dag(RandomDagConfig {
+        layers: 1,
+        width: 1000,
+        gpu_fraction: 0.7,
+        ..Default::default()
+    });
+    let m = random_model();
+    let p = simple(6, 2);
+    let mut group = c.benchmark_group("sched_1000_independent");
+    for sched in ["multiprio", "dmdas", "heteroprio"] {
+        group.bench_function(sched, |b| {
+            b.iter(|| {
+                let mut s = make_scheduler(sched);
+                std::hint::black_box(
+                    mp_sim::simulate(&g, &p, &m, s.as_mut(), mp_sim::SimConfig::seeded(1))
+                        .makespan,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_heap, bench_sim_throughput, bench_scheduler_ops
+}
+criterion_main!(benches);

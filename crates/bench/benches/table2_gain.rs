@@ -1,0 +1,43 @@
+//! Table II bench: cost of the gain heuristic (observe + evaluate), the
+//! per-push hot path of MultiPrio. Also prints the regenerated table once
+//! so `cargo bench` output carries the paper comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_platform::types::ArchId;
+use multiprio::GainTracker;
+
+fn bench(c: &mut Criterion) {
+    let t = mp_bench::figures::table2::run();
+    println!("[table2] hd = {:?} (paper: (19, 19))", t.hd);
+    println!("[table2] gain(a1) = {:?} (paper: [1.000, 0.631, 0.236])", t.gain_a1);
+    println!("[table2] gain(a2) = {:?} (paper: [0.000, 0.368, 0.763])", t.gain_a2);
+
+    let tasks: Vec<Vec<(ArchId, f64)>> = (0..1000)
+        .map(|i| {
+            let d1 = 1.0 + (i % 97) as f64;
+            let d2 = 1.0 + ((i * 31) % 89) as f64;
+            let mut v = vec![(ArchId(0), d1), (ArchId(1), d2)];
+            v.sort_by(|a, b| a.1.total_cmp(&b.1));
+            v
+        })
+        .collect();
+
+    c.bench_function("gain_observe_and_eval_1000_tasks", |b| {
+        b.iter(|| {
+            let mut g = GainTracker::new();
+            let mut acc = 0.0;
+            for t in &tasks {
+                g.observe(t);
+                acc += g.gain(t, ArchId(0)) + g.gain(t, ArchId(1));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! `compare` — one-shot scheduler comparison on any built-in workload,
+//! rendered as a markdown table.
+//!
+//! ```text
+//! compare <workload> [platform] [schedulers...]
+//!   workload : potrf | getrf | geqrf | fmm | sparseqr:<matrix> | hier | random
+//!   platform : intel (default) | amd | simple
+//! ```
+//!
+//! Example: `compare sparseqr:e18 intel multiprio dmdas heteroprio`
+
+use mp_apps::dense::{geqrf, getrf, potrf, DenseConfig};
+use mp_apps::fmm::{fmm, Distribution, FmmConfig};
+use mp_apps::hierarchical::{hierarchical, hierarchical_model, HierConfig};
+use mp_apps::random::{random_dag, random_model, RandomDagConfig};
+use mp_apps::sparseqr::{matrix, sparse_qr, SparseQrConfig};
+use mp_apps::{dense_model, fmm_model, sparseqr_model};
+use mp_bench::figures::fig8::SPARSE_NOISE_CV;
+use mp_bench::report::{compare, to_markdown};
+use mp_dag::TaskGraph;
+use mp_perfmodel::TableModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args.first().map(String::as_str).unwrap_or("potrf");
+    let platform = match args.get(1).map(String::as_str) {
+        Some("amd") => mp_platform::presets::amd_a100_streams(2),
+        Some("simple") => mp_platform::presets::simple(4, 1),
+        _ => mp_platform::presets::intel_v100_streams(2),
+    };
+    let mut schedulers: Vec<&str> = args.iter().skip(2).map(String::as_str).collect();
+    if schedulers.is_empty() {
+        schedulers = vec!["dmdas", "multiprio", "heteroprio", "lws", "fifo"];
+    }
+
+    let (graph, model, noise): (TaskGraph, TableModel, f64) = match workload {
+        "potrf" => (potrf(DenseConfig::new(16 * 960, 960)).graph, dense_model(), 0.0),
+        "getrf" => (getrf(DenseConfig::new(12 * 960, 960)).graph, dense_model(), 0.0),
+        "geqrf" => (geqrf(DenseConfig::new(12 * 960, 960)).graph, dense_model(), 0.0),
+        "fmm" => (
+            fmm(FmmConfig {
+                particles: 100_000,
+                tree_height: 5,
+                group_size: 32,
+                distribution: Distribution::Uniform,
+                seed: 6,
+            })
+            .graph,
+            fmm_model(),
+            0.2,
+        ),
+        "hier" => (hierarchical(HierConfig::default()).graph, hierarchical_model(), 0.0),
+        "random" => (random_dag(RandomDagConfig::default()), random_model(), 0.1),
+        w if w.starts_with("sparseqr:") => {
+            let name = &w["sparseqr:".len()..];
+            let meta = matrix(name).unwrap_or_else(|| {
+                eprintln!("unknown matrix '{name}' (see Fig. 7 presets)");
+                std::process::exit(1)
+            });
+            (sparse_qr(meta, SparseQrConfig::default()).graph, sparseqr_model(), SPARSE_NOISE_CV)
+        }
+        other => {
+            eprintln!("unknown workload '{other}'");
+            std::process::exit(1)
+        }
+    };
+
+    let rows = compare(&graph, &platform, &model, &schedulers, 7, noise);
+    let title = format!(
+        "{workload} on {} ({} tasks, noise cv {noise})",
+        platform.name,
+        graph.task_count()
+    );
+    print!("{}", to_markdown(&title, &rows));
+}

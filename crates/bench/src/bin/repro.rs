@@ -1,0 +1,150 @@
+//! Reproduction driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick|--full] [table2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [probe <matrix>]
+//! ```
+//!
+//! With no experiment names, runs everything. `--quick` (default) uses
+//! CI-scale problem sizes; `--full` approaches the paper's sizes.
+
+use mp_bench::figures::{fig3, fig4, fig5, fig6, fig7, fig8, table2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |n: &str| {
+        names.is_empty() || names.contains(&n) || (n == "probe" && names.first() == Some(&"probe"))
+    };
+
+    if names.first() == Some(&"probe") {
+        probe(names.get(1).copied().unwrap_or("TF17"));
+        return;
+    }
+
+    if want("table2") {
+        let t = table2::run();
+        println!("== Table II: gain heuristic worked example ==");
+        println!("hd(a1) = {}, hd(a2) = {} (paper: 19, 19)", t.hd.0, t.hd.1);
+        println!(
+            "gain(t,a1): {:.3} {:.3} {:.3}   (paper: 1.000 0.631 0.236)",
+            t.gain_a1[0], t.gain_a1[1], t.gain_a1[2]
+        );
+        println!(
+            "gain(t,a2): {:.3} {:.3} {:.3}   (paper: 0.000 0.368 0.763)",
+            t.gain_a2[0], t.gain_a2[1], t.gain_a2[2]
+        );
+        println!();
+    }
+    if want("fig3") {
+        let (n2, n3) = fig3::run();
+        println!("== Fig. 3: NOD criticality example ==");
+        println!("NOD(T2) = {n2} (paper: 2.5), NOD(T3) = {n3} (paper: 1)");
+        println!();
+    }
+    if want("fig4") {
+        println!("== Fig. 4: eviction-mechanism ablation (potrf 960x20, 1 GPU + 6 CPUs) ==");
+        for r in fig4::run() {
+            println!(
+                "eviction={:5}  makespan={:10.1} us  gpu_idle={:5.1}%  cpu_idle={:5.1}%",
+                r.eviction, r.makespan, r.gpu_idle_pct, r.cpu_idle_pct
+            );
+        }
+        println!("(paper: GPU idle 29% -> 1%)");
+        println!();
+    }
+    if want("fig5") {
+        println!("== Fig. 5: dense kernels, MultiPrio vs Dmdas ==");
+        let scale = if full { fig5::Scale::Full } else { fig5::Scale::Quick };
+        let rows = fig5::run(scale, &["multiprio", "dmdas"]);
+        for r in &rows {
+            println!(
+                "{:11} {:6} n={:6} tile={:5} {:10} {:8.1} GF/s",
+                r.platform, r.kernel, r.n, r.tile, r.sched, r.gflops
+            );
+        }
+        println!("-- MultiPrio gain over Dmdas --");
+        for (p, k, n, g) in fig5::gains_vs_dmdas(&rows) {
+            println!("{p:11} {k:6} n={n:6}  {g:+6.1}%");
+        }
+        println!();
+    }
+    if want("fig6") {
+        println!("== Fig. 6: TBFMM time vs GPU streams ==");
+        let scale = if full { fig6::Scale::Full } else { fig6::Scale::Quick };
+        let rows = fig6::run(scale, &["multiprio", "dmdas", "heteroprio"], &[1, 2, 3, 4]);
+        for r in &rows {
+            println!(
+                "{:11} streams={} {:10} {:8.4} s",
+                r.platform, r.streams, r.sched, r.time_s
+            );
+        }
+        println!();
+    }
+    if want("fig7") {
+        println!("== Fig. 7: sparse matrices (published | generated tree) ==");
+        for r in fig7::run(7) {
+            println!(
+                "{:14} rows={:8} cols={:7} nnz={:8} {:9.0} Gflop | fronts={:4} tree={:9.0} Gflop",
+                r.name, r.rows, r.cols, r.nnz, r.gflops, r.fronts, r.tree_gflops
+            );
+        }
+        println!();
+    }
+    if want("fig8") {
+        println!("== Fig. 8: sparse QR, ratio vs Dmdas (higher is better) ==");
+        let scale = if full { fig8::Scale::Full } else { fig8::Scale::Quick };
+        let rows = fig8::run(scale, &["multiprio", "dmdas", "heteroprio"]);
+        for r in &rows {
+            println!(
+                "{:11} {:14} {:10} {:8.3} s  ratio {:5.3}",
+                r.platform, r.matrix, r.sched, r.time_s, r.ratio_vs_dmdas
+            );
+        }
+        for (p, m) in fig8::mean_multiprio_ratio(&rows) {
+            println!("mean multiprio ratio on {p}: {m:.3} (paper: 1.31 Intel / 1.12 AMD)");
+        }
+        println!();
+    }
+}
+
+/// Deep-dive one sparse matrix: makespan, idle and transfer stats per
+/// scheduler (diagnostic aid, not a paper figure).
+fn probe(name: &str) {
+    use mp_apps::sparseqr::{matrix, sparse_qr, SparseQrConfig};
+    use mp_bench::harness::run_noisy;
+    use mp_trace::TransferKind;
+    let meta = matrix(name).unwrap_or_else(|| panic!("unknown matrix {name}"));
+    let w = sparse_qr(meta, SparseQrConfig::default());
+    let st = w.graph.stats();
+    println!(
+        "{name}: {} tasks, {} edges, {:.0} Gflop, {:.2} GB of handles",
+        st.tasks,
+        st.edges,
+        w.total_flops / 1e9,
+        st.total_bytes as f64 / 1e9
+    );
+    let model = mp_apps::sparseqr_model();
+    for (pname, platform) in [
+        ("Intel-V100", mp_platform::presets::intel_v100_streams(4)),
+        ("AMD-A100", mp_platform::presets::amd_a100_streams(4)),
+    ] {
+        for sched in ["multiprio", "dmdas", "heteroprio"] {
+            let r = run_noisy(&w.graph, &platform, &model, sched, 8, fig8::SPARSE_NOISE_CV);
+            let gpu_idle = r.arch_idle_pct(&platform, "gpu").unwrap_or(0.0);
+            let cpu_idle = r.arch_idle_pct(&platform, "cpu-core").unwrap_or(0.0);
+            println!(
+                "{pname:11} {sched:10} {:9.3} s  gpu_idle={gpu_idle:5.1}% cpu_idle={cpu_idle:5.1}% demand={:6.0}MB prefetch={:6.0}MB wb={:5.0}MB empty_pops={}",
+                r.makespan / 1e6,
+                r.transferred(TransferKind::Demand) as f64 / 1e6,
+                r.transferred(TransferKind::Prefetch) as f64 / 1e6,
+                r.transferred(TransferKind::WriteBack) as f64 / 1e6,
+                r.stats.empty_pops,
+            );
+        }
+    }
+}

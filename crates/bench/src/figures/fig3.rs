@@ -1,0 +1,36 @@
+//! Fig. 3 — the NOD criticality worked example, regenerated.
+
+use mp_dag::{AccessMode, TaskGraph, TaskId};
+use multiprio::nod;
+
+/// The two NOD values of the figure: `(NOD(T2), NOD(T3))`.
+pub fn run() -> (f64, f64) {
+    let mut g = TaskGraph::new();
+    let k = g.register_type("K", true, true);
+    let d = g.add_data(1, "d");
+    let mut mk = |name: &str| g.add_task(k, vec![(d, AccessMode::Read)], 1.0, name);
+    let t2 = mk("T2");
+    let t3 = mk("T3");
+    let t4 = mk("T4");
+    let t5 = mk("T5");
+    let t6 = mk("T6");
+    let t7 = mk("T7");
+    g.add_edge(t2, t4);
+    g.add_edge(t2, t5);
+    g.add_edge(t2, t6);
+    g.add_edge(t3, t6);
+    g.add_edge(t3, t7);
+    g.add_edge(t4, t7);
+    let _ = TaskId(0);
+    (nod(&g, t2), nod(&g, t3))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn matches_paper_values() {
+        let (n2, n3) = super::run();
+        assert_eq!(n2, 2.5, "NOD(T2)");
+        assert_eq!(n3, 1.0, "NOD(T3)");
+    }
+}

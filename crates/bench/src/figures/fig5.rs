@@ -1,0 +1,134 @@
+//! Fig. 5 — dense kernels (potrf/getrf/geqrf) on both platforms:
+//! GFlop/s per (kernel, matrix size, tile size, scheduler) and the
+//! MultiPrio gain/loss relative to Dmdas.
+//!
+//! Paper protocol: for each (tile size, scheduler) run over several
+//! matrix sizes and keep the best-performing tile per point. Tile sizes:
+//! {960, 1920, 3840} on AMD-A100, {640, 1280, 2560} on Intel-V100.
+
+use mp_apps::dense::{geqrf, getrf, potrf, DenseConfig, DenseWorkload};
+use mp_apps::dense_model;
+use mp_platform::presets::{amd_a100_streams, intel_v100_streams};
+use mp_platform::types::Platform;
+
+use crate::harness::run_once;
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Platform name.
+    pub platform: String,
+    /// Kernel (`potrf` | `getrf` | `geqrf`).
+    pub kernel: &'static str,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Tile size used (best over the sweep for this point).
+    pub tile: usize,
+    /// Scheduler name.
+    pub sched: String,
+    /// Achieved GFlop/s.
+    pub gflops: f64,
+}
+
+/// Which matrix sizes to sweep; `quick` keeps simulation sizes that run
+/// in seconds, `full` approaches the paper's (larger) range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly sizes.
+    Quick,
+    /// Paper-approaching sizes (minutes of simulation).
+    Full,
+}
+
+fn workload(kernel: &'static str, cfg: DenseConfig) -> DenseWorkload {
+    match kernel {
+        "potrf" => potrf(cfg),
+        "getrf" => getrf(cfg),
+        "geqrf" => geqrf(cfg),
+        other => panic!("unknown dense kernel {other}"),
+    }
+}
+
+/// Run the sweep for the given schedulers (paper: multiprio vs dmdas).
+pub fn run(scale: Scale, schedulers: &[&str]) -> Vec<Row> {
+    let platforms: Vec<(Platform, Vec<usize>)> = vec![
+        (intel_v100_streams(2), vec![640, 1280, 2560]),
+        (amd_a100_streams(2), vec![960, 1920, 3840]),
+    ];
+    let multipliers: Vec<usize> = match scale {
+        Scale::Quick => vec![8, 16],
+        Scale::Full => vec![8, 16, 24, 32, 40],
+    };
+    let model = dense_model();
+    let mut rows = Vec::new();
+    for (platform, tiles) in &platforms {
+        for kernel in ["potrf", "getrf", "geqrf"] {
+            for &mult in &multipliers {
+                for sched in schedulers {
+                    // Best tile for this (size multiplier, scheduler) point.
+                    let mut best: Option<Row> = None;
+                    for &tile in tiles {
+                        let n = mult * tiles[0].max(960); // common n per point
+                        if n < tile {
+                            continue;
+                        }
+                        let w = workload(kernel, DenseConfig::new(n, tile));
+                        let r = run_once(&w.graph, platform, &model, sched, 5);
+                        let gf = r.gflops(w.total_flops);
+                        if best.as_ref().is_none_or(|b| gf > b.gflops) {
+                            best = Some(Row {
+                                platform: platform.name.clone(),
+                                kernel,
+                                n,
+                                tile,
+                                sched: sched.to_string(),
+                                gflops: gf,
+                            });
+                        }
+                    }
+                    rows.push(best.expect("at least one tile fits"));
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// MultiPrio's relative gain over Dmdas for matching points, in percent.
+pub fn gains_vs_dmdas(rows: &[Row]) -> Vec<(String, &'static str, usize, f64)> {
+    let mut out = Vec::new();
+    for r in rows.iter().filter(|r| r.sched == "multiprio") {
+        if let Some(d) = rows.iter().find(|d| {
+            d.sched == "dmdas" && d.platform == r.platform && d.kernel == r.kernel && d.n == r.n
+        }) {
+            out.push((
+                r.platform.clone(),
+                r.kernel,
+                r.n,
+                (r.gflops / d.gflops - 1.0) * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_comparable_schedulers() {
+        let rows = run(Scale::Quick, &["multiprio", "dmdas"]);
+        // 2 platforms × 3 kernels × 2 sizes × 2 schedulers.
+        assert_eq!(rows.len(), 24);
+        let gains = gains_vs_dmdas(&rows);
+        assert_eq!(gains.len(), 12);
+        for (platform, kernel, n, gain) in &gains {
+            // The paper's Fig. 5 band: gains/losses within ±35%.
+            assert!(
+                (-60.0..=60.0).contains(gain),
+                "{platform}/{kernel}/{n}: multiprio vs dmdas gain {gain:.1}% out of band"
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Fig. 7 — the sparse-matrix table, re-printed from the presets together
+//! with the synthetic elimination-tree statistics our generator derives.
+
+use mp_apps::sparseqr::{elimination_tree, Front, FIG7_MATRICES};
+
+/// One row: published stats + generated-tree summary.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Matrix name.
+    pub name: &'static str,
+    /// Published rows/cols/nnz.
+    pub rows: u64,
+    /// Columns.
+    pub cols: u64,
+    /// Nonzeros.
+    pub nnz: u64,
+    /// Published op count (Gflop).
+    pub gflops: f64,
+    /// Fronts in our synthetic elimination tree.
+    pub fronts: usize,
+    /// Generated tree's total factorization Gflop (before task-level
+    /// normalization pins it to the published value).
+    pub tree_gflops: f64,
+}
+
+/// Regenerate the table.
+pub fn run(seed: u64) -> Vec<Row> {
+    FIG7_MATRICES
+        .iter()
+        .map(|m| {
+            let tree = elimination_tree(m, seed);
+            Row {
+                name: m.name,
+                rows: m.rows,
+                cols: m.cols,
+                nnz: m.nnz,
+                gflops: m.gflops,
+                fronts: tree.len(),
+                tree_gflops: tree.iter().map(Front::factor_flops).sum::<f64>() / 1e9,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ten_rows_with_sane_trees() {
+        let rows = super::run(7);
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            let ratio = r.tree_gflops / r.gflops;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{}: tree {} Gflop vs published {}",
+                r.name,
+                r.tree_gflops,
+                r.gflops
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Scheduler factory and single-run helper shared by all experiments.
+
+use mp_dag::TaskGraph;
+use mp_perfmodel::PerfModel;
+use mp_platform::types::Platform;
+use mp_sched::{
+    DequeModelScheduler, DmVariant, FifoScheduler, HeteroPrioScheduler, LwsScheduler,
+    RandomScheduler, Scheduler,
+};
+use mp_sim::{simulate, SimConfig, SimResult};
+use multiprio::{MultiPrioConfig, MultiPrioScheduler};
+
+/// Every constructible scheduler name.
+pub const SCHEDULER_NAMES: [&str; 13] = [
+    "multiprio",
+    "multiprio-noevict",
+    "multiprio-nolocality",
+    "multiprio-nocrit",
+    "multiprio-brwtotal",
+    "multiprio-energy",
+    "dmdas",
+    "dmda",
+    "dm",
+    "heteroprio",
+    "lws",
+    "fifo",
+    "prio",
+];
+
+/// Build a scheduler by name (panics on unknown names — the caller is
+/// always one of our own tables).
+pub fn make_scheduler(name: &str) -> Box<dyn Scheduler> {
+    match name {
+        "multiprio" => Box::new(MultiPrioScheduler::with_defaults()),
+        "multiprio-noevict" => Box::new(MultiPrioScheduler::new(MultiPrioConfig::without_eviction())),
+        "multiprio-nolocality" => {
+            Box::new(MultiPrioScheduler::new(MultiPrioConfig::without_locality()))
+        }
+        "multiprio-nocrit" => {
+            Box::new(MultiPrioScheduler::new(MultiPrioConfig::without_criticality()))
+        }
+        "multiprio-brwtotal" => {
+            Box::new(MultiPrioScheduler::new(MultiPrioConfig::with_total_brw()))
+        }
+        "multiprio-energy" => {
+            Box::new(MultiPrioScheduler::new(MultiPrioConfig::energy_aware()))
+        }
+        "dmdas" => Box::new(DequeModelScheduler::new(DmVariant::Dmdas)),
+        "dmda" => Box::new(DequeModelScheduler::new(DmVariant::Dmda)),
+        "dm" => Box::new(DequeModelScheduler::new(DmVariant::Dm)),
+        "heteroprio" => Box::new(HeteroPrioScheduler::new()),
+        "lws" => Box::new(LwsScheduler::new()),
+        "prio" => Box::new(mp_sched::EagerPrioScheduler::new()),
+        "fifo" => Box::new(FifoScheduler::new()),
+        "random" => Box::new(RandomScheduler::new(0xbad5eed)),
+        other => panic!("unknown scheduler '{other}'"),
+    }
+}
+
+/// Simulate `graph` on `platform` under the named scheduler, without
+/// execution-time noise (regular workloads: the history model predicts
+/// dense tile kernels almost exactly).
+pub fn run_once(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &dyn PerfModel,
+    sched: &str,
+    seed: u64,
+) -> SimResult {
+    run_noisy(graph, platform, model, sched, seed, 0.0)
+}
+
+/// Simulate with log-normal execution-time noise of coefficient of
+/// variation `cv`. Irregular workloads (FMM particle groups, sparse
+/// fronts) are mispredicted by history-based models in practice — the
+/// paper's dynamic-vs-static argument rests on it — so the Fig. 6 and
+/// Fig. 8 experiments run with a calibrated `cv` (see EXPERIMENTS.md).
+pub fn run_noisy(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &dyn PerfModel,
+    sched: &str,
+    seed: u64,
+    cv: f64,
+) -> SimResult {
+    let mut s = make_scheduler(sched);
+    simulate(graph, platform, model, s.as_mut(), SimConfig::seeded(seed).with_noise(cv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_apps::random::{random_dag, random_model, RandomDagConfig};
+    use mp_platform::presets::simple;
+
+    #[test]
+    fn factory_builds_every_name() {
+        for name in SCHEDULER_NAMES {
+            let s = make_scheduler(name);
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn factory_rejects_unknown() {
+        make_scheduler("heft-galactic");
+    }
+
+    #[test]
+    fn run_once_completes() {
+        let g = random_dag(RandomDagConfig { layers: 4, width: 6, ..Default::default() });
+        let m = random_model();
+        let p = simple(2, 1);
+        for name in ["multiprio", "dmdas", "heteroprio"] {
+            let r = run_once(&g, &p, &m, name, 1);
+            assert_eq!(r.stats.tasks, g.task_count(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Markdown comparison reports: run a set of schedulers over a workload
+//! and render makespans, relative performance, utilization and transfer
+//! volumes as one table. Used by the `compare` binary and available as a
+//! library (e.g. for CI dashboards of scheduler changes).
+
+use mp_dag::TaskGraph;
+use mp_perfmodel::PerfModel;
+use mp_platform::types::{ArchClass, Platform};
+use mp_trace::TransferKind;
+
+use crate::harness::run_noisy;
+
+/// One scheduler's measurements on one workload.
+#[derive(Clone, Debug)]
+pub struct ReportRow {
+    /// Scheduler name.
+    pub sched: String,
+    /// Makespan in µs.
+    pub makespan: f64,
+    /// Speed relative to the first (reference) scheduler (1.0 = equal,
+    /// higher = faster).
+    pub rel: f64,
+    /// Mean CPU-class idle percentage.
+    pub cpu_idle_pct: f64,
+    /// Mean GPU-class idle percentage (0 when the platform has none).
+    pub gpu_idle_pct: f64,
+    /// Total bytes moved (demand + prefetch + write-back).
+    pub bytes_moved: u64,
+}
+
+/// Run `schedulers` over the workload and collect rows; the first name is
+/// the reference for the `rel` column.
+pub fn compare(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &dyn PerfModel,
+    schedulers: &[&str],
+    seed: u64,
+    noise_cv: f64,
+) -> Vec<ReportRow> {
+    let mut rows = Vec::with_capacity(schedulers.len());
+    let mut reference = f64::NAN;
+    for (i, sched) in schedulers.iter().enumerate() {
+        let r = run_noisy(graph, platform, model, sched, seed, noise_cv);
+        if i == 0 {
+            reference = r.makespan;
+        }
+        let idle_of = |class: ArchClass| -> f64 {
+            let archs: Vec<_> =
+                platform.archs().iter().filter(|a| a.class == class).collect();
+            if archs.is_empty() {
+                return 0.0;
+            }
+            archs
+                .iter()
+                .map(|a| mp_trace::analysis::arch_idle_pct(&r.trace, platform, a.id))
+                .sum::<f64>()
+                / archs.len() as f64
+        };
+        rows.push(ReportRow {
+            sched: sched.to_string(),
+            makespan: r.makespan,
+            rel: reference / r.makespan,
+            cpu_idle_pct: idle_of(ArchClass::Cpu),
+            gpu_idle_pct: idle_of(ArchClass::Gpu),
+            bytes_moved: r.transferred(TransferKind::Demand)
+                + r.transferred(TransferKind::Prefetch)
+                + r.transferred(TransferKind::WriteBack),
+        });
+    }
+    rows
+}
+
+/// Render rows as a GitHub-flavored markdown table.
+pub fn to_markdown(title: &str, rows: &[ReportRow]) -> String {
+    let mut out = format!(
+        "### {title}\n\n| scheduler | makespan (ms) | rel. speed | cpu idle | gpu idle | moved (MB) |\n|---|---:|---:|---:|---:|---:|\n"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.2} | {:.3} | {:.1}% | {:.1}% | {:.0} |\n",
+            r.sched,
+            r.makespan / 1e3,
+            r.rel,
+            r.cpu_idle_pct,
+            r.gpu_idle_pct,
+            r.bytes_moved as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_apps::random::{random_dag, random_model, RandomDagConfig};
+    use mp_platform::presets::simple;
+
+    #[test]
+    fn rows_and_markdown() {
+        let g = random_dag(RandomDagConfig { layers: 4, width: 6, ..Default::default() });
+        let m = random_model();
+        let p = simple(2, 1);
+        let rows = compare(&g, &p, &m, &["dmdas", "multiprio", "fifo"], 1, 0.0);
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].rel - 1.0).abs() < 1e-12, "reference is 1.0");
+        for r in &rows {
+            assert!(r.makespan > 0.0);
+            assert!((0.0..=100.0).contains(&r.cpu_idle_pct));
+        }
+        let md = to_markdown("test", &rows);
+        assert!(md.starts_with("### test"));
+        assert_eq!(md.lines().count(), 3 + 3 + 1, "header + separator + 3 rows");
+        assert!(md.contains("| multiprio |"));
+    }
+
+    #[test]
+    fn cpu_only_platform_reports_zero_gpu_idle() {
+        let g = random_dag(RandomDagConfig {
+            layers: 2,
+            width: 4,
+            gpu_fraction: 0.0,
+            ..Default::default()
+        });
+        let m = random_model();
+        let p = mp_platform::presets::homogeneous(2);
+        let rows = compare(&g, &p, &m, &["fifo"], 1, 0.0);
+        assert_eq!(rows[0].gpu_idle_pct, 0.0);
+    }
+}

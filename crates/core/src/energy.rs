@@ -1,0 +1,164 @@
+//! Energy-aware scheduling extension (the paper's Sec. VII future work:
+//! "extend this to incorporate energy efficiency heuristics to take
+//! advantage of the CPUs and re-balance the workload between them and the
+//! accelerators without compromising overall performance").
+//!
+//! The extension adds one more test to the pop condition: a *non-best*
+//! worker may take a task only when the extra energy it would burn stays
+//! within a configured factor of the energy the best architecture would
+//! spend. Energy per task is `δ(t, a) × P_busy(a)` — longer execution on
+//! a low-power core can still be the greener choice, which is exactly the
+//! CPU/GPU rebalancing trade-off the paper sketches.
+
+use mp_platform::types::{ArchClass, ArchId, Platform};
+
+/// Busy-power figures per architecture class (Watts).
+///
+/// Defaults are in the right ballpark for the paper's platforms: a Xeon
+/// core at full tilt draws ~10 W of package power; a V100 under load
+/// ~250 W (shared by its streams — we charge per-worker power as
+/// device/streams when evaluating a stream worker).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyPolicy {
+    /// Busy Watts per CPU worker (one core).
+    pub cpu_worker_watts: f64,
+    /// Busy Watts per GPU *device* (divided among its stream workers).
+    pub gpu_device_watts: f64,
+    /// A non-best worker may take a task if its energy is at most this
+    /// multiple of the best architecture's energy for the same task.
+    pub max_energy_ratio: f64,
+}
+
+impl Default for EnergyPolicy {
+    fn default() -> Self {
+        Self { cpu_worker_watts: 10.0, gpu_device_watts: 250.0, max_energy_ratio: 2.0 }
+    }
+}
+
+impl EnergyPolicy {
+    /// Busy Watts charged to one worker of arch `a`.
+    pub fn worker_watts(&self, platform: &Platform, a: ArchId) -> f64 {
+        let arch = platform.arch(a);
+        match arch.class {
+            ArchClass::Cpu => self.cpu_worker_watts,
+            ArchClass::Gpu => {
+                // Streams share the device: charge a proportional slice.
+                let streams_per_device = platform
+                    .nodes_of_arch(a)
+                    .first()
+                    .map(|&m| platform.workers_on_node(m).len().max(1))
+                    .unwrap_or(1);
+                self.gpu_device_watts / streams_per_device as f64
+            }
+        }
+    }
+
+    /// Energy in µJ of running a task for `delta_us` on arch `a`.
+    pub fn task_energy(&self, platform: &Platform, a: ArchId, delta_us: f64) -> f64 {
+        delta_us * self.worker_watts(platform, a)
+    }
+
+    /// The energy test of the extended pop condition: may a worker of
+    /// arch `w_arch` (cost `delta_here`) take a task whose best arch
+    /// would need `delta_best`?
+    pub fn allows(
+        &self,
+        platform: &Platform,
+        w_arch: ArchId,
+        delta_here: f64,
+        best_arch: ArchId,
+        delta_best: f64,
+    ) -> bool {
+        let here = self.task_energy(platform, w_arch, delta_here);
+        let best = self.task_energy(platform, best_arch, delta_best);
+        here <= self.max_energy_ratio * best
+    }
+}
+
+/// Energy accounting over a finished trace: busy Joules per arch class
+/// plus idle Joules (idle power charged at a fraction of busy power).
+pub fn trace_energy_joules(
+    trace: &mp_trace::Trace,
+    platform: &Platform,
+    policy: &EnergyPolicy,
+    idle_fraction: f64,
+) -> f64 {
+    let makespan = trace.makespan();
+    let mut total_uj = 0.0;
+    for w in platform.workers() {
+        let watts = policy.worker_watts(platform, w.arch);
+        let busy = trace.busy_time(w.id);
+        let idle = (makespan - busy).max(0.0);
+        total_uj += busy * watts + idle * watts * idle_fraction;
+    }
+    total_uj / 1e6 // µs·W = µJ → J
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_platform::presets::{intel_v100_streams, simple};
+
+    #[test]
+    fn stream_workers_share_device_power() {
+        let policy = EnergyPolicy::default();
+        let p1 = intel_v100_streams(1);
+        let p4 = intel_v100_streams(4);
+        let gpu1 = p1.mem_node(mp_platform::types::MemNodeId(1)).arch;
+        let gpu4 = p4.mem_node(mp_platform::types::MemNodeId(1)).arch;
+        assert_eq!(policy.worker_watts(&p1, gpu1), 250.0);
+        assert_eq!(policy.worker_watts(&p4, gpu4), 62.5);
+    }
+
+    #[test]
+    fn cpu_can_be_the_greener_choice() {
+        // GPU 10× faster but 25× the power: CPU energy is lower.
+        let p = simple(2, 1);
+        let policy = EnergyPolicy::default();
+        let cpu = mp_platform::types::ArchId(0);
+        let gpu = p.mem_node(mp_platform::types::MemNodeId(1)).arch;
+        let e_cpu = policy.task_energy(&p, cpu, 100.0);
+        let e_gpu = policy.task_energy(&p, gpu, 10.0);
+        assert!(e_cpu < e_gpu, "{e_cpu} uJ vs {e_gpu} uJ");
+        assert!(policy.allows(&p, cpu, 100.0, gpu, 10.0));
+    }
+
+    #[test]
+    fn ratio_caps_wasteful_steals() {
+        let p = simple(2, 1);
+        let policy = EnergyPolicy {
+            cpu_worker_watts: 10.0,
+            gpu_device_watts: 20.0,
+            max_energy_ratio: 2.0,
+        };
+        let cpu = mp_platform::types::ArchId(0);
+        let gpu = p.mem_node(mp_platform::types::MemNodeId(1)).arch;
+        // CPU would take 100 µs × 10 W = 1000 µJ vs GPU 10 µs × 20 W = 200;
+        // 1000 > 2 × 200 → denied.
+        assert!(!policy.allows(&p, cpu, 100.0, gpu, 10.0));
+        // A shorter CPU run (30 µs → 300 µJ ≤ 400) is allowed.
+        assert!(policy.allows(&p, cpu, 30.0, gpu, 10.0));
+    }
+
+    #[test]
+    fn trace_energy_charges_busy_and_idle() {
+        let p = mp_platform::presets::homogeneous(2);
+        let policy = EnergyPolicy {
+            cpu_worker_watts: 10.0,
+            gpu_device_watts: 0.0,
+            max_energy_ratio: 1.0,
+        };
+        let mut tr = mp_trace::Trace::new(2);
+        tr.tasks.push(mp_trace::TaskSpan {
+            task: mp_dag::TaskId(0),
+            ttype: mp_dag::TaskTypeId(0),
+            worker: mp_platform::types::WorkerId(0),
+            ready_at: 0.0,
+            start: 0.0,
+            end: 1_000_000.0, // 1 s busy
+        });
+        // Worker 0: 1 s busy at 10 W = 10 J. Worker 1: 1 s idle at 1 W.
+        let e = trace_energy_joules(&tr, &p, &policy, 0.1);
+        assert!((e - 11.0).abs() < 1e-9, "got {e} J");
+    }
+}

@@ -1,0 +1,388 @@
+//! Binary max-heap of scored tasks with O(log n) arbitrary removal.
+//!
+//! The paper's ready-task store is "a set of priority queues implemented
+//! as binary max-heap data structures" (Sec. III-B), one per memory node,
+//! with two additional requirements over a textbook heap:
+//!
+//! * **removal of an arbitrary task** — the eviction mechanism deletes an
+//!   entry from one heap while leaving its duplicates in the others, and
+//!   duplicate entries of already-executed tasks must be scrubbed lazily;
+//! * **top-k enumeration** — the data-locality pass inspects "the first
+//!   n tasks in the heap" without disturbing it.
+//!
+//! Removal is supported by a task→slot index maintained through every
+//! sift; top-k runs the classic O(k log k) frontier walk over the
+//! implicit tree.
+
+use std::collections::HashMap;
+
+use mp_dag::ids::TaskId;
+
+/// The per-(task, memory-node) priority: the gain score, tie-broken by
+/// the criticality score (paper Sec. IV-B: "we first sort the tasks using
+/// the gain heuristic; if two tasks have equal scores, we then sort them
+/// using the criticality heuristic"). Both are normalized to [0, 1].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Score {
+    /// Gain heuristic value (Eq. 1).
+    pub gain: f64,
+    /// Criticality (normalized NOD, Eq. 2).
+    pub prio: f64,
+}
+
+impl Score {
+    /// Construct, rejecting NaNs early (they would corrupt the heap).
+    pub fn new(gain: f64, prio: f64) -> Self {
+        assert!(!gain.is_nan() && !prio.is_nan(), "scores must not be NaN");
+        Self { gain, prio }
+    }
+
+    /// Lexicographic comparison: gain first, then criticality.
+    #[inline]
+    pub fn cmp_total(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain.total_cmp(&other.gain).then(self.prio.total_cmp(&other.prio))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    score: Score,
+    task: TaskId,
+}
+
+impl Entry {
+    /// Heap order: score, with task id as the final deterministic tie-break
+    /// (earlier-submitted task wins).
+    #[inline]
+    fn beats(&self, other: &Entry) -> bool {
+        match self.score.cmp_total(&other.score) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => self.task < other.task,
+        }
+    }
+}
+
+/// Max-heap over `(Score, TaskId)` with positional tracking.
+#[derive(Clone, Debug, Default)]
+pub struct RemovableMaxHeap {
+    data: Vec<Entry>,
+    pos: HashMap<TaskId, usize>,
+}
+
+impl RemovableMaxHeap {
+    /// New empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the heap empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Does the heap contain this task?
+    pub fn contains(&self, t: TaskId) -> bool {
+        self.pos.contains_key(&t)
+    }
+
+    /// The score of a contained task.
+    pub fn score_of(&self, t: TaskId) -> Option<Score> {
+        self.pos.get(&t).map(|&i| self.data[i].score)
+    }
+
+    /// Insert a task. Panics if already present (each heap holds at most
+    /// one entry per task; duplication happens *across* heaps).
+    pub fn push(&mut self, t: TaskId, score: Score) {
+        assert!(!self.contains(t), "task {t:?} already in this heap");
+        let i = self.data.len();
+        self.data.push(Entry { score, task: t });
+        self.pos.insert(t, i);
+        self.sift_up(i);
+    }
+
+    /// The highest-scored entry, if any.
+    pub fn peek(&self) -> Option<(TaskId, Score)> {
+        self.data.first().map(|e| (e.task, e.score))
+    }
+
+    /// Remove and return the highest-scored entry.
+    pub fn pop(&mut self) -> Option<(TaskId, Score)> {
+        if self.data.is_empty() {
+            return None;
+        }
+        Some(self.remove_at(0))
+    }
+
+    /// Remove a specific task; returns its score if it was present.
+    pub fn remove(&mut self, t: TaskId) -> Option<Score> {
+        let i = *self.pos.get(&t)?;
+        Some(self.remove_at(i).1)
+    }
+
+    /// The `k` highest-scored entries in descending order, without
+    /// modifying the heap. O(k log k).
+    pub fn top_k(&self, k: usize) -> Vec<(TaskId, Score)> {
+        let mut out = Vec::with_capacity(k.min(self.data.len()));
+        if k == 0 || self.data.is_empty() {
+            return out;
+        }
+        // Frontier of candidate slots ordered by entry priority.
+        let mut frontier: Vec<usize> = vec![0];
+        while out.len() < k && !frontier.is_empty() {
+            // Extract the best candidate (frontier stays tiny: ≤ k+1).
+            let best = (0..frontier.len())
+                .max_by(|&x, &y| {
+                    let (ex, ey) = (&self.data[frontier[x]], &self.data[frontier[y]]);
+                    if ex.beats(ey) {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    }
+                })
+                .expect("frontier non-empty");
+            let slot = frontier.swap_remove(best);
+            let e = &self.data[slot];
+            out.push((e.task, e.score));
+            for child in [2 * slot + 1, 2 * slot + 2] {
+                if child < self.data.len() {
+                    frontier.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate over all entries in arbitrary (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, Score)> + '_ {
+        self.data.iter().map(|e| (e.task, e.score))
+    }
+
+    fn remove_at(&mut self, i: usize) -> (TaskId, Score) {
+        let last = self.data.len() - 1;
+        self.data.swap(i, last);
+        let removed = self.data.pop().expect("non-empty by construction");
+        self.pos.remove(&removed.task);
+        if i < self.data.len() {
+            self.pos.insert(self.data[i].task, i);
+            // The swapped-in element may need to move either way.
+            let i2 = self.sift_up(i);
+            self.sift_down(i2);
+        }
+        (removed.task, removed.score)
+    }
+
+    fn sift_up(&mut self, mut i: usize) -> usize {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i].beats(&self.data[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        i
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.data.len() && self.data[l].beats(&self.data[best]) {
+                best = l;
+            }
+            if r < self.data.len() && self.data[r].beats(&self.data[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.data.swap(a, b);
+        self.pos.insert(self.data[a].task, a);
+        self.pos.insert(self.data[b].task, b);
+    }
+
+    /// Debug validation: heap property + index consistency.
+    #[cfg(any(test, feature = "strict"))]
+    pub fn check_invariants(&self) {
+        for i in 1..self.data.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                !self.data[i].beats(&self.data[parent]),
+                "heap property violated at slot {i}"
+            );
+        }
+        assert_eq!(self.pos.len(), self.data.len());
+        for (i, e) in self.data.iter().enumerate() {
+            assert_eq!(self.pos[&e.task], i, "stale index for {:?}", e.task);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(g: f64, p: f64) -> Score {
+        Score::new(g, p)
+    }
+
+    #[test]
+    fn pop_order_is_descending() {
+        let mut h = RemovableMaxHeap::new();
+        h.push(TaskId(0), s(0.1, 0.0));
+        h.push(TaskId(1), s(0.9, 0.0));
+        h.push(TaskId(2), s(0.5, 0.0));
+        h.check_invariants();
+        assert_eq!(h.pop().unwrap().0, TaskId(1));
+        assert_eq!(h.pop().unwrap().0, TaskId(2));
+        assert_eq!(h.pop().unwrap().0, TaskId(0));
+        assert!(h.pop().is_none());
+    }
+
+    #[test]
+    fn criticality_breaks_gain_ties() {
+        let mut h = RemovableMaxHeap::new();
+        h.push(TaskId(0), s(0.5, 0.2));
+        h.push(TaskId(1), s(0.5, 0.9));
+        assert_eq!(h.peek().unwrap().0, TaskId(1));
+    }
+
+    #[test]
+    fn task_id_breaks_full_ties() {
+        let mut h = RemovableMaxHeap::new();
+        h.push(TaskId(7), s(0.5, 0.5));
+        h.push(TaskId(3), s(0.5, 0.5));
+        assert_eq!(h.pop().unwrap().0, TaskId(3), "earlier submission first");
+    }
+
+    #[test]
+    fn remove_middle_keeps_heap_valid() {
+        let mut h = RemovableMaxHeap::new();
+        for i in 0..20 {
+            h.push(TaskId(i), s(f64::from(i % 7) / 7.0, 0.0));
+        }
+        assert_eq!(h.remove(TaskId(10)), Some(s(3.0 / 7.0, 0.0)));
+        assert_eq!(h.remove(TaskId(10)), None);
+        h.check_invariants();
+        assert_eq!(h.len(), 19);
+        let mut prev = f64::INFINITY;
+        while let Some((_, sc)) = h.pop() {
+            assert!(sc.gain <= prev + 1e-15);
+            prev = sc.gain;
+        }
+    }
+
+    #[test]
+    fn top_k_matches_sorted_prefix() {
+        let mut h = RemovableMaxHeap::new();
+        let gains = [0.3, 0.9, 0.1, 0.7, 0.5, 0.8, 0.2];
+        for (i, &g) in gains.iter().enumerate() {
+            h.push(TaskId(i as u32), s(g, 0.0));
+        }
+        let top3: Vec<f64> = h.top_k(3).iter().map(|(_, sc)| sc.gain).collect();
+        assert_eq!(top3, vec![0.9, 0.8, 0.7]);
+        // k larger than the heap returns everything.
+        assert_eq!(h.top_k(100).len(), 7);
+        assert_eq!(h.len(), 7, "top_k must not consume");
+    }
+
+    #[test]
+    #[should_panic(expected = "already in this heap")]
+    fn duplicate_push_rejected() {
+        let mut h = RemovableMaxHeap::new();
+        h.push(TaskId(0), s(0.5, 0.5));
+        h.push(TaskId(0), s(0.6, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_scores_rejected() {
+        Score::new(f64::NAN, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops come out in non-increasing score order regardless of the
+        /// insertion sequence.
+        #[test]
+        fn prop_pop_sorted(gains in proptest::collection::vec(0.0f64..1.0, 1..200)) {
+            let mut h = RemovableMaxHeap::new();
+            for (i, &g) in gains.iter().enumerate() {
+                h.push(TaskId(i as u32), Score::new(g, 1.0 - g));
+            }
+            h.check_invariants();
+            let mut prev = f64::INFINITY;
+            while let Some((_, s)) = h.pop() {
+                prop_assert!(s.gain <= prev);
+                prev = s.gain;
+            }
+        }
+
+        /// Arbitrary interleavings of push/remove/pop keep the structure
+        /// consistent and never lose or duplicate tasks.
+        #[test]
+        fn prop_interleaved_ops(ops in proptest::collection::vec((0u8..3, 0u32..64, 0.0f64..1.0), 1..300)) {
+            let mut h = RemovableMaxHeap::new();
+            let mut reference = std::collections::HashSet::new();
+            for (op, id, g) in ops {
+                let t = TaskId(id);
+                match op {
+                    0 => {
+                        if !reference.contains(&t) {
+                            h.push(t, Score::new(g, 0.0));
+                            reference.insert(t);
+                        }
+                    }
+                    1 => {
+                        let was = h.remove(t).is_some();
+                        prop_assert_eq!(was, reference.remove(&t));
+                    }
+                    _ => {
+                        if let Some((t, _)) = h.pop() {
+                            prop_assert!(reference.remove(&t));
+                        } else {
+                            prop_assert!(reference.is_empty());
+                        }
+                    }
+                }
+                h.check_invariants();
+                prop_assert_eq!(h.len(), reference.len());
+            }
+        }
+
+        /// top_k agrees with a full sort for every k.
+        #[test]
+        fn prop_top_k(gains in proptest::collection::vec(0.0f64..1.0, 1..80), k in 0usize..90) {
+            let mut h = RemovableMaxHeap::new();
+            for (i, &g) in gains.iter().enumerate() {
+                h.push(TaskId(i as u32), Score::new(g, 0.0));
+            }
+            let got: Vec<TaskId> = h.top_k(k).iter().map(|&(t, _)| t).collect();
+            let mut expect: Vec<(f64, u32)> =
+                gains.iter().enumerate().map(|(i, &g)| (g, i as u32)).collect();
+            // Mirror the heap's tie-break: higher gain first, then lower id.
+            expect.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            let expect: Vec<TaskId> =
+                expect.into_iter().take(k).map(|(_, i)| TaskId(i)).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! The MultiPrio scheduler: Algorithms 1 (PUSH) and 2 (POP) of the paper.
+//!
+//! State held per memory node `m`:
+//!
+//! * a [`RemovableMaxHeap`] of ready tasks executable by `P_m`, keyed by
+//!   (gain, criticality);
+//! * `ready_tasks_count[m]` — live entries in that heap;
+//! * `best_remaining_work[m]` — the accumulated best-arch execution time
+//!   of enqueued tasks whose *fastest* architecture is `m`'s architecture
+//!   (Algorithm 1's `normalized_speedup(t,a) == 1` branch); consumed by
+//!   the pop condition.
+//!
+//! A ready task is inserted into the heap of **every** memory node whose
+//! architecture can execute it ("tasks are then duplicated in the
+//! heaps"). When a worker takes a task, duplicates in other heaps become
+//! stale and are scrubbed lazily when encountered, as described in
+//! Sec. IV-B.
+//!
+//! ### Interpretation choices (documented in DESIGN.md)
+//!
+//! * `best_remaining_work` bookkeeping: we credit `δ_best` at PUSH and
+//!   debit the same `δ_best` when the task is taken, keeping the
+//!   invariant `best_remaining_work[m] = Σ δ_best over enqueued best-arch
+//!   tasks` exact (Algorithm 2's `-= δ(t_prio, w_a)` with an ambiguous
+//!   `m` does not admit a consistent reading).
+//! * The pop condition follows the paper's *prose* — "in cases where the
+//!   best worker is sufficiently busy, we allow the task to go to a
+//!   slower worker": "how busy is a best worker" is the node backlog
+//!   divided by its worker count. Comparing the raw node total instead
+//!   (the `brw_per_worker: false` ablation) lets slow CPUs absorb large
+//!   accelerated tasks long before the accelerators are actually
+//!   saturated, which measurably collapses the sparse-QR results the
+//!   paper reports (see EXPERIMENTS.md).
+//! * Eviction never removes the *last* live replica of a task: a task
+//!   enqueued on a single memory node is skipped (left in the heap) rather
+//!   than evicted when the pop condition rejects it, otherwise it could
+//!   never execute. The paper leaves this case implicit.
+
+use std::collections::HashMap;
+
+use mp_dag::ids::TaskId;
+use mp_platform::types::{ArchId, MemNodeId, WorkerId};
+use mp_sched::api::{SchedView, Scheduler};
+
+use crate::config::MultiPrioConfig;
+use crate::criticality::{nod, NodNormalizer};
+use crate::heap::{RemovableMaxHeap, Score};
+use crate::locality::ls_sdh2;
+use crate::score::GainTracker;
+
+/// Per-enqueued-task bookkeeping.
+#[derive(Clone, Debug)]
+struct TaskInfo {
+    /// Memory nodes whose heap currently holds a live entry for the task.
+    nodes: Vec<MemNodeId>,
+    /// The task's fastest architecture.
+    best_arch: ArchId,
+    /// δ on the fastest architecture.
+    delta_best: f64,
+    /// Nodes whose `best_remaining_work` was credited at PUSH.
+    brw_nodes: Vec<MemNodeId>,
+}
+
+/// The MultiPrio scheduler (see crate docs).
+#[derive(Debug)]
+pub struct MultiPrioScheduler {
+    cfg: MultiPrioConfig,
+    heaps: Vec<RemovableMaxHeap>,
+    ready_count: Vec<usize>,
+    best_remaining_work: Vec<f64>,
+    gain: GainTracker,
+    nod_norm: NodNormalizer,
+    /// Live (pushed, not yet taken) tasks.
+    info: HashMap<TaskId, TaskInfo>,
+    /// Diagnostics: evictions performed (for the Fig. 4 analysis).
+    evictions: u64,
+    /// Diagnostics: pops rejected by the pop condition.
+    holds: u64,
+}
+
+impl MultiPrioScheduler {
+    /// Create with a config (panics on invalid hyperparameters).
+    pub fn new(cfg: MultiPrioConfig) -> Self {
+        cfg.validate().expect("invalid MultiPrio configuration");
+        Self {
+            cfg,
+            heaps: Vec::new(),
+            ready_count: Vec::new(),
+            best_remaining_work: Vec::new(),
+            gain: GainTracker::new(),
+            nod_norm: NodNormalizer::new(),
+            info: HashMap::new(),
+            evictions: 0,
+            holds: 0,
+        }
+    }
+
+    /// Paper-default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(MultiPrioConfig::default())
+    }
+
+    /// Evictions performed so far (diagnostics).
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Pop-condition rejections so far (diagnostics).
+    pub fn hold_count(&self) -> u64 {
+        self.holds
+    }
+
+    /// `ready_tasks_count[m]`.
+    pub fn ready_tasks_count(&self, m: MemNodeId) -> usize {
+        self.ready_count.get(m.index()).copied().unwrap_or(0)
+    }
+
+    /// `best_remaining_work[m]` in µs.
+    pub fn best_remaining_work(&self, m: MemNodeId) -> f64 {
+        self.best_remaining_work.get(m.index()).copied().unwrap_or(0.0)
+    }
+
+    fn ensure(&mut self, mem_nodes: usize) {
+        if self.heaps.len() < mem_nodes {
+            self.heaps.resize_with(mem_nodes, RemovableMaxHeap::new);
+            self.ready_count.resize(mem_nodes, 0);
+            self.best_remaining_work.resize(mem_nodes, 0.0);
+        }
+    }
+
+    /// Is the task still live (pushed and not taken)?
+    fn is_live(&self, t: TaskId) -> bool {
+        self.info.contains_key(&t)
+    }
+
+    /// Remove one heap entry, maintaining counters and the task's node
+    /// list. Returns true if an entry was actually removed.
+    fn remove_entry(&mut self, t: TaskId, m: MemNodeId) -> bool {
+        if self.heaps[m.index()].remove(t).is_some() {
+            self.ready_count[m.index()] -= 1;
+            if let Some(info) = self.info.get_mut(&t) {
+                info.nodes.retain(|&n| n != m);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `get_most_local_prio_task`: the most data-local live task among the
+    /// top-`n` entries of `m`'s heap whose gain is within ε of the best,
+    /// ignoring `skip`. Stale entries (already executed elsewhere) are
+    /// scrubbed on the way.
+    fn select_candidate(
+        &mut self,
+        m: MemNodeId,
+        view: &SchedView<'_>,
+        skip: &[TaskId],
+    ) -> Option<TaskId> {
+        loop {
+            let window =
+                self.heaps[m.index()].top_k(self.cfg.locality_window + skip.len());
+            if window.is_empty() {
+                return None;
+            }
+            // Scrub stale duplicates found in the window, then retry.
+            let stale: Vec<TaskId> =
+                window.iter().map(|&(t, _)| t).filter(|&t| !self.is_live(t)).collect();
+            if !stale.is_empty() {
+                for t in stale {
+                    self.remove_entry(t, m);
+                }
+                continue;
+            }
+            let live: Vec<(TaskId, Score)> =
+                window.into_iter().filter(|(t, _)| !skip.contains(t)).collect();
+            let &(first, top) = live.first()?;
+            if !self.cfg.use_locality {
+                return Some(first);
+            }
+            // Locality competition among near-top entries (Sec. V-C).
+            let mut best = first;
+            let mut best_loc = f64::NEG_INFINITY;
+            for &(t, s) in &live {
+                if top.gain - s.gain > self.cfg.epsilon {
+                    break; // window is sorted by score: all further are worse
+                }
+                let l = ls_sdh2(view.graph(), view.loc, t, m);
+                if l > best_loc {
+                    best_loc = l;
+                    best = t;
+                }
+            }
+            return Some(best);
+        }
+    }
+
+    /// The pop condition (Sec. V-D): the requesting arch is the task's
+    /// best arch, or the best arch's backlog exceeds the local estimate.
+    fn pop_condition(&self, t: TaskId, w_arch: ArchId, view: &SchedView<'_>) -> bool {
+        let info = &self.info[&t];
+        if info.best_arch == w_arch {
+            return true;
+        }
+        let delta_here = match view.est.delta(t, w_arch) {
+            Some(d) => d,
+            None => return false,
+        };
+        let brw_best = info
+            .brw_nodes
+            .iter()
+            .map(|&m| {
+                let total = self.best_remaining_work[m.index()];
+                if self.cfg.brw_per_worker {
+                    total / view.platform().workers_on_node(m).len().max(1) as f64
+                } else {
+                    total
+                }
+            })
+            .fold(0.0f64, f64::max);
+        // The best workers have enough queued work that letting this
+        // slower worker proceed shortens the makespan.
+        if brw_best <= delta_here {
+            return false;
+        }
+        // Energy extension (Sec. VII): the steal must also be affordable
+        // in Joules.
+        if let Some(policy) = &self.cfg.energy {
+            return policy.allows(
+                view.platform(),
+                w_arch,
+                delta_here,
+                info.best_arch,
+                info.delta_best,
+            );
+        }
+        true
+    }
+
+    /// Take a task for execution: drop every live entry and settle the
+    /// `best_remaining_work` credit (exactly what PUSH added).
+    fn take(&mut self, t: TaskId) {
+        let info = self.info.remove(&t).expect("taking a live task");
+        for m in info.nodes {
+            if self.heaps[m.index()].remove(t).is_some() {
+                self.ready_count[m.index()] -= 1;
+            }
+        }
+        for m in info.brw_nodes {
+            let slot = &mut self.best_remaining_work[m.index()];
+            *slot = (*slot - info.delta_best).max(0.0);
+        }
+    }
+}
+
+impl Scheduler for MultiPrioScheduler {
+    fn name(&self) -> &'static str {
+        "multiprio"
+    }
+
+    /// Algorithm 1.
+    fn push(&mut self, t: TaskId, _releaser: Option<WorkerId>, view: &SchedView<'_>) {
+        let platform = view.platform();
+        self.ensure(platform.mem_node_count());
+        let archs = view.est.archs_by_delta(t);
+        assert!(
+            !archs.is_empty(),
+            "task {t:?} has no executable architecture on this platform"
+        );
+        self.gain.observe(&archs);
+        let raw_nod =
+            if self.cfg.use_criticality { nod(view.graph(), t) } else { 0.0 };
+        let prio = self.nod_norm.normalize(raw_nod);
+        let (best_arch, delta_best) = archs[0];
+
+        let mut nodes = Vec::new();
+        let mut brw_nodes = Vec::new();
+        for mem in platform.mem_nodes() {
+            let a = mem.arch;
+            // `can_exec(t, a) and get_worker_count(a) > 0`, per node.
+            if platform.workers_on_node(mem.id).is_empty() || !view.est.can_exec(t, a) {
+                continue;
+            }
+            let gain_score = self.gain.gain(&archs, a);
+            self.heaps[mem.id.index()].push(t, Score::new(gain_score, prio));
+            self.ready_count[mem.id.index()] += 1;
+            nodes.push(mem.id);
+            if a == best_arch {
+                self.best_remaining_work[mem.id.index()] += delta_best;
+                brw_nodes.push(mem.id);
+            }
+        }
+        assert!(!nodes.is_empty(), "task {t:?} enqueued nowhere");
+        self.info.insert(t, TaskInfo { nodes, best_arch, delta_best, brw_nodes });
+    }
+
+    /// Algorithm 2.
+    fn pop(&mut self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
+        let platform = view.platform();
+        self.ensure(platform.mem_node_count());
+        let worker = platform.worker(w);
+        let (w_arch, w_m) = (worker.arch, worker.mem_node);
+        let mut skip: Vec<TaskId> = Vec::new();
+        for _ in 0..self.cfg.max_tries {
+            let t = self.select_candidate(w_m, view, &skip)?;
+            if !self.cfg.eviction || self.pop_condition(t, w_arch, view) {
+                self.take(t);
+                return Some(t);
+            }
+            self.holds += 1;
+            // Reject: evict from this queue so another node's worker picks
+            // it up — unless this heap holds the last live entry.
+            let elsewhere = self.info[&t].nodes.iter().any(|&n| n != w_m);
+            if elsewhere {
+                self.remove_entry(t, w_m);
+                self.evictions += 1;
+            } else {
+                skip.push(t);
+            }
+        }
+        None
+    }
+
+    fn pending(&self) -> usize {
+        self.info.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_sched::testutil::Fixture;
+
+    fn sched() -> MultiPrioScheduler {
+        MultiPrioScheduler::with_defaults()
+    }
+
+    #[test]
+    fn duplicates_across_heaps_and_lazy_scrub() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 64, "t");
+        let view = fx.view();
+        let (c0, _, g0) = fx.workers();
+        let mut s = sched();
+        s.push(t, None, &view);
+        assert_eq!(s.ready_tasks_count(MemNodeId(0)), 1, "entry in the CPU heap");
+        assert_eq!(s.ready_tasks_count(MemNodeId(1)), 1, "duplicate in the GPU heap");
+        // GPU (best arch) takes it; both entries disappear.
+        assert_eq!(s.pop(g0, &view), Some(t));
+        assert_eq!(s.ready_tasks_count(MemNodeId(0)), 0);
+        assert_eq!(s.ready_tasks_count(MemNodeId(1)), 0);
+        assert_eq!(s.pop(c0, &view), None);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn best_arch_worker_always_allowed() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 64, "t");
+        let view = fx.view();
+        let (_, _, g0) = fx.workers();
+        let mut s = sched();
+        s.push(t, None, &view);
+        assert_eq!(s.pop(g0, &view), Some(t));
+    }
+
+    #[test]
+    fn pop_condition_holds_back_slow_worker_when_gpu_nearly_free() {
+        let mut fx = Fixture::two_arch();
+        // One GPU-accelerated task: δ_gpu = 10, δ_cpu = 100.
+        let t = fx.add_task(fx.both, 64, "t");
+        let view = fx.view();
+        let (c0, _, g0) = fx.workers();
+        let mut s = sched();
+        s.push(t, None, &view);
+        // best_remaining_work[gpu] = 10 < δ_cpu = 100: CPU must not take it.
+        assert_eq!(s.pop(c0, &view), None, "cpu is held back");
+        assert_eq!(s.hold_count(), 1);
+        assert_eq!(s.pop(g0, &view), Some(t), "gpu still gets it");
+    }
+
+    #[test]
+    fn slow_worker_allowed_when_best_arch_is_backlogged() {
+        let mut fx = Fixture::two_arch();
+        // 30 accelerated tasks: brw_gpu = 300 µs > δ_cpu = 100 µs.
+        let tasks: Vec<_> =
+            (0..30).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let mut s = sched();
+        for &t in &tasks {
+            s.push(t, None, &view);
+        }
+        assert!(s.best_remaining_work(MemNodeId(1)) >= 300.0 - 1e-9);
+        let got = s.pop(c0, &view);
+        assert!(got.is_some(), "cpu may help when the gpu queue is long");
+    }
+
+    #[test]
+    fn eviction_disabled_lets_anyone_pop() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 64, "t");
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let mut s = MultiPrioScheduler::new(MultiPrioConfig::without_eviction());
+        s.push(t, None, &view);
+        assert_eq!(s.pop(c0, &view), Some(t), "no pop condition without eviction");
+    }
+
+    #[test]
+    fn eviction_removes_local_entry_but_keeps_duplicates() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 64, "t");
+        let view = fx.view();
+        let (c0, _, g0) = fx.workers();
+        let mut s = sched();
+        s.push(t, None, &view);
+        // CPU pop rejected -> eviction from the CPU heap.
+        assert_eq!(s.pop(c0, &view), None);
+        assert_eq!(s.eviction_count(), 1);
+        assert_eq!(s.ready_tasks_count(MemNodeId(0)), 0, "evicted from CPU heap");
+        assert_eq!(s.ready_tasks_count(MemNodeId(1)), 1, "still in GPU heap");
+        assert_eq!(s.pop(g0, &view), Some(t));
+    }
+
+    #[test]
+    fn last_replica_is_never_evicted() {
+        let mut fx = Fixture::two_arch();
+        // GPU-only task lives solely in the GPU heap; a (hypothetically
+        // rejected) GPU pop must not evict it. Here the GPU *is* the best
+        // arch so it pops fine — instead test a cpu-only task on CPU.
+        let t = fx.add_task(fx.cpu_only, 64, "t");
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let mut s = sched();
+        s.push(t, None, &view);
+        // CPU is the best (only) arch: allowed immediately.
+        assert_eq!(s.pop(c0, &view), Some(t));
+        assert_eq!(s.eviction_count(), 0);
+    }
+
+    #[test]
+    fn gpu_prefers_high_gain_task() {
+        let mut fx = Fixture::two_arch();
+        // FAST10: 10× gpu speedup; FLAT: none. GPU should take FAST10 first
+        // even though FLAT was pushed first.
+        let flat = fx.graph.register_type("FLAT", true, true);
+        fx.model = mp_perfmodel::TableModel::builder()
+            .set("BOTH", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(100.0))
+            .set("BOTH", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(10.0))
+            .set("FLAT", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(50.0))
+            .set("FLAT", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(50.0))
+            .build();
+        let t_flat = fx.add_task(flat, 64, "flat");
+        let t_fast = fx.add_task(fx.both, 64, "fast");
+        let view = fx.view();
+        let (_, _, g0) = fx.workers();
+        let mut s = sched();
+        s.push(t_flat, None, &view);
+        s.push(t_fast, None, &view);
+        assert_eq!(s.pop(g0, &view), Some(t_fast));
+    }
+
+    #[test]
+    fn locality_breaks_near_ties() {
+        let mut fx = Fixture::two_arch();
+        // Two equal-speed GPU tasks; one has its (written) data already on
+        // the GPU node.
+        let d0 = fx.graph.add_data(1 << 20, "remote");
+        let d1 = fx.graph.add_data(1 << 20, "local");
+        let t_remote = fx
+            .graph
+            .add_task(fx.gpu_only, vec![(d0, mp_dag::AccessMode::ReadWrite)], 1.0, "r");
+        let t_local = fx
+            .graph
+            .add_task(fx.gpu_only, vec![(d1, mp_dag::AccessMode::ReadWrite)], 1.0, "l");
+        fx.locator.place(d1, MemNodeId(1));
+        let view = fx.view();
+        let (_, _, g0) = fx.workers();
+        let mut s = sched();
+        s.push(t_remote, None, &view);
+        s.push(t_local, None, &view);
+        assert_eq!(s.pop(g0, &view), Some(t_local), "local data wins within ε");
+        assert_eq!(s.pop(g0, &view), Some(t_remote));
+    }
+
+    #[test]
+    fn criticality_orders_equal_gain_tasks() {
+        let mut fx = Fixture::two_arch();
+        // Same kernel => same gain; t_hub releases 3 successors, t_leaf 0.
+        let t_leaf = fx.add_task(fx.cpu_only, 64, "leaf");
+        let t_hub = fx.add_task(fx.cpu_only, 64, "hub");
+        for i in 0..3 {
+            let s = fx.add_task(fx.cpu_only, 64, &format!("s{i}"));
+            fx.graph.add_edge(t_hub, s);
+        }
+        // Disable locality so the heap order alone decides.
+        let mut s = MultiPrioScheduler::new(MultiPrioConfig::without_locality());
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        s.push(t_leaf, None, &view);
+        s.push(t_hub, None, &view);
+        assert_eq!(s.pop(c0, &view), Some(t_hub), "higher NOD first");
+        assert_eq!(s.pop(c0, &view), Some(t_leaf));
+    }
+
+    #[test]
+    fn best_remaining_work_settles_to_zero() {
+        let mut fx = Fixture::two_arch();
+        let tasks: Vec<_> =
+            (0..5).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let view = fx.view();
+        let (_, _, g0) = fx.workers();
+        let mut s = sched();
+        for &t in &tasks {
+            s.push(t, None, &view);
+        }
+        assert!((s.best_remaining_work(MemNodeId(1)) - 50.0).abs() < 1e-9);
+        for _ in 0..5 {
+            assert!(s.pop(g0, &view).is_some());
+        }
+        assert_eq!(s.best_remaining_work(MemNodeId(1)), 0.0);
+        assert_eq!(s.pending(), 0);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use mp_sched::testutil::Fixture;
+    /// All heap scores stay within [0, 1] while pushing a diverse stream.
+    #[test]
+    fn scores_stay_normalized() {
+        let mut fx = Fixture::two_arch();
+        let flat = fx.graph.register_type("FLAT2", true, true);
+        fx.model = mp_perfmodel::TableModel::builder()
+            .set("BOTH", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(100.0))
+            .set("BOTH", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(10.0))
+            .set("FLAT2", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(33.0))
+            .set("FLAT2", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(44.0))
+            .set("CPUONLY", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(50.0))
+            .build();
+        let mut s = MultiPrioScheduler::with_defaults();
+        for i in 0..30 {
+            let tt = match i % 3 {
+                0 => fx.both,
+                1 => flat,
+                _ => fx.cpu_only,
+            };
+            let t = fx.add_task(tt, 64, &format!("t{i}"));
+            // Some fan-out edges to vary the NOD values.
+            if i >= 3 {
+                fx.graph.add_edge(mp_dag::TaskId(i - 3), t);
+            }
+            let view = fx.view();
+            s.push(t, None, &view);
+        }
+        for m in [MemNodeId(0), MemNodeId(1)] {
+            for (_, sc) in s.heaps[m.index()].iter() {
+                assert!((0.0..=1.0).contains(&sc.gain), "gain {:?}", sc);
+                assert!((0.0..=1.0).contains(&sc.prio), "prio {:?}", sc);
+            }
+        }
+    }
+
+    /// A stale duplicate buried mid-heap is scrubbed when the window
+    /// reaches it, not before — and never double-counts.
+    #[test]
+    fn stale_duplicates_scrubbed_in_window() {
+        let mut fx = Fixture::two_arch();
+        let tasks: Vec<_> = (0..5).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let view = fx.view();
+        let (_, _, g0) = fx.workers();
+        let mut s = MultiPrioScheduler::with_defaults();
+        for &t in &tasks {
+            s.push(t, None, &view);
+        }
+        // GPU drains everything; each take scrubs the CPU-heap duplicate
+        // on the spot, so counters stay consistent throughout.
+        for i in 0..5 {
+            assert!(s.pop(g0, &view).is_some(), "pop {i}");
+            assert_eq!(s.pending(), 4 - i);
+        }
+        assert_eq!(s.ready_tasks_count(MemNodeId(0)), 0);
+        assert_eq!(s.ready_tasks_count(MemNodeId(1)), 0);
+    }
+
+    /// max_tries bounds the pop loop even when every candidate is
+    /// rejected and none can be evicted.
+    #[test]
+    fn max_tries_bounds_rejections() {
+        let mut fx = Fixture::two_arch();
+        // Many GPU-favored tasks; a CPU pop with a tiny backlog must give
+        // up after max_tries candidates, not loop forever.
+        let cfg = MultiPrioConfig { max_tries: 3, ..MultiPrioConfig::default() };
+        let mut s = MultiPrioScheduler::new(cfg);
+        for i in 0..6 {
+            let t = fx.add_task(fx.both, 64, &format!("t{i}"));
+            let view = fx.view();
+            s.push(t, None, &view);
+        }
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let before = s.eviction_count();
+        assert_eq!(s.pop(c0, &view), None);
+        // Each rejected candidate was evicted from the CPU heap (its GPU
+        // duplicate lives on), at most max_tries of them.
+        assert!(s.eviction_count() - before <= 3);
+        assert!(s.ready_tasks_count(MemNodeId(0)) >= 3);
+        assert_eq!(s.ready_tasks_count(MemNodeId(1)), 6);
+    }
+
+    /// The energy-aware configuration is reachable through the public
+    /// config and denies an over-budget steal end to end.
+    #[test]
+    fn energy_config_blocks_hot_steals() {
+        let mut fx = Fixture::two_arch();
+        // Big backlog so the plain condition passes; strict energy policy
+        // (GPU barely hotter than CPU) then rejects the 10x-slower steal.
+        let policy = crate::energy::EnergyPolicy {
+            cpu_worker_watts: 10.0,
+            gpu_device_watts: 12.0,
+            max_energy_ratio: 1.5,
+        };
+        let cfg = MultiPrioConfig { energy: Some(policy), ..MultiPrioConfig::default() };
+        let mut s = MultiPrioScheduler::new(cfg);
+        let tasks: Vec<_> = (0..40).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let view = fx.view();
+        for &t in &tasks {
+            s.push(t, None, &view);
+        }
+        let (c0, ..) = fx.workers();
+        // Backlog per GPU worker = 400 µs > δ_cpu = 100 µs, but energy:
+        // 100 µs × 10 W = 1000 µJ > 1.5 × (10 µs × 12 W) = 180 µJ.
+        assert_eq!(s.pop(c0, &view), None, "energy policy must deny the steal");
+    }
+}

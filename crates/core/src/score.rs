@@ -1,0 +1,216 @@
+//! The gain heuristic (paper Eq. 1) — per-(task, arch) affinity scores.
+//!
+//! For a task `t` and architecture type `a`:
+//!
+//! ```text
+//!            ⎧ 1                                        only one arch can run t
+//! gain(t,a) =⎨ (δ(t,a₂ₙd) − δ(t,a) + hd(a)) / (2·hd(a))  a is the fastest arch
+//!            ⎩ (δ(t,a₁ₛₜ) − δ(t,a) + hd(a)) / (2·hd(a))  otherwise
+//! ```
+//!
+//! where `hd(a)` is the *highest execution-time difference recorded so
+//! far* on arch `a` — a running maximum updated as tasks are pushed, which
+//! keeps all scores in [0, 1] (Sec. V-A; worked example in Table II).
+
+use mp_platform::types::ArchId;
+
+/// Tracks `hd(a)` per architecture and evaluates the gain formula.
+#[derive(Clone, Debug, Default)]
+pub struct GainTracker {
+    /// `hd(a)`, indexed by arch.
+    hd: Vec<f64>,
+}
+
+impl GainTracker {
+    /// New tracker with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current `hd(a)` (0 until a two-arch task was observed).
+    pub fn hd(&self, a: ArchId) -> f64 {
+        self.hd.get(a.index()).copied().unwrap_or(0.0)
+    }
+
+    fn hd_mut(&mut self, a: ArchId) -> &mut f64 {
+        if self.hd.len() <= a.index() {
+            self.hd.resize(a.index() + 1, 0.0);
+        }
+        &mut self.hd[a.index()]
+    }
+
+    /// Record a newly-ready task's execution-time estimates (`archs`
+    /// sorted fastest-first, as produced by
+    /// `mp_perfmodel::Estimator::archs_by_delta`). Must be called before
+    /// [`Self::gain`] for the same task so the running maxima include it.
+    pub fn observe(&mut self, archs: &[(ArchId, f64)]) {
+        if archs.len() < 2 {
+            return;
+        }
+        let d_best = archs[0].1;
+        let d_2nd = archs[1].1;
+        for (i, &(a, d)) in archs.iter().enumerate() {
+            // For the fastest arch the relevant difference is vs the
+            // second-fastest; for the rest it is vs the fastest.
+            let diff = if i == 0 { d_2nd - d } else { d_best - d };
+            let h = self.hd_mut(a);
+            *h = h.max(diff.abs());
+        }
+    }
+
+    /// Evaluate `gain(t, a)`. `archs` is the same fastest-first slice
+    /// passed to [`Self::observe`]; `a` must appear in it.
+    ///
+    /// Degenerate case: when `hd(a) == 0` every observed task so far runs
+    /// equally fast everywhere; all archs are equally good and we return
+    /// the neutral 0.5.
+    pub fn gain(&self, archs: &[(ArchId, f64)], a: ArchId) -> f64 {
+        assert!(!archs.is_empty(), "gain of a task no arch can run");
+        if archs.len() == 1 {
+            // |A| = 1 for this task: the formula's first branch.
+            return 1.0;
+        }
+        let d_a = archs
+            .iter()
+            .find(|&&(x, _)| x == a)
+            .map(|&(_, d)| d)
+            .expect("arch must be one of the task's candidates");
+        let hd = self.hd(a);
+        if hd == 0.0 {
+            return 0.5;
+        }
+        let is_fastest = archs[0].0 == a;
+        let reference = if is_fastest { archs[1].1 } else { archs[0].1 };
+        let g = ((reference - d_a) + hd) / (2.0 * hd);
+        debug_assert!((-1e-9..=1.0 + 1e-9).contains(&g), "gain {g} out of [0,1]");
+        g.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A1: ArchId = ArchId(0);
+    const A2: ArchId = ArchId(1);
+
+    /// Fastest-first candidate list for a task with the given per-arch δ.
+    fn cands(d1: f64, d2: f64) -> Vec<(ArchId, f64)> {
+        let mut v = vec![(A1, d1), (A2, d2)];
+        v.sort_by(|a, b| a.1.total_cmp(&b.1));
+        v
+    }
+
+    /// The paper's Table II, verbatim: three tasks, two arch types,
+    /// hd(a1) = hd(a2) = 19 after observing all three.
+    #[test]
+    fn table2_values() {
+        let mut g = GainTracker::new();
+        let ta = cands(1.0, 20.0); // δ(t_A, a1)=1ms, δ(t_A, a2)=20ms
+        let tb = cands(5.0, 10.0);
+        let tc = cands(20.0, 10.0);
+        g.observe(&ta);
+        g.observe(&tb);
+        g.observe(&tc);
+        assert_eq!(g.hd(A1), 19.0);
+        assert_eq!(g.hd(A2), 19.0);
+
+        let check = |x: f64, expect: f64| assert!((x - expect).abs() < 1e-3, "{x} != {expect}");
+        check(g.gain(&ta, A1), 1.0);
+        check(g.gain(&ta, A2), 0.0);
+        check(g.gain(&tb, A1), 0.631);
+        check(g.gain(&tb, A2), 0.368);
+        check(g.gain(&tc, A1), 0.236);
+        check(g.gain(&tc, A2), 0.763);
+    }
+
+    #[test]
+    fn table2_priority_order_per_heap() {
+        // Resulting per-arch orders from the paper's narrative:
+        // a1 heap: A > B > C; a2 heap: C > B > A.
+        let mut g = GainTracker::new();
+        let (ta, tb, tc) = (cands(1.0, 20.0), cands(5.0, 10.0), cands(20.0, 10.0));
+        for t in [&ta, &tb, &tc] {
+            g.observe(t);
+        }
+        assert!(g.gain(&ta, A1) > g.gain(&tb, A1));
+        assert!(g.gain(&tb, A1) > g.gain(&tc, A1));
+        assert!(g.gain(&tc, A2) > g.gain(&tb, A2));
+        assert!(g.gain(&tb, A2) > g.gain(&ta, A2));
+    }
+
+    #[test]
+    fn single_arch_task_scores_one() {
+        let g = GainTracker::new();
+        assert_eq!(g.gain(&[(A1, 42.0)], A1), 1.0);
+    }
+
+    #[test]
+    fn zero_hd_is_neutral() {
+        let mut g = GainTracker::new();
+        let t = cands(10.0, 10.0);
+        g.observe(&t);
+        assert_eq!(g.hd(A1), 0.0);
+        assert_eq!(g.gain(&t, A1), 0.5);
+        assert_eq!(g.gain(&t, A2), 0.5);
+    }
+
+    #[test]
+    fn hd_is_a_running_max() {
+        let mut g = GainTracker::new();
+        g.observe(&cands(5.0, 10.0)); // diff 5
+        assert_eq!(g.hd(A1), 5.0);
+        g.observe(&cands(1.0, 3.0)); // diff 2: max stays 5
+        assert_eq!(g.hd(A1), 5.0);
+        g.observe(&cands(100.0, 1.0)); // diff 99
+        assert_eq!(g.hd(A1), 99.0);
+        assert_eq!(g.hd(A2), 99.0);
+    }
+
+    #[test]
+    fn fastest_arch_always_at_least_half() {
+        // gain(fastest) = (δ2nd − δbest + hd)/(2hd) ≥ 0.5 since δ2nd ≥ δbest.
+        let mut g = GainTracker::new();
+        for (d1, d2) in [(1.0, 2.0), (3.0, 30.0), (7.0, 7.5)] {
+            let c = cands(d1, d2);
+            g.observe(&c);
+            let best = c[0].0;
+            assert!(g.gain(&c, best) >= 0.5);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Gains stay in [0,1] and the fastest arch never scores below the
+        /// other arch for the same task.
+        #[test]
+        fn prop_gain_bounds(times in proptest::collection::vec((0.1f64..1e4, 0.1f64..1e4), 1..100)) {
+            let mut g = GainTracker::new();
+            let all: Vec<Vec<(ArchId, f64)>> = times
+                .iter()
+                .map(|&(d1, d2)| {
+                    let mut v = vec![(ArchId(0), d1), (ArchId(1), d2)];
+                    v.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    v
+                })
+                .collect();
+            for c in &all {
+                g.observe(c);
+            }
+            for c in &all {
+                let g0 = g.gain(c, ArchId(0));
+                let g1 = g.gain(c, ArchId(1));
+                prop_assert!((0.0..=1.0).contains(&g0));
+                prop_assert!((0.0..=1.0).contains(&g1));
+                let fastest = c[0].0;
+                let (gf, gs) = if fastest == ArchId(0) { (g0, g1) } else { (g1, g0) };
+                prop_assert!(gf + 1e-12 >= gs, "fastest arch must score >= slower arch");
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Graph analyses: topological order, critical path, parallelism profile.
+//!
+//! These are offline tools used by tests, reports and lower-bound checks;
+//! the *dynamic* heuristics of the schedulers never see the full DAG.
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// A critical path: the heaviest chain of tasks under a given cost
+/// function, together with its total cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalPath {
+    /// Tasks on the path, from a source to a sink.
+    pub tasks: Vec<TaskId>,
+    /// Sum of task costs along the path.
+    pub length: f64,
+}
+
+/// Topological order of the graph (Kahn's algorithm, stable w.r.t.
+/// submission order among ready vertices). Panics on cyclic graphs —
+/// validate first with [`TaskGraph::validate_acyclic`].
+pub fn topological_order(g: &TaskGraph) -> Vec<TaskId> {
+    let n = g.task_count();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(TaskId::from_index(i)).len()).collect();
+    // A monotone queue over task ids keeps the order stable: among ready
+    // tasks the one submitted first comes first.
+    let mut order = Vec::with_capacity(n);
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>> =
+        (0..n).filter(|&i| indeg[i] == 0).map(|i| std::cmp::Reverse(TaskId::from_index(i))).collect();
+    while let Some(std::cmp::Reverse(t)) = ready.pop() {
+        order.push(t);
+        for &s in g.succs(t) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(std::cmp::Reverse(s));
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "topological_order called on a cyclic graph");
+    order
+}
+
+/// Critical path under a per-task cost function (typically the *best*
+/// execution time over all archs, yielding the infinite-resource lower
+/// bound on the makespan).
+pub fn critical_path(g: &TaskGraph, mut cost: impl FnMut(TaskId) -> f64) -> CriticalPath {
+    let order = topological_order(g);
+    let n = g.task_count();
+    if n == 0 {
+        return CriticalPath { tasks: Vec::new(), length: 0.0 };
+    }
+    // dist[t] = heaviest cost of a chain ending at (and including) t.
+    let mut dist = vec![0.0f64; n];
+    let mut best_pred: Vec<Option<TaskId>> = vec![None; n];
+    for &t in &order {
+        let c = cost(t);
+        assert!(c >= 0.0, "negative task cost for {t:?}");
+        let mut incoming = 0.0f64;
+        for &p in g.preds(t) {
+            if dist[p.index()] >= incoming {
+                incoming = dist[p.index()];
+                best_pred[t.index()] = Some(p);
+            }
+        }
+        dist[t.index()] = incoming + c;
+    }
+    let (end, &length) = dist
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("costs are finite"))
+        .expect("non-empty graph");
+    let mut tasks = vec![TaskId::from_index(end)];
+    while let Some(p) = best_pred[tasks.last().expect("path non-empty").index()] {
+        tasks.push(p);
+    }
+    tasks.reverse();
+    CriticalPath { tasks, length }
+}
+
+/// Width profile: for each depth level (longest distance from a source in
+/// *hops*), the number of tasks at that level. A proxy for available
+/// parallelism over the execution; the FMM graphs of the paper have very
+/// wide profiles, the dense factorizations diamond-shaped ones.
+pub fn width_profile(g: &TaskGraph) -> Vec<usize> {
+    let order = topological_order(g);
+    let mut level = vec![0usize; g.task_count()];
+    let mut max_level = 0;
+    for &t in &order {
+        let l = g.preds(t).iter().map(|p| level[p.index()] + 1).max().unwrap_or(0);
+        level[t.index()] = l;
+        max_level = max_level.max(l);
+    }
+    let mut widths = vec![0usize; max_level + 1];
+    for &l in &level {
+        widths[l] += 1;
+    }
+    if g.task_count() == 0 {
+        widths.clear();
+    }
+    widths
+}
+
+/// Bottom level of every task: the heaviest chain cost from the task
+/// (inclusive) to a sink. This is the classic HEFT "upward rank" without
+/// communication; exposed for tests and for the ablation schedulers.
+pub fn bottom_levels(g: &TaskGraph, mut cost: impl FnMut(TaskId) -> f64) -> Vec<f64> {
+    let order = topological_order(g);
+    let mut bl = vec![0.0f64; g.task_count()];
+    for &t in order.iter().rev() {
+        let down = g.succs(t).iter().map(|s| bl[s.index()]).fold(0.0f64, f64::max);
+        bl[t.index()] = cost(t) + down;
+    }
+    bl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMode;
+
+    /// 0 -> {1, 2} -> 3, costs 1, 2, 5, 1.
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let k = g.register_type("K", true, false);
+        let d = g.add_data(1, "d");
+        for i in 0..4 {
+            g.add_task(k, vec![(d, AccessMode::Read)], 1.0, format!("t{i}"));
+        }
+        g.add_edge(TaskId(0), TaskId(1));
+        g.add_edge(TaskId(0), TaskId(2));
+        g.add_edge(TaskId(1), TaskId(3));
+        g.add_edge(TaskId(2), TaskId(3));
+        g
+    }
+
+    fn costs(t: TaskId) -> f64 {
+        [1.0, 2.0, 5.0, 1.0][t.index()]
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = topological_order(&g);
+        let pos: Vec<usize> =
+            (0..4).map(|i| order.iter().position(|&t| t == TaskId(i as u32)).unwrap()).collect();
+        assert!(pos[0] < pos[1]);
+        assert!(pos[0] < pos[2]);
+        assert!(pos[1] < pos[3]);
+        assert!(pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn critical_path_picks_heavier_branch() {
+        let g = diamond();
+        let cp = critical_path(&g, costs);
+        assert_eq!(cp.tasks, vec![TaskId(0), TaskId(2), TaskId(3)]);
+        assert!((cp.length - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_profile_diamond() {
+        let g = diamond();
+        assert_eq!(width_profile(&g), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn bottom_levels_diamond() {
+        let g = diamond();
+        let bl = bottom_levels(&g, costs);
+        assert_eq!(bl[3], 1.0);
+        assert_eq!(bl[1], 3.0);
+        assert_eq!(bl[2], 6.0);
+        assert_eq!(bl[0], 7.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert!(topological_order(&g).is_empty());
+        assert_eq!(critical_path(&g, |_| 1.0).length, 0.0);
+        assert!(width_profile(&g).is_empty());
+    }
+
+    #[test]
+    fn chain_critical_path_is_whole_chain() {
+        let mut g = TaskGraph::new();
+        let k = g.register_type("K", true, false);
+        let d = g.add_data(1, "d");
+        let ts: Vec<TaskId> =
+            (0..5).map(|i| g.add_task(k, vec![(d, AccessMode::Read)], 1.0, format!("t{i}"))).collect();
+        for w in ts.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let cp = critical_path(&g, |_| 2.0);
+        assert_eq!(cp.tasks, ts);
+        assert!((cp.length - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,326 @@
+//! Sequential Task Flow (STF) dependency inference.
+//!
+//! In the STF model (StarPU's submission model, paper Sec. I) the
+//! application submits tasks in *sequential program order*; the runtime
+//! derives the DAG from each task's data accesses:
+//!
+//! * **RAW** — a reader depends on the last writer of the data;
+//! * **WAR** — a writer depends on every reader since the last writer;
+//! * **WAW** — a writer depends on the last writer.
+//!
+//! Because every inferred edge points from an earlier submission to a
+//! later one, the resulting graph is acyclic by construction.
+
+use std::collections::HashMap;
+
+use crate::access::AccessMode;
+use crate::graph::TaskGraph;
+use crate::ids::{DataId, TaskId, TaskTypeId};
+
+/// Per-data bookkeeping for inference.
+#[derive(Default, Clone, Debug)]
+struct DataFlow {
+    last_writer: Option<TaskId>,
+    /// Readers since the last write (cleared on each write).
+    readers_since_write: Vec<TaskId>,
+}
+
+/// Builds a [`TaskGraph`] from a sequential stream of task submissions.
+///
+/// ```
+/// use mp_dag::{AccessMode, StfBuilder};
+///
+/// let mut stf = StfBuilder::new();
+/// let k = stf.graph_mut().register_type("AXPY", true, true);
+/// let x = stf.graph_mut().add_data(1024, "x");
+/// let y = stf.graph_mut().add_data(1024, "y");
+/// let t0 = stf.submit(k, vec![(x, AccessMode::Write)], 10.0, "init x");
+/// let t1 = stf.submit(k, vec![(x, AccessMode::Read), (y, AccessMode::ReadWrite)], 10.0, "y += a x");
+/// let g = stf.finish();
+/// assert_eq!(g.preds(t1), &[t0]); // RAW on x
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct StfBuilder {
+    graph: TaskGraph,
+    flows: HashMap<DataId, DataFlow>,
+}
+
+impl StfBuilder {
+    /// Start with an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing (possibly pre-populated) graph. Inference state
+    /// starts empty: only tasks submitted through this builder get edges.
+    pub fn from_graph(graph: TaskGraph) -> Self {
+        Self { graph, flows: HashMap::new() }
+    }
+
+    /// Access the underlying graph (to register types / data).
+    pub fn graph_mut(&mut self) -> &mut TaskGraph {
+        &mut self.graph
+    }
+
+    /// Read-only access to the graph under construction.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Submit a task; dependencies on previously-submitted tasks are
+    /// inferred from `accesses` as described in the module docs.
+    pub fn submit(
+        &mut self,
+        ttype: TaskTypeId,
+        accesses: Vec<(DataId, AccessMode)>,
+        flops: f64,
+        label: impl Into<String>,
+    ) -> TaskId {
+        let t = self.graph.add_task(ttype, accesses.clone(), flops, label);
+        for (d, mode) in accesses {
+            let flow = self.flows.entry(d).or_default();
+            if mode.reads() {
+                // RAW: depend on the last producer of the value we read.
+                if let Some(w) = flow.last_writer {
+                    self.graph.add_edge(w, t);
+                }
+            }
+            if mode.writes() {
+                // WAR: wait for every reader of the previous value...
+                for &r in &flow.readers_since_write {
+                    if r != t {
+                        self.graph.add_edge(r, t);
+                    }
+                }
+                // WAW: ...and for the previous writer (needed when there
+                // were no intervening readers).
+                if let Some(w) = flow.last_writer {
+                    if w != t {
+                        self.graph.add_edge(w, t);
+                    }
+                }
+                flow.last_writer = Some(t);
+                flow.readers_since_write.clear();
+            }
+            if mode.reads() && !mode.writes() {
+                flow.readers_since_write.push(t);
+            }
+        }
+        t
+    }
+
+    /// Same as [`Self::submit`] but also sets the user priority.
+    pub fn submit_prio(
+        &mut self,
+        ttype: TaskTypeId,
+        accesses: Vec<(DataId, AccessMode)>,
+        flops: f64,
+        prio: i64,
+        label: impl Into<String>,
+    ) -> TaskId {
+        let t = self.submit(ttype, accesses, flops, label);
+        self.graph.set_user_priority(t, prio);
+        t
+    }
+
+    /// Finish and return the inferred DAG.
+    pub fn finish(self) -> TaskGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (StfBuilder, TaskTypeId, DataId, DataId) {
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("K", true, true);
+        let a = stf.graph_mut().add_data(8, "a");
+        let b = stf.graph_mut().add_data(8, "b");
+        (stf, k, a, b)
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let (mut stf, k, a, _) = setup();
+        let w = stf.submit(k, vec![(a, AccessMode::Write)], 0.0, "w");
+        let r = stf.submit(k, vec![(a, AccessMode::Read)], 0.0, "r");
+        let g = stf.finish();
+        assert_eq!(g.preds(r), &[w]);
+    }
+
+    #[test]
+    fn war_dependency() {
+        let (mut stf, k, a, _) = setup();
+        let w0 = stf.submit(k, vec![(a, AccessMode::Write)], 0.0, "w0");
+        let r = stf.submit(k, vec![(a, AccessMode::Read)], 0.0, "r");
+        let w1 = stf.submit(k, vec![(a, AccessMode::Write)], 0.0, "w1");
+        let g = stf.finish();
+        // w1 waits for the reader (WAR) and the previous writer (WAW).
+        assert!(g.preds(w1).contains(&r));
+        assert!(g.preds(w1).contains(&w0));
+    }
+
+    #[test]
+    fn waw_dependency_without_readers() {
+        let (mut stf, k, a, _) = setup();
+        let w0 = stf.submit(k, vec![(a, AccessMode::Write)], 0.0, "w0");
+        let w1 = stf.submit(k, vec![(a, AccessMode::Write)], 0.0, "w1");
+        let g = stf.finish();
+        assert_eq!(g.preds(w1), &[w0]);
+    }
+
+    #[test]
+    fn concurrent_readers_have_no_mutual_edges() {
+        let (mut stf, k, a, _) = setup();
+        let w = stf.submit(k, vec![(a, AccessMode::Write)], 0.0, "w");
+        let r0 = stf.submit(k, vec![(a, AccessMode::Read)], 0.0, "r0");
+        let r1 = stf.submit(k, vec![(a, AccessMode::Read)], 0.0, "r1");
+        let g = stf.finish();
+        assert_eq!(g.preds(r0), &[w]);
+        assert_eq!(g.preds(r1), &[w]);
+        assert!(g.succs(r0).is_empty());
+    }
+
+    #[test]
+    fn rw_chains_serialize() {
+        let (mut stf, k, a, _) = setup();
+        let t0 = stf.submit(k, vec![(a, AccessMode::ReadWrite)], 0.0, "t0");
+        let t1 = stf.submit(k, vec![(a, AccessMode::ReadWrite)], 0.0, "t1");
+        let t2 = stf.submit(k, vec![(a, AccessMode::ReadWrite)], 0.0, "t2");
+        let g = stf.finish();
+        assert_eq!(g.preds(t1), &[t0]);
+        assert_eq!(g.preds(t2), &[t1]);
+    }
+
+    #[test]
+    fn independent_data_stay_parallel() {
+        let (mut stf, k, a, b) = setup();
+        let t0 = stf.submit(k, vec![(a, AccessMode::ReadWrite)], 0.0, "t0");
+        let t1 = stf.submit(k, vec![(b, AccessMode::ReadWrite)], 0.0, "t1");
+        let g = stf.finish();
+        assert!(g.preds(t0).is_empty());
+        assert!(g.preds(t1).is_empty());
+    }
+
+    #[test]
+    fn gemm_like_pattern() {
+        // C(rw) <- A(r), B(r): two gemms on the same C serialize, on
+        // different C run in parallel.
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("GEMM", true, true);
+        let a = stf.graph_mut().add_data(8, "A");
+        let b = stf.graph_mut().add_data(8, "B");
+        let c0 = stf.graph_mut().add_data(8, "C0");
+        let c1 = stf.graph_mut().add_data(8, "C1");
+        let g0 = stf.submit(
+            k,
+            vec![(a, AccessMode::Read), (b, AccessMode::Read), (c0, AccessMode::ReadWrite)],
+            1.0,
+            "g0",
+        );
+        let g1 = stf.submit(
+            k,
+            vec![(a, AccessMode::Read), (b, AccessMode::Read), (c0, AccessMode::ReadWrite)],
+            1.0,
+            "g1",
+        );
+        let g2 = stf.submit(
+            k,
+            vec![(a, AccessMode::Read), (b, AccessMode::Read), (c1, AccessMode::ReadWrite)],
+            1.0,
+            "g2",
+        );
+        let g = stf.finish();
+        assert_eq!(g.preds(g1), &[g0]);
+        assert!(g.preds(g2).is_empty());
+        assert!(g.validate_acyclic().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random STF program: per task, a set of (data, mode) accesses.
+    fn programs() -> impl Strategy<Value = Vec<Vec<(u8, u8)>>> {
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..6, 0u8..3), 1..4),
+            1..60,
+        )
+    }
+
+    fn mode(m: u8) -> AccessMode {
+        match m {
+            0 => AccessMode::Read,
+            1 => AccessMode::Write,
+            _ => AccessMode::ReadWrite,
+        }
+    }
+
+    proptest! {
+        /// For every random program: the graph is acyclic, edges point
+        /// forward, and sequential-consistency holds — replaying tasks in
+        /// submission order, every read of a handle observes the version
+        /// produced by the writer it depends on (i.e. there is an edge
+        /// from the last writer to each subsequent reader, and writers
+        /// are totally ordered per handle).
+        #[test]
+        fn prop_stf_sequential_consistency(prog in programs()) {
+            let mut stf = StfBuilder::new();
+            let k = stf.graph_mut().register_type("K", true, true);
+            let handles: Vec<DataId> =
+                (0..6).map(|i| stf.graph_mut().add_data(8, format!("d{i}"))).collect();
+            let mut tasks = Vec::new();
+            for (i, accs) in prog.iter().enumerate() {
+                // Deduplicate data within one task (same handle twice is
+                // legal but complicates the oracle).
+                let mut acc: Vec<(DataId, AccessMode)> = Vec::new();
+                for &(d, m) in accs {
+                    let d = handles[d as usize];
+                    if acc.iter().all(|&(x, _)| x != d) {
+                        acc.push((d, mode(m)));
+                    }
+                }
+                tasks.push((stf.submit(k, acc.clone(), 1.0, format!("t{i}")), acc));
+            }
+            let g = stf.finish();
+            prop_assert!(g.validate_acyclic().is_ok());
+
+            // Oracle replay.
+            let mut last_writer: std::collections::HashMap<DataId, TaskId> = Default::default();
+            let mut writers: std::collections::HashMap<DataId, Vec<TaskId>> = Default::default();
+            for (t, acc) in &tasks {
+                for &(d, m) in acc {
+                    if m.reads() {
+                        if let Some(&w) = last_writer.get(&d) {
+                            prop_assert!(
+                                g.preds(*t).contains(&w),
+                                "{t:?} reads {d:?} but lacks RAW edge from {w:?}"
+                            );
+                        }
+                    }
+                }
+                for &(d, m) in acc {
+                    if m.writes() {
+                        writers.entry(d).or_default().push(*t);
+                        last_writer.insert(d, *t);
+                    }
+                }
+            }
+            // WAW: writers of one handle form a chain in the DAG.
+            for ws in writers.values() {
+                for pair in ws.windows(2) {
+                    prop_assert!(
+                        g.preds(pair[1]).contains(&pair[0]),
+                        "writers {:?} -> {:?} must chain",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! [`Estimator`]: a model bound to a graph and a platform.
+//!
+//! Schedulers manipulate `δ(t, a)` constantly (best arch, speedups,
+//! second-fastest arch, ...); this type centralizes those derived queries
+//! and applies the platform's per-arch speed factors.
+
+use mp_dag::graph::TaskGraph;
+use mp_dag::ids::TaskId;
+use mp_platform::types::{ArchId, Platform};
+
+use crate::model::{EstimateQuery, PerfModel};
+
+/// A read-only view combining graph, platform and model.
+#[derive(Clone, Copy)]
+pub struct Estimator<'a> {
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    model: &'a dyn PerfModel,
+}
+
+impl<'a> Estimator<'a> {
+    /// Bind the three parts together.
+    pub fn new(graph: &'a TaskGraph, platform: &'a Platform, model: &'a dyn PerfModel) -> Self {
+        Self { graph, platform, model }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'a TaskGraph {
+        self.graph
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    fn query(&self, t: TaskId, a: ArchId) -> EstimateQuery<'a> {
+        let task = self.graph.task(t);
+        EstimateQuery {
+            task,
+            ttype: self.graph.task_type(task.ttype),
+            arch: self.platform.arch(a),
+            footprint: self.graph.footprint(t),
+        }
+    }
+
+    /// `δ(t, a)` in µs on arch `a`, `None` when `a` cannot run `t`.
+    /// The arch's relative speed factor is applied here.
+    pub fn delta(&self, t: TaskId, a: ArchId) -> Option<f64> {
+        let arch = self.platform.arch(a);
+        self.model.estimate(&self.query(t, a)).map(|base| base / arch.speed)
+    }
+
+    /// Can arch `a` execute `t` at all?
+    pub fn can_exec(&self, t: TaskId, a: ArchId) -> bool {
+        self.delta(t, a).is_some()
+    }
+
+    /// Can *some* worker execute `t`? (Sanity check for generators.)
+    pub fn executable(&self, t: TaskId) -> bool {
+        self.platform
+            .archs()
+            .iter()
+            .any(|arch| self.platform.has_workers(arch.id) && self.can_exec(t, arch.id))
+    }
+
+    /// All (arch, δ) pairs able to run `t`, fastest first. Only archs with
+    /// at least one worker are considered (Algorithm 1's
+    /// `get_worker_count(a) > 0` guard). Ties break on arch id for
+    /// determinism.
+    pub fn archs_by_delta(&self, t: TaskId) -> Vec<(ArchId, f64)> {
+        let mut v: Vec<(ArchId, f64)> = self
+            .platform
+            .archs()
+            .iter()
+            .filter(|arch| self.platform.has_workers(arch.id))
+            .filter_map(|arch| self.delta(t, arch.id).map(|d| (arch.id, d)))
+            .collect();
+        v.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("finite deltas").then(x.0.cmp(&y.0)));
+        v
+    }
+
+    /// The fastest arch for `t` (the paper's `normalized_speedup(t,a)==1`
+    /// arch), if any arch can run it.
+    pub fn best_arch(&self, t: TaskId) -> Option<ArchId> {
+        self.archs_by_delta(t).first().map(|&(a, _)| a)
+    }
+
+    /// Is `a` the fastest arch for `t`?
+    pub fn is_best_arch(&self, t: TaskId, a: ArchId) -> bool {
+        self.best_arch(t) == Some(a)
+    }
+
+    /// δ on the fastest arch.
+    pub fn best_delta(&self, t: TaskId) -> Option<f64> {
+        self.archs_by_delta(t).first().map(|&(_, d)| d)
+    }
+
+    /// Speedup of running `t` on its best arch relative to arch `a`
+    /// (≥ 1): `δ(t, a) / δ(t, best)`.
+    pub fn slowdown_on(&self, t: TaskId, a: ArchId) -> Option<f64> {
+        let d = self.delta(t, a)?;
+        let best = self.best_delta(t)?;
+        Some(d / best)
+    }
+
+    /// Record a measured execution time (feeds history-based models).
+    pub fn record(&self, t: TaskId, a: ArchId, measured_us: f64) {
+        // Store reference-unit time so history stays speed-normalized.
+        let arch = self.platform.arch(a);
+        self.model.record(&self.query(t, a), measured_us * arch.speed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{TableModel, TimeFn};
+    use mp_dag::access::AccessMode;
+    use mp_platform::presets::simple;
+    use mp_platform::types::ArchClass;
+
+    fn fixture() -> (TaskGraph, TableModel) {
+        let mut g = TaskGraph::new();
+        let both = g.register_type("BOTH", true, true);
+        let cpu_only = g.register_type("CPUONLY", true, false);
+        let d = g.add_data(1024, "d");
+        g.add_task(both, vec![(d, AccessMode::ReadWrite)], 1e6, "t0");
+        g.add_task(cpu_only, vec![(d, AccessMode::Read)], 1e6, "t1");
+        let m = TableModel::builder()
+            .set("BOTH", ArchClass::Cpu, TimeFn::Const(100.0))
+            .set("BOTH", ArchClass::Gpu, TimeFn::Const(10.0))
+            .set("CPUONLY", ArchClass::Cpu, TimeFn::Const(50.0))
+            .build();
+        (g, m)
+    }
+
+    #[test]
+    fn best_arch_is_gpu_for_fast_kernel() {
+        let (g, m) = fixture();
+        let p = simple(2, 1);
+        let est = Estimator::new(&g, &p, &m);
+        let t0 = TaskId(0);
+        let gpu = p.mem_node(mp_platform::types::MemNodeId(1)).arch;
+        assert_eq!(est.best_arch(t0), Some(gpu));
+        assert_eq!(est.best_delta(t0), Some(10.0));
+        assert!((est.slowdown_on(t0, mp_platform::types::ArchId(0)).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_only_kernel_has_single_arch() {
+        let (g, m) = fixture();
+        let p = simple(2, 1);
+        let est = Estimator::new(&g, &p, &m);
+        let t1 = TaskId(1);
+        assert_eq!(est.archs_by_delta(t1).len(), 1);
+        assert!(est.is_best_arch(t1, mp_platform::types::ArchId(0)));
+        assert!(!est.can_exec(t1, mp_platform::types::ArchId(1)));
+    }
+
+    #[test]
+    fn speed_factor_scales_delta() {
+        let (g, m) = fixture();
+        // amd-like: half-speed CPUs.
+        let p = mp_platform::presets::hetero_node(
+            "half-cpu",
+            3,
+            0.5,
+            1,
+            1.0,
+            1 << 30,
+            1,
+            mp_platform::link::Link::pcie_gen3(),
+        );
+        let est = Estimator::new(&g, &p, &m);
+        // Base CPU time 100 µs, speed 0.5 => 200 µs.
+        assert_eq!(est.delta(TaskId(0), mp_platform::types::ArchId(0)), Some(200.0));
+    }
+
+    #[test]
+    fn executable_requires_workers() {
+        let (g, m) = fixture();
+        let p = mp_platform::presets::homogeneous(2);
+        let est = Estimator::new(&g, &p, &m);
+        assert!(est.executable(TaskId(0)));
+        // GPU-only task on a CPU-only platform would not be executable;
+        // both fixture tasks have CPU impls so both are executable here.
+        assert!(est.executable(TaskId(1)));
+    }
+}

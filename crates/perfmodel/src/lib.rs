@@ -1,0 +1,32 @@
+//! # mp-perfmodel — execution-time estimation `δ(t, a)`
+//!
+//! The paper's scheduler consumes *estimated execution times* of each task
+//! on each architecture type, "provided by a history-based performance
+//! model from the runtime system" (Sec. III-A, refs [21, 22]). This crate
+//! provides:
+//!
+//! * the [`PerfModel`] trait — `δ(t, a)` in µs, `None` when arch `a` has
+//!   no implementation of `t`'s kernel;
+//! * [`TableModel`] — static per-(kernel, arch-class) time functions
+//!   (constant, rate-based, affine), the calibrated model the benchmarks
+//!   use;
+//! * [`HistoryModel`] — an online model that records measured times and
+//!   falls back to a base model until enough samples exist, mirroring
+//!   StarPU's calibration behaviour;
+//! * [`Estimator`] — a convenience view binding a model to a graph and a
+//!   platform, with the derived queries every scheduler needs (best arch,
+//!   speedups, sorted estimates).
+//!
+//! Times returned by models are for a *reference* processing unit of the
+//! arch class; the platform's per-arch `speed` factor is applied by the
+//! estimator (`δ = base / speed`).
+
+pub mod estimator;
+pub mod history;
+pub mod model;
+pub mod table;
+
+pub use estimator::Estimator;
+pub use history::HistoryModel;
+pub use model::{EstimateQuery, PerfModel};
+pub use table::{TableModel, TableModelBuilder, TimeFn};

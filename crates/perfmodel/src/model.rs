@@ -1,0 +1,97 @@
+//! The performance-model trait.
+
+use mp_dag::task::{Task, TaskType};
+use mp_platform::types::Arch;
+
+/// Everything a model may look at to estimate one task on one arch.
+#[derive(Clone, Copy, Debug)]
+pub struct EstimateQuery<'a> {
+    /// The task instance (flops, accesses, user priority).
+    pub task: &'a Task,
+    /// Its kernel type (name, declared implementations).
+    pub ttype: &'a TaskType,
+    /// The target architecture type.
+    pub arch: &'a Arch,
+    /// Total bytes accessed by the task (precomputed by the caller).
+    pub footprint: u64,
+}
+
+impl EstimateQuery<'_> {
+    /// Does the kernel declare an implementation for this arch class?
+    pub fn has_impl(&self) -> bool {
+        match self.arch.class {
+            mp_platform::types::ArchClass::Cpu => self.ttype.cpu_impl,
+            mp_platform::types::ArchClass::Gpu => self.ttype.gpu_impl,
+        }
+    }
+}
+
+/// Estimates `δ(t, a)` — the execution time of task `t` on a *reference*
+/// processing unit of architecture type `a`, in microseconds.
+///
+/// Returning `None` means arch `a` cannot execute the task (no
+/// implementation); schedulers must never assign it there. Models should
+/// return `None` whenever `q.has_impl()` is false, and may return `None`
+/// for archs they have no calibration for.
+pub trait PerfModel: Send + Sync {
+    /// Estimated execution time in µs on the reference unit of the arch
+    /// class (before the per-arch speed factor).
+    fn estimate(&self, q: &EstimateQuery<'_>) -> Option<f64>;
+
+    /// Record a measured execution (history-based models learn from this;
+    /// the default ignores it).
+    fn record(&self, _q: &EstimateQuery<'_>, _measured_us: f64) {}
+}
+
+/// A trivial model for tests: every implemented kernel takes a constant
+/// time, regardless of arch.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformModel {
+    /// The constant time in µs.
+    pub time_us: f64,
+}
+
+impl PerfModel for UniformModel {
+    fn estimate(&self, q: &EstimateQuery<'_>) -> Option<f64> {
+        q.has_impl().then_some(self.time_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_dag::ids::{TaskId, TaskTypeId};
+    use mp_platform::types::{Arch, ArchClass, ArchId};
+
+    fn arch(class: ArchClass) -> Arch {
+        Arch { id: ArchId(0), class, name: "a".into(), speed: 1.0 }
+    }
+
+    fn ttype(cpu: bool, gpu: bool) -> TaskType {
+        TaskType { id: TaskTypeId(0), name: "K".into(), cpu_impl: cpu, gpu_impl: gpu }
+    }
+
+    fn task() -> Task {
+        Task {
+            id: TaskId(0),
+            ttype: TaskTypeId(0),
+            accesses: vec![],
+            user_priority: 0,
+            flops: 100.0,
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn uniform_respects_impl_mask() {
+        let t = task();
+        let tt = ttype(true, false);
+        let m = UniformModel { time_us: 5.0 };
+        let cpu = arch(ArchClass::Cpu);
+        let gpu = arch(ArchClass::Gpu);
+        let qc = EstimateQuery { task: &t, ttype: &tt, arch: &cpu, footprint: 0 };
+        let qg = EstimateQuery { task: &t, ttype: &tt, arch: &gpu, footprint: 0 };
+        assert_eq!(m.estimate(&qc), Some(5.0));
+        assert_eq!(m.estimate(&qg), None);
+    }
+}

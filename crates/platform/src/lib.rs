@@ -1,0 +1,27 @@
+//! # mp-platform — heterogeneous platform model
+//!
+//! Describes the machine a task graph executes on, following the paper's
+//! notation (Table I):
+//!
+//! * [`ArchId`] / `A` — architecture *types* (CPU, GPU, ...);
+//! * memory nodes `M` ([`MemNodeId`]) — main RAM and one embedded memory
+//!   per GPU, each tied to one architecture type, optionally with a finite
+//!   capacity (GPU memory);
+//! * workers `W` ([`WorkerId`]) — software executors tied to a processing
+//!   unit, hence to an arch and a memory node. StarPU's "one worker per
+//!   CPU core, one (or one per stream) per GPU" convention is reproduced
+//!   by the presets;
+//! * [`Link`]s — bandwidth/latency between memory nodes (PCIe-like).
+//!
+//! [`presets`] provides the two evaluation machines of the paper
+//! (Intel-V100, AMD-A100), the Fig. 4 configuration, and generic builders.
+
+pub mod link;
+pub mod presets;
+pub mod types;
+
+pub use link::Link;
+pub use presets::*;
+pub use types::{
+    Arch, ArchClass, ArchId, MemNode, MemNodeId, Platform, PlatformBuilder, Worker, WorkerId,
+};

@@ -1,0 +1,178 @@
+//! Machine presets, including the paper's two evaluation platforms.
+//!
+//! Absolute kernel rates live in `mp-perfmodel`; the presets only encode
+//! *relative* core speeds, GPU counts/capacities and link characteristics,
+//! which is all a scheduler can observe.
+//!
+//! StarPU convention reproduced here: one worker per CPU core, one worker
+//! per GPU *stream*, and one CPU core dedicated (removed) per GPU device
+//! to drive it.
+
+use crate::link::Link;
+use crate::types::{ArchClass, Platform, PlatformBuilder};
+
+/// Gigabyte, for readability.
+const GIB: u64 = 1 << 30;
+
+/// Generic CPU+GPU node.
+///
+/// * `cpu_cores` — physical cores (before removing GPU-driver cores);
+/// * `cpu_speed` — relative speed of one core (1.0 = Xeon 6142 reference);
+/// * `gpus` — number of GPU devices;
+/// * `gpu_speed` — relative speed of one GPU (1.0 = V100 reference);
+/// * `gpu_mem` — embedded memory per GPU, bytes;
+/// * `streams` — CUDA-stream workers per GPU (Fig. 6 varies this);
+/// * `link` — host↔device link.
+#[allow(clippy::too_many_arguments)]
+pub fn hetero_node(
+    name: &str,
+    cpu_cores: usize,
+    cpu_speed: f64,
+    gpus: usize,
+    gpu_speed: f64,
+    gpu_mem: u64,
+    streams: usize,
+    link: Link,
+) -> Platform {
+    assert!(streams >= 1, "at least one stream per GPU");
+    assert!(cpu_cores > gpus, "need at least one CPU worker after dedicating driver cores");
+    let mut b = PlatformBuilder::new(name);
+    let cpu = b.arch(ArchClass::Cpu, "cpu-core", cpu_speed);
+    let ram = b.mem_node(cpu, None, "ram");
+    // One CPU core per GPU device is dedicated to driving it.
+    for c in 0..cpu_cores - gpus {
+        b.worker(ram, format!("CPU {c}"));
+    }
+    if gpus > 0 {
+        // `gpu_speed` is the *device* throughput; concurrent stream
+        // workers share the device, so each stream runs at 1/streams of
+        // it (aggregate constant — extra streams help by overlapping
+        // transfers and small kernels, not by minting compute).
+        let gpu = b.arch(ArchClass::Gpu, "gpu", gpu_speed / streams as f64);
+        for g in 0..gpus {
+            let vram = b.mem_node(gpu, Some(gpu_mem), format!("gpu{g}-mem"));
+            b.bilink(ram, vram, link);
+            for s in 0..streams {
+                b.worker(vram, format!("GPU {g} stream {s}"));
+            }
+        }
+        // Device-to-device goes through the host: half bandwidth, double latency.
+        let d2d = Link::new(link.bandwidth_gbps / 2.0, link.latency_us * 2.0);
+        for i in 0..gpus {
+            for j in 0..gpus {
+                if i != j {
+                    let a = crate::types::MemNodeId::from_index(1 + i);
+                    let c = crate::types::MemNodeId::from_index(1 + j);
+                    b.link(a, c, d2d);
+                }
+            }
+        }
+    }
+    b.default_link(link);
+    b.build()
+}
+
+/// The paper's Intel-V100 platform: 2× Xeon Gold 6142 (16 cores each,
+/// 2.6 GHz), 384 GB RAM, 2× Nvidia V100 16 GB. One stream per GPU.
+pub fn intel_v100() -> Platform {
+    intel_v100_streams(1)
+}
+
+/// Intel-V100 with `streams` workers per GPU (Fig. 6 sweeps 1..=4).
+pub fn intel_v100_streams(streams: usize) -> Platform {
+    hetero_node("Intel-V100", 32, 1.0, 2, 1.0, 16 * GIB, streams, Link::pcie_gen3())
+}
+
+/// The paper's AMD-A100 platform: 2× EPYC 7513 (32 cores each, 2.6 GHz —
+/// per the paper each core is ~2× slower than the Xeon's on these
+/// kernels), 512 GB RAM, 2× Nvidia A100 40 GB (much faster than V100).
+pub fn amd_a100() -> Platform {
+    amd_a100_streams(1)
+}
+
+/// AMD-A100 with `streams` workers per GPU.
+pub fn amd_a100_streams(streams: usize) -> Platform {
+    hetero_node("AMD-A100", 64, 0.5, 2, 1.9, 40 * GIB, streams, Link::pcie_gen4())
+}
+
+/// The Fig. 4 simulation platform: 1 GPU and 6 CPU workers.
+pub fn fig4() -> Platform {
+    hetero_node("fig4-1gpu-6cpu", 7, 1.0, 1, 1.0, 16 * GIB, 1, Link::pcie_gen3())
+}
+
+/// A small CPU+GPU node for tests: `cpus` CPU workers, `gpus` GPUs with
+/// one stream each, generous GPU memory.
+pub fn simple(cpus: usize, gpus: usize) -> Platform {
+    hetero_node("simple", cpus + gpus, 1.0, gpus, 1.0, 64 * GIB, 1, Link::pcie_gen3())
+}
+
+/// A homogeneous CPU-only machine with `cpus` workers.
+pub fn homogeneous(cpus: usize) -> Platform {
+    let mut b = PlatformBuilder::new("homogeneous");
+    let cpu = b.arch(ArchClass::Cpu, "cpu-core", 1.0);
+    let ram = b.mem_node(cpu, None, "ram");
+    for c in 0..cpus {
+        b.worker(ram, format!("CPU {c}"));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ArchClass, MemNodeId};
+
+    #[test]
+    fn intel_v100_shape() {
+        let p = intel_v100();
+        // 32 cores - 2 driver cores = 30 CPU workers, + 2 GPU workers.
+        assert_eq!(p.worker_count(), 32);
+        assert_eq!(p.mem_node_count(), 3);
+        assert_eq!(p.workers_on_node(MemNodeId(0)).len(), 30);
+        assert_eq!(p.workers_on_node(MemNodeId(1)).len(), 1);
+        let gpu_arch = p.mem_node(MemNodeId(1)).arch;
+        assert_eq!(p.arch(gpu_arch).class, ArchClass::Gpu);
+        assert_eq!(p.mem_node(MemNodeId(1)).capacity, Some(16 * GIB));
+    }
+
+    #[test]
+    fn amd_a100_shape() {
+        let p = amd_a100();
+        assert_eq!(p.worker_count(), 62 + 2);
+        // CPU cores are slower, GPUs faster than the Intel machine.
+        assert!(p.arch(crate::types::ArchId(0)).speed < 1.0);
+        assert!(p.arch(p.mem_node(MemNodeId(1)).arch).speed > 1.0);
+        assert_eq!(p.mem_node(MemNodeId(2)).capacity, Some(40 * GIB));
+    }
+
+    #[test]
+    fn streams_multiply_gpu_workers() {
+        let p = intel_v100_streams(4);
+        assert_eq!(p.workers_on_node(MemNodeId(1)).len(), 4);
+        assert_eq!(p.workers_on_node(MemNodeId(2)).len(), 4);
+        assert_eq!(p.worker_count(), 30 + 8);
+    }
+
+    #[test]
+    fn fig4_shape() {
+        let p = fig4();
+        assert_eq!(p.workers_on_node(MemNodeId(0)).len(), 6);
+        assert_eq!(p.workers_on_node(MemNodeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn homogeneous_has_single_node() {
+        let p = homogeneous(8);
+        assert_eq!(p.mem_node_count(), 1);
+        assert_eq!(p.worker_count(), 8);
+        assert_eq!(p.arch_count(), 1);
+    }
+
+    #[test]
+    fn gpu_to_gpu_slower_than_host_link() {
+        let p = intel_v100();
+        let host = p.link(MemNodeId(0), MemNodeId(1));
+        let d2d = p.link(MemNodeId(1), MemNodeId(2));
+        assert!(d2d.bandwidth_gbps < host.bandwidth_gbps);
+    }
+}

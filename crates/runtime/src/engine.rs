@@ -1,0 +1,427 @@
+//! The threaded execution engine.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mp_dag::access::AccessMode;
+use mp_dag::ids::{DataId, TaskId};
+use mp_dag::stf::StfBuilder;
+use mp_dag::TaskGraph;
+use mp_perfmodel::{Estimator, PerfModel};
+use mp_platform::types::{ArchClass, MemNodeId, Platform, WorkerId};
+use mp_sched::api::{DataLocator, LoadInfo, SchedEvent, SchedView, Scheduler};
+use mp_trace::{TaskSpan, Trace};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::data::{BufRef, TaskCtx};
+
+/// A kernel implementation.
+pub type KernelFn = Arc<dyn Fn(&mut TaskCtx<'_>) + Send + Sync>;
+
+/// Fluent builder for one task submission.
+pub struct TaskBuilder {
+    ttype: String,
+    accesses: Vec<(DataId, AccessMode)>,
+    impls: HashMap<ArchClass, KernelFn>,
+    flops: f64,
+    priority: i64,
+    label: String,
+}
+
+impl TaskBuilder {
+    /// Start a task of kernel type `ttype`.
+    pub fn new(ttype: &str) -> Self {
+        Self {
+            ttype: ttype.to_string(),
+            accesses: Vec::new(),
+            impls: HashMap::new(),
+            flops: 0.0,
+            priority: 0,
+            label: String::new(),
+        }
+    }
+
+    /// Declare a data access.
+    pub fn access(mut self, d: DataId, mode: AccessMode) -> Self {
+        self.accesses.push((d, mode));
+        self
+    }
+
+    /// Provide the CPU-class implementation.
+    pub fn cpu(mut self, f: impl Fn(&mut TaskCtx<'_>) + Send + Sync + 'static) -> Self {
+        self.impls.insert(ArchClass::Cpu, Arc::new(f));
+        self
+    }
+
+    /// Provide the GPU-class implementation (on a CPU-only host this runs
+    /// on the "GPU" worker threads — see crate docs).
+    pub fn gpu(mut self, f: impl Fn(&mut TaskCtx<'_>) + Send + Sync + 'static) -> Self {
+        self.impls.insert(ArchClass::Gpu, Arc::new(f));
+        self
+    }
+
+    /// Work estimate in flops (feeds rate-based models).
+    pub fn flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Expert priority (read by Dmdas).
+    pub fn priority(mut self, p: i64) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Trace label.
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.label = l.into();
+        self
+    }
+}
+
+/// Unified-memory locality: every handle is resident everywhere.
+struct UnifiedMemory;
+
+impl DataLocator for UnifiedMemory {
+    fn is_on(&self, _d: DataId, _m: MemNodeId) -> bool {
+        true
+    }
+
+    fn holders(&self, _d: DataId) -> Vec<MemNodeId> {
+        vec![MemNodeId(0)]
+    }
+}
+
+/// Lock-free busy-until table (µs since run start, f64 bits).
+struct AtomicLoads(Vec<AtomicU64>);
+
+impl AtomicLoads {
+    fn new(n: usize) -> Self {
+        Self((0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect())
+    }
+
+    fn set(&self, w: WorkerId, v: f64) {
+        self.0[w.index()].store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl LoadInfo for AtomicLoads {
+    fn busy_until(&self, w: WorkerId) -> f64 {
+        f64::from_bits(self.0[w.index()].load(Ordering::Relaxed))
+    }
+}
+
+/// Result of a run: wall-clock makespan and trace.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Wall-clock makespan in µs.
+    pub makespan_us: f64,
+    /// Wall-clock execution trace.
+    pub trace: Trace,
+    /// Name of the scheduler used.
+    pub scheduler: String,
+}
+
+/// The runtime: buffers + submitted tasks, executed by [`Runtime::run`].
+pub struct Runtime {
+    platform: Platform,
+    model: Arc<dyn PerfModel>,
+    stf: StfBuilder,
+    buffers: Vec<RwLock<Vec<f64>>>,
+    impls: Vec<HashMap<ArchClass, KernelFn>>,
+}
+
+impl Runtime {
+    /// New runtime on `platform` with performance model `model` (wrap a
+    /// `HistoryModel` to get online calibration from measured times).
+    pub fn new(platform: Platform, model: Arc<dyn PerfModel>) -> Self {
+        Self { platform, model, stf: StfBuilder::new(), buffers: Vec::new(), impls: Vec::new() }
+    }
+
+    /// Register a buffer; returns its handle.
+    pub fn register(&mut self, data: Vec<f64>, label: &str) -> DataId {
+        let bytes = (data.len() * 8) as u64;
+        let id = self.stf.graph_mut().add_data(bytes, label);
+        self.buffers.push(RwLock::new(data));
+        debug_assert_eq!(id.index() + 1, self.buffers.len());
+        id
+    }
+
+    /// Submit a task; dependencies on earlier submissions are inferred
+    /// from the declared accesses (STF).
+    pub fn submit(&mut self, tb: TaskBuilder) -> TaskId {
+        assert!(!tb.impls.is_empty(), "task '{}' has no implementation", tb.ttype);
+        let ttype = self.stf.graph_mut().register_type(
+            &tb.ttype,
+            tb.impls.contains_key(&ArchClass::Cpu),
+            tb.impls.contains_key(&ArchClass::Gpu),
+        );
+        let label = if tb.label.is_empty() { tb.ttype.clone() } else { tb.label.clone() };
+        let t = self.stf.submit_prio(ttype, tb.accesses, tb.flops, tb.priority, label);
+        self.impls.push(tb.impls);
+        debug_assert_eq!(t.index() + 1, self.impls.len());
+        t
+    }
+
+    /// Take back a buffer's contents after a run.
+    pub fn buffer(&self, d: DataId) -> Vec<f64> {
+        self.buffers[d.index()].read().clone()
+    }
+
+    /// The graph built so far (for analysis/tests).
+    pub fn graph(&self) -> &TaskGraph {
+        self.stf.graph()
+    }
+
+    /// Execute every submitted task under `scheduler`. Blocks until the
+    /// whole DAG completes; buffers can be read back afterwards with
+    /// [`Self::buffer`].
+    pub fn run(&mut self, scheduler: Box<dyn Scheduler>) -> RunReport {
+        let graph = self.stf.graph().clone();
+        let n = graph.task_count();
+        let nw = self.platform.worker_count();
+        let platform = &self.platform;
+        let model: &dyn PerfModel = &*self.model;
+        let buffers = &self.buffers;
+        let impls = &self.impls;
+        let sched_name = scheduler.name().to_string();
+
+        let loads = AtomicLoads::new(nw);
+        let unified = UnifiedMemory;
+        let start = Instant::now();
+        let now_us = || start.elapsed().as_secs_f64() * 1e6;
+
+        // Scheduler + wake epoch behind one mutex; condvar for idling.
+        struct Shared {
+            scheduler: Box<dyn Scheduler>,
+        }
+        let shared = Mutex::new(Shared { scheduler });
+        let wake = Condvar::new();
+        let completed = AtomicUsize::new(0);
+        let indeg: Vec<AtomicUsize> = (0..n)
+            .map(|i| AtomicUsize::new(graph.preds(TaskId::from_index(i)).len()))
+            .collect();
+        let ready_at: Vec<AtomicU64> =
+            (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+        let spans = Mutex::new(Vec::<TaskSpan>::new());
+
+        let make_view = |now: f64| SchedView {
+            est: Estimator::new(&graph, platform, model),
+            loc: &unified,
+            load: &loads,
+            now,
+        };
+
+        // Seed initial ready tasks.
+        {
+            let mut s = shared.lock();
+            for i in 0..n {
+                if indeg[i].load(Ordering::Relaxed) == 0 {
+                    let view = make_view(0.0);
+                    s.scheduler.push(TaskId::from_index(i), None, &view);
+                }
+            }
+            let _ = s.scheduler.drain_prefetches(); // unified memory: no-op
+        }
+
+        crossbeam::thread::scope(|scope| {
+            for wi in 0..nw {
+                let w = WorkerId::from_index(wi);
+                let shared = &shared;
+                let wake = &wake;
+                let completed = &completed;
+                let indeg = &indeg;
+                let ready_at = &ready_at;
+                let spans = &spans;
+                let loads = &loads;
+                let graph = &graph;
+                let make_view = &make_view;
+                scope.spawn(move |_| {
+                    let arch = platform.worker(w).arch;
+                    let class = platform.arch(arch).class;
+                    loop {
+                        if completed.load(Ordering::Acquire) >= n {
+                            wake.notify_all();
+                            return;
+                        }
+                        // Try to pop under the lock.
+                        let popped = {
+                            let mut s = shared.lock();
+                            let now = now_us();
+                            let view = make_view(now);
+                            match s.scheduler.pop(w, &view) {
+                                Some(t) => Some(t),
+                                None => {
+                                    // Nothing for us now: park until a
+                                    // push/completion happens (bounded so
+                                    // MultiPrio hold-backs re-poll).
+                                    wake.wait_for(&mut s, std::time::Duration::from_millis(1));
+                                    None
+                                }
+                            }
+                        };
+                        let Some(t) = popped else { continue };
+
+                        // Estimate for the load table, then execute.
+                        let est = Estimator::new(graph, platform, model);
+                        let delta_est = est.delta(t, arch).unwrap_or(0.0);
+                        let t_start = now_us();
+                        loads.set(w, t_start + delta_est);
+                        {
+                            let mut s = shared.lock();
+                            let view = make_view(t_start);
+                            s.scheduler.feedback(&SchedEvent::TaskStarted { t, w }, &view);
+                        }
+                        // Lock buffers in access order (deps guarantee
+                        // no cycles among concurrent tasks).
+                        let task = graph.task(t);
+                        let (bufs, modes): (Vec<BufRef<'_>>, Vec<AccessMode>) = task
+                            .accesses
+                            .iter()
+                            .map(|a| {
+                                let b = &buffers[a.data.index()];
+                                let g = if a.mode.writes() {
+                                    BufRef::W(b.write())
+                                } else {
+                                    BufRef::R(b.read())
+                                };
+                                (g, a.mode)
+                            })
+                            .unzip();
+                        let mut ctx = TaskCtx::new(bufs, modes);
+                        let kernel = impls[t.index()]
+                            .get(&class)
+                            .unwrap_or_else(|| {
+                                panic!("scheduler sent {t:?} to a {class:?} worker without impl")
+                            })
+                            .clone();
+                        kernel(&mut ctx);
+                        drop(ctx);
+                        let t_end = now_us();
+                        loads.set(w, t_end);
+                        est.record(t, arch, t_end - t_start);
+                        spans.lock().push(TaskSpan {
+                            task: t,
+                            ttype: task.ttype,
+                            worker: w,
+                            ready_at: f64::from_bits(
+                                ready_at[t.index()].load(Ordering::Relaxed),
+                            ),
+                            start: t_start,
+                            end: t_end,
+                        });
+
+                        // Release successors and report completion.
+                        {
+                            let mut s = shared.lock();
+                            let view = make_view(t_end);
+                            s.scheduler.feedback(
+                                &SchedEvent::TaskFinished { t, w, elapsed_us: t_end - t_start },
+                                &view,
+                            );
+                            for &succ in graph.succs(t) {
+                                if indeg[succ.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    ready_at[succ.index()]
+                                        .store(t_end.to_bits(), Ordering::Relaxed);
+                                    let view = make_view(t_end);
+                                    s.scheduler.push(succ, Some(w), &view);
+                                }
+                            }
+                            let _ = s.scheduler.drain_prefetches();
+                        }
+                        completed.fetch_add(1, Ordering::AcqRel);
+                        wake.notify_all();
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        let makespan_us = now_us();
+        let mut trace = Trace::new(nw);
+        trace.tasks = spans.into_inner();
+        trace.tasks.sort_by(|a, b| a.end.total_cmp(&b.end));
+        RunReport { makespan_us, trace, scheduler: sched_name }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_perfmodel::{TableModel, TimeFn};
+    use mp_platform::presets::homogeneous;
+    use mp_sched::FifoScheduler;
+
+    fn model() -> Arc<dyn PerfModel> {
+        Arc::new(
+            TableModel::builder()
+                .set("AXPY", ArchClass::Cpu, TimeFn::Const(10.0))
+                .set("SUM", ArchClass::Cpu, TimeFn::Const(10.0))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn runs_a_chain_with_correct_results() {
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let x = rt.register(vec![1.0; 100], "x");
+        // x *= 3, twice => x == 9 elementwise.
+        for _ in 0..2 {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(x, AccessMode::ReadWrite)
+                    .cpu(|ctx| {
+                        for v in ctx.w(0) {
+                            *v *= 3.0;
+                        }
+                    })
+                    .flops(100.0),
+            );
+        }
+        let report = rt.run(Box::new(FifoScheduler::new()));
+        assert_eq!(report.trace.tasks.len(), 2);
+        assert!(report.trace.validate().is_ok());
+        assert!(rt.buffer(x).iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    fn parallel_fan_out_and_reduce() {
+        let mut rt = Runtime::new(homogeneous(4), model());
+        let parts: Vec<DataId> =
+            (0..8).map(|i| rt.register(vec![0.0], &format!("p{i}"))).collect();
+        let total = rt.register(vec![0.0], "total");
+        for (i, &p) in parts.iter().enumerate() {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(p, AccessMode::Write)
+                    .cpu(move |ctx| ctx.w(0)[0] = (i + 1) as f64)
+                    .flops(1.0),
+            );
+        }
+        // Reduction reads all parts.
+        let mut tb = TaskBuilder::new("SUM").access(total, AccessMode::Write);
+        for &p in &parts {
+            tb = tb.access(p, AccessMode::Read);
+        }
+        rt.submit(
+            tb.cpu(|ctx| {
+                let mut s = 0.0;
+                for i in 1..ctx.len() {
+                    s += ctx.r(i)[0];
+                }
+                ctx.w(0)[0] = s;
+            })
+            .flops(8.0),
+        );
+        assert_eq!(rt.graph().task_count(), 9);
+        let report = rt.run(Box::new(FifoScheduler::new()));
+        assert_eq!(report.trace.tasks.len(), 9);
+        assert!(report.trace.validate().is_ok());
+        // The reduction must have executed last and computed 1+2+...+8.
+        let last = report.trace.tasks.last().unwrap();
+        assert_eq!(last.ttype.index(), 1, "SUM finishes last");
+        assert_eq!(rt.buffer(total)[0], 36.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # mp-runtime — a real multithreaded task runtime
+//!
+//! Where `mp-sim` replays schedules in virtual time, this crate actually
+//! *executes* tasks on worker threads, driving the very same
+//! [`mp_sched::Scheduler`] implementations. It provides:
+//!
+//! * an STF submission front-end (register `Vec<f64>` buffers, submit
+//!   tasks with access modes — dependencies are inferred);
+//! * per-architecture-class kernel implementations as Rust closures (the
+//!   "CPU codelet" / "GPU codelet" pair of a StarPU task);
+//! * worker threads bound to the platform's workers, parked on a condvar
+//!   and woken on every PUSH;
+//! * measured execution times fed back into the performance model
+//!   (closing StarPU's calibration loop for history-based models);
+//! * a wall-clock `mp-trace` trace.
+//!
+//! **Heterogeneity emulation** (documented substitution, DESIGN.md): on a
+//! CPU-only host, "GPU" workers are ordinary threads that run the task's
+//! GPU-class closure — typically an optimized kernel variant — while CPU
+//! workers run the plain one. Memory is unified: the data-locality
+//! machinery reports every handle resident everywhere, and no transfers
+//! are performed. Compute heterogeneity (different measured δ per class,
+//! the thing the schedulers actually decide on) is therefore real and
+//! measured; transfer heterogeneity is exercised by the simulator only.
+
+pub mod data;
+pub mod engine;
+
+pub use data::{BufRef, TaskCtx};
+pub use engine::{Runtime, RunReport, TaskBuilder};

@@ -1,0 +1,196 @@
+//! The scheduler trait and the view of runtime state exposed to it.
+
+use mp_dag::graph::TaskGraph;
+use mp_dag::ids::{DataId, TaskId};
+use mp_perfmodel::Estimator;
+use mp_platform::types::{MemNodeId, Platform, WorkerId};
+
+/// Where do valid replicas of each data handle currently live?
+///
+/// Implemented by the engines; queried by data-aware schedulers (Dmda's
+/// transfer estimates, MultiPrio's LS_SDH² locality score).
+pub trait DataLocator {
+    /// Is a valid replica of `d` present on node `m`?
+    fn is_on(&self, d: DataId, m: MemNodeId) -> bool;
+
+    /// All nodes holding a valid replica (at least the home node before
+    /// first write). Order is unspecified.
+    fn holders(&self, d: DataId) -> Vec<MemNodeId>;
+}
+
+/// Engine-side load information.
+pub trait LoadInfo {
+    /// Estimated time (µs, engine clock) at which worker `w` finishes the
+    /// task it is currently running; `now` or earlier when idle. Does not
+    /// include tasks queued inside the scheduler.
+    fn busy_until(&self, w: WorkerId) -> f64;
+}
+
+/// A read-only snapshot handed to every scheduler call.
+pub struct SchedView<'a> {
+    /// Graph + platform + perf model, with derived δ queries.
+    pub est: Estimator<'a>,
+    /// Data replica locations.
+    pub loc: &'a dyn DataLocator,
+    /// Worker load.
+    pub load: &'a dyn LoadInfo,
+    /// Current engine time in µs.
+    pub now: f64,
+}
+
+impl<'a> SchedView<'a> {
+    /// The task graph.
+    pub fn graph(&self) -> &'a TaskGraph {
+        self.est.graph()
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.est.platform()
+    }
+
+    /// Can worker `w` execute task `t`?
+    pub fn worker_can_exec(&self, t: TaskId, w: WorkerId) -> bool {
+        self.est.can_exec(t, self.platform().worker(w).arch)
+    }
+
+    /// δ(t, arch of w), `None` when the worker cannot run the task.
+    pub fn delta_on_worker(&self, t: TaskId, w: WorkerId) -> Option<f64> {
+        self.est.delta(t, self.platform().worker(w).arch)
+    }
+
+    /// Bytes of `t`'s data already valid on node `m` (any access mode).
+    pub fn local_bytes(&self, t: TaskId, m: MemNodeId) -> u64 {
+        let g = self.graph();
+        g.task(t)
+            .accesses
+            .iter()
+            .filter(|a| self.loc.is_on(a.data, m))
+            .map(|a| g.data_desc(a.data).size)
+            .sum()
+    }
+
+    /// Estimated time to fetch all of `t`'s *read* data missing on `m`,
+    /// using the fastest valid holder for each handle.
+    pub fn fetch_time(&self, t: TaskId, m: MemNodeId) -> f64 {
+        let g = self.graph();
+        let p = self.platform();
+        let mut total = 0.0;
+        for d in g.task(t).reads() {
+            if self.loc.is_on(d, m) {
+                continue;
+            }
+            let size = g.data_desc(d).size;
+            let best = self
+                .loc
+                .holders(d)
+                .iter()
+                .map(|&h| p.transfer_time(size, h, m))
+                .fold(f64::INFINITY, f64::min);
+            if best.is_finite() {
+                total += best;
+            }
+        }
+        total
+    }
+}
+
+/// Feedback events delivered to the scheduler by the engine.
+#[derive(Clone, Copy, Debug)]
+pub enum SchedEvent {
+    /// A popped task started executing (transfers done).
+    TaskStarted {
+        /// The task.
+        t: TaskId,
+        /// The executing worker.
+        w: WorkerId,
+    },
+    /// A task finished; `elapsed_us` is the measured execution time.
+    TaskFinished {
+        /// The task.
+        t: TaskId,
+        /// The executing worker.
+        w: WorkerId,
+        /// Measured execution time in µs.
+        elapsed_us: f64,
+    },
+}
+
+/// A scheduler-initiated data movement request (Dmda-family prefetching).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefetchReq {
+    /// The handle to replicate.
+    pub data: DataId,
+    /// The destination memory node.
+    pub node: MemNodeId,
+}
+
+/// A dynamic scheduler, driven at StarPU's PUSH / POP points.
+///
+/// Engines guarantee:
+/// * `push` is called exactly once per task, when it becomes ready;
+/// * `pop(w)` is only called when `w` is idle;
+/// * a task returned by `pop` is executed — there is no cancellation;
+/// * `pop` must only return tasks the requesting worker can execute.
+///
+/// `pop` returning `None` does **not** imply the scheduler is empty: a
+/// scheduler may hold back a task from an ill-suited worker (MultiPrio's
+/// `pop_condition`). Engines must re-poll on the next state change.
+pub trait Scheduler: Send {
+    /// Short stable identifier (`"dmdas"`, `"multiprio"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// A task became ready. `releaser` is the worker whose task completion
+    /// released it (`None` for initially-ready tasks) — used by
+    /// work-stealing schedulers for locality.
+    fn push(&mut self, t: TaskId, releaser: Option<WorkerId>, view: &SchedView<'_>);
+
+    /// Idle worker `w` requests a task.
+    fn pop(&mut self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId>;
+
+    /// Number of pushed-but-not-popped tasks (engine sanity checks).
+    fn pending(&self) -> usize;
+
+    /// Execution feedback (default: ignored).
+    fn feedback(&mut self, _ev: &SchedEvent, _view: &SchedView<'_>) {}
+
+    /// Drain prefetch requests accumulated since the last call (Dmda
+    /// family issues them at push time; default: none).
+    fn drain_prefetches(&mut self) -> Vec<PrefetchReq> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Fixture;
+    use mp_dag::AccessMode;
+
+    #[test]
+    fn view_local_bytes_and_fetch_time() {
+        let mut fx = Fixture::two_arch();
+        let d_big = fx.graph.add_data(1_000_000, "big");
+        let d_small = fx.graph.add_data(1_000, "small");
+        let k = fx.both;
+        let t = fx.graph.add_task(
+            k,
+            vec![(d_big, AccessMode::Read), (d_small, AccessMode::Read)],
+            1.0,
+            "t",
+        );
+        // big is on the GPU node, small only in RAM.
+        fx.locator.place(d_big, MemNodeId(1));
+        fx.locator.place(d_big, MemNodeId(0));
+        fx.locator.place(d_small, MemNodeId(0));
+        let view = fx.view();
+        assert_eq!(view.local_bytes(t, MemNodeId(1)), 1_000_000);
+        assert_eq!(view.local_bytes(t, MemNodeId(0)), 1_001_000);
+        // Fetching to GPU only needs the small handle moved.
+        let ft = view.fetch_time(t, MemNodeId(1));
+        let expected = view.platform().transfer_time(1_000, MemNodeId(0), MemNodeId(1));
+        assert!((ft - expected).abs() < 1e-9);
+        // Everything already in RAM: free.
+        assert_eq!(view.fetch_time(t, MemNodeId(0)), 0.0);
+    }
+}

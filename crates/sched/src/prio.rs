@@ -1,0 +1,113 @@
+//! Eager-priority scheduler (StarPU's `prio` policy): a single central
+//! queue ordered by the application's *user* priorities, served
+//! first-come-first-served within a priority level. Like `eager`/fifo it
+//! is model-free and arch-blind — the simplest scheduler that still
+//! respects expert priorities, useful as a middle baseline between
+//! [`crate::FifoScheduler`] and the dm family.
+
+use std::collections::VecDeque;
+
+use mp_dag::ids::TaskId;
+use mp_platform::types::WorkerId;
+
+use crate::api::{SchedView, Scheduler};
+
+/// Central priority buckets (sorted descending), FIFO within a bucket.
+#[derive(Debug, Default)]
+pub struct EagerPrioScheduler {
+    /// (priority, queue) pairs kept sorted by descending priority.
+    buckets: Vec<(i64, VecDeque<TaskId>)>,
+    pending: usize,
+}
+
+impl EagerPrioScheduler {
+    /// New empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for EagerPrioScheduler {
+    fn name(&self) -> &'static str {
+        "prio"
+    }
+
+    fn push(&mut self, t: TaskId, _releaser: Option<WorkerId>, view: &SchedView<'_>) {
+        let prio = view.graph().task(t).user_priority;
+        match self.buckets.binary_search_by(|&(p, _)| prio.cmp(&p)) {
+            Ok(i) => self.buckets[i].1.push_back(t),
+            Err(i) => self.buckets.insert(i, (prio, VecDeque::from([t]))),
+        }
+        self.pending += 1;
+    }
+
+    fn pop(&mut self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
+        for (_, q) in self.buckets.iter_mut() {
+            if let Some(pos) = q.iter().position(|&t| view.worker_can_exec(t, w)) {
+                self.pending -= 1;
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Fixture;
+
+    #[test]
+    fn serves_priorities_descending_fifo_within() {
+        let mut fx = Fixture::two_arch();
+        let lo = fx.add_task(fx.cpu_only, 64, "lo");
+        let hi_a = fx.add_task(fx.cpu_only, 64, "hi_a");
+        let hi_b = fx.add_task(fx.cpu_only, 64, "hi_b");
+        fx.graph.set_user_priority(hi_a, 5);
+        fx.graph.set_user_priority(hi_b, 5);
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let mut s = EagerPrioScheduler::new();
+        s.push(lo, None, &view);
+        s.push(hi_a, None, &view);
+        s.push(hi_b, None, &view);
+        assert_eq!(s.pop(c0, &view), Some(hi_a), "highest priority, oldest first");
+        assert_eq!(s.pop(c0, &view), Some(hi_b));
+        assert_eq!(s.pop(c0, &view), Some(lo));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn skips_inexecutable_high_priority_work() {
+        let mut fx = Fixture::two_arch();
+        let t_gpu = fx.add_task(fx.gpu_only, 64, "g");
+        let t_cpu = fx.add_task(fx.cpu_only, 64, "c");
+        fx.graph.set_user_priority(t_gpu, 100);
+        let view = fx.view();
+        let (c0, _, g0) = fx.workers();
+        let mut s = EagerPrioScheduler::new();
+        s.push(t_gpu, None, &view);
+        s.push(t_cpu, None, &view);
+        assert_eq!(s.pop(c0, &view), Some(t_cpu), "cpu skips gpu-only work");
+        assert_eq!(s.pop(g0, &view), Some(t_gpu));
+    }
+
+    #[test]
+    fn negative_priorities_sort_last() {
+        let mut fx = Fixture::two_arch();
+        let neg = fx.add_task(fx.cpu_only, 64, "neg");
+        let zero = fx.add_task(fx.cpu_only, 64, "zero");
+        fx.graph.set_user_priority(neg, -3);
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let mut s = EagerPrioScheduler::new();
+        s.push(neg, None, &view);
+        s.push(zero, None, &view);
+        assert_eq!(s.pop(c0, &view), Some(zero));
+        assert_eq!(s.pop(c0, &view), Some(neg));
+    }
+}

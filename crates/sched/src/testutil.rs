@@ -1,0 +1,184 @@
+//! Shared test fixtures: a tiny two-arch platform, a kernel table, and
+//! trivial [`DataLocator`] / [`LoadInfo`] implementations.
+//!
+//! Public (not `cfg(test)`) because the `multiprio` and `mp-sim` crates
+//! reuse these fixtures in their own tests.
+
+use std::collections::{HashMap, HashSet};
+
+use mp_dag::access::AccessMode;
+use mp_dag::graph::TaskGraph;
+use mp_dag::ids::{DataId, TaskId, TaskTypeId};
+use mp_perfmodel::{Estimator, TableModel, TimeFn};
+use mp_platform::presets::simple;
+use mp_platform::types::{ArchClass, MemNodeId, Platform, WorkerId};
+
+use crate::api::{DataLocator, LoadInfo, SchedView};
+
+/// Replica map with explicit placement; data without an entry lives on
+/// main RAM (node 0) only, like freshly-registered StarPU handles.
+#[derive(Default, Clone, Debug)]
+pub struct MapLocator {
+    map: HashMap<DataId, HashSet<MemNodeId>>,
+}
+
+impl MapLocator {
+    /// Mark a valid replica of `d` on `m`.
+    pub fn place(&mut self, d: DataId, m: MemNodeId) {
+        self.map.entry(d).or_default().insert(m);
+    }
+
+    /// Drop every replica of `d` except on `m` (a write happened there).
+    pub fn write(&mut self, d: DataId, m: MemNodeId) {
+        let set = self.map.entry(d).or_default();
+        set.clear();
+        set.insert(m);
+    }
+}
+
+impl DataLocator for MapLocator {
+    fn is_on(&self, d: DataId, m: MemNodeId) -> bool {
+        match self.map.get(&d) {
+            Some(set) => set.contains(&m),
+            None => m == MemNodeId(0),
+        }
+    }
+
+    fn holders(&self, d: DataId) -> Vec<MemNodeId> {
+        match self.map.get(&d) {
+            Some(set) => {
+                let mut v: Vec<_> = set.iter().copied().collect();
+                v.sort();
+                v
+            }
+            None => vec![MemNodeId(0)],
+        }
+    }
+}
+
+/// Every worker is always free.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct ZeroLoad;
+
+impl LoadInfo for ZeroLoad {
+    fn busy_until(&self, _w: WorkerId) -> f64 {
+        0.0
+    }
+}
+
+/// Per-worker busy-until table for finer-grained tests.
+#[derive(Default, Clone, Debug)]
+pub struct TableLoad(pub HashMap<WorkerId, f64>);
+
+impl LoadInfo for TableLoad {
+    fn busy_until(&self, w: WorkerId) -> f64 {
+        self.0.get(&w).copied().unwrap_or(0.0)
+    }
+}
+
+/// A ready-made scheduler test bench: 2 CPU workers + 1 GPU, three
+/// kernels (`BOTH`: CPU 100 µs / GPU 10 µs; `CPUONLY`: 50 µs;
+/// `GPUONLY`: 5 µs).
+pub struct Fixture {
+    /// The graph under construction.
+    pub graph: TaskGraph,
+    /// `simple(2, 1)`: nodes {ram, gpu0-mem}, workers {c0, c1, g0}.
+    pub platform: Platform,
+    /// Kernel table (see type docs).
+    pub model: TableModel,
+    /// Replica placement.
+    pub locator: MapLocator,
+    /// Engine load stub.
+    pub load: TableLoad,
+    /// Kernel with both implementations.
+    pub both: TaskTypeId,
+    /// CPU-only kernel.
+    pub cpu_only: TaskTypeId,
+    /// GPU-only kernel.
+    pub gpu_only: TaskTypeId,
+    /// Current virtual time handed to views.
+    pub now: f64,
+}
+
+impl Fixture {
+    /// Build the standard fixture.
+    pub fn two_arch() -> Self {
+        let mut graph = TaskGraph::new();
+        let both = graph.register_type("BOTH", true, true);
+        let cpu_only = graph.register_type("CPUONLY", true, false);
+        let gpu_only = graph.register_type("GPUONLY", false, true);
+        let model = TableModel::builder()
+            .set("BOTH", ArchClass::Cpu, TimeFn::Const(100.0))
+            .set("BOTH", ArchClass::Gpu, TimeFn::Const(10.0))
+            .set("CPUONLY", ArchClass::Cpu, TimeFn::Const(50.0))
+            .set("GPUONLY", ArchClass::Gpu, TimeFn::Const(5.0))
+            .build();
+        Self {
+            graph,
+            platform: simple(2, 1),
+            model,
+            locator: MapLocator::default(),
+            load: TableLoad::default(),
+            both,
+            cpu_only,
+            gpu_only,
+            now: 0.0,
+        }
+    }
+
+    /// Add a task of `ttype` touching one fresh RW handle of `size` bytes.
+    pub fn add_task(&mut self, ttype: TaskTypeId, size: u64, label: &str) -> TaskId {
+        let d = self.graph.add_data(size, format!("{label}-data"));
+        self.graph.add_task(ttype, vec![(d, AccessMode::ReadWrite)], 1.0, label)
+    }
+
+    /// A view over the current fixture state.
+    pub fn view(&self) -> SchedView<'_> {
+        SchedView {
+            est: Estimator::new(&self.graph, &self.platform, &self.model),
+            loc: &self.locator,
+            load: &self.load,
+            now: self.now,
+        }
+    }
+
+    /// Ids of the two CPU workers and the GPU worker.
+    pub fn workers(&self) -> (WorkerId, WorkerId, WorkerId) {
+        (WorkerId(0), WorkerId(1), WorkerId(2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_sanity() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 1024, "t");
+        let view = fx.view();
+        let (c0, _, g0) = fx.workers();
+        assert!(view.worker_can_exec(t, c0));
+        assert!(view.worker_can_exec(t, g0));
+        assert_eq!(view.delta_on_worker(t, c0), Some(100.0));
+        assert_eq!(view.delta_on_worker(t, g0), Some(10.0));
+    }
+
+    #[test]
+    fn locator_defaults_to_ram() {
+        let fx = Fixture::two_arch();
+        assert!(fx.locator.is_on(DataId(0), MemNodeId(0)));
+        assert!(!fx.locator.is_on(DataId(0), MemNodeId(1)));
+        assert_eq!(fx.locator.holders(DataId(0)), vec![MemNodeId(0)]);
+    }
+
+    #[test]
+    fn locator_write_invalidates() {
+        let mut loc = MapLocator::default();
+        loc.place(DataId(0), MemNodeId(0));
+        loc.place(DataId(0), MemNodeId(1));
+        loc.write(DataId(0), MemNodeId(1));
+        assert!(!loc.is_on(DataId(0), MemNodeId(0)));
+        assert!(loc.is_on(DataId(0), MemNodeId(1)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared helpers for scheduler implementations.
+
+use mp_dag::ids::TaskId;
+use mp_platform::types::WorkerId;
+
+use crate::api::SchedView;
+
+/// Earliest-finish-time estimate of running `t` on `w`, given extra
+/// `committed_us` of work already queued on that worker inside the
+/// scheduler: `max(now, busy_until(w)) + committed + fetch? + δ`.
+///
+/// `with_transfers` adds the estimated fetch time of missing read data to
+/// the worker's memory node (the Dmda refinement).
+pub fn expected_finish(
+    view: &SchedView<'_>,
+    t: TaskId,
+    w: WorkerId,
+    committed_us: f64,
+    with_transfers: bool,
+) -> Option<f64> {
+    let delta = view.delta_on_worker(t, w)?;
+    let free_at = view.load.busy_until(w).max(view.now) + committed_us;
+    let fetch = if with_transfers {
+        view.fetch_time(t, view.platform().worker(w).mem_node)
+    } else {
+        0.0
+    };
+    // Transfers overlap with the worker draining its queue only partially;
+    // StarPU's dm family adds them serially, which we follow.
+    Some(free_at + fetch + delta)
+}
+
+/// Deterministic argmin over workers: earliest finish, ties by worker id.
+pub fn best_worker_by<F: FnMut(WorkerId) -> Option<f64>>(
+    view: &SchedView<'_>,
+    mut cost: F,
+) -> Option<(WorkerId, f64)> {
+    let mut best: Option<(WorkerId, f64)> = None;
+    for worker in view.platform().workers() {
+        if let Some(c) = cost(worker.id) {
+            let better = match best {
+                None => true,
+                Some((bw, bc)) => c < bc || (c == bc && worker.id < bw),
+            };
+            if better {
+                best = Some((worker.id, c));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Fixture;
+    use mp_platform::types::MemNodeId;
+
+    #[test]
+    fn eft_prefers_gpu_for_accelerated_kernel() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 1024, "t");
+        let view = fx.view();
+        let (w, c) = best_worker_by(&view, |w| expected_finish(&view, t, w, 0.0, false)).unwrap();
+        assert_eq!(w, WorkerId(2));
+        assert_eq!(c, 10.0);
+    }
+
+    #[test]
+    fn eft_accounts_for_load() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 1024, "t");
+        // GPU busy for 1000 µs: CPU (100 µs) wins.
+        fx.load.0.insert(WorkerId(2), 1000.0);
+        let view = fx.view();
+        let (w, _) = best_worker_by(&view, |w| expected_finish(&view, t, w, 0.0, false)).unwrap();
+        assert_eq!(w, WorkerId(0));
+    }
+
+    #[test]
+    fn transfers_can_flip_the_choice() {
+        let mut fx = Fixture::two_arch();
+        // 1 GiB of read data in RAM: moving it to the GPU costs ~89 ms,
+        // far more than the 90 µs the GPU saves.
+        let d = fx.graph.add_data(1 << 30, "huge");
+        let t = fx.graph.add_task(
+            fx.both,
+            vec![(d, mp_dag::AccessMode::Read)],
+            1.0,
+            "t",
+        );
+        let view = fx.view();
+        let (w_no, _) = best_worker_by(&view, |w| expected_finish(&view, t, w, 0.0, false)).unwrap();
+        let (w_da, _) = best_worker_by(&view, |w| expected_finish(&view, t, w, 0.0, true)).unwrap();
+        assert_eq!(w_no, WorkerId(2), "transfer-blind EFT picks the GPU");
+        assert_eq!(w_da, WorkerId(0), "data-aware EFT keeps it on a CPU");
+        let _ = MemNodeId(0);
+    }
+
+    #[test]
+    fn ties_break_on_worker_id() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.cpu_only, 64, "t");
+        let view = fx.view();
+        let (w, _) = best_worker_by(&view, |w| expected_finish(&view, t, w, 0.0, false)).unwrap();
+        assert_eq!(w, WorkerId(0), "both CPUs cost 50 µs; lowest id wins");
+    }
+}

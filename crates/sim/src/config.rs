@@ -1,0 +1,69 @@
+//! Simulation configuration.
+
+/// Knobs of one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// RNG seed (noise and nothing else).
+    pub seed: u64,
+    /// Coefficient of variation of the log-normal execution-time noise;
+    /// `0.0` (default) makes execution fully deterministic and exact.
+    pub noise_cv: f64,
+    /// Honor scheduler prefetch requests (Dmda family). When off,
+    /// requests are silently dropped — used in ablations.
+    pub enable_prefetch: bool,
+    /// Record a full `mp-trace` trace (slightly more memory; keep on
+    /// unless simulating >1e6 tasks).
+    pub record_trace: bool,
+    /// Feed measured execution times back into the performance model
+    /// (exercises history-based calibration).
+    pub feedback_to_model: bool,
+    /// Run the O(n) post-execution validation (every task ran once, no
+    /// precedence violation, no worker overlap).
+    pub validate: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5eed,
+            noise_cv: 0.0,
+            enable_prefetch: true,
+            record_trace: true,
+            feedback_to_model: false,
+            validate: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Deterministic default with a specific seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Add log-normal noise with the given coefficient of variation.
+    pub fn with_noise(mut self, cv: f64) -> Self {
+        assert!((0.0..1.0).contains(&cv), "noise cv must be in [0,1)");
+        self.noise_cv = cv;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_deterministic() {
+        let c = SimConfig::default();
+        assert_eq!(c.noise_cv, 0.0);
+        assert!(c.enable_prefetch);
+        assert!(c.validate);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise cv")]
+    fn rejects_absurd_noise() {
+        let _ = SimConfig::default().with_noise(1.5);
+    }
+}

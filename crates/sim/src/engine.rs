@@ -1,0 +1,613 @@
+//! The discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mp_dag::graph::TaskGraph;
+use mp_dag::ids::TaskId;
+use mp_perfmodel::{Estimator, PerfModel};
+use mp_platform::types::{Platform, WorkerId};
+use mp_sched::api::{LoadInfo, SchedEvent, SchedView, Scheduler};
+use mp_trace::{TaskSpan, Trace, TransferKind, TransferSpan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::data::DataStore;
+use crate::result::{SimResult, SimStats};
+
+/// Queue entry: finish of task `t` on worker `w` at `time`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    w: WorkerId,
+    t: TaskId,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Engine-side per-worker load (busy-until estimates for the schedulers).
+struct Loads(Vec<f64>);
+
+impl LoadInfo for Loads {
+    fn busy_until(&self, w: WorkerId) -> f64 {
+        self.0[w.index()]
+    }
+}
+
+/// Run `graph` on `platform` under `scheduler`, returning the makespan,
+/// trace and statistics. Deterministic for a fixed config.
+///
+/// Panics when the scheduler deadlocks (refuses every idle worker while
+/// unfinished tasks remain and nothing is running) or when a task's
+/// working set cannot fit in its target device memory.
+pub fn simulate(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &dyn PerfModel,
+    scheduler: &mut dyn Scheduler,
+    cfg: SimConfig,
+) -> SimResult {
+    let n = graph.task_count();
+    let nw = platform.worker_count();
+    let mut store = DataStore::new(graph, platform);
+    let mut loads = Loads(vec![0.0; nw]);
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut indeg: Vec<usize> =
+        (0..n).map(|i| graph.preds(TaskId::from_index(i)).len()).collect();
+    let mut pushed_at: Vec<f64> = vec![0.0; n];
+    let mut done: Vec<bool> = vec![false; n];
+    let mut completed = 0usize;
+    let mut trace = Trace::new(nw);
+    let mut stats = SimStats::default();
+
+    // Log-normal noise factor with E[x] ≈ 1.
+    let noise = |rng: &mut StdRng| -> f64 {
+        if cfg.noise_cv == 0.0 {
+            return 1.0;
+        }
+        let sigma = cfg.noise_cv;
+        // Box-Muller.
+        let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (sigma * z - sigma * sigma / 2.0).exp()
+    };
+
+    // ---------------------------------------------------------------
+    // Helpers (closures capturing by argument to appease the borrowck).
+    // ---------------------------------------------------------------
+
+    fn run_prefetches(
+        scheduler: &mut dyn Scheduler,
+        store: &mut DataStore,
+        platform: &Platform,
+        cfg: &SimConfig,
+        now: f64,
+        trace: &mut Trace,
+        stats: &mut SimStats,
+    ) {
+        for req in scheduler.drain_prefetches() {
+            if !cfg.enable_prefetch {
+                continue;
+            }
+            if store.replica(req.data, req.node).is_some() {
+                continue;
+            }
+            let size = store.size(req.data);
+            // Prefetches may evict clean LRU replicas but never force
+            // write-backs; when that is not enough, skip the request.
+            if !make_room_clean_only(store, req.node, size, platform, stats) {
+                continue;
+            }
+            let Some((src, start, end)) = pick_source(store, platform, req.data, req.node, now)
+            else {
+                continue;
+            };
+            store.set_link_busy(src, req.node, end);
+            store.allocate(req.data, req.node, end, false);
+            stats.prefetch_bytes += size;
+            if cfg.record_trace {
+                trace.transfers.push(TransferSpan {
+                    data: req.data,
+                    from: src,
+                    to: req.node,
+                    bytes: size,
+                    start,
+                    end,
+                    kind: TransferKind::Prefetch,
+                });
+            }
+        }
+    }
+
+    /// Clean-only eviction for prefetch: true when the space is available.
+    fn make_room_clean_only(
+        store: &mut DataStore,
+        node: mp_platform::types::MemNodeId,
+        needed: u64,
+        platform: &Platform,
+        stats: &mut SimStats,
+    ) -> bool {
+        let cap = match platform.mem_node(node).capacity {
+            None => return true,
+            Some(c) => c,
+        };
+        if needed > cap {
+            return false;
+        }
+        loop {
+            if store.used(node) + needed <= cap {
+                return true;
+            }
+            // LRU among clean, unpinned replicas.
+            let victim = (0..store_handle_count(store))
+                .filter_map(|i| {
+                    let d = mp_dag::ids::DataId::from_index(i);
+                    store.replica(d, node).and_then(|r| {
+                        (r.pins == 0 && !r.dirty).then_some((d, r.last_use))
+                    })
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            match victim {
+                Some((d, _)) => {
+                    store.drop_replica(d, node);
+                    stats.capacity_evictions += 1;
+                }
+                None => return false,
+            }
+        }
+    }
+
+    fn store_handle_count(store: &DataStore) -> usize {
+        // DataStore sizes are per handle; expose count via sizes length.
+        store.handle_count()
+    }
+
+    /// A task may list the same handle several times (e.g. a symmetric
+    /// kernel reading a tile twice); fold to one entry per handle with
+    /// merged modes so pins/allocations stay balanced.
+    fn folded_accesses(task: &mp_dag::task::Task) -> Vec<(mp_dag::ids::DataId, bool, bool)> {
+        let mut out: Vec<(mp_dag::ids::DataId, bool, bool)> = Vec::with_capacity(task.accesses.len());
+        for a in &task.accesses {
+            match out.iter_mut().find(|(d, _, _)| *d == a.data) {
+                Some((_, r, w)) => {
+                    *r |= a.mode.reads();
+                    *w |= a.mode.writes();
+                }
+                None => out.push((a.data, a.mode.reads(), a.mode.writes())),
+            }
+        }
+        out
+    }
+
+    /// Best source replica for fetching `d` to `to`: minimize completion.
+    fn pick_source(
+        store: &DataStore,
+        platform: &Platform,
+        d: mp_dag::ids::DataId,
+        to: mp_platform::types::MemNodeId,
+        now: f64,
+    ) -> Option<(mp_platform::types::MemNodeId, f64, f64)> {
+        let size = store.size(d);
+        store
+            .holders_full(d)
+            .iter()
+            .filter(|(n, _)| *n != to)
+            .map(|&(src, rep)| {
+                let start = store.link_start(src, to, now).max(rep.valid_at);
+                let end = start + platform.transfer_time(size, src, to);
+                (src, start, end)
+            })
+            .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
+    }
+
+    // Stage task `t` for worker `w` at time `now`: reserve memory, pin
+    // replicas and launch the input transfers. Returns the time at which
+    // every input is resident (the earliest possible execution start).
+    //
+    // With `best_effort`, an allocation failure (device memory full of
+    // pinned working sets) rolls back the pins and returns `None` — the
+    // caller defers preparation to execution time, when the pipeline's
+    // earlier tasks have unpinned their data. Without it, failure panics.
+    #[allow(clippy::too_many_arguments)]
+    fn prepare_task(
+        graph: &TaskGraph,
+        platform: &Platform,
+        model: &dyn PerfModel,
+        store: &mut DataStore,
+        cfg: &SimConfig,
+        trace: &mut Trace,
+        stats: &mut SimStats,
+        w: WorkerId,
+        t: TaskId,
+        now: f64,
+        best_effort: bool,
+    ) -> Option<f64> {
+        let worker = platform.worker(w);
+        let m = worker.mem_node;
+        let est = Estimator::new(graph, platform, model);
+        est.delta(t, worker.arch)
+            .unwrap_or_else(|| panic!("scheduler assigned {t:?} to incapable worker {w:?}"));
+        let task = graph.task(t);
+
+        // Pin present replicas first so eviction cannot take them.
+        let mut missing: Vec<(mp_dag::ids::DataId, bool)> = Vec::new();
+        let mut needed_bytes = 0u64;
+        let mut arrive = now;
+        for &(d, reads, _) in &folded_accesses(task) {
+            match store.replica(d, m) {
+                Some(rep) => {
+                    if reads {
+                        arrive = arrive.max(rep.valid_at); // in-flight prefetch
+                    }
+                    store.pin(d, m);
+                    store.touch(d, m, now);
+                }
+                None => {
+                    needed_bytes += store.size(d);
+                    missing.push((d, reads));
+                }
+            }
+        }
+
+        // Reserve space (may trigger LRU eviction + dirty write-backs).
+        let (space_ready, writebacks) = if best_effort {
+            match store.try_make_room(m, needed_bytes, now, platform) {
+                Ok(r) => r,
+                Err(_) => {
+                    // Roll back: unpin what we pinned and defer.
+                    for &(d, _, _) in &folded_accesses(task) {
+                        if missing.iter().all(|&(md, _)| md != d) {
+                            store.unpin(d, m);
+                        }
+                    }
+                    return None;
+                }
+            }
+        } else {
+            store.make_room(m, needed_bytes, now, platform)
+        };
+        for (d, start, end) in writebacks {
+            stats.writeback_bytes += store.size(d);
+            stats.capacity_evictions += 1;
+            if cfg.record_trace {
+                trace.transfers.push(TransferSpan {
+                    data: d,
+                    from: m,
+                    to: platform.ram(),
+                    bytes: store.size(d),
+                    start,
+                    end,
+                    kind: TransferKind::WriteBack,
+                });
+            }
+        }
+        arrive = arrive.max(space_ready);
+
+        // Fetch missing reads; allocate missing writes in place.
+        for (d, is_read) in missing {
+            if is_read {
+                let (src, start, end) = pick_source(store, platform, d, m, space_ready.max(now))
+                    .unwrap_or_else(|| panic!("no valid replica of {d:?} anywhere"));
+                store.set_link_busy(src, m, end);
+                store.allocate(d, m, end, false);
+                stats.demand_bytes += store.size(d);
+                if cfg.record_trace {
+                    trace.transfers.push(TransferSpan {
+                        data: d,
+                        from: src,
+                        to: m,
+                        bytes: store.size(d),
+                        start,
+                        end,
+                        kind: TransferKind::Demand,
+                    });
+                }
+                arrive = arrive.max(end);
+            } else {
+                // Write-only: contents materialize at task completion.
+                store.allocate(d, m, f64::MAX, false);
+            }
+            store.pin(d, m);
+        }
+
+        Some(arrive)
+    }
+
+    // ---------------------------------------------------------------
+    // Main loop.
+    //
+    // StarPU's accelerator workers run a depth-2 pipeline: while a task
+    // executes, the worker already pops its *next* task and stages that
+    // task's input transfers, overlapping PCIe traffic with computation
+    // (STARPU_CUDA_PIPELINE). We reproduce that for GPU-class workers:
+    // `next_slot[w]` holds the staged task; it begins executing the
+    // moment the current one finishes (or when its transfers land,
+    // whichever is later). CPU workers on the RAM node pop only when
+    // idle, as in StarPU.
+    // ---------------------------------------------------------------
+
+    /// Pipeline depth of accelerator workers (StarPU's CUDA default).
+    const GPU_LOOKAHEAD: usize = 2;
+
+    let mut starts: Vec<f64> = vec![0.0; n]; // exec start per task
+    let mut running: Vec<bool> = vec![false; nw];
+    let mut exec_end: Vec<f64> = vec![0.0; nw];
+    // Staged lookahead tasks per worker: (task, inputs-ready time if the
+    // prepare succeeded — None defers it to execution time, noise).
+    let mut next_slot: Vec<Vec<(TaskId, Option<f64>, f64)>> = vec![Vec::new(); nw];
+    // Rotating dispatch offset: removes the systematic low-id-first bias
+    // (concurrently polling workers have no global order in reality).
+    let mut rotation = 0usize;
+    let gpu_class: Vec<bool> = (0..nw)
+        .map(|wi| {
+            let w = platform.worker(WorkerId::from_index(wi));
+            platform.arch(w.arch).class == mp_platform::types::ArchClass::Gpu
+        })
+        .collect();
+
+    macro_rules! view {
+        ($now:expr) => {
+            SchedView {
+                est: Estimator::new(graph, platform, model),
+                loc: &store,
+                load: &loads,
+                now: $now,
+            }
+        };
+    }
+
+    // Begin executing a prepared task on an idle worker.
+    macro_rules! begin_exec {
+        ($wi:expr, $t:expr, $arrive:expr, $nf:expr, $now:expr) => {{
+            let (wi, t, arrive, nf, now): (usize, TaskId, f64, f64, f64) =
+                ($wi, $t, $arrive, $nf, $now);
+            let w = WorkerId::from_index(wi);
+            let delta = Estimator::new(graph, platform, model)
+                .delta(t, platform.worker(w).arch)
+                .expect("validated in prepare_task");
+            let start = now.max(arrive);
+            let end = start + delta * nf;
+            starts[t.index()] = start;
+            running[wi] = true;
+            exec_end[wi] = end;
+            // Load estimate published to the schedulers: *model-estimated*
+            // end (start + δ), not the realized noisy end — no scheduler
+            // can know mid-execution how long a task will really take
+            // (StarPU's dm family plans with expected durations too).
+            let staged: f64 = next_slot[wi]
+                .iter()
+                .map(|&(st, _, _)| {
+                    Estimator::new(graph, platform, model)
+                        .delta(st, platform.worker(w).arch)
+                        .expect("staged task validated")
+                })
+                .sum();
+            loads.0[wi] = start + delta + staged;
+            seq += 1;
+            events.push(Reverse(Event { time: end, seq, w, t }));
+            {
+                let view = view!(now);
+                scheduler.feedback(&SchedEvent::TaskStarted { t, w }, &view);
+            }
+        }};
+    }
+
+    macro_rules! dispatch {
+        ($now:expr) => {{
+            let now: f64 = $now;
+            store.now = now;
+            loop {
+                let mut progress = false;
+                rotation = (rotation + 1) % nw.max(1);
+                // Pass 1: idle workers (they need work immediately).
+                for k in 0..nw {
+                    let wi = (k + rotation) % nw;
+                    let w = WorkerId::from_index(wi);
+                    if running[wi] {
+                        continue;
+                    }
+                    // Drain a staged task first, then pop fresh.
+                    if !next_slot[wi].is_empty() {
+                        let (t, arrive_opt, nf) = next_slot[wi].remove(0);
+                        let arrive = match arrive_opt {
+                            Some(a) => a,
+                            // Deferred prepare: earlier pipeline tasks
+                            // have unpinned their data by now.
+                            None => prepare_task(
+                                graph, platform, model, &mut store, &cfg, &mut trace,
+                                &mut stats, w, t, now, false,
+                            )
+                            .expect("strict prepare cannot fail"),
+                        };
+                        begin_exec!(wi, t, arrive, nf, now);
+                        progress = true;
+                        continue;
+                    }
+                    let popped = {
+                        let view = view!(now);
+                        scheduler.pop(w, &view)
+                    };
+                    match popped {
+                        Some(t) => {
+                            let arrive = prepare_task(
+                                graph, platform, model, &mut store, &cfg, &mut trace,
+                                &mut stats, w, t, now, false,
+                            )
+                            .expect("strict prepare cannot fail");
+                            let nf = noise(&mut rng);
+                            begin_exec!(wi, t, arrive, nf, now);
+                            progress = true;
+                        }
+                        None => stats.empty_pops += 1,
+                    }
+                }
+                // Pass 2: busy GPU-class workers stage lookahead tasks so
+                // the next input transfers overlap the current execution.
+                for k in 0..nw {
+                    let wi = (k + rotation) % nw;
+                    let w = WorkerId::from_index(wi);
+                    if !running[wi] || !gpu_class[wi] || next_slot[wi].len() >= GPU_LOOKAHEAD {
+                        continue;
+                    }
+                    let popped = {
+                        let view = view!(now);
+                        scheduler.pop(w, &view)
+                    };
+                    match popped {
+                        Some(t) => {
+                            let arrive = prepare_task(
+                                graph, platform, model, &mut store, &cfg, &mut trace,
+                                &mut stats, w, t, now, true,
+                            );
+                            let nf = noise(&mut rng);
+                            next_slot[wi].push((t, arrive, nf));
+                            // Publish queued work so push-time mappers see it.
+                            let delta_est = Estimator::new(graph, platform, model)
+                                .delta(t, platform.worker(w).arch)
+                                .expect("validated in prepare_task");
+                            loads.0[wi] += delta_est;
+                            progress = true;
+                        }
+                        None => stats.empty_pops += 1,
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+        }};
+    }
+
+    // Initially-ready tasks, in submission order.
+    {
+        store.now = 0.0;
+        for i in 0..n {
+            if indeg[i] == 0 {
+                let t = TaskId::from_index(i);
+                let view = view!(0.0);
+                scheduler.push(t, None, &view);
+            }
+        }
+        run_prefetches(scheduler, &mut store, platform, &cfg, 0.0, &mut trace, &mut stats);
+    }
+    dispatch!(0.0);
+
+    while let Some(Reverse(ev)) = events.pop() {
+        let now = ev.time;
+        store.now = now;
+        let t = ev.t;
+        let w = ev.w;
+        running[w.index()] = false;
+        let worker = platform.worker(w);
+        let m = worker.mem_node;
+        let task = graph.task(t);
+
+        // Close out the execution (same folded view as start_task).
+        {
+            let mut seen: Vec<mp_dag::ids::DataId> = Vec::with_capacity(task.accesses.len());
+            for a in &task.accesses {
+                if seen.contains(&a.data) {
+                    continue;
+                }
+                seen.push(a.data);
+                store.unpin(a.data, m);
+                store.touch(a.data, m, now);
+            }
+            let mut written: Vec<mp_dag::ids::DataId> = Vec::new();
+            for d in task.writes() {
+                if !written.contains(&d) {
+                    written.push(d);
+                    store.commit_write(d, m, now);
+                }
+            }
+        }
+        assert!(!done[t.index()], "task {t:?} finished twice");
+        done[t.index()] = true;
+        completed += 1;
+        if cfg.record_trace {
+            trace.tasks.push(TaskSpan {
+                task: t,
+                ttype: task.ttype,
+                worker: w,
+                ready_at: pushed_at[t.index()],
+                start: starts[t.index()],
+                end: now,
+            });
+        }
+        if cfg.feedback_to_model {
+            let est = Estimator::new(graph, platform, model);
+            est.record(t, worker.arch, now - starts[t.index()]);
+        }
+        {
+            let view = view!(now);
+            scheduler.feedback(
+                &SchedEvent::TaskFinished { t, w, elapsed_us: now - starts[t.index()] },
+                &view,
+            );
+        }
+
+        // Release successors.
+        let mut newly_ready = Vec::new();
+        for &s in graph.succs(t) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                newly_ready.push(s);
+            }
+        }
+        for s in newly_ready {
+            pushed_at[s.index()] = now;
+            let view = view!(now);
+            scheduler.push(s, Some(w), &view);
+        }
+        run_prefetches(scheduler, &mut store, platform, &cfg, now, &mut trace, &mut stats);
+
+        dispatch!(now);
+    }
+
+    assert_eq!(
+        completed, n,
+        "simulation ended with {} of {n} tasks executed: scheduler '{}' deadlocked \
+         ({} still pending inside the scheduler)",
+        completed,
+        scheduler.name(),
+        scheduler.pending()
+    );
+    stats.tasks = completed;
+
+    let makespan = exec_end.iter().copied().fold(0.0f64, f64::max);
+    if cfg.validate && cfg.record_trace {
+        trace.validate().expect("trace validation failed");
+        // Precedence: every task starts at or after all predecessors end.
+        for span in &trace.tasks {
+            for &p in graph.preds(span.task) {
+                let pe = trace.span_of(p).expect("predecessor executed").end;
+                assert!(
+                    span.start >= pe - 1e-6,
+                    "{:?} started at {} before predecessor {:?} ended at {}",
+                    span.task,
+                    span.start,
+                    p,
+                    pe
+                );
+            }
+        }
+    }
+
+    SimResult { scheduler: scheduler.name().to_string(), makespan, trace, stats }
+}

@@ -1,0 +1,33 @@
+//! # mp-sim — discrete-event simulation of task-based execution
+//!
+//! Executes a `mp-dag` task graph on a `mp-platform` machine under any
+//! `mp-sched` scheduler, in virtual time. This is the reproduction's
+//! stand-in for running StarPU on the paper's two testbeds — the same
+//! methodology the paper itself uses for its Fig. 4 study (StarPU over
+//! SimGrid, refs [24, 25, 27]).
+//!
+//! Modeled effects:
+//!
+//! * per-(kernel, arch) execution times from the performance model, with
+//!   optional seeded log-normal noise;
+//! * **data coherence** (MSI-like): tasks fetch missing read replicas to
+//!   their worker's memory node; writes invalidate remote replicas;
+//! * **transfer costs** with per-directed-link FIFO serialization (PCIe
+//!   contention) — including GPU↔GPU via the slower peer link;
+//! * **bounded GPU memory** with LRU eviction of clean replicas and
+//!   write-back of dirty ones (the `getrf > 100k` pathology of Fig. 5);
+//! * **prefetching**: schedulers may request replication ahead of time
+//!   (the Dmda family does at push); prefetches share the link queues;
+//! * full **trace recording** (`mp-trace`) and post-run validation.
+//!
+//! Determinism: identical inputs and seed produce identical results; the
+//! event queue breaks time ties by sequence number.
+
+pub mod config;
+pub mod data;
+pub mod engine;
+pub mod result;
+
+pub use config::SimConfig;
+pub use engine::simulate;
+pub use result::{SimResult, SimStats};

@@ -1,0 +1,74 @@
+//! Simulation results and aggregate statistics.
+
+use mp_platform::types::Platform;
+use mp_trace::{Trace, TransferKind};
+
+/// Aggregate counters of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Bytes moved on demand (blocking a task start).
+    pub demand_bytes: u64,
+    /// Bytes moved by prefetch requests.
+    pub prefetch_bytes: u64,
+    /// Bytes written back due to memory-capacity eviction.
+    pub writeback_bytes: u64,
+    /// Number of memory-capacity evictions.
+    pub capacity_evictions: u64,
+    /// Scheduler pop calls that returned no task.
+    pub empty_pops: u64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Name of the scheduler that ran.
+    pub scheduler: String,
+    /// Total completion time in µs.
+    pub makespan: f64,
+    /// Full execution trace (empty when `record_trace` was off).
+    pub trace: Trace,
+    /// Aggregate counters.
+    pub stats: SimStats,
+}
+
+impl SimResult {
+    /// Achieved throughput in GFlop/s for a graph of `total_flops`.
+    pub fn gflops(&self, total_flops: f64) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        total_flops / (self.makespan * 1e3) // flops per µs → GFlop/s
+    }
+
+    /// Idle percentage of one architecture (needs the trace).
+    pub fn arch_idle_pct(&self, platform: &Platform, arch_name: &str) -> Option<f64> {
+        let arch = platform.archs().iter().find(|a| a.name == arch_name)?;
+        Some(mp_trace::analysis::arch_idle_pct(&self.trace, platform, arch.id))
+    }
+
+    /// Total bytes transferred of a kind (from the trace).
+    pub fn transferred(&self, kind: TransferKind) -> u64 {
+        self.trace.bytes_transferred(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_conversion() {
+        let r = SimResult {
+            scheduler: "x".into(),
+            makespan: 1e6, // 1 second
+            trace: Trace::new(0),
+            stats: SimStats::default(),
+        };
+        // 2e9 flops in 1 s = 2 GFlop/s.
+        assert!((r.gflops(2e9) - 2.0).abs() < 1e-12);
+        let zero = SimResult { makespan: 0.0, ..r };
+        assert_eq!(zero.gflops(1.0), 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Gantt-chart rendering: ASCII for the terminal, SVG for reports.
+
+use std::fmt::Write as _;
+
+use mp_dag::ids::TaskId;
+use mp_platform::types::Platform;
+
+use crate::record::Trace;
+
+/// Render an ASCII Gantt chart, one row per worker, `width` columns over
+/// the makespan. Busy cells show `#`, cells containing a highlighted task
+/// (e.g. the practical critical path) show `X`, idle cells show `.`.
+pub fn gantt_ascii(trace: &Trace, platform: &Platform, width: usize, highlight: &[TaskId]) -> String {
+    let makespan = trace.makespan();
+    let mut out = String::new();
+    if makespan <= 0.0 || width == 0 {
+        return out;
+    }
+    let label_w = platform.workers().iter().map(|w| w.name.len()).max().unwrap_or(0);
+    for worker in platform.workers() {
+        let mut row = vec!['.'; width];
+        for s in trace.tasks.iter().filter(|s| s.worker == worker.id) {
+            let a = ((s.start / makespan) * width as f64).floor() as usize;
+            let b = (((s.end / makespan) * width as f64).ceil() as usize).min(width);
+            let ch = if highlight.contains(&s.task) { 'X' } else { '#' };
+            for c in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
+                // Critical-path marks win over plain busy marks.
+                if *c != 'X' {
+                    *c = ch;
+                }
+            }
+        }
+        let busy_pct = 100.0 - crate::analysis::worker_idle_pct(trace, worker.id);
+        writeln!(
+            out,
+            "{:<label_w$} |{}| {:5.1}% busy",
+            worker.name,
+            row.iter().collect::<String>(),
+            busy_pct
+        )
+        .expect("writing to String cannot fail");
+    }
+    writeln!(out, "{:<label_w$}  makespan: {:.1} us", "", makespan)
+        .expect("writing to String cannot fail");
+    out
+}
+
+/// Render an SVG Gantt chart (self-contained, no external assets).
+/// Tasks are colored by kernel type; highlighted tasks get a red border.
+pub fn gantt_svg(trace: &Trace, platform: &Platform, highlight: &[TaskId]) -> String {
+    const ROW_H: f64 = 22.0;
+    const LABEL_W: f64 = 130.0;
+    const CHART_W: f64 = 1000.0;
+    let makespan = trace.makespan().max(1e-9);
+    let rows = platform.worker_count();
+    let height = ROW_H * rows as f64 + 30.0;
+    let palette = [
+        "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+    ];
+    let mut out = String::new();
+    write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\">",
+        LABEL_W + CHART_W + 10.0,
+        height
+    )
+    .expect("writing to String cannot fail");
+    for (i, worker) in platform.workers().iter().enumerate() {
+        let y = i as f64 * ROW_H + 5.0;
+        write!(
+            out,
+            "<text x=\"2\" y=\"{:.1}\" font-size=\"11\" font-family=\"monospace\">{}</text>",
+            y + ROW_H * 0.65,
+            worker.name
+        )
+        .expect("writing to String cannot fail");
+        write!(
+            out,
+            "<rect x=\"{LABEL_W}\" y=\"{y:.1}\" width=\"{CHART_W}\" height=\"{:.1}\" fill=\"#f2f2f2\"/>",
+            ROW_H - 2.0
+        )
+        .expect("writing to String cannot fail");
+    }
+    for s in &trace.tasks {
+        let y = s.worker.index() as f64 * ROW_H + 5.0;
+        let x = LABEL_W + s.start / makespan * CHART_W;
+        let w = ((s.end - s.start) / makespan * CHART_W).max(0.5);
+        let color = palette[s.ttype.index() % palette.len()];
+        let stroke = if highlight.contains(&s.task) {
+            " stroke=\"#d62728\" stroke-width=\"2\""
+        } else {
+            ""
+        };
+        write!(
+            out,
+            "<rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" height=\"{:.1}\" fill=\"{color}\"{stroke}><title>{} on {}: {:.1}-{:.1} us</title></rect>",
+            ROW_H - 2.0,
+            s.task,
+            s.worker,
+            s.start,
+            s.end
+        )
+        .expect("writing to String cannot fail");
+    }
+    write!(
+        out,
+        "<text x=\"{LABEL_W}\" y=\"{:.1}\" font-size=\"11\" font-family=\"monospace\">makespan {makespan:.1} us</text></svg>",
+        height - 8.0
+    )
+    .expect("writing to String cannot fail");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TaskSpan;
+    use mp_dag::ids::TaskTypeId;
+    use mp_platform::presets::homogeneous;
+    use mp_platform::types::WorkerId;
+
+    fn trace() -> Trace {
+        let mut tr = Trace::new(2);
+        tr.tasks.push(TaskSpan {
+            task: TaskId(0),
+            ttype: TaskTypeId(0),
+            worker: WorkerId(0),
+            ready_at: 0.0,
+            start: 0.0,
+            end: 10.0,
+        });
+        tr.tasks.push(TaskSpan {
+            task: TaskId(1),
+            ttype: TaskTypeId(1),
+            worker: WorkerId(1),
+            ready_at: 0.0,
+            start: 5.0,
+            end: 10.0,
+        });
+        tr
+    }
+
+    #[test]
+    fn ascii_rows_and_marks() {
+        let p = homogeneous(2);
+        let out = gantt_ascii(&trace(), &p, 20, &[TaskId(1)]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("####################"), "worker 0 fully busy");
+        assert!(lines[1].contains('X'), "highlighted task marked");
+        assert!(lines[1].starts_with("CPU 1"));
+        assert!(lines[2].contains("makespan"));
+    }
+
+    #[test]
+    fn ascii_empty_trace() {
+        let p = homogeneous(1);
+        assert!(gantt_ascii(&Trace::new(1), &p, 20, &[]).is_empty());
+    }
+
+    #[test]
+    fn svg_is_wellformed_enough() {
+        let p = homogeneous(2);
+        let svg = gantt_svg(&trace(), &p, &[TaskId(0)]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 2 + 2, "2 lanes + 2 tasks");
+        assert!(svg.contains("stroke=\"#d62728\""), "highlight present");
+    }
+}

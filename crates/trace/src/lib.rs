@@ -1,0 +1,19 @@
+//! # mp-trace — execution traces and their analysis
+//!
+//! The simulator (and the threaded runtime) record every task execution
+//! and data transfer into a [`Trace`]. This crate computes the paper's
+//! Fig. 4 style diagnostics from it:
+//!
+//! * makespan and per-worker / per-node **idle percentages**;
+//! * the **practical critical path** — the chain of tasks obtained by
+//!   walking back from the last-finishing task through the predecessor
+//!   that finished last (the red-bordered tasks of Fig. 4);
+//! * ASCII and SVG **Gantt charts**;
+//! * CSV export for external plotting.
+
+pub mod analysis;
+pub mod gantt;
+pub mod record;
+
+pub use analysis::{practical_critical_path, IdleStats};
+pub use record::{TaskSpan, Trace, TransferKind, TransferSpan};

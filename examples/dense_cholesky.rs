@@ -1,0 +1,48 @@
+//! Dense tiled Cholesky (the paper's Fig. 5 `potrf` workload): compare
+//! every scheduler on the Intel-V100 platform and report GFlop/s and
+//! per-architecture idle time.
+//!
+//! ```sh
+//! cargo run --release --example dense_cholesky [-- <matrix_size> <tile>]
+//! ```
+
+use multiprio_suite::apps::dense::{potrf, DenseConfig};
+use multiprio_suite::apps::dense_model;
+use multiprio_suite::bench::{make_scheduler, SCHEDULER_NAMES};
+use multiprio_suite::platform::presets::intel_v100_streams;
+use multiprio_suite::sim::{simulate, SimConfig};
+use multiprio_suite::trace::analysis::idle_per_arch;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20 * 960);
+    let tile: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(960);
+
+    let w = potrf(DenseConfig::new(n, tile));
+    let platform = intel_v100_streams(2);
+    let model = dense_model();
+    println!(
+        "potrf n={n} tile={tile}: {} tasks, {} edges, {:.1} Gflop on {}\n",
+        w.graph.task_count(),
+        w.graph.edge_count(),
+        w.total_flops / 1e9,
+        platform.name,
+    );
+    println!(
+        "{:22} {:>12} {:>10} {:>10} {:>10}",
+        "scheduler", "makespan(ms)", "GFlop/s", "cpu idle%", "gpu idle%"
+    );
+    for name in SCHEDULER_NAMES {
+        let mut s = make_scheduler(name);
+        let r = simulate(&w.graph, &platform, &model, s.as_mut(), SimConfig::default());
+        let idle = idle_per_arch(&r.trace, &platform);
+        println!(
+            "{:22} {:12.2} {:10.1} {:9.1}% {:9.1}%",
+            name,
+            r.makespan / 1e3,
+            r.gflops(w.total_flops),
+            idle[0].idle_pct,
+            idle.get(1).map_or(0.0, |i| i.idle_pct),
+        );
+    }
+}

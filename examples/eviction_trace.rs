@@ -1,0 +1,46 @@
+//! Reproduce the paper's Fig. 4 study: simulate the tiled Cholesky
+//! factorization of a 960×20-tile matrix on 1 GPU + 6 CPUs with and
+//! without MultiPrio's eviction mechanism, print the idle percentages and
+//! ASCII Gantt charts (the practical critical path is marked `X`), and
+//! write SVG Gantt charts next to the binary.
+//!
+//! ```sh
+//! cargo run --release --example eviction_trace
+//! ```
+
+use multiprio_suite::apps::dense::{potrf, DenseConfig};
+use multiprio_suite::apps::dense_model;
+use multiprio_suite::bench::run_once;
+use multiprio_suite::platform::presets::fig4;
+use multiprio_suite::trace::analysis::idle_per_arch;
+use multiprio_suite::trace::gantt::{gantt_ascii, gantt_svg};
+use multiprio_suite::trace::practical_critical_path;
+
+fn main() {
+    let w = potrf(DenseConfig::new(20 * 960, 960));
+    let platform = fig4();
+    let model = dense_model();
+    println!(
+        "potrf 960x20 on {} ({} tasks)\n",
+        platform.name,
+        w.graph.task_count()
+    );
+
+    for (label, sched) in
+        [("WITHOUT eviction mechanism", "multiprio-noevict"), ("WITH eviction mechanism", "multiprio")]
+    {
+        let r = run_once(&w.graph, &platform, &model, sched, 4);
+        let cp = practical_critical_path(&r.trace, &w.graph);
+        println!("== MultiPrio {label} ==");
+        println!("makespan: {:.1} us", r.makespan);
+        for stat in idle_per_arch(&r.trace, &platform) {
+            println!("  {:10} idle {:5.1}%", stat.label, stat.idle_pct);
+        }
+        println!("{}", gantt_ascii(&r.trace, &platform, 100, &cp));
+        let path = format!("fig4_{}.svg", sched.replace('-', "_"));
+        std::fs::write(&path, gantt_svg(&r.trace, &platform, &cp))
+            .expect("write SVG next to the working directory");
+        println!("(SVG written to {path})\n");
+    }
+    println!("Paper reference: eviction reduces GPU idle time from 29% to 1%.");
+}

@@ -1,0 +1,51 @@
+//! Task-based FMM (the paper's Fig. 6 workload): build a group-tree FMM
+//! over uniform and clustered particle distributions and compare the
+//! three paper schedulers while sweeping the GPU stream count.
+//!
+//! ```sh
+//! cargo run --release --example fmm_octree [-- <particles> <tree_height>]
+//! ```
+
+use multiprio_suite::apps::fmm::{fmm, Distribution, FmmConfig};
+use multiprio_suite::apps::fmm_model;
+use multiprio_suite::bench::run_noisy;
+use multiprio_suite::platform::presets::intel_v100_streams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let particles: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let tree_height: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let model = fmm_model();
+    for dist in [Distribution::Uniform, Distribution::Clustered] {
+        let w = fmm(FmmConfig {
+            particles,
+            tree_height,
+            group_size: 64,
+            distribution: dist,
+            seed: 42,
+        });
+        println!(
+            "\nFMM {dist:?}: {} particles, height {tree_height}, {} leaf cells, {} groups, {} tasks, {:.1} Gflop",
+            particles,
+            w.stats.leaf_cells,
+            w.stats.groups,
+            w.graph.task_count(),
+            w.total_flops / 1e9
+        );
+        println!("{:>8} {:>12} {:>12} {:>12}", "streams", "multiprio", "dmdas", "heteroprio");
+        for streams in [1usize, 2, 4] {
+            let platform = intel_v100_streams(streams);
+            let time = |sched: &str| {
+                run_noisy(&w.graph, &platform, &model, sched, 6, 0.2).makespan / 1e6
+            };
+            println!(
+                "{:>8} {:>11.3}s {:>11.3}s {:>11.3}s",
+                streams,
+                time("multiprio"),
+                time("dmdas"),
+                time("heteroprio")
+            );
+        }
+    }
+}

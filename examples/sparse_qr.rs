@@ -1,0 +1,56 @@
+//! Sparse multifrontal QR (the paper's Fig. 8 workload): factorize one of
+//! the Fig. 7 matrices under each scheduler and report the ratio versus
+//! Dmdas, plus the practical critical path through the elimination tree.
+//!
+//! ```sh
+//! cargo run --release --example sparse_qr [-- <matrix-name>]
+//! cargo run --release --example sparse_qr -- TF17
+//! ```
+
+use multiprio_suite::apps::sparseqr::{matrix, sparse_qr, SparseQrConfig, FIG7_MATRICES};
+use multiprio_suite::apps::sparseqr_model;
+use multiprio_suite::bench::run_noisy;
+use multiprio_suite::platform::presets::intel_v100_streams;
+use multiprio_suite::trace::practical_critical_path;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "flower_7_4".to_string());
+    let Some(meta) = matrix(&name) else {
+        eprintln!("unknown matrix '{name}'; available:");
+        for m in &FIG7_MATRICES {
+            eprintln!("  {} ({} Gflop)", m.name, m.gflops);
+        }
+        std::process::exit(1);
+    };
+
+    let w = sparse_qr(meta, SparseQrConfig::default());
+    let platform = intel_v100_streams(4);
+    let model = sparseqr_model();
+    println!(
+        "{}: {}x{}, {} nnz, {:.0} Gflop -> {} fronts, {} tasks",
+        meta.name,
+        meta.rows,
+        meta.cols,
+        meta.nnz,
+        meta.gflops,
+        w.fronts,
+        w.graph.task_count()
+    );
+
+    let mut dmdas_time = f64::NAN;
+    for sched in ["dmdas", "multiprio", "heteroprio", "lws"] {
+        let r = run_noisy(&w.graph, &platform, &model, sched, 8, 0.25);
+        let t = r.makespan / 1e6;
+        if sched == "dmdas" {
+            dmdas_time = t;
+        }
+        let cp = practical_critical_path(&r.trace, &w.graph);
+        println!(
+            "{:10} {:8.3} s  ratio vs dmdas {:5.3}  practical critical path: {} tasks",
+            sched,
+            t,
+            dmdas_time / t,
+            cp.len()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! # multiprio-suite — umbrella crate
+//!
+//! Re-exports every crate of the MultiPrio reproduction so examples and
+//! integration tests can `use multiprio_suite::...` and pull in the whole
+//! stack with one dependency.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module mapping.
+
+pub use mp_apps as apps;
+pub use mp_bench as bench;
+pub use mp_dag as dag;
+pub use mp_perfmodel as perfmodel;
+pub use mp_platform as platform;
+pub use mp_runtime as runtime;
+pub use mp_sched as sched;
+pub use mp_sim as sim;
+pub use mp_trace as trace;
+pub use multiprio;

@@ -1,0 +1,84 @@
+//! Property-based integration tests: random DAGs through random scheduler
+//! choices must always yield valid schedules with conserved structure.
+
+use multiprio_suite::apps::random::{random_dag, random_model, RandomDagConfig};
+use multiprio_suite::bench::{make_scheduler, SCHEDULER_NAMES};
+use multiprio_suite::dag::{critical_path, topological_order};
+use multiprio_suite::perfmodel::{Estimator, PerfModel};
+use multiprio_suite::platform::presets::simple;
+use multiprio_suite::sim::{simulate, SimConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Simulated schedules satisfy all structural invariants for random
+    /// shapes, scheduler choices and noise levels.
+    #[test]
+    fn prop_valid_schedules(
+        seed in 0u64..1000,
+        layers in 2usize..7,
+        width in 2usize..9,
+        sched_idx in 0usize..SCHEDULER_NAMES.len(),
+        cpus in 1usize..5,
+        gpus in 0usize..3,
+        noise in 0usize..2,
+    ) {
+        let g = random_dag(RandomDagConfig { layers, width, seed, ..Default::default() });
+        let m = random_model();
+        // gpus can be 0: CPU-only platforms must also work (RCPU+RBOTH
+        // both have CPU implementations).
+        let p = simple(cpus, gpus);
+        let mut s = make_scheduler(SCHEDULER_NAMES[sched_idx]);
+        let cfg = if noise == 0 {
+            SimConfig::seeded(seed)
+        } else {
+            SimConfig::seeded(seed).with_noise(0.2)
+        };
+        let r = simulate(&g, &p, &m, s.as_mut(), cfg);
+
+        // Every task exactly once.
+        prop_assert_eq!(r.stats.tasks, g.task_count());
+        prop_assert_eq!(r.trace.tasks.len(), g.task_count());
+        let mut seen = vec![false; g.task_count()];
+        for span in &r.trace.tasks {
+            prop_assert!(!seen[span.task.index()], "duplicate execution");
+            seen[span.task.index()] = true;
+        }
+        // Workers never overlap; no task precedes its readiness.
+        prop_assert!(r.trace.validate().is_ok());
+        // Precedence constraints.
+        for span in &r.trace.tasks {
+            for &pred in g.preds(span.task) {
+                let pe = r.trace.span_of(pred).unwrap().end;
+                prop_assert!(span.start >= pe - 1e-6);
+            }
+        }
+        // Lower bound (only exact without noise).
+        if noise == 0 {
+            let est = Estimator::new(&g, &p, &m as &dyn PerfModel);
+            let cp = critical_path(&g, |t| est.best_delta(t).unwrap()).length;
+            prop_assert!(r.makespan >= cp - 1e-6);
+        }
+    }
+
+    /// STF inference: for random submission programs the graph is acyclic
+    /// and a topological order exists that matches submission order
+    /// prefix-freeness (ids only ever depend on smaller ids).
+    #[test]
+    fn prop_stf_edges_point_forward(
+        seed in 0u64..500,
+        layers in 1usize..10,
+        width in 1usize..12,
+    ) {
+        let g = random_dag(RandomDagConfig { layers, width, seed, ..Default::default() });
+        prop_assert!(g.validate_acyclic().is_ok());
+        for t in g.tasks() {
+            for &s in g.succs(t.id) {
+                prop_assert!(s > t.id, "STF edges point from earlier to later submissions");
+            }
+        }
+        let order = topological_order(&g);
+        prop_assert_eq!(order.len(), g.task_count());
+    }
+}

@@ -1,0 +1,82 @@
+//! Cross-crate matrix test: every scheduler × every application
+//! generator, small instances. Checks completion, trace validity and the
+//! critical-path lower bound.
+
+use multiprio_suite::apps::dense::{geqrf, getrf, potrf, DenseConfig};
+use multiprio_suite::apps::fmm::{fmm, Distribution, FmmConfig};
+use multiprio_suite::apps::hierarchical::{hierarchical, hierarchical_model, HierConfig};
+use multiprio_suite::apps::random::{random_dag, random_model, RandomDagConfig};
+use multiprio_suite::apps::sparseqr::{matrix, sparse_qr, SparseQrConfig};
+use multiprio_suite::apps::{dense_model, fmm_model, sparseqr_model};
+use multiprio_suite::bench::{make_scheduler, SCHEDULER_NAMES};
+use multiprio_suite::dag::{critical_path, TaskGraph};
+use multiprio_suite::perfmodel::{Estimator, PerfModel, TableModel};
+use multiprio_suite::platform::presets::simple;
+use multiprio_suite::sim::{simulate, SimConfig};
+
+fn check_all_schedulers(name: &str, graph: &TaskGraph, model: &TableModel) {
+    let platform = simple(3, 1);
+    let cp = {
+        let est = Estimator::new(graph, &platform, model as &dyn PerfModel);
+        critical_path(graph, |t| est.best_delta(t).expect("task executable")).length
+    };
+    for sched in SCHEDULER_NAMES {
+        let mut s = make_scheduler(sched);
+        let r = simulate(graph, &platform, model, s.as_mut(), SimConfig::default());
+        assert_eq!(r.stats.tasks, graph.task_count(), "{name}/{sched}: all tasks ran");
+        assert!(r.trace.validate().is_ok(), "{name}/{sched}: trace is valid");
+        assert!(
+            r.makespan >= cp - 1e-6,
+            "{name}/{sched}: makespan {} below critical path {cp}",
+            r.makespan
+        );
+    }
+}
+
+#[test]
+fn dense_potrf_all_schedulers() {
+    let w = potrf(DenseConfig::new(6 * 960, 960));
+    check_all_schedulers("potrf", &w.graph, &dense_model());
+}
+
+#[test]
+fn dense_getrf_all_schedulers() {
+    let w = getrf(DenseConfig::new(5 * 960, 960));
+    check_all_schedulers("getrf", &w.graph, &dense_model());
+}
+
+#[test]
+fn dense_geqrf_all_schedulers() {
+    let w = geqrf(DenseConfig::new(5 * 960, 960));
+    check_all_schedulers("geqrf", &w.graph, &dense_model());
+}
+
+#[test]
+fn fmm_all_schedulers() {
+    let w = fmm(FmmConfig {
+        particles: 4_000,
+        tree_height: 4,
+        group_size: 16,
+        distribution: Distribution::Clustered,
+        seed: 3,
+    });
+    check_all_schedulers("fmm", &w.graph, &fmm_model());
+}
+
+#[test]
+fn sparse_qr_all_schedulers() {
+    let w = sparse_qr(matrix("cat_ears_4_4").unwrap(), SparseQrConfig::default());
+    check_all_schedulers("sparseqr", &w.graph, &sparseqr_model());
+}
+
+#[test]
+fn hierarchical_all_schedulers() {
+    let w = hierarchical(HierConfig { outer: 5, ..Default::default() });
+    check_all_schedulers("hierarchical", &w.graph, &hierarchical_model());
+}
+
+#[test]
+fn random_all_schedulers() {
+    let g = random_dag(RandomDagConfig { layers: 6, width: 8, ..Default::default() });
+    check_all_schedulers("random", &g, &random_model());
+}
