@@ -26,8 +26,7 @@ pub fn geqrf(cfg: DenseConfig) -> DenseWorkload {
     let mut t_of = vec![None; nt * nt];
     for k in 0..nt {
         for i in k..nt {
-            t_of[i * nt + k] =
-                Some(stf.graph_mut().add_data(t_bytes, format!("T({i},{k})")));
+            t_of[i * nt + k] = Some(stf.graph_mut().add_data(t_bytes, format!("T({i},{k})")));
         }
     }
     let t_at = |i: usize, k: usize| t_of[i * nt + k].expect("T factor allocated");
@@ -39,7 +38,10 @@ pub fn geqrf(cfg: DenseConfig) -> DenseWorkload {
     for k in 0..nt {
         stf.submit(
             k_geqrt,
-            vec![(a.at(k, k), AccessMode::ReadWrite), (t_at(k, k), AccessMode::Write)],
+            vec![
+                (a.at(k, k), AccessMode::ReadWrite),
+                (t_at(k, k), AccessMode::Write),
+            ],
             f_geqrt,
             format!("GEQRT({k})"),
         );
@@ -84,7 +86,12 @@ pub fn geqrf(cfg: DenseConfig) -> DenseWorkload {
     let mut graph = stf.finish();
     assign_bottom_level_priorities(&mut graph);
     let total_flops = graph.stats().total_flops;
-    DenseWorkload { graph, total_flops, nt, config: cfg }
+    DenseWorkload {
+        graph,
+        total_flops,
+        nt,
+        config: cfg,
+    }
 }
 
 /// Closed-form task count of [`geqrf`] for `nt` tiles:
@@ -112,7 +119,10 @@ mod tests {
         let qr = geqrf(cfg);
         let chol = super::super::potrf(cfg);
         let ratio = qr.total_flops / chol.total_flops;
-        assert!((3.0..=5.5).contains(&ratio), "QR/Cholesky flop ratio {ratio}");
+        assert!(
+            (3.0..=5.5).contains(&ratio),
+            "QR/Cholesky flop ratio {ratio}"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn getrf(cfg: DenseConfig) -> DenseWorkload {
             // U panel: row k.
             stf.submit(
                 k_trsm,
-                vec![(a.at(k, k), AccessMode::Read), (a.at(k, j), AccessMode::ReadWrite)],
+                vec![
+                    (a.at(k, k), AccessMode::Read),
+                    (a.at(k, j), AccessMode::ReadWrite),
+                ],
                 f_trsm,
                 format!("TRSM_U({k},{j})"),
             );
@@ -43,7 +46,10 @@ pub fn getrf(cfg: DenseConfig) -> DenseWorkload {
             // L panel: column k.
             stf.submit(
                 k_trsm,
-                vec![(a.at(k, k), AccessMode::Read), (a.at(i, k), AccessMode::ReadWrite)],
+                vec![
+                    (a.at(k, k), AccessMode::Read),
+                    (a.at(i, k), AccessMode::ReadWrite),
+                ],
                 f_trsm,
                 format!("TRSM_L({i},{k})"),
             );
@@ -66,7 +72,12 @@ pub fn getrf(cfg: DenseConfig) -> DenseWorkload {
     let mut graph = stf.finish();
     assign_bottom_level_priorities(&mut graph);
     let total_flops = graph.stats().total_flops;
-    DenseWorkload { graph, total_flops, nt, config: cfg }
+    DenseWorkload {
+        graph,
+        total_flops,
+        nt,
+        config: cfg,
+    }
 }
 
 /// Closed-form task count of [`getrf`] for `nt` tiles:
@@ -94,7 +105,10 @@ mod tests {
         let lu = getrf(cfg);
         let chol = super::super::potrf(cfg);
         let ratio = lu.total_flops / chol.total_flops;
-        assert!((1.6..=2.4).contains(&ratio), "LU/Cholesky flop ratio {ratio}");
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "LU/Cholesky flop ratio {ratio}"
+        );
     }
 
     #[test]
@@ -107,6 +121,10 @@ mod tests {
             .iter()
             .find(|t| g.task_type(t.ttype).name == "GEMM")
             .expect("one gemm");
-        assert_eq!(g.preds(gemm.id).len(), 2, "both panel solves feed the update");
+        assert_eq!(
+            g.preds(gemm.id).len(),
+            2,
+            "both panel solves feed the update"
+        );
     }
 }

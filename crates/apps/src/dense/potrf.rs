@@ -33,7 +33,10 @@ pub fn potrf(cfg: DenseConfig) -> DenseWorkload {
         for i in k + 1..nt {
             stf.submit(
                 k_trsm,
-                vec![(a.at(k, k), AccessMode::Read), (a.at(i, k), AccessMode::ReadWrite)],
+                vec![
+                    (a.at(k, k), AccessMode::Read),
+                    (a.at(i, k), AccessMode::ReadWrite),
+                ],
                 f_trsm,
                 format!("TRSM({i},{k})"),
             );
@@ -41,7 +44,10 @@ pub fn potrf(cfg: DenseConfig) -> DenseWorkload {
         for i in k + 1..nt {
             stf.submit(
                 k_syrk,
-                vec![(a.at(i, k), AccessMode::Read), (a.at(i, i), AccessMode::ReadWrite)],
+                vec![
+                    (a.at(i, k), AccessMode::Read),
+                    (a.at(i, i), AccessMode::ReadWrite),
+                ],
                 f_syrk,
                 format!("SYRK({i},{k})"),
             );
@@ -62,13 +68,22 @@ pub fn potrf(cfg: DenseConfig) -> DenseWorkload {
     let mut graph = stf.finish();
     assign_bottom_level_priorities(&mut graph);
     let total_flops = graph.stats().total_flops;
-    DenseWorkload { graph, total_flops, nt, config: cfg }
+    DenseWorkload {
+        graph,
+        total_flops,
+        nt,
+        config: cfg,
+    }
 }
 
 /// Closed-form task count of [`potrf`] for `nt` tiles:
 /// `nt` POTRF + `nt(nt−1)/2` TRSM + `nt(nt−1)/2` SYRK + `C(nt,3)` GEMM.
 pub fn potrf_task_count(nt: usize) -> usize {
-    let gemm = if nt >= 3 { nt * (nt - 1) * (nt - 2) / 6 } else { 0 };
+    let gemm = if nt >= 3 {
+        nt * (nt - 1) * (nt - 2) / 6
+    } else {
+        0
+    };
     nt + nt * (nt - 1) / 2 + nt * (nt - 1) / 2 + gemm
 }
 
@@ -111,8 +126,11 @@ mod tests {
         let w = potrf(DenseConfig::new(2 * 960, 960));
         let g = &w.graph;
         assert_eq!(g.task_count(), 4);
-        let names: Vec<String> =
-            g.tasks().iter().map(|t| g.task_type(t.ttype).name.clone()).collect();
+        let names: Vec<String> = g
+            .tasks()
+            .iter()
+            .map(|t| g.task_type(t.ttype).name.clone())
+            .collect();
         assert_eq!(names, vec!["POTRF", "TRSM", "SYRK", "POTRF"]);
         assert_eq!(g.preds(TaskId(1)), &[TaskId(0)]);
         assert_eq!(g.preds(TaskId(2)), &[TaskId(1)]);

@@ -73,8 +73,9 @@ pub fn fmm(cfg: FmmConfig) -> FmmWorkload {
     // 1. Sample particles into leaf cells.
     // ------------------------------------------------------------------
     let mut leaf_counts: HashMap<u64, u64> = HashMap::new();
-    let clusters: Vec<(f64, f64, f64)> =
-        (0..8).map(|_| (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let clusters: Vec<(f64, f64, f64)> = (0..8)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     for _ in 0..cfg.particles {
         let (x, y, z) = match cfg.distribution {
             Distribution::Uniform => (rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()),
@@ -128,31 +129,47 @@ pub fn fmm(cfg: FmmConfig) -> FmmWorkload {
                 let ncells = chunk.len();
                 let count: u64 = chunk.iter().map(|&(_, c)| c).sum();
                 let exp_bytes = (ncells as u64) * (EXPANSION_TERMS as u64) * TERM_BYTES;
-                let multipole =
-                    stf.graph_mut().add_data(exp_bytes, format!("mult[l{l}g{chunk_idx}]"));
-                let local =
-                    stf.graph_mut().add_data(exp_bytes, format!("loc[l{l}g{chunk_idx}]"));
+                let multipole = stf
+                    .graph_mut()
+                    .add_data(exp_bytes, format!("mult[l{l}g{chunk_idx}]"));
+                let local = stf
+                    .graph_mut()
+                    .add_data(exp_bytes, format!("loc[l{l}g{chunk_idx}]"));
                 let (particles, potential) = if l == leaf_level {
                     (
                         Some(stf.graph_mut().add_data(
                             count.max(1) * PARTICLE_BYTES,
                             format!("part[g{chunk_idx}]"),
                         )),
-                        Some(stf.graph_mut().add_data(
-                            count.max(1) * 8,
-                            format!("pot[g{chunk_idx}]"),
-                        )),
+                        Some(
+                            stf.graph_mut()
+                                .add_data(count.max(1) * 8, format!("pot[g{chunk_idx}]")),
+                        ),
                     )
                 } else {
                     (None, None)
                 };
-                groups.push(Group { multipole, local, particles, potential, count });
+                groups.push(Group {
+                    multipole,
+                    local,
+                    particles,
+                    potential,
+                    count,
+                });
                 for i in 0..ncells {
                     let pos = chunk_idx * cfg.group_size + i;
                     group_of[pos] = gid;
                 }
             }
-            levels.insert(l, Level { cells: cur.clone(), index, group_of, group_ids });
+            levels.insert(
+                l,
+                Level {
+                    cells: cur.clone(),
+                    index,
+                    group_of,
+                    group_ids,
+                },
+            );
             // Parent level occupancy.
             let mut parents: HashMap<u64, u64> = HashMap::new();
             for &(m, c) in &cur {
@@ -338,7 +355,11 @@ pub fn fmm(cfg: FmmConfig) -> FmmWorkload {
         groups: groups.len(),
         leaf_groups: levels[&leaf_level].group_ids.len(),
     };
-    FmmWorkload { graph, total_flops, stats }
+    FmmWorkload {
+        graph,
+        total_flops,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -382,7 +403,10 @@ mod tests {
         for t in g.tasks() {
             let name = &g.task_type(t.ttype).name;
             if name == "L2P" {
-                assert!(!g.preds(t.id).is_empty(), "L2P must wait for local expansion");
+                assert!(
+                    !g.preds(t.id).is_empty(),
+                    "L2P must wait for local expansion"
+                );
             }
             if name == "M2M" {
                 // M2M reads a child multipole written by P2M or M2M.
@@ -410,7 +434,12 @@ mod tests {
             let var = p2p.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / p2p.len() as f64;
             var.sqrt() / mean
         };
-        assert!(cv(&wc) > cv(&wu), "clustered cv {} vs uniform cv {}", cv(&wc), cv(&wu));
+        assert!(
+            cv(&wc) > cv(&wu),
+            "clustered cv {} vs uniform cv {}",
+            cv(&wc),
+            cv(&wu)
+        );
     }
 
     #[test]

@@ -86,10 +86,15 @@ mod tests {
 
     #[test]
     fn validation() {
-        let mut c = FmmConfig::default();
-        c.tree_height = 2;
+        let mut c = FmmConfig {
+            tree_height: 2,
+            ..FmmConfig::default()
+        };
         assert!(c.validate().is_err());
-        c = FmmConfig { group_size: 0, ..FmmConfig::default() };
+        c = FmmConfig {
+            group_size: 0,
+            ..FmmConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

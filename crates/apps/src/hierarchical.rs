@@ -38,7 +38,13 @@ pub struct HierConfig {
 
 impl Default for HierConfig {
     fn default() -> Self {
-        Self { outer: 8, block: 2048, split: 4, expand_ratio: 0.5, seed: 11 }
+        Self {
+            outer: 8,
+            block: 2048,
+            split: 4,
+            expand_ratio: 0.5,
+            seed: 11,
+        }
     }
 }
 
@@ -104,14 +110,14 @@ pub fn hierarchical(cfg: HierConfig) -> HierWorkload {
 
     // Submit one outer kernel either coarse or expanded.
     let emit = |stf: &mut StfBuilder,
-                    ttype: TaskTypeId,
-                    flops: f64,
-                    accesses: Vec<(DataId, AccessMode)>,
-                    label: String,
-                    expandable: bool,
-                    rng: &mut StdRng,
-                    expanded_ctr: &mut usize,
-                    coarse_ctr: &mut usize| {
+                ttype: TaskTypeId,
+                flops: f64,
+                accesses: Vec<(DataId, AccessMode)>,
+                label: String,
+                expandable: bool,
+                rng: &mut StdRng,
+                expanded_ctr: &mut usize,
+                coarse_ctr: &mut usize| {
         if expandable && rng.gen_bool(cfg.expand_ratio) {
             *expanded_ctr += 1;
             let s = cfg.split;
@@ -141,7 +147,12 @@ pub fn hierarchical(cfg: HierConfig) -> HierWorkload {
                 stf.submit(ttype, acc, inner_flops, format!("{label}:{z}"));
             }
             // Pack step: gathers the inner results back into the handle.
-            stf.submit(k_part, vec![(rw_handle, AccessMode::ReadWrite)], 0.0, format!("{label}:pack"));
+            stf.submit(
+                k_part,
+                vec![(rw_handle, AccessMode::ReadWrite)],
+                0.0,
+                format!("{label}:pack"),
+            );
         } else {
             *coarse_ctr += 1;
             stf.submit(ttype, accesses, flops, label);
@@ -165,7 +176,10 @@ pub fn hierarchical(cfg: HierConfig) -> HierWorkload {
                 &mut stf,
                 k.trsm,
                 b3,
-                vec![(at(kk, kk), AccessMode::Read), (at(i, kk), AccessMode::ReadWrite)],
+                vec![
+                    (at(kk, kk), AccessMode::Read),
+                    (at(i, kk), AccessMode::ReadWrite),
+                ],
                 format!("TRSM({i},{kk})"),
                 true,
                 &mut rng,
@@ -178,7 +192,10 @@ pub fn hierarchical(cfg: HierConfig) -> HierWorkload {
                 &mut stf,
                 k.syrk,
                 b3,
-                vec![(at(i, kk), AccessMode::Read), (at(i, i), AccessMode::ReadWrite)],
+                vec![
+                    (at(i, kk), AccessMode::Read),
+                    (at(i, i), AccessMode::ReadWrite),
+                ],
                 format!("SYRK({i},{kk})"),
                 true,
                 &mut rng,
@@ -207,7 +224,12 @@ pub fn hierarchical(cfg: HierConfig) -> HierWorkload {
 
     let graph = stf.finish();
     let total_flops = graph.stats().total_flops;
-    HierWorkload { graph, total_flops, expanded, coarse }
+    HierWorkload {
+        graph,
+        total_flops,
+        expanded,
+        coarse,
+    }
 }
 
 /// Kernel table for hierarchical workloads: the same dense rates, plus
@@ -222,7 +244,10 @@ pub fn hierarchical_model() -> mp_perfmodel::TableModel {
         .set(
             "PARTITION",
             mp_platform::types::ArchClass::Cpu,
-            mp_perfmodel::TimeFn::PerByte { overhead_us: 3.0, us_per_kib: 0.005 },
+            mp_perfmodel::TimeFn::PerByte {
+                overhead_us: 3.0,
+                us_per_kib: 0.005,
+            },
         )
         .build()
 }
@@ -233,7 +258,10 @@ mod tests {
 
     #[test]
     fn all_coarse_matches_potrf_counts() {
-        let w = hierarchical(HierConfig { expand_ratio: 0.0, ..Default::default() });
+        let w = hierarchical(HierConfig {
+            expand_ratio: 0.0,
+            ..Default::default()
+        });
         assert_eq!(w.expanded, 0);
         assert_eq!(w.coarse, crate::dense::potrf::potrf_task_count(8));
         assert!(w.graph.validate_acyclic().is_ok());
@@ -241,19 +269,36 @@ mod tests {
 
     #[test]
     fn expansion_grows_the_graph_but_keeps_flops() {
-        let base = hierarchical(HierConfig { expand_ratio: 0.0, ..Default::default() });
-        let mixed = hierarchical(HierConfig { expand_ratio: 1.0, ..Default::default() });
+        let base = hierarchical(HierConfig {
+            expand_ratio: 0.0,
+            ..Default::default()
+        });
+        let mixed = hierarchical(HierConfig {
+            expand_ratio: 1.0,
+            ..Default::default()
+        });
         assert!(mixed.graph.task_count() > 3 * base.graph.task_count());
         let ratio = mixed.total_flops / base.total_flops;
-        assert!((0.99..=1.01).contains(&ratio), "flops preserved, ratio {ratio}");
-        assert!(mixed.expanded > 0 && mixed.coarse >= 8, "panels stay coarse");
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "flops preserved, ratio {ratio}"
+        );
+        assert!(
+            mixed.expanded > 0 && mixed.coarse >= 8,
+            "panels stay coarse"
+        );
     }
 
     #[test]
     fn mixed_granularity_is_visible() {
         let w = hierarchical(HierConfig::default());
-        let flops: Vec<f64> =
-            w.graph.tasks().iter().map(|t| t.flops).filter(|&f| f > 0.0).collect();
+        let flops: Vec<f64> = w
+            .graph
+            .tasks()
+            .iter()
+            .map(|t| t.flops)
+            .filter(|&f| f > 0.0)
+            .collect();
         let min = flops.iter().copied().fold(f64::INFINITY, f64::min);
         let max = flops.iter().copied().fold(0.0, f64::max);
         assert!(max >= 30.0 * min, "granularity spread {min:.2e}..{max:.2e}");

@@ -40,10 +40,38 @@ pub fn fmm_model() -> TableModel {
     TableModel::builder()
         .rates("P2P", 12.0, 480.0, 6.0)
         .rates("M2L", 16.0, 160.0, 6.0)
-        .set("P2M", ArchClass::Cpu, TimeFn::Rate { gflops: 14.0, overhead_us: 1.0 })
-        .set("M2M", ArchClass::Cpu, TimeFn::Rate { gflops: 14.0, overhead_us: 1.0 })
-        .set("L2L", ArchClass::Cpu, TimeFn::Rate { gflops: 14.0, overhead_us: 1.0 })
-        .set("L2P", ArchClass::Cpu, TimeFn::Rate { gflops: 14.0, overhead_us: 1.0 })
+        .set(
+            "P2M",
+            ArchClass::Cpu,
+            TimeFn::Rate {
+                gflops: 14.0,
+                overhead_us: 1.0,
+            },
+        )
+        .set(
+            "M2M",
+            ArchClass::Cpu,
+            TimeFn::Rate {
+                gflops: 14.0,
+                overhead_us: 1.0,
+            },
+        )
+        .set(
+            "L2L",
+            ArchClass::Cpu,
+            TimeFn::Rate {
+                gflops: 14.0,
+                overhead_us: 1.0,
+            },
+        )
+        .set(
+            "L2P",
+            ArchClass::Cpu,
+            TimeFn::Rate {
+                gflops: 14.0,
+                overhead_us: 1.0,
+            },
+        )
         .build()
 }
 
@@ -55,19 +83,39 @@ pub fn fmm_model() -> TableModel {
 /// Activation and assembly are memory-bound CPU tasks.
 pub fn sparseqr_model() -> TableModel {
     TableModel::builder()
-        .set("SQR_GEQRT", ArchClass::Cpu, TimeFn::Rate { gflops: 25.0, overhead_us: 1.0 })
-        .set("SQR_TSQRT", ArchClass::Cpu, TimeFn::Rate { gflops: 24.0, overhead_us: 1.0 })
+        .set(
+            "SQR_GEQRT",
+            ArchClass::Cpu,
+            TimeFn::Rate {
+                gflops: 25.0,
+                overhead_us: 1.0,
+            },
+        )
+        .set(
+            "SQR_TSQRT",
+            ArchClass::Cpu,
+            TimeFn::Rate {
+                gflops: 24.0,
+                overhead_us: 1.0,
+            },
+        )
         .rates("SQR_UNMQR", 33.0, 1000.0, 8.0)
         .rates("SQR_TSMQR", 33.0, 1200.0, 8.0)
         .set(
             "SQR_ACTIVATE",
             ArchClass::Cpu,
-            TimeFn::PerByte { overhead_us: 4.0, us_per_kib: 0.02 },
+            TimeFn::PerByte {
+                overhead_us: 4.0,
+                us_per_kib: 0.02,
+            },
         )
         .set(
             "SQR_ASSEMBLE",
             ArchClass::Cpu,
-            TimeFn::PerByte { overhead_us: 4.0, us_per_kib: 0.03 },
+            TimeFn::PerByte {
+                overhead_us: 4.0,
+                us_per_kib: 0.03,
+            },
         )
         .build()
 }
@@ -88,7 +136,10 @@ mod tests {
         let po_gpu = m.entry("POTRF", ArchClass::Gpu).unwrap();
         let pflops = 960.0f64.powi(3) / 3.0;
         let speedup_po = po_cpu.eval(pflops, 0) / po_gpu.eval(pflops, 0);
-        assert!(speedup_po < speedup_gemm / 3.0, "panel must accelerate much less");
+        assert!(
+            speedup_po < speedup_gemm / 3.0,
+            "panel must accelerate much less"
+        );
     }
 
     #[test]

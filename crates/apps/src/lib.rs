@@ -34,9 +34,9 @@ pub use kernels::{dense_model, fmm_model, sparseqr_model};
 /// sparse-QR runs have no user priorities.
 pub fn assign_bottom_level_priorities(graph: &mut mp_dag::TaskGraph) {
     let levels = mp_dag::bottom_levels(graph, |_| 1.0);
-    for i in 0..graph.task_count() {
+    for (i, &lvl) in levels.iter().enumerate() {
         let t = mp_dag::TaskId::from_index(i);
-        graph.set_user_priority(t, levels[i] as i64);
+        graph.set_user_priority(t, lvl as i64);
     }
 }
 

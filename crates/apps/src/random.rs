@@ -57,7 +57,11 @@ pub fn random_dag(cfg: RandomDagConfig) -> TaskGraph {
         .collect();
     for l in 0..cfg.layers {
         for x in 0..cfg.width {
-            let k = if rng.gen_bool(cfg.gpu_fraction) { kb } else { kc };
+            let k = if rng.gen_bool(cfg.gpu_fraction) {
+                kb
+            } else {
+                kc
+            };
             let mut acc = vec![(handles[x], AccessMode::ReadWrite)];
             for _ in 0..rng.gen_range(0..3usize) {
                 let other = handles[rng.gen_range(0..cfg.width)];
@@ -65,8 +69,7 @@ pub fn random_dag(cfg: RandomDagConfig) -> TaskGraph {
                     acc.push((other, AccessMode::Read));
                 }
             }
-            let flops = cfg.flops_min
-                * (cfg.flops_max / cfg.flops_min).powf(rng.gen::<f64>());
+            let flops = cfg.flops_min * (cfg.flops_max / cfg.flops_min).powf(rng.gen::<f64>());
             stf.submit(k, acc, flops, format!("r{l}-{x}"));
         }
     }
@@ -80,7 +83,10 @@ pub fn random_model() -> mp_perfmodel::TableModel {
         .set(
             "RCPU",
             mp_platform::types::ArchClass::Cpu,
-            mp_perfmodel::TimeFn::Rate { gflops: 30.0, overhead_us: 1.0 },
+            mp_perfmodel::TimeFn::Rate {
+                gflops: 30.0,
+                overhead_us: 1.0,
+            },
         )
         .build()
 }
@@ -102,7 +108,11 @@ mod tests {
 
     #[test]
     fn layers_serialize_columns() {
-        let g = random_dag(RandomDagConfig { layers: 3, width: 1, ..Default::default() });
+        let g = random_dag(RandomDagConfig {
+            layers: 3,
+            width: 1,
+            ..Default::default()
+        });
         // Single column: strict chain of 3.
         assert_eq!(g.edge_count(), 2);
         assert_eq!(mp_dag::width_profile(&g), vec![1, 1, 1]);
@@ -111,7 +121,11 @@ mod tests {
     #[test]
     fn model_covers_both_kernels() {
         let m = random_model();
-        assert!(m.entry("RBOTH", mp_platform::types::ArchClass::Gpu).is_some());
-        assert!(m.entry("RCPU", mp_platform::types::ArchClass::Gpu).is_none());
+        assert!(m
+            .entry("RBOTH", mp_platform::types::ArchClass::Gpu)
+            .is_some());
+        assert!(m
+            .entry("RCPU", mp_platform::types::ArchClass::Gpu)
+            .is_none());
     }
 }

@@ -85,7 +85,13 @@ pub fn elimination_tree(meta: &MatrixMeta, seed: u64) -> Vec<Front> {
             .map(|i| {
                 let n = ((widths[i] * scale) as usize).max(8);
                 let m = ((n as f64) * rng_aspect[i]) as usize + n;
-                Front { id: i, parent: parent[i], children: Vec::new(), rows: m, cols: n }
+                Front {
+                    id: i,
+                    parent: parent[i],
+                    children: Vec::new(),
+                    rows: m,
+                    cols: n,
+                }
             })
             .collect();
         for i in 0..nf {

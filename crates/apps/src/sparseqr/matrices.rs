@@ -19,16 +19,76 @@ pub struct MatrixMeta {
 
 /// Fig. 7, verbatim, sorted by Gflop count as in the paper.
 pub const FIG7_MATRICES: [MatrixMeta; 10] = [
-    MatrixMeta { name: "cat_ears_4_4", rows: 19020, cols: 44448, nnz: 132888, gflops: 236.0 },
-    MatrixMeta { name: "flower_7_4", rows: 27693, cols: 67593, nnz: 202218, gflops: 889.0 },
-    MatrixMeta { name: "e18", rows: 24617, cols: 38602, nnz: 156466, gflops: 1439.0 },
-    MatrixMeta { name: "flower_8_4", rows: 55081, cols: 125361, nnz: 375266, gflops: 3072.0 },
-    MatrixMeta { name: "Rucci1", rows: 1977885, cols: 109900, nnz: 7791168, gflops: 5527.0 },
-    MatrixMeta { name: "TF17", rows: 38132, cols: 48630, nnz: 586218, gflops: 15787.0 },
-    MatrixMeta { name: "neos2", rows: 132568, cols: 134128, nnz: 685087, gflops: 31018.0 },
-    MatrixMeta { name: "GL7d24", rows: 21074, cols: 105054, nnz: 593892, gflops: 26825.0 },
-    MatrixMeta { name: "TF18", rows: 95368, cols: 123867, nnz: 1597545, gflops: 229042.0 },
-    MatrixMeta { name: "mk13-b5", rows: 135135, cols: 270270, nnz: 810810, gflops: 352413.0 },
+    MatrixMeta {
+        name: "cat_ears_4_4",
+        rows: 19020,
+        cols: 44448,
+        nnz: 132888,
+        gflops: 236.0,
+    },
+    MatrixMeta {
+        name: "flower_7_4",
+        rows: 27693,
+        cols: 67593,
+        nnz: 202218,
+        gflops: 889.0,
+    },
+    MatrixMeta {
+        name: "e18",
+        rows: 24617,
+        cols: 38602,
+        nnz: 156466,
+        gflops: 1439.0,
+    },
+    MatrixMeta {
+        name: "flower_8_4",
+        rows: 55081,
+        cols: 125361,
+        nnz: 375266,
+        gflops: 3072.0,
+    },
+    MatrixMeta {
+        name: "Rucci1",
+        rows: 1977885,
+        cols: 109900,
+        nnz: 7791168,
+        gflops: 5527.0,
+    },
+    MatrixMeta {
+        name: "TF17",
+        rows: 38132,
+        cols: 48630,
+        nnz: 586218,
+        gflops: 15787.0,
+    },
+    MatrixMeta {
+        name: "neos2",
+        rows: 132568,
+        cols: 134128,
+        nnz: 685087,
+        gflops: 31018.0,
+    },
+    MatrixMeta {
+        name: "GL7d24",
+        rows: 21074,
+        cols: 105054,
+        nnz: 593892,
+        gflops: 26825.0,
+    },
+    MatrixMeta {
+        name: "TF18",
+        rows: 95368,
+        cols: 123867,
+        nnz: 1597545,
+        gflops: 229042.0,
+    },
+    MatrixMeta {
+        name: "mk13-b5",
+        rows: 135135,
+        cols: 270270,
+        nnz: 810810,
+        gflops: 352413.0,
+    },
 ];
 
 /// Look up a Fig. 7 matrix by name.
@@ -66,7 +126,12 @@ mod tests {
             if w[0].name == "neos2" {
                 continue;
             }
-            assert!(w[0].gflops <= w[1].gflops, "{} before {}", w[0].name, w[1].name);
+            assert!(
+                w[0].gflops <= w[1].gflops,
+                "{} before {}",
+                w[0].name,
+                w[1].name
+            );
         }
     }
 }

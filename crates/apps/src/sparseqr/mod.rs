@@ -38,6 +38,9 @@ pub struct SparseQrConfig {
 
 impl Default for SparseQrConfig {
     fn default() -> Self {
-        Self { panel: 128, seed: 7 }
+        Self {
+            panel: 128,
+            seed: 7,
+        }
     }
 }

@@ -46,7 +46,8 @@ pub fn sparse_qr(meta: &MatrixMeta, cfg: SparseQrConfig) -> SparseQrWorkload {
         .iter()
         .map(|f| {
             let side = f.cb_rows() as u64;
-            stf.graph_mut().add_data(side * side * 8, format!("CB[{}]", f.id))
+            stf.graph_mut()
+                .add_data(side * side * 8, format!("CB[{}]", f.id))
         })
         .collect();
 
@@ -54,12 +55,14 @@ pub fn sparse_qr(meta: &MatrixMeta, cfg: SparseQrConfig) -> SparseQrWorkload {
         let npanels = f.cols.div_ceil(cfg.panel);
         let panel_bytes = (f.rows * cfg.panel.min(f.cols) * 8) as u64;
         let panels: Vec<_> = (0..npanels)
-            .map(|j| stf.graph_mut().add_data(panel_bytes, format!("F{}p{j}", f.id)))
+            .map(|j| {
+                stf.graph_mut()
+                    .add_data(panel_bytes, format!("F{}p{j}", f.id))
+            })
             .collect();
 
         // 1. Activation: W all panels.
-        let act_accesses: Vec<_> =
-            panels.iter().map(|&p| (p, AccessMode::Write)).collect();
+        let act_accesses: Vec<_> = panels.iter().map(|&p| (p, AccessMode::Write)).collect();
         stf.submit(k_act, act_accesses, 0.0, format!("ACTIVATE({})", f.id));
 
         // 2. Assembly of each child's contribution block.
@@ -89,7 +92,10 @@ pub fn sparse_qr(meta: &MatrixMeta, cfg: SparseQrConfig) -> SparseQrWorkload {
                 let update_flops = 4.0 * m_k * nb * nb;
                 stf.submit(
                     k_tsmqr,
-                    vec![(panels[k], AccessMode::Read), (panels[j], AccessMode::ReadWrite)],
+                    vec![
+                        (panels[k], AccessMode::Read),
+                        (panels[j], AccessMode::ReadWrite),
+                    ],
                     update_flops,
                     format!("TSMQR({},{k}->{j})", f.id),
                 );
@@ -109,7 +115,11 @@ pub fn sparse_qr(meta: &MatrixMeta, cfg: SparseQrConfig) -> SparseQrWorkload {
         graph_set_flops(&mut graph, t, f);
     }
     let total_flops = graph.stats().total_flops;
-    SparseQrWorkload { graph, total_flops, fronts: tree.len() }
+    SparseQrWorkload {
+        graph,
+        total_flops,
+        fronts: tree.len(),
+    }
 }
 
 /// Set a task's flops (kept local: generators own their graphs).
@@ -170,8 +180,13 @@ mod tests {
     #[test]
     fn task_granularity_is_wildly_mixed() {
         let w = sparse_qr(matrix("TF17").unwrap(), SparseQrConfig::default());
-        let flops: Vec<f64> =
-            w.graph.tasks().iter().map(|t| t.flops).filter(|&f| f > 0.0).collect();
+        let flops: Vec<f64> = w
+            .graph
+            .tasks()
+            .iter()
+            .map(|t| t.flops)
+            .filter(|&f| f > 0.0)
+            .collect();
         let min = flops.iter().copied().fold(f64::INFINITY, f64::min);
         let max = flops.iter().copied().fold(0.0, f64::max);
         assert!(max > 100.0 * min, "flop spread {min:.2e}..{max:.2e}");

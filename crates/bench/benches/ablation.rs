@@ -54,16 +54,34 @@ fn hyperparameter_sweep(_c: &mut Criterion) {
     let model = sparseqr_model();
     println!("== locality window n sweep (paper default n = 10) ==");
     for n in [1usize, 4, 10, 25, 50] {
-        let cfg = MultiPrioConfig { locality_window: n, ..MultiPrioConfig::default() };
+        let cfg = MultiPrioConfig {
+            locality_window: n,
+            ..MultiPrioConfig::default()
+        };
         let mut s = MultiPrioScheduler::new(cfg);
-        let r = simulate(&w.graph, &platform, &model, &mut s, SimConfig::seeded(8).with_noise(0.25));
+        let r = simulate(
+            &w.graph,
+            &platform,
+            &model,
+            &mut s,
+            SimConfig::seeded(8).with_noise(0.25),
+        );
         println!("[sweep] n={n:3}  {:8.3} s", r.makespan / 1e6);
     }
     println!("== epsilon sweep (paper default eps = 0.8) ==");
     for eps in [0.05, 0.2, 0.4, 0.8, 1.0] {
-        let cfg = MultiPrioConfig { epsilon: eps, ..MultiPrioConfig::default() };
+        let cfg = MultiPrioConfig {
+            epsilon: eps,
+            ..MultiPrioConfig::default()
+        };
         let mut s = MultiPrioScheduler::new(cfg);
-        let r = simulate(&w.graph, &platform, &model, &mut s, SimConfig::seeded(8).with_noise(0.25));
+        let r = simulate(
+            &w.graph,
+            &platform,
+            &model,
+            &mut s,
+            SimConfig::seeded(8).with_noise(0.25),
+        );
         println!("[sweep] eps={eps:4}  {:8.3} s", r.makespan / 1e6);
     }
 }
@@ -72,12 +90,26 @@ fn hierarchical_outlook(c: &mut Criterion) {
     let platform = intel_v100_streams(2);
     let model = hierarchical_model();
     println!("== hierarchical tasks (Sec. VII outlook): expansion ratio sweep ==");
-    println!("{:>8} {:>12} {:>12} {:>12}", "expand", "multiprio", "dmdas", "heteroprio");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "expand", "multiprio", "dmdas", "heteroprio"
+    );
     for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let w = hierarchical(HierConfig { expand_ratio: ratio, ..Default::default() });
+        let w = hierarchical(HierConfig {
+            expand_ratio: ratio,
+            ..Default::default()
+        });
         let t = |sched: &str| {
             let mut s = make_scheduler(sched);
-            simulate(&w.graph, &platform, &model, s.as_mut(), SimConfig::seeded(11)).makespan / 1e3
+            simulate(
+                &w.graph,
+                &platform,
+                &model,
+                s.as_mut(),
+                SimConfig::seeded(11),
+            )
+            .makespan
+                / 1e3
         };
         println!(
             "{:>8.2} {:>10.1}ms {:>10.1}ms {:>10.1}ms",
@@ -95,8 +127,14 @@ fn hierarchical_outlook(c: &mut Criterion) {
             b.iter(|| {
                 let mut s = make_scheduler(sched);
                 std::hint::black_box(
-                    simulate(&w.graph, &platform, &model, s.as_mut(), SimConfig::seeded(11))
-                        .makespan,
+                    simulate(
+                        &w.graph,
+                        &platform,
+                        &model,
+                        s.as_mut(),
+                        SimConfig::seeded(11),
+                    )
+                    .makespan,
                 )
             })
         });

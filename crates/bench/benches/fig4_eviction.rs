@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4");
     for sched in ["multiprio", "multiprio-noevict"] {
         group.bench_function(sched, |b| {
-            b.iter(|| std::hint::black_box(run_once(&w.graph, &platform, &model, sched, 4).makespan))
+            b.iter(|| {
+                std::hint::black_box(run_once(&w.graph, &platform, &model, sched, 4).makespan)
+            })
         });
     }
     group.finish();

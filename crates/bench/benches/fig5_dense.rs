@@ -26,9 +26,11 @@ fn bench(c: &mut Criterion) {
     let model = dense_model();
     let mut group = c.benchmark_group("fig5_sim");
     let cfg = DenseConfig::new(16 * 960, 960);
-    for (name, w) in
-        [("potrf", potrf(cfg)), ("getrf", getrf(cfg)), ("geqrf", geqrf(cfg))]
-    {
+    for (name, w) in [
+        ("potrf", potrf(cfg)),
+        ("getrf", getrf(cfg)),
+        ("geqrf", geqrf(cfg)),
+    ] {
         group.bench_function(format!("{name}_multiprio"), |b| {
             b.iter(|| {
                 std::hint::black_box(run_once(&w.graph, &platform, &model, "multiprio", 5).makespan)

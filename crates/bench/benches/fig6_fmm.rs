@@ -11,7 +11,11 @@ use mp_bench::run_noisy;
 use mp_platform::presets::intel_v100_streams;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig6::run(fig6::Scale::Quick, &["multiprio", "dmdas", "heteroprio"], &[1, 2, 4]);
+    let rows = fig6::run(
+        fig6::Scale::Quick,
+        &["multiprio", "dmdas", "heteroprio"],
+        &[1, 2, 4],
+    );
     for r in &rows {
         println!(
             "[fig6] {:11} streams={} {:10} {:8.4} s",

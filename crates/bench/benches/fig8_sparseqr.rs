@@ -24,11 +24,26 @@ fn bench(c: &mut Criterion) {
     // Mid-size witness: TF17 on both platforms.
     let w = sparse_qr(matrix("TF17").unwrap(), SparseQrConfig::default());
     let model = sparseqr_model();
-    for (pname, platform) in
-        [("Intel-V100", intel_v100_streams(4)), ("AMD-A100", amd_a100_streams(4))]
-    {
-        let mp = run_noisy(&w.graph, &platform, &model, "multiprio", 8, fig8::SPARSE_NOISE_CV);
-        let dm = run_noisy(&w.graph, &platform, &model, "dmdas", 8, fig8::SPARSE_NOISE_CV);
+    for (pname, platform) in [
+        ("Intel-V100", intel_v100_streams(4)),
+        ("AMD-A100", amd_a100_streams(4)),
+    ] {
+        let mp = run_noisy(
+            &w.graph,
+            &platform,
+            &model,
+            "multiprio",
+            8,
+            fig8::SPARSE_NOISE_CV,
+        );
+        let dm = run_noisy(
+            &w.graph,
+            &platform,
+            &model,
+            "dmdas",
+            8,
+            fig8::SPARSE_NOISE_CV,
+        );
         println!(
             "[fig8] TF17 {pname}: multiprio {:.3} s, dmdas {:.3} s, ratio {:.3}",
             mp.makespan / 1e6,
@@ -44,8 +59,15 @@ fn bench(c: &mut Criterion) {
         group.bench_function(sched, |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    run_noisy(&small.graph, &platform, &model, sched, 8, fig8::SPARSE_NOISE_CV)
-                        .makespan,
+                    run_noisy(
+                        &small.graph,
+                        &platform,
+                        &model,
+                        sched,
+                        8,
+                        fig8::SPARSE_NOISE_CV,
+                    )
+                    .makespan,
                 )
             })
         });

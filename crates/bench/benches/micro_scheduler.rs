@@ -55,7 +55,11 @@ fn bench_heap(c: &mut Criterion) {
 }
 
 fn bench_sim_throughput(c: &mut Criterion) {
-    let g = random_dag(RandomDagConfig { layers: 40, width: 25, ..Default::default() });
+    let g = random_dag(RandomDagConfig {
+        layers: 40,
+        width: 25,
+        ..Default::default()
+    });
     let m = random_model();
     let p = simple(6, 2);
     let mut group = c.benchmark_group("sim_throughput_1000_tasks");
@@ -84,8 +88,7 @@ fn bench_scheduler_ops(c: &mut Criterion) {
             b.iter(|| {
                 let mut s = make_scheduler(sched);
                 std::hint::black_box(
-                    mp_sim::simulate(&g, &p, &m, s.as_mut(), mp_sim::SimConfig::seeded(1))
-                        .makespan,
+                    mp_sim::simulate(&g, &p, &m, s.as_mut(), mp_sim::SimConfig::seeded(1)).makespan,
                 )
             })
         });

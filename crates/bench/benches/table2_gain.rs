@@ -9,8 +9,14 @@ use multiprio::GainTracker;
 fn bench(c: &mut Criterion) {
     let t = mp_bench::figures::table2::run();
     println!("[table2] hd = {:?} (paper: (19, 19))", t.hd);
-    println!("[table2] gain(a1) = {:?} (paper: [1.000, 0.631, 0.236])", t.gain_a1);
-    println!("[table2] gain(a2) = {:?} (paper: [0.000, 0.368, 0.763])", t.gain_a2);
+    println!(
+        "[table2] gain(a1) = {:?} (paper: [1.000, 0.631, 0.236])",
+        t.gain_a1
+    );
+    println!(
+        "[table2] gain(a2) = {:?} (paper: [0.000, 0.368, 0.763])",
+        t.gain_a2
+    );
 
     let tasks: Vec<Vec<(ArchId, f64)>> = (0..1000)
         .map(|i| {

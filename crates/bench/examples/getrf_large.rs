@@ -9,18 +9,27 @@
 
 fn main() {
     use mp_apps::dense::{getrf, DenseConfig};
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(46080);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(46080);
     let w = getrf(DenseConfig::new(n, 960));
     let model = mp_apps::dense_model();
     let p = mp_platform::presets::intel_v100_streams(2);
-    println!("getrf n={n}: {} tasks, {:.1} GB matrix", w.graph.task_count(),
-        w.graph.stats().total_bytes as f64 / 1e9);
+    println!(
+        "getrf n={n}: {} tasks, {:.1} GB matrix",
+        w.graph.task_count(),
+        w.graph.stats().total_bytes as f64 / 1e9
+    );
     for sched in ["multiprio", "dmdas"] {
         let r = mp_bench::run_once(&w.graph, &p, &model, sched, 5);
-        println!("{sched:10} {:9.3} s  {:7.0} GF/s  wb={:6.0}MB prefetch={:6.0}MB demand={:6.0}MB",
-            r.makespan/1e6, r.gflops(w.total_flops),
-            r.trace.bytes_transferred(mp_trace::TransferKind::WriteBack) as f64/1e6,
-            r.trace.bytes_transferred(mp_trace::TransferKind::Prefetch) as f64/1e6,
-            r.trace.bytes_transferred(mp_trace::TransferKind::Demand) as f64/1e6);
+        println!(
+            "{sched:10} {:9.3} s  {:7.0} GF/s  wb={:6.0}MB prefetch={:6.0}MB demand={:6.0}MB",
+            r.makespan / 1e6,
+            r.gflops(w.total_flops),
+            r.trace.bytes_transferred(mp_trace::TransferKind::WriteBack) as f64 / 1e6,
+            r.trace.bytes_transferred(mp_trace::TransferKind::Prefetch) as f64 / 1e6,
+            r.trace.bytes_transferred(mp_trace::TransferKind::Demand) as f64 / 1e6
+        );
     }
 }

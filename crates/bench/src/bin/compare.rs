@@ -34,9 +34,21 @@ fn main() {
     }
 
     let (graph, model, noise): (TaskGraph, TableModel, f64) = match workload {
-        "potrf" => (potrf(DenseConfig::new(16 * 960, 960)).graph, dense_model(), 0.0),
-        "getrf" => (getrf(DenseConfig::new(12 * 960, 960)).graph, dense_model(), 0.0),
-        "geqrf" => (geqrf(DenseConfig::new(12 * 960, 960)).graph, dense_model(), 0.0),
+        "potrf" => (
+            potrf(DenseConfig::new(16 * 960, 960)).graph,
+            dense_model(),
+            0.0,
+        ),
+        "getrf" => (
+            getrf(DenseConfig::new(12 * 960, 960)).graph,
+            dense_model(),
+            0.0,
+        ),
+        "geqrf" => (
+            geqrf(DenseConfig::new(12 * 960, 960)).graph,
+            dense_model(),
+            0.0,
+        ),
         "fmm" => (
             fmm(FmmConfig {
                 particles: 100_000,
@@ -49,7 +61,11 @@ fn main() {
             fmm_model(),
             0.2,
         ),
-        "hier" => (hierarchical(HierConfig::default()).graph, hierarchical_model(), 0.0),
+        "hier" => (
+            hierarchical(HierConfig::default()).graph,
+            hierarchical_model(),
+            0.0,
+        ),
         "random" => (random_dag(RandomDagConfig::default()), random_model(), 0.1),
         w if w.starts_with("sparseqr:") => {
             let name = &w["sparseqr:".len()..];
@@ -57,7 +73,11 @@ fn main() {
                 eprintln!("unknown matrix '{name}' (see Fig. 7 presets)");
                 std::process::exit(1)
             });
-            (sparse_qr(meta, SparseQrConfig::default()).graph, sparseqr_model(), SPARSE_NOISE_CV)
+            (
+                sparse_qr(meta, SparseQrConfig::default()).graph,
+                sparseqr_model(),
+                SPARSE_NOISE_CV,
+            )
         }
         other => {
             eprintln!("unknown workload '{other}'");

@@ -59,7 +59,11 @@ fn main() {
     }
     if want("fig5") {
         println!("== Fig. 5: dense kernels, MultiPrio vs Dmdas ==");
-        let scale = if full { fig5::Scale::Full } else { fig5::Scale::Quick };
+        let scale = if full {
+            fig5::Scale::Full
+        } else {
+            fig5::Scale::Quick
+        };
         let rows = fig5::run(scale, &["multiprio", "dmdas"]);
         for r in &rows {
             println!(
@@ -75,7 +79,11 @@ fn main() {
     }
     if want("fig6") {
         println!("== Fig. 6: TBFMM time vs GPU streams ==");
-        let scale = if full { fig6::Scale::Full } else { fig6::Scale::Quick };
+        let scale = if full {
+            fig6::Scale::Full
+        } else {
+            fig6::Scale::Quick
+        };
         let rows = fig6::run(scale, &["multiprio", "dmdas", "heteroprio"], &[1, 2, 3, 4]);
         for r in &rows {
             println!(
@@ -97,7 +105,11 @@ fn main() {
     }
     if want("fig8") {
         println!("== Fig. 8: sparse QR, ratio vs Dmdas (higher is better) ==");
-        let scale = if full { fig8::Scale::Full } else { fig8::Scale::Quick };
+        let scale = if full {
+            fig8::Scale::Full
+        } else {
+            fig8::Scale::Quick
+        };
         let rows = fig8::run(scale, &["multiprio", "dmdas", "heteroprio"]);
         for r in &rows {
             println!(

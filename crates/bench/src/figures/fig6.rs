@@ -47,7 +47,10 @@ impl Scale {
                 distribution: Distribution::Uniform,
                 seed: 6,
             },
-            Scale::Full => FmmConfig { seed: 6, ..FmmConfig::default() },
+            Scale::Full => FmmConfig {
+                seed: 6,
+                ..FmmConfig::default()
+            },
         }
     }
 }
@@ -58,9 +61,10 @@ pub fn run(scale: Scale, schedulers: &[&str], streams: &[usize]) -> Vec<Row> {
     let model = fmm_model();
     let mut rows = Vec::new();
     for &s in streams {
-        for (pname, platform) in
-            [("Intel-V100", intel_v100_streams(s)), ("AMD-A100", amd_a100_streams(s))]
-        {
+        for (pname, platform) in [
+            ("Intel-V100", intel_v100_streams(s)),
+            ("AMD-A100", amd_a100_streams(s)),
+        ] {
             for sched in schedulers {
                 let r = run_noisy(&w.graph, &platform, &model, sched, 6, FMM_NOISE_CV);
                 rows.push(Row {

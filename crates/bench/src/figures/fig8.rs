@@ -48,9 +48,10 @@ pub fn run(scale: Scale, schedulers: &[&str]) -> Vec<Row> {
     };
     let model = sparseqr_model();
     let mut rows = Vec::new();
-    for (pname, platform) in
-        [("Intel-V100", intel_v100_streams(4)), ("AMD-A100", amd_a100_streams(4))]
-    {
+    for (pname, platform) in [
+        ("Intel-V100", intel_v100_streams(4)),
+        ("AMD-A100", amd_a100_streams(4)),
+    ] {
         for meta in &matrices {
             let w = sparse_qr(meta, SparseQrConfig::default());
             let mut times: Vec<(String, f64)> = Vec::new();

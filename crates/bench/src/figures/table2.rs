@@ -31,8 +31,16 @@ pub fn run() -> Table2 {
     }
     Table2 {
         hd: (g.hd(a1), g.hd(a2)),
-        gain_a1: [g.gain(&tasks[0], a1), g.gain(&tasks[1], a1), g.gain(&tasks[2], a1)],
-        gain_a2: [g.gain(&tasks[0], a2), g.gain(&tasks[1], a2), g.gain(&tasks[2], a2)],
+        gain_a1: [
+            g.gain(&tasks[0], a1),
+            g.gain(&tasks[1], a1),
+            g.gain(&tasks[2], a1),
+        ],
+        gain_a2: [
+            g.gain(&tasks[0], a2),
+            g.gain(&tasks[1], a2),
+            g.gain(&tasks[2], a2),
+        ],
     }
 }
 
@@ -50,8 +58,14 @@ mod tests {
         let t = run();
         assert_eq!(t.hd, (19.0, 19.0));
         for i in 0..3 {
-            assert!((t.gain_a1[i] - PAPER_GAIN_A1[i]).abs() < 1e-3, "a1 task {i}");
-            assert!((t.gain_a2[i] - PAPER_GAIN_A2[i]).abs() < 1e-3, "a2 task {i}");
+            assert!(
+                (t.gain_a1[i] - PAPER_GAIN_A1[i]).abs() < 1e-3,
+                "a1 task {i}"
+            );
+            assert!(
+                (t.gain_a2[i] - PAPER_GAIN_A2[i]).abs() < 1e-3,
+                "a2 task {i}"
+            );
         }
     }
 }

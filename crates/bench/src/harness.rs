@@ -8,7 +8,7 @@ use mp_sched::{
     RandomScheduler, Scheduler,
 };
 use mp_sim::{simulate, SimConfig, SimResult};
-use multiprio::{MultiPrioConfig, MultiPrioScheduler};
+use multiprio::{MultiPrioConfig, MultiPrioScheduler, SharedGainTracker};
 
 /// Every constructible scheduler name.
 pub const SCHEDULER_NAMES: [&str; 13] = [
@@ -32,19 +32,19 @@ pub const SCHEDULER_NAMES: [&str; 13] = [
 pub fn make_scheduler(name: &str) -> Box<dyn Scheduler> {
     match name {
         "multiprio" => Box::new(MultiPrioScheduler::with_defaults()),
-        "multiprio-noevict" => Box::new(MultiPrioScheduler::new(MultiPrioConfig::without_eviction())),
+        "multiprio-noevict" => {
+            Box::new(MultiPrioScheduler::new(MultiPrioConfig::without_eviction()))
+        }
         "multiprio-nolocality" => {
             Box::new(MultiPrioScheduler::new(MultiPrioConfig::without_locality()))
         }
-        "multiprio-nocrit" => {
-            Box::new(MultiPrioScheduler::new(MultiPrioConfig::without_criticality()))
-        }
+        "multiprio-nocrit" => Box::new(MultiPrioScheduler::new(
+            MultiPrioConfig::without_criticality(),
+        )),
         "multiprio-brwtotal" => {
             Box::new(MultiPrioScheduler::new(MultiPrioConfig::with_total_brw()))
         }
-        "multiprio-energy" => {
-            Box::new(MultiPrioScheduler::new(MultiPrioConfig::energy_aware()))
-        }
+        "multiprio-energy" => Box::new(MultiPrioScheduler::new(MultiPrioConfig::energy_aware())),
         "dmdas" => Box::new(DequeModelScheduler::new(DmVariant::Dmdas)),
         "dmda" => Box::new(DequeModelScheduler::new(DmVariant::Dmda)),
         "dm" => Box::new(DequeModelScheduler::new(DmVariant::Dm)),
@@ -54,6 +54,33 @@ pub fn make_scheduler(name: &str) -> Box<dyn Scheduler> {
         "fifo" => Box::new(FifoScheduler::new()),
         "random" => Box::new(RandomScheduler::new(0xbad5eed)),
         other => panic!("unknown scheduler '{other}'"),
+    }
+}
+
+/// A factory building fresh instances of the named scheduler, for the
+/// sharded runtime front-end (`Runtime::run_sharded`). MultiPrio
+/// variants share one [`SharedGainTracker`] across every instance the
+/// factory builds, so per-shard copies agree on the running-max `hd(a)`
+/// term of the gain score (Eq. 1) exactly as a single instance would.
+pub fn make_scheduler_factory(name: &str) -> Box<dyn Fn() -> Box<dyn Scheduler> + Send + Sync> {
+    let cfg = match name {
+        "multiprio" => Some(MultiPrioConfig::default()),
+        "multiprio-noevict" => Some(MultiPrioConfig::without_eviction()),
+        "multiprio-nolocality" => Some(MultiPrioConfig::without_locality()),
+        "multiprio-nocrit" => Some(MultiPrioConfig::without_criticality()),
+        "multiprio-brwtotal" => Some(MultiPrioConfig::with_total_brw()),
+        "multiprio-energy" => Some(MultiPrioConfig::energy_aware()),
+        _ => None,
+    };
+    match cfg {
+        Some(cfg) => {
+            let gain = std::sync::Arc::new(SharedGainTracker::new());
+            Box::new(move || Box::new(MultiPrioScheduler::with_shared_gain(cfg, gain.clone())))
+        }
+        None => {
+            let name = name.to_string();
+            Box::new(move || make_scheduler(&name))
+        }
     }
 }
 
@@ -84,7 +111,13 @@ pub fn run_noisy(
     cv: f64,
 ) -> SimResult {
     let mut s = make_scheduler(sched);
-    simulate(graph, platform, model, s.as_mut(), SimConfig::seeded(seed).with_noise(cv))
+    simulate(
+        graph,
+        platform,
+        model,
+        s.as_mut(),
+        SimConfig::seeded(seed).with_noise(cv),
+    )
 }
 
 #[cfg(test)]
@@ -102,6 +135,17 @@ mod tests {
     }
 
     #[test]
+    fn shard_factory_builds_every_name() {
+        for name in SCHEDULER_NAMES {
+            let f = make_scheduler_factory(name);
+            let a = f();
+            let b = f();
+            assert_eq!(a.name(), b.name());
+            assert!(!a.name().is_empty());
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "unknown scheduler")]
     fn factory_rejects_unknown() {
         make_scheduler("heft-galactic");
@@ -109,7 +153,11 @@ mod tests {
 
     #[test]
     fn run_once_completes() {
-        let g = random_dag(RandomDagConfig { layers: 4, width: 6, ..Default::default() });
+        let g = random_dag(RandomDagConfig {
+            layers: 4,
+            width: 6,
+            ..Default::default()
+        });
         let m = random_model();
         let p = simple(2, 1);
         for name in ["multiprio", "dmdas", "heteroprio"] {

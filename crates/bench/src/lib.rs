@@ -20,4 +20,4 @@ pub mod figures;
 pub mod harness;
 pub mod report;
 
-pub use harness::{make_scheduler, run_noisy, run_once, SCHEDULER_NAMES};
+pub use harness::{make_scheduler, make_scheduler_factory, run_noisy, run_once, SCHEDULER_NAMES};

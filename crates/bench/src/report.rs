@@ -46,8 +46,11 @@ pub fn compare(
             reference = r.makespan;
         }
         let idle_of = |class: ArchClass| -> f64 {
-            let archs: Vec<_> =
-                platform.archs().iter().filter(|a| a.class == class).collect();
+            let archs: Vec<_> = platform
+                .archs()
+                .iter()
+                .filter(|a| a.class == class)
+                .collect();
             if archs.is_empty() {
                 return 0.0;
             }
@@ -98,7 +101,11 @@ mod tests {
 
     #[test]
     fn rows_and_markdown() {
-        let g = random_dag(RandomDagConfig { layers: 4, width: 6, ..Default::default() });
+        let g = random_dag(RandomDagConfig {
+            layers: 4,
+            width: 6,
+            ..Default::default()
+        });
         let m = random_model();
         let p = simple(2, 1);
         let rows = compare(&g, &p, &m, &["dmdas", "multiprio", "fifo"], 1, 0.0);

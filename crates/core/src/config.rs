@@ -55,28 +55,43 @@ impl Default for MultiPrioConfig {
 impl MultiPrioConfig {
     /// The Fig. 4 ablation: everything on except the eviction mechanism.
     pub fn without_eviction() -> Self {
-        Self { eviction: false, ..Self::default() }
+        Self {
+            eviction: false,
+            ..Self::default()
+        }
     }
 
     /// Ablation: no locality selection.
     pub fn without_locality() -> Self {
-        Self { use_locality: false, ..Self::default() }
+        Self {
+            use_locality: false,
+            ..Self::default()
+        }
     }
 
     /// Ablation: no criticality tie-break.
     pub fn without_criticality() -> Self {
-        Self { use_criticality: false, ..Self::default() }
+        Self {
+            use_criticality: false,
+            ..Self::default()
+        }
     }
 
     /// Ablation: pop condition on the raw node backlog instead of the
     /// per-worker backlog.
     pub fn with_total_brw() -> Self {
-        Self { brw_per_worker: false, ..Self::default() }
+        Self {
+            brw_per_worker: false,
+            ..Self::default()
+        }
     }
 
     /// Extension: energy-aware pop condition with the default policy.
     pub fn energy_aware() -> Self {
-        Self { energy: Some(EnergyPolicy::default()), ..Self::default() }
+        Self {
+            energy: Some(EnergyPolicy::default()),
+            ..Self::default()
+        }
     }
 
     /// Validate ranges (ε in [0,1], window ≥ 1, tries ≥ 1).
@@ -116,12 +131,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_ranges() {
-        let mut c = MultiPrioConfig::default();
-        c.epsilon = 1.5;
+        let mut c = MultiPrioConfig {
+            epsilon: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = MultiPrioConfig { locality_window: 0, ..Default::default() };
+        c = MultiPrioConfig {
+            locality_window: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        c = MultiPrioConfig { max_tries: 0, ..Default::default() };
+        c = MultiPrioConfig {
+            max_tries: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

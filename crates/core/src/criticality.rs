@@ -71,9 +71,8 @@ mod tests {
         let mut g = TaskGraph::new();
         let k = g.register_type("K", true, true);
         let d = g.add_data(1, "d");
-        let mk = |g: &mut TaskGraph, name: &str| {
-            g.add_task(k, vec![(d, AccessMode::Read)], 1.0, name)
-        };
+        let mk =
+            |g: &mut TaskGraph, name: &str| g.add_task(k, vec![(d, AccessMode::Read)], 1.0, name);
         let t2 = mk(&mut g, "T2");
         let t3 = mk(&mut g, "T3");
         let t4 = mk(&mut g, "T4");

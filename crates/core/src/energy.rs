@@ -31,7 +31,11 @@ pub struct EnergyPolicy {
 
 impl Default for EnergyPolicy {
     fn default() -> Self {
-        Self { cpu_worker_watts: 10.0, gpu_device_watts: 250.0, max_energy_ratio: 2.0 }
+        Self {
+            cpu_worker_watts: 10.0,
+            gpu_device_watts: 250.0,
+            max_energy_ratio: 2.0,
+        }
     }
 }
 

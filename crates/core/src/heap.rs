@@ -40,7 +40,9 @@ impl Score {
     /// Lexicographic comparison: gain first, then criticality.
     #[inline]
     pub fn cmp_total(&self, other: &Self) -> std::cmp::Ordering {
-        self.gain.total_cmp(&other.gain).then(self.prio.total_cmp(&other.prio))
+        self.gain
+            .total_cmp(&other.gain)
+            .then(self.prio.total_cmp(&other.prio))
     }
 }
 

@@ -42,9 +42,9 @@ pub mod scheduler;
 pub mod score;
 
 pub use config::MultiPrioConfig;
-pub use energy::EnergyPolicy;
 pub use criticality::nod;
+pub use energy::EnergyPolicy;
 pub use heap::{RemovableMaxHeap, Score};
 pub use locality::ls_sdh2;
 pub use scheduler::MultiPrioScheduler;
-pub use score::GainTracker;
+pub use score::{GainTracker, SharedGainTracker};

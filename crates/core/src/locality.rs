@@ -54,7 +54,12 @@ mod tests {
         let k = g.register_type("K", true, true);
         let r = g.add_data(4 * KIB, "r");
         let w = g.add_data(3 * KIB, "w");
-        let t = g.add_task(k, vec![(r, AccessMode::Read), (w, AccessMode::Write)], 1.0, "t");
+        let t = g.add_task(
+            k,
+            vec![(r, AccessMode::Read), (w, AccessMode::Write)],
+            1.0,
+            "t",
+        );
         let m = MemNodeId(1);
         loc.place(r, m);
         loc.place(w, m);

@@ -37,6 +37,7 @@
 //!   never execute. The paper leaves this case implicit.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mp_dag::ids::TaskId;
 use mp_platform::types::{ArchId, MemNodeId, WorkerId};
@@ -46,7 +47,32 @@ use crate::config::MultiPrioConfig;
 use crate::criticality::{nod, NodNormalizer};
 use crate::heap::{RemovableMaxHeap, Score};
 use crate::locality::ls_sdh2;
-use crate::score::GainTracker;
+use crate::score::{GainTracker, SharedGainTracker};
+
+/// Where a scheduler instance reads its gain scores from: its own
+/// tracker, or one shared with sibling shard instances (see
+/// [`SharedGainTracker`]).
+#[derive(Debug)]
+enum GainSource {
+    Local(GainTracker),
+    Shared(Arc<SharedGainTracker>),
+}
+
+impl GainSource {
+    fn observe(&mut self, archs: &[(ArchId, f64)]) {
+        match self {
+            GainSource::Local(t) => t.observe(archs),
+            GainSource::Shared(t) => t.observe(archs),
+        }
+    }
+
+    fn gain(&self, archs: &[(ArchId, f64)], a: ArchId) -> f64 {
+        match self {
+            GainSource::Local(t) => t.gain(archs, a),
+            GainSource::Shared(t) => t.gain(archs, a),
+        }
+    }
+}
 
 /// Per-enqueued-task bookkeeping.
 #[derive(Clone, Debug)]
@@ -68,7 +94,7 @@ pub struct MultiPrioScheduler {
     heaps: Vec<RemovableMaxHeap>,
     ready_count: Vec<usize>,
     best_remaining_work: Vec<f64>,
-    gain: GainTracker,
+    gain: GainSource,
     nod_norm: NodNormalizer,
     /// Live (pushed, not yet taken) tasks.
     info: HashMap<TaskId, TaskInfo>,
@@ -87,7 +113,7 @@ impl MultiPrioScheduler {
             heaps: Vec::new(),
             ready_count: Vec::new(),
             best_remaining_work: Vec::new(),
-            gain: GainTracker::new(),
+            gain: GainSource::Local(GainTracker::new()),
             nod_norm: NodNormalizer::new(),
             info: HashMap::new(),
             evictions: 0,
@@ -98,6 +124,15 @@ impl MultiPrioScheduler {
     /// Paper-default configuration.
     pub fn with_defaults() -> Self {
         Self::new(MultiPrioConfig::default())
+    }
+
+    /// Like [`Self::new`], but reading gain scores from a tracker shared
+    /// with sibling instances — used by sharded front-ends so every shard
+    /// orders its heaps by the global gain (see [`SharedGainTracker`]).
+    pub fn with_shared_gain(cfg: MultiPrioConfig, gain: Arc<SharedGainTracker>) -> Self {
+        let mut s = Self::new(cfg);
+        s.gain = GainSource::Shared(gain);
+        s
     }
 
     /// Evictions performed so far (diagnostics).
@@ -117,7 +152,10 @@ impl MultiPrioScheduler {
 
     /// `best_remaining_work[m]` in µs.
     pub fn best_remaining_work(&self, m: MemNodeId) -> f64 {
-        self.best_remaining_work.get(m.index()).copied().unwrap_or(0.0)
+        self.best_remaining_work
+            .get(m.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     fn ensure(&mut self, mem_nodes: usize) {
@@ -158,22 +196,26 @@ impl MultiPrioScheduler {
         skip: &[TaskId],
     ) -> Option<TaskId> {
         loop {
-            let window =
-                self.heaps[m.index()].top_k(self.cfg.locality_window + skip.len());
+            let window = self.heaps[m.index()].top_k(self.cfg.locality_window + skip.len());
             if window.is_empty() {
                 return None;
             }
             // Scrub stale duplicates found in the window, then retry.
-            let stale: Vec<TaskId> =
-                window.iter().map(|&(t, _)| t).filter(|&t| !self.is_live(t)).collect();
+            let stale: Vec<TaskId> = window
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| !self.is_live(t))
+                .collect();
             if !stale.is_empty() {
                 for t in stale {
                     self.remove_entry(t, m);
                 }
                 continue;
             }
-            let live: Vec<(TaskId, Score)> =
-                window.into_iter().filter(|(t, _)| !skip.contains(t)).collect();
+            let live: Vec<(TaskId, Score)> = window
+                .into_iter()
+                .filter(|(t, _)| !skip.contains(t))
+                .collect();
             let &(first, top) = live.first()?;
             if !self.cfg.use_locality {
                 return Some(first);
@@ -268,8 +310,11 @@ impl Scheduler for MultiPrioScheduler {
             "task {t:?} has no executable architecture on this platform"
         );
         self.gain.observe(&archs);
-        let raw_nod =
-            if self.cfg.use_criticality { nod(view.graph(), t) } else { 0.0 };
+        let raw_nod = if self.cfg.use_criticality {
+            nod(view.graph(), t)
+        } else {
+            0.0
+        };
         let prio = self.nod_norm.normalize(raw_nod);
         let (best_arch, delta_best) = archs[0];
 
@@ -291,7 +336,15 @@ impl Scheduler for MultiPrioScheduler {
             }
         }
         assert!(!nodes.is_empty(), "task {t:?} enqueued nowhere");
-        self.info.insert(t, TaskInfo { nodes, best_arch, delta_best, brw_nodes });
+        self.info.insert(
+            t,
+            TaskInfo {
+                nodes,
+                best_arch,
+                delta_best,
+                brw_nodes,
+            },
+        );
     }
 
     /// Algorithm 2.
@@ -343,8 +396,16 @@ mod tests {
         let (c0, _, g0) = fx.workers();
         let mut s = sched();
         s.push(t, None, &view);
-        assert_eq!(s.ready_tasks_count(MemNodeId(0)), 1, "entry in the CPU heap");
-        assert_eq!(s.ready_tasks_count(MemNodeId(1)), 1, "duplicate in the GPU heap");
+        assert_eq!(
+            s.ready_tasks_count(MemNodeId(0)),
+            1,
+            "entry in the CPU heap"
+        );
+        assert_eq!(
+            s.ready_tasks_count(MemNodeId(1)),
+            1,
+            "duplicate in the GPU heap"
+        );
         // GPU (best arch) takes it; both entries disappear.
         assert_eq!(s.pop(g0, &view), Some(t));
         assert_eq!(s.ready_tasks_count(MemNodeId(0)), 0);
@@ -383,8 +444,9 @@ mod tests {
     fn slow_worker_allowed_when_best_arch_is_backlogged() {
         let mut fx = Fixture::two_arch();
         // 30 accelerated tasks: brw_gpu = 300 µs > δ_cpu = 100 µs.
-        let tasks: Vec<_> =
-            (0..30).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let tasks: Vec<_> = (0..30)
+            .map(|i| fx.add_task(fx.both, 64, &format!("t{i}")))
+            .collect();
         let view = fx.view();
         let (c0, ..) = fx.workers();
         let mut s = sched();
@@ -404,7 +466,11 @@ mod tests {
         let (c0, ..) = fx.workers();
         let mut s = MultiPrioScheduler::new(MultiPrioConfig::without_eviction());
         s.push(t, None, &view);
-        assert_eq!(s.pop(c0, &view), Some(t), "no pop condition without eviction");
+        assert_eq!(
+            s.pop(c0, &view),
+            Some(t),
+            "no pop condition without eviction"
+        );
     }
 
     #[test]
@@ -418,7 +484,11 @@ mod tests {
         // CPU pop rejected -> eviction from the CPU heap.
         assert_eq!(s.pop(c0, &view), None);
         assert_eq!(s.eviction_count(), 1);
-        assert_eq!(s.ready_tasks_count(MemNodeId(0)), 0, "evicted from CPU heap");
+        assert_eq!(
+            s.ready_tasks_count(MemNodeId(0)),
+            0,
+            "evicted from CPU heap"
+        );
         assert_eq!(s.ready_tasks_count(MemNodeId(1)), 1, "still in GPU heap");
         assert_eq!(s.pop(g0, &view), Some(t));
     }
@@ -446,10 +516,26 @@ mod tests {
         // even though FLAT was pushed first.
         let flat = fx.graph.register_type("FLAT", true, true);
         fx.model = mp_perfmodel::TableModel::builder()
-            .set("BOTH", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(100.0))
-            .set("BOTH", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(10.0))
-            .set("FLAT", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(50.0))
-            .set("FLAT", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(50.0))
+            .set(
+                "BOTH",
+                mp_platform::types::ArchClass::Cpu,
+                mp_perfmodel::TimeFn::Const(100.0),
+            )
+            .set(
+                "BOTH",
+                mp_platform::types::ArchClass::Gpu,
+                mp_perfmodel::TimeFn::Const(10.0),
+            )
+            .set(
+                "FLAT",
+                mp_platform::types::ArchClass::Cpu,
+                mp_perfmodel::TimeFn::Const(50.0),
+            )
+            .set(
+                "FLAT",
+                mp_platform::types::ArchClass::Gpu,
+                mp_perfmodel::TimeFn::Const(50.0),
+            )
             .build();
         let t_flat = fx.add_task(flat, 64, "flat");
         let t_fast = fx.add_task(fx.both, 64, "fast");
@@ -468,12 +554,18 @@ mod tests {
         // the GPU node.
         let d0 = fx.graph.add_data(1 << 20, "remote");
         let d1 = fx.graph.add_data(1 << 20, "local");
-        let t_remote = fx
-            .graph
-            .add_task(fx.gpu_only, vec![(d0, mp_dag::AccessMode::ReadWrite)], 1.0, "r");
-        let t_local = fx
-            .graph
-            .add_task(fx.gpu_only, vec![(d1, mp_dag::AccessMode::ReadWrite)], 1.0, "l");
+        let t_remote = fx.graph.add_task(
+            fx.gpu_only,
+            vec![(d0, mp_dag::AccessMode::ReadWrite)],
+            1.0,
+            "r",
+        );
+        let t_local = fx.graph.add_task(
+            fx.gpu_only,
+            vec![(d1, mp_dag::AccessMode::ReadWrite)],
+            1.0,
+            "l",
+        );
         fx.locator.place(d1, MemNodeId(1));
         let view = fx.view();
         let (_, _, g0) = fx.workers();
@@ -507,8 +599,9 @@ mod tests {
     #[test]
     fn best_remaining_work_settles_to_zero() {
         let mut fx = Fixture::two_arch();
-        let tasks: Vec<_> =
-            (0..5).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let tasks: Vec<_> = (0..5)
+            .map(|i| fx.add_task(fx.both, 64, &format!("t{i}")))
+            .collect();
         let view = fx.view();
         let (_, _, g0) = fx.workers();
         let mut s = sched();
@@ -534,11 +627,31 @@ mod more_tests {
         let mut fx = Fixture::two_arch();
         let flat = fx.graph.register_type("FLAT2", true, true);
         fx.model = mp_perfmodel::TableModel::builder()
-            .set("BOTH", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(100.0))
-            .set("BOTH", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(10.0))
-            .set("FLAT2", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(33.0))
-            .set("FLAT2", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(44.0))
-            .set("CPUONLY", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(50.0))
+            .set(
+                "BOTH",
+                mp_platform::types::ArchClass::Cpu,
+                mp_perfmodel::TimeFn::Const(100.0),
+            )
+            .set(
+                "BOTH",
+                mp_platform::types::ArchClass::Gpu,
+                mp_perfmodel::TimeFn::Const(10.0),
+            )
+            .set(
+                "FLAT2",
+                mp_platform::types::ArchClass::Cpu,
+                mp_perfmodel::TimeFn::Const(33.0),
+            )
+            .set(
+                "FLAT2",
+                mp_platform::types::ArchClass::Gpu,
+                mp_perfmodel::TimeFn::Const(44.0),
+            )
+            .set(
+                "CPUONLY",
+                mp_platform::types::ArchClass::Cpu,
+                mp_perfmodel::TimeFn::Const(50.0),
+            )
             .build();
         let mut s = MultiPrioScheduler::with_defaults();
         for i in 0..30 {
@@ -568,7 +681,9 @@ mod more_tests {
     #[test]
     fn stale_duplicates_scrubbed_in_window() {
         let mut fx = Fixture::two_arch();
-        let tasks: Vec<_> = (0..5).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let tasks: Vec<_> = (0..5)
+            .map(|i| fx.add_task(fx.both, 64, &format!("t{i}")))
+            .collect();
         let view = fx.view();
         let (_, _, g0) = fx.workers();
         let mut s = MultiPrioScheduler::with_defaults();
@@ -592,7 +707,10 @@ mod more_tests {
         let mut fx = Fixture::two_arch();
         // Many GPU-favored tasks; a CPU pop with a tiny backlog must give
         // up after max_tries candidates, not loop forever.
-        let cfg = MultiPrioConfig { max_tries: 3, ..MultiPrioConfig::default() };
+        let cfg = MultiPrioConfig {
+            max_tries: 3,
+            ..MultiPrioConfig::default()
+        };
         let mut s = MultiPrioScheduler::new(cfg);
         for i in 0..6 {
             let t = fx.add_task(fx.both, 64, &format!("t{i}"));
@@ -622,9 +740,14 @@ mod more_tests {
             gpu_device_watts: 12.0,
             max_energy_ratio: 1.5,
         };
-        let cfg = MultiPrioConfig { energy: Some(policy), ..MultiPrioConfig::default() };
+        let cfg = MultiPrioConfig {
+            energy: Some(policy),
+            ..MultiPrioConfig::default()
+        };
         let mut s = MultiPrioScheduler::new(cfg);
-        let tasks: Vec<_> = (0..40).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let tasks: Vec<_> = (0..40)
+            .map(|i| fx.add_task(fx.both, 64, &format!("t{i}")))
+            .collect();
         let view = fx.view();
         for &t in &tasks {
             s.push(t, None, &view);

@@ -12,7 +12,48 @@
 //! far* on arch `a` — a running maximum updated as tasks are pushed, which
 //! keeps all scores in [0, 1] (Sec. V-A; worked example in Table II).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
 use mp_platform::types::ArchId;
+
+/// Evaluate the gain formula given `hd(a)` — the score computation shared
+/// by the per-scheduler [`GainTracker`] and the cross-shard
+/// [`SharedGainTracker`]. `archs` is the fastest-first candidate list;
+/// `a` must appear in it.
+fn gain_with_hd(hd: f64, archs: &[(ArchId, f64)], a: ArchId) -> f64 {
+    assert!(!archs.is_empty(), "gain of a task no arch can run");
+    if archs.len() == 1 {
+        // |A| = 1 for this task: the formula's first branch.
+        return 1.0;
+    }
+    let d_a = archs
+        .iter()
+        .find(|&&(x, _)| x == a)
+        .map(|&(_, d)| d)
+        .expect("arch must be one of the task's candidates");
+    if hd == 0.0 {
+        return 0.5;
+    }
+    let is_fastest = archs[0].0 == a;
+    let reference = if is_fastest { archs[1].1 } else { archs[0].1 };
+    let g = ((reference - d_a) + hd) / (2.0 * hd);
+    debug_assert!((-1e-9..=1.0 + 1e-9).contains(&g), "gain {g} out of [0,1]");
+    g.clamp(0.0, 1.0)
+}
+
+/// The per-arch `hd` updates implied by observing one task's fastest-first
+/// candidate list (shared by both trackers).
+fn hd_updates(archs: &[(ArchId, f64)]) -> impl Iterator<Item = (ArchId, f64)> + '_ {
+    let d_best = archs.first().map(|&(_, d)| d).unwrap_or(0.0);
+    let d_2nd = archs.get(1).map(|&(_, d)| d).unwrap_or(0.0);
+    archs.iter().enumerate().map(move |(i, &(a, d))| {
+        // For the fastest arch the relevant difference is vs the
+        // second-fastest; for the rest it is vs the fastest.
+        let diff = if i == 0 { d_2nd - d } else { d_best - d };
+        (a, diff.abs())
+    })
+}
 
 /// Tracks `hd(a)` per architecture and evaluates the gain formula.
 #[derive(Clone, Debug, Default)]
@@ -47,14 +88,9 @@ impl GainTracker {
         if archs.len() < 2 {
             return;
         }
-        let d_best = archs[0].1;
-        let d_2nd = archs[1].1;
-        for (i, &(a, d)) in archs.iter().enumerate() {
-            // For the fastest arch the relevant difference is vs the
-            // second-fastest; for the rest it is vs the fastest.
-            let diff = if i == 0 { d_2nd - d } else { d_best - d };
+        for (a, diff) in hd_updates(archs) {
             let h = self.hd_mut(a);
-            *h = h.max(diff.abs());
+            *h = h.max(diff);
         }
     }
 
@@ -65,25 +101,70 @@ impl GainTracker {
     /// equally fast everywhere; all archs are equally good and we return
     /// the neutral 0.5.
     pub fn gain(&self, archs: &[(ArchId, f64)], a: ArchId) -> f64 {
-        assert!(!archs.is_empty(), "gain of a task no arch can run");
-        if archs.len() == 1 {
-            // |A| = 1 for this task: the formula's first branch.
-            return 1.0;
+        gain_with_hd(self.hd(a), archs, a)
+    }
+}
+
+/// A thread-safe gain tracker shareable across scheduler shards.
+///
+/// The gain formula's only mutable state is the per-arch running maximum
+/// `hd(a)`. When the sharded front-end partitions a stateful policy into
+/// per-shard instances, each shard observing only its own pushes would
+/// compute diverging scores; sharing one `SharedGainTracker` (via
+/// `MultiPrioScheduler::with_shared_gain`) keeps every shard's heap
+/// ordered by the *global* gain, exactly as a single-instance scheduler
+/// would. Updates are lock-free (`AtomicU64::fetch_max` over f64 bits is
+/// order-preserving for non-negative values); the `RwLock` only guards
+/// the rare arch-table growth.
+#[derive(Debug, Default)]
+pub struct SharedGainTracker {
+    hd: RwLock<Vec<AtomicU64>>,
+}
+
+impl SharedGainTracker {
+    /// New tracker with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&self, n: usize) {
+        if self.hd.read().expect("gain table poisoned").len() >= n {
+            return;
         }
-        let d_a = archs
-            .iter()
-            .find(|&&(x, _)| x == a)
-            .map(|&(_, d)| d)
-            .expect("arch must be one of the task's candidates");
-        let hd = self.hd(a);
-        if hd == 0.0 {
-            return 0.5;
+        let mut w = self.hd.write().expect("gain table poisoned");
+        while w.len() < n {
+            w.push(AtomicU64::new(0f64.to_bits()));
         }
-        let is_fastest = archs[0].0 == a;
-        let reference = if is_fastest { archs[1].1 } else { archs[0].1 };
-        let g = ((reference - d_a) + hd) / (2.0 * hd);
-        debug_assert!((-1e-9..=1.0 + 1e-9).contains(&g), "gain {g} out of [0,1]");
-        g.clamp(0.0, 1.0)
+    }
+
+    /// The current `hd(a)` (0 until a two-arch task was observed).
+    pub fn hd(&self, a: ArchId) -> f64 {
+        let hd = self.hd.read().expect("gain table poisoned");
+        hd.get(a.index())
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+            .unwrap_or(0.0)
+    }
+
+    /// Record a newly-ready task's estimates (fastest-first, as produced
+    /// by `mp_perfmodel::Estimator::archs_by_delta`); same contract as
+    /// [`GainTracker::observe`] but callable concurrently.
+    pub fn observe(&self, archs: &[(ArchId, f64)]) {
+        if archs.len() < 2 {
+            return;
+        }
+        let max_arch = archs.iter().map(|&(a, _)| a.index()).max().unwrap_or(0);
+        self.ensure(max_arch + 1);
+        let hd = self.hd.read().expect("gain table poisoned");
+        for (a, diff) in hd_updates(archs) {
+            // Non-negative f64 bit patterns sort like the floats they
+            // encode, so fetch_max implements the running maximum.
+            hd[a.index()].fetch_max(diff.to_bits(), Ordering::AcqRel);
+        }
+    }
+
+    /// Evaluate `gain(t, a)`; same contract as [`GainTracker::gain`].
+    pub fn gain(&self, archs: &[(ArchId, f64)], a: ArchId) -> f64 {
+        gain_with_hd(self.hd(a), archs, a)
     }
 }
 
@@ -165,6 +246,49 @@ mod tests {
         g.observe(&cands(100.0, 1.0)); // diff 99
         assert_eq!(g.hd(A1), 99.0);
         assert_eq!(g.hd(A2), 99.0);
+    }
+
+    #[test]
+    fn shared_tracker_matches_local() {
+        let mut local = GainTracker::new();
+        let shared = SharedGainTracker::new();
+        let stream = [
+            (1.0, 20.0),
+            (5.0, 10.0),
+            (20.0, 10.0),
+            (7.0, 7.0),
+            (3.0, 90.0),
+        ];
+        let all: Vec<_> = stream.iter().map(|&(a, b)| cands(a, b)).collect();
+        for c in &all {
+            local.observe(c);
+            shared.observe(c);
+        }
+        for a in [A1, A2] {
+            assert_eq!(local.hd(a), shared.hd(a));
+            for c in &all {
+                assert_eq!(local.gain(c, a), shared.gain(c, a));
+            }
+        }
+    }
+
+    #[test]
+    fn shared_tracker_concurrent_observe_is_a_running_max() {
+        let shared = SharedGainTracker::new();
+        std::thread::scope(|s| {
+            for k in 0..4 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let d = 1.0 + (k * 100 + i) as f64;
+                        shared.observe(&cands(1.0, d));
+                    }
+                });
+            }
+        });
+        // Global max diff observed by any thread: 400 - 1 = 399.
+        assert_eq!(shared.hd(A1), 399.0);
+        assert_eq!(shared.hd(A2), 399.0);
     }
 
     #[test]

@@ -21,12 +21,16 @@ pub struct CriticalPath {
 /// validate first with [`TaskGraph::validate_acyclic`].
 pub fn topological_order(g: &TaskGraph) -> Vec<TaskId> {
     let n = g.task_count();
-    let mut indeg: Vec<usize> = (0..n).map(|i| g.preds(TaskId::from_index(i)).len()).collect();
+    let mut indeg: Vec<usize> = (0..n)
+        .map(|i| g.preds(TaskId::from_index(i)).len())
+        .collect();
     // A monotone queue over task ids keeps the order stable: among ready
     // tasks the one submitted first comes first.
     let mut order = Vec::with_capacity(n);
-    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>> =
-        (0..n).filter(|&i| indeg[i] == 0).map(|i| std::cmp::Reverse(TaskId::from_index(i))).collect();
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| std::cmp::Reverse(TaskId::from_index(i)))
+        .collect();
     while let Some(std::cmp::Reverse(t)) = ready.pop() {
         order.push(t);
         for &s in g.succs(t) {
@@ -47,7 +51,10 @@ pub fn critical_path(g: &TaskGraph, mut cost: impl FnMut(TaskId) -> f64) -> Crit
     let order = topological_order(g);
     let n = g.task_count();
     if n == 0 {
-        return CriticalPath { tasks: Vec::new(), length: 0.0 };
+        return CriticalPath {
+            tasks: Vec::new(),
+            length: 0.0,
+        };
     }
     // dist[t] = heaviest cost of a chain ending at (and including) t.
     let mut dist = vec![0.0f64; n];
@@ -86,7 +93,12 @@ pub fn width_profile(g: &TaskGraph) -> Vec<usize> {
     let mut level = vec![0usize; g.task_count()];
     let mut max_level = 0;
     for &t in &order {
-        let l = g.preds(t).iter().map(|p| level[p.index()] + 1).max().unwrap_or(0);
+        let l = g
+            .preds(t)
+            .iter()
+            .map(|p| level[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
         level[t.index()] = l;
         max_level = max_level.max(l);
     }
@@ -107,7 +119,11 @@ pub fn bottom_levels(g: &TaskGraph, mut cost: impl FnMut(TaskId) -> f64) -> Vec<
     let order = topological_order(g);
     let mut bl = vec![0.0f64; g.task_count()];
     for &t in order.iter().rev() {
-        let down = g.succs(t).iter().map(|s| bl[s.index()]).fold(0.0f64, f64::max);
+        let down = g
+            .succs(t)
+            .iter()
+            .map(|s| bl[s.index()])
+            .fold(0.0f64, f64::max);
         bl[t.index()] = cost(t) + down;
     }
     bl
@@ -141,8 +157,9 @@ mod tests {
     fn topo_order_respects_edges() {
         let g = diamond();
         let order = topological_order(&g);
-        let pos: Vec<usize> =
-            (0..4).map(|i| order.iter().position(|&t| t == TaskId(i as u32)).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| order.iter().position(|&t| t == TaskId(i as u32)).unwrap())
+            .collect();
         assert!(pos[0] < pos[1]);
         assert!(pos[0] < pos[2]);
         assert!(pos[1] < pos[3]);
@@ -186,8 +203,9 @@ mod tests {
         let mut g = TaskGraph::new();
         let k = g.register_type("K", true, false);
         let d = g.add_data(1, "d");
-        let ts: Vec<TaskId> =
-            (0..5).map(|i| g.add_task(k, vec![(d, AccessMode::Read)], 1.0, format!("t{i}"))).collect();
+        let ts: Vec<TaskId> = (0..5)
+            .map(|i| g.add_task(k, vec![(d, AccessMode::Read)], 1.0, format!("t{i}")))
+            .collect();
         for w in ts.windows(2) {
             g.add_edge(w[0], w[1]);
         }

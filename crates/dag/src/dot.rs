@@ -15,8 +15,13 @@ pub fn to_dot(g: &TaskGraph) -> String {
         } else {
             t.label.clone()
         };
-        writeln!(out, "  {} [label=\"{}\"];", t.id.index(), label.replace('"', "'"))
-            .expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "  {} [label=\"{}\"];",
+            t.id.index(),
+            label.replace('"', "'")
+        )
+        .expect("writing to String cannot fail");
     }
     for t in g.tasks() {
         for &s in g.succs(t.id) {

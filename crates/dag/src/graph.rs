@@ -79,7 +79,12 @@ impl TaskGraph {
             return id;
         }
         let id = TaskTypeId::from_index(self.types.len());
-        self.types.push(TaskType { id, name: name.to_string(), cpu_impl, gpu_impl });
+        self.types.push(TaskType {
+            id,
+            name: name.to_string(),
+            cpu_impl,
+            gpu_impl,
+        });
         self.type_by_name.insert(name.to_string(), id);
         id
     }
@@ -87,7 +92,11 @@ impl TaskGraph {
     /// Add a data handle of `size` bytes.
     pub fn add_data(&mut self, size: u64, label: impl Into<String>) -> DataId {
         let id = DataId::from_index(self.data.len());
-        self.data.push(DataDesc { id, size, label: label.into() });
+        self.data.push(DataDesc {
+            id,
+            size,
+            label: label.into(),
+        });
         id
     }
 
@@ -101,7 +110,10 @@ impl TaskGraph {
         flops: f64,
         label: impl Into<String>,
     ) -> TaskId {
-        assert!(ttype.index() < self.types.len(), "unknown task type {ttype:?}");
+        assert!(
+            ttype.index() < self.types.len(),
+            "unknown task type {ttype:?}"
+        );
         for &(d, _) in &accesses {
             assert!(d.index() < self.data.len(), "unknown data handle {d:?}");
         }
@@ -109,7 +121,10 @@ impl TaskGraph {
         self.tasks.push(Task {
             id,
             ttype,
-            accesses: accesses.into_iter().map(|(data, mode)| Access { data, mode }).collect(),
+            accesses: accesses
+                .into_iter()
+                .map(|(data, mode)| Access { data, mode })
+                .collect(),
             user_priority: 0,
             flops,
             label: label.into(),
@@ -219,7 +234,11 @@ impl TaskGraph {
 
     /// Sum of the sizes of all handles accessed by `t` (its footprint).
     pub fn footprint(&self, t: TaskId) -> u64 {
-        self.task(t).accesses.iter().map(|a| self.data[a.data.index()].size).sum()
+        self.task(t)
+            .accesses
+            .iter()
+            .map(|a| self.data[a.data.index()].size)
+            .sum()
     }
 
     /// Aggregate statistics.
@@ -243,8 +262,10 @@ impl TaskGraph {
     pub fn validate_acyclic(&self) -> Result<(), TaskId> {
         // Kahn's algorithm: if we cannot consume every vertex, a cycle exists.
         let mut indeg: Vec<usize> = self.preds.iter().map(|p| p.len()).collect();
-        let mut queue: Vec<TaskId> =
-            (0..self.tasks.len()).filter(|&i| indeg[i] == 0).map(TaskId::from_index).collect();
+        let mut queue: Vec<TaskId> = (0..self.tasks.len())
+            .filter(|&i| indeg[i] == 0)
+            .map(TaskId::from_index)
+            .collect();
         let mut seen = 0usize;
         while let Some(t) = queue.pop() {
             seen += 1;
@@ -258,7 +279,10 @@ impl TaskGraph {
         if seen == self.tasks.len() {
             Ok(())
         } else {
-            let culprit = indeg.iter().position(|&d| d > 0).expect("cycle implies leftover indegree");
+            let culprit = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies leftover indegree");
             Err(TaskId::from_index(culprit))
         }
     }

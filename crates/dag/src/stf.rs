@@ -54,7 +54,10 @@ impl StfBuilder {
     /// Wrap an existing (possibly pre-populated) graph. Inference state
     /// starts empty: only tasks submitted through this builder get edges.
     pub fn from_graph(graph: TaskGraph) -> Self {
-        Self { graph, flows: HashMap::new() }
+        Self {
+            graph,
+            flows: HashMap::new(),
+        }
     }
 
     /// Access the underlying graph (to register types / data).
@@ -216,19 +219,31 @@ mod tests {
         let c1 = stf.graph_mut().add_data(8, "C1");
         let g0 = stf.submit(
             k,
-            vec![(a, AccessMode::Read), (b, AccessMode::Read), (c0, AccessMode::ReadWrite)],
+            vec![
+                (a, AccessMode::Read),
+                (b, AccessMode::Read),
+                (c0, AccessMode::ReadWrite),
+            ],
             1.0,
             "g0",
         );
         let g1 = stf.submit(
             k,
-            vec![(a, AccessMode::Read), (b, AccessMode::Read), (c0, AccessMode::ReadWrite)],
+            vec![
+                (a, AccessMode::Read),
+                (b, AccessMode::Read),
+                (c0, AccessMode::ReadWrite),
+            ],
             1.0,
             "g1",
         );
         let g2 = stf.submit(
             k,
-            vec![(a, AccessMode::Read), (b, AccessMode::Read), (c1, AccessMode::ReadWrite)],
+            vec![
+                (a, AccessMode::Read),
+                (b, AccessMode::Read),
+                (c1, AccessMode::ReadWrite),
+            ],
             1.0,
             "g2",
         );
@@ -246,10 +261,7 @@ mod proptests {
 
     /// A random STF program: per task, a set of (data, mode) accesses.
     fn programs() -> impl Strategy<Value = Vec<Vec<(u8, u8)>>> {
-        proptest::collection::vec(
-            proptest::collection::vec((0u8..6, 0u8..3), 1..4),
-            1..60,
-        )
+        proptest::collection::vec(proptest::collection::vec((0u8..6, 0u8..3), 1..4), 1..60)
     }
 
     fn mode(m: u8) -> AccessMode {

@@ -61,12 +61,18 @@ pub struct Task {
 impl Task {
     /// Iterate over the data handles this task reads (R or RW).
     pub fn reads(&self) -> impl Iterator<Item = DataId> + '_ {
-        self.accesses.iter().filter(|a| a.mode.reads()).map(|a| a.data)
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.reads())
+            .map(|a| a.data)
     }
 
     /// Iterate over the data handles this task writes (W or RW).
     pub fn writes(&self) -> impl Iterator<Item = DataId> + '_ {
-        self.accesses.iter().filter(|a| a.mode.writes()).map(|a| a.data)
+        self.accesses
+            .iter()
+            .filter(|a| a.mode.writes())
+            .map(|a| a.data)
     }
 }
 
@@ -79,9 +85,18 @@ mod tests {
             id: TaskId(0),
             ttype: TaskTypeId(0),
             accesses: vec![
-                Access { data: DataId(0), mode: AccessMode::Read },
-                Access { data: DataId(1), mode: AccessMode::ReadWrite },
-                Access { data: DataId(2), mode: AccessMode::Write },
+                Access {
+                    data: DataId(0),
+                    mode: AccessMode::Read,
+                },
+                Access {
+                    data: DataId(1),
+                    mode: AccessMode::ReadWrite,
+                },
+                Access {
+                    data: DataId(2),
+                    mode: AccessMode::Write,
+                },
             ],
             user_priority: 0,
             flops: 1.0,

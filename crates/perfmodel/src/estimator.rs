@@ -10,6 +10,39 @@ use mp_platform::types::{ArchId, Platform};
 
 use crate::model::{EstimateQuery, PerfModel};
 
+/// Calibration default used when a model has no estimate for an arch at
+/// all (see [`Estimator::delta_or_mean`]): 1 ms, the order of magnitude
+/// of an uncalibrated first run in StarPU's history models.
+pub const UNCALIBRATED_DELTA_US: f64 = 1_000.0;
+
+/// Outcome of [`Estimator::delta_or_mean`]: the estimate plus where it
+/// came from, so engines can log fallbacks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaEstimate {
+    /// The model had an entry for this (task, arch).
+    Exact(f64),
+    /// No entry; mean δ of same-arch estimates over other tasks.
+    ArchMean(f64),
+    /// The model has no estimate for this arch at all.
+    Uncalibrated(f64),
+}
+
+impl DeltaEstimate {
+    /// The estimate in µs, whatever its provenance.
+    pub fn us(self) -> f64 {
+        match self {
+            DeltaEstimate::Exact(d)
+            | DeltaEstimate::ArchMean(d)
+            | DeltaEstimate::Uncalibrated(d) => d,
+        }
+    }
+
+    /// Did the model actually have an entry?
+    pub fn is_exact(self) -> bool {
+        matches!(self, DeltaEstimate::Exact(_))
+    }
+}
+
 /// A read-only view combining graph, platform and model.
 #[derive(Clone, Copy)]
 pub struct Estimator<'a> {
@@ -21,7 +54,11 @@ pub struct Estimator<'a> {
 impl<'a> Estimator<'a> {
     /// Bind the three parts together.
     pub fn new(graph: &'a TaskGraph, platform: &'a Platform, model: &'a dyn PerfModel) -> Self {
-        Self { graph, platform, model }
+        Self {
+            graph,
+            platform,
+            model,
+        }
     }
 
     /// The underlying graph.
@@ -48,7 +85,9 @@ impl<'a> Estimator<'a> {
     /// The arch's relative speed factor is applied here.
     pub fn delta(&self, t: TaskId, a: ArchId) -> Option<f64> {
         let arch = self.platform.arch(a);
-        self.model.estimate(&self.query(t, a)).map(|base| base / arch.speed)
+        self.model
+            .estimate(&self.query(t, a))
+            .map(|base| base / arch.speed)
     }
 
     /// Can arch `a` execute `t` at all?
@@ -76,7 +115,11 @@ impl<'a> Estimator<'a> {
             .filter(|arch| self.platform.has_workers(arch.id))
             .filter_map(|arch| self.delta(t, arch.id).map(|d| (arch.id, d)))
             .collect();
-        v.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("finite deltas").then(x.0.cmp(&y.0)));
+        v.sort_by(|x, y| {
+            x.1.partial_cmp(&y.1)
+                .expect("finite deltas")
+                .then(x.0.cmp(&y.0))
+        });
         v
     }
 
@@ -104,11 +147,47 @@ impl<'a> Estimator<'a> {
         Some(d / best)
     }
 
+    /// Like [`Self::delta`], but never silently zero: when the model has
+    /// no entry for `(t, a)` the estimate falls back to the mean δ of
+    /// other tasks the model *can* estimate on `a` (the arch-class mean),
+    /// and to [`UNCALIBRATED_DELTA_US`] when the model knows nothing
+    /// about the arch at all. Engines use this for load-table accounting,
+    /// where recording 0 would corrupt Dmdas/MultiPrio busy-until tables.
+    pub fn delta_or_mean(&self, t: TaskId, a: ArchId) -> DeltaEstimate {
+        if let Some(d) = self.delta(t, a) {
+            return DeltaEstimate::Exact(d);
+        }
+        // Arch-class mean over a bounded sample of the other tasks.
+        const SCAN_CAP: usize = 1024;
+        const SAMPLE_CAP: usize = 64;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in 0..self.graph.task_count().min(SCAN_CAP) {
+            let other = TaskId::from_index(i);
+            if other == t {
+                continue;
+            }
+            if let Some(d) = self.delta(other, a) {
+                sum += d;
+                n += 1;
+                if n >= SAMPLE_CAP {
+                    break;
+                }
+            }
+        }
+        if n > 0 {
+            DeltaEstimate::ArchMean(sum / n as f64)
+        } else {
+            DeltaEstimate::Uncalibrated(UNCALIBRATED_DELTA_US)
+        }
+    }
+
     /// Record a measured execution time (feeds history-based models).
     pub fn record(&self, t: TaskId, a: ArchId, measured_us: f64) {
         // Store reference-unit time so history stays speed-normalized.
         let arch = self.platform.arch(a);
-        self.model.record(&self.query(t, a), measured_us * arch.speed);
+        self.model
+            .record(&self.query(t, a), measured_us * arch.speed);
     }
 }
 
@@ -174,7 +253,10 @@ mod tests {
         );
         let est = Estimator::new(&g, &p, &m);
         // Base CPU time 100 µs, speed 0.5 => 200 µs.
-        assert_eq!(est.delta(TaskId(0), mp_platform::types::ArchId(0)), Some(200.0));
+        assert_eq!(
+            est.delta(TaskId(0), mp_platform::types::ArchId(0)),
+            Some(200.0)
+        );
     }
 
     #[test]

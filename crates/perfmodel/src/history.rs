@@ -65,7 +65,11 @@ impl<B: PerfModel> HistoryModel<B> {
     /// Wrap `base`; history wins after `min_samples` measurements.
     pub fn new(base: B, min_samples: u64) -> Self {
         assert!(min_samples >= 1);
-        Self { base, min_samples, buckets: RwLock::new(HashMap::new()) }
+        Self {
+            base,
+            min_samples,
+            buckets: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Number of calibration buckets currently populated.
@@ -132,8 +136,18 @@ mod tests {
                 flops: 1000.0,
                 label: String::new(),
             },
-            TaskType { id: TaskTypeId(0), name: "K".into(), cpu_impl: true, gpu_impl: true },
-            Arch { id: ArchId(0), class: ArchClass::Cpu, name: "cpu".into(), speed: 1.0 },
+            TaskType {
+                id: TaskTypeId(0),
+                name: "K".into(),
+                cpu_impl: true,
+                gpu_impl: true,
+            },
+            Arch {
+                id: ArchId(0),
+                class: ArchClass::Cpu,
+                name: "cpu".into(),
+                speed: 1.0,
+            },
         )
     }
 
@@ -141,7 +155,12 @@ mod tests {
     fn falls_back_to_base_when_cold() {
         let (task, tt, arch) = fixture();
         let m = HistoryModel::new(UniformModel { time_us: 3.0 }, 2);
-        let q = EstimateQuery { task: &task, ttype: &tt, arch: &arch, footprint: 64 };
+        let q = EstimateQuery {
+            task: &task,
+            ttype: &tt,
+            arch: &arch,
+            footprint: 64,
+        };
         assert_eq!(m.estimate(&q), Some(3.0));
     }
 
@@ -149,7 +168,12 @@ mod tests {
     fn history_takes_over_after_min_samples() {
         let (task, tt, arch) = fixture();
         let m = HistoryModel::new(UniformModel { time_us: 3.0 }, 2);
-        let q = EstimateQuery { task: &task, ttype: &tt, arch: &arch, footprint: 64 };
+        let q = EstimateQuery {
+            task: &task,
+            ttype: &tt,
+            arch: &arch,
+            footprint: 64,
+        };
         m.record(&q, 10.0);
         assert_eq!(m.estimate(&q), Some(3.0), "one sample is not enough");
         m.record(&q, 20.0);
@@ -160,10 +184,20 @@ mod tests {
     fn buckets_isolate_kernels_and_sizes() {
         let (task, tt, arch) = fixture();
         let m = HistoryModel::new(UniformModel { time_us: 3.0 }, 1);
-        let q_small = EstimateQuery { task: &task, ttype: &tt, arch: &arch, footprint: 64 };
+        let q_small = EstimateQuery {
+            task: &task,
+            ttype: &tt,
+            arch: &arch,
+            footprint: 64,
+        };
         m.record(&q_small, 50.0);
         // Different footprint magnitude => different bucket => base model.
-        let q_big = EstimateQuery { task: &task, ttype: &tt, arch: &arch, footprint: 1 << 26 };
+        let q_big = EstimateQuery {
+            task: &task,
+            ttype: &tt,
+            arch: &arch,
+            footprint: 1 << 26,
+        };
         assert_eq!(m.estimate(&q_big), Some(3.0));
         assert_eq!(m.estimate(&q_small), Some(50.0));
         assert_eq!(m.bucket_count(), 1);
@@ -173,7 +207,12 @@ mod tests {
     fn sigma_reported() {
         let (task, tt, arch) = fixture();
         let m = HistoryModel::new(UniformModel { time_us: 3.0 }, 1);
-        let q = EstimateQuery { task: &task, ttype: &tt, arch: &arch, footprint: 64 };
+        let q = EstimateQuery {
+            task: &task,
+            ttype: &tt,
+            arch: &arch,
+            footprint: 64,
+        };
         for x in [10.0, 12.0, 14.0] {
             m.record(&q, x);
         }

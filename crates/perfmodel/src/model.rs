@@ -64,11 +64,21 @@ mod tests {
     use mp_platform::types::{Arch, ArchClass, ArchId};
 
     fn arch(class: ArchClass) -> Arch {
-        Arch { id: ArchId(0), class, name: "a".into(), speed: 1.0 }
+        Arch {
+            id: ArchId(0),
+            class,
+            name: "a".into(),
+            speed: 1.0,
+        }
     }
 
     fn ttype(cpu: bool, gpu: bool) -> TaskType {
-        TaskType { id: TaskTypeId(0), name: "K".into(), cpu_impl: cpu, gpu_impl: gpu }
+        TaskType {
+            id: TaskTypeId(0),
+            name: "K".into(),
+            cpu_impl: cpu,
+            gpu_impl: gpu,
+        }
     }
 
     fn task() -> Task {
@@ -89,8 +99,18 @@ mod tests {
         let m = UniformModel { time_us: 5.0 };
         let cpu = arch(ArchClass::Cpu);
         let gpu = arch(ArchClass::Gpu);
-        let qc = EstimateQuery { task: &t, ttype: &tt, arch: &cpu, footprint: 0 };
-        let qg = EstimateQuery { task: &t, ttype: &tt, arch: &gpu, footprint: 0 };
+        let qc = EstimateQuery {
+            task: &t,
+            ttype: &tt,
+            arch: &cpu,
+            footprint: 0,
+        };
+        let qg = EstimateQuery {
+            task: &t,
+            ttype: &tt,
+            arch: &gpu,
+            footprint: 0,
+        };
         assert_eq!(m.estimate(&qc), Some(5.0));
         assert_eq!(m.estimate(&qg), None);
     }

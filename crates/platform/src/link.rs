@@ -16,12 +16,18 @@ impl Link {
     pub fn new(bandwidth_gbps: f64, latency_us: f64) -> Self {
         assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
         assert!(latency_us >= 0.0, "latency must be non-negative");
-        Self { bandwidth_gbps, latency_us }
+        Self {
+            bandwidth_gbps,
+            latency_us,
+        }
     }
 
     /// The same-node "link": free.
     pub fn zero_cost() -> Self {
-        Self { bandwidth_gbps: f64::INFINITY, latency_us: 0.0 }
+        Self {
+            bandwidth_gbps: f64::INFINITY,
+            latency_us: 0.0,
+        }
     }
 
     /// PCIe gen3 x16-ish defaults (~12 GB/s sustained, 10 µs latency).

@@ -35,7 +35,10 @@ pub fn hetero_node(
     link: Link,
 ) -> Platform {
     assert!(streams >= 1, "at least one stream per GPU");
-    assert!(cpu_cores > gpus, "need at least one CPU worker after dedicating driver cores");
+    assert!(
+        cpu_cores > gpus,
+        "need at least one CPU worker after dedicating driver cores"
+    );
     let mut b = PlatformBuilder::new(name);
     let cpu = b.arch(ArchClass::Cpu, "cpu-core", cpu_speed);
     let ram = b.mem_node(cpu, None, "ram");
@@ -80,7 +83,16 @@ pub fn intel_v100() -> Platform {
 
 /// Intel-V100 with `streams` workers per GPU (Fig. 6 sweeps 1..=4).
 pub fn intel_v100_streams(streams: usize) -> Platform {
-    hetero_node("Intel-V100", 32, 1.0, 2, 1.0, 16 * GIB, streams, Link::pcie_gen3())
+    hetero_node(
+        "Intel-V100",
+        32,
+        1.0,
+        2,
+        1.0,
+        16 * GIB,
+        streams,
+        Link::pcie_gen3(),
+    )
 }
 
 /// The paper's AMD-A100 platform: 2× EPYC 7513 (32 cores each, 2.6 GHz —
@@ -92,18 +104,45 @@ pub fn amd_a100() -> Platform {
 
 /// AMD-A100 with `streams` workers per GPU.
 pub fn amd_a100_streams(streams: usize) -> Platform {
-    hetero_node("AMD-A100", 64, 0.5, 2, 1.9, 40 * GIB, streams, Link::pcie_gen4())
+    hetero_node(
+        "AMD-A100",
+        64,
+        0.5,
+        2,
+        1.9,
+        40 * GIB,
+        streams,
+        Link::pcie_gen4(),
+    )
 }
 
 /// The Fig. 4 simulation platform: 1 GPU and 6 CPU workers.
 pub fn fig4() -> Platform {
-    hetero_node("fig4-1gpu-6cpu", 7, 1.0, 1, 1.0, 16 * GIB, 1, Link::pcie_gen3())
+    hetero_node(
+        "fig4-1gpu-6cpu",
+        7,
+        1.0,
+        1,
+        1.0,
+        16 * GIB,
+        1,
+        Link::pcie_gen3(),
+    )
 }
 
 /// A small CPU+GPU node for tests: `cpus` CPU workers, `gpus` GPUs with
 /// one stream each, generous GPU memory.
 pub fn simple(cpus: usize, gpus: usize) -> Platform {
-    hetero_node("simple", cpus + gpus, 1.0, gpus, 1.0, 64 * GIB, 1, Link::pcie_gen3())
+    hetero_node(
+        "simple",
+        cpus + gpus,
+        1.0,
+        gpus,
+        1.0,
+        64 * GIB,
+        1,
+        Link::pcie_gen3(),
+    )
 }
 
 /// A homogeneous CPU-only machine with `cpus` workers.

@@ -244,14 +244,22 @@ pub struct PlatformBuilder {
 impl PlatformBuilder {
     /// Start a new platform with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ..Self::default() }
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
     }
 
     /// Register an architecture type.
     pub fn arch(&mut self, class: ArchClass, name: impl Into<String>, speed: f64) -> ArchId {
         assert!(speed > 0.0, "arch speed must be positive");
         let id = ArchId::from_index(self.archs.len());
-        self.archs.push(Arch { id, class, name: name.into(), speed });
+        self.archs.push(Arch {
+            id,
+            class,
+            name: name.into(),
+            speed,
+        });
         id
     }
 
@@ -268,16 +276,29 @@ impl PlatformBuilder {
             assert!(capacity.is_none(), "node 0 (main RAM) must be unbounded");
         }
         let id = MemNodeId::from_index(self.mem_nodes.len());
-        self.mem_nodes.push(MemNode { id, arch, capacity, name: name.into() });
+        self.mem_nodes.push(MemNode {
+            id,
+            arch,
+            capacity,
+            name: name.into(),
+        });
         id
     }
 
     /// Register a worker on a memory node; its arch is the node's arch.
     pub fn worker(&mut self, mem_node: MemNodeId, name: impl Into<String>) -> WorkerId {
-        assert!(mem_node.index() < self.mem_nodes.len(), "unknown node {mem_node:?}");
+        assert!(
+            mem_node.index() < self.mem_nodes.len(),
+            "unknown node {mem_node:?}"
+        );
         let arch = self.mem_nodes[mem_node.index()].arch;
         let id = WorkerId::from_index(self.workers.len());
-        self.workers.push(Worker { id, arch, mem_node, name: name.into() });
+        self.workers.push(Worker {
+            id,
+            arch,
+            mem_node,
+            name: name.into(),
+        });
         id
     }
 
@@ -300,8 +321,14 @@ impl PlatformBuilder {
 
     /// Finalize. Panics when invariants are violated.
     pub fn build(self) -> Platform {
-        assert!(!self.mem_nodes.is_empty(), "platform needs at least main RAM");
-        assert!(!self.workers.is_empty(), "platform needs at least one worker");
+        assert!(
+            !self.mem_nodes.is_empty(),
+            "platform needs at least main RAM"
+        );
+        assert!(
+            !self.workers.is_empty(),
+            "platform needs at least one worker"
+        );
         let n = self.mem_nodes.len();
         let default = self.default_link.unwrap_or(Link::pcie_gen3());
         let mut links = vec![default; n * n];

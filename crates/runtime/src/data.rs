@@ -1,7 +1,8 @@
 //! Buffer store and the kernel execution context.
 
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
 use mp_dag::access::AccessMode;
-use parking_lot::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A locked buffer handed to a kernel, read-only or writable according to
 /// the declared access mode.
@@ -80,27 +81,27 @@ impl<'a> TaskCtx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::RwLock;
+    use std::sync::RwLock;
 
     #[test]
     fn read_and_write_views() {
         let a = RwLock::new(vec![1.0, 2.0]);
         let b = RwLock::new(vec![0.0; 2]);
         let mut ctx = TaskCtx::new(
-            vec![BufRef::R(a.read()), BufRef::W(b.write())],
+            vec![BufRef::R(a.read().unwrap()), BufRef::W(b.write().unwrap())],
             vec![AccessMode::Read, AccessMode::Write],
         );
         assert_eq!(ctx.r(0), &[1.0, 2.0]);
         ctx.w(1)[0] = 7.0;
         drop(ctx);
-        assert_eq!(b.read()[0], 7.0);
+        assert_eq!(b.read().unwrap()[0], 7.0);
     }
 
     #[test]
     #[should_panic(expected = "forbidden")]
     fn writing_a_read_access_panics() {
         let a = RwLock::new(vec![1.0]);
-        let mut ctx = TaskCtx::new(vec![BufRef::R(a.read())], vec![AccessMode::Read]);
+        let mut ctx = TaskCtx::new(vec![BufRef::R(a.read().unwrap())], vec![AccessMode::Read]);
         let _ = ctx.w(0);
     }
 
@@ -109,12 +110,12 @@ mod tests {
         let a = RwLock::new(vec![3.0]);
         let c = RwLock::new(vec![10.0]);
         let mut ctx = TaskCtx::new(
-            vec![BufRef::R(a.read()), BufRef::W(c.write())],
+            vec![BufRef::R(a.read().unwrap()), BufRef::W(c.write().unwrap())],
             vec![AccessMode::Read, AccessMode::ReadWrite],
         );
         let (ra, wc) = ctx.rw_pair(0, 1);
         wc[0] += ra[0];
         drop(ctx);
-        assert_eq!(c.read()[0], 13.0);
+        assert_eq!(c.read().unwrap()[0], 13.0);
     }
 }

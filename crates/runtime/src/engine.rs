@@ -1,19 +1,30 @@
 //! The threaded execution engine.
+//!
+//! Workers drive a [`ConcurrentScheduler`] front-end directly — either
+//! the [`GlobalLock`] baseline (one mutex around the policy, what
+//! [`Runtime::run`] uses) or the sharded multi-queue
+//! ([`Runtime::run_sharded`]). Idle workers park on an eventcount-style
+//! [`WakeEpoch`]: every push and every completion bumps an epoch and
+//! notifies, and a worker that read the epoch *before* its failed pop
+//! cannot miss a wakeup that raced with it. The only timed sleep left is
+//! a short bounded re-poll when the scheduler holds tasks back
+//! (`pending() > 0` but `pop` returned `None`, e.g. MultiPrio's pop
+//! condition waiting out a busy best-worker).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use mp_dag::access::AccessMode;
-use mp_dag::ids::{DataId, TaskId};
+use mp_dag::ids::{DataId, TaskId, TaskTypeId};
 use mp_dag::stf::StfBuilder;
 use mp_dag::TaskGraph;
-use mp_perfmodel::{Estimator, PerfModel};
-use mp_platform::types::{ArchClass, MemNodeId, Platform, WorkerId};
+use mp_perfmodel::{DeltaEstimate, Estimator, PerfModel};
+use mp_platform::types::{ArchClass, ArchId, MemNodeId, Platform, WorkerId};
 use mp_sched::api::{DataLocator, LoadInfo, SchedEvent, SchedView, Scheduler};
+use mp_sched::concurrent::{ConcurrentScheduler, GlobalLock, ShardedAdapter};
 use mp_trace::{TaskSpan, Trace};
-use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::data::{BufRef, TaskCtx};
 
@@ -113,6 +124,117 @@ impl LoadInfo for AtomicLoads {
     }
 }
 
+/// Eventcount-style parking lot for idle workers.
+///
+/// Protocol: a worker reads [`Self::current`] *before* attempting a pop;
+/// if the pop fails it parks with [`Self::wait`], which returns
+/// immediately when the epoch moved in between. Producers call
+/// [`Self::notify`], which bumps the epoch *before* taking the mutex, so
+/// the pair (read epoch → pop → wait) can never sleep through a push or
+/// completion that happened after the epoch read.
+struct WakeEpoch {
+    epoch: AtomicU64,
+    /// Workers inside [`Self::wait`]; lets [`Self::notify`] skip the
+    /// mutex on the (hot) nobody-parked path.
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl WakeEpoch {
+    fn new() -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn current(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    fn notify(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // SeqCst pairs with the waiter's increment-then-recheck: either
+        // the waiter's re-check sees the new epoch, or this load sees the
+        // waiter registered and takes the mutex to wake it.
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Take the mutex so a waiter between its epoch re-check and its
+        // cv wait cannot miss the notification.
+        let _g = self.lock.lock().expect("wake lock poisoned");
+        self.cv.notify_all();
+    }
+
+    /// Park until the epoch differs from `seen` (or `bound` elapses, or a
+    /// spurious wakeup — callers re-poll in a loop either way).
+    fn wait(&self, seen: u64, bound: Option<Duration>) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let g = self.lock.lock().expect("wake lock poisoned");
+        if self.epoch.load(Ordering::SeqCst) == seen {
+            match bound {
+                Some(d) => drop(self.cv.wait_timeout(g, d).expect("wake lock poisoned")),
+                None => drop(self.cv.wait(g).expect("wake lock poisoned")),
+            }
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Bounded park when the scheduler holds work back: MultiPrio's pop
+/// condition compares against wall-clock `busy_until`, so a held-back
+/// task becomes poppable by time passing alone — no event fires.
+const HOLDBACK_REPOLL: Duration = Duration::from_micros(200);
+
+/// Typed failure of [`Runtime::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A submitted task has no implementation for any architecture class
+    /// present on the platform, so no worker could ever execute it.
+    /// Detected at submit time, reported when the run starts.
+    NoUsableImpl {
+        /// The offending task.
+        task: TaskId,
+        /// Its trace label.
+        label: String,
+        /// Architecture classes present on the platform.
+        platform_classes: Vec<ArchClass>,
+    },
+    /// The scheduler handed a task to a worker whose architecture class
+    /// has no implementation of it (a policy bug — the run is aborted).
+    MissingKernel {
+        /// The misrouted task.
+        task: TaskId,
+        /// The class of the worker it was sent to.
+        class: ArchClass,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::NoUsableImpl {
+                task,
+                label,
+                platform_classes,
+            } => write!(
+                f,
+                "task {task:?} ('{label}') has no implementation for any platform \
+                 arch class ({platform_classes:?})"
+            ),
+            RunError::MissingKernel { task, class } => write!(
+                f,
+                "scheduler sent {task:?} to a {class:?} worker without an implementation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Result of a run: wall-clock makespan and trace.
 #[derive(Debug)]
 pub struct RunReport {
@@ -131,13 +253,23 @@ pub struct Runtime {
     stf: StfBuilder,
     buffers: Vec<RwLock<Vec<f64>>>,
     impls: Vec<HashMap<ArchClass, KernelFn>>,
+    /// First impl-coverage violation found at submit time; reported by
+    /// [`Runtime::run`] before any thread spawns.
+    submit_error: Option<RunError>,
 }
 
 impl Runtime {
     /// New runtime on `platform` with performance model `model` (wrap a
     /// `HistoryModel` to get online calibration from measured times).
     pub fn new(platform: Platform, model: Arc<dyn PerfModel>) -> Self {
-        Self { platform, model, stf: StfBuilder::new(), buffers: Vec::new(), impls: Vec::new() }
+        Self {
+            platform,
+            model,
+            stf: StfBuilder::new(),
+            buffers: Vec::new(),
+            impls: Vec::new(),
+            submit_error: None,
+        }
     }
 
     /// Register a buffer; returns its handle.
@@ -149,17 +281,50 @@ impl Runtime {
         id
     }
 
+    /// Architecture classes with at least one worker on this platform.
+    fn platform_classes(&self) -> Vec<ArchClass> {
+        let mut classes = Vec::new();
+        for a in self.platform.archs() {
+            if !classes.contains(&a.class) {
+                classes.push(a.class);
+            }
+        }
+        classes
+    }
+
     /// Submit a task; dependencies on earlier submissions are inferred
-    /// from the declared accesses (STF).
+    /// from the declared accesses (STF). Implementation coverage is
+    /// checked against the platform's architecture classes here; a task
+    /// no worker could ever execute makes the eventual [`Self::run`]
+    /// return [`RunError::NoUsableImpl`] instead of deadlocking or
+    /// panicking inside a worker thread.
     pub fn submit(&mut self, tb: TaskBuilder) -> TaskId {
-        assert!(!tb.impls.is_empty(), "task '{}' has no implementation", tb.ttype);
+        assert!(
+            !tb.impls.is_empty(),
+            "task '{}' has no implementation",
+            tb.ttype
+        );
         let ttype = self.stf.graph_mut().register_type(
             &tb.ttype,
             tb.impls.contains_key(&ArchClass::Cpu),
             tb.impls.contains_key(&ArchClass::Gpu),
         );
-        let label = if tb.label.is_empty() { tb.ttype.clone() } else { tb.label.clone() };
-        let t = self.stf.submit_prio(ttype, tb.accesses, tb.flops, tb.priority, label);
+        let label = if tb.label.is_empty() {
+            tb.ttype.clone()
+        } else {
+            tb.label.clone()
+        };
+        let t = self
+            .stf
+            .submit_prio(ttype, tb.accesses, tb.flops, tb.priority, label.clone());
+        let classes = self.platform_classes();
+        if self.submit_error.is_none() && !classes.iter().any(|c| tb.impls.contains_key(c)) {
+            self.submit_error = Some(RunError::NoUsableImpl {
+                task: t,
+                label,
+                platform_classes: classes,
+            });
+        }
         self.impls.push(tb.impls);
         debug_assert_eq!(t.index() + 1, self.impls.len());
         t
@@ -167,7 +332,10 @@ impl Runtime {
 
     /// Take back a buffer's contents after a run.
     pub fn buffer(&self, d: DataId) -> Vec<f64> {
-        self.buffers[d.index()].read().clone()
+        self.buffers[d.index()]
+            .read()
+            .expect("buffer poisoned")
+            .clone()
     }
 
     /// The graph built so far (for analysis/tests).
@@ -175,10 +343,37 @@ impl Runtime {
         self.stf.graph()
     }
 
-    /// Execute every submitted task under `scheduler`. Blocks until the
-    /// whole DAG completes; buffers can be read back afterwards with
-    /// [`Self::buffer`].
-    pub fn run(&mut self, scheduler: Box<dyn Scheduler>) -> RunReport {
+    /// Execute every submitted task under `scheduler` behind a single
+    /// global lock ([`GlobalLock`]). Blocks until the whole DAG completes;
+    /// buffers can be read back afterwards with [`Self::buffer`].
+    pub fn run(&mut self, scheduler: Box<dyn Scheduler>) -> Result<RunReport, RunError> {
+        let front = GlobalLock::new(scheduler);
+        self.run_concurrent(&front)
+    }
+
+    /// Execute under a sharded multi-queue front-end: `shards` policy
+    /// instances built by `factory`, per-worker routing and randomized
+    /// two-choice stealing (see [`ShardedAdapter`]). Stateful policies
+    /// should share score state across the instances the factory builds
+    /// (e.g. `MultiPrioScheduler::with_shared_gain`).
+    pub fn run_sharded(
+        &mut self,
+        shards: usize,
+        factory: &dyn Fn() -> Box<dyn Scheduler>,
+    ) -> Result<RunReport, RunError> {
+        let front = ShardedAdapter::new(shards, factory);
+        self.run_concurrent(&front)
+    }
+
+    /// Execute every submitted task by driving `front` from one thread
+    /// per platform worker.
+    pub fn run_concurrent(
+        &mut self,
+        front: &dyn ConcurrentScheduler,
+    ) -> Result<RunReport, RunError> {
+        if let Some(err) = self.submit_error.clone() {
+            return Err(err);
+        }
         let graph = self.stf.graph().clone();
         let n = graph.task_count();
         let nw = self.platform.worker_count();
@@ -186,26 +381,24 @@ impl Runtime {
         let model: &dyn PerfModel = &*self.model;
         let buffers = &self.buffers;
         let impls = &self.impls;
-        let sched_name = scheduler.name().to_string();
+        let sched_name = front.name();
 
         let loads = AtomicLoads::new(nw);
         let unified = UnifiedMemory;
         let start = Instant::now();
         let now_us = || start.elapsed().as_secs_f64() * 1e6;
 
-        // Scheduler + wake epoch behind one mutex; condvar for idling.
-        struct Shared {
-            scheduler: Box<dyn Scheduler>,
-        }
-        let shared = Mutex::new(Shared { scheduler });
-        let wake = Condvar::new();
+        let wake = WakeEpoch::new();
+        let abort = AtomicBool::new(false);
+        let error: Mutex<Option<RunError>> = Mutex::new(None);
         let completed = AtomicUsize::new(0);
         let indeg: Vec<AtomicUsize> = (0..n)
             .map(|i| AtomicUsize::new(graph.preds(TaskId::from_index(i)).len()))
             .collect();
-        let ready_at: Vec<AtomicU64> =
-            (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+        let ready_at: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
         let spans = Mutex::new(Vec::<TaskSpan>::new());
+        // Task types already warned about for fallback estimates.
+        let warned: Mutex<HashSet<(TaskTypeId, ArchId)>> = Mutex::new(HashSet::new());
 
         let make_view = |now: f64| SchedView {
             est: Estimator::new(&graph, platform, model),
@@ -216,64 +409,103 @@ impl Runtime {
 
         // Seed initial ready tasks.
         {
-            let mut s = shared.lock();
-            for i in 0..n {
-                if indeg[i].load(Ordering::Relaxed) == 0 {
-                    let view = make_view(0.0);
-                    s.scheduler.push(TaskId::from_index(i), None, &view);
+            let view = make_view(0.0);
+            for (i, d) in indeg.iter().enumerate() {
+                if d.load(Ordering::Relaxed) == 0 {
+                    front.push(TaskId::from_index(i), None, &view);
                 }
             }
-            let _ = s.scheduler.drain_prefetches(); // unified memory: no-op
+            let _ = front.drain_prefetches(); // unified memory: no-op
         }
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for wi in 0..nw {
                 let w = WorkerId::from_index(wi);
-                let shared = &shared;
                 let wake = &wake;
+                let abort = &abort;
+                let error = &error;
                 let completed = &completed;
                 let indeg = &indeg;
                 let ready_at = &ready_at;
                 let spans = &spans;
                 let loads = &loads;
+                let warned = &warned;
                 let graph = &graph;
                 let make_view = &make_view;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let arch = platform.worker(w).arch;
                     let class = platform.arch(arch).class;
                     loop {
-                        if completed.load(Ordering::Acquire) >= n {
-                            wake.notify_all();
+                        if completed.load(Ordering::Acquire) >= n || abort.load(Ordering::Acquire) {
+                            wake.notify();
                             return;
                         }
-                        // Try to pop under the lock.
+                        // Epoch BEFORE the pop attempt: a push racing with
+                        // the failed pop bumps it and wait() returns
+                        // immediately.
+                        let seen = wake.current();
                         let popped = {
-                            let mut s = shared.lock();
-                            let now = now_us();
-                            let view = make_view(now);
-                            match s.scheduler.pop(w, &view) {
-                                Some(t) => Some(t),
-                                None => {
-                                    // Nothing for us now: park until a
-                                    // push/completion happens (bounded so
-                                    // MultiPrio hold-backs re-poll).
-                                    wake.wait_for(&mut s, std::time::Duration::from_millis(1));
-                                    None
-                                }
-                            }
+                            let view = make_view(now_us());
+                            front.pop(w, &view)
                         };
-                        let Some(t) = popped else { continue };
+                        let Some(t) = popped else {
+                            // Nothing for us now. If the scheduler holds
+                            // tasks back, poppability can change by time
+                            // alone — bounded re-poll; otherwise park
+                            // until the next push/completion event.
+                            let bound = if front.pending() > 0 {
+                                Some(HOLDBACK_REPOLL)
+                            } else {
+                                None
+                            };
+                            wake.wait(seen, bound);
+                            continue;
+                        };
 
-                        // Estimate for the load table, then execute.
+                        // Estimate for the load table, then execute. A
+                        // missing model entry falls back to an arch mean
+                        // or the uncalibrated default instead of silently
+                        // recording zero load.
                         let est = Estimator::new(graph, platform, model);
-                        let delta_est = est.delta(t, arch).unwrap_or(0.0);
-                        let t_start = now_us();
-                        loads.set(w, t_start + delta_est);
-                        {
-                            let mut s = shared.lock();
-                            let view = make_view(t_start);
-                            s.scheduler.feedback(&SchedEvent::TaskStarted { t, w }, &view);
+                        let delta_est = est.delta_or_mean(t, arch);
+                        if !delta_est.is_exact() {
+                            let tt = graph.task(t).ttype;
+                            let mut seen_types = warned.lock().expect("warn set poisoned");
+                            if seen_types.insert((tt, arch)) {
+                                let kind = match delta_est {
+                                    DeltaEstimate::ArchMean(_) => "arch-class mean",
+                                    _ => "uncalibrated default",
+                                };
+                                eprintln!(
+                                    "mp-runtime: no calibrated estimate for task type \
+                                     '{}' on arch {:?}; using {} of {:.1} µs",
+                                    graph.task_type(tt).name,
+                                    arch,
+                                    kind,
+                                    delta_est.us(),
+                                );
+                            }
                         }
+                        let t_start = now_us();
+                        loads.set(w, t_start + delta_est.us());
+                        {
+                            let view = make_view(t_start);
+                            front.feedback(&SchedEvent::TaskStarted { t, w }, &view);
+                        }
+                        // Resolve the kernel before touching buffers; a
+                        // miss is a scheduler bug — abort the run with a
+                        // typed error instead of panicking in a scoped
+                        // thread.
+                        let Some(kernel) = impls[t.index()].get(&class).cloned() else {
+                            let mut e = error.lock().expect("error slot poisoned");
+                            if e.is_none() {
+                                *e = Some(RunError::MissingKernel { task: t, class });
+                            }
+                            drop(e);
+                            abort.store(true, Ordering::Release);
+                            wake.notify();
+                            return;
+                        };
                         // Lock buffers in access order (deps guarantee
                         // no cycles among concurrent tasks).
                         let task = graph.task(t);
@@ -283,67 +515,72 @@ impl Runtime {
                             .map(|a| {
                                 let b = &buffers[a.data.index()];
                                 let g = if a.mode.writes() {
-                                    BufRef::W(b.write())
+                                    BufRef::W(b.write().expect("buffer poisoned"))
                                 } else {
-                                    BufRef::R(b.read())
+                                    BufRef::R(b.read().expect("buffer poisoned"))
                                 };
                                 (g, a.mode)
                             })
                             .unzip();
                         let mut ctx = TaskCtx::new(bufs, modes);
-                        let kernel = impls[t.index()]
-                            .get(&class)
-                            .unwrap_or_else(|| {
-                                panic!("scheduler sent {t:?} to a {class:?} worker without impl")
-                            })
-                            .clone();
                         kernel(&mut ctx);
                         drop(ctx);
                         let t_end = now_us();
                         loads.set(w, t_end);
                         est.record(t, arch, t_end - t_start);
-                        spans.lock().push(TaskSpan {
+                        spans.lock().expect("spans poisoned").push(TaskSpan {
                             task: t,
                             ttype: task.ttype,
                             worker: w,
-                            ready_at: f64::from_bits(
-                                ready_at[t.index()].load(Ordering::Relaxed),
-                            ),
+                            ready_at: f64::from_bits(ready_at[t.index()].load(Ordering::Relaxed)),
                             start: t_start,
                             end: t_end,
                         });
 
-                        // Release successors and report completion.
+                        // Release successors and report completion. Events
+                        // and pushes reach the front-end in this thread's
+                        // program order; the front-end sequences them
+                        // globally (GlobalLock by its mutex, the sharded
+                        // adapter by its event log).
                         {
-                            let mut s = shared.lock();
                             let view = make_view(t_end);
-                            s.scheduler.feedback(
-                                &SchedEvent::TaskFinished { t, w, elapsed_us: t_end - t_start },
+                            front.feedback(
+                                &SchedEvent::TaskFinished {
+                                    t,
+                                    w,
+                                    elapsed_us: t_end - t_start,
+                                },
                                 &view,
                             );
                             for &succ in graph.succs(t) {
                                 if indeg[succ.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     ready_at[succ.index()]
                                         .store(t_end.to_bits(), Ordering::Relaxed);
-                                    let view = make_view(t_end);
-                                    s.scheduler.push(succ, Some(w), &view);
+                                    front.push(succ, Some(w), &view);
                                 }
                             }
-                            let _ = s.scheduler.drain_prefetches();
+                            let _ = front.drain_prefetches();
                         }
                         completed.fetch_add(1, Ordering::AcqRel);
-                        wake.notify_all();
+                        // Every push/completion wakes parked workers.
+                        wake.notify();
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
+        if let Some(err) = error.lock().expect("error slot poisoned").take() {
+            return Err(err);
+        }
         let makespan_us = now_us();
         let mut trace = Trace::new(nw);
-        trace.tasks = spans.into_inner();
+        trace.tasks = spans.into_inner().expect("spans poisoned");
         trace.tasks.sort_by(|a, b| a.end.total_cmp(&b.end));
-        RunReport { makespan_us, trace, scheduler: sched_name }
+        Ok(RunReport {
+            makespan_us,
+            trace,
+            scheduler: sched_name,
+        })
     }
 }
 
@@ -380,7 +617,7 @@ mod tests {
                     .flops(100.0),
             );
         }
-        let report = rt.run(Box::new(FifoScheduler::new()));
+        let report = rt.run(Box::new(FifoScheduler::new())).expect("run failed");
         assert_eq!(report.trace.tasks.len(), 2);
         assert!(report.trace.validate().is_ok());
         assert!(rt.buffer(x).iter().all(|&v| v == 9.0));
@@ -389,8 +626,9 @@ mod tests {
     #[test]
     fn parallel_fan_out_and_reduce() {
         let mut rt = Runtime::new(homogeneous(4), model());
-        let parts: Vec<DataId> =
-            (0..8).map(|i| rt.register(vec![0.0], &format!("p{i}"))).collect();
+        let parts: Vec<DataId> = (0..8)
+            .map(|i| rt.register(vec![0.0], &format!("p{i}")))
+            .collect();
         let total = rt.register(vec![0.0], "total");
         for (i, &p) in parts.iter().enumerate() {
             rt.submit(
@@ -416,12 +654,61 @@ mod tests {
             .flops(8.0),
         );
         assert_eq!(rt.graph().task_count(), 9);
-        let report = rt.run(Box::new(FifoScheduler::new()));
+        let report = rt.run(Box::new(FifoScheduler::new())).expect("run failed");
         assert_eq!(report.trace.tasks.len(), 9);
         assert!(report.trace.validate().is_ok());
         // The reduction must have executed last and computed 1+2+...+8.
         let last = report.trace.tasks.last().unwrap();
         assert_eq!(last.ttype.index(), 1, "SUM finishes last");
         assert_eq!(rt.buffer(total)[0], 36.0);
+    }
+
+    #[test]
+    fn sharded_front_end_runs_the_same_dag() {
+        let mut rt = Runtime::new(homogeneous(4), model());
+        let x = rt.register(vec![1.0; 64], "x");
+        for _ in 0..4 {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(x, AccessMode::ReadWrite)
+                    .cpu(|ctx| {
+                        for v in ctx.w(0) {
+                            *v *= 2.0;
+                        }
+                    })
+                    .flops(64.0),
+            );
+        }
+        let report = rt
+            .run_sharded(4, &|| Box::new(FifoScheduler::new()))
+            .expect("run failed");
+        assert_eq!(report.trace.tasks.len(), 4);
+        assert!(report.trace.validate().is_ok());
+        assert!(report.scheduler.contains("sharded"));
+        assert!(rt.buffer(x).iter().all(|&v| v == 16.0));
+    }
+
+    #[test]
+    fn unusable_task_is_a_typed_error_not_a_hang() {
+        // CPU-only platform, GPU-only task: no worker can ever run it.
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let x = rt.register(vec![0.0], "x");
+        let t = rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .gpu(|_| {})
+                .flops(1.0),
+        );
+        match rt.run(Box::new(FifoScheduler::new())) {
+            Err(RunError::NoUsableImpl {
+                task,
+                platform_classes,
+                ..
+            }) => {
+                assert_eq!(task, t);
+                assert_eq!(platform_classes, vec![ArchClass::Cpu]);
+            }
+            other => panic!("expected NoUsableImpl, got {other:?}"),
+        }
     }
 }

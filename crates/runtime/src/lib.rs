@@ -8,8 +8,11 @@
 //!   tasks with access modes — dependencies are inferred);
 //! * per-architecture-class kernel implementations as Rust closures (the
 //!   "CPU codelet" / "GPU codelet" pair of a StarPU task);
-//! * worker threads bound to the platform's workers, parked on a condvar
-//!   and woken on every PUSH;
+//! * worker threads bound to the platform's workers, parked on an
+//!   eventcount-style wake epoch and woken on every PUSH/completion;
+//! * two scheduler front-ends: a global-lock baseline and a sharded
+//!   multi-queue with randomized two-choice stealing
+//!   ([`mp_sched::concurrent`]);
 //! * measured execution times fed back into the performance model
 //!   (closing StarPU's calibration loop for history-based models);
 //! * a wall-clock `mp-trace` trace.
@@ -27,4 +30,4 @@ pub mod data;
 pub mod engine;
 
 pub use data::{BufRef, TaskCtx};
-pub use engine::{Runtime, RunReport, TaskBuilder};
+pub use engine::{RunError, RunReport, Runtime, TaskBuilder};

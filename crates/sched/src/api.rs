@@ -154,10 +154,25 @@ pub trait Scheduler: Send {
     /// Execution feedback (default: ignored).
     fn feedback(&mut self, _ev: &SchedEvent, _view: &SchedView<'_>) {}
 
+    /// Whether this policy consumes [`SchedEvent`] feedback. Concurrent
+    /// front-ends skip event delivery (and its synchronization) entirely
+    /// when `false` — the default, matching the no-op [`Self::feedback`].
+    /// Override to `true` alongside any real `feedback` implementation.
+    fn consumes_feedback(&self) -> bool {
+        false
+    }
+
     /// Drain prefetch requests accumulated since the last call (Dmda
     /// family issues them at push time; default: none).
     fn drain_prefetches(&mut self) -> Vec<PrefetchReq> {
         Vec::new()
+    }
+
+    /// Whether this policy ever emits prefetch requests. Front-ends skip
+    /// the [`Self::drain_prefetches`] sweep when `false` — the default,
+    /// matching the empty `drain_prefetches`.
+    fn emits_prefetches(&self) -> bool {
+        false
     }
 }
 
@@ -188,7 +203,9 @@ mod tests {
         assert_eq!(view.local_bytes(t, MemNodeId(0)), 1_001_000);
         // Fetching to GPU only needs the small handle moved.
         let ft = view.fetch_time(t, MemNodeId(1));
-        let expected = view.platform().transfer_time(1_000, MemNodeId(0), MemNodeId(1));
+        let expected = view
+            .platform()
+            .transfer_time(1_000, MemNodeId(0), MemNodeId(1));
         assert!((ft - expected).abs() < 1e-9);
         // Everything already in RAM: free.
         assert_eq!(view.fetch_time(t, MemNodeId(0)), 0.0);

@@ -1,0 +1,471 @@
+//! Concurrent scheduler front-ends for the threaded runtime.
+//!
+//! The [`Scheduler`] trait is sequential by design (`&mut self` at PUSH /
+//! POP), which forces a threaded engine to serialize every scheduling
+//! decision through one lock. This module defines the engine-facing
+//! [`ConcurrentScheduler`] interface (`&self` everywhere) plus two
+//! adapters:
+//!
+//! * [`GlobalLock`] — the baseline: one mutex around a single policy
+//!   instance. Semantically identical to driving the policy directly;
+//!   kept for determinism-sensitive tests and as the contention baseline
+//!   for the `micro_runtime_scaling` benchmark.
+//! * [`ShardedAdapter`] — a relaxed multi-queue in the spirit of
+//!   Postnikova et al. (*Multi-Queues Can Be State-of-the-Art Priority
+//!   Schedulers*) and Wimmer et al. (*Data Structures for Task-based
+//!   Priority Scheduling*): the policy is **partitioned** into per-shard
+//!   instances, each behind its own small mutex. Pushes route to the
+//!   releasing worker's shard (locality) or round-robin; pops try the
+//!   worker's own shard first, then steal — two random victims probed in
+//!   load order (randomized two-choice), then a full sweep so the last
+//!   tasks of a drain cannot be missed. Stateful policies keep their
+//!   semantics through two mechanisms:
+//!   * a **sequenced event channel**: every engine feedback event is
+//!     appended to a global log with a total order, and each shard
+//!     replays the log (from its own cursor) before any push/pop — so
+//!     every shard observes the same ordered event stream a single
+//!     instance would;
+//!   * **shared score state**: policies whose scores depend on a running
+//!     aggregate can share it across shards (e.g. `multiprio`'s
+//!     `SharedGainTracker` in the `multiprio` crate).
+//!
+//! The price of sharding is *relaxation*: a pop may return a task whose
+//! score is not the global maximum (it is the best of the probed shards).
+//! The cited work shows this preserves scheduling quality for pop-heavy
+//! workloads while removing the scalability collapse of a global lock.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mp_dag::ids::TaskId;
+use mp_platform::types::WorkerId;
+
+use crate::api::{PrefetchReq, SchedEvent, SchedView, Scheduler};
+
+/// A scheduler front-end callable concurrently from every worker thread.
+///
+/// Engine contract (mirrors [`Scheduler`]):
+/// * `push` is called exactly once per task, when it becomes ready;
+/// * a task returned by `pop` is executed — there is no cancellation;
+/// * `pop` must only return tasks the requesting worker can execute;
+/// * `pop` returning `None` does **not** imply emptiness (hold-backs);
+///   engines must re-poll while `pending() > 0`.
+pub trait ConcurrentScheduler: Send + Sync {
+    /// Display name (policy name, plus front-end decoration if any).
+    fn name(&self) -> String;
+
+    /// A task became ready (see [`Scheduler::push`]).
+    fn push(&self, t: TaskId, releaser: Option<WorkerId>, view: &SchedView<'_>);
+
+    /// Idle worker `w` requests a task (see [`Scheduler::pop`]).
+    fn pop(&self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId>;
+
+    /// Execution feedback, delivered in engine order.
+    fn feedback(&self, ev: &SchedEvent, view: &SchedView<'_>);
+
+    /// Pushed-but-not-popped tasks across the whole front-end.
+    fn pending(&self) -> usize;
+
+    /// Drain prefetch requests accumulated by the policy instances.
+    fn drain_prefetches(&self) -> Vec<PrefetchReq>;
+}
+
+/// Baseline front-end: one global mutex around a single policy instance.
+pub struct GlobalLock {
+    name: String,
+    consumes_feedback: bool,
+    emits_prefetches: bool,
+    inner: Mutex<Box<dyn Scheduler>>,
+}
+
+impl GlobalLock {
+    /// Wrap a policy.
+    pub fn new(scheduler: Box<dyn Scheduler>) -> Self {
+        Self {
+            name: scheduler.name().to_string(),
+            consumes_feedback: scheduler.consumes_feedback(),
+            emits_prefetches: scheduler.emits_prefetches(),
+            inner: Mutex::new(scheduler),
+        }
+    }
+}
+
+impl ConcurrentScheduler for GlobalLock {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn push(&self, t: TaskId, releaser: Option<WorkerId>, view: &SchedView<'_>) {
+        self.inner
+            .lock()
+            .expect("scheduler poisoned")
+            .push(t, releaser, view);
+    }
+
+    fn pop(&self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
+        self.inner.lock().expect("scheduler poisoned").pop(w, view)
+    }
+
+    fn feedback(&self, ev: &SchedEvent, view: &SchedView<'_>) {
+        if !self.consumes_feedback {
+            return;
+        }
+        self.inner
+            .lock()
+            .expect("scheduler poisoned")
+            .feedback(ev, view);
+    }
+
+    fn pending(&self) -> usize {
+        self.inner.lock().expect("scheduler poisoned").pending()
+    }
+
+    fn drain_prefetches(&self) -> Vec<PrefetchReq> {
+        if !self.emits_prefetches {
+            return Vec::new();
+        }
+        self.inner
+            .lock()
+            .expect("scheduler poisoned")
+            .drain_prefetches()
+    }
+}
+
+/// One shard: a policy instance plus its replay cursor into the event
+/// log. Pad-free: the mutex itself is the contention point and shards
+/// are heap-allocated far apart in practice.
+struct ShardState {
+    policy: Box<dyn Scheduler>,
+    /// Events `[0, applied)` of the global log have been replayed here.
+    applied: usize,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    /// Pushed-but-not-popped tasks in this shard (steal-victim choice).
+    pending: AtomicUsize,
+}
+
+/// Sharded multi-queue front-end (see module docs).
+pub struct ShardedAdapter {
+    name: String,
+    consumes_feedback: bool,
+    emits_prefetches: bool,
+    shards: Vec<Shard>,
+    /// Total pushed-but-not-popped tasks across shards.
+    pending_total: AtomicUsize,
+    /// Round-robin cursor for pushes with no releasing worker.
+    rr: AtomicUsize,
+    /// Sequenced event channel: total-ordered feedback log.
+    events: Mutex<Vec<SchedEvent>>,
+    /// Steal randomness (splitmix64 state).
+    rng: AtomicU64,
+}
+
+impl ShardedAdapter {
+    /// Build `shards` policy instances from `factory`. For stateful
+    /// policies the factory should wire shared score state across the
+    /// instances (e.g. `MultiPrioScheduler::with_shared_gain`).
+    pub fn new(shards: usize, factory: &dyn Fn() -> Box<dyn Scheduler>) -> Self {
+        let shards = shards.max(1);
+        let built: Vec<Shard> = (0..shards)
+            .map(|_| Shard {
+                state: Mutex::new(ShardState {
+                    policy: factory(),
+                    applied: 0,
+                }),
+                pending: AtomicUsize::new(0),
+            })
+            .collect();
+        let (name, consumes_feedback, emits_prefetches) = {
+            let s = built[0].state.lock().expect("shard poisoned");
+            (
+                format!("{}+sharded{}", s.policy.name(), shards),
+                s.policy.consumes_feedback(),
+                s.policy.emits_prefetches(),
+            )
+        };
+        Self {
+            name,
+            consumes_feedback,
+            emits_prefetches,
+            shards: built,
+            pending_total: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
+            events: Mutex::new(Vec::new()),
+            rng: AtomicU64::new(0x5817_55ca_11ab_1e5e),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn next_rand(&self) -> u64 {
+        let s = self.rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        let mut z = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn home_shard(&self, w: WorkerId) -> usize {
+        w.index() % self.shards.len()
+    }
+
+    /// Replay the global event log into this shard's policy, in order.
+    /// Caller holds the shard lock; the log lock nests inside it (the
+    /// only lock-ordering rule in this type: shard → log).
+    fn catch_up(&self, state: &mut ShardState, view: &SchedView<'_>) {
+        if !self.consumes_feedback {
+            return;
+        }
+        loop {
+            let fresh: Vec<SchedEvent> = {
+                let log = self.events.lock().expect("event log poisoned");
+                if state.applied >= log.len() {
+                    return;
+                }
+                log[state.applied..].to_vec()
+            };
+            state.applied += fresh.len();
+            for ev in &fresh {
+                state.policy.feedback(ev, view);
+            }
+        }
+    }
+
+    /// Pop from shard `i` for worker `w`, maintaining counters.
+    fn pop_shard(&self, i: usize, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
+        let shard = &self.shards[i];
+        // Cheap skip without taking the lock.
+        if shard.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut state = shard.state.lock().expect("shard poisoned");
+        self.catch_up(&mut state, view);
+        let t = state.policy.pop(w, view)?;
+        shard.pending.fetch_sub(1, Ordering::AcqRel);
+        self.pending_total.fetch_sub(1, Ordering::AcqRel);
+        Some(t)
+    }
+}
+
+impl ConcurrentScheduler for ShardedAdapter {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn push(&self, t: TaskId, releaser: Option<WorkerId>, view: &SchedView<'_>) {
+        // Locality: a task released by worker w lands on w's shard, so a
+        // producer chain stays on one queue; initial tasks spread
+        // round-robin.
+        let i = match releaser {
+            Some(w) => self.home_shard(w),
+            None => self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
+        };
+        let shard = &self.shards[i];
+        let mut state = shard.state.lock().expect("shard poisoned");
+        self.catch_up(&mut state, view);
+        state.policy.push(t, releaser, view);
+        shard.pending.fetch_add(1, Ordering::AcqRel);
+        self.pending_total.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn pop(&self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
+        let n = self.shards.len();
+        let own = self.home_shard(w);
+        if let Some(t) = self.pop_shard(own, w, view) {
+            return Some(t);
+        }
+        if n == 1 || self.pending_total.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        // Randomized two-choice stealing: probe the better-loaded of two
+        // random victims first.
+        let r = self.next_rand();
+        let a = (r as usize) % n;
+        let b = ((r >> 32) as usize) % n;
+        let (first, second) = if self.shards[a].pending.load(Ordering::Acquire)
+            >= self.shards[b].pending.load(Ordering::Acquire)
+        {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        for i in [first, second] {
+            if i != own {
+                if let Some(t) = self.pop_shard(i, w, view) {
+                    return Some(t);
+                }
+            }
+        }
+        // Fallback sweep: when little work remains the random probes can
+        // miss the only non-empty shard; a full pass guarantees an idle
+        // worker finds any task it is allowed to run.
+        for i in 0..n {
+            if i != own && i != first && i != second {
+                if let Some(t) = self.pop_shard(i, w, view) {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    fn feedback(&self, ev: &SchedEvent, _view: &SchedView<'_>) {
+        // Feedback-blind policies (the default) skip the channel — and
+        // its synchronization — entirely.
+        if !self.consumes_feedback {
+            return;
+        }
+        // Append to the sequenced channel; shards replay lazily under
+        // their own lock. The log lock serializes only a Vec push.
+        self.events.lock().expect("event log poisoned").push(*ev);
+    }
+
+    fn pending(&self) -> usize {
+        self.pending_total.load(Ordering::Acquire)
+    }
+
+    fn drain_prefetches(&self) -> Vec<PrefetchReq> {
+        if !self.emits_prefetches {
+            return Vec::new();
+        }
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("shard poisoned");
+            all.extend(state.policy.drain_prefetches());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::FifoScheduler;
+    use crate::testutil::Fixture;
+
+    #[test]
+    fn global_lock_preserves_policy_behaviour() {
+        let mut fx = Fixture::two_arch();
+        let tasks: Vec<_> = (0..4)
+            .map(|i| fx.add_task(fx.both, 8, &format!("t{i}")))
+            .collect();
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let fe = GlobalLock::new(Box::new(FifoScheduler::new()));
+        assert_eq!(fe.name(), "fifo");
+        for &t in &tasks {
+            fe.push(t, None, &view);
+        }
+        assert_eq!(fe.pending(), 4);
+        // FIFO through one lock: submission order preserved.
+        for &t in &tasks {
+            assert_eq!(fe.pop(c0, &view), Some(t));
+        }
+        assert_eq!(fe.pending(), 0);
+        assert_eq!(fe.pop(c0, &view), None);
+    }
+
+    #[test]
+    fn sharded_executes_every_task_exactly_once() {
+        let mut fx = Fixture::two_arch();
+        let tasks: Vec<_> = (0..40)
+            .map(|i| fx.add_task(fx.both, 8, &format!("t{i}")))
+            .collect();
+        let view = fx.view();
+        let (c0, c1, g0) = fx.workers();
+        let fe = ShardedAdapter::new(3, &|| Box::new(FifoScheduler::new()));
+        assert_eq!(fe.shard_count(), 3);
+        for (i, &t) in tasks.iter().enumerate() {
+            // Mix initial and released pushes across shards.
+            let releaser = match i % 3 {
+                0 => None,
+                1 => Some(c1),
+                _ => Some(g0),
+            };
+            fe.push(t, releaser, &view);
+        }
+        assert_eq!(fe.pending(), 40);
+        let mut seen = std::collections::HashSet::new();
+        // One worker drains everything through own-shard + steal paths.
+        while let Some(t) = fe.pop(c0, &view) {
+            assert!(seen.insert(t), "duplicate pop of {t:?}");
+        }
+        assert_eq!(seen.len(), 40);
+        assert_eq!(fe.pending(), 0);
+    }
+
+    #[test]
+    fn sharded_feedback_replays_in_order_to_every_shard() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        /// Records the event order it observes.
+        struct Probe {
+            seen: Arc<std::sync::Mutex<Vec<f64>>>,
+            pushed: usize,
+        }
+        impl Scheduler for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn push(&mut self, _t: TaskId, _r: Option<WorkerId>, _v: &SchedView<'_>) {
+                self.pushed += 1;
+            }
+            fn pop(&mut self, _w: WorkerId, _v: &SchedView<'_>) -> Option<TaskId> {
+                None
+            }
+            fn pending(&self) -> usize {
+                self.pushed
+            }
+            fn feedback(&mut self, ev: &SchedEvent, _v: &SchedView<'_>) {
+                if let SchedEvent::TaskFinished { elapsed_us, .. } = ev {
+                    self.seen.lock().unwrap().push(*elapsed_us);
+                }
+            }
+            fn consumes_feedback(&self) -> bool {
+                true
+            }
+        }
+
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 8, "t");
+        let view = fx.view();
+        let (c0, c1, _) = fx.workers();
+        let logs: Arc<std::sync::Mutex<Vec<f64>>> = Default::default();
+        let counter = AtomicUsize::new(0);
+        let fe = {
+            let logs = logs.clone();
+            let factory = move || -> Box<dyn Scheduler> {
+                counter.fetch_add(1, Ordering::Relaxed);
+                Box::new(Probe {
+                    seen: logs.clone(),
+                    pushed: 0,
+                })
+            };
+            ShardedAdapter::new(2, &factory)
+        };
+        // Three ordered events, then touch both shards to force replay.
+        for i in 0..3 {
+            fe.feedback(
+                &SchedEvent::TaskFinished {
+                    t,
+                    w: c0,
+                    elapsed_us: i as f64,
+                },
+                &view,
+            );
+        }
+        fe.push(t, Some(c0), &view);
+        fe.push(t, Some(c1), &view);
+        let seen = logs.lock().unwrap().clone();
+        // Both shards saw all three events, each in global order.
+        assert_eq!(seen.len(), 6);
+        assert_eq!(&seen[0..3], &[0.0, 1.0, 2.0]);
+        assert_eq!(&seen[3..6], &[0.0, 1.0, 2.0]);
+    }
+}

@@ -105,7 +105,11 @@ impl Scheduler for DequeModelScheduler {
         let delta = view.delta_on_worker(t, w).expect("best worker can execute");
         self.committed[w.index()] += delta;
         let prio = view.graph().task(t).user_priority;
-        let entry = Entry { t, prio, seq: self.seq };
+        let entry = Entry {
+            t,
+            prio,
+            seq: self.seq,
+        };
         self.seq += 1;
         let q = &mut self.queues[w.index()];
         if self.variant.sorted() {
@@ -143,7 +147,11 @@ impl Scheduler for DequeModelScheduler {
             const LOCALITY_BAND: usize = 8;
             let node = view.platform().worker(w).mem_node;
             let top = q[0].prio;
-            let band = q.iter().take(LOCALITY_BAND).take_while(|e| e.prio == top).count();
+            let band = q
+                .iter()
+                .take(LOCALITY_BAND)
+                .take_while(|e| e.prio == top)
+                .count();
             (0..band)
                 .max_by_key(|&i| view.local_bytes(q[i].t, node))
                 .expect("band is non-empty")
@@ -151,7 +159,9 @@ impl Scheduler for DequeModelScheduler {
             0
         };
         let entry = q.remove(idx);
-        let delta = view.delta_on_worker(entry.t, w).expect("mapped to executable worker");
+        let delta = view
+            .delta_on_worker(entry.t, w)
+            .expect("mapped to executable worker");
         self.committed[w.index()] -= delta;
         self.pending -= 1;
         Some(entry.t)
@@ -163,6 +173,10 @@ impl Scheduler for DequeModelScheduler {
 
     fn drain_prefetches(&mut self) -> Vec<PrefetchReq> {
         std::mem::take(&mut self.prefetches)
+    }
+
+    fn emits_prefetches(&self) -> bool {
+        true
     }
 }
 
@@ -176,7 +190,9 @@ mod tests {
     #[test]
     fn dm_maps_to_fastest_then_balances() {
         let mut fx = Fixture::two_arch();
-        let tasks: Vec<_> = (0..12).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let tasks: Vec<_> = (0..12)
+            .map(|i| fx.add_task(fx.both, 64, &format!("t{i}")))
+            .collect();
         let view = fx.view();
         let mut s = DequeModelScheduler::new(DmVariant::Dm);
         for &t in &tasks {
@@ -195,7 +211,9 @@ mod tests {
     fn dmda_avoids_expensive_transfers() {
         let mut fx = Fixture::two_arch();
         let d = fx.graph.add_data(1 << 30, "huge");
-        let t = fx.graph.add_task(fx.both, vec![(d, AccessMode::Read)], 1.0, "t");
+        let t = fx
+            .graph
+            .add_task(fx.both, vec![(d, AccessMode::Read)], 1.0, "t");
         let view = fx.view();
         let mut dm = DequeModelScheduler::new(DmVariant::Dm);
         let mut dmda = DequeModelScheduler::new(DmVariant::Dmda);
@@ -209,12 +227,20 @@ mod tests {
     fn dmda_emits_prefetch_for_mapped_reads() {
         let mut fx = Fixture::two_arch();
         let d = fx.graph.add_data(1024, "small");
-        let t = fx.graph.add_task(fx.both, vec![(d, AccessMode::Read)], 1.0, "t");
+        let t = fx
+            .graph
+            .add_task(fx.both, vec![(d, AccessMode::Read)], 1.0, "t");
         let view = fx.view();
         let mut s = DequeModelScheduler::new(DmVariant::Dmda);
         s.push(t, None, &view);
         let reqs = s.drain_prefetches();
-        assert_eq!(reqs, vec![PrefetchReq { data: d, node: MemNodeId(1) }]);
+        assert_eq!(
+            reqs,
+            vec![PrefetchReq {
+                data: d,
+                node: MemNodeId(1)
+            }]
+        );
         assert!(s.drain_prefetches().is_empty(), "drain clears the buffer");
     }
 
@@ -243,8 +269,11 @@ mod tests {
         let d_remote = fx.graph.add_data(4096, "remote");
         let d_local = fx.graph.add_data(4096, "local");
         let t_remote =
-            fx.graph.add_task(fx.gpu_only, vec![(d_remote, AccessMode::Read)], 1.0, "tr");
-        let t_local = fx.graph.add_task(fx.gpu_only, vec![(d_local, AccessMode::Read)], 1.0, "tl");
+            fx.graph
+                .add_task(fx.gpu_only, vec![(d_remote, AccessMode::Read)], 1.0, "tr");
+        let t_local = fx
+            .graph
+            .add_task(fx.gpu_only, vec![(d_local, AccessMode::Read)], 1.0, "tl");
         fx.locator.place(d_local, MemNodeId(1));
         let view = fx.view();
         let (_, _, g0) = fx.workers();
@@ -282,7 +311,9 @@ mod more_tests {
     #[test]
     fn committed_work_balances_and_steers() {
         let mut fx = Fixture::two_arch();
-        let tasks: Vec<_> = (0..6).map(|i| fx.add_task(fx.cpu_only, 64, &format!("t{i}"))).collect();
+        let tasks: Vec<_> = (0..6)
+            .map(|i| fx.add_task(fx.cpu_only, 64, &format!("t{i}")))
+            .collect();
         let view = fx.view();
         let (c0, c1, _) = fx.workers();
         let mut s = DequeModelScheduler::new(DmVariant::Dm);
@@ -296,7 +327,10 @@ mod more_tests {
             assert!(s.pop(c0, &view).is_some());
             assert!(s.pop(c1, &view).is_some());
         }
-        assert!(s.committed[c0.index()].abs() < 1e-9, "committed drains to zero");
+        assert!(
+            s.committed[c0.index()].abs() < 1e-9,
+            "committed drains to zero"
+        );
         assert!(s.committed[c1.index()].abs() < 1e-9);
         assert_eq!(s.pending(), 0);
     }
@@ -313,9 +347,11 @@ mod more_tests {
     /// dm never emits prefetches; dmda/dmdas do.
     #[test]
     fn prefetch_emission_per_variant() {
-        for (variant, expects) in
-            [(DmVariant::Dm, false), (DmVariant::Dmda, true), (DmVariant::Dmdas, true)]
-        {
+        for (variant, expects) in [
+            (DmVariant::Dm, false),
+            (DmVariant::Dmda, true),
+            (DmVariant::Dmdas, true),
+        ] {
             let mut fx = Fixture::two_arch();
             let t = fx.add_task(fx.both, 4096, "t");
             let view = fx.view();

@@ -33,7 +33,10 @@ impl Scheduler for FifoScheduler {
 
     fn pop(&mut self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
         // First executable task in ready order; skip (but keep) the rest.
-        let pos = self.queue.iter().position(|&t| view.worker_can_exec(t, w))?;
+        let pos = self
+            .queue
+            .iter()
+            .position(|&t| view.worker_can_exec(t, w))?;
         self.queue.remove(pos)
     }
 

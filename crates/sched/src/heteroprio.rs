@@ -137,7 +137,9 @@ impl Scheduler for HeteroPrioScheduler {
         for b in self.order_for(class) {
             // Buckets are homogeneous in type, so executability is a
             // per-bucket property: check the front only.
-            let Some(&front) = self.buckets[b].queue.front() else { continue };
+            let Some(&front) = self.buckets[b].queue.front() else {
+                continue;
+            };
             if !view.worker_can_exec(front, w) {
                 continue;
             }
@@ -181,10 +183,26 @@ mod tests {
         // Add a second two-impl kernel with no GPU advantage.
         let flat = fx.graph.register_type("FLAT", true, true);
         fx.model = mp_perfmodel::TableModel::builder()
-            .set("BOTH", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(100.0))
-            .set("BOTH", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(10.0))
-            .set("FLAT", mp_platform::types::ArchClass::Cpu, mp_perfmodel::TimeFn::Const(20.0))
-            .set("FLAT", mp_platform::types::ArchClass::Gpu, mp_perfmodel::TimeFn::Const(20.0))
+            .set(
+                "BOTH",
+                mp_platform::types::ArchClass::Cpu,
+                mp_perfmodel::TimeFn::Const(100.0),
+            )
+            .set(
+                "BOTH",
+                mp_platform::types::ArchClass::Gpu,
+                mp_perfmodel::TimeFn::Const(10.0),
+            )
+            .set(
+                "FLAT",
+                mp_platform::types::ArchClass::Cpu,
+                mp_perfmodel::TimeFn::Const(20.0),
+            )
+            .set(
+                "FLAT",
+                mp_platform::types::ArchClass::Gpu,
+                mp_perfmodel::TimeFn::Const(20.0),
+            )
             .build();
         let t_acc = fx.add_task(fx.both, 64, "acc");
         let t_flat = fx.add_task(flat, 64, "flat");
@@ -231,7 +249,9 @@ mod tests {
         let mut s = HeteroPrioScheduler::new();
         s.push(lone, None, &view);
         assert_eq!(s.pop(c0, &view), None, "guard protects a short queue");
-        let more: Vec<_> = (0..3).map(|i| fx.add_task(fx.both, 64, &format!("m{i}"))).collect();
+        let more: Vec<_> = (0..3)
+            .map(|i| fx.add_task(fx.both, 64, &format!("m{i}")))
+            .collect();
         let view = fx.view();
         let mut s = HeteroPrioScheduler::new();
         s.push(lone, None, &view);

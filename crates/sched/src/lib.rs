@@ -26,6 +26,7 @@
 //! contribution) and implements the same trait.
 
 pub mod api;
+pub mod concurrent;
 pub mod dm;
 pub mod fifo;
 pub mod heteroprio;
@@ -36,6 +37,7 @@ pub mod testutil;
 pub mod util;
 
 pub use api::{DataLocator, LoadInfo, PrefetchReq, SchedEvent, SchedView, Scheduler};
+pub use concurrent::{ConcurrentScheduler, GlobalLock, ShardedAdapter};
 pub use dm::{DequeModelScheduler, DmVariant};
 pub use fifo::FifoScheduler;
 pub use heteroprio::HeteroPrioScheduler;

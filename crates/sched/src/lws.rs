@@ -79,14 +79,20 @@ impl Scheduler for LwsScheduler {
         }
         // Steal oldest-first, same-node victims before remote ones.
         let my_node = view.platform().worker(w).mem_node;
-        let mut victims: Vec<WorkerId> =
-            view.platform().workers().iter().map(|x| x.id).filter(|&v| v != w).collect();
+        let mut victims: Vec<WorkerId> = view
+            .platform()
+            .workers()
+            .iter()
+            .map(|x| x.id)
+            .filter(|&v| v != w)
+            .collect();
         victims.sort_by_key(|&v| {
             let same = view.platform().worker(v).mem_node == my_node;
             (if same { 0u8 } else { 1u8 }, v)
         });
         for v in victims {
-            if let Some(t) = Self::take_first_executable(&mut self.deques[v.index()], w, view, false)
+            if let Some(t) =
+                Self::take_first_executable(&mut self.deques[v.index()], w, view, false)
             {
                 self.pending -= 1;
                 return Some(t);
@@ -132,9 +138,17 @@ mod tests {
         s.push(t0, Some(c1), &view);
         s.push(t1, Some(c1), &view);
         s.push(t2, Some(g0), &view);
-        assert_eq!(s.pop(c0, &view), Some(t0), "steal oldest from same-node victim");
+        assert_eq!(
+            s.pop(c0, &view),
+            Some(t0),
+            "steal oldest from same-node victim"
+        );
         assert_eq!(s.pop(c0, &view), Some(t1));
-        assert_eq!(s.pop(c0, &view), Some(t2), "then fall back to remote victim");
+        assert_eq!(
+            s.pop(c0, &view),
+            Some(t2),
+            "then fall back to remote victim"
+        );
         assert_eq!(s.pending(), 0);
     }
 
@@ -155,13 +169,18 @@ mod tests {
     #[test]
     fn initial_tasks_round_robin() {
         let mut fx = Fixture::two_arch();
-        let tasks: Vec<_> = (0..6).map(|i| fx.add_task(fx.cpu_only, 64, &format!("t{i}"))).collect();
+        let tasks: Vec<_> = (0..6)
+            .map(|i| fx.add_task(fx.cpu_only, 64, &format!("t{i}")))
+            .collect();
         let view = fx.view();
         let mut s = LwsScheduler::new();
         for &t in &tasks {
             s.push(t, None, &view);
         }
         // 3 workers, 6 tasks: each deque gets 2.
-        assert_eq!(s.deques.iter().map(|d| d.len()).collect::<Vec<_>>(), vec![2, 2, 2]);
+        assert_eq!(
+            s.deques.iter().map(|d| d.len()).collect::<Vec<_>>(),
+            vec![2, 2, 2]
+        );
     }
 }

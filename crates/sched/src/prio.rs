@@ -75,7 +75,11 @@ mod tests {
         s.push(lo, None, &view);
         s.push(hi_a, None, &view);
         s.push(hi_b, None, &view);
-        assert_eq!(s.pop(c0, &view), Some(hi_a), "highest priority, oldest first");
+        assert_eq!(
+            s.pop(c0, &view),
+            Some(hi_a),
+            "highest priority, oldest first"
+        );
         assert_eq!(s.pop(c0, &view), Some(hi_b));
         assert_eq!(s.pop(c0, &view), Some(lo));
         assert_eq!(s.pending(), 0);

@@ -18,7 +18,10 @@ pub struct RandomScheduler {
 impl RandomScheduler {
     /// Deterministic given the seed.
     pub fn new(seed: u64) -> Self {
-        Self { ready: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+        Self {
+            ready: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -55,7 +58,9 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let mut fx = Fixture::two_arch();
-        let tasks: Vec<_> = (0..20).map(|i| fx.add_task(fx.both, 64, &format!("t{i}"))).collect();
+        let tasks: Vec<_> = (0..20)
+            .map(|i| fx.add_task(fx.both, 64, &format!("t{i}")))
+            .collect();
         let view = fx.view();
         let (c0, ..) = fx.workers();
         let run = |seed: u64| -> Vec<TaskId> {
@@ -66,7 +71,11 @@ mod tests {
             (0..20).map(|_| s.pop(c0, &view).unwrap()).collect()
         };
         assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8), "different seeds should (overwhelmingly) differ");
+        assert_ne!(
+            run(7),
+            run(8),
+            "different seeds should (overwhelmingly) differ"
+        );
     }
 
     #[test]

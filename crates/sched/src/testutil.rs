@@ -129,7 +129,8 @@ impl Fixture {
     /// Add a task of `ttype` touching one fresh RW handle of `size` bytes.
     pub fn add_task(&mut self, ttype: TaskTypeId, size: u64, label: &str) -> TaskId {
         let d = self.graph.add_data(size, format!("{label}-data"));
-        self.graph.add_task(ttype, vec![(d, AccessMode::ReadWrite)], 1.0, label)
+        self.graph
+            .add_task(ttype, vec![(d, AccessMode::ReadWrite)], 1.0, label)
     }
 
     /// A view over the current fixture state.

@@ -83,14 +83,12 @@ mod tests {
         // 1 GiB of read data in RAM: moving it to the GPU costs ~89 ms,
         // far more than the 90 µs the GPU saves.
         let d = fx.graph.add_data(1 << 30, "huge");
-        let t = fx.graph.add_task(
-            fx.both,
-            vec![(d, mp_dag::AccessMode::Read)],
-            1.0,
-            "t",
-        );
+        let t = fx
+            .graph
+            .add_task(fx.both, vec![(d, mp_dag::AccessMode::Read)], 1.0, "t");
         let view = fx.view();
-        let (w_no, _) = best_worker_by(&view, |w| expected_finish(&view, t, w, 0.0, false)).unwrap();
+        let (w_no, _) =
+            best_worker_by(&view, |w| expected_finish(&view, t, w, 0.0, false)).unwrap();
         let (w_da, _) = best_worker_by(&view, |w| expected_finish(&view, t, w, 0.0, true)).unwrap();
         assert_eq!(w_no, WorkerId(2), "transfer-blind EFT picks the GPU");
         assert_eq!(w_da, WorkerId(0), "data-aware EFT keeps it on a CPU");

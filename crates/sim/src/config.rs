@@ -38,7 +38,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Deterministic default with a specific seed.
     pub fn seeded(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 
     /// Add log-normal noise with the given coefficient of variation.

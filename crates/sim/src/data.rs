@@ -7,6 +7,10 @@ use mp_dag::ids::DataId;
 use mp_platform::types::{MemNodeId, Platform};
 use mp_sched::api::DataLocator;
 
+/// Eviction plan: `(ready_time, writebacks)`, each writeback being
+/// `(data, start, end)`.
+pub type RoomPlan = (f64, Vec<(DataId, f64, f64)>);
+
 /// One replica of a data handle on a memory node.
 #[derive(Clone, Copy, Debug)]
 pub struct Replica {
@@ -33,7 +37,10 @@ impl HandleState {
     }
 
     fn get_mut(&mut self, m: MemNodeId) -> Option<&mut Replica> {
-        self.replicas.iter_mut().find(|(n, _)| *n == m).map(|(_, r)| r)
+        self.replicas
+            .iter_mut()
+            .find(|(n, _)| *n == m)
+            .map(|(_, r)| r)
     }
 }
 
@@ -61,7 +68,12 @@ impl DataStore {
             handles.push(HandleState {
                 replicas: vec![(
                     ram,
-                    Replica { valid_at: 0.0, last_use: 0.0, pins: 0, dirty: false },
+                    Replica {
+                        valid_at: 0.0,
+                        last_use: 0.0,
+                        pins: 0,
+                        dirty: false,
+                    },
                 )],
             });
         }
@@ -115,7 +127,12 @@ impl DataStore {
         assert!(h.get(m).is_none(), "replica of {d:?} already on {m:?}");
         h.replicas.push((
             m,
-            Replica { valid_at, last_use: valid_at, pins: 0, dirty },
+            Replica {
+                valid_at,
+                last_use: valid_at,
+                pins: 0,
+                dirty,
+            },
         ));
         self.used[m.index()] += size;
         if let Some(cap) = self.capacities[m.index()] {
@@ -142,12 +159,17 @@ impl DataStore {
 
     /// Pin (prevent eviction of) the replica of `d` on `m`.
     pub fn pin(&mut self, d: DataId, m: MemNodeId) {
-        self.handles[d.index()].get_mut(m).expect("pinning absent replica").pins += 1;
+        self.handles[d.index()]
+            .get_mut(m)
+            .expect("pinning absent replica")
+            .pins += 1;
     }
 
     /// Release one pin.
     pub fn unpin(&mut self, d: DataId, m: MemNodeId) {
-        let r = self.handles[d.index()].get_mut(m).expect("unpinning absent replica");
+        let r = self.handles[d.index()]
+            .get_mut(m)
+            .expect("unpinning absent replica");
         assert!(r.pins > 0, "unbalanced unpin of {d:?} on {m:?}");
         r.pins -= 1;
     }
@@ -172,7 +194,9 @@ impl DataStore {
         for n in others {
             self.drop_replica(d, n);
         }
-        let r = self.handles[d.index()].get_mut(m).expect("writer's replica exists");
+        let r = self.handles[d.index()]
+            .get_mut(m)
+            .expect("writer's replica exists");
         // The write defines the value: validity is exactly the commit time
         // (write-only replicas are allocated with valid_at = f64::MAX).
         r.valid_at = at;
@@ -202,7 +226,7 @@ impl DataStore {
         needed: u64,
         now: f64,
         platform: &Platform,
-    ) -> (f64, Vec<(DataId, f64, f64)>) {
+    ) -> RoomPlan {
         match self.try_make_room(m, needed, now, platform) {
             Ok(r) => r,
             Err((used, cap)) => panic!(
@@ -222,7 +246,7 @@ impl DataStore {
         needed: u64,
         now: f64,
         platform: &Platform,
-    ) -> Result<(f64, Vec<(DataId, f64, f64)>), (u64, u64)> {
+    ) -> Result<RoomPlan, (u64, u64)> {
         let Some(cap) = self.capacities[m.index()] else {
             return Ok((now, Vec::new())); // unbounded node
         };
@@ -272,7 +296,11 @@ impl DataStore {
 
     /// Earliest start time for a transfer on the directed link `from→to`.
     pub fn link_start(&self, from: MemNodeId, to: MemNodeId, now: f64) -> f64 {
-        self.link_busy.get(&(from, to)).copied().unwrap_or(0.0).max(now)
+        self.link_busy
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(0.0)
+            .max(now)
     }
 
     /// Mark the link busy until `until`.
@@ -306,8 +334,11 @@ mod tests {
     fn setup(sizes: &[u64]) -> (TaskGraph, Platform, DataStore) {
         let mut g = TaskGraph::new();
         let k = g.register_type("K", true, true);
-        let ds: Vec<DataId> =
-            sizes.iter().enumerate().map(|(i, &s)| g.add_data(s, format!("d{i}"))).collect();
+        let ds: Vec<DataId> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| g.add_data(s, format!("d{i}")))
+            .collect();
         // Keep the graph non-trivial for completeness.
         g.add_task(k, vec![(ds[0], AccessMode::Read)], 1.0, "t");
         let p = simple(1, 1);

@@ -29,7 +29,9 @@ impl Eq for Event {}
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -68,8 +70,9 @@ pub fn simulate(
     let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut indeg: Vec<usize> =
-        (0..n).map(|i| graph.preds(TaskId::from_index(i)).len()).collect();
+    let mut indeg: Vec<usize> = (0..n)
+        .map(|i| graph.preds(TaskId::from_index(i)).len())
+        .collect();
     let mut pushed_at: Vec<f64> = vec![0.0; n];
     let mut done: Vec<bool> = vec![false; n];
     let mut completed = 0usize;
@@ -158,9 +161,9 @@ pub fn simulate(
             let victim = (0..store_handle_count(store))
                 .filter_map(|i| {
                     let d = mp_dag::ids::DataId::from_index(i);
-                    store.replica(d, node).and_then(|r| {
-                        (r.pins == 0 && !r.dirty).then_some((d, r.last_use))
-                    })
+                    store
+                        .replica(d, node)
+                        .and_then(|r| (r.pins == 0 && !r.dirty).then_some((d, r.last_use)))
                 })
                 .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             match victim {
@@ -182,7 +185,8 @@ pub fn simulate(
     /// kernel reading a tile twice); fold to one entry per handle with
     /// merged modes so pins/allocations stay balanced.
     fn folded_accesses(task: &mp_dag::task::Task) -> Vec<(mp_dag::ids::DataId, bool, bool)> {
-        let mut out: Vec<(mp_dag::ids::DataId, bool, bool)> = Vec::with_capacity(task.accesses.len());
+        let mut out: Vec<(mp_dag::ids::DataId, bool, bool)> =
+            Vec::with_capacity(task.accesses.len());
         for a in &task.accesses {
             match out.iter_mut().find(|(d, _, _)| *d == a.data) {
                 Some((_, r, w)) => {
@@ -400,7 +404,12 @@ pub fn simulate(
                 .sum();
             loads.0[wi] = start + delta + staged;
             seq += 1;
-            events.push(Reverse(Event { time: end, seq, w, t }));
+            events.push(Reverse(Event {
+                time: end,
+                seq,
+                w,
+                t,
+            }));
             {
                 let view = view!(now);
                 scheduler.feedback(&SchedEvent::TaskStarted { t, w }, &view);
@@ -430,8 +439,8 @@ pub fn simulate(
                             // Deferred prepare: earlier pipeline tasks
                             // have unpinned their data by now.
                             None => prepare_task(
-                                graph, platform, model, &mut store, &cfg, &mut trace,
-                                &mut stats, w, t, now, false,
+                                graph, platform, model, &mut store, &cfg, &mut trace, &mut stats,
+                                w, t, now, false,
                             )
                             .expect("strict prepare cannot fail"),
                         };
@@ -446,8 +455,8 @@ pub fn simulate(
                     match popped {
                         Some(t) => {
                             let arrive = prepare_task(
-                                graph, platform, model, &mut store, &cfg, &mut trace,
-                                &mut stats, w, t, now, false,
+                                graph, platform, model, &mut store, &cfg, &mut trace, &mut stats,
+                                w, t, now, false,
                             )
                             .expect("strict prepare cannot fail");
                             let nf = noise(&mut rng);
@@ -472,8 +481,8 @@ pub fn simulate(
                     match popped {
                         Some(t) => {
                             let arrive = prepare_task(
-                                graph, platform, model, &mut store, &cfg, &mut trace,
-                                &mut stats, w, t, now, true,
+                                graph, platform, model, &mut store, &cfg, &mut trace, &mut stats,
+                                w, t, now, true,
                             );
                             let nf = noise(&mut rng);
                             next_slot[wi].push((t, arrive, nf));
@@ -497,14 +506,16 @@ pub fn simulate(
     // Initially-ready tasks, in submission order.
     {
         store.now = 0.0;
-        for i in 0..n {
-            if indeg[i] == 0 {
+        for (i, &d) in indeg.iter().enumerate() {
+            if d == 0 {
                 let t = TaskId::from_index(i);
                 let view = view!(0.0);
                 scheduler.push(t, None, &view);
             }
         }
-        run_prefetches(scheduler, &mut store, platform, &cfg, 0.0, &mut trace, &mut stats);
+        run_prefetches(
+            scheduler, &mut store, platform, &cfg, 0.0, &mut trace, &mut stats,
+        );
     }
     dispatch!(0.0);
 
@@ -557,7 +568,11 @@ pub fn simulate(
         {
             let view = view!(now);
             scheduler.feedback(
-                &SchedEvent::TaskFinished { t, w, elapsed_us: now - starts[t.index()] },
+                &SchedEvent::TaskFinished {
+                    t,
+                    w,
+                    elapsed_us: now - starts[t.index()],
+                },
                 &view,
             );
         }
@@ -575,13 +590,16 @@ pub fn simulate(
             let view = view!(now);
             scheduler.push(s, Some(w), &view);
         }
-        run_prefetches(scheduler, &mut store, platform, &cfg, now, &mut trace, &mut stats);
+        run_prefetches(
+            scheduler, &mut store, platform, &cfg, now, &mut trace, &mut stats,
+        );
 
         dispatch!(now);
     }
 
     assert_eq!(
-        completed, n,
+        completed,
+        n,
         "simulation ended with {} of {n} tasks executed: scheduler '{}' deadlocked \
          ({} still pending inside the scheduler)",
         completed,
@@ -609,5 +627,10 @@ pub fn simulate(
         }
     }
 
-    SimResult { scheduler: scheduler.name().to_string(), makespan, trace, stats }
+    SimResult {
+        scheduler: scheduler.name().to_string(),
+        makespan,
+        trace,
+        stats,
+    }
 }

@@ -45,7 +45,11 @@ impl SimResult {
     /// Idle percentage of one architecture (needs the trace).
     pub fn arch_idle_pct(&self, platform: &Platform, arch_name: &str) -> Option<f64> {
         let arch = platform.archs().iter().find(|a| a.name == arch_name)?;
-        Some(mp_trace::analysis::arch_idle_pct(&self.trace, platform, arch.id))
+        Some(mp_trace::analysis::arch_idle_pct(
+            &self.trace,
+            platform,
+            arch.id,
+        ))
     }
 
     /// Total bytes transferred of a kind (from the trace).

@@ -5,7 +5,10 @@ use mp_dag::{AccessMode, StfBuilder, TaskGraph};
 use mp_perfmodel::{PerfModel, TableModel, TimeFn};
 use mp_platform::presets::{homogeneous, simple};
 use mp_platform::types::{ArchClass, MemNodeId, Platform};
-use mp_sched::{DequeModelScheduler, DmVariant, FifoScheduler, HeteroPrioScheduler, LwsScheduler, RandomScheduler, Scheduler};
+use mp_sched::{
+    DequeModelScheduler, DmVariant, FifoScheduler, HeteroPrioScheduler, LwsScheduler,
+    RandomScheduler, Scheduler,
+};
 use mp_sim::{simulate, SimConfig};
 use multiprio::MultiPrioScheduler;
 
@@ -81,7 +84,11 @@ fn gpu_task_pays_the_transfer() {
     // Force the GPU by making it the only fast option under dmda.
     let mut s = DequeModelScheduler::new(DmVariant::Dm);
     let r = run(&g, &p, &table(), &mut s);
-    assert!((r.makespan - (10.0 + 1000.0 + 10.0)).abs() < 1e-6, "makespan {}", r.makespan);
+    assert!(
+        (r.makespan - (10.0 + 1000.0 + 10.0)).abs() < 1e-6,
+        "makespan {}",
+        r.makespan
+    );
     assert_eq!(r.stats.demand_bytes, 12_000_000);
 }
 
@@ -102,7 +109,11 @@ fn write_invalidation_forces_return_transfer() {
     let p = simple(1, 1);
     let r = run(&g, &p, &model, &mut FifoScheduler::new());
     // t0: 10 µs; transfer back: 10 + 1000 µs; t1: 10 µs.
-    assert!((r.makespan - (10.0 + 1010.0 + 10.0)).abs() < 1e-6, "makespan {}", r.makespan);
+    assert!(
+        (r.makespan - (10.0 + 1010.0 + 10.0)).abs() < 1e-6,
+        "makespan {}",
+        r.makespan
+    );
     let span1 = r.trace.span_of(mp_dag::TaskId(1)).unwrap();
     assert!(span1.start >= 1020.0 - 1e-9);
 }
@@ -127,7 +138,12 @@ fn prefetch_and_pipelining_hide_transfers() {
         .build();
     let p = simple(1, 1);
     let r_fifo = run(&g, &p, &model, &mut FifoScheduler::new());
-    let r_dmda = run(&g, &p, &model, &mut DequeModelScheduler::new(DmVariant::Dmda));
+    let r_dmda = run(
+        &g,
+        &p,
+        &model,
+        &mut DequeModelScheduler::new(DmVariant::Dmda),
+    );
     assert!(r_dmda.stats.prefetch_bytes > 0, "dmda must prefetch");
     let serial = 4.0 * (1010.0 + 2000.0);
     for r in [&r_fifo, &r_dmda] {
@@ -153,8 +169,9 @@ fn bounded_gpu_memory_forces_writebacks_but_completes() {
     let model = TableModel::builder()
         .set("GPUW", ArchClass::Gpu, TimeFn::Const(50.0))
         .build();
-    let handles: Vec<_> =
-        (0..4).map(|i| stf.graph_mut().add_data(10_000_000, format!("d{i}"))).collect();
+    let handles: Vec<_> = (0..4)
+        .map(|i| stf.graph_mut().add_data(10_000_000, format!("d{i}")))
+        .collect();
     for (i, &d) in handles.iter().enumerate() {
         stf.submit(k, vec![(d, AccessMode::ReadWrite)], 1.0, format!("t{i}"));
     }
@@ -171,7 +188,10 @@ fn bounded_gpu_memory_forces_writebacks_but_completes() {
     );
     let r = run(&g, &p, &model, &mut FifoScheduler::new());
     assert_eq!(r.stats.tasks, 4);
-    assert!(r.stats.writeback_bytes > 0, "dirty evictions must write back");
+    assert!(
+        r.stats.writeback_bytes > 0,
+        "dirty evictions must write back"
+    );
     assert!(r.trace.validate().is_ok());
 }
 
@@ -184,7 +204,13 @@ fn deterministic_under_noise() {
     let r1 = simulate(&g, &p, &m, &mut FifoScheduler::new(), cfg);
     let r2 = simulate(&g, &p, &m, &mut FifoScheduler::new(), cfg);
     assert_eq!(r1.makespan, r2.makespan);
-    let r3 = simulate(&g, &p, &m, &mut FifoScheduler::new(), SimConfig::seeded(43).with_noise(0.2));
+    let r3 = simulate(
+        &g,
+        &p,
+        &m,
+        &mut FifoScheduler::new(),
+        SimConfig::seeded(43).with_noise(0.2),
+    );
     assert_ne!(r1.makespan, r3.makespan, "different seed, different noise");
 }
 
@@ -233,7 +259,9 @@ fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
         Box::new(DequeModelScheduler::new(DmVariant::Dmdas)),
         Box::new(HeteroPrioScheduler::new()),
         Box::new(MultiPrioScheduler::with_defaults()),
-        Box::new(MultiPrioScheduler::new(multiprio::MultiPrioConfig::without_eviction())),
+        Box::new(MultiPrioScheduler::new(
+            multiprio::MultiPrioConfig::without_eviction(),
+        )),
     ]
 }
 
@@ -252,8 +280,17 @@ fn every_scheduler_completes_valid_schedules() {
     let cp = mp_dag::critical_path(&g, best_cost).length;
     for mut s in all_schedulers() {
         let r = run(&g, &p, &m, s.as_mut());
-        assert_eq!(r.stats.tasks, g.task_count(), "{} completed all", r.scheduler);
-        assert!(r.trace.validate().is_ok(), "{} produced a valid trace", r.scheduler);
+        assert_eq!(
+            r.stats.tasks,
+            g.task_count(),
+            "{} completed all",
+            r.scheduler
+        );
+        assert!(
+            r.trace.validate().is_ok(),
+            "{} produced a valid trace",
+            r.scheduler
+        );
         assert!(
             r.makespan >= cp - 1e-6,
             "{}'s makespan {} beats the critical path {} — impossible",
@@ -352,10 +389,18 @@ fn scheduler_view_is_noise_blind() {
     let assignment = |seed: u64| -> Vec<(u32, u32)> {
         let mut s = DequeModelScheduler::new(DmVariant::Dm);
         let r = simulate(&g, &p, &m, &mut s, SimConfig::seeded(seed).with_noise(0.3));
-        let mut v: Vec<(u32, u32)> =
-            r.trace.tasks.iter().map(|t| (t.task.0, t.worker.0)).collect();
+        let mut v: Vec<(u32, u32)> = r
+            .trace
+            .tasks
+            .iter()
+            .map(|t| (t.task.0, t.worker.0))
+            .collect();
         v.sort_unstable();
         v
     };
-    assert_eq!(assignment(1), assignment(999), "mapping must not depend on noise");
+    assert_eq!(
+        assignment(1),
+        assignment(999),
+        "mapping must not depend on noise"
+    );
 }

@@ -23,7 +23,12 @@ impl IdleStats {
     fn new(label: String, busy: f64, wall: f64) -> Self {
         let idle = (wall - busy).max(0.0);
         let idle_pct = if wall > 0.0 { idle / wall * 100.0 } else { 0.0 };
-        Self { label, busy, idle, idle_pct }
+        Self {
+            label,
+            busy,
+            idle,
+            idle_pct,
+        }
     }
 }
 
@@ -66,7 +71,11 @@ pub fn arch_idle_pct(trace: &Trace, platform: &Platform, a: ArchId) -> f64 {
     if workers.is_empty() {
         return 0.0;
     }
-    workers.iter().map(|&w| worker_idle_pct(trace, w)).sum::<f64>() / workers.len() as f64
+    workers
+        .iter()
+        .map(|&w| worker_idle_pct(trace, w))
+        .sum::<f64>()
+        / workers.len() as f64
 }
 
 /// The *practical* critical path: start from the task that finished last

@@ -10,19 +10,33 @@ use crate::record::Trace;
 /// Render an ASCII Gantt chart, one row per worker, `width` columns over
 /// the makespan. Busy cells show `#`, cells containing a highlighted task
 /// (e.g. the practical critical path) show `X`, idle cells show `.`.
-pub fn gantt_ascii(trace: &Trace, platform: &Platform, width: usize, highlight: &[TaskId]) -> String {
+pub fn gantt_ascii(
+    trace: &Trace,
+    platform: &Platform,
+    width: usize,
+    highlight: &[TaskId],
+) -> String {
     let makespan = trace.makespan();
     let mut out = String::new();
     if makespan <= 0.0 || width == 0 {
         return out;
     }
-    let label_w = platform.workers().iter().map(|w| w.name.len()).max().unwrap_or(0);
+    let label_w = platform
+        .workers()
+        .iter()
+        .map(|w| w.name.len())
+        .max()
+        .unwrap_or(0);
     for worker in platform.workers() {
         let mut row = vec!['.'; width];
         for s in trace.tasks.iter().filter(|s| s.worker == worker.id) {
             let a = ((s.start / makespan) * width as f64).floor() as usize;
             let b = (((s.end / makespan) * width as f64).ceil() as usize).min(width);
-            let ch = if highlight.contains(&s.task) { 'X' } else { '#' };
+            let ch = if highlight.contains(&s.task) {
+                'X'
+            } else {
+                '#'
+            };
             for c in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
                 // Critical-path marks win over plain busy marks.
                 if *c != 'X' {
@@ -146,7 +160,10 @@ mod tests {
         let out = gantt_ascii(&trace(), &p, 20, &[TaskId(1)]);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].contains("####################"), "worker 0 fully busy");
+        assert!(
+            lines[0].contains("####################"),
+            "worker 0 fully busy"
+        );
         assert!(lines[1].contains('X'), "highlighted task marked");
         assert!(lines[1].starts_with("CPU 1"));
         assert!(lines[2].contains("makespan"));

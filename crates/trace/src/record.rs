@@ -76,7 +76,11 @@ pub struct Trace {
 impl Trace {
     /// New empty trace for a platform with `worker_count` workers.
     pub fn new(worker_count: usize) -> Self {
-        Self { tasks: Vec::new(), transfers: Vec::new(), worker_count }
+        Self {
+            tasks: Vec::new(),
+            transfers: Vec::new(),
+            worker_count,
+        }
     }
 
     /// Completion time of the last task (0 for an empty trace).
@@ -86,12 +90,20 @@ impl Trace {
 
     /// Total busy time of one worker.
     pub fn busy_time(&self, w: WorkerId) -> f64 {
-        self.tasks.iter().filter(|s| s.worker == w).map(TaskSpan::duration).sum()
+        self.tasks
+            .iter()
+            .filter(|s| s.worker == w)
+            .map(TaskSpan::duration)
+            .sum()
     }
 
     /// Total bytes transferred, by kind.
     pub fn bytes_transferred(&self, kind: TransferKind) -> u64 {
-        self.transfers.iter().filter(|t| t.kind == kind).map(|t| t.bytes).sum()
+        self.transfers
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.bytes)
+            .sum()
     }
 
     /// The span of a given task, if it executed.

@@ -15,7 +15,10 @@ use multiprio_suite::trace::analysis::idle_per_arch;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20 * 960);
+    let n: usize = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20 * 960);
     let tile: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(960);
 
     let w = potrf(DenseConfig::new(n, tile));
@@ -34,7 +37,13 @@ fn main() {
     );
     for name in SCHEDULER_NAMES {
         let mut s = make_scheduler(name);
-        let r = simulate(&w.graph, &platform, &model, s.as_mut(), SimConfig::default());
+        let r = simulate(
+            &w.graph,
+            &platform,
+            &model,
+            s.as_mut(),
+            SimConfig::default(),
+        );
         let idle = idle_per_arch(&r.trace, &platform);
         println!(
             "{:22} {:12.2} {:10.1} {:9.1}% {:9.1}%",

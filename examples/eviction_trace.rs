@@ -26,9 +26,10 @@ fn main() {
         w.graph.task_count()
     );
 
-    for (label, sched) in
-        [("WITHOUT eviction mechanism", "multiprio-noevict"), ("WITH eviction mechanism", "multiprio")]
-    {
+    for (label, sched) in [
+        ("WITHOUT eviction mechanism", "multiprio-noevict"),
+        ("WITH eviction mechanism", "multiprio"),
+    ] {
         let r = run_once(&w.graph, &platform, &model, sched, 4);
         let cp = practical_critical_path(&r.trace, &w.graph);
         println!("== MultiPrio {label} ==");

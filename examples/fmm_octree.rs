@@ -33,12 +33,14 @@ fn main() {
             w.graph.task_count(),
             w.total_flops / 1e9
         );
-        println!("{:>8} {:>12} {:>12} {:>12}", "streams", "multiprio", "dmdas", "heteroprio");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            "streams", "multiprio", "dmdas", "heteroprio"
+        );
         for streams in [1usize, 2, 4] {
             let platform = intel_v100_streams(streams);
-            let time = |sched: &str| {
-                run_noisy(&w.graph, &platform, &model, sched, 6, 0.2).makespan / 1e6
-            };
+            let time =
+                |sched: &str| run_noisy(&w.graph, &platform, &model, sched, 6, 0.2).makespan / 1e6;
             println!(
                 "{:>8} {:>11.3}s {:>11.3}s {:>11.3}s",
                 streams,

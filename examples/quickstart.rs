@@ -29,7 +29,10 @@ fn main() {
     for step in 0..8 {
         stf.submit(
             stencil,
-            vec![(field, AccessMode::ReadWrite), (halo, AccessMode::ReadWrite)],
+            vec![
+                (field, AccessMode::ReadWrite),
+                (halo, AccessMode::ReadWrite),
+            ],
             5e8,
             format!("stencil[{step}]"),
         );
@@ -46,9 +49,23 @@ fn main() {
     // 2. Describe the machine and the kernel speeds.
     let platform = simple(4, 1); // 4 CPU workers + 1 GPU
     let model = TableModel::builder()
-        .set("INIT", ArchClass::Cpu, TimeFn::Rate { gflops: 10.0, overhead_us: 2.0 })
+        .set(
+            "INIT",
+            ArchClass::Cpu,
+            TimeFn::Rate {
+                gflops: 10.0,
+                overhead_us: 2.0,
+            },
+        )
         .rates("STENCIL", 20.0, 800.0, 8.0) // cpu GF/s, gpu GF/s, overhead
-        .set("REDUCE", ArchClass::Cpu, TimeFn::Rate { gflops: 10.0, overhead_us: 2.0 })
+        .set(
+            "REDUCE",
+            ArchClass::Cpu,
+            TimeFn::Rate {
+                gflops: 10.0,
+                overhead_us: 2.0,
+            },
+        )
         .build();
 
     // 3. Simulate under the paper's scheduler.

@@ -14,7 +14,9 @@ use multiprio_suite::platform::presets::intel_v100_streams;
 use multiprio_suite::trace::practical_critical_path;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "flower_7_4".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "flower_7_4".to_string());
     let Some(meta) = matrix(&name) else {
         eprintln!("unknown matrix '{name}'; available:");
         for m in &FIG7_MATRICES {

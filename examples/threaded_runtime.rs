@@ -102,7 +102,9 @@ fn main() {
         let mut m = vec![0.0; n * n];
         let mut state = 0x12345678u64;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for v in m.iter_mut() {
@@ -219,7 +221,9 @@ fn main() {
     }
 
     println!("running tile Cholesky: n={n} ({nt}x{nt} tiles of {ts})");
-    let report = rt.run(Box::new(MultiPrioScheduler::with_defaults()));
+    let report = rt
+        .run(Box::new(MultiPrioScheduler::with_defaults()))
+        .expect("runtime run failed");
     println!(
         "scheduler {} executed {} tasks in {:.2} ms of wall time",
         report.scheduler,
@@ -247,7 +251,7 @@ fn main() {
             for k in 0..=j {
                 s += l[i * n + k] * l[j * n + k];
             }
-            max_err = max_err.max((s - full[i * n + j]).abs() / full[(0) * n + 0].abs());
+            max_err = max_err.max((s - full[i * n + j]).abs() / full[0].abs());
         }
     }
     println!("max relative error of L*L^T vs A: {max_err:.3e}");

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare-26ba7b0f300c06e9.d: crates/bench/src/bin/compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare-26ba7b0f300c06e9.rmeta: crates/bench/src/bin/compare.rs Cargo.toml
+
+crates/bench/src/bin/compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

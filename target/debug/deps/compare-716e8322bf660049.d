@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare-716e8322bf660049.d: crates/bench/src/bin/compare.rs
+
+/root/repo/target/debug/deps/compare-716e8322bf660049: crates/bench/src/bin/compare.rs
+
+crates/bench/src/bin/compare.rs:

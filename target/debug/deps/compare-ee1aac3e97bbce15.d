@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compare-ee1aac3e97bbce15.d: crates/bench/src/bin/compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompare-ee1aac3e97bbce15.rmeta: crates/bench/src/bin/compare.rs Cargo.toml
+
+crates/bench/src/bin/compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

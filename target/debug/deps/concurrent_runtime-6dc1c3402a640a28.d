@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_runtime-6dc1c3402a640a28.d: tests/concurrent_runtime.rs
+
+/root/repo/target/debug/deps/concurrent_runtime-6dc1c3402a640a28: tests/concurrent_runtime.rs
+
+tests/concurrent_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent_runtime-8837ad6cd5e5b08f.d: tests/concurrent_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_runtime-8837ad6cd5e5b08f.rmeta: tests/concurrent_runtime.rs Cargo.toml
+
+tests/concurrent_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

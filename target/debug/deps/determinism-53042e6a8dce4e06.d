@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-53042e6a8dce4e06.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-53042e6a8dce4e06: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d52b1f013bb1ab32.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d52b1f013bb1ab32: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-9ea6ffff2aaac5c7.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-9ea6ffff2aaac5c7: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-e69f90f1dab44f75.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-e69f90f1dab44f75: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_eviction-94d71f83b4033f6f.d: crates/bench/benches/fig4_eviction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_eviction-94d71f83b4033f6f.rmeta: crates/bench/benches/fig4_eviction.rs Cargo.toml
+
+crates/bench/benches/fig4_eviction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

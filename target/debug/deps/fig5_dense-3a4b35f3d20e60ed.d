@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_dense-3a4b35f3d20e60ed.d: crates/bench/benches/fig5_dense.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_dense-3a4b35f3d20e60ed.rmeta: crates/bench/benches/fig5_dense.rs Cargo.toml
+
+crates/bench/benches/fig5_dense.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

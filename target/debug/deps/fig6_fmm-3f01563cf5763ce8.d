@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_fmm-3f01563cf5763ce8.d: crates/bench/benches/fig6_fmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_fmm-3f01563cf5763ce8.rmeta: crates/bench/benches/fig6_fmm.rs Cargo.toml
+
+crates/bench/benches/fig6_fmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_sparseqr-29901f6a47fac588.d: crates/bench/benches/fig8_sparseqr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_sparseqr-29901f6a47fac588.rmeta: crates/bench/benches/fig8_sparseqr.rs Cargo.toml
+
+crates/bench/benches/fig8_sparseqr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

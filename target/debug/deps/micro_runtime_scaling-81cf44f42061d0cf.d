@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_runtime_scaling-81cf44f42061d0cf.d: crates/bench/benches/micro_runtime_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_runtime_scaling-81cf44f42061d0cf.rmeta: crates/bench/benches/micro_runtime_scaling.rs Cargo.toml
+
+crates/bench/benches/micro_runtime_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

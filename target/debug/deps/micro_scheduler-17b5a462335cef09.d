@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_scheduler-17b5a462335cef09.d: crates/bench/benches/micro_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_scheduler-17b5a462335cef09.rmeta: crates/bench/benches/micro_scheduler.rs Cargo.toml
+
+crates/bench/benches/micro_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mp_apps-4db9c129868ef73f.d: crates/apps/src/lib.rs crates/apps/src/dense/mod.rs crates/apps/src/dense/geqrf.rs crates/apps/src/dense/getrf.rs crates/apps/src/dense/potrf.rs crates/apps/src/fmm/mod.rs crates/apps/src/fmm/builder.rs crates/apps/src/fmm/morton.rs crates/apps/src/hierarchical.rs crates/apps/src/kernels.rs crates/apps/src/random.rs crates/apps/src/sparseqr/mod.rs crates/apps/src/sparseqr/fronts.rs crates/apps/src/sparseqr/matrices.rs crates/apps/src/sparseqr/tasks.rs
+
+/root/repo/target/debug/deps/mp_apps-4db9c129868ef73f: crates/apps/src/lib.rs crates/apps/src/dense/mod.rs crates/apps/src/dense/geqrf.rs crates/apps/src/dense/getrf.rs crates/apps/src/dense/potrf.rs crates/apps/src/fmm/mod.rs crates/apps/src/fmm/builder.rs crates/apps/src/fmm/morton.rs crates/apps/src/hierarchical.rs crates/apps/src/kernels.rs crates/apps/src/random.rs crates/apps/src/sparseqr/mod.rs crates/apps/src/sparseqr/fronts.rs crates/apps/src/sparseqr/matrices.rs crates/apps/src/sparseqr/tasks.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/dense/mod.rs:
+crates/apps/src/dense/geqrf.rs:
+crates/apps/src/dense/getrf.rs:
+crates/apps/src/dense/potrf.rs:
+crates/apps/src/fmm/mod.rs:
+crates/apps/src/fmm/builder.rs:
+crates/apps/src/fmm/morton.rs:
+crates/apps/src/hierarchical.rs:
+crates/apps/src/kernels.rs:
+crates/apps/src/random.rs:
+crates/apps/src/sparseqr/mod.rs:
+crates/apps/src/sparseqr/fronts.rs:
+crates/apps/src/sparseqr/matrices.rs:
+crates/apps/src/sparseqr/tasks.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/mp_apps-4f7032c57d4109bb.d: crates/apps/src/lib.rs crates/apps/src/dense/mod.rs crates/apps/src/dense/geqrf.rs crates/apps/src/dense/getrf.rs crates/apps/src/dense/potrf.rs crates/apps/src/fmm/mod.rs crates/apps/src/fmm/builder.rs crates/apps/src/fmm/morton.rs crates/apps/src/hierarchical.rs crates/apps/src/kernels.rs crates/apps/src/random.rs crates/apps/src/sparseqr/mod.rs crates/apps/src/sparseqr/fronts.rs crates/apps/src/sparseqr/matrices.rs crates/apps/src/sparseqr/tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_apps-4f7032c57d4109bb.rmeta: crates/apps/src/lib.rs crates/apps/src/dense/mod.rs crates/apps/src/dense/geqrf.rs crates/apps/src/dense/getrf.rs crates/apps/src/dense/potrf.rs crates/apps/src/fmm/mod.rs crates/apps/src/fmm/builder.rs crates/apps/src/fmm/morton.rs crates/apps/src/hierarchical.rs crates/apps/src/kernels.rs crates/apps/src/random.rs crates/apps/src/sparseqr/mod.rs crates/apps/src/sparseqr/fronts.rs crates/apps/src/sparseqr/matrices.rs crates/apps/src/sparseqr/tasks.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/dense/mod.rs:
+crates/apps/src/dense/geqrf.rs:
+crates/apps/src/dense/getrf.rs:
+crates/apps/src/dense/potrf.rs:
+crates/apps/src/fmm/mod.rs:
+crates/apps/src/fmm/builder.rs:
+crates/apps/src/fmm/morton.rs:
+crates/apps/src/hierarchical.rs:
+crates/apps/src/kernels.rs:
+crates/apps/src/random.rs:
+crates/apps/src/sparseqr/mod.rs:
+crates/apps/src/sparseqr/fronts.rs:
+crates/apps/src/sparseqr/matrices.rs:
+crates/apps/src/sparseqr/tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mp_bench-a4bec80f9746f772.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmp_bench-a4bec80f9746f772.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmp_bench-a4bec80f9746f772.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/fig3.rs:
+crates/bench/src/figures/fig4.rs:
+crates/bench/src/figures/fig5.rs:
+crates/bench/src/figures/fig6.rs:
+crates/bench/src/figures/fig7.rs:
+crates/bench/src/figures/fig8.rs:
+crates/bench/src/figures/table2.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mp_bench-b83b9e465d07bf3c.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_bench-b83b9e465d07bf3c.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/fig3.rs:
+crates/bench/src/figures/fig4.rs:
+crates/bench/src/figures/fig5.rs:
+crates/bench/src/figures/fig6.rs:
+crates/bench/src/figures/fig7.rs:
+crates/bench/src/figures/fig8.rs:
+crates/bench/src/figures/table2.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mp_dag-b197cc07f3f04beb.d: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+/root/repo/target/debug/deps/mp_dag-b197cc07f3f04beb: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/access.rs:
+crates/dag/src/analysis.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/ids.rs:
+crates/dag/src/stf.rs:
+crates/dag/src/task.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mp_dag-bfca61799a5a724c.d: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+/root/repo/target/debug/deps/libmp_dag-bfca61799a5a724c.rlib: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+/root/repo/target/debug/deps/libmp_dag-bfca61799a5a724c.rmeta: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/access.rs:
+crates/dag/src/analysis.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/ids.rs:
+crates/dag/src/stf.rs:
+crates/dag/src/task.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mp_dag-f8080101540f31ec.d: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_dag-f8080101540f31ec.rmeta: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs Cargo.toml
+
+crates/dag/src/lib.rs:
+crates/dag/src/access.rs:
+crates/dag/src/analysis.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/ids.rs:
+crates/dag/src/stf.rs:
+crates/dag/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mp_perfmodel-5b2ab20e490e4811.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/debug/deps/libmp_perfmodel-5b2ab20e490e4811.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/debug/deps/libmp_perfmodel-5b2ab20e490e4811.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/estimator.rs:
+crates/perfmodel/src/history.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_perfmodel-70ee8df1f15d3844.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/debug/deps/mp_perfmodel-70ee8df1f15d3844: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/estimator.rs:
+crates/perfmodel/src/history.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/table.rs:

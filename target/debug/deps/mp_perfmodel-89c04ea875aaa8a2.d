@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mp_perfmodel-89c04ea875aaa8a2.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_perfmodel-89c04ea875aaa8a2.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/estimator.rs:
+crates/perfmodel/src/history.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mp_platform-8542fb7a0ac7ed00.d: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+/root/repo/target/debug/deps/libmp_platform-8542fb7a0ac7ed00.rlib: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+/root/repo/target/debug/deps/libmp_platform-8542fb7a0ac7ed00.rmeta: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/link.rs:
+crates/platform/src/presets.rs:
+crates/platform/src/types.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mp_platform-a08a2eeba457cefb.d: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_platform-a08a2eeba457cefb.rmeta: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+crates/platform/src/link.rs:
+crates/platform/src/presets.rs:
+crates/platform/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mp_platform-e7f97dc1ed11579d.d: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+/root/repo/target/debug/deps/mp_platform-e7f97dc1ed11579d: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/link.rs:
+crates/platform/src/presets.rs:
+crates/platform/src/types.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mp_runtime-4de29d55fb9653ba.d: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+/root/repo/target/debug/deps/mp_runtime-4de29d55fb9653ba: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/data.rs:
+crates/runtime/src/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_runtime-827b4859fcf9f884.d: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+/root/repo/target/debug/deps/libmp_runtime-827b4859fcf9f884.rlib: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+/root/repo/target/debug/deps/libmp_runtime-827b4859fcf9f884.rmeta: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/data.rs:
+crates/runtime/src/engine.rs:

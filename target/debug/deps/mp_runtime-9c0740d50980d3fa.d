@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mp_runtime-9c0740d50980d3fa.d: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_runtime-9c0740d50980d3fa.rmeta: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/data.rs:
+crates/runtime/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mp_sched-1e34b08bbf87aa5c.d: crates/sched/src/lib.rs crates/sched/src/api.rs crates/sched/src/concurrent.rs crates/sched/src/dm.rs crates/sched/src/fifo.rs crates/sched/src/heteroprio.rs crates/sched/src/lws.rs crates/sched/src/prio.rs crates/sched/src/random.rs crates/sched/src/testutil.rs crates/sched/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_sched-1e34b08bbf87aa5c.rmeta: crates/sched/src/lib.rs crates/sched/src/api.rs crates/sched/src/concurrent.rs crates/sched/src/dm.rs crates/sched/src/fifo.rs crates/sched/src/heteroprio.rs crates/sched/src/lws.rs crates/sched/src/prio.rs crates/sched/src/random.rs crates/sched/src/testutil.rs crates/sched/src/util.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/api.rs:
+crates/sched/src/concurrent.rs:
+crates/sched/src/dm.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/heteroprio.rs:
+crates/sched/src/lws.rs:
+crates/sched/src/prio.rs:
+crates/sched/src/random.rs:
+crates/sched/src/testutil.rs:
+crates/sched/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mp_sched-4dae2dac81fa1a82.d: crates/sched/src/lib.rs crates/sched/src/api.rs crates/sched/src/concurrent.rs crates/sched/src/dm.rs crates/sched/src/fifo.rs crates/sched/src/heteroprio.rs crates/sched/src/lws.rs crates/sched/src/prio.rs crates/sched/src/random.rs crates/sched/src/testutil.rs crates/sched/src/util.rs
+
+/root/repo/target/debug/deps/mp_sched-4dae2dac81fa1a82: crates/sched/src/lib.rs crates/sched/src/api.rs crates/sched/src/concurrent.rs crates/sched/src/dm.rs crates/sched/src/fifo.rs crates/sched/src/heteroprio.rs crates/sched/src/lws.rs crates/sched/src/prio.rs crates/sched/src/random.rs crates/sched/src/testutil.rs crates/sched/src/util.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/api.rs:
+crates/sched/src/concurrent.rs:
+crates/sched/src/dm.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/heteroprio.rs:
+crates/sched/src/lws.rs:
+crates/sched/src/prio.rs:
+crates/sched/src/random.rs:
+crates/sched/src/testutil.rs:
+crates/sched/src/util.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_sim-051e2fdd739fc8da.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/mp_sim-051e2fdd739fc8da: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/result.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mp_sim-10e9828c46c5f30d.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/libmp_sim-10e9828c46c5f30d.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/libmp_sim-10e9828c46c5f30d.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/result.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mp_sim-99e6bb9f925d165b.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_sim-99e6bb9f925d165b.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

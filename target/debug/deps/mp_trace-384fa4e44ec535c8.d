@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mp_trace-384fa4e44ec535c8.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/libmp_trace-384fa4e44ec535c8.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/libmp_trace-384fa4e44ec535c8.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/gantt.rs:
+crates/trace/src/record.rs:

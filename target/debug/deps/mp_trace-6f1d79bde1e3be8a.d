@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mp_trace-6f1d79bde1e3be8a.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_trace-6f1d79bde1e3be8a.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/gantt.rs:
+crates/trace/src/record.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mp_trace-e075c611e7a64c24.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+/root/repo/target/debug/deps/mp_trace-e075c611e7a64c24: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/gantt.rs:
+crates/trace/src/record.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/multiprio-1cdf2222e738669d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+/root/repo/target/debug/deps/multiprio-1cdf2222e738669d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/criticality.rs:
+crates/core/src/energy.rs:
+crates/core/src/heap.rs:
+crates/core/src/locality.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/score.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/multiprio-5b88c831acc43922.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+/root/repo/target/debug/deps/libmultiprio-5b88c831acc43922.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+/root/repo/target/debug/deps/libmultiprio-5b88c831acc43922.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/criticality.rs:
+crates/core/src/energy.rs:
+crates/core/src/heap.rs:
+crates/core/src/locality.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/score.rs:

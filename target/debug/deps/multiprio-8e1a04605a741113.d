@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/multiprio-8e1a04605a741113.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultiprio-8e1a04605a741113.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/criticality.rs:
+crates/core/src/energy.rs:
+crates/core/src/heap.rs:
+crates/core/src/locality.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/score.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

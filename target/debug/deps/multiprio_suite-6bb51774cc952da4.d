@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiprio_suite-6bb51774cc952da4.d: src/lib.rs
+
+/root/repo/target/debug/deps/multiprio_suite-6bb51774cc952da4: src/lib.rs
+
+src/lib.rs:

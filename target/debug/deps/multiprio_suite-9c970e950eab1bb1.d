@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multiprio_suite-9c970e950eab1bb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/multiprio_suite-9c970e950eab1bb1: src/lib.rs
+
+src/lib.rs:

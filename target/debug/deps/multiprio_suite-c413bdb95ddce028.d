@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multiprio_suite-c413bdb95ddce028.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmultiprio_suite-c413bdb95ddce028.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmultiprio_suite-c413bdb95ddce028.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multiprio_suite-fdf1252f998a4d75.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmultiprio_suite-fdf1252f998a4d75.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmultiprio_suite-fdf1252f998a4d75.rmeta: src/lib.rs
+
+src/lib.rs:

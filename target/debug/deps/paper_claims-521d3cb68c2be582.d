@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-521d3cb68c2be582.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-521d3cb68c2be582: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-af7fbd682f48685f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-af7fbd682f48685f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

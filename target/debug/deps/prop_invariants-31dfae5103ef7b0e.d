@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-31dfae5103ef7b0e.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-31dfae5103ef7b0e: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

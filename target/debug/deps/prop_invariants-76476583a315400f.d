@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_invariants-76476583a315400f.d: tests/prop_invariants.rs
+
+/root/repo/target/debug/deps/prop_invariants-76476583a315400f: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_invariants-d287a18e6bb9ec25.d: tests/prop_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_invariants-d287a18e6bb9ec25.rmeta: tests/prop_invariants.rs Cargo.toml
+
+tests/prop_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

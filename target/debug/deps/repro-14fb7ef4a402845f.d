@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-14fb7ef4a402845f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-14fb7ef4a402845f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

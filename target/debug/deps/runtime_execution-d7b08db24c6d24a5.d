@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_execution-d7b08db24c6d24a5.d: tests/runtime_execution.rs
+
+/root/repo/target/debug/deps/runtime_execution-d7b08db24c6d24a5: tests/runtime_execution.rs
+
+tests/runtime_execution.rs:

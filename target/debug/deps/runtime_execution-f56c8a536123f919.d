@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_execution-f56c8a536123f919.d: tests/runtime_execution.rs
+
+/root/repo/target/debug/deps/runtime_execution-f56c8a536123f919: tests/runtime_execution.rs
+
+tests/runtime_execution.rs:

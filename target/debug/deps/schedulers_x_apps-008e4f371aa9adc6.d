@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulers_x_apps-008e4f371aa9adc6.d: tests/schedulers_x_apps.rs
+
+/root/repo/target/debug/deps/schedulers_x_apps-008e4f371aa9adc6: tests/schedulers_x_apps.rs
+
+tests/schedulers_x_apps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulers_x_apps-685d5b51503964f6.d: tests/schedulers_x_apps.rs
+
+/root/repo/target/debug/deps/schedulers_x_apps-685d5b51503964f6: tests/schedulers_x_apps.rs
+
+tests/schedulers_x_apps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedulers_x_apps-e5d9a125c29ddd71.d: tests/schedulers_x_apps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedulers_x_apps-e5d9a125c29ddd71.rmeta: tests/schedulers_x_apps.rs Cargo.toml
+
+tests/schedulers_x_apps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_integration-61de933a2fb8ac06.d: crates/sim/tests/sim_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_integration-61de933a2fb8ac06.rmeta: crates/sim/tests/sim_integration.rs Cargo.toml
+
+crates/sim/tests/sim_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_integration-d3aab00d8984359c.d: crates/sim/tests/sim_integration.rs
+
+/root/repo/target/debug/deps/sim_integration-d3aab00d8984359c: crates/sim/tests/sim_integration.rs
+
+crates/sim/tests/sim_integration.rs:

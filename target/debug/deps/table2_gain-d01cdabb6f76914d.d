@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_gain-d01cdabb6f76914d.d: crates/bench/benches/table2_gain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_gain-d01cdabb6f76914d.rmeta: crates/bench/benches/table2_gain.rs Cargo.toml
+
+crates/bench/benches/table2_gain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dense_cholesky-32fa46a8aff83bad.d: examples/dense_cholesky.rs
+
+/root/repo/target/debug/examples/dense_cholesky-32fa46a8aff83bad: examples/dense_cholesky.rs
+
+examples/dense_cholesky.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dense_cholesky-4e26337570786e6c.d: examples/dense_cholesky.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdense_cholesky-4e26337570786e6c.rmeta: examples/dense_cholesky.rs Cargo.toml
+
+examples/dense_cholesky.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dense_cholesky-ca6e85f95dd68c96.d: examples/dense_cholesky.rs
+
+/root/repo/target/debug/examples/dense_cholesky-ca6e85f95dd68c96: examples/dense_cholesky.rs
+
+examples/dense_cholesky.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eviction_trace-4287e53b89fe2fa3.d: examples/eviction_trace.rs
+
+/root/repo/target/debug/examples/eviction_trace-4287e53b89fe2fa3: examples/eviction_trace.rs
+
+examples/eviction_trace.rs:

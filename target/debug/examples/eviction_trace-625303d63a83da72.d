@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/eviction_trace-625303d63a83da72.d: examples/eviction_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libeviction_trace-625303d63a83da72.rmeta: examples/eviction_trace.rs Cargo.toml
+
+examples/eviction_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/eviction_trace-bb91c281b4fcdd85.d: examples/eviction_trace.rs
+
+/root/repo/target/debug/examples/eviction_trace-bb91c281b4fcdd85: examples/eviction_trace.rs
+
+examples/eviction_trace.rs:

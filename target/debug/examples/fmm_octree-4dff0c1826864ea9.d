@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fmm_octree-4dff0c1826864ea9.d: examples/fmm_octree.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfmm_octree-4dff0c1826864ea9.rmeta: examples/fmm_octree.rs Cargo.toml
+
+examples/fmm_octree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

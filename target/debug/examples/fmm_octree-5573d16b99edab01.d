@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fmm_octree-5573d16b99edab01.d: examples/fmm_octree.rs
+
+/root/repo/target/debug/examples/fmm_octree-5573d16b99edab01: examples/fmm_octree.rs
+
+examples/fmm_octree.rs:

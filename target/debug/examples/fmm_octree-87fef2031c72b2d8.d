@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fmm_octree-87fef2031c72b2d8.d: examples/fmm_octree.rs
+
+/root/repo/target/debug/examples/fmm_octree-87fef2031c72b2d8: examples/fmm_octree.rs
+
+examples/fmm_octree.rs:

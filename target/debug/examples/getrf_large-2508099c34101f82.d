@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/getrf_large-2508099c34101f82.d: crates/bench/examples/getrf_large.rs
+
+/root/repo/target/debug/examples/getrf_large-2508099c34101f82: crates/bench/examples/getrf_large.rs
+
+crates/bench/examples/getrf_large.rs:

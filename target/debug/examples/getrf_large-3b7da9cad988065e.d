@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/getrf_large-3b7da9cad988065e.d: crates/bench/examples/getrf_large.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgetrf_large-3b7da9cad988065e.rmeta: crates/bench/examples/getrf_large.rs Cargo.toml
+
+crates/bench/examples/getrf_large.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

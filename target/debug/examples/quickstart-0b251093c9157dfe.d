@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0b251093c9157dfe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0b251093c9157dfe: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2b1611734f69aed3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2b1611734f69aed3: examples/quickstart.rs
+
+examples/quickstart.rs:

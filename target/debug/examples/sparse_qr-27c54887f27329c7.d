@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_qr-27c54887f27329c7.d: examples/sparse_qr.rs
+
+/root/repo/target/debug/examples/sparse_qr-27c54887f27329c7: examples/sparse_qr.rs
+
+examples/sparse_qr.rs:

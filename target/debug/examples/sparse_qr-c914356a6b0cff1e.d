@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_qr-c914356a6b0cff1e.d: examples/sparse_qr.rs
+
+/root/repo/target/debug/examples/sparse_qr-c914356a6b0cff1e: examples/sparse_qr.rs
+
+examples/sparse_qr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sparse_qr-d384f2e7cfe9e3fd.d: examples/sparse_qr.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsparse_qr-d384f2e7cfe9e3fd.rmeta: examples/sparse_qr.rs Cargo.toml
+
+examples/sparse_qr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

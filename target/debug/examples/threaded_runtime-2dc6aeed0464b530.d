@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threaded_runtime-2dc6aeed0464b530.d: examples/threaded_runtime.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreaded_runtime-2dc6aeed0464b530.rmeta: examples/threaded_runtime.rs Cargo.toml
+
+examples/threaded_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_runtime-3897433d8450b912.d: examples/threaded_runtime.rs
+
+/root/repo/target/debug/examples/threaded_runtime-3897433d8450b912: examples/threaded_runtime.rs
+
+examples/threaded_runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_runtime-fe302f4fc665177b.d: examples/threaded_runtime.rs
+
+/root/repo/target/debug/examples/threaded_runtime-fe302f4fc665177b: examples/threaded_runtime.rs
+
+examples/threaded_runtime.rs:

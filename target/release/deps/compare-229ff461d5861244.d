@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare-229ff461d5861244.d: crates/bench/src/bin/compare.rs
+
+/root/repo/target/release/deps/compare-229ff461d5861244: crates/bench/src/bin/compare.rs
+
+crates/bench/src/bin/compare.rs:

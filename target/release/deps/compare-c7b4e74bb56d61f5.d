@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare-c7b4e74bb56d61f5.d: crates/bench/src/bin/compare.rs
+
+/root/repo/target/release/deps/compare-c7b4e74bb56d61f5: crates/bench/src/bin/compare.rs
+
+crates/bench/src/bin/compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_runtime-bcf9e01ee3140b2d.d: tests/concurrent_runtime.rs
+
+/root/repo/target/release/deps/concurrent_runtime-bcf9e01ee3140b2d: tests/concurrent_runtime.rs
+
+tests/concurrent_runtime.rs:

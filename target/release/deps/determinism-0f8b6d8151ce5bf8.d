@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-0f8b6d8151ce5bf8.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-0f8b6d8151ce5bf8: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-afe18f70b3bb087f.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-afe18f70b3bb087f: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_runtime_scaling-436e3a12202cbfe6.d: crates/bench/benches/micro_runtime_scaling.rs
+
+/root/repo/target/release/deps/micro_runtime_scaling-436e3a12202cbfe6: crates/bench/benches/micro_runtime_scaling.rs
+
+crates/bench/benches/micro_runtime_scaling.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/mp_apps-6cf15c297232ba16.d: crates/apps/src/lib.rs crates/apps/src/dense/mod.rs crates/apps/src/dense/geqrf.rs crates/apps/src/dense/getrf.rs crates/apps/src/dense/potrf.rs crates/apps/src/fmm/mod.rs crates/apps/src/fmm/builder.rs crates/apps/src/fmm/morton.rs crates/apps/src/hierarchical.rs crates/apps/src/kernels.rs crates/apps/src/random.rs crates/apps/src/sparseqr/mod.rs crates/apps/src/sparseqr/fronts.rs crates/apps/src/sparseqr/matrices.rs crates/apps/src/sparseqr/tasks.rs
+
+/root/repo/target/release/deps/libmp_apps-6cf15c297232ba16.rlib: crates/apps/src/lib.rs crates/apps/src/dense/mod.rs crates/apps/src/dense/geqrf.rs crates/apps/src/dense/getrf.rs crates/apps/src/dense/potrf.rs crates/apps/src/fmm/mod.rs crates/apps/src/fmm/builder.rs crates/apps/src/fmm/morton.rs crates/apps/src/hierarchical.rs crates/apps/src/kernels.rs crates/apps/src/random.rs crates/apps/src/sparseqr/mod.rs crates/apps/src/sparseqr/fronts.rs crates/apps/src/sparseqr/matrices.rs crates/apps/src/sparseqr/tasks.rs
+
+/root/repo/target/release/deps/libmp_apps-6cf15c297232ba16.rmeta: crates/apps/src/lib.rs crates/apps/src/dense/mod.rs crates/apps/src/dense/geqrf.rs crates/apps/src/dense/getrf.rs crates/apps/src/dense/potrf.rs crates/apps/src/fmm/mod.rs crates/apps/src/fmm/builder.rs crates/apps/src/fmm/morton.rs crates/apps/src/hierarchical.rs crates/apps/src/kernels.rs crates/apps/src/random.rs crates/apps/src/sparseqr/mod.rs crates/apps/src/sparseqr/fronts.rs crates/apps/src/sparseqr/matrices.rs crates/apps/src/sparseqr/tasks.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/dense/mod.rs:
+crates/apps/src/dense/geqrf.rs:
+crates/apps/src/dense/getrf.rs:
+crates/apps/src/dense/potrf.rs:
+crates/apps/src/fmm/mod.rs:
+crates/apps/src/fmm/builder.rs:
+crates/apps/src/fmm/morton.rs:
+crates/apps/src/hierarchical.rs:
+crates/apps/src/kernels.rs:
+crates/apps/src/random.rs:
+crates/apps/src/sparseqr/mod.rs:
+crates/apps/src/sparseqr/fronts.rs:
+crates/apps/src/sparseqr/matrices.rs:
+crates/apps/src/sparseqr/tasks.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mp_bench-5d5f12062cab0c02.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmp_bench-5d5f12062cab0c02.rlib: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmp_bench-5d5f12062cab0c02.rmeta: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/fig3.rs:
+crates/bench/src/figures/fig4.rs:
+crates/bench/src/figures/fig5.rs:
+crates/bench/src/figures/fig6.rs:
+crates/bench/src/figures/fig7.rs:
+crates/bench/src/figures/fig8.rs:
+crates/bench/src/figures/table2.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

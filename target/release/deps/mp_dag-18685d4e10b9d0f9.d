@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mp_dag-18685d4e10b9d0f9.d: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+/root/repo/target/release/deps/mp_dag-18685d4e10b9d0f9: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/access.rs:
+crates/dag/src/analysis.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/ids.rs:
+crates/dag/src/stf.rs:
+crates/dag/src/task.rs:

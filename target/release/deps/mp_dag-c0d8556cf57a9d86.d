@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mp_dag-c0d8556cf57a9d86.d: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+/root/repo/target/release/deps/libmp_dag-c0d8556cf57a9d86.rlib: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+/root/repo/target/release/deps/libmp_dag-c0d8556cf57a9d86.rmeta: crates/dag/src/lib.rs crates/dag/src/access.rs crates/dag/src/analysis.rs crates/dag/src/dot.rs crates/dag/src/graph.rs crates/dag/src/ids.rs crates/dag/src/stf.rs crates/dag/src/task.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/access.rs:
+crates/dag/src/analysis.rs:
+crates/dag/src/dot.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/ids.rs:
+crates/dag/src/stf.rs:
+crates/dag/src/task.rs:

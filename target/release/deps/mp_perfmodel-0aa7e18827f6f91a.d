@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mp_perfmodel-0aa7e18827f6f91a.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/release/deps/mp_perfmodel-0aa7e18827f6f91a: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/estimator.rs:
+crates/perfmodel/src/history.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/table.rs:

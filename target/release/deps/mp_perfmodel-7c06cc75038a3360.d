@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mp_perfmodel-7c06cc75038a3360.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/release/deps/libmp_perfmodel-7c06cc75038a3360.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+/root/repo/target/release/deps/libmp_perfmodel-7c06cc75038a3360.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/estimator.rs crates/perfmodel/src/history.rs crates/perfmodel/src/model.rs crates/perfmodel/src/table.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/estimator.rs:
+crates/perfmodel/src/history.rs:
+crates/perfmodel/src/model.rs:
+crates/perfmodel/src/table.rs:

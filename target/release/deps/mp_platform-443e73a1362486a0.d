@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mp_platform-443e73a1362486a0.d: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+/root/repo/target/release/deps/libmp_platform-443e73a1362486a0.rlib: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+/root/repo/target/release/deps/libmp_platform-443e73a1362486a0.rmeta: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/link.rs:
+crates/platform/src/presets.rs:
+crates/platform/src/types.rs:

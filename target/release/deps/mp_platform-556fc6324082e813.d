@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mp_platform-556fc6324082e813.d: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+/root/repo/target/release/deps/mp_platform-556fc6324082e813: crates/platform/src/lib.rs crates/platform/src/link.rs crates/platform/src/presets.rs crates/platform/src/types.rs
+
+crates/platform/src/lib.rs:
+crates/platform/src/link.rs:
+crates/platform/src/presets.rs:
+crates/platform/src/types.rs:

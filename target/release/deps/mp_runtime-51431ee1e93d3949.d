@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mp_runtime-51431ee1e93d3949.d: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+/root/repo/target/release/deps/mp_runtime-51431ee1e93d3949: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/data.rs:
+crates/runtime/src/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mp_runtime-f3ed25f0f9da7110.d: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+/root/repo/target/release/deps/libmp_runtime-f3ed25f0f9da7110.rlib: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+/root/repo/target/release/deps/libmp_runtime-f3ed25f0f9da7110.rmeta: crates/runtime/src/lib.rs crates/runtime/src/data.rs crates/runtime/src/engine.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/data.rs:
+crates/runtime/src/engine.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mp_sched-1196d9a3e88b7861.d: crates/sched/src/lib.rs crates/sched/src/api.rs crates/sched/src/concurrent.rs crates/sched/src/dm.rs crates/sched/src/fifo.rs crates/sched/src/heteroprio.rs crates/sched/src/lws.rs crates/sched/src/prio.rs crates/sched/src/random.rs crates/sched/src/testutil.rs crates/sched/src/util.rs
+
+/root/repo/target/release/deps/libmp_sched-1196d9a3e88b7861.rlib: crates/sched/src/lib.rs crates/sched/src/api.rs crates/sched/src/concurrent.rs crates/sched/src/dm.rs crates/sched/src/fifo.rs crates/sched/src/heteroprio.rs crates/sched/src/lws.rs crates/sched/src/prio.rs crates/sched/src/random.rs crates/sched/src/testutil.rs crates/sched/src/util.rs
+
+/root/repo/target/release/deps/libmp_sched-1196d9a3e88b7861.rmeta: crates/sched/src/lib.rs crates/sched/src/api.rs crates/sched/src/concurrent.rs crates/sched/src/dm.rs crates/sched/src/fifo.rs crates/sched/src/heteroprio.rs crates/sched/src/lws.rs crates/sched/src/prio.rs crates/sched/src/random.rs crates/sched/src/testutil.rs crates/sched/src/util.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/api.rs:
+crates/sched/src/concurrent.rs:
+crates/sched/src/dm.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/heteroprio.rs:
+crates/sched/src/lws.rs:
+crates/sched/src/prio.rs:
+crates/sched/src/random.rs:
+crates/sched/src/testutil.rs:
+crates/sched/src/util.rs:

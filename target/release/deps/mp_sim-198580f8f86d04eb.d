@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mp_sim-198580f8f86d04eb.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/mp_sim-198580f8f86d04eb: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/result.rs:

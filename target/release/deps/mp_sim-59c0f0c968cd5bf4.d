@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mp_sim-59c0f0c968cd5bf4.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/libmp_sim-59c0f0c968cd5bf4.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/libmp_sim-59c0f0c968cd5bf4.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/result.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mp_trace-65247fd585589f6a.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/libmp_trace-65247fd585589f6a.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/libmp_trace-65247fd585589f6a.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/gantt.rs:
+crates/trace/src/record.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mp_trace-93b0d6eda7f060d9.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+/root/repo/target/release/deps/mp_trace-93b0d6eda7f060d9: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/gantt.rs crates/trace/src/record.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/gantt.rs:
+crates/trace/src/record.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/multiprio-1e249620f0a1f02b.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+/root/repo/target/release/deps/multiprio-1e249620f0a1f02b: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/criticality.rs:
+crates/core/src/energy.rs:
+crates/core/src/heap.rs:
+crates/core/src/locality.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/score.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/multiprio-8d7a305bd24e91fe.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+/root/repo/target/release/deps/libmultiprio-8d7a305bd24e91fe.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+/root/repo/target/release/deps/libmultiprio-8d7a305bd24e91fe.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/criticality.rs crates/core/src/energy.rs crates/core/src/heap.rs crates/core/src/locality.rs crates/core/src/scheduler.rs crates/core/src/score.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/criticality.rs:
+crates/core/src/energy.rs:
+crates/core/src/heap.rs:
+crates/core/src/locality.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/score.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/multiprio_suite-0996dbacb369bc71.d: src/lib.rs
+
+/root/repo/target/release/deps/libmultiprio_suite-0996dbacb369bc71.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmultiprio_suite-0996dbacb369bc71.rmeta: src/lib.rs
+
+src/lib.rs:

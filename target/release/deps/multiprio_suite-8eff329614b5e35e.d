@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multiprio_suite-8eff329614b5e35e.d: src/lib.rs
+
+/root/repo/target/release/deps/multiprio_suite-8eff329614b5e35e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/multiprio_suite-d7efd1f0a34498ea.d: src/lib.rs
+
+/root/repo/target/release/deps/libmultiprio_suite-d7efd1f0a34498ea.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmultiprio_suite-d7efd1f0a34498ea.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-f1599a9bc7c7722e.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-f1599a9bc7c7722e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_invariants-eeab52b5f24163a7.d: tests/prop_invariants.rs
+
+/root/repo/target/release/deps/prop_invariants-eeab52b5f24163a7: tests/prop_invariants.rs
+
+tests/prop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-64c897b6cc95476b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-64c897b6cc95476b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

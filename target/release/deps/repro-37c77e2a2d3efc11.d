@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-37c77e2a2d3efc11.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-37c77e2a2d3efc11: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

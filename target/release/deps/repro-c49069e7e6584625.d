@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c49069e7e6584625.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c49069e7e6584625: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_execution-82e188c636a9dc7f.d: tests/runtime_execution.rs
+
+/root/repo/target/release/deps/runtime_execution-82e188c636a9dc7f: tests/runtime_execution.rs
+
+tests/runtime_execution.rs:

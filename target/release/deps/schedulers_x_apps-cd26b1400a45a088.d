@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedulers_x_apps-cd26b1400a45a088.d: tests/schedulers_x_apps.rs
+
+/root/repo/target/release/deps/schedulers_x_apps-cd26b1400a45a088: tests/schedulers_x_apps.rs
+
+tests/schedulers_x_apps.rs:

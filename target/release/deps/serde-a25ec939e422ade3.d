@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-a25ec939e422ade3.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-a25ec939e422ade3: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

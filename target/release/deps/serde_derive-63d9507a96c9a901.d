@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-63d9507a96c9a901.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-63d9507a96c9a901: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

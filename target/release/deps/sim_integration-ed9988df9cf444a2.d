@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_integration-ed9988df9cf444a2.d: crates/sim/tests/sim_integration.rs
+
+/root/repo/target/release/deps/sim_integration-ed9988df9cf444a2: crates/sim/tests/sim_integration.rs
+
+crates/sim/tests/sim_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dense_cholesky-934e8f81f36383cf.d: examples/dense_cholesky.rs
+
+/root/repo/target/release/examples/dense_cholesky-934e8f81f36383cf: examples/dense_cholesky.rs
+
+examples/dense_cholesky.rs:

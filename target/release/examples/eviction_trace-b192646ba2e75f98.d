@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/eviction_trace-b192646ba2e75f98.d: examples/eviction_trace.rs
+
+/root/repo/target/release/examples/eviction_trace-b192646ba2e75f98: examples/eviction_trace.rs
+
+examples/eviction_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fmm_octree-d2c58a057642d03e.d: examples/fmm_octree.rs
+
+/root/repo/target/release/examples/fmm_octree-d2c58a057642d03e: examples/fmm_octree.rs
+
+examples/fmm_octree.rs:

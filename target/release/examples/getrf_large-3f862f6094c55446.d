@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/getrf_large-3f862f6094c55446.d: crates/bench/examples/getrf_large.rs
+
+/root/repo/target/release/examples/getrf_large-3f862f6094c55446: crates/bench/examples/getrf_large.rs
+
+crates/bench/examples/getrf_large.rs:

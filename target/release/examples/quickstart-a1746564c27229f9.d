@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a1746564c27229f9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a1746564c27229f9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sparse_qr-ff3cd60ca16bb409.d: examples/sparse_qr.rs
+
+/root/repo/target/release/examples/sparse_qr-ff3cd60ca16bb409: examples/sparse_qr.rs
+
+examples/sparse_qr.rs:

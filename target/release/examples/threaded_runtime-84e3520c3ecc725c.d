@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threaded_runtime-84e3520c3ecc725c.d: examples/threaded_runtime.rs
+
+/root/repo/target/release/examples/threaded_runtime-84e3520c3ecc725c: examples/threaded_runtime.rs
+
+examples/threaded_runtime.rs:

@@ -10,13 +10,23 @@ use multiprio_suite::sim::{simulate, SimConfig};
 
 #[test]
 fn full_stack_determinism_per_scheduler() {
-    let g = random_dag(RandomDagConfig { layers: 8, width: 10, ..Default::default() });
+    let g = random_dag(RandomDagConfig {
+        layers: 8,
+        width: 10,
+        ..Default::default()
+    });
     let m = random_model();
     let p = simple(3, 1);
     for sched in ["multiprio", "dmdas", "heteroprio", "lws", "random"] {
         let run = || {
             let mut s = make_scheduler(sched);
-            let r = simulate(&g, &p, &m, s.as_mut(), SimConfig::seeded(9).with_noise(0.15));
+            let r = simulate(
+                &g,
+                &p,
+                &m,
+                s.as_mut(),
+                SimConfig::seeded(9).with_noise(0.15),
+            );
             (r.makespan, r.stats.demand_bytes, r.trace.tasks.len())
         };
         assert_eq!(run(), run(), "{sched} must be deterministic");
@@ -25,12 +35,23 @@ fn full_stack_determinism_per_scheduler() {
 
 #[test]
 fn noise_seeds_actually_vary_results() {
-    let g = random_dag(RandomDagConfig { layers: 8, width: 10, ..Default::default() });
+    let g = random_dag(RandomDagConfig {
+        layers: 8,
+        width: 10,
+        ..Default::default()
+    });
     let m = random_model();
     let p = simple(3, 1);
     let mk = |seed| {
         let mut s = make_scheduler("multiprio");
-        simulate(&g, &p, &m, s.as_mut(), SimConfig::seeded(seed).with_noise(0.15)).makespan
+        simulate(
+            &g,
+            &p,
+            &m,
+            s.as_mut(),
+            SimConfig::seeded(seed).with_noise(0.15),
+        )
+        .makespan
     };
     assert_ne!(mk(1), mk(2));
 }
@@ -54,7 +75,10 @@ fn generators_are_seed_stable() {
     let q = |seed| {
         sparse_qr(
             matrix("e18").unwrap(),
-            SparseQrConfig { seed, ..SparseQrConfig::default() },
+            SparseQrConfig {
+                seed,
+                ..SparseQrConfig::default()
+            },
         )
         .graph
         .stats()

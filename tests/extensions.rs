@@ -46,7 +46,10 @@ fn energy_aware_variant_spends_less_energy() {
 fn energy_policy_denies_wasteful_cpu_steals() {
     // With a strict policy, the energy-aware scheduler holds CPUs back
     // from tasks the GPU does 20x faster.
-    let policy = EnergyPolicy { max_energy_ratio: 0.5, ..EnergyPolicy::default() };
+    let policy = EnergyPolicy {
+        max_energy_ratio: 0.5,
+        ..EnergyPolicy::default()
+    };
     let cfg = multiprio_suite::multiprio::MultiPrioConfig {
         energy: Some(policy),
         ..Default::default()
@@ -85,8 +88,16 @@ fn energy_policy_denies_wasteful_cpu_steals() {
 fn hierarchical_expansion_helps_multiprio_use_cpus() {
     let model = hierarchical_model();
     let platform = intel_v100_streams(2);
-    let coarse = hierarchical(HierConfig { expand_ratio: 0.0, outer: 7, ..Default::default() });
-    let mixed = hierarchical(HierConfig { expand_ratio: 0.6, outer: 7, ..Default::default() });
+    let coarse = hierarchical(HierConfig {
+        expand_ratio: 0.0,
+        outer: 7,
+        ..Default::default()
+    });
+    let mixed = hierarchical(HierConfig {
+        expand_ratio: 0.6,
+        outer: 7,
+        ..Default::default()
+    });
     let cpu = multiprio_suite::platform::types::ArchId(0);
     let idle = |w: &multiprio_suite::apps::hierarchical::HierWorkload| {
         let r = run_once(&w.graph, &platform, &model, "multiprio", 3);
@@ -101,7 +112,10 @@ fn hierarchical_expansion_helps_multiprio_use_cpus() {
 
 #[test]
 fn hierarchical_runs_under_all_paper_schedulers() {
-    let w = hierarchical(HierConfig { outer: 6, ..Default::default() });
+    let w = hierarchical(HierConfig {
+        outer: 6,
+        ..Default::default()
+    });
     let model = hierarchical_model();
     let platform = intel_v100_streams(2);
     for sched in ["multiprio", "dmdas", "heteroprio"] {

@@ -23,7 +23,11 @@ fn check_all_schedulers(name: &str, graph: &TaskGraph, model: &TableModel) {
     for sched in SCHEDULER_NAMES {
         let mut s = make_scheduler(sched);
         let r = simulate(graph, &platform, model, s.as_mut(), SimConfig::default());
-        assert_eq!(r.stats.tasks, graph.task_count(), "{name}/{sched}: all tasks ran");
+        assert_eq!(
+            r.stats.tasks,
+            graph.task_count(),
+            "{name}/{sched}: all tasks ran"
+        );
         assert!(r.trace.validate().is_ok(), "{name}/{sched}: trace is valid");
         assert!(
             r.makespan >= cp - 1e-6,
@@ -71,12 +75,19 @@ fn sparse_qr_all_schedulers() {
 
 #[test]
 fn hierarchical_all_schedulers() {
-    let w = hierarchical(HierConfig { outer: 5, ..Default::default() });
+    let w = hierarchical(HierConfig {
+        outer: 5,
+        ..Default::default()
+    });
     check_all_schedulers("hierarchical", &w.graph, &hierarchical_model());
 }
 
 #[test]
 fn random_all_schedulers() {
-    let g = random_dag(RandomDagConfig { layers: 6, width: 8, ..Default::default() });
+    let g = random_dag(RandomDagConfig {
+        layers: 6,
+        width: 8,
+        ..Default::default()
+    });
     check_all_schedulers("random", &g, &random_model());
 }

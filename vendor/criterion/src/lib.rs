@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the `benches/` directory uses — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `criterion_group!`/`criterion_main!` — backed by a simple
+//! mean/min-of-N timer instead of criterion's statistical machinery.
+//! Results print one line per benchmark:
+//!
+//! ```text
+//! bench group/name ... mean 12.345 µs, min 11.987 µs (10 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped (stub: ignored beyond API parity).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation, echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall-clock durations of the routine.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            times: Vec::new(),
+        }
+    }
+
+    /// Time `f` once per sample (after one untimed warm-up call).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh `setup` outputs; setup is untimed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.times.is_empty() {
+        println!("bench {name} ... no samples");
+        return;
+    }
+    let total: Duration = b.times.iter().sum();
+    let mean = total / b.times.len() as u32;
+    let min = *b.times.iter().min().unwrap();
+    let fmt = |d: Duration| {
+        let us = d.as_secs_f64() * 1e6;
+        if us >= 1e6 {
+            format!("{:.3} s", us / 1e6)
+        } else if us >= 1e3 {
+            format!("{:.3} ms", us / 1e3)
+        } else {
+            format!("{us:.3} µs")
+        }
+    };
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(", {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(", {:.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {name} ... mean {}, min {} ({} iters{tp})",
+        fmt(mean),
+        fmt(min),
+        b.times.len()
+    );
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Override the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b, self.throughput);
+        self
+    }
+
+    /// End the group (stub: nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness object.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default sample count for subsequent benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&name.to_string(), &b, None);
+        self
+    }
+}
+
+/// `criterion_group!` — both the plain and `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!` — run every group from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10)).sample_size(2);
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| 1u32, |x| x + 1, BatchSize::LargeInput)
+            });
+            g.finish();
+        }
+        // 1 warm-up + 2 samples.
+        assert_eq!(ran, 3);
+    }
+}

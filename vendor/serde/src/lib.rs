@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types as forward-looking annotations, but never serializes to a
+//! concrete format (no serde_json/bincode in the tree). This stub keeps
+//! those annotations compiling without network access: the traits are
+//! markers blanket-implemented for every type, and the derives expand to
+//! nothing. Swapping the real serde back in later is a Cargo.toml-only
+//! change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(serde::Serialize, serde::Deserialize)]`
+//! as forward-looking annotations — nothing serializes to a concrete
+//! format (there is no serde_json in the tree). The vendored `serde` stub
+//! blanket-implements its marker traits for every type, so these derives
+//! simply expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op derive: the `serde` stub's blanket impl already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive: the `serde` stub's blanket impl already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
