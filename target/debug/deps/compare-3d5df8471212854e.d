@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare-3d5df8471212854e.d: crates/bench/src/bin/compare.rs
+
+/root/repo/target/debug/deps/compare-3d5df8471212854e: crates/bench/src/bin/compare.rs
+
+crates/bench/src/bin/compare.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mp_bench-7685570b030b03b3.d: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/mp_bench-7685570b030b03b3: crates/bench/src/lib.rs crates/bench/src/figures/mod.rs crates/bench/src/figures/fig3.rs crates/bench/src/figures/fig4.rs crates/bench/src/figures/fig5.rs crates/bench/src/figures/fig6.rs crates/bench/src/figures/fig7.rs crates/bench/src/figures/fig8.rs crates/bench/src/figures/table2.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures/mod.rs:
+crates/bench/src/figures/fig3.rs:
+crates/bench/src/figures/fig4.rs:
+crates/bench/src/figures/fig5.rs:
+crates/bench/src/figures/fig6.rs:
+crates/bench/src/figures/fig7.rs:
+crates/bench/src/figures/fig8.rs:
+crates/bench/src/figures/table2.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

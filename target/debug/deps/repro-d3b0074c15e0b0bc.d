@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d3b0074c15e0b0bc.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d3b0074c15e0b0bc: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/getrf_large-4c5454f91aee3eba.d: crates/bench/examples/getrf_large.rs
+
+/root/repo/target/debug/examples/getrf_large-4c5454f91aee3eba: crates/bench/examples/getrf_large.rs
+
+crates/bench/examples/getrf_large.rs:
