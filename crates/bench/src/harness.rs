@@ -11,8 +11,9 @@ use mp_sim::{simulate, SimConfig, SimResult};
 use multiprio::{MultiPrioConfig, MultiPrioScheduler, SharedGainTracker};
 
 /// Every constructible scheduler name.
-pub const SCHEDULER_NAMES: [&str; 13] = [
+pub const SCHEDULER_NAMES: [&str; 14] = [
     "multiprio",
+    "multiprio-reference",
     "multiprio-noevict",
     "multiprio-nolocality",
     "multiprio-nocrit",
@@ -32,6 +33,7 @@ pub const SCHEDULER_NAMES: [&str; 13] = [
 pub fn make_scheduler(name: &str) -> Box<dyn Scheduler> {
     match name {
         "multiprio" => Box::new(MultiPrioScheduler::with_defaults()),
+        "multiprio-reference" => Box::new(multiprio::ReferenceScheduler::with_defaults()),
         "multiprio-noevict" => {
             Box::new(MultiPrioScheduler::new(MultiPrioConfig::without_eviction()))
         }

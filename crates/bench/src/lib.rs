@@ -18,6 +18,8 @@
 
 pub mod figures;
 pub mod harness;
+pub mod replay;
 pub mod report;
 
 pub use harness::{make_scheduler, make_scheduler_factory, run_noisy, run_once, SCHEDULER_NAMES};
+pub use replay::{replay, ReplayStats};

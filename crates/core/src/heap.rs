@@ -131,8 +131,16 @@ impl RemovableMaxHeap {
     /// modifying the heap. O(k log k).
     pub fn top_k(&self, k: usize) -> Vec<(TaskId, Score)> {
         let mut out = Vec::with_capacity(k.min(self.data.len()));
+        self.top_k_into(k, &mut out);
+        out
+    }
+
+    /// Like [`Self::top_k`], but writing into a caller-provided buffer so
+    /// analysis paths that call this per pop can reuse one allocation.
+    pub fn top_k_into(&self, k: usize, out: &mut Vec<(TaskId, Score)>) {
+        out.clear();
         if k == 0 || self.data.is_empty() {
-            return out;
+            return;
         }
         // Frontier of candidate slots ordered by entry priority.
         let mut frontier: Vec<usize> = vec![0];
@@ -157,7 +165,6 @@ impl RemovableMaxHeap {
                 }
             }
         }
-        out
     }
 
     /// Iterate over all entries in arbitrary (heap) order.
@@ -230,6 +237,349 @@ impl RemovableMaxHeap {
         for (i, e) in self.data.iter().enumerate() {
             assert_eq!(self.pos[&e.task], i, "stale index for {:?}", e.task);
         }
+    }
+}
+
+/// Map an `f64` to a `u64` whose unsigned order equals [`f64::total_cmp`]
+/// order (the classic sign-flip transform): positive floats get their sign
+/// bit set, negative floats are fully inverted. Bijective, so the original
+/// bits round-trip exactly through [`unkey_part`].
+#[inline]
+fn key_part(f: f64) -> u64 {
+    let b = f.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`key_part`]; bit-exact.
+#[inline]
+fn unkey_part(k: u64) -> f64 {
+    f64::from_bits(if k >> 63 == 1 { k ^ (1 << 63) } else { !k })
+}
+
+/// A heap entry of a [`ScoredHeap`], stamped with the generation of the
+/// owning slab slot at push time.
+///
+/// The score is stored pre-transformed ([`key_part`]) so the sift loops —
+/// the hottest comparisons in the scheduler — run on plain integer
+/// compares instead of two `total_cmp` chains per probe. The original
+/// `f64`s are recovered bit-exactly when entries leave the heap.
+#[derive(Clone, Copy, Debug)]
+struct GenEntry {
+    /// `key_part(score.gain)`: primary sort key.
+    kg: u64,
+    /// `key_part(score.prio)`: secondary sort key.
+    kp: u64,
+    task: TaskId,
+    gen: u32,
+}
+
+impl GenEntry {
+    #[inline]
+    fn new(task: TaskId, gen: u32, score: Score) -> Self {
+        Self {
+            kg: key_part(score.gain),
+            kp: key_part(score.prio),
+            task,
+            gen,
+        }
+    }
+
+    #[inline]
+    fn score(&self) -> Score {
+        Score {
+            gain: unkey_part(self.kg),
+            prio: unkey_part(self.kp),
+        }
+    }
+
+    /// Heap order: (gain, prio) descending — identical to
+    /// [`Score::cmp_total`] by construction of [`key_part`] — with the
+    /// lower task id as the final deterministic tie-break.
+    #[inline]
+    fn beats(&self, other: &GenEntry) -> bool {
+        let a = ((self.kg as u128) << 64) | self.kp as u128;
+        let b = ((other.kg as u128) << 64) | other.kp as u128;
+        a > b || (a == b && self.task < other.task)
+    }
+}
+
+/// Max-heap over `(Score, TaskId, generation)` with **lazy deletion**: the
+/// owner never removes an entry directly. Instead it flips its own
+/// liveness state (a slab slot's generation / node mask) and calls
+/// [`Self::note_stale`] — O(1). Dead entries stay in the array as inert
+/// pass-throughs until a compaction sweep reclaims them, which
+/// [`Self::top_k_live_into`] triggers once more than half the entries are
+/// stale (amortized O(1) per stale entry, as each entry is compacted away
+/// at most once).
+///
+/// Liveness is decided by the caller-supplied `is_live(task, gen)`
+/// predicate; the heap itself holds no task table, so duplicate scrubbing
+/// across per-mem-node heaps costs one counter increment per heap instead
+/// of a keyed removal. Because the entry order ([`GenEntry::beats`]) is
+/// total, the top-k of the *live* subset is independent of where stale
+/// entries physically sit — lazily-deleted schedulers produce bit-identical
+/// pop sequences to eagerly-deleting ones (asserted by the property tests
+/// in `tests/prop_invariants.rs`).
+#[derive(Clone, Debug, Default)]
+pub struct ScoredHeap {
+    /// Bulk storage: a binary max-heap. Every entry here is beaten by
+    /// every entry in `cache` (checked by `check_invariants`), so the
+    /// global maximum is `cache[0]` whenever the cache is non-empty.
+    data: Vec<GenEntry>,
+    /// The top of the order, kept sorted descending by [`GenEntry::beats`].
+    /// Selection windows are served by *reading* this prefix — no heap
+    /// pops, no push-backs. Bounded to [`CACHE_MAX`] entries at push time;
+    /// refilled from `data` when a read exhausts it.
+    cache: Vec<GenEntry>,
+    /// Entries anywhere in this structure whose owner has marked them
+    /// dead (via [`Self::note_stale`]) and that have not yet been
+    /// physically dropped.
+    stale: usize,
+}
+
+/// Push-time bound on the sorted cache. Must comfortably exceed the
+/// largest selection window (`locality_window + max_tries`), otherwise
+/// every select pays a refill; beyond that, bigger only means longer
+/// memmoves on insert.
+const CACHE_MAX: usize = 24;
+
+impl ScoredHeap {
+    /// New empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Physical entries, live and stale alike.
+    pub fn len(&self) -> usize {
+        self.data.len() + self.cache.len()
+    }
+
+    /// No physical entries at all?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty() && self.cache.is_empty()
+    }
+
+    /// Entries the owner has lazily deleted but not yet compacted away.
+    pub fn stale_len(&self) -> usize {
+        self.stale
+    }
+
+    /// Insert an entry stamped with the slot's current generation.
+    /// Duplicates of *stale* generations may coexist; the owner guarantees
+    /// at most one live entry per task.
+    pub fn push(&mut self, t: TaskId, gen: u32, score: Score) {
+        let e = GenEntry::new(t, gen, score);
+        // Entries beating the cache minimum belong in the cache (sorted
+        // insert; the order is total, so the slot is unique). Everything
+        // else sinks into the bulk heap with one comparison spent.
+        let into_cache = match self.cache.last() {
+            Some(min) => e.beats(min),
+            None => self.data.is_empty(),
+        };
+        if into_cache {
+            let at = self.cache.partition_point(|c| c.beats(&e));
+            self.cache.insert(at, e);
+            if self.cache.len() > CACHE_MAX {
+                let spilled = self.cache.pop().expect("cache over bound");
+                self.push_bulk(spilled);
+            }
+        } else {
+            self.push_bulk(e);
+        }
+    }
+
+    /// Heap-insert into the bulk array (classic sift-up).
+    fn push_bulk(&mut self, e: GenEntry) {
+        let mut i = self.data.len();
+        self.data.push(e);
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i].beats(&self.data[parent]) {
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Record that `n` entries somewhere in this heap just went stale
+    /// (their slab slot was retired or lost this node's bit). O(1).
+    #[inline]
+    pub fn note_stale(&mut self, n: usize) {
+        self.stale += n;
+        debug_assert!(self.stale <= self.data.len() + self.cache.len());
+    }
+
+    /// The `k` best **live** entries in descending order, written into
+    /// `out`. Equivalent to [`Self::top_band_into`] with an infinite
+    /// band: see there for the mechanics.
+    pub fn top_k_live_into(
+        &mut self,
+        k: usize,
+        out: &mut Vec<(TaskId, Score)>,
+        is_live: impl FnMut(TaskId, u32) -> bool,
+    ) {
+        self.top_band_into(k, f64::INFINITY, out, is_live)
+    }
+
+    /// The best live entries in descending order, truncated at `k` *or*
+    /// at the first entry whose gain trails the best live gain by more
+    /// than `eps` — callers running a locality competition inside an
+    /// ε-band (paper Sec. III-B) never look past that point, so the heap
+    /// does not pay to produce it.
+    ///
+    /// Served by *reading* the sorted cache prefix: no heap pops and no
+    /// push-backs in the steady state. Dead entries encountered in the
+    /// cache are dropped for good (a memmove over at most [`CACHE_MAX`]
+    /// slots); when the cache runs out before `k`, it is refilled by
+    /// popping the bulk heap's root — each refill pop is paid for by a
+    /// preceding take or eviction, so the amortized heap traffic is one
+    /// O(log n) pop per deletion, and each dead entry surfacing at the
+    /// bulk root is likewise dropped at most once over its lifetime. When
+    /// more than half the bulk heap is stale, a compaction sweep first
+    /// drops every dead entry and re-heapifies in O(n), bounding the
+    /// memory held by dead entries buried deep in the array.
+    pub fn top_band_into(
+        &mut self,
+        k: usize,
+        eps: f64,
+        out: &mut Vec<(TaskId, Score)>,
+        mut is_live: impl FnMut(TaskId, u32) -> bool,
+    ) {
+        out.clear();
+        if self.stale * 2 > self.data.len() + self.cache.len() {
+            self.compact(&mut is_live);
+        }
+        let mut top_gain = f64::NEG_INFINITY;
+        let mut i = 0;
+        while out.len() < k {
+            if i == self.cache.len() && !self.refill(&mut is_live) {
+                break;
+            }
+            let e = self.cache[i];
+            if !is_live(e.task, e.gen) {
+                self.cache.remove(i);
+                self.stale = self.stale.saturating_sub(1);
+                continue;
+            }
+            let sc = e.score();
+            // Entries are visited best-first: once one falls out of the
+            // band, everything after it is out too.
+            if out.is_empty() {
+                top_gain = sc.gain;
+            } else if top_gain - sc.gain > eps {
+                break;
+            }
+            out.push((e.task, sc));
+            i += 1;
+        }
+    }
+
+    /// Move the best live bulk entry to the end of the cache. Dead
+    /// entries surfacing at the bulk root are dropped permanently.
+    /// Returns false when the bulk heap has no live entries left.
+    fn refill(&mut self, is_live: &mut impl FnMut(TaskId, u32) -> bool) -> bool {
+        while let Some(e) = self.pop_root() {
+            if is_live(e.task, e.gen) {
+                // The bulk maximum is beaten by every cache entry, so it
+                // belongs exactly at the cache's tail.
+                self.cache.push(e);
+                return true;
+            }
+            self.stale = self.stale.saturating_sub(1);
+        }
+        false
+    }
+
+    /// Remove and return the best physical entry (live or stale).
+    fn pop_root(&mut self) -> Option<GenEntry> {
+        let last = self.data.len().checked_sub(1)?;
+        self.data.swap(0, last);
+        let e = self.data.pop();
+        // Sift the displaced entry back down.
+        let mut p = 0;
+        loop {
+            let (l, r) = (2 * p + 1, 2 * p + 2);
+            let mut best = p;
+            if l < self.data.len() && self.data[l].beats(&self.data[best]) {
+                best = l;
+            }
+            if r < self.data.len() && self.data[r].beats(&self.data[best]) {
+                best = r;
+            }
+            if best == p {
+                break;
+            }
+            self.data.swap(p, best);
+            p = best;
+        }
+        e
+    }
+
+    /// Drop every stale entry — from the cache (order-preserving) and the
+    /// bulk heap (retain + Floyd heapify, O(n)).
+    fn compact(&mut self, is_live: &mut impl FnMut(TaskId, u32) -> bool) {
+        self.cache.retain(|e| is_live(e.task, e.gen));
+        self.data.retain(|e| is_live(e.task, e.gen));
+        self.stale = 0;
+        for i in (0..self.data.len() / 2).rev() {
+            let mut p = i;
+            loop {
+                let (l, r) = (2 * p + 1, 2 * p + 2);
+                let mut best = p;
+                if l < self.data.len() && self.data[l].beats(&self.data[best]) {
+                    best = l;
+                }
+                if r < self.data.len() && self.data[r].beats(&self.data[best]) {
+                    best = r;
+                }
+                if best == p {
+                    break;
+                }
+                self.data.swap(p, best);
+                p = best;
+            }
+        }
+    }
+
+    /// Iterate over all physical entries (live and stale), cache first,
+    /// then bulk in heap order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, Score)> + '_ {
+        self.cache
+            .iter()
+            .chain(self.data.iter())
+            .map(|e| (e.task, e.score()))
+    }
+
+    /// Debug validation: bulk heap property, cache sort order, the
+    /// cache-beats-bulk boundary, and a consistent stale count.
+    #[cfg(any(test, feature = "strict"))]
+    pub fn check_invariants(&self, mut is_live: impl FnMut(TaskId, u32) -> bool) {
+        for i in 1..self.data.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                !self.data[i].beats(&self.data[parent]),
+                "heap property violated at slot {i}"
+            );
+        }
+        for w in self.cache.windows(2) {
+            assert!(w[0].beats(&w[1]), "cache not strictly descending");
+        }
+        if let (Some(min), Some(root)) = (self.cache.last(), self.data.first()) {
+            assert!(min.beats(root), "bulk entry outranks the cache");
+        }
+        let dead = self
+            .cache
+            .iter()
+            .chain(self.data.iter())
+            .filter(|e| !is_live(e.task, e.gen))
+            .count();
+        assert_eq!(self.stale, dead, "stale counter out of sync");
     }
 }
 
@@ -384,6 +734,165 @@ mod proptests {
             expect.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
             let expect: Vec<TaskId> =
                 expect.into_iter().take(k).map(|(_, i)| TaskId(i)).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod scored_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn s(g: f64) -> Score {
+        Score::new(g, 0.0)
+    }
+
+    /// Oracle: current generation per task; an entry is live iff its gen
+    /// matches and the task is marked present.
+    #[derive(Default)]
+    struct Slab {
+        gen: HashMap<TaskId, (u32, bool)>,
+    }
+
+    impl Slab {
+        fn push(&mut self, t: TaskId) -> u32 {
+            let e = self.gen.entry(t).or_insert((0, false));
+            e.1 = true;
+            e.0
+        }
+        fn kill(&mut self, t: TaskId) {
+            let e = self.gen.get_mut(&t).expect("known task");
+            e.1 = false;
+            e.0 += 1;
+        }
+        fn probe(&self) -> impl Fn(TaskId, u32) -> bool + '_ {
+            move |t, g| {
+                self.gen
+                    .get(&t)
+                    .is_some_and(|&(cur, live)| live && cur == g)
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_skips_stale_entries() {
+        let mut h = ScoredHeap::new();
+        let mut slab = Slab::default();
+        for i in 0..10 {
+            let g = slab.push(TaskId(i));
+            h.push(TaskId(i), g, s(f64::from(i) / 10.0));
+        }
+        // Kill the two best.
+        slab.kill(TaskId(9));
+        slab.kill(TaskId(8));
+        h.note_stale(2);
+        let mut out = Vec::new();
+        h.top_k_live_into(3, &mut out, slab.probe());
+        let ids: Vec<u32> = out.iter().map(|&(t, _)| t.0).collect();
+        assert_eq!(ids, vec![7, 6, 5]);
+    }
+
+    #[test]
+    fn repush_does_not_resurrect_old_generation() {
+        let mut h = ScoredHeap::new();
+        let mut slab = Slab::default();
+        let t = TaskId(3);
+        let g0 = slab.push(t);
+        h.push(t, g0, s(0.9)); // old life: high score
+        slab.kill(t);
+        h.note_stale(1);
+        let g1 = slab.push(t);
+        assert_ne!(g0, g1);
+        h.push(t, g1, s(0.2)); // new life: low score
+        let mut out = Vec::new();
+        h.top_k_live_into(4, &mut out, slab.probe());
+        assert_eq!(out.len(), 1, "exactly one live entry");
+        assert_eq!(out[0].0, t);
+        assert!(
+            (out[0].1.gain - 0.2).abs() < 1e-12,
+            "new score, not the dead 0.9"
+        );
+    }
+
+    #[test]
+    fn compaction_reclaims_majority_stale() {
+        let mut h = ScoredHeap::new();
+        let mut slab = Slab::default();
+        for i in 0..20 {
+            let g = slab.push(TaskId(i));
+            h.push(TaskId(i), g, s(f64::from(i) / 20.0));
+        }
+        for i in 0..15 {
+            slab.kill(TaskId(i));
+            h.note_stale(1);
+        }
+        assert_eq!(h.len(), 20);
+        let mut out = Vec::new();
+        h.top_k_live_into(20, &mut out, slab.probe());
+        assert_eq!(h.len(), 5, "compaction dropped the 15 dead entries");
+        assert_eq!(h.stale_len(), 0);
+        h.check_invariants(slab.probe());
+        let ids: Vec<u32> = out.iter().map(|&(t, _)| t.0).collect();
+        assert_eq!(ids, vec![19, 18, 17, 16, 15]);
+    }
+
+    #[test]
+    fn top_k_into_reuses_buffer() {
+        let mut h = RemovableMaxHeap::new();
+        for i in 0..50 {
+            h.push(TaskId(i), Score::new(f64::from(i) / 50.0, 0.0));
+        }
+        let mut buf = Vec::with_capacity(8);
+        h.top_k_into(5, &mut buf);
+        let cap = buf.capacity();
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf[0].0, TaskId(49));
+        h.top_k_into(3, &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.capacity(), cap, "buffer reused, not reallocated");
+    }
+}
+
+#[cfg(test)]
+mod scored_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Under arbitrary interleavings of push / lazy-kill, the live
+        /// top-k of a ScoredHeap matches a sorted filter of the oracle.
+        #[test]
+        fn prop_lazy_top_k(ops in proptest::collection::vec((0u8..2, 0u32..32, 0.0f64..1.0), 1..300), k in 1usize..12) {
+            let mut h = ScoredHeap::new();
+            // task -> (gen, live, score-at-current-gen)
+            let mut oracle: std::collections::HashMap<u32, (u32, bool, f64)> = Default::default();
+            for (op, id, g) in ops {
+                let e = oracle.entry(id).or_insert((0, false, 0.0));
+                if op == 0 {
+                    if !e.1 {
+                        e.1 = true;
+                        e.2 = g;
+                        h.push(TaskId(id), e.0, Score::new(g, 0.0));
+                    }
+                } else if e.1 {
+                    e.1 = false;
+                    e.0 += 1;
+                    h.note_stale(1);
+                }
+            }
+            let mut got = Vec::new();
+            h.top_k_live_into(k, &mut got, |t, gen| {
+                oracle.get(&t.0).is_some_and(|&(cur, live, _)| live && cur == gen)
+            });
+            let mut expect: Vec<(f64, u32)> = oracle
+                .iter()
+                .filter(|(_, &(_, live, _))| live)
+                .map(|(&id, &(_, _, sc))| (sc, id))
+                .collect();
+            expect.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+            let expect: Vec<u32> = expect.into_iter().take(k).map(|(_, i)| i).collect();
+            let got: Vec<u32> = got.iter().map(|&(t, _)| t.0).collect();
             prop_assert_eq!(got, expect);
         }
     }

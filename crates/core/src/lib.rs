@@ -38,13 +38,15 @@ pub mod criticality;
 pub mod energy;
 pub mod heap;
 pub mod locality;
+pub mod reference;
 pub mod scheduler;
 pub mod score;
 
 pub use config::MultiPrioConfig;
 pub use criticality::nod;
 pub use energy::EnergyPolicy;
-pub use heap::{RemovableMaxHeap, Score};
+pub use heap::{RemovableMaxHeap, Score, ScoredHeap};
 pub use locality::ls_sdh2;
+pub use reference::ReferenceScheduler;
 pub use scheduler::MultiPrioScheduler;
 pub use score::{GainTracker, SharedGainTracker};

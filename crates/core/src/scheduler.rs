@@ -2,7 +2,7 @@
 //!
 //! State held per memory node `m`:
 //!
-//! * a [`RemovableMaxHeap`] of ready tasks executable by `P_m`, keyed by
+//! * a [`ScoredHeap`] of ready tasks executable by `P_m`, keyed by
 //!   (gain, criticality);
 //! * `ready_tasks_count[m]` — live entries in that heap;
 //! * `best_remaining_work[m]` — the accumulated best-arch execution time
@@ -15,6 +15,27 @@
 //! heaps"). When a worker takes a task, duplicates in other heaps become
 //! stale and are scrubbed lazily when encountered, as described in
 //! Sec. IV-B.
+//!
+//! ### Hot-path data layout (DESIGN.md §6b)
+//!
+//! Tasks are dense integer ids, so all per-task state lives in a
+//! `Vec<TaskSlot>` **slab** indexed by `TaskId` — no hashing on the
+//! push/pop path. Heap membership and `best_remaining_work` credits are
+//! u64 bitmasks over memory nodes (the platform is asserted to have ≤ 64
+//! memory nodes — single heterogeneous nodes in the paper have ≤ 10).
+//! Taking or evicting a task never touches the other heaps: the slot's
+//! generation/mask changes and each affected heap gets an O(1)
+//! `note_stale`; the stale entries are skipped by the top-k walk and
+//! reclaimed by amortized compaction (see [`ScoredHeap`]). Because the
+//! heap entry order is total, this lazy scheme pops the exact same task
+//! sequence as the eager [`crate::ReferenceScheduler`] — asserted
+//! bit-for-bit by `tests/prop_invariants.rs`.
+//!
+//! The per-push score computation is cached in a small
+//! (task type, footprint, flops)-keyed table of *push plans*, invalidated
+//! by the gain tracker's dirty epoch (a new running-max `hd(a)`) and the
+//! performance model's version (history feedback); regular workloads with
+//! a handful of kernel types hit this cache on nearly every push.
 //!
 //! ### Interpretation choices (documented in DESIGN.md)
 //!
@@ -37,15 +58,16 @@
 //!   never execute. The paper leaves this case implicit.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
-use mp_dag::ids::TaskId;
+use mp_dag::ids::{TaskId, TaskTypeId};
 use mp_platform::types::{ArchId, MemNodeId, WorkerId};
 use mp_sched::api::{SchedView, Scheduler};
 
 use crate::config::MultiPrioConfig;
 use crate::criticality::{nod, NodNormalizer};
-use crate::heap::{RemovableMaxHeap, Score};
+use crate::heap::{Score, ScoredHeap};
 use crate::locality::ls_sdh2;
 use crate::score::{GainTracker, SharedGainTracker};
 
@@ -72,36 +94,155 @@ impl GainSource {
             GainSource::Shared(t) => t.gain(archs, a),
         }
     }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            GainSource::Local(t) => t.epoch(),
+            GainSource::Shared(t) => t.epoch(),
+        }
+    }
 }
 
-/// Per-enqueued-task bookkeeping.
-#[derive(Clone, Debug)]
-struct TaskInfo {
-    /// Memory nodes whose heap currently holds a live entry for the task.
-    nodes: Vec<MemNodeId>,
+/// Slab slot: all per-task state, indexed by the dense `TaskId`.
+#[derive(Clone, Copy, Debug)]
+struct TaskSlot {
+    /// Current generation; bumped when the task is taken so heap entries
+    /// of a previous life can never resurrect (regression-tested).
+    gen: u32,
+    /// Pushed and not yet taken?
+    live: bool,
+    /// Memory nodes whose heap holds a live entry (bit = node index).
+    node_mask: u64,
+    /// Nodes whose `best_remaining_work` was credited at PUSH.
+    brw_mask: u64,
     /// The task's fastest architecture.
     best_arch: ArchId,
     /// δ on the fastest architecture.
     delta_best: f64,
-    /// Nodes whose `best_remaining_work` was credited at PUSH.
-    brw_nodes: Vec<MemNodeId>,
+    /// Index into the plan arena of the plan this task was pushed with —
+    /// gives the pop condition its per-arch δ without hashing.
+    plan: u32,
+}
+
+impl Default for TaskSlot {
+    fn default() -> Self {
+        Self {
+            gen: 0,
+            live: false,
+            node_mask: 0,
+            brw_mask: 0,
+            best_arch: ArchId(0),
+            delta_best: 0.0,
+            plan: 0,
+        }
+    }
+}
+
+/// FxHash-style mix for the plan-cache map: the default SipHash costs
+/// more than the rest of a cache-hit push combined, and `PlanKey` is
+/// trusted internal data (no HashDoS surface).
+#[derive(Default)]
+struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// Key of a cached push plan. Estimates and gains depend on the task only
+/// through its kernel type, byte footprint and flop count (the fields of
+/// `EstimateQuery` that models read), so tasks agreeing on these three
+/// share one plan.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct PlanKey {
+    ttype: TaskTypeId,
+    footprint: u64,
+    flops_bits: u64,
+}
+
+/// The cached outcome of Algorithm 1's score computation for one
+/// [`PlanKey`]: which heaps receive the task, with which gain, and the
+/// best-arch bookkeeping. Valid while both stamps match.
+#[derive(Clone, Debug)]
+struct PushPlan {
+    /// Gain-tracker epoch the plan was computed at.
+    epoch: u64,
+    /// Performance-model version the plan was computed at.
+    model_version: u64,
+    best_arch: ArchId,
+    delta_best: f64,
+    node_mask: u64,
+    brw_mask: u64,
+    /// Gain score per memory-node index (meaningful where `node_mask` is
+    /// set).
+    node_gain: Vec<f64>,
+    /// δ per architecture index; NaN where the task has no
+    /// implementation. Lets the pop condition skip the performance-model
+    /// query (and its kernel-name hashing) entirely while the model
+    /// version is unchanged.
+    delta_by_arch: Vec<f64>,
 }
 
 /// The MultiPrio scheduler (see crate docs).
 #[derive(Debug)]
 pub struct MultiPrioScheduler {
     cfg: MultiPrioConfig,
-    heaps: Vec<RemovableMaxHeap>,
+    heaps: Vec<ScoredHeap>,
     ready_count: Vec<usize>,
     best_remaining_work: Vec<f64>,
     gain: GainSource,
     nod_norm: NodNormalizer,
+    /// Per-task slab, indexed by `TaskId`.
+    slab: Vec<TaskSlot>,
     /// Live (pushed, not yet taken) tasks.
-    info: HashMap<TaskId, TaskInfo>,
+    pending: usize,
+    /// Push-plan arena; slots refer into it by index. Plans are refreshed
+    /// in place when stale, never removed, so indices stay valid.
+    plan_arena: Vec<PushPlan>,
+    /// Key → arena index of the push-plan cache (see [`PushPlan`]).
+    plans: HashMap<PlanKey, u32, BuildHasherDefault<FxHasher64>>,
     /// Diagnostics: evictions performed (for the Fig. 4 analysis).
     evictions: u64,
     /// Diagnostics: pops rejected by the pop condition.
     holds: u64,
+    // Scratch buffers, reused across calls so the steady-state push/pop
+    // paths never allocate (verified by tests/alloc_free.rs).
+    window: Vec<(TaskId, Score)>,
+    skip: Vec<TaskId>,
+    archs: Vec<(ArchId, f64)>,
 }
 
 impl MultiPrioScheduler {
@@ -115,9 +256,15 @@ impl MultiPrioScheduler {
             best_remaining_work: Vec::new(),
             gain: GainSource::Local(GainTracker::new()),
             nod_norm: NodNormalizer::new(),
-            info: HashMap::new(),
+            slab: Vec::new(),
+            pending: 0,
+            plan_arena: Vec::new(),
+            plans: HashMap::default(),
             evictions: 0,
             holds: 0,
+            window: Vec::new(),
+            skip: Vec::new(),
+            archs: Vec::new(),
         }
     }
 
@@ -159,107 +306,142 @@ impl MultiPrioScheduler {
     }
 
     fn ensure(&mut self, mem_nodes: usize) {
+        assert!(
+            mem_nodes <= 64,
+            "node-membership bitmasks support at most 64 memory nodes"
+        );
         if self.heaps.len() < mem_nodes {
-            self.heaps.resize_with(mem_nodes, RemovableMaxHeap::new);
+            self.heaps.resize_with(mem_nodes, ScoredHeap::new);
             self.ready_count.resize(mem_nodes, 0);
             self.best_remaining_work.resize(mem_nodes, 0.0);
         }
     }
 
-    /// Is the task still live (pushed and not taken)?
-    fn is_live(&self, t: TaskId) -> bool {
-        self.info.contains_key(&t)
+    fn slot(&self, t: TaskId) -> &TaskSlot {
+        &self.slab[t.index()]
     }
 
-    /// Remove one heap entry, maintaining counters and the task's node
-    /// list. Returns true if an entry was actually removed.
-    fn remove_entry(&mut self, t: TaskId, m: MemNodeId) -> bool {
-        if self.heaps[m.index()].remove(t).is_some() {
-            self.ready_count[m.index()] -= 1;
-            if let Some(info) = self.info.get_mut(&t) {
-                info.nodes.retain(|&n| n != m);
-            }
-            true
-        } else {
-            false
-        }
+    /// Lazily delete `t`'s entry from heap `m` (the eviction mechanism):
+    /// clear the membership bit and note one stale entry — O(1).
+    fn evict_entry(&mut self, t: TaskId, m: MemNodeId) {
+        let slot = &mut self.slab[t.index()];
+        let bit = 1u64 << m.index();
+        debug_assert!(slot.node_mask & bit != 0, "evicting a non-member");
+        slot.node_mask &= !bit;
+        self.ready_count[m.index()] -= 1;
+        self.heaps[m.index()].note_stale(1);
     }
 
     /// `get_most_local_prio_task`: the most data-local live task among the
-    /// top-`n` entries of `m`'s heap whose gain is within ε of the best,
-    /// ignoring `skip`. Stale entries (already executed elsewhere) are
-    /// scrubbed on the way.
+    /// top-`n` live entries of `m`'s heap whose gain is within ε of the
+    /// best, ignoring `skip`. Stale entries are skipped by the heap walk
+    /// itself (and compacted away once they are the majority).
     fn select_candidate(
         &mut self,
         m: MemNodeId,
         view: &SchedView<'_>,
         skip: &[TaskId],
     ) -> Option<TaskId> {
-        loop {
-            let window = self.heaps[m.index()].top_k(self.cfg.locality_window + skip.len());
-            if window.is_empty() {
-                return None;
+        // With nothing to skip, the heap can truncate the window at the
+        // ε-band edge itself (the competition below never looks past it).
+        // With a non-empty skip list the band's reference entry is the
+        // first *non-skipped* one, which only the loop below can find, so
+        // the heap must produce the full window.
+        let (k, eps) = if skip.is_empty() {
+            if self.cfg.use_locality {
+                (self.cfg.locality_window, self.cfg.epsilon)
+            } else {
+                (1, f64::INFINITY)
             }
-            // Scrub stale duplicates found in the window, then retry.
-            let stale: Vec<TaskId> = window
-                .iter()
-                .map(|&(t, _)| t)
-                .filter(|&t| !self.is_live(t))
-                .collect();
-            if !stale.is_empty() {
-                for t in stale {
-                    self.remove_entry(t, m);
-                }
+        } else {
+            (self.cfg.locality_window + skip.len(), f64::INFINITY)
+        };
+        let bit = 1u64 << m.index();
+        {
+            let Self {
+                heaps,
+                slab,
+                window,
+                ..
+            } = self;
+            heaps[m.index()].top_band_into(k, eps, window, |t, gen| {
+                let s = &slab[t.index()];
+                s.live && s.gen == gen && s.node_mask & bit != 0
+            });
+        }
+        // Lone candidate: it wins any locality competition by default.
+        if skip.is_empty() && self.window.len() == 1 {
+            return Some(self.window[0].0);
+        }
+        // The window is the live top-k in descending order; the first
+        // non-skipped entry is the reference score for the ε-band.
+        let mut top: Option<Score> = None;
+        let mut best: Option<TaskId> = None;
+        let mut best_loc = f64::NEG_INFINITY;
+        for &(t, s) in &self.window {
+            if skip.contains(&t) {
                 continue;
             }
-            let live: Vec<(TaskId, Score)> = window
-                .into_iter()
-                .filter(|(t, _)| !skip.contains(t))
-                .collect();
-            let &(first, top) = live.first()?;
+            let top_s = *top.get_or_insert(s);
             if !self.cfg.use_locality {
-                return Some(first);
+                return Some(t);
+            }
+            if top_s.gain - s.gain > self.cfg.epsilon {
+                break; // window is sorted by score: all further are worse
             }
             // Locality competition among near-top entries (Sec. V-C).
-            let mut best = first;
-            let mut best_loc = f64::NEG_INFINITY;
-            for &(t, s) in &live {
-                if top.gain - s.gain > self.cfg.epsilon {
-                    break; // window is sorted by score: all further are worse
-                }
-                let l = ls_sdh2(view.graph(), view.loc, t, m);
-                if l > best_loc {
-                    best_loc = l;
-                    best = t;
-                }
+            let l = ls_sdh2(view.graph(), view.loc, t, m);
+            if l > best_loc {
+                best_loc = l;
+                best = Some(t);
             }
-            return Some(best);
         }
+        best
     }
 
     /// The pop condition (Sec. V-D): the requesting arch is the task's
     /// best arch, or the best arch's backlog exceeds the local estimate.
     fn pop_condition(&self, t: TaskId, w_arch: ArchId, view: &SchedView<'_>) -> bool {
-        let info = &self.info[&t];
-        if info.best_arch == w_arch {
+        let slot = self.slot(t);
+        if slot.best_arch == w_arch {
             return true;
         }
-        let delta_here = match view.est.delta(t, w_arch) {
-            Some(d) => d,
-            None => return false,
+        // The push plan already holds δ for every arch; only fall back to
+        // a live model query if the model has learned since the push.
+        let plan = &self.plan_arena[slot.plan as usize];
+        let delta_here = if plan.model_version == view.est.model_version() {
+            let d = plan
+                .delta_by_arch
+                .get(w_arch.index())
+                .copied()
+                .unwrap_or(f64::NAN);
+            if d.is_nan() {
+                return false;
+            }
+            d
+        } else {
+            match view.est.delta(t, w_arch) {
+                Some(d) => d,
+                None => return false,
+            }
         };
-        let brw_best = info
-            .brw_nodes
-            .iter()
-            .map(|&m| {
-                let total = self.best_remaining_work[m.index()];
-                if self.cfg.brw_per_worker {
-                    total / view.platform().workers_on_node(m).len().max(1) as f64
-                } else {
-                    total
-                }
-            })
-            .fold(0.0f64, f64::max);
+        let mut brw_best = 0.0f64;
+        let mut bm = slot.brw_mask;
+        while bm != 0 {
+            let i = bm.trailing_zeros() as usize;
+            bm &= bm - 1;
+            let total = self.best_remaining_work[i];
+            let v = if self.cfg.brw_per_worker {
+                let nw = view
+                    .platform()
+                    .workers_on_node(MemNodeId::from_index(i))
+                    .len();
+                total / nw.max(1) as f64
+            } else {
+                total
+            };
+            brw_best = brw_best.max(v);
+        }
         // The best workers have enough queued work that letting this
         // slower worker proceed shortens the makespan.
         if brw_best <= delta_here {
@@ -272,26 +454,115 @@ impl MultiPrioScheduler {
                 view.platform(),
                 w_arch,
                 delta_here,
-                info.best_arch,
-                info.delta_best,
+                slot.best_arch,
+                slot.delta_best,
             );
         }
         true
     }
 
-    /// Take a task for execution: drop every live entry and settle the
+    /// Take a task for execution: retire the slab slot (every heap entry
+    /// of this generation goes stale in place) and settle the
     /// `best_remaining_work` credit (exactly what PUSH added).
     fn take(&mut self, t: TaskId) {
-        let info = self.info.remove(&t).expect("taking a live task");
-        for m in info.nodes {
-            if self.heaps[m.index()].remove(t).is_some() {
-                self.ready_count[m.index()] -= 1;
+        let slot = &mut self.slab[t.index()];
+        debug_assert!(slot.live, "taking a live task");
+        slot.live = false;
+        slot.gen = slot.gen.wrapping_add(1);
+        let mut nm = slot.node_mask;
+        let mut bm = slot.brw_mask;
+        let delta_best = slot.delta_best;
+        slot.node_mask = 0;
+        slot.brw_mask = 0;
+        while nm != 0 {
+            let i = nm.trailing_zeros() as usize;
+            nm &= nm - 1;
+            self.ready_count[i] -= 1;
+            self.heaps[i].note_stale(1);
+        }
+        while bm != 0 {
+            let i = bm.trailing_zeros() as usize;
+            bm &= bm - 1;
+            let brw = &mut self.best_remaining_work[i];
+            *brw = (*brw - delta_best).max(0.0);
+        }
+        self.pending -= 1;
+    }
+
+    /// Fetch the cached push plan for `key` (by arena index), recomputing
+    /// it in place when the gain epoch or model version moved
+    /// (Algorithm 1's score computation).
+    fn plan_for(&mut self, t: TaskId, key: PlanKey, view: &SchedView<'_>) -> u32 {
+        let epoch = self.gain.epoch();
+        let model_version = view.est.model_version();
+        let cached = self.plans.get(&key).copied();
+        if let Some(idx) = cached {
+            let p = &self.plan_arena[idx as usize];
+            if p.epoch == epoch && p.model_version == model_version {
+                return idx;
             }
         }
-        for m in info.brw_nodes {
-            let slot = &mut self.best_remaining_work[m.index()];
-            *slot = (*slot - info.delta_best).max(0.0);
+        let platform = view.platform();
+        let mut archs = std::mem::take(&mut self.archs);
+        view.est.archs_by_delta_into(t, &mut archs);
+        assert!(
+            !archs.is_empty(),
+            "task {t:?} has no executable architecture on this platform"
+        );
+        // Observing identical estimates is idempotent on the running
+        // maxima, so skipping it on cache hits changes nothing.
+        self.gain.observe(&archs);
+        let (best_arch, delta_best) = archs[0];
+        let idx = match cached {
+            Some(i) => i,
+            None => {
+                let i = u32::try_from(self.plan_arena.len()).expect("plan arena overflow");
+                self.plan_arena.push(PushPlan {
+                    epoch: 0,
+                    model_version: 0,
+                    best_arch,
+                    delta_best,
+                    node_mask: 0,
+                    brw_mask: 0,
+                    node_gain: Vec::new(),
+                    delta_by_arch: Vec::new(),
+                });
+                self.plans.insert(key, i);
+                i
+            }
+        };
+        let plan = &mut self.plan_arena[idx as usize];
+        plan.node_gain.clear();
+        plan.node_gain.resize(platform.mem_node_count(), 0.0);
+        plan.delta_by_arch.clear();
+        plan.delta_by_arch.resize(platform.arch_count(), f64::NAN);
+        for &(a, d) in &archs {
+            plan.delta_by_arch[a.index()] = d;
         }
+        let mut node_mask = 0u64;
+        let mut brw_mask = 0u64;
+        for mem in platform.mem_nodes() {
+            let a = mem.arch;
+            // `can_exec(t, a) and get_worker_count(a) > 0`, per node.
+            if platform.workers_on_node(mem.id).is_empty() || !view.est.can_exec(t, a) {
+                continue;
+            }
+            let bit = 1u64 << mem.id.index();
+            node_mask |= bit;
+            plan.node_gain[mem.id.index()] = self.gain.gain(&archs, a);
+            if a == best_arch {
+                brw_mask |= bit;
+            }
+        }
+        assert!(node_mask != 0, "task {t:?} enqueued nowhere");
+        plan.epoch = self.gain.epoch();
+        plan.model_version = model_version;
+        plan.best_arch = best_arch;
+        plan.delta_best = delta_best;
+        plan.node_mask = node_mask;
+        plan.brw_mask = brw_mask;
+        self.archs = archs;
+        idx
     }
 }
 
@@ -304,47 +575,49 @@ impl Scheduler for MultiPrioScheduler {
     fn push(&mut self, t: TaskId, _releaser: Option<WorkerId>, view: &SchedView<'_>) {
         let platform = view.platform();
         self.ensure(platform.mem_node_count());
-        let archs = view.est.archs_by_delta(t);
-        assert!(
-            !archs.is_empty(),
-            "task {t:?} has no executable architecture on this platform"
-        );
-        self.gain.observe(&archs);
+        if self.slab.len() <= t.index() {
+            self.slab.resize(t.index() + 1, TaskSlot::default());
+        }
+        let task = view.graph().task(t);
+        let key = PlanKey {
+            ttype: task.ttype,
+            footprint: view.graph().footprint(t),
+            flops_bits: task.flops.to_bits(),
+        };
+        let plan_idx = self.plan_for(t, key, view);
         let raw_nod = if self.cfg.use_criticality {
             nod(view.graph(), t)
         } else {
             0.0
         };
         let prio = self.nod_norm.normalize(raw_nod);
-        let (best_arch, delta_best) = archs[0];
 
-        let mut nodes = Vec::new();
-        let mut brw_nodes = Vec::new();
-        for mem in platform.mem_nodes() {
-            let a = mem.arch;
-            // `can_exec(t, a) and get_worker_count(a) > 0`, per node.
-            if platform.workers_on_node(mem.id).is_empty() || !view.est.can_exec(t, a) {
-                continue;
-            }
-            let gain_score = self.gain.gain(&archs, a);
-            self.heaps[mem.id.index()].push(t, Score::new(gain_score, prio));
-            self.ready_count[mem.id.index()] += 1;
-            nodes.push(mem.id);
-            if a == best_arch {
-                self.best_remaining_work[mem.id.index()] += delta_best;
-                brw_nodes.push(mem.id);
-            }
+        let plan = &self.plan_arena[plan_idx as usize];
+        let (node_mask, brw_mask) = (plan.node_mask, plan.brw_mask);
+        let (best_arch, delta_best) = (plan.best_arch, plan.delta_best);
+        let slot = &mut self.slab[t.index()];
+        debug_assert!(!slot.live, "task {t:?} pushed while already live");
+        slot.live = true;
+        slot.node_mask = node_mask;
+        slot.brw_mask = brw_mask;
+        slot.best_arch = best_arch;
+        slot.delta_best = delta_best;
+        slot.plan = plan_idx;
+        let gen = slot.gen;
+        let mut nm = node_mask;
+        while nm != 0 {
+            let i = nm.trailing_zeros() as usize;
+            nm &= nm - 1;
+            self.heaps[i].push(t, gen, Score::new(plan.node_gain[i], prio));
+            self.ready_count[i] += 1;
         }
-        assert!(!nodes.is_empty(), "task {t:?} enqueued nowhere");
-        self.info.insert(
-            t,
-            TaskInfo {
-                nodes,
-                best_arch,
-                delta_best,
-                brw_nodes,
-            },
-        );
+        let mut bm = brw_mask;
+        while bm != 0 {
+            let i = bm.trailing_zeros() as usize;
+            bm &= bm - 1;
+            self.best_remaining_work[i] += delta_best;
+        }
+        self.pending += 1;
     }
 
     /// Algorithm 2.
@@ -353,29 +626,35 @@ impl Scheduler for MultiPrioScheduler {
         self.ensure(platform.mem_node_count());
         let worker = platform.worker(w);
         let (w_arch, w_m) = (worker.arch, worker.mem_node);
-        let mut skip: Vec<TaskId> = Vec::new();
+        let mut skip = std::mem::take(&mut self.skip);
+        skip.clear();
+        let mut found = None;
         for _ in 0..self.cfg.max_tries {
-            let t = self.select_candidate(w_m, view, &skip)?;
+            let Some(t) = self.select_candidate(w_m, view, &skip) else {
+                break;
+            };
             if !self.cfg.eviction || self.pop_condition(t, w_arch, view) {
                 self.take(t);
-                return Some(t);
+                found = Some(t);
+                break;
             }
             self.holds += 1;
             // Reject: evict from this queue so another node's worker picks
             // it up — unless this heap holds the last live entry.
-            let elsewhere = self.info[&t].nodes.iter().any(|&n| n != w_m);
-            if elsewhere {
-                self.remove_entry(t, w_m);
+            let bit = 1u64 << w_m.index();
+            if self.slot(t).node_mask & !bit != 0 {
+                self.evict_entry(t, w_m);
                 self.evictions += 1;
             } else {
                 skip.push(t);
             }
         }
-        None
+        self.skip = skip;
+        found
     }
 
     fn pending(&self) -> usize {
-        self.info.len()
+        self.pending
     }
 }
 
@@ -676,8 +955,8 @@ mod more_tests {
         }
     }
 
-    /// A stale duplicate buried mid-heap is scrubbed when the window
-    /// reaches it, not before — and never double-counts.
+    /// Taking a task leaves its duplicates physically in the other heaps
+    /// as stale entries; counters treat them as gone immediately.
     #[test]
     fn stale_duplicates_scrubbed_in_window() {
         let mut fx = Fixture::two_arch();
@@ -690,8 +969,8 @@ mod more_tests {
         for &t in &tasks {
             s.push(t, None, &view);
         }
-        // GPU drains everything; each take scrubs the CPU-heap duplicate
-        // on the spot, so counters stay consistent throughout.
+        // GPU drains everything; each take lazily invalidates the CPU-heap
+        // duplicate, so counters stay consistent throughout.
         for i in 0..5 {
             assert!(s.pop(g0, &view).is_some(), "pop {i}");
             assert_eq!(s.pending(), 4 - i);
@@ -756,5 +1035,31 @@ mod more_tests {
         // Backlog per GPU worker = 400 µs > δ_cpu = 100 µs, but energy:
         // 100 µs × 10 W = 1000 µJ > 1.5 × (10 µs × 12 W) = 180 µJ.
         assert_eq!(s.pop(c0, &view), None, "energy policy must deny the steal");
+    }
+
+    /// The push-plan cache returns bit-identical scores to an uncached
+    /// push stream: drain order is unchanged when types repeat.
+    #[test]
+    fn plan_cache_is_transparent() {
+        let mut fx = Fixture::two_arch();
+        let tasks: Vec<_> = (0..12)
+            .map(|i| fx.add_task(fx.both, 64, &format!("t{i}")))
+            .collect();
+        let view = fx.view();
+        let (_, _, g0) = fx.workers();
+        let mut cached = MultiPrioScheduler::with_defaults();
+        let mut reference = crate::reference::ReferenceScheduler::with_defaults();
+        for &t in &tasks {
+            cached.push(t, None, &view);
+            reference.push(t, None, &view);
+        }
+        loop {
+            let a = cached.pop(g0, &view);
+            let b = reference.pop(g0, &view);
+            assert_eq!(a, b, "cached plans must not change the schedule");
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

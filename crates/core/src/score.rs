@@ -60,6 +60,11 @@ fn hd_updates(archs: &[(ArchId, f64)]) -> impl Iterator<Item = (ArchId, f64)> + 
 pub struct GainTracker {
     /// `hd(a)`, indexed by arch.
     hd: Vec<f64>,
+    /// Bumped whenever an observation actually raises some `hd(a)` —
+    /// i.e. whenever previously computed gain values may have changed.
+    /// Consumers key caches on this so `observe` *invalidates* instead of
+    /// forcing recomputation on every push.
+    epoch: u64,
 }
 
 impl GainTracker {
@@ -88,10 +93,24 @@ impl GainTracker {
         if archs.len() < 2 {
             return;
         }
+        let mut changed = false;
         for (a, diff) in hd_updates(archs) {
             let h = self.hd_mut(a);
-            *h = h.max(diff);
+            if diff > *h {
+                *h = diff;
+                changed = true;
+            }
         }
+        if changed {
+            self.epoch += 1;
+        }
+    }
+
+    /// The dirty epoch: changes exactly when some `hd(a)` grows (see the
+    /// field doc). Equal epochs guarantee equal gain values for equal
+    /// inputs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Evaluate `gain(t, a)`. `archs` is the same fastest-first slice
@@ -119,6 +138,8 @@ impl GainTracker {
 #[derive(Debug, Default)]
 pub struct SharedGainTracker {
     hd: RwLock<Vec<AtomicU64>>,
+    /// See [`GainTracker::epoch`]; bumped after a winning `fetch_max`.
+    epoch: AtomicU64,
 }
 
 impl SharedGainTracker {
@@ -155,11 +176,24 @@ impl SharedGainTracker {
         let max_arch = archs.iter().map(|&(a, _)| a.index()).max().unwrap_or(0);
         self.ensure(max_arch + 1);
         let hd = self.hd.read().expect("gain table poisoned");
+        let mut changed = false;
         for (a, diff) in hd_updates(archs) {
             // Non-negative f64 bit patterns sort like the floats they
             // encode, so fetch_max implements the running maximum.
-            hd[a.index()].fetch_max(diff.to_bits(), Ordering::AcqRel);
+            let prev = hd[a.index()].fetch_max(diff.to_bits(), Ordering::AcqRel);
+            changed |= prev < diff.to_bits();
         }
+        if changed {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// The dirty epoch; same contract as [`GainTracker::epoch`]. A cache
+    /// keyed on it is conservative under concurrency: a racing observe may
+    /// bump the epoch after a reader sampled it, which only causes an
+    /// unnecessary recomputation, never a stale hit with a *newer* epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Evaluate `gain(t, a)`; same contract as [`GainTracker::gain`].

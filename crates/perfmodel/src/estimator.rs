@@ -108,19 +108,31 @@ impl<'a> Estimator<'a> {
     /// `get_worker_count(a) > 0` guard). Ties break on arch id for
     /// determinism.
     pub fn archs_by_delta(&self, t: TaskId) -> Vec<(ArchId, f64)> {
-        let mut v: Vec<(ArchId, f64)> = self
-            .platform
-            .archs()
-            .iter()
-            .filter(|arch| self.platform.has_workers(arch.id))
-            .filter_map(|arch| self.delta(t, arch.id).map(|d| (arch.id, d)))
-            .collect();
-        v.sort_by(|x, y| {
-            x.1.partial_cmp(&y.1)
-                .expect("finite deltas")
-                .then(x.0.cmp(&y.0))
-        });
+        let mut v = Vec::new();
+        self.archs_by_delta_into(t, &mut v);
         v
+    }
+
+    /// Like [`Self::archs_by_delta`], filling a caller-provided buffer so
+    /// per-push scheduler hot paths can reuse one allocation.
+    pub fn archs_by_delta_into(&self, t: TaskId, out: &mut Vec<(ArchId, f64)>) {
+        out.clear();
+        out.extend(
+            self.platform
+                .archs()
+                .iter()
+                .filter(|arch| self.platform.has_workers(arch.id))
+                .filter_map(|arch| self.delta(t, arch.id).map(|d| (arch.id, d))),
+        );
+        // Unstable sort never allocates; the comparator is total on finite
+        // deltas (arch-id tie-break), so the order is still deterministic.
+        out.sort_unstable_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+    }
+
+    /// The bound model's [`PerfModel::version`] — changes whenever
+    /// estimates may have changed (history feedback).
+    pub fn model_version(&self) -> u64 {
+        self.model.version()
     }
 
     /// The fastest arch for `t` (the paper's `normalized_speedup(t,a)==1`

@@ -4,6 +4,7 @@
 //! base model until enough samples exist.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use mp_platform::types::ArchClass;
@@ -35,14 +36,19 @@ impl Running {
     }
 }
 
-/// Key of one calibration bucket: kernel name, arch class, and the
-/// log2-bucketed task footprint (tasks of similar size share a bucket, as
-/// StarPU keys history entries by data footprint hash).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct BucketKey {
-    kernel: String,
-    class: ArchClass,
-    size_bucket: u32,
+/// One calibration bucket is keyed by (arch class, kernel name,
+/// log2-bucketed task footprint) — tasks of similar size share a bucket,
+/// as StarPU keys history entries by data footprint hash. The key is
+/// spread over three map levels (class array → name map → bucket map) so
+/// the read path can look the name up by `&str` without cloning it; only
+/// `record` (cold path) ever allocates a key.
+type Buckets = [HashMap<String, HashMap<u32, Running>>; 2];
+
+fn class_idx(class: ArchClass) -> usize {
+    match class {
+        ArchClass::Cpu => 0,
+        ArchClass::Gpu => 1,
+    }
 }
 
 fn size_bucket(footprint: u64, flops: f64) -> u32 {
@@ -58,7 +64,8 @@ fn size_bucket(footprint: u64, flops: f64) -> u32 {
 pub struct HistoryModel<B> {
     base: B,
     min_samples: u64,
-    buckets: RwLock<HashMap<BucketKey, Running>>,
+    buckets: RwLock<Buckets>,
+    version: AtomicU64,
 }
 
 impl<B: PerfModel> HistoryModel<B> {
@@ -68,25 +75,28 @@ impl<B: PerfModel> HistoryModel<B> {
         Self {
             base,
             min_samples,
-            buckets: RwLock::new(HashMap::new()),
+            buckets: RwLock::new(Buckets::default()),
+            version: AtomicU64::new(0),
         }
     }
 
     /// Number of calibration buckets currently populated.
     pub fn bucket_count(&self) -> usize {
-        self.buckets.read().expect("history lock poisoned").len()
+        let buckets = self.buckets.read().expect("history lock poisoned");
+        buckets
+            .iter()
+            .flat_map(|per_class| per_class.values())
+            .map(|per_name| per_name.len())
+            .sum()
     }
 
     /// The calibrated mean/σ for a query, if its bucket is warm.
     pub fn calibrated(&self, q: &EstimateQuery<'_>) -> Option<(f64, f64)> {
-        let key = BucketKey {
-            kernel: q.ttype.name.clone(),
-            class: q.arch.class,
-            size_bucket: size_bucket(q.footprint, q.task.flops),
-        };
+        let bucket = size_bucket(q.footprint, q.task.flops);
         let buckets = self.buckets.read().expect("history lock poisoned");
-        buckets
-            .get(&key)
+        buckets[class_idx(q.arch.class)]
+            .get(q.ttype.name.as_str())
+            .and_then(|per_name| per_name.get(&bucket))
             .filter(|r| r.n >= self.min_samples)
             .map(|r| (r.mean, r.variance().sqrt()))
     }
@@ -104,17 +114,23 @@ impl<B: PerfModel> PerfModel for HistoryModel<B> {
     }
 
     fn record(&self, q: &EstimateQuery<'_>, measured_us: f64) {
-        let key = BucketKey {
-            kernel: q.ttype.name.clone(),
-            class: q.arch.class,
-            size_bucket: size_bucket(q.footprint, q.task.flops),
-        };
-        self.buckets
-            .write()
-            .expect("history lock poisoned")
-            .entry(key)
-            .or_default()
-            .push(measured_us);
+        let bucket = size_bucket(q.footprint, q.task.flops);
+        let mut buckets = self.buckets.write().expect("history lock poisoned");
+        let per_name = &mut buckets[class_idx(q.arch.class)];
+        // `entry` needs an owned key; probe first so the steady state
+        // (name already present) stays allocation-free.
+        if !per_name.contains_key(q.ttype.name.as_str()) {
+            per_name.insert(q.ttype.name.clone(), HashMap::new());
+        }
+        let per_bucket = per_name
+            .get_mut(q.ttype.name.as_str())
+            .expect("present: probed or just inserted");
+        per_bucket.entry(bucket).or_default().push(measured_us);
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 }
 

@@ -41,6 +41,15 @@ pub trait PerfModel: Send + Sync {
     /// Record a measured execution (history-based models learn from this;
     /// the default ignores it).
     fn record(&self, _q: &EstimateQuery<'_>, _measured_us: f64) {}
+
+    /// A version counter that changes whenever the model's estimates may
+    /// have changed. Static models stay at 0 forever; mutable models
+    /// (e.g. [`crate::HistoryModel`]) bump it on every [`Self::record`].
+    /// Schedulers key estimate caches on this so a calibration update
+    /// invalidates them.
+    fn version(&self) -> u64 {
+        0
+    }
 }
 
 /// A trivial model for tests: every implemented kernel takes a constant

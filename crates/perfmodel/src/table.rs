@@ -47,14 +47,23 @@ impl TimeFn {
     }
 }
 
+/// Index of an arch class into the per-class kernel maps.
+fn class_idx(class: ArchClass) -> usize {
+    match class {
+        ArchClass::Cpu => 0,
+        ArchClass::Gpu => 1,
+    }
+}
+
 /// A static model: one [`TimeFn`] per (kernel name, arch class).
 ///
-/// Keyed by kernel *name* so one table can serve many graphs generated by
-/// the same application; lookups build a per-graph dense cache lazily in
-/// the [`crate::Estimator`], so this map is not on the hot path.
+/// Keyed by arch class first (a two-slot array), then by kernel *name*,
+/// so `estimate` can look up with a borrowed `&str` — the estimate path
+/// is hit on every scheduling decision and must not allocate (the old
+/// `(String, ArchClass)` key forced a name clone per query).
 #[derive(Clone, Debug, Default)]
 pub struct TableModel {
-    entries: HashMap<(String, ArchClass), TimeFn>,
+    entries: [HashMap<String, TimeFn>; 2],
 }
 
 impl TableModel {
@@ -65,7 +74,7 @@ impl TableModel {
 
     /// The raw entry for a kernel/class pair.
     pub fn entry(&self, kernel: &str, class: ArchClass) -> Option<TimeFn> {
-        self.entries.get(&(kernel.to_string(), class)).copied()
+        self.entries[class_idx(class)].get(kernel).copied()
     }
 }
 
@@ -74,8 +83,8 @@ impl PerfModel for TableModel {
         if !q.has_impl() {
             return None;
         }
-        self.entries
-            .get(&(q.ttype.name.clone(), q.arch.class))
+        self.entries[class_idx(q.arch.class)]
+            .get(q.ttype.name.as_str())
             .map(|f| f.eval(q.task.flops, q.footprint))
     }
 }
@@ -83,13 +92,13 @@ impl PerfModel for TableModel {
 /// Builder for [`TableModel`].
 #[derive(Clone, Debug, Default)]
 pub struct TableModelBuilder {
-    entries: HashMap<(String, ArchClass), TimeFn>,
+    entries: [HashMap<String, TimeFn>; 2],
 }
 
 impl TableModelBuilder {
     /// Set the time function of `kernel` on `class`.
     pub fn set(mut self, kernel: &str, class: ArchClass, f: TimeFn) -> Self {
-        self.entries.insert((kernel.to_string(), class), f);
+        self.entries[class_idx(class)].insert(kernel.to_string(), f);
         self
     }
 

@@ -165,8 +165,15 @@ pub trait Scheduler: Send {
     /// Drain prefetch requests accumulated since the last call (Dmda
     /// family issues them at push time; default: none).
     fn drain_prefetches(&mut self) -> Vec<PrefetchReq> {
-        Vec::new()
+        let mut out = Vec::new();
+        self.drain_prefetches_into(&mut out);
+        out
     }
+
+    /// Like [`Self::drain_prefetches`], appending into a caller-provided
+    /// buffer so per-event engine loops can reuse one allocation. The
+    /// default matches the default `emits_prefetches`: nothing to drain.
+    fn drain_prefetches_into(&mut self, _out: &mut Vec<PrefetchReq>) {}
 
     /// Whether this policy ever emits prefetch requests. Front-ends skip
     /// the [`Self::drain_prefetches`] sweep when `false` — the default,

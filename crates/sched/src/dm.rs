@@ -14,6 +14,8 @@
 //! priorities (FMM, sparse QR in the paper), every task has priority 0 and
 //! dmdas degrades to ready-order insertion, exactly as the paper states.
 
+use std::collections::{BinaryHeap, VecDeque};
+
 use mp_dag::ids::TaskId;
 use mp_platform::types::WorkerId;
 
@@ -43,23 +45,59 @@ impl DmVariant {
 
 /// One queued entry: task, its user priority, and a submission sequence
 /// number for stable FIFO order among equal priorities.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Entry {
     t: TaskId,
     prio: i64,
     seq: u64,
 }
 
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap order: highest user priority first, FIFO (lowest
+        // sequence number) among equals. `seq` is unique, so this is a
+        // total order and heap layout never influences pop order.
+        self.prio.cmp(&other.prio).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One worker's queue: a FIFO for dm/dmda, a priority heap for dmdas
+/// (O(log n) push instead of the former O(n) sorted insert).
+#[derive(Debug, Default)]
+struct WorkerQueue {
+    fifo: VecDeque<Entry>,
+    heap: BinaryHeap<Entry>,
+}
+
+impl WorkerQueue {
+    /// Queue length (exercised by the in-module tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn len(&self) -> usize {
+        self.fifo.len() + self.heap.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.fifo.is_empty() && self.heap.is_empty()
+    }
+}
+
 /// The dm/dmda/dmdas scheduler.
 #[derive(Debug)]
 pub struct DequeModelScheduler {
     variant: DmVariant,
-    /// Per-worker queues; sorted descending by (prio, -seq) for dmdas,
-    /// plain FIFO otherwise.
-    queues: Vec<Vec<Entry>>,
+    /// Per-worker queues (heap-ordered for dmdas, FIFO otherwise).
+    queues: Vec<WorkerQueue>,
     /// Work (µs) mapped to each worker but not yet popped.
     committed: Vec<f64>,
     prefetches: Vec<PrefetchReq>,
+    /// Scratch for the dmdas locality band (≤ `LOCALITY_BAND` entries).
+    band: Vec<Entry>,
     seq: u64,
     pending: usize,
 }
@@ -72,6 +110,7 @@ impl DequeModelScheduler {
             queues: Vec::new(),
             committed: Vec::new(),
             prefetches: Vec::new(),
+            band: Vec::new(),
             seq: 0,
             pending: 0,
         }
@@ -79,7 +118,7 @@ impl DequeModelScheduler {
 
     fn ensure(&mut self, n: usize) {
         if self.queues.len() < n {
-            self.queues.resize_with(n, Vec::new);
+            self.queues.resize_with(n, WorkerQueue::default);
             self.committed.resize(n, 0.0);
         }
     }
@@ -113,11 +152,9 @@ impl Scheduler for DequeModelScheduler {
         self.seq += 1;
         let q = &mut self.queues[w.index()];
         if self.variant.sorted() {
-            // Keep descending priority, FIFO among equals.
-            let pos = q.partition_point(|e| e.prio > prio || (e.prio == prio && e.seq < entry.seq));
-            q.insert(pos, entry);
+            q.heap.push(entry);
         } else {
-            q.push(entry);
+            q.fifo.push_back(entry);
         }
         self.pending += 1;
         if data_aware {
@@ -133,11 +170,10 @@ impl Scheduler for DequeModelScheduler {
 
     fn pop(&mut self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
         self.ensure(view.platform().worker_count());
-        let q = &mut self.queues[w.index()];
-        if q.is_empty() {
+        if self.queues[w.index()].is_empty() {
             return None;
         }
-        let idx = if self.variant.sorted() {
+        let entry = if self.variant.sorted() {
             // Among the highest-priority band, prefer the task with the
             // most bytes already on this worker's node. The band is
             // clipped to the queue head: StarPU's dmdas keeps equal
@@ -146,19 +182,37 @@ impl Scheduler for DequeModelScheduler {
             // dmdas into a global locality-greedy scheduler it is not).
             const LOCALITY_BAND: usize = 8;
             let node = view.platform().worker(w).mem_node;
-            let top = q[0].prio;
-            let band = q
-                .iter()
-                .take(LOCALITY_BAND)
-                .take_while(|e| e.prio == top)
-                .count();
-            (0..band)
-                .max_by_key(|&i| view.local_bytes(q[i].t, node))
-                .expect("band is non-empty")
+            let mut band = std::mem::take(&mut self.band);
+            band.clear();
+            let q = &mut self.queues[w.index()];
+            let top = q.heap.peek().expect("queue checked non-empty").prio;
+            // Heap pops arrive in (prio desc, seq asc) order — exactly the
+            // former sorted-queue head order, so the band contents and the
+            // locality tie-break (`max_by_key` keeps the *last* maximum)
+            // are unchanged.
+            while band.len() < LOCALITY_BAND {
+                match q.heap.peek() {
+                    Some(e) if e.prio == top => band.push(q.heap.pop().expect("peeked")),
+                    _ => break,
+                }
+            }
+            let idx = (0..band.len())
+                .max_by_key(|&i| view.local_bytes(band[i].t, node))
+                .expect("band is non-empty");
+            let entry = band[idx];
+            for (i, &e) in band.iter().enumerate() {
+                if i != idx {
+                    q.heap.push(e);
+                }
+            }
+            self.band = band;
+            entry
         } else {
-            0
+            self.queues[w.index()]
+                .fifo
+                .pop_front()
+                .expect("queue checked non-empty")
         };
-        let entry = q.remove(idx);
         let delta = view
             .delta_on_worker(entry.t, w)
             .expect("mapped to executable worker");
@@ -173,6 +227,10 @@ impl Scheduler for DequeModelScheduler {
 
     fn drain_prefetches(&mut self) -> Vec<PrefetchReq> {
         std::mem::take(&mut self.prefetches)
+    }
+
+    fn drain_prefetches_into(&mut self, out: &mut Vec<PrefetchReq>) {
+        out.append(&mut self.prefetches);
     }
 
     fn emits_prefetches(&self) -> bool {

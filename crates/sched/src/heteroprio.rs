@@ -48,6 +48,13 @@ impl Bucket {
 pub struct HeteroPrioScheduler {
     buckets: Vec<Bucket>,
     pending: usize,
+    /// Cached bucket orders per class, recomputed only when a push moved
+    /// some bucket's speedup estimate (`orders_dirty`).
+    cpu_order: Vec<usize>,
+    gpu_order: Vec<usize>,
+    orders_dirty: bool,
+    /// Push-path scratch for `archs_by_delta_into`.
+    archs: Vec<(mp_platform::types::ArchId, f64)>,
 }
 
 impl HeteroPrioScheduler {
@@ -67,27 +74,29 @@ impl HeteroPrioScheduler {
         }
     }
 
-    /// Bucket indices ordered for an arch class: GPUs scan descending
-    /// speedup, CPUs ascending. Ties break on bucket index.
-    fn order_for(&self, class: ArchClass) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.buckets.len()).collect();
-        match class {
-            ArchClass::Gpu => idx.sort_by(|&a, &b| {
-                self.buckets[b]
-                    .speedup()
-                    .partial_cmp(&self.buckets[a].speedup())
-                    .expect("speedups are not NaN")
-                    .then(a.cmp(&b))
-            }),
-            ArchClass::Cpu => idx.sort_by(|&a, &b| {
-                self.buckets[a]
-                    .speedup()
-                    .partial_cmp(&self.buckets[b].speedup())
-                    .expect("speedups are not NaN")
-                    .then(a.cmp(&b))
-            }),
-        }
-        idx
+    /// Recompute the cached bucket orders: GPUs scan descending speedup,
+    /// CPUs ascending. Ties break on bucket index, so the comparators are
+    /// total and `sort_unstable_by` (which never allocates) is
+    /// deterministic.
+    fn refresh_orders(&mut self) {
+        let buckets = &self.buckets;
+        self.gpu_order.clear();
+        self.gpu_order.extend(0..buckets.len());
+        self.gpu_order.sort_unstable_by(|&a, &b| {
+            buckets[b]
+                .speedup()
+                .total_cmp(&buckets[a].speedup())
+                .then(a.cmp(&b))
+        });
+        self.cpu_order.clear();
+        self.cpu_order.extend(0..buckets.len());
+        self.cpu_order.sort_unstable_by(|&a, &b| {
+            buckets[a]
+                .speedup()
+                .total_cmp(&buckets[b].speedup())
+                .then(a.cmp(&b))
+        });
+        self.orders_dirty = false;
     }
 }
 
@@ -99,9 +108,10 @@ impl Scheduler for HeteroPrioScheduler {
     fn push(&mut self, t: TaskId, _releaser: Option<WorkerId>, view: &SchedView<'_>) {
         let tt = view.graph().task(t).ttype;
         self.ensure(tt);
-        let bucket = &mut self.buckets[tt.index()];
         // Update the type's affinity estimate from this task's deltas.
-        let archs = view.est.archs_by_delta(t);
+        let mut archs = std::mem::take(&mut self.archs);
+        view.est.archs_by_delta_into(t, &mut archs);
+        let bucket = &mut self.buckets[tt.index()];
         let cpu = archs
             .iter()
             .find(|&&(a, _)| view.platform().arch(a).class == ArchClass::Cpu)
@@ -120,6 +130,8 @@ impl Scheduler for HeteroPrioScheduler {
             (None, None) => panic!("task {t:?} executable nowhere"),
         }
         bucket.queue.push_back(t);
+        self.archs = archs;
+        self.orders_dirty = true;
         self.pending += 1;
     }
 
@@ -134,7 +146,14 @@ impl Scheduler for HeteroPrioScheduler {
                 .filter(|x| platform.arch(x.arch).class == c)
                 .count()
         };
-        for b in self.order_for(class) {
+        if self.orders_dirty {
+            self.refresh_orders();
+        }
+        for k in 0..self.buckets.len() {
+            let b = match class {
+                ArchClass::Gpu => self.gpu_order[k],
+                ArchClass::Cpu => self.cpu_order[k],
+            };
             // Buckets are homogeneous in type, so executability is a
             // per-bucket property: check the front only.
             let Some(&front) = self.buckets[b].queue.front() else {

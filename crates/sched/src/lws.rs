@@ -21,6 +21,9 @@ pub struct LwsScheduler {
     /// Round-robin cursor for initially-ready tasks (no releaser).
     rr: usize,
     pending: usize,
+    /// Cached victim order per thief (same-node victims first, then by
+    /// id) — the platform is fixed for a run, so this never changes.
+    victim_order: Vec<Vec<WorkerId>>,
 }
 
 impl LwsScheduler {
@@ -77,20 +80,30 @@ impl Scheduler for LwsScheduler {
             self.pending -= 1;
             return Some(t);
         }
-        // Steal oldest-first, same-node victims before remote ones.
-        let my_node = view.platform().worker(w).mem_node;
-        let mut victims: Vec<WorkerId> = view
-            .platform()
-            .workers()
-            .iter()
-            .map(|x| x.id)
-            .filter(|&v| v != w)
-            .collect();
-        victims.sort_by_key(|&v| {
-            let same = view.platform().worker(v).mem_node == my_node;
-            (if same { 0u8 } else { 1u8 }, v)
-        });
-        for v in victims {
+        // Steal oldest-first, same-node victims before remote ones. The
+        // victim order depends only on the (fixed) platform: build it once
+        // per thief and replay it on every later steal attempt.
+        if self.victim_order.len() < view.platform().worker_count() {
+            self.victim_order
+                .resize_with(view.platform().worker_count(), Vec::new);
+        }
+        if self.victim_order[w.index()].is_empty() {
+            let my_node = view.platform().worker(w).mem_node;
+            let victims = &mut self.victim_order[w.index()];
+            victims.extend(
+                view.platform()
+                    .workers()
+                    .iter()
+                    .map(|x| x.id)
+                    .filter(|&v| v != w),
+            );
+            victims.sort_unstable_by_key(|&v| {
+                let same = view.platform().worker(v).mem_node == my_node;
+                (if same { 0u8 } else { 1u8 }, v)
+            });
+        }
+        for k in 0..self.victim_order[w.index()].len() {
+            let v = self.victim_order[w.index()][k];
             if let Some(t) =
                 Self::take_first_executable(&mut self.deques[v.index()], w, view, false)
             {

@@ -13,6 +13,8 @@ use crate::api::{SchedView, Scheduler};
 pub struct RandomScheduler {
     ready: Vec<TaskId>,
     rng: StdRng,
+    /// Pop-path scratch: indices of executable ready tasks.
+    eligible: Vec<usize>,
 }
 
 impl RandomScheduler {
@@ -21,6 +23,7 @@ impl RandomScheduler {
         Self {
             ready: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            eligible: Vec::new(),
         }
     }
 }
@@ -35,13 +38,14 @@ impl Scheduler for RandomScheduler {
     }
 
     fn pop(&mut self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
-        let eligible: Vec<usize> = (0..self.ready.len())
-            .filter(|&i| view.worker_can_exec(self.ready[i], w))
-            .collect();
-        if eligible.is_empty() {
+        self.eligible.clear();
+        let ready = &self.ready;
+        self.eligible
+            .extend((0..ready.len()).filter(|&i| view.worker_can_exec(ready[i], w)));
+        if self.eligible.is_empty() {
             return None;
         }
-        let pick = eligible[self.rng.gen_range(0..eligible.len())];
+        let pick = self.eligible[self.rng.gen_range(0..self.eligible.len())];
         Some(self.ready.swap_remove(pick))
     }
 

@@ -1,13 +1,13 @@
 //! The discrete-event engine.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use mp_dag::graph::TaskGraph;
-use mp_dag::ids::TaskId;
+use mp_dag::ids::{DataId, TaskId};
 use mp_perfmodel::{Estimator, PerfModel};
 use mp_platform::types::{Platform, WorkerId};
-use mp_sched::api::{LoadInfo, SchedEvent, SchedView, Scheduler};
+use mp_sched::api::{LoadInfo, PrefetchReq, SchedEvent, SchedView, Scheduler};
 use mp_trace::{TaskSpan, Trace, TransferKind, TransferSpan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +39,22 @@ impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Per-event scratch buffers, reused across the whole run so the
+/// steady-state event loop allocates nothing per event (DESIGN.md §6b).
+#[derive(Default)]
+struct Scratch {
+    /// Folded access list of the task being staged (one entry per handle).
+    folded: Vec<(DataId, bool, bool)>,
+    /// Handles missing on the target node, with their read flag.
+    missing: Vec<(DataId, bool)>,
+    /// Completion-side dedup of unpinned handles.
+    seen: Vec<DataId>,
+    /// Completion-side dedup of committed writes.
+    written: Vec<DataId>,
+    /// Drained prefetch requests.
+    prefetches: Vec<PrefetchReq>,
 }
 
 /// Engine-side per-worker load (busy-until estimates for the schedulers).
@@ -95,6 +111,7 @@ pub fn simulate(
     // Helpers (closures capturing by argument to appease the borrowck).
     // ---------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn run_prefetches(
         scheduler: &mut dyn Scheduler,
         store: &mut DataStore,
@@ -103,8 +120,11 @@ pub fn simulate(
         now: f64,
         trace: &mut Trace,
         stats: &mut SimStats,
+        drained: &mut Vec<PrefetchReq>,
     ) {
-        for req in scheduler.drain_prefetches() {
+        drained.clear();
+        scheduler.drain_prefetches_into(drained);
+        for &req in drained.iter() {
             if !cfg.enable_prefetch {
                 continue;
             }
@@ -184,9 +204,8 @@ pub fn simulate(
     /// A task may list the same handle several times (e.g. a symmetric
     /// kernel reading a tile twice); fold to one entry per handle with
     /// merged modes so pins/allocations stay balanced.
-    fn folded_accesses(task: &mp_dag::task::Task) -> Vec<(mp_dag::ids::DataId, bool, bool)> {
-        let mut out: Vec<(mp_dag::ids::DataId, bool, bool)> =
-            Vec::with_capacity(task.accesses.len());
+    fn fold_accesses_into(task: &mp_dag::task::Task, out: &mut Vec<(DataId, bool, bool)>) {
+        out.clear();
         for a in &task.accesses {
             match out.iter_mut().find(|(d, _, _)| *d == a.data) {
                 Some((_, r, w)) => {
@@ -196,7 +215,6 @@ pub fn simulate(
                 None => out.push((a.data, a.mode.reads(), a.mode.writes())),
             }
         }
-        out
     }
 
     /// Best source replica for fetching `d` to `to`: minimize completion.
@@ -237,6 +255,7 @@ pub fn simulate(
         cfg: &SimConfig,
         trace: &mut Trace,
         stats: &mut SimStats,
+        scratch: &mut Scratch,
         w: WorkerId,
         t: TaskId,
         now: f64,
@@ -250,10 +269,11 @@ pub fn simulate(
         let task = graph.task(t);
 
         // Pin present replicas first so eviction cannot take them.
-        let mut missing: Vec<(mp_dag::ids::DataId, bool)> = Vec::new();
+        fold_accesses_into(task, &mut scratch.folded);
+        scratch.missing.clear();
         let mut needed_bytes = 0u64;
         let mut arrive = now;
-        for &(d, reads, _) in &folded_accesses(task) {
+        for &(d, reads, _) in &scratch.folded {
             match store.replica(d, m) {
                 Some(rep) => {
                     if reads {
@@ -264,7 +284,7 @@ pub fn simulate(
                 }
                 None => {
                     needed_bytes += store.size(d);
-                    missing.push((d, reads));
+                    scratch.missing.push((d, reads));
                 }
             }
         }
@@ -275,8 +295,8 @@ pub fn simulate(
                 Ok(r) => r,
                 Err(_) => {
                     // Roll back: unpin what we pinned and defer.
-                    for &(d, _, _) in &folded_accesses(task) {
-                        if missing.iter().all(|&(md, _)| md != d) {
+                    for &(d, _, _) in &scratch.folded {
+                        if scratch.missing.iter().all(|&(md, _)| md != d) {
                             store.unpin(d, m);
                         }
                     }
@@ -304,7 +324,7 @@ pub fn simulate(
         arrive = arrive.max(space_ready);
 
         // Fetch missing reads; allocate missing writes in place.
-        for (d, is_read) in missing {
+        for &(d, is_read) in &scratch.missing {
             if is_read {
                 let (src, start, end) = pick_source(store, platform, d, m, space_ready.max(now))
                     .unwrap_or_else(|| panic!("no valid replica of {d:?} anywhere"));
@@ -354,7 +374,10 @@ pub fn simulate(
     let mut exec_end: Vec<f64> = vec![0.0; nw];
     // Staged lookahead tasks per worker: (task, inputs-ready time if the
     // prepare succeeded — None defers it to execution time, noise).
-    let mut next_slot: Vec<Vec<(TaskId, Option<f64>, f64)>> = vec![Vec::new(); nw];
+    let mut next_slot: Vec<VecDeque<(TaskId, Option<f64>, f64)>> = vec![VecDeque::new(); nw];
+    // Reused per-event scratch (no steady-state allocation).
+    let mut scratch = Scratch::default();
+    let emits_prefetches = scheduler.emits_prefetches();
     // Rotating dispatch offset: removes the systematic low-id-first bias
     // (concurrently polling workers have no global order in reality).
     let mut rotation = 0usize;
@@ -432,15 +455,24 @@ pub fn simulate(
                         continue;
                     }
                     // Drain a staged task first, then pop fresh.
-                    if !next_slot[wi].is_empty() {
-                        let (t, arrive_opt, nf) = next_slot[wi].remove(0);
+                    if let Some((t, arrive_opt, nf)) = next_slot[wi].pop_front() {
                         let arrive = match arrive_opt {
                             Some(a) => a,
                             // Deferred prepare: earlier pipeline tasks
                             // have unpinned their data by now.
                             None => prepare_task(
-                                graph, platform, model, &mut store, &cfg, &mut trace, &mut stats,
-                                w, t, now, false,
+                                graph,
+                                platform,
+                                model,
+                                &mut store,
+                                &cfg,
+                                &mut trace,
+                                &mut stats,
+                                &mut scratch,
+                                w,
+                                t,
+                                now,
+                                false,
                             )
                             .expect("strict prepare cannot fail"),
                         };
@@ -455,8 +487,18 @@ pub fn simulate(
                     match popped {
                         Some(t) => {
                             let arrive = prepare_task(
-                                graph, platform, model, &mut store, &cfg, &mut trace, &mut stats,
-                                w, t, now, false,
+                                graph,
+                                platform,
+                                model,
+                                &mut store,
+                                &cfg,
+                                &mut trace,
+                                &mut stats,
+                                &mut scratch,
+                                w,
+                                t,
+                                now,
+                                false,
                             )
                             .expect("strict prepare cannot fail");
                             let nf = noise(&mut rng);
@@ -481,11 +523,21 @@ pub fn simulate(
                     match popped {
                         Some(t) => {
                             let arrive = prepare_task(
-                                graph, platform, model, &mut store, &cfg, &mut trace, &mut stats,
-                                w, t, now, true,
+                                graph,
+                                platform,
+                                model,
+                                &mut store,
+                                &cfg,
+                                &mut trace,
+                                &mut stats,
+                                &mut scratch,
+                                w,
+                                t,
+                                now,
+                                true,
                             );
                             let nf = noise(&mut rng);
-                            next_slot[wi].push((t, arrive, nf));
+                            next_slot[wi].push_back((t, arrive, nf));
                             // Publish queued work so push-time mappers see it.
                             let delta_est = Estimator::new(graph, platform, model)
                                 .delta(t, platform.worker(w).arch)
@@ -513,9 +565,18 @@ pub fn simulate(
                 scheduler.push(t, None, &view);
             }
         }
-        run_prefetches(
-            scheduler, &mut store, platform, &cfg, 0.0, &mut trace, &mut stats,
-        );
+        if emits_prefetches {
+            run_prefetches(
+                scheduler,
+                &mut store,
+                platform,
+                &cfg,
+                0.0,
+                &mut trace,
+                &mut stats,
+                &mut scratch.prefetches,
+            );
+        }
     }
     dispatch!(0.0);
 
@@ -531,19 +592,19 @@ pub fn simulate(
 
         // Close out the execution (same folded view as start_task).
         {
-            let mut seen: Vec<mp_dag::ids::DataId> = Vec::with_capacity(task.accesses.len());
+            scratch.seen.clear();
             for a in &task.accesses {
-                if seen.contains(&a.data) {
+                if scratch.seen.contains(&a.data) {
                     continue;
                 }
-                seen.push(a.data);
+                scratch.seen.push(a.data);
                 store.unpin(a.data, m);
                 store.touch(a.data, m, now);
             }
-            let mut written: Vec<mp_dag::ids::DataId> = Vec::new();
+            scratch.written.clear();
             for d in task.writes() {
-                if !written.contains(&d) {
-                    written.push(d);
+                if !scratch.written.contains(&d) {
+                    scratch.written.push(d);
                     store.commit_write(d, m, now);
                 }
             }
@@ -577,22 +638,29 @@ pub fn simulate(
             );
         }
 
-        // Release successors.
-        let mut newly_ready = Vec::new();
+        // Release successors: indegree decrements publish newly-ready
+        // tasks straight into the scheduler — no intermediate collection,
+        // no rescan of the frontier.
         for &s in graph.succs(t) {
             indeg[s.index()] -= 1;
             if indeg[s.index()] == 0 {
-                newly_ready.push(s);
+                pushed_at[s.index()] = now;
+                let view = view!(now);
+                scheduler.push(s, Some(w), &view);
             }
         }
-        for s in newly_ready {
-            pushed_at[s.index()] = now;
-            let view = view!(now);
-            scheduler.push(s, Some(w), &view);
+        if emits_prefetches {
+            run_prefetches(
+                scheduler,
+                &mut store,
+                platform,
+                &cfg,
+                now,
+                &mut trace,
+                &mut stats,
+                &mut scratch.prefetches,
+            );
         }
-        run_prefetches(
-            scheduler, &mut store, platform, &cfg, now, &mut trace, &mut stats,
-        );
 
         dispatch!(now);
     }

@@ -2,7 +2,7 @@
 //! choices must always yield valid schedules with conserved structure.
 
 use multiprio_suite::apps::random::{random_dag, random_model, RandomDagConfig};
-use multiprio_suite::bench::{make_scheduler, SCHEDULER_NAMES};
+use multiprio_suite::bench::{make_scheduler, replay, SCHEDULER_NAMES};
 use multiprio_suite::dag::{critical_path, topological_order};
 use multiprio_suite::perfmodel::{Estimator, PerfModel};
 use multiprio_suite::platform::presets::simple;
@@ -81,4 +81,55 @@ proptest! {
         let order = topological_order(&g);
         prop_assert_eq!(order.len(), g.task_count());
     }
+
+    /// The slab-backed MultiPrio (lazy heap deletion, push-plan cache)
+    /// pops the exact same task→worker sequence as the retained eager
+    /// [`ReferenceScheduler`] on random DAGs — the determinism contract
+    /// of the arena rewrite (DESIGN.md §6b).
+    #[test]
+    fn prop_slab_scheduler_matches_reference(
+        seed in 0u64..400,
+        layers in 2usize..8,
+        width in 2usize..10,
+        cpus in 1usize..5,
+        gpus in 0usize..3,
+    ) {
+        let g = random_dag(RandomDagConfig { layers, width, seed, ..Default::default() });
+        let m = random_model();
+        let p = simple(cpus, gpus);
+        let mut slab = make_scheduler("multiprio");
+        let mut reference = make_scheduler("multiprio-reference");
+        let rs = replay(&g, &p, &m, slab.as_mut());
+        let rr = replay(&g, &p, &m, reference.as_mut());
+        prop_assert_eq!(rs.scheduled, g.task_count());
+        prop_assert_eq!(rs.scheduled, rr.scheduled);
+        prop_assert_eq!(
+            rs.schedule_hash, rr.schedule_hash,
+            "slab and reference schedulers diverged (seed {})", seed
+        );
+    }
+}
+
+/// Re-pushing a `TaskId` the scheduler has already taken (schedulers are
+/// reused across replay rounds) must not let the stale first-generation
+/// heap entries shadow or duplicate the fresh one.
+#[test]
+fn repushed_task_id_does_not_resurrect_stale_entries() {
+    use multiprio_suite::multiprio::MultiPrioScheduler;
+    use multiprio_suite::sched::testutil::Fixture;
+    use multiprio_suite::sched::Scheduler;
+
+    let mut fx = Fixture::two_arch();
+    let t = fx.add_task(fx.both, 64, "t");
+    let view = fx.view();
+    let (_, _, g0) = fx.workers();
+    let mut s = MultiPrioScheduler::with_defaults();
+    s.push(t, None, &view);
+    assert_eq!(s.pop(g0, &view), Some(t));
+    // Same id, second life: the old entries are still physically present
+    // in the heaps (lazy deletion) but carry a dead generation.
+    s.push(t, None, &view);
+    assert_eq!(s.pop(g0, &view), Some(t), "second life pops normally");
+    assert_eq!(s.pop(g0, &view), None, "and exactly once");
+    assert_eq!(s.pending(), 0);
 }
