@@ -1,0 +1,267 @@
+//! Trace comparison: the invariants both executions must share.
+//!
+//! The simulator and the runtime do not agree on *times* (virtual vs
+//! wall clock) or necessarily on *placement* (the runtime's thread
+//! interleavings legitimately reorder pops). What they must agree on:
+//!
+//! * **exactly-once** — every task of the graph executes exactly once;
+//! * **completion** — both sides finish the whole DAG;
+//! * **precedence** — no task starts before all its predecessors ended,
+//!   in each side's own clock.
+//!
+//! Any typed engine error, runtime error, STF edge divergence, or
+//! auditor record is also surfaced as a [`Mismatch`].
+
+use mp_dag::{TaskGraph, TaskId};
+use mp_trace::Trace;
+
+/// Which execution a finding refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// The discrete-event simulator (`mp-sim`).
+    Sim,
+    /// The threaded runtime (`mp-runtime`).
+    Runtime,
+}
+
+/// One disagreement between (or within) the two executions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mismatch {
+    /// The simulator stopped with a typed error.
+    SimFailed {
+        /// `SimError` rendering.
+        error: String,
+    },
+    /// The runtime returned a `RunError`.
+    RuntimeFailed {
+        /// `RunError` rendering.
+        error: String,
+    },
+    /// STF inference on the mirrored submissions produced different
+    /// dependencies than the original graph.
+    EdgeMismatch {
+        /// The task whose predecessor set diverged.
+        task: TaskId,
+        /// Predecessors in the original graph (sorted).
+        expected: Vec<TaskId>,
+        /// Predecessors inferred by the mirror (sorted).
+        got: Vec<TaskId>,
+    },
+    /// A task executed a number of times other than one.
+    ExecutionCount {
+        /// Which execution.
+        side: Side,
+        /// The task.
+        task: TaskId,
+        /// How many spans the trace holds for it.
+        count: usize,
+    },
+    /// A task started before one of its predecessors ended.
+    PrecedenceViolation {
+        /// Which execution.
+        side: Side,
+        /// The early task.
+        task: TaskId,
+        /// The predecessor it overtook.
+        pred: TaskId,
+        /// The task's start time.
+        start: f64,
+        /// The predecessor's end time.
+        pred_end: f64,
+    },
+    /// The simulator's invariant auditor recorded violations
+    /// (only possible with `--features audit`).
+    InvariantViolations {
+        /// Number of audit records.
+        count: usize,
+        /// Rendering of the first record.
+        first: String,
+    },
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mismatch::SimFailed { error } => write!(f, "sim failed: {error}"),
+            Mismatch::RuntimeFailed { error } => write!(f, "runtime failed: {error}"),
+            Mismatch::EdgeMismatch {
+                task,
+                expected,
+                got,
+            } => write!(
+                f,
+                "mirrored {task:?} has preds {got:?}, original has {expected:?}"
+            ),
+            Mismatch::ExecutionCount { side, task, count } => {
+                write!(f, "{side:?}: {task:?} executed {count} times")
+            }
+            Mismatch::PrecedenceViolation {
+                side,
+                task,
+                pred,
+                start,
+                pred_end,
+            } => write!(
+                f,
+                "{side:?}: {task:?} started at {start} before predecessor \
+                 {pred:?} ended at {pred_end}"
+            ),
+            Mismatch::InvariantViolations { count, first } => {
+                write!(f, "{count} invariant violation(s), first: {first}")
+            }
+        }
+    }
+}
+
+/// Everything one differential configuration produced.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// Scheduler name (as the sim run reported it).
+    pub scheduler: String,
+    /// Every disagreement found; empty means the config passed.
+    pub mismatches: Vec<Mismatch>,
+    /// Virtual-time makespan of the sim run (µs).
+    pub sim_makespan: f64,
+    /// Wall-clock makespan of the runtime run (µs), when it ran.
+    pub runtime_makespan: Option<f64>,
+}
+
+impl DiffReport {
+    /// Did the two executions agree on every checked invariant?
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Start-time slack. Within one clock the engines order completions
+/// before dependent starts exactly, but float accumulation in the sim's
+/// virtual time warrants a hair of tolerance.
+const EPS: f64 = 1e-6;
+
+/// Every task executes exactly once: the trace holds exactly one span
+/// per task of the graph.
+pub fn check_exactly_once(graph: &TaskGraph, trace: &Trace, side: Side, out: &mut Vec<Mismatch>) {
+    let mut counts = vec![0usize; graph.task_count()];
+    for span in &trace.tasks {
+        counts[span.task.index()] += 1;
+    }
+    for (i, &count) in counts.iter().enumerate() {
+        if count != 1 {
+            out.push(Mismatch::ExecutionCount {
+                side,
+                task: TaskId::from_index(i),
+                count,
+            });
+        }
+    }
+}
+
+/// No task starts before all its predecessors ended (per-side clock).
+pub fn check_precedence(graph: &TaskGraph, trace: &Trace, side: Side, out: &mut Vec<Mismatch>) {
+    let mut ends = vec![f64::NAN; graph.task_count()];
+    let mut starts = vec![f64::NAN; graph.task_count()];
+    for span in &trace.tasks {
+        ends[span.task.index()] = span.end;
+        starts[span.task.index()] = span.start;
+    }
+    for (i, &start) in starts.iter().enumerate() {
+        let t = TaskId::from_index(i);
+        if start.is_nan() {
+            continue; // missing spans are ExecutionCount findings
+        }
+        for &p in graph.preds(t) {
+            if ends[p.index()].is_nan() {
+                continue;
+            }
+            if start < ends[p.index()] - EPS {
+                out.push(Mismatch::PrecedenceViolation {
+                    side,
+                    task: t,
+                    pred: p,
+                    start,
+                    pred_end: ends[p.index()],
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_dag::{AccessMode, StfBuilder};
+    use mp_trace::TaskSpan;
+
+    fn chain2() -> TaskGraph {
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("K", true, false);
+        let d = stf.graph_mut().add_data(8, "d");
+        stf.submit(k, vec![(d, AccessMode::ReadWrite)], 1.0, "t0");
+        stf.submit(k, vec![(d, AccessMode::ReadWrite)], 1.0, "t1");
+        stf.finish()
+    }
+
+    fn span(t: u32, start: f64, end: f64) -> TaskSpan {
+        TaskSpan {
+            task: TaskId(t),
+            ttype: mp_dag::TaskTypeId(0),
+            worker: mp_platform::types::WorkerId(0),
+            ready_at: 0.0,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn clean_trace_produces_no_findings() {
+        let g = chain2();
+        let mut trace = Trace::new(1);
+        trace.tasks = vec![span(0, 0.0, 10.0), span(1, 10.0, 20.0)];
+        let mut out = Vec::new();
+        check_exactly_once(&g, &trace, Side::Sim, &mut out);
+        check_precedence(&g, &trace, Side::Sim, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn duplicate_and_missing_spans_are_flagged() {
+        let g = chain2();
+        let mut trace = Trace::new(1);
+        trace.tasks = vec![span(0, 0.0, 10.0), span(0, 10.0, 20.0)];
+        let mut out = Vec::new();
+        check_exactly_once(&g, &trace, Side::Runtime, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                Mismatch::ExecutionCount {
+                    side: Side::Runtime,
+                    task: TaskId(0),
+                    count: 2,
+                },
+                Mismatch::ExecutionCount {
+                    side: Side::Runtime,
+                    task: TaskId(1),
+                    count: 0,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_order_start_is_flagged() {
+        let g = chain2();
+        let mut trace = Trace::new(1);
+        trace.tasks = vec![span(0, 0.0, 10.0), span(1, 5.0, 20.0)];
+        let mut out = Vec::new();
+        check_precedence(&g, &trace, Side::Sim, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0],
+            Mismatch::PrecedenceViolation {
+                task: TaskId(1),
+                pred: TaskId(0),
+                ..
+            }
+        ));
+    }
+}

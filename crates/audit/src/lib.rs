@@ -1,0 +1,217 @@
+//! # mp-audit — differential sim/runtime validation harness
+//!
+//! Runs the **same DAG × platform × scheduler** through two independent
+//! executors and diffs what must agree:
+//!
+//! * the discrete-event simulator ([`mp_sim::simulate`]) in virtual time;
+//! * the threaded runtime ([`mp_runtime::Runtime`]) with no-op
+//!   virtual-cost kernels, on real worker threads.
+//!
+//! The executors share almost no code past the scheduler trait — the
+//! simulator's coherence/transfer machinery and the runtime's
+//! thread/parking machinery are entirely disjoint — so invariants they
+//! *both* uphold (exactly-once execution, full completion, precedence
+//! ordering) are unlikely to hold by a shared bug.
+//!
+//! Three layers compound:
+//!
+//! 1. [`differential`] — one configuration end to end, returning a
+//!    [`DiffReport`] of every disagreement;
+//! 2. the simulator's built-in invariant auditor (build with
+//!    `--features mp-sim/audit`) — MSI coherence, capacity, pin balance,
+//!    link/event monotonicity — whose records the report surfaces;
+//! 3. [`mp_runtime::FaultPlan`] — deterministic slow/stalled kernels,
+//!    skewed estimates and delayed wakeups on the runtime side, proving
+//!    the agreement is not an artifact of benign timing.
+//!
+//! ```no_run
+//! # use std::sync::Arc;
+//! # use mp_audit::{differential, DiffConfig};
+//! # use mp_sched::FifoScheduler;
+//! # let graph = mp_dag::TaskGraph::new();
+//! # let platform = mp_platform::presets::simple(2, 1);
+//! # let model: Arc<dyn mp_perfmodel::PerfModel> =
+//! #     Arc::new(mp_perfmodel::model::UniformModel { time_us: 10.0 });
+//! let report = differential(
+//!     &graph,
+//!     &platform,
+//!     &model,
+//!     &|| Box::new(FifoScheduler::new()),
+//!     &DiffConfig::default(),
+//! );
+//! assert!(report.is_clean(), "{:?}", report.mismatches);
+//! ```
+
+use std::sync::Arc;
+
+use mp_dag::TaskGraph;
+use mp_perfmodel::PerfModel;
+use mp_platform::types::Platform;
+use mp_runtime::FaultPlan;
+use mp_sched::Scheduler;
+use mp_sim::{simulate, SimConfig};
+
+pub mod diff;
+pub mod mirror;
+
+pub use diff::{DiffReport, Mismatch, Side};
+pub use mirror::mirror_graph;
+
+/// One differential configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiffConfig {
+    /// Simulator configuration (seed, noise, tracing).
+    pub sim_cfg: SimConfig,
+    /// Runtime front-end: `0` drives the scheduler behind the global
+    /// lock ([`mp_runtime::Runtime::run`]); `n > 0` uses the sharded
+    /// multi-queue with `n` policy instances
+    /// ([`mp_runtime::Runtime::run_sharded`]).
+    pub shards: usize,
+    /// Fault plan injected into the runtime side (`None` = no faults).
+    pub faults: Option<FaultPlan>,
+}
+
+/// Run one DAG through both executors under schedulers built by
+/// `factory` (one instance per executor) and diff the results.
+///
+/// Never panics on scheduler or executor misbehavior: typed failures of
+/// either side land in the report as [`Mismatch`]es alongside any
+/// invariant-audit records, execution-count, completion and precedence
+/// disagreements.
+pub fn differential(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &Arc<dyn PerfModel>,
+    factory: &dyn Fn() -> Box<dyn Scheduler>,
+    cfg: &DiffConfig,
+) -> DiffReport {
+    let mut mismatches = Vec::new();
+
+    // Side 1: discrete-event simulation, virtual time.
+    let mut sim_sched = factory();
+    let sim = simulate(graph, platform, &**model, sim_sched.as_mut(), cfg.sim_cfg);
+    if let Some(err) = &sim.error {
+        mismatches.push(Mismatch::SimFailed {
+            error: err.to_string(),
+        });
+    }
+    if !sim.audit.is_empty() {
+        mismatches.push(Mismatch::InvariantViolations {
+            count: sim.audit.len(),
+            first: sim.audit[0].to_string(),
+        });
+    }
+    check_trace(graph, &sim.trace, Side::Sim, &mut mismatches);
+
+    // Side 2: threaded runtime, wall clock, mirrored DAG.
+    let (mut rt, edge_mismatches) = mirror_graph(graph, platform, Arc::clone(model));
+    mismatches.extend(edge_mismatches);
+    if let Some(plan) = cfg.faults {
+        rt.set_faults(plan);
+    }
+    let run = if cfg.shards == 0 {
+        rt.run(factory())
+    } else {
+        rt.run_sharded(cfg.shards, factory)
+    };
+    let runtime_makespan = match run {
+        Ok(report) => {
+            check_trace(graph, &report.trace, Side::Runtime, &mut mismatches);
+            Some(report.makespan_us)
+        }
+        Err(err) => {
+            mismatches.push(Mismatch::RuntimeFailed {
+                error: err.to_string(),
+            });
+            None
+        }
+    };
+
+    DiffReport {
+        scheduler: sim.scheduler,
+        mismatches,
+        sim_makespan: sim.makespan,
+        runtime_makespan,
+    }
+}
+
+/// The per-side checks: exactly-once execution and precedence order.
+fn check_trace(graph: &TaskGraph, trace: &mp_trace::Trace, side: Side, out: &mut Vec<Mismatch>) {
+    diff::check_exactly_once(graph, trace, side, out);
+    diff::check_precedence(graph, trace, side, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_dag::{AccessMode, StfBuilder};
+    use mp_perfmodel::model::UniformModel;
+    use mp_platform::presets::simple;
+    use mp_sched::FifoScheduler;
+
+    fn diamond() -> TaskGraph {
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("K", true, true);
+        let d0 = stf.graph_mut().add_data(1024, "d0");
+        let d1 = stf.graph_mut().add_data(1024, "d1");
+        stf.submit(k, vec![(d0, AccessMode::Write)], 1.0, "t0");
+        stf.submit(
+            k,
+            vec![(d0, AccessMode::Read), (d1, AccessMode::Write)],
+            1.0,
+            "t1",
+        );
+        stf.submit(k, vec![(d0, AccessMode::ReadWrite)], 1.0, "t2");
+        stf.submit(
+            k,
+            vec![(d0, AccessMode::Read), (d1, AccessMode::Read)],
+            1.0,
+            "t3",
+        );
+        stf.finish()
+    }
+
+    #[test]
+    fn agreeing_executions_produce_a_clean_report() {
+        let g = diamond();
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 20.0 });
+        let report = differential(
+            &g,
+            &simple(2, 1),
+            &model,
+            &|| Box::new(FifoScheduler::new()),
+            &DiffConfig::default(),
+        );
+        assert!(report.is_clean(), "{:?}", report.mismatches);
+        assert!(report.sim_makespan > 0.0);
+        assert!(report.runtime_makespan.is_some());
+    }
+
+    #[test]
+    fn sim_side_failure_lands_in_the_report() {
+        // A GPU-only kernel on a CPU-only platform: the sim deadlocks
+        // (typed), the runtime rejects at submit (typed) — both surface.
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("GPUONLY", false, true);
+        let d = stf.graph_mut().add_data(64, "d");
+        stf.submit(k, vec![(d, AccessMode::ReadWrite)], 1.0, "t0");
+        let g = stf.finish();
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 20.0 });
+        let report = differential(
+            &g,
+            &mp_platform::presets::homogeneous(2),
+            &model,
+            &|| Box::new(FifoScheduler::new()),
+            &DiffConfig::default(),
+        );
+        assert!(!report.is_clean());
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, Mismatch::SimFailed { .. })));
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, Mismatch::RuntimeFailed { .. })));
+    }
+}

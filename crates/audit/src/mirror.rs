@@ -1,0 +1,123 @@
+//! Mirror a [`TaskGraph`] into a [`Runtime`].
+//!
+//! The differential harness feeds the *same* DAG to the discrete-event
+//! simulator and to the threaded runtime. The simulator consumes a
+//! `TaskGraph` directly; the runtime builds its own graph from STF
+//! submissions. This module replays the original graph's tasks — same
+//! kernel-type names, same access lists, same priorities — into a
+//! [`Runtime`] with no-op virtual-cost kernels, then checks that STF
+//! dependency inference reproduced exactly the original edges. Any
+//! divergence is itself a finding: the two front-ends would not even be
+//! running the same DAG.
+
+use std::sync::Arc;
+
+use mp_dag::TaskGraph;
+use mp_perfmodel::PerfModel;
+use mp_platform::types::Platform;
+use mp_runtime::{Runtime, TaskBuilder};
+
+use crate::diff::Mismatch;
+
+/// Buffer length for mirrored handles. The runtime's unified-memory
+/// model performs no transfers, so buffer sizes do not affect any of the
+/// compared invariants — tiny buffers keep a many-config sweep cheap.
+fn mirror_len(bytes: u64) -> usize {
+    (bytes / 8).clamp(1, 64) as usize
+}
+
+/// Rebuild `graph` inside a [`Runtime`] on `platform`, with no-op
+/// kernels for every architecture class the original task type declares.
+///
+/// Returns the runtime plus any [`Mismatch::EdgeMismatch`] found when
+/// comparing the STF-inferred dependencies against the original edges
+/// (an empty vector means the DAGs are identical).
+pub fn mirror_graph(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: Arc<dyn PerfModel>,
+) -> (Runtime, Vec<Mismatch>) {
+    let mut rt = Runtime::new(platform.clone(), model);
+    for d in graph.data() {
+        rt.register(vec![0.0; mirror_len(d.size)], &d.label);
+    }
+    for task in graph.tasks() {
+        let ttype = graph.task_type(task.ttype);
+        let mut tb = TaskBuilder::new(&ttype.name)
+            .flops(task.flops)
+            .priority(task.user_priority)
+            .label(&*task.label);
+        for a in &task.accesses {
+            tb = tb.access(a.data, a.mode);
+        }
+        if ttype.cpu_impl {
+            tb = tb.cpu(|_| {});
+        }
+        if ttype.gpu_impl {
+            tb = tb.gpu(|_| {});
+        }
+        let mirrored = rt.submit(tb);
+        debug_assert_eq!(mirrored, task.id, "submission order preserves ids");
+    }
+
+    // STF inference must reproduce the original dependency structure.
+    let mut mismatches = Vec::new();
+    let mirrored = rt.graph();
+    for task in graph.tasks() {
+        let mut expected: Vec<_> = graph.preds(task.id).to_vec();
+        let mut got: Vec<_> = mirrored.preds(task.id).to_vec();
+        expected.sort_unstable();
+        got.sort_unstable();
+        if expected != got {
+            mismatches.push(Mismatch::EdgeMismatch {
+                task: task.id,
+                expected,
+                got,
+            });
+        }
+    }
+    (rt, mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_dag::{AccessMode, StfBuilder};
+    use mp_perfmodel::model::UniformModel;
+    use mp_platform::presets::simple;
+
+    #[test]
+    fn mirrored_graph_has_identical_edges() {
+        // Diamond: t0 writes d0; t1, t2 read d0 and write d1/d2; t3 reads both.
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("K", true, true);
+        let d0 = stf.graph_mut().add_data(1024, "d0");
+        let d1 = stf.graph_mut().add_data(1024, "d1");
+        let d2 = stf.graph_mut().add_data(1024, "d2");
+        stf.submit(k, vec![(d0, AccessMode::Write)], 1.0, "t0");
+        stf.submit(
+            k,
+            vec![(d0, AccessMode::Read), (d1, AccessMode::Write)],
+            1.0,
+            "t1",
+        );
+        stf.submit(
+            k,
+            vec![(d0, AccessMode::Read), (d2, AccessMode::Write)],
+            1.0,
+            "t2",
+        );
+        stf.submit(
+            k,
+            vec![(d1, AccessMode::Read), (d2, AccessMode::Read)],
+            1.0,
+            "t3",
+        );
+        let g = stf.finish();
+        let (rt, mismatches) =
+            mirror_graph(&g, &simple(2, 1), Arc::new(UniformModel { time_us: 10.0 }));
+        assert!(mismatches.is_empty(), "{mismatches:?}");
+        assert_eq!(rt.graph().task_count(), g.task_count());
+        assert_eq!(rt.graph().edge_count(), g.edge_count());
+    }
+}

@@ -4,8 +4,11 @@
 //! second-fastest arch, ...); this type centralizes those derived queries
 //! and applies the platform's per-arch speed factors.
 
+use std::collections::HashSet;
+use std::sync::Mutex;
+
 use mp_dag::graph::TaskGraph;
-use mp_dag::ids::TaskId;
+use mp_dag::ids::{TaskId, TaskTypeId};
 use mp_platform::types::{ArchId, Platform};
 
 use crate::model::{EstimateQuery, PerfModel};
@@ -40,6 +43,36 @@ impl DeltaEstimate {
     /// Did the model actually have an entry?
     pub fn is_exact(self) -> bool {
         matches!(self, DeltaEstimate::Exact(_))
+    }
+}
+
+/// Warn-once bookkeeping for fallback estimates.
+///
+/// Engines that use [`Estimator::delta_or_mean`] should log a fallback
+/// once per **(task type, arch)** pair per run — not once per task
+/// execution, which floods stderr on large graphs. This tracker
+/// centralizes the dedup (it used to be re-implemented ad hoc in each
+/// engine) and is thread-safe so concurrent workers share one instance.
+#[derive(Debug, Default)]
+pub struct FallbackWarnings {
+    seen: Mutex<HashSet<(TaskTypeId, ArchId)>>,
+}
+
+impl FallbackWarnings {
+    /// An empty tracker (no pair warned yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True exactly once per `(task type, arch)` pair: the caller should
+    /// emit its warning when this returns true and stay silent otherwise.
+    pub fn first(&self, tt: TaskTypeId, a: ArchId) -> bool {
+        self.seen.lock().expect("warn set poisoned").insert((tt, a))
+    }
+
+    /// Number of distinct pairs warned about so far.
+    pub fn count(&self) -> usize {
+        self.seen.lock().expect("warn set poisoned").len()
     }
 }
 
@@ -269,6 +302,20 @@ mod tests {
             est.delta(TaskId(0), mp_platform::types::ArchId(0)),
             Some(200.0)
         );
+    }
+
+    #[test]
+    fn fallback_warnings_fire_once_per_type_arch_pair() {
+        let w = FallbackWarnings::new();
+        let (tt0, tt1) = (TaskTypeId(0), TaskTypeId(1));
+        let (a0, a1) = (ArchId(0), ArchId(1));
+        assert!(w.first(tt0, a0), "first sighting warns");
+        assert!(!w.first(tt0, a0), "repeat stays silent");
+        assert!(w.first(tt0, a1), "same type, other arch warns again");
+        assert!(w.first(tt1, a0), "other type warns again");
+        assert!(!w.first(tt0, a1));
+        assert!(!w.first(tt1, a0));
+        assert_eq!(w.count(), 3);
     }
 
     #[test]

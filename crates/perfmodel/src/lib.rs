@@ -26,7 +26,7 @@ pub mod history;
 pub mod model;
 pub mod table;
 
-pub use estimator::{DeltaEstimate, Estimator, UNCALIBRATED_DELTA_US};
+pub use estimator::{DeltaEstimate, Estimator, FallbackWarnings, UNCALIBRATED_DELTA_US};
 pub use history::HistoryModel;
 pub use model::{EstimateQuery, PerfModel};
 pub use table::{TableModel, TableModelBuilder, TimeFn};

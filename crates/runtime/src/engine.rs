@@ -11,22 +11,23 @@
 //! (`pending() > 0` but `pop` returned `None`, e.g. MultiPrio's pop
 //! condition waiting out a busy best-worker).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use mp_dag::access::AccessMode;
-use mp_dag::ids::{DataId, TaskId, TaskTypeId};
+use mp_dag::ids::{DataId, TaskId};
 use mp_dag::stf::StfBuilder;
 use mp_dag::TaskGraph;
-use mp_perfmodel::{DeltaEstimate, Estimator, PerfModel};
-use mp_platform::types::{ArchClass, ArchId, MemNodeId, Platform, WorkerId};
+use mp_perfmodel::{DeltaEstimate, Estimator, FallbackWarnings, PerfModel};
+use mp_platform::types::{ArchClass, MemNodeId, Platform, WorkerId};
 use mp_sched::api::{DataLocator, LoadInfo, SchedEvent, SchedView, Scheduler};
 use mp_sched::concurrent::{ConcurrentScheduler, GlobalLock, ShardedAdapter};
 use mp_trace::{TaskSpan, Trace};
 
 use crate::data::{BufRef, TaskCtx};
+use crate::fault::{FaultPlan, SkewedModel};
 
 /// A kernel implementation.
 pub type KernelFn = Arc<dyn Fn(&mut TaskCtx<'_>) + Send + Sync>;
@@ -256,6 +257,8 @@ pub struct Runtime {
     /// First impl-coverage violation found at submit time; reported by
     /// [`Runtime::run`] before any thread spawns.
     submit_error: Option<RunError>,
+    /// Fault-injection plan applied by the next run (`None` = no faults).
+    faults: Option<FaultPlan>,
 }
 
 impl Runtime {
@@ -269,7 +272,16 @@ impl Runtime {
             buffers: Vec::new(),
             impls: Vec::new(),
             submit_error: None,
+            faults: None,
         }
+    }
+
+    /// Apply a [`FaultPlan`] to every subsequent run: deterministic slow
+    /// and stalled kernels, skewed model estimates, delayed wakeups. Used
+    /// by the validation harness to prove exactly-once execution and
+    /// termination under adversarial timing; has no effect on results.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = (!plan.is_noop()).then_some(plan);
     }
 
     /// Register a buffer; returns its handle.
@@ -378,7 +390,15 @@ impl Runtime {
         let n = graph.task_count();
         let nw = self.platform.worker_count();
         let platform = &self.platform;
-        let model: &dyn PerfModel = &*self.model;
+        let faults = self.faults.unwrap_or_default();
+        // Estimate skew wraps the model; measured feedback still reaches
+        // the real model underneath.
+        let skewed: Option<SkewedModel> = (faults.estimate_skew > 0.0)
+            .then(|| SkewedModel::new(Arc::clone(&self.model), faults.estimate_skew, faults.seed));
+        let model: &dyn PerfModel = match &skewed {
+            Some(s) => s,
+            None => &*self.model,
+        };
         let buffers = &self.buffers;
         let impls = &self.impls;
         let sched_name = front.name();
@@ -397,8 +417,8 @@ impl Runtime {
             .collect();
         let ready_at: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
         let spans = Mutex::new(Vec::<TaskSpan>::new());
-        // Task types already warned about for fallback estimates.
-        let warned: Mutex<HashSet<(TaskTypeId, ArchId)>> = Mutex::new(HashSet::new());
+        // Fallback-estimate warnings: once per (task type, arch) per run.
+        let warned = FallbackWarnings::new();
 
         let make_view = |now: f64| SchedView {
             est: Estimator::new(&graph, platform, model),
@@ -470,8 +490,7 @@ impl Runtime {
                         let delta_est = est.delta_or_mean(t, arch);
                         if !delta_est.is_exact() {
                             let tt = graph.task(t).ttype;
-                            let mut seen_types = warned.lock().expect("warn set poisoned");
-                            if seen_types.insert((tt, arch)) {
+                            if warned.first(tt, arch) {
                                 let kind = match delta_est {
                                     DeltaEstimate::ArchMean(_) => "arch-class mean",
                                     _ => "uncalibrated default",
@@ -525,6 +544,12 @@ impl Runtime {
                         let mut ctx = TaskCtx::new(bufs, modes);
                         kernel(&mut ctx);
                         drop(ctx);
+                        // Injected slow-down/stall: sleeps *inside* the
+                        // measured window, so history models observe the
+                        // perturbed duration like a real hiccup.
+                        if let Some(delay) = faults.kernel_delay(t.index()) {
+                            std::thread::sleep(delay);
+                        }
                         let t_end = now_us();
                         loads.set(w, t_end);
                         est.record(t, arch, t_end - t_start);
@@ -562,6 +587,11 @@ impl Runtime {
                             let _ = front.drain_prefetches();
                         }
                         completed.fetch_add(1, Ordering::AcqRel);
+                        // Injected wakeup latency: successors were already
+                        // pushed, but parked workers learn about it late.
+                        if let Some(delay) = faults.wake_delay() {
+                            std::thread::sleep(delay);
+                        }
                         // Every push/completion wakes parked workers.
                         wake.notify();
                     }

@@ -28,6 +28,8 @@
 
 pub mod data;
 pub mod engine;
+pub mod fault;
 
 pub use data::{BufRef, TaskCtx};
 pub use engine::{RunError, RunReport, Runtime, TaskBuilder};
+pub use fault::FaultPlan;

@@ -54,6 +54,20 @@ impl<'a> SchedView<'a> {
         self.est.can_exec(t, self.platform().worker(w).arch)
     }
 
+    /// Typed feasibility check of a pop decision: engines call this on
+    /// every task a scheduler hands out, and reject infeasible
+    /// assignments with an [`InfeasibleAssignment`] instead of panicking
+    /// deep inside their staging paths. A scheduler that trips this has
+    /// violated the trait contract ("pop must only return tasks the
+    /// requesting worker can execute").
+    pub fn validate_assignment(&self, t: TaskId, w: WorkerId) -> Result<(), InfeasibleAssignment> {
+        if self.worker_can_exec(t, w) {
+            Ok(())
+        } else {
+            Err(InfeasibleAssignment { task: t, worker: w })
+        }
+    }
+
     /// δ(t, arch of w), `None` when the worker cannot run the task.
     pub fn delta_on_worker(&self, t: TaskId, w: WorkerId) -> Option<f64> {
         self.est.delta(t, self.platform().worker(w).arch)
@@ -94,6 +108,29 @@ impl<'a> SchedView<'a> {
         total
     }
 }
+
+/// A scheduler handed a task to a worker whose architecture cannot run
+/// it — the engine refuses the assignment (see
+/// [`SchedView::validate_assignment`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InfeasibleAssignment {
+    /// The misrouted task.
+    pub task: TaskId,
+    /// The worker it was handed to.
+    pub worker: WorkerId,
+}
+
+impl std::fmt::Display for InfeasibleAssignment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduler assigned {:?} to incapable worker {:?}",
+            self.task, self.worker
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleAssignment {}
 
 /// Feedback events delivered to the scheduler by the engine.
 #[derive(Clone, Copy, Debug)]
@@ -216,5 +253,31 @@ mod tests {
         assert!((ft - expected).abs() < 1e-9);
         // Everything already in RAM: free.
         assert_eq!(view.fetch_time(t, MemNodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn validate_assignment_rejects_incapable_worker() {
+        let mut fx = Fixture::two_arch();
+        let d = fx.graph.add_data(8, "d");
+        let cpu_only = fx.cpu_only;
+        let t = fx
+            .graph
+            .add_task(cpu_only, vec![(d, AccessMode::Read)], 1.0, "t");
+        let view = fx.view();
+        let p = view.platform();
+        // Worker 0 is a CPU in the two_arch fixture; the last worker is
+        // the GPU, which has no implementation of a CPU-only kernel.
+        let cpu = WorkerId(0);
+        let gpu = WorkerId((p.worker_count() - 1) as u32);
+        assert!(view.validate_assignment(t, cpu).is_ok());
+        let err = view.validate_assignment(t, gpu).unwrap_err();
+        assert_eq!(
+            err,
+            InfeasibleAssignment {
+                task: t,
+                worker: gpu
+            }
+        );
+        assert!(err.to_string().contains("incapable worker"));
     }
 }

@@ -36,7 +36,9 @@ pub mod random;
 pub mod testutil;
 pub mod util;
 
-pub use api::{DataLocator, LoadInfo, PrefetchReq, SchedEvent, SchedView, Scheduler};
+pub use api::{
+    DataLocator, InfeasibleAssignment, LoadInfo, PrefetchReq, SchedEvent, SchedView, Scheduler,
+};
 pub use concurrent::{ConcurrentScheduler, GlobalLock, ShardedAdapter};
 pub use dm::{DequeModelScheduler, DmVariant};
 pub use fifo::FifoScheduler;

@@ -1,4 +1,9 @@
 //! Simulated memory state: replicas, coherence, capacity, link queues.
+//!
+//! With `--features audit`, every mutation additionally runs the
+//! invariant auditor (see [`DataStore::take_audit`]); violations are
+//! recorded instead of asserted so a corrupted run still produces a
+//! diagnosable report.
 
 use std::collections::HashMap;
 
@@ -6,6 +11,7 @@ use mp_dag::graph::TaskGraph;
 use mp_dag::ids::DataId;
 use mp_platform::types::{MemNodeId, Platform};
 use mp_sched::api::DataLocator;
+use mp_trace::AuditRecord;
 
 /// Eviction plan: `(ready_time, writebacks)`, each writeback being
 /// `(data, start, end)`.
@@ -56,6 +62,10 @@ pub struct DataStore {
     /// Current simulation time mirror, so `DataLocator` answers "valid
     /// *now*" queries without threading `now` through the trait.
     pub now: f64,
+    /// Invariant violations recorded by the auditor. Only ever written
+    /// under `--features audit`; stays empty (and costs nothing) without
+    /// the feature.
+    audit: Vec<AuditRecord>,
 }
 
 impl DataStore {
@@ -86,6 +96,7 @@ impl DataStore {
             sizes,
             capacities: platform.mem_nodes().iter().map(|m| m.capacity).collect(),
             now: 0.0,
+            audit: Vec::new(),
         }
     }
 
@@ -140,6 +151,11 @@ impl DataStore {
                 self.used[m.index()] <= cap,
                 "node {m:?} over capacity: make_room must be called first"
             );
+        }
+        #[cfg(feature = "audit")]
+        {
+            self.audit_capacity(m);
+            self.audit_coherence(d);
         }
     }
 
@@ -202,6 +218,8 @@ impl DataStore {
         r.valid_at = at;
         r.dirty = true;
         r.last_use = at;
+        #[cfg(feature = "audit")]
+        self.audit_coherence(d);
     }
 
     /// Mark a replica clean (after write-back to RAM).
@@ -209,6 +227,8 @@ impl DataStore {
         if let Some(r) = self.handles[d.index()].get_mut(m) {
             r.dirty = false;
         }
+        #[cfg(feature = "audit")]
+        self.audit_coherence(d);
     }
 
     /// Free space on `m` until `needed` extra bytes fit, evicting
@@ -305,8 +325,118 @@ impl DataStore {
 
     /// Mark the link busy until `until`.
     pub fn set_link_busy(&mut self, from: MemNodeId, to: MemNodeId, until: f64) {
+        #[cfg(feature = "audit")]
+        {
+            let prev = self.link_busy.get(&(from, to)).copied().unwrap_or(0.0);
+            if until < prev - 1e-9 {
+                self.audit.push(AuditRecord::new(
+                    self.now,
+                    mp_trace::AuditKind::LinkTimeRegression,
+                    format!("link {from:?}->{to:?}: busy horizon {until} behind {prev}"),
+                ));
+            }
+        }
         let slot = self.link_busy.entry((from, to)).or_insert(0.0);
         *slot = slot.max(until);
+    }
+
+    // ------------------------------------------------------------------
+    // Auditing
+    // ------------------------------------------------------------------
+
+    /// Replicas still pinned — must be empty once a run has quiesced
+    /// (every pin is released at task completion or on a rejected
+    /// staging attempt). Each entry is `(data, node, pins)`.
+    pub fn leaked_pins(&self) -> Vec<(DataId, MemNodeId, u32)> {
+        let mut out = Vec::new();
+        for (i, h) in self.handles.iter().enumerate() {
+            for &(m, ref r) in &h.replicas {
+                if r.pins > 0 {
+                    out.push((DataId::from_index(i), m, r.pins));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drain the violations recorded so far (engine merges them into the
+    /// [`crate::SimResult`]). Always callable; empty without the
+    /// `audit` feature.
+    pub fn take_audit(&mut self) -> Vec<AuditRecord> {
+        std::mem::take(&mut self.audit)
+    }
+
+    /// MSI coherence of one handle: at most one dirty replica, and a
+    /// dirty replica is the sole copy apart from stale replicas kept
+    /// alive by pinned concurrent readers.
+    #[cfg(feature = "audit")]
+    fn audit_coherence(&mut self, d: DataId) {
+        let reps = &self.handles[d.index()].replicas;
+        let dirty: Vec<MemNodeId> = reps
+            .iter()
+            .filter(|(_, r)| r.dirty)
+            .map(|&(m, _)| m)
+            .collect();
+        if dirty.len() > 1 {
+            self.audit.push(AuditRecord::new(
+                self.now,
+                mp_trace::AuditKind::MultipleDirtyReplicas,
+                format!("{d:?} dirty on {dirty:?}"),
+            ));
+        }
+        if let [owner] = dirty[..] {
+            // Copies fetched *from* the dirty owner after its write
+            // committed (prefetches, shared reads) are coherent: their
+            // valid_at postdates the commit. Only copies predating the
+            // commit hold a stale value.
+            let owner_valid = reps
+                .iter()
+                .find(|&&(m, _)| m == owner)
+                .map(|(_, r)| r.valid_at)
+                .unwrap();
+            let stale_unpinned: Vec<MemNodeId> = reps
+                .iter()
+                .filter(|&&(m, ref r)| m != owner && r.pins == 0 && r.valid_at + 1e-9 < owner_valid)
+                .map(|&(m, _)| m)
+                .collect();
+            if !stale_unpinned.is_empty() {
+                self.audit.push(AuditRecord::new(
+                    self.now,
+                    mp_trace::AuditKind::DirtyNotSole,
+                    format!(
+                        "{d:?} dirty on {owner:?} but stale unpinned copies on {stale_unpinned:?}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Capacity invariant of one node: `used[m] ≤ capacity[m]`.
+    #[cfg(feature = "audit")]
+    fn audit_capacity(&mut self, m: MemNodeId) {
+        if let Some(cap) = self.capacities[m.index()] {
+            if self.used[m.index()] > cap {
+                let used = self.used[m.index()];
+                self.audit.push(AuditRecord::new(
+                    self.now,
+                    mp_trace::AuditKind::CapacityExceeded,
+                    format!("node {m:?}: {used} used > {cap} capacity"),
+                ));
+            }
+        }
+    }
+
+    /// Quiesce-time sweep: record a [`mp_trace::AuditKind::PinLeak`] for
+    /// every replica still pinned after the run drained.
+    #[cfg(feature = "audit")]
+    pub fn audit_quiesce(&mut self) {
+        for (d, m, pins) in self.leaked_pins() {
+            self.audit.push(AuditRecord::new(
+                self.now,
+                mp_trace::AuditKind::PinLeak,
+                format!("{d:?} on {m:?} still holds {pins} pin(s) at quiesce"),
+            ));
+        }
     }
 }
 
@@ -389,6 +519,47 @@ mod tests {
         store.drop_replica(DataId(0), MemNodeId(1));
         assert!(store.replica(DataId(0), MemNodeId(1)).is_none());
         let _ = p;
+    }
+
+    /// Pin accounting must stay balanced across evictions and rejected
+    /// allocation attempts: eviction may only take unpinned replicas,
+    /// a failed `try_make_room` must leave pin counts untouched, and
+    /// `leaked_pins` reports exactly the outstanding pins.
+    #[test]
+    fn pins_balance_across_eviction_and_rejection() {
+        let mut g = TaskGraph::new();
+        let k = g.register_type("K", true, true);
+        let d0 = g.add_data(100, "d0");
+        let d1 = g.add_data(100, "d1");
+        g.add_task(k, vec![(d0, AccessMode::Read)], 1.0, "t");
+        let p = mp_platform::presets::hetero_node(
+            "tiny-gpu",
+            2,
+            1.0,
+            1,
+            1.0,
+            250,
+            1,
+            mp_platform::link::Link::pcie_gen3(),
+        );
+        let mut store = DataStore::new(&g, &p);
+        let gpu = MemNodeId(1);
+        store.allocate(d0, gpu, 0.0, false);
+        store.allocate(d1, gpu, 0.0, false);
+        store.pin(d0, gpu);
+        assert_eq!(store.leaked_pins(), vec![(d0, gpu, 1)]);
+        // Eviction must pick the unpinned d1, leaving d0's pin intact.
+        let (_, wb) = store.make_room(gpu, 100, 1.0, &p);
+        assert!(wb.is_empty());
+        assert!(store.replica(d0, gpu).is_some(), "pinned replica survives");
+        assert!(store.replica(d1, gpu).is_none(), "unpinned LRU evicted");
+        // A request nothing can satisfy fails without touching pins.
+        assert!(store.try_make_room(gpu, 1_000, 1.0, &p).is_err());
+        assert_eq!(store.leaked_pins(), vec![(d0, gpu, 1)]);
+        assert_eq!(store.replica(d0, gpu).unwrap().pins, 1);
+        // Releasing the pin quiesces the store.
+        store.unpin(d0, gpu);
+        assert!(store.leaked_pins().is_empty());
     }
 
     #[test]
@@ -476,6 +647,39 @@ mod tests {
         );
         let mut store = DataStore::new(&g, &p);
         store.make_room(MemNodeId(1), 100, 0.0, &p);
+    }
+
+    /// With the auditor on, deliberately-corrupted coherence state is
+    /// recorded (not asserted): two dirty replicas of one handle and a
+    /// dirty replica coexisting with an unpinned stale copy.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn auditor_flags_coherence_violations_and_pin_leaks() {
+        use mp_trace::AuditKind;
+        let mut g = TaskGraph::new();
+        let k = g.register_type("K", true, true);
+        let d = g.add_data(100, "d");
+        g.add_task(k, vec![(d, AccessMode::Read)], 1.0, "t");
+        // Two GPUs: mem nodes {ram=0, gpu0=1, gpu1=2}.
+        let p = simple(1, 2);
+        let mut store = DataStore::new(&g, &p);
+        // RAM holds a clean unpinned copy from t=0; a dirty allocation
+        // valid later leaves RAM stale, violating "dirty implies sole
+        // up-to-date copy".
+        store.allocate(DataId(0), MemNodeId(1), 10.0, true);
+        // A second dirty replica violates "at most one dirty".
+        store.allocate(DataId(0), MemNodeId(2), 10.0, true);
+        store.pin(DataId(0), MemNodeId(1));
+        store.audit_quiesce();
+        let records = store.take_audit();
+        let kinds: Vec<AuditKind> = records.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&AuditKind::DirtyNotSole), "{records:?}");
+        assert!(
+            kinds.contains(&AuditKind::MultipleDirtyReplicas),
+            "{records:?}"
+        );
+        assert!(kinds.contains(&AuditKind::PinLeak), "{records:?}");
+        assert!(store.take_audit().is_empty(), "take_audit drains");
     }
 
     #[test]

@@ -5,15 +5,17 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use mp_dag::graph::TaskGraph;
 use mp_dag::ids::{DataId, TaskId};
+use mp_dag::task::Task;
 use mp_perfmodel::{Estimator, PerfModel};
-use mp_platform::types::{Platform, WorkerId};
+use mp_platform::types::{MemNodeId, Platform, WorkerId};
 use mp_sched::api::{LoadInfo, PrefetchReq, SchedEvent, SchedView, Scheduler};
-use mp_trace::{TaskSpan, Trace, TransferKind, TransferSpan};
+use mp_trace::{AuditRecord, TaskSpan, Trace, TransferKind, TransferSpan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::SimConfig;
 use crate::data::DataStore;
+use crate::error::SimError;
 use crate::result::{SimResult, SimStats};
 
 /// Queue entry: finish of task `t` on worker `w` at `time`.
@@ -66,12 +68,282 @@ impl LoadInfo for Loads {
     }
 }
 
+// -------------------------------------------------------------------
+// Staging helpers (module-level so the error paths are unit-testable).
+// -------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn run_prefetches(
+    scheduler: &mut dyn Scheduler,
+    store: &mut DataStore,
+    platform: &Platform,
+    cfg: &SimConfig,
+    now: f64,
+    trace: &mut Trace,
+    stats: &mut SimStats,
+    drained: &mut Vec<PrefetchReq>,
+) {
+    drained.clear();
+    scheduler.drain_prefetches_into(drained);
+    for &req in drained.iter() {
+        if !cfg.enable_prefetch {
+            continue;
+        }
+        if store.replica(req.data, req.node).is_some() {
+            continue;
+        }
+        let size = store.size(req.data);
+        // Prefetches may evict clean LRU replicas but never force
+        // write-backs; when that is not enough, skip the request.
+        if !make_room_clean_only(store, req.node, size, platform, stats) {
+            continue;
+        }
+        let Some((src, start, end)) = pick_source(store, platform, req.data, req.node, now) else {
+            continue;
+        };
+        store.set_link_busy(src, req.node, end);
+        store.allocate(req.data, req.node, end, false);
+        stats.prefetch_bytes += size;
+        if cfg.record_trace {
+            trace.transfers.push(TransferSpan {
+                data: req.data,
+                from: src,
+                to: req.node,
+                bytes: size,
+                start,
+                end,
+                kind: TransferKind::Prefetch,
+            });
+        }
+    }
+}
+
+/// Clean-only eviction for prefetch: true when the space is available.
+fn make_room_clean_only(
+    store: &mut DataStore,
+    node: MemNodeId,
+    needed: u64,
+    platform: &Platform,
+    stats: &mut SimStats,
+) -> bool {
+    let cap = match platform.mem_node(node).capacity {
+        None => return true,
+        Some(c) => c,
+    };
+    if needed > cap {
+        return false;
+    }
+    loop {
+        if store.used(node) + needed <= cap {
+            return true;
+        }
+        // LRU among clean, unpinned replicas.
+        let victim = (0..store.handle_count())
+            .filter_map(|i| {
+                let d = DataId::from_index(i);
+                store
+                    .replica(d, node)
+                    .and_then(|r| (r.pins == 0 && !r.dirty).then_some((d, r.last_use)))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        match victim {
+            Some((d, _)) => {
+                store.drop_replica(d, node);
+                stats.capacity_evictions += 1;
+            }
+            None => return false,
+        }
+    }
+}
+
+/// A task may list the same handle several times (e.g. a symmetric
+/// kernel reading a tile twice); fold to one entry per handle with
+/// merged modes so pins/allocations stay balanced.
+fn fold_accesses_into(task: &Task, out: &mut Vec<(DataId, bool, bool)>) {
+    out.clear();
+    for a in &task.accesses {
+        match out.iter_mut().find(|(d, _, _)| *d == a.data) {
+            Some((_, r, w)) => {
+                *r |= a.mode.reads();
+                *w |= a.mode.writes();
+            }
+            None => out.push((a.data, a.mode.reads(), a.mode.writes())),
+        }
+    }
+}
+
+/// Best source replica for fetching `d` to `to`: minimize completion.
+fn pick_source(
+    store: &DataStore,
+    platform: &Platform,
+    d: DataId,
+    to: MemNodeId,
+    now: f64,
+) -> Option<(MemNodeId, f64, f64)> {
+    let size = store.size(d);
+    store
+        .holders_full(d)
+        .iter()
+        .filter(|(n, _)| *n != to)
+        .map(|&(src, rep)| {
+            let start = store.link_start(src, to, now).max(rep.valid_at);
+            let end = start + platform.transfer_time(size, src, to);
+            (src, start, end)
+        })
+        .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
+}
+
+/// Release every pin [`prepare_task`] has taken so far: the present
+/// folded replicas plus the first `fetched` missing entries (those are
+/// pinned right after their allocation). Called on every rejection or
+/// deferral exit so pin counts stay balanced — a task rejected between
+/// pin and unpin must not leak pins.
+fn rollback_pins(store: &mut DataStore, scratch: &Scratch, m: MemNodeId, fetched: usize) {
+    for &(d, _, _) in &scratch.folded {
+        if scratch.missing.iter().all(|&(md, _)| md != d) {
+            store.unpin(d, m);
+        }
+    }
+    for &(d, _) in &scratch.missing[..fetched] {
+        store.unpin(d, m);
+    }
+}
+
+/// Stage task `t` for worker `w` at time `now`: reserve memory, pin
+/// replicas and launch the input transfers. Returns the time at which
+/// every input is resident (the earliest possible execution start).
+///
+/// With `best_effort`, an allocation failure (device memory full of
+/// pinned working sets) rolls back the pins and returns `Ok(None)` — the
+/// caller defers preparation to execution time, when the pipeline's
+/// earlier tasks have unpinned their data. Without it, the same failure
+/// is [`SimError::OutOfMemory`]. An incapable worker or a handle with no
+/// replica anywhere is a typed error either way, with every pin taken so
+/// far rolled back.
+#[allow(clippy::too_many_arguments)]
+fn prepare_task(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &dyn PerfModel,
+    store: &mut DataStore,
+    cfg: &SimConfig,
+    trace: &mut Trace,
+    stats: &mut SimStats,
+    scratch: &mut Scratch,
+    w: WorkerId,
+    t: TaskId,
+    now: f64,
+    best_effort: bool,
+) -> Result<Option<f64>, SimError> {
+    let worker = platform.worker(w);
+    let m = worker.mem_node;
+    let est = Estimator::new(graph, platform, model);
+    if est.delta(t, worker.arch).is_none() {
+        return Err(SimError::IncapableWorker { task: t, worker: w });
+    }
+    let task = graph.task(t);
+
+    // Pin present replicas first so eviction cannot take them.
+    fold_accesses_into(task, &mut scratch.folded);
+    scratch.missing.clear();
+    let mut needed_bytes = 0u64;
+    let mut arrive = now;
+    for &(d, reads, _) in &scratch.folded {
+        match store.replica(d, m) {
+            Some(rep) => {
+                if reads {
+                    arrive = arrive.max(rep.valid_at); // in-flight prefetch
+                }
+                store.pin(d, m);
+                store.touch(d, m, now);
+            }
+            None => {
+                needed_bytes += store.size(d);
+                scratch.missing.push((d, reads));
+            }
+        }
+    }
+
+    // Reserve space (may trigger LRU eviction + dirty write-backs).
+    let (space_ready, writebacks) = match store.try_make_room(m, needed_bytes, now, platform) {
+        Ok(r) => r,
+        Err((used, cap)) => {
+            rollback_pins(store, scratch, m, 0);
+            return if best_effort {
+                Ok(None)
+            } else {
+                Err(SimError::OutOfMemory {
+                    node: m,
+                    used,
+                    needed: needed_bytes,
+                    capacity: cap,
+                })
+            };
+        }
+    };
+    for (d, start, end) in writebacks {
+        stats.writeback_bytes += store.size(d);
+        stats.capacity_evictions += 1;
+        if cfg.record_trace {
+            trace.transfers.push(TransferSpan {
+                data: d,
+                from: m,
+                to: platform.ram(),
+                bytes: store.size(d),
+                start,
+                end,
+                kind: TransferKind::WriteBack,
+            });
+        }
+    }
+    arrive = arrive.max(space_ready);
+
+    // Fetch missing reads; allocate missing writes in place.
+    for k in 0..scratch.missing.len() {
+        let (d, is_read) = scratch.missing[k];
+        if is_read {
+            let Some((src, start, end)) = pick_source(store, platform, d, m, space_ready.max(now))
+            else {
+                rollback_pins(store, scratch, m, k);
+                return Err(SimError::NoValidReplica {
+                    data: d,
+                    task: t,
+                    node: m,
+                });
+            };
+            store.set_link_busy(src, m, end);
+            store.allocate(d, m, end, false);
+            stats.demand_bytes += store.size(d);
+            if cfg.record_trace {
+                trace.transfers.push(TransferSpan {
+                    data: d,
+                    from: src,
+                    to: m,
+                    bytes: store.size(d),
+                    start,
+                    end,
+                    kind: TransferKind::Demand,
+                });
+            }
+            arrive = arrive.max(end);
+        } else {
+            // Write-only: contents materialize at task completion.
+            store.allocate(d, m, f64::MAX, false);
+        }
+        store.pin(d, m);
+    }
+
+    Ok(Some(arrive))
+}
+
 /// Run `graph` on `platform` under `scheduler`, returning the makespan,
 /// trace and statistics. Deterministic for a fixed config.
 ///
-/// Panics when the scheduler deadlocks (refuses every idle worker while
-/// unfinished tasks remain and nothing is running) or when a task's
-/// working set cannot fit in its target device memory.
+/// Never panics on scheduler misbehavior: a contract violation (pop to
+/// an incapable worker, double pop, deadlock) or an unsatisfiable memory
+/// state stops the run with a typed [`SimError`] in
+/// [`SimResult::error`], preserving the trace and statistics up to the
+/// failure for diagnosis.
 pub fn simulate(
     graph: &TaskGraph,
     platform: &Platform,
@@ -91,9 +363,19 @@ pub fn simulate(
         .collect();
     let mut pushed_at: Vec<f64> = vec![0.0; n];
     let mut done: Vec<bool> = vec![false; n];
+    // Tasks handed out by the scheduler so far: a second pop of the same
+    // task is rejected as a typed error before it can corrupt state.
+    let mut popped: Vec<bool> = vec![false; n];
     let mut completed = 0usize;
     let mut trace = Trace::new(nw);
     let mut stats = SimStats::default();
+    // First typed failure; stops dispatching and surfaces in the result.
+    let mut failure: Option<SimError> = None;
+    // Engine-side audit records (event-time monotonicity); only written
+    // under `--features audit`.
+    let mut engine_audit: Vec<AuditRecord> = Vec::new();
+    #[cfg(feature = "audit")]
+    let mut last_event_time = 0.0f64;
 
     // Log-normal noise factor with E[x] ≈ 1.
     let noise = |rng: &mut StdRng| -> f64 {
@@ -106,252 +388,6 @@ pub fn simulate(
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         (sigma * z - sigma * sigma / 2.0).exp()
     };
-
-    // ---------------------------------------------------------------
-    // Helpers (closures capturing by argument to appease the borrowck).
-    // ---------------------------------------------------------------
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_prefetches(
-        scheduler: &mut dyn Scheduler,
-        store: &mut DataStore,
-        platform: &Platform,
-        cfg: &SimConfig,
-        now: f64,
-        trace: &mut Trace,
-        stats: &mut SimStats,
-        drained: &mut Vec<PrefetchReq>,
-    ) {
-        drained.clear();
-        scheduler.drain_prefetches_into(drained);
-        for &req in drained.iter() {
-            if !cfg.enable_prefetch {
-                continue;
-            }
-            if store.replica(req.data, req.node).is_some() {
-                continue;
-            }
-            let size = store.size(req.data);
-            // Prefetches may evict clean LRU replicas but never force
-            // write-backs; when that is not enough, skip the request.
-            if !make_room_clean_only(store, req.node, size, platform, stats) {
-                continue;
-            }
-            let Some((src, start, end)) = pick_source(store, platform, req.data, req.node, now)
-            else {
-                continue;
-            };
-            store.set_link_busy(src, req.node, end);
-            store.allocate(req.data, req.node, end, false);
-            stats.prefetch_bytes += size;
-            if cfg.record_trace {
-                trace.transfers.push(TransferSpan {
-                    data: req.data,
-                    from: src,
-                    to: req.node,
-                    bytes: size,
-                    start,
-                    end,
-                    kind: TransferKind::Prefetch,
-                });
-            }
-        }
-    }
-
-    /// Clean-only eviction for prefetch: true when the space is available.
-    fn make_room_clean_only(
-        store: &mut DataStore,
-        node: mp_platform::types::MemNodeId,
-        needed: u64,
-        platform: &Platform,
-        stats: &mut SimStats,
-    ) -> bool {
-        let cap = match platform.mem_node(node).capacity {
-            None => return true,
-            Some(c) => c,
-        };
-        if needed > cap {
-            return false;
-        }
-        loop {
-            if store.used(node) + needed <= cap {
-                return true;
-            }
-            // LRU among clean, unpinned replicas.
-            let victim = (0..store_handle_count(store))
-                .filter_map(|i| {
-                    let d = mp_dag::ids::DataId::from_index(i);
-                    store
-                        .replica(d, node)
-                        .and_then(|r| (r.pins == 0 && !r.dirty).then_some((d, r.last_use)))
-                })
-                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-            match victim {
-                Some((d, _)) => {
-                    store.drop_replica(d, node);
-                    stats.capacity_evictions += 1;
-                }
-                None => return false,
-            }
-        }
-    }
-
-    fn store_handle_count(store: &DataStore) -> usize {
-        // DataStore sizes are per handle; expose count via sizes length.
-        store.handle_count()
-    }
-
-    /// A task may list the same handle several times (e.g. a symmetric
-    /// kernel reading a tile twice); fold to one entry per handle with
-    /// merged modes so pins/allocations stay balanced.
-    fn fold_accesses_into(task: &mp_dag::task::Task, out: &mut Vec<(DataId, bool, bool)>) {
-        out.clear();
-        for a in &task.accesses {
-            match out.iter_mut().find(|(d, _, _)| *d == a.data) {
-                Some((_, r, w)) => {
-                    *r |= a.mode.reads();
-                    *w |= a.mode.writes();
-                }
-                None => out.push((a.data, a.mode.reads(), a.mode.writes())),
-            }
-        }
-    }
-
-    /// Best source replica for fetching `d` to `to`: minimize completion.
-    fn pick_source(
-        store: &DataStore,
-        platform: &Platform,
-        d: mp_dag::ids::DataId,
-        to: mp_platform::types::MemNodeId,
-        now: f64,
-    ) -> Option<(mp_platform::types::MemNodeId, f64, f64)> {
-        let size = store.size(d);
-        store
-            .holders_full(d)
-            .iter()
-            .filter(|(n, _)| *n != to)
-            .map(|&(src, rep)| {
-                let start = store.link_start(src, to, now).max(rep.valid_at);
-                let end = start + platform.transfer_time(size, src, to);
-                (src, start, end)
-            })
-            .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
-    }
-
-    // Stage task `t` for worker `w` at time `now`: reserve memory, pin
-    // replicas and launch the input transfers. Returns the time at which
-    // every input is resident (the earliest possible execution start).
-    //
-    // With `best_effort`, an allocation failure (device memory full of
-    // pinned working sets) rolls back the pins and returns `None` — the
-    // caller defers preparation to execution time, when the pipeline's
-    // earlier tasks have unpinned their data. Without it, failure panics.
-    #[allow(clippy::too_many_arguments)]
-    fn prepare_task(
-        graph: &TaskGraph,
-        platform: &Platform,
-        model: &dyn PerfModel,
-        store: &mut DataStore,
-        cfg: &SimConfig,
-        trace: &mut Trace,
-        stats: &mut SimStats,
-        scratch: &mut Scratch,
-        w: WorkerId,
-        t: TaskId,
-        now: f64,
-        best_effort: bool,
-    ) -> Option<f64> {
-        let worker = platform.worker(w);
-        let m = worker.mem_node;
-        let est = Estimator::new(graph, platform, model);
-        est.delta(t, worker.arch)
-            .unwrap_or_else(|| panic!("scheduler assigned {t:?} to incapable worker {w:?}"));
-        let task = graph.task(t);
-
-        // Pin present replicas first so eviction cannot take them.
-        fold_accesses_into(task, &mut scratch.folded);
-        scratch.missing.clear();
-        let mut needed_bytes = 0u64;
-        let mut arrive = now;
-        for &(d, reads, _) in &scratch.folded {
-            match store.replica(d, m) {
-                Some(rep) => {
-                    if reads {
-                        arrive = arrive.max(rep.valid_at); // in-flight prefetch
-                    }
-                    store.pin(d, m);
-                    store.touch(d, m, now);
-                }
-                None => {
-                    needed_bytes += store.size(d);
-                    scratch.missing.push((d, reads));
-                }
-            }
-        }
-
-        // Reserve space (may trigger LRU eviction + dirty write-backs).
-        let (space_ready, writebacks) = if best_effort {
-            match store.try_make_room(m, needed_bytes, now, platform) {
-                Ok(r) => r,
-                Err(_) => {
-                    // Roll back: unpin what we pinned and defer.
-                    for &(d, _, _) in &scratch.folded {
-                        if scratch.missing.iter().all(|&(md, _)| md != d) {
-                            store.unpin(d, m);
-                        }
-                    }
-                    return None;
-                }
-            }
-        } else {
-            store.make_room(m, needed_bytes, now, platform)
-        };
-        for (d, start, end) in writebacks {
-            stats.writeback_bytes += store.size(d);
-            stats.capacity_evictions += 1;
-            if cfg.record_trace {
-                trace.transfers.push(TransferSpan {
-                    data: d,
-                    from: m,
-                    to: platform.ram(),
-                    bytes: store.size(d),
-                    start,
-                    end,
-                    kind: TransferKind::WriteBack,
-                });
-            }
-        }
-        arrive = arrive.max(space_ready);
-
-        // Fetch missing reads; allocate missing writes in place.
-        for &(d, is_read) in &scratch.missing {
-            if is_read {
-                let (src, start, end) = pick_source(store, platform, d, m, space_ready.max(now))
-                    .unwrap_or_else(|| panic!("no valid replica of {d:?} anywhere"));
-                store.set_link_busy(src, m, end);
-                store.allocate(d, m, end, false);
-                stats.demand_bytes += store.size(d);
-                if cfg.record_trace {
-                    trace.transfers.push(TransferSpan {
-                        data: d,
-                        from: src,
-                        to: m,
-                        bytes: store.size(d),
-                        start,
-                        end,
-                        kind: TransferKind::Demand,
-                    });
-                }
-                arrive = arrive.max(end);
-            } else {
-                // Write-only: contents materialize at task completion.
-                store.allocate(d, m, f64::MAX, false);
-            }
-            store.pin(d, m);
-        }
-
-        Some(arrive)
-    }
 
     // ---------------------------------------------------------------
     // Main loop.
@@ -440,11 +476,38 @@ pub fn simulate(
         }};
     }
 
+    // Vet a pop decision: typed rejection of contract violations (double
+    // pop, incapable worker) instead of downstream panics. On success
+    // the task is marked handed-out.
+    macro_rules! vet_pop {
+        ($t:expr, $w:expr, $now:expr) => {{
+            let (t, w, now): (TaskId, WorkerId, f64) = ($t, $w, $now);
+            if popped[t.index()] {
+                Some(SimError::DoubleExecution { task: t })
+            } else {
+                let verdict = {
+                    let view = view!(now);
+                    view.validate_assignment(t, w)
+                };
+                match verdict {
+                    Ok(()) => {
+                        popped[t.index()] = true;
+                        None
+                    }
+                    Err(e) => Some(SimError::IncapableWorker {
+                        task: e.task,
+                        worker: e.worker,
+                    }),
+                }
+            }
+        }};
+    }
+
     macro_rules! dispatch {
         ($now:expr) => {{
             let now: f64 = $now;
             store.now = now;
-            loop {
+            'dispatch: loop {
                 let mut progress = false;
                 rotation = (rotation + 1) % nw.max(1);
                 // Pass 1: idle workers (they need work immediately).
@@ -460,7 +523,7 @@ pub fn simulate(
                             Some(a) => a,
                             // Deferred prepare: earlier pipeline tasks
                             // have unpinned their data by now.
-                            None => prepare_task(
+                            None => match prepare_task(
                                 graph,
                                 platform,
                                 model,
@@ -473,20 +536,29 @@ pub fn simulate(
                                 t,
                                 now,
                                 false,
-                            )
-                            .expect("strict prepare cannot fail"),
+                            ) {
+                                Ok(a) => a.expect("strict prepare never defers"),
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break 'dispatch;
+                                }
+                            },
                         };
                         begin_exec!(wi, t, arrive, nf, now);
                         progress = true;
                         continue;
                     }
-                    let popped = {
+                    let fresh = {
                         let view = view!(now);
                         scheduler.pop(w, &view)
                     };
-                    match popped {
+                    match fresh {
                         Some(t) => {
-                            let arrive = prepare_task(
+                            if let Some(e) = vet_pop!(t, w, now) {
+                                failure = Some(e);
+                                break 'dispatch;
+                            }
+                            let arrive = match prepare_task(
                                 graph,
                                 platform,
                                 model,
@@ -499,8 +571,13 @@ pub fn simulate(
                                 t,
                                 now,
                                 false,
-                            )
-                            .expect("strict prepare cannot fail");
+                            ) {
+                                Ok(a) => a.expect("strict prepare never defers"),
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break 'dispatch;
+                                }
+                            };
                             let nf = noise(&mut rng);
                             begin_exec!(wi, t, arrive, nf, now);
                             progress = true;
@@ -516,13 +593,17 @@ pub fn simulate(
                     if !running[wi] || !gpu_class[wi] || next_slot[wi].len() >= GPU_LOOKAHEAD {
                         continue;
                     }
-                    let popped = {
+                    let fresh = {
                         let view = view!(now);
                         scheduler.pop(w, &view)
                     };
-                    match popped {
+                    match fresh {
                         Some(t) => {
-                            let arrive = prepare_task(
+                            if let Some(e) = vet_pop!(t, w, now) {
+                                failure = Some(e);
+                                break 'dispatch;
+                            }
+                            let arrive = match prepare_task(
                                 graph,
                                 platform,
                                 model,
@@ -535,7 +616,13 @@ pub fn simulate(
                                 t,
                                 now,
                                 true,
-                            );
+                            ) {
+                                Ok(a) => a,
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break 'dispatch;
+                                }
+                            };
                             let nf = noise(&mut rng);
                             next_slot[wi].push_back((t, arrive, nf));
                             // Publish queued work so push-time mappers see it.
@@ -580,8 +667,23 @@ pub fn simulate(
     }
     dispatch!(0.0);
 
-    while let Some(Reverse(ev)) = events.pop() {
+    while failure.is_none() {
+        let Some(Reverse(ev)) = events.pop() else {
+            break;
+        };
         let now = ev.time;
+        #[cfg(feature = "audit")]
+        {
+            use mp_trace::AuditKind;
+            if now < last_event_time - 1e-9 {
+                engine_audit.push(AuditRecord::new(
+                    now,
+                    AuditKind::EventTimeRegression,
+                    format!("event at {now} after {last_event_time}"),
+                ));
+            }
+            last_event_time = last_event_time.max(now);
+        }
         store.now = now;
         let t = ev.t;
         let w = ev.w;
@@ -665,40 +767,165 @@ pub fn simulate(
         dispatch!(now);
     }
 
-    assert_eq!(
-        completed,
-        n,
-        "simulation ended with {} of {n} tasks executed: scheduler '{}' deadlocked \
-         ({} still pending inside the scheduler)",
-        completed,
-        scheduler.name(),
-        scheduler.pending()
-    );
+    if failure.is_none() && completed != n {
+        failure = Some(SimError::Deadlock {
+            completed,
+            total: n,
+            pending: scheduler.pending(),
+        });
+    }
     stats.tasks = completed;
 
     let makespan = exec_end.iter().copied().fold(0.0f64, f64::max);
-    if cfg.validate && cfg.record_trace {
-        trace.validate().expect("trace validation failed");
-        // Precedence: every task starts at or after all predecessors end.
-        for span in &trace.tasks {
-            for &p in graph.preds(span.task) {
-                let pe = trace.span_of(p).expect("predecessor executed").end;
-                assert!(
-                    span.start >= pe - 1e-6,
-                    "{:?} started at {} before predecessor {:?} ended at {}",
-                    span.task,
-                    span.start,
-                    p,
-                    pe
-                );
+    if failure.is_none() {
+        // Pin balance at quiesce: every pin taken while staging must have
+        // been released by a completion or an error rollback.
+        debug_assert!(
+            store.leaked_pins().is_empty(),
+            "pin leak at quiesce: {:?}",
+            store.leaked_pins()
+        );
+        #[cfg(feature = "audit")]
+        store.audit_quiesce();
+        if cfg.validate && cfg.record_trace {
+            trace.validate().expect("trace validation failed");
+            // Precedence: every task starts at or after all predecessors end.
+            for span in &trace.tasks {
+                for &p in graph.preds(span.task) {
+                    let pe = trace.span_of(p).expect("predecessor executed").end;
+                    assert!(
+                        span.start >= pe - 1e-6,
+                        "{:?} started at {} before predecessor {:?} ended at {}",
+                        span.task,
+                        span.start,
+                        p,
+                        pe
+                    );
+                }
             }
         }
     }
+
+    let mut audit = store.take_audit();
+    audit.append(&mut engine_audit);
 
     SimResult {
         scheduler: scheduler.name().to_string(),
         makespan,
         trace,
         stats,
+        error: failure,
+        audit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_dag::access::AccessMode;
+    use mp_perfmodel::{TableModel, TimeFn};
+    use mp_platform::presets::simple;
+    use mp_platform::types::ArchClass;
+
+    fn fixture() -> (TaskGraph, Platform, TableModel) {
+        let mut g = TaskGraph::new();
+        let k = g.register_type("K", true, true);
+        let d = g.add_data(64, "d");
+        g.add_task(k, vec![(d, AccessMode::Read)], 1.0, "t");
+        let p = simple(1, 1);
+        let m = TableModel::builder()
+            .set("K", ArchClass::Cpu, TimeFn::Const(10.0))
+            .set("K", ArchClass::Gpu, TimeFn::Const(5.0))
+            .build();
+        (g, p, m)
+    }
+
+    /// An orphaned handle (no replica anywhere) surfaces as a typed
+    /// `NoValidReplica`, and the rejected staging attempt leaks no pins.
+    #[test]
+    fn stage_without_any_replica_is_typed_error() {
+        let (g, p, m) = fixture();
+        let d = DataId(0);
+        let t = TaskId(0);
+        let mut store = DataStore::new(&g, &p);
+        store.drop_replica(d, p.ram());
+        let mut scratch = Scratch::default();
+        let mut trace = Trace::new(p.worker_count());
+        let mut stats = SimStats::default();
+        let cfg = SimConfig::default();
+        // Worker 1 is the GPU in `simple(1, 1)`: the read must be
+        // fetched, but no node holds the handle.
+        let err = prepare_task(
+            &g,
+            &p,
+            &m,
+            &mut store,
+            &cfg,
+            &mut trace,
+            &mut stats,
+            &mut scratch,
+            WorkerId(1),
+            t,
+            0.0,
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NoValidReplica {
+                data: d,
+                task: t,
+                node: MemNodeId(1),
+            }
+        );
+        assert!(
+            store.leaked_pins().is_empty(),
+            "error path rolled pins back"
+        );
+    }
+
+    /// A task without an implementation for the worker's arch is a typed
+    /// `IncapableWorker` (the old panic path at the top of staging).
+    #[test]
+    fn stage_on_incapable_worker_is_typed_error() {
+        let mut g = TaskGraph::new();
+        let k = g.register_type("CPUONLY", true, false);
+        let d = g.add_data(64, "d");
+        let t = g.add_task(k, vec![(d, AccessMode::Read)], 1.0, "t");
+        let p = simple(1, 1);
+        let m = TableModel::builder()
+            .set("CPUONLY", ArchClass::Cpu, TimeFn::Const(10.0))
+            .build();
+        let mut store = DataStore::new(&g, &p);
+        let mut scratch = Scratch::default();
+        let mut trace = Trace::new(p.worker_count());
+        let mut stats = SimStats::default();
+        let err = prepare_task(
+            &g,
+            &p,
+            &m,
+            &mut store,
+            &cfg_default(),
+            &mut trace,
+            &mut stats,
+            &mut scratch,
+            WorkerId(1), // the GPU worker
+            t,
+            0.0,
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::IncapableWorker {
+                task: t,
+                worker: WorkerId(1),
+            }
+        );
+        assert!(store.leaked_pins().is_empty());
+    }
+
+    fn cfg_default() -> SimConfig {
+        SimConfig::default()
     }
 }

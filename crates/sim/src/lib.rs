@@ -22,12 +22,25 @@
 //!
 //! Determinism: identical inputs and seed produce identical results; the
 //! event queue breaks time ties by sequence number.
+//!
+//! Failures are typed: a scheduler that violates its contract (incapable
+//! worker, double pop, deadlock) or a memory state that cannot be
+//! satisfied stops the run with a [`SimError`] in [`SimResult::error`]
+//! rather than panicking.
+//!
+//! Built with `--features audit`, every [`data::DataStore`] mutation and
+//! every event additionally runs an invariant auditor (MSI coherence,
+//! capacity, pin balance, link/event monotonicity); violations are
+//! reported as [`mp_trace::AuditRecord`]s in [`SimResult::audit`]. With
+//! the feature off the checks compile to nothing.
 
 pub mod config;
 pub mod data;
 pub mod engine;
+pub mod error;
 pub mod result;
 
 pub use config::SimConfig;
 pub use engine::simulate;
+pub use error::SimError;
 pub use result::{SimResult, SimStats};

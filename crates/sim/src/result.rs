@@ -1,7 +1,9 @@
 //! Simulation results and aggregate statistics.
 
 use mp_platform::types::Platform;
-use mp_trace::{Trace, TransferKind};
+use mp_trace::{AuditRecord, Trace, TransferKind};
+
+use crate::error::SimError;
 
 /// Aggregate counters of one run.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -31,9 +33,31 @@ pub struct SimResult {
     pub trace: Trace,
     /// Aggregate counters.
     pub stats: SimStats,
+    /// Why the run stopped early, if it did. `None` means every task
+    /// executed. Former `panic!` abort paths (incapable worker, missing
+    /// replica, out-of-memory, deadlock) land here instead, with the
+    /// trace and stats up to the failure preserved for diagnosis.
+    pub error: Option<SimError>,
+    /// Invariant violations found by the auditor. Always empty unless
+    /// the crate is built with `--features audit` (the checks compile to
+    /// nothing otherwise).
+    pub audit: Vec<AuditRecord>,
 }
 
 impl SimResult {
+    /// Did the run execute every task without error?
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The result, or the typed error if the run stopped early.
+    pub fn ok(self) -> Result<SimResult, SimError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self),
+        }
+    }
+
     /// Achieved throughput in GFlop/s for a graph of `total_flops`.
     pub fn gflops(&self, total_flops: f64) -> f64 {
         if self.makespan <= 0.0 {
@@ -69,10 +93,31 @@ mod tests {
             makespan: 1e6, // 1 second
             trace: Trace::new(0),
             stats: SimStats::default(),
+            error: None,
+            audit: Vec::new(),
         };
         // 2e9 flops in 1 s = 2 GFlop/s.
         assert!((r.gflops(2e9) - 2.0).abs() < 1e-12);
+        assert!(r.is_complete());
         let zero = SimResult { makespan: 0.0, ..r };
         assert_eq!(zero.gflops(1.0), 0.0);
+    }
+
+    #[test]
+    fn ok_surfaces_the_error() {
+        let r = SimResult {
+            scheduler: "x".into(),
+            makespan: 0.0,
+            trace: Trace::new(0),
+            stats: SimStats::default(),
+            error: Some(crate::SimError::Deadlock {
+                completed: 0,
+                total: 1,
+                pending: 1,
+            }),
+            audit: Vec::new(),
+        };
+        assert!(!r.is_complete());
+        assert!(matches!(r.ok(), Err(crate::SimError::Deadlock { .. })));
     }
 }

@@ -1,0 +1,160 @@
+//! Regression tests: a scheduler that violates its contract must stop
+//! the simulation with a typed [`SimError`] in `SimResult::error` — the
+//! engine formerly aborted the whole process with `panic!` deep inside
+//! task staging.
+
+use mp_dag::{AccessMode, TaskGraph, TaskId};
+use mp_perfmodel::{TableModel, TimeFn};
+use mp_platform::presets::simple;
+use mp_platform::types::{ArchClass, WorkerId};
+use mp_sched::{SchedView, Scheduler};
+use mp_sim::{simulate, SimConfig, SimError};
+
+/// Two CPU-only tasks; `simple(1, 1)` provides one CPU and one GPU.
+fn cpu_only_fixture() -> (TaskGraph, mp_platform::types::Platform, TableModel) {
+    let mut g = TaskGraph::new();
+    let k = g.register_type("CPUONLY", true, false);
+    for i in 0..2 {
+        let d = g.add_data(1024, format!("d{i}"));
+        g.add_task(k, vec![(d, AccessMode::ReadWrite)], 1.0, format!("t{i}"));
+    }
+    let p = simple(1, 1);
+    let m = TableModel::builder()
+        .set("CPUONLY", ArchClass::Cpu, TimeFn::Const(100.0))
+        .build();
+    (g, p, m)
+}
+
+/// Hands every task to every worker that asks, capability be damned.
+struct BlindScheduler {
+    queue: Vec<TaskId>,
+}
+
+impl Scheduler for BlindScheduler {
+    fn name(&self) -> &'static str {
+        "blind"
+    }
+    fn push(&mut self, t: TaskId, _releaser: Option<WorkerId>, _view: &SchedView<'_>) {
+        self.queue.push(t);
+    }
+    fn pop(&mut self, _w: WorkerId, _view: &SchedView<'_>) -> Option<TaskId> {
+        self.queue.pop()
+    }
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Accepts pushes but never hands anything out.
+struct HoardingScheduler {
+    held: usize,
+}
+
+impl Scheduler for HoardingScheduler {
+    fn name(&self) -> &'static str {
+        "hoarding"
+    }
+    fn push(&mut self, _t: TaskId, _releaser: Option<WorkerId>, _view: &SchedView<'_>) {
+        self.held += 1;
+    }
+    fn pop(&mut self, _w: WorkerId, _view: &SchedView<'_>) -> Option<TaskId> {
+        None
+    }
+    fn pending(&self) -> usize {
+        self.held
+    }
+}
+
+/// Hands out the first task it ever saw, over and over.
+struct StutteringScheduler {
+    first: Option<TaskId>,
+}
+
+impl Scheduler for StutteringScheduler {
+    fn name(&self) -> &'static str {
+        "stuttering"
+    }
+    fn push(&mut self, t: TaskId, _releaser: Option<WorkerId>, _view: &SchedView<'_>) {
+        self.first.get_or_insert(t);
+    }
+    fn pop(&mut self, _w: WorkerId, _view: &SchedView<'_>) -> Option<TaskId> {
+        self.first
+    }
+    fn pending(&self) -> usize {
+        usize::from(self.first.is_some())
+    }
+}
+
+#[test]
+fn incapable_assignment_is_a_typed_error_not_an_abort() {
+    let (g, p, m) = cpu_only_fixture();
+    let mut s = BlindScheduler { queue: Vec::new() };
+    let r = simulate(&g, &p, &m, &mut s, SimConfig::default());
+    assert!(!r.is_complete());
+    match r.error {
+        Some(SimError::IncapableWorker { task: _, worker }) => {
+            // `simple(1, 1)`: worker 1 is the GPU — the only incapable one.
+            assert_eq!(worker, WorkerId(1));
+        }
+        other => panic!("expected IncapableWorker, got {other:?}"),
+    }
+    assert!(matches!(r.ok(), Err(SimError::IncapableWorker { .. })));
+}
+
+#[test]
+fn refusing_every_pop_is_a_typed_deadlock() {
+    let (g, p, m) = cpu_only_fixture();
+    let mut s = HoardingScheduler { held: 0 };
+    let r = simulate(&g, &p, &m, &mut s, SimConfig::default());
+    assert_eq!(
+        r.error,
+        Some(SimError::Deadlock {
+            completed: 0,
+            total: 2,
+            pending: 2,
+        })
+    );
+    assert_eq!(r.stats.tasks, 0);
+}
+
+/// Two tasks runnable on either arch, so only the double pop can trip.
+fn both_arch_fixture() -> (TaskGraph, mp_platform::types::Platform, TableModel) {
+    let mut g = TaskGraph::new();
+    let k = g.register_type("BOTH", true, true);
+    for i in 0..2 {
+        let d = g.add_data(1024, format!("d{i}"));
+        g.add_task(k, vec![(d, AccessMode::ReadWrite)], 1.0, format!("t{i}"));
+    }
+    let p = simple(1, 1);
+    let m = TableModel::builder()
+        .set("BOTH", ArchClass::Cpu, TimeFn::Const(100.0))
+        .set("BOTH", ArchClass::Gpu, TimeFn::Const(10.0))
+        .build();
+    (g, p, m)
+}
+
+#[test]
+fn double_pop_is_a_typed_error() {
+    let (g, p, m) = both_arch_fixture();
+    let mut s = StutteringScheduler { first: None };
+    let r = simulate(&g, &p, &m, &mut s, SimConfig::default());
+    // The second pop of the same task is rejected before it can run.
+    assert!(
+        matches!(r.error, Some(SimError::DoubleExecution { task }) if task == TaskId(0)),
+        "got {:?}",
+        r.error
+    );
+}
+
+#[test]
+fn partial_progress_survives_a_late_failure() {
+    // The typed error must preserve whatever trace and stats were
+    // accumulated before the failure, and the engine must return.
+    let (g, p, m) = both_arch_fixture();
+    let mut s = StutteringScheduler { first: None };
+    let r = simulate(&g, &p, &m, &mut s, SimConfig::default());
+    assert!(r.error.is_some());
+    // t0 was handed out once before the stutter; nothing else ran, and
+    // the engine still returns (no process abort, no hang).
+    assert!(r.stats.tasks <= 1);
+}

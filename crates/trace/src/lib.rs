@@ -12,8 +12,10 @@
 //! * CSV export for external plotting.
 
 pub mod analysis;
+pub mod audit;
 pub mod gantt;
 pub mod record;
 
 pub use analysis::{practical_critical_path, IdleStats};
+pub use audit::{AuditKind, AuditRecord};
 pub use record::{TaskSpan, Trace, TransferKind, TransferSpan};

@@ -8,6 +8,7 @@
 //! paper-to-module mapping.
 
 pub use mp_apps as apps;
+pub use mp_audit as audit;
 pub use mp_bench as bench;
 pub use mp_dag as dag;
 pub use mp_perfmodel as perfmodel;

@@ -1,0 +1,161 @@
+//! Differential sim/runtime validation sweep.
+//!
+//! Every configuration runs the same DAG through the discrete-event
+//! simulator and the threaded runtime (no-op virtual-cost kernels) and
+//! diffs the invariants both must uphold: exactly-once execution, full
+//! completion, precedence ordering, plus typed-error-free runs and —
+//! when built with `--features audit` — zero records from the
+//! simulator's invariant auditor.
+//!
+//! Run the full sweep with the auditor armed:
+//!
+//! ```text
+//! cargo test --features audit --test differential
+//! ```
+
+use std::sync::Arc;
+
+use multiprio_suite::apps::dense::{potrf, DenseConfig};
+use multiprio_suite::apps::fmm::{fmm, Distribution, FmmConfig};
+use multiprio_suite::apps::random::{random_dag, random_model, RandomDagConfig};
+use multiprio_suite::apps::{dense_model, fmm_model};
+use multiprio_suite::audit::{differential, DiffConfig, DiffReport};
+use multiprio_suite::bench::make_scheduler_factory;
+use multiprio_suite::dag::TaskGraph;
+use multiprio_suite::perfmodel::PerfModel;
+use multiprio_suite::platform::presets::simple;
+use multiprio_suite::runtime::FaultPlan;
+use multiprio_suite::sim::SimConfig;
+use proptest::prelude::*;
+
+/// The scheduler families the paper compares (Fig. 5–8).
+const SCHEDULERS: [&str; 4] = ["multiprio", "dmdas", "heteroprio", "lws"];
+
+/// Both runtime front-ends: the global-lock baseline and the sharded
+/// multi-queue.
+const FRONT_ENDS: [usize; 2] = [0, 4];
+
+fn workloads() -> Vec<(&'static str, TaskGraph, Arc<dyn PerfModel>)> {
+    let potrf_w = potrf(DenseConfig::new(4 * 960, 960));
+    let fmm_w = fmm(FmmConfig {
+        particles: 2_000,
+        tree_height: 3,
+        group_size: 16,
+        distribution: Distribution::Clustered,
+        seed: 9,
+    });
+    let random_g = random_dag(RandomDagConfig {
+        layers: 5,
+        width: 6,
+        seed: 17,
+        ..Default::default()
+    });
+    vec![
+        ("potrf", potrf_w.graph, Arc::new(dense_model())),
+        ("fmm", fmm_w.graph, Arc::new(fmm_model())),
+        ("random", random_g, Arc::new(random_model())),
+    ]
+}
+
+fn assert_clean(report: &DiffReport, what: &str) {
+    assert!(
+        report.is_clean(),
+        "{what}: {} mismatch(es), first: {}",
+        report.mismatches.len(),
+        report.mismatches[0]
+    );
+}
+
+/// The acceptance sweep: 4 schedulers × 3 workloads × 2 runtime
+/// front-ends × 3 sim seeds = 72 configurations, all of which must agree
+/// on every checked invariant with zero audit records.
+#[test]
+fn differential_sweep_sim_vs_runtime() {
+    let platform = simple(3, 1);
+    let mut configs = 0usize;
+    for (wname, graph, model) in &workloads() {
+        for sched in SCHEDULERS {
+            let factory = make_scheduler_factory(sched);
+            for shards in FRONT_ENDS {
+                for seed in [1u64, 2, 3] {
+                    let cfg = DiffConfig {
+                        sim_cfg: SimConfig::seeded(seed).with_noise(0.1),
+                        shards,
+                        faults: None,
+                    };
+                    let report = differential(graph, &platform, model, &*factory, &cfg);
+                    assert_clean(
+                        &report,
+                        &format!("{wname}/{sched}/shards={shards}/seed={seed}"),
+                    );
+                    configs += 1;
+                }
+            }
+        }
+    }
+    assert!(configs >= 64, "sweep covered {configs} configurations");
+}
+
+/// Under injected faults — slow and stalled kernels, skewed model
+/// estimates, delayed wakeups — every scheduler still executes each task
+/// exactly once, respects precedence, and every run terminates.
+#[test]
+fn fault_injection_preserves_exactly_once_and_termination() {
+    let platform = simple(3, 1);
+    for (wname, graph, model) in &workloads() {
+        for sched in SCHEDULERS {
+            let factory = make_scheduler_factory(sched);
+            for shards in FRONT_ENDS {
+                let cfg = DiffConfig {
+                    sim_cfg: SimConfig::seeded(7),
+                    shards,
+                    faults: Some(FaultPlan::chaos(13)),
+                };
+                let report = differential(graph, &platform, model, &*factory, &cfg);
+                assert_clean(&report, &format!("faulty {wname}/{sched}/shards={shards}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random DAG shapes through both executors and both front-ends,
+    /// with and without faults: zero invariant violations, exactly-once
+    /// execution everywhere.
+    #[test]
+    fn prop_differential_random_dags(
+        seed in 0u64..1000,
+        layers in 2usize..6,
+        width in 2usize..7,
+        sched_idx in 0usize..SCHEDULERS.len(),
+        shards in 0usize..4,
+        faulty in 0usize..2,
+    ) {
+        let g = random_dag(RandomDagConfig { layers, width, seed, ..Default::default() });
+        let model: Arc<dyn PerfModel> = Arc::new(random_model());
+        let factory = make_scheduler_factory(SCHEDULERS[sched_idx]);
+        let cfg = DiffConfig {
+            sim_cfg: SimConfig::seeded(seed),
+            shards,
+            faults: (faulty == 1).then_some(FaultPlan {
+                // Lighter than chaos(): proptest runs many cases.
+                seed,
+                slow_prob: 0.2,
+                slow_us: 100.0,
+                stall_prob: 0.05,
+                stall_us: 500.0,
+                estimate_skew: 2.0,
+                wake_delay_us: 20.0,
+            }),
+        };
+        let report = differential(&g, &simple(2, 1), &model, &*factory, &cfg);
+        prop_assert!(
+            report.is_clean(),
+            "seed={seed} layers={layers} width={width} sched={} shards={shards} faulty={faulty}: first mismatch: {}",
+            SCHEDULERS[sched_idx],
+            report.mismatches[0]
+        );
+    }
+}
