@@ -69,6 +69,18 @@ pub enum Mismatch {
         /// The predecessor's end time.
         pred_end: f64,
     },
+    /// One side stopped early with a typed error, so its trace covers
+    /// only a prefix of the DAG. Reported *instead of* one
+    /// [`Mismatch::ExecutionCount`] per unexecuted task — the truncation
+    /// is one finding, not thousands.
+    TruncatedTrace {
+        /// Which execution.
+        side: Side,
+        /// Spans the partial trace holds.
+        executed: usize,
+        /// Tasks in the graph.
+        total: usize,
+    },
     /// The simulator's invariant auditor recorded violations
     /// (only possible with `--features audit`).
     InvariantViolations {
@@ -105,6 +117,14 @@ impl std::fmt::Display for Mismatch {
                 f,
                 "{side:?}: {task:?} started at {start} before predecessor \
                  {pred:?} ended at {pred_end}"
+            ),
+            Mismatch::TruncatedTrace {
+                side,
+                executed,
+                total,
+            } => write!(
+                f,
+                "{side:?}: trace truncated by the failure ({executed}/{total} tasks executed)"
             ),
             Mismatch::InvariantViolations { count, first } => {
                 write!(f, "{count} invariant violation(s), first: {first}")

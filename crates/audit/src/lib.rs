@@ -101,7 +101,13 @@ pub fn differential(
             first: sim.audit[0].to_string(),
         });
     }
-    check_trace(graph, &sim.trace, Side::Sim, &mut mismatches);
+    check_trace(
+        graph,
+        &sim.trace,
+        Side::Sim,
+        sim.error.is_some(),
+        &mut mismatches,
+    );
 
     // Side 2: threaded runtime, wall clock, mirrored DAG.
     let (mut rt, edge_mismatches) = mirror_graph(graph, platform, Arc::clone(model));
@@ -116,7 +122,20 @@ pub fn differential(
     };
     let runtime_makespan = match run {
         Ok(report) => {
-            check_trace(graph, &report.trace, Side::Runtime, &mut mismatches);
+            // Mid-run failures (misrouted task, panicking kernel) come
+            // back as a report carrying the error and a partial trace.
+            if let Some(err) = &report.error {
+                mismatches.push(Mismatch::RuntimeFailed {
+                    error: err.to_string(),
+                });
+            }
+            check_trace(
+                graph,
+                &report.trace,
+                Side::Runtime,
+                report.error.is_some(),
+                &mut mismatches,
+            );
             Some(report.makespan_us)
         }
         Err(err) => {
@@ -136,8 +155,25 @@ pub fn differential(
 }
 
 /// The per-side checks: exactly-once execution and precedence order.
-fn check_trace(graph: &TaskGraph, trace: &mp_trace::Trace, side: Side, out: &mut Vec<Mismatch>) {
-    diff::check_exactly_once(graph, trace, side, out);
+/// A truncated trace (the side failed mid-run) flags the truncation
+/// once instead of one `ExecutionCount` finding per unexecuted task;
+/// precedence still applies to the prefix that did run.
+fn check_trace(
+    graph: &TaskGraph,
+    trace: &mp_trace::Trace,
+    side: Side,
+    truncated: bool,
+    out: &mut Vec<Mismatch>,
+) {
+    if truncated {
+        out.push(Mismatch::TruncatedTrace {
+            side,
+            executed: trace.tasks.len(),
+            total: graph.task_count(),
+        });
+    } else {
+        diff::check_exactly_once(graph, trace, side, out);
+    }
     diff::check_precedence(graph, trace, side, out);
 }
 
@@ -213,5 +249,57 @@ mod tests {
             .mismatches
             .iter()
             .any(|m| matches!(m, Mismatch::RuntimeFailed { .. })));
+        // The sim side deadlocked: one truncation finding, not one
+        // ExecutionCount finding per unexecuted task.
+        assert!(report.mismatches.iter().any(|m| matches!(
+            m,
+            Mismatch::TruncatedTrace {
+                side: Side::Sim,
+                ..
+            }
+        )));
+        assert!(!report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, Mismatch::ExecutionCount { .. })));
+    }
+
+    #[test]
+    fn panicking_kernel_truncates_the_runtime_trace_cleanly() {
+        let g = diamond();
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 20.0 });
+        let cfg = DiffConfig {
+            faults: Some(FaultPlan {
+                seed: 21,
+                panic_prob: 1.0,
+                ..FaultPlan::default()
+            }),
+            ..DiffConfig::default()
+        };
+        let report = differential(
+            &g,
+            &simple(2, 1),
+            &model,
+            &|| Box::new(FifoScheduler::new()),
+            &cfg,
+        );
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, Mismatch::RuntimeFailed { .. })));
+        assert!(report.mismatches.iter().any(|m| matches!(
+            m,
+            Mismatch::TruncatedTrace {
+                side: Side::Runtime,
+                ..
+            }
+        )));
+        // The partial trace is still internally consistent: no
+        // precedence findings, the makespan is reported.
+        assert!(!report
+            .mismatches
+            .iter()
+            .any(|m| matches!(m, Mismatch::PrecedenceViolation { .. })));
+        assert!(report.runtime_makespan.is_some());
     }
 }

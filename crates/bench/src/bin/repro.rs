@@ -1,16 +1,35 @@
 //! Reproduction driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [table2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [probe <matrix>]
+//! repro [--quick|--full] [--trace-out <path>]
+//!       [table2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [probe <matrix>]
 //! ```
 //!
 //! With no experiment names, runs everything. `--quick` (default) uses
 //! CI-scale problem sizes; `--full` approaches the paper's sizes.
+//! `--trace-out <path>` runs one fixed seeded potrf under MultiPrio and
+//! writes a Chrome `trace_event` JSON timeline (open with Perfetto,
+//! <https://ui.perfetto.dev>); build with `--features obs` to include
+//! the scheduler's pop/hold decision instants.
 
 use mp_bench::figures::{fig3, fig4, fig5, fig6, fig7, fig8, table2};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        args.remove(i);
+        if i < args.len() {
+            trace_out = Some(args.remove(i));
+        } else {
+            eprintln!("--trace-out needs a file path");
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = trace_out {
+        export_trace(&path);
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let names: Vec<&str> = args
         .iter()
@@ -121,6 +140,58 @@ fn main() {
             println!("mean multiprio ratio on {p}: {m:.3} (paper: 1.31 Intel / 1.12 AMD)");
         }
         println!();
+    }
+}
+
+/// One fixed seeded quick run (potrf under MultiPrio), exported as a
+/// Chrome `trace_event` timeline: task spans, transfer spans and — when
+/// built with `--features obs` — the scheduler's decision instants from
+/// the provenance ring. Deterministic, so CI can diff the artifact.
+fn export_trace(path: &str) {
+    use mp_apps::dense::{potrf, DenseConfig};
+    use mp_sim::{simulate, SimConfig};
+    use mp_trace::chrome_trace_with;
+    use multiprio::MultiPrioScheduler;
+
+    let w = potrf(DenseConfig::new(8 * 480, 480));
+    let model = mp_apps::dense_model();
+    let platform = mp_platform::presets::simple(6, 2);
+    let mut sched = MultiPrioScheduler::with_defaults();
+    let result = simulate(
+        &w.graph,
+        &platform,
+        &model,
+        &mut sched,
+        SimConfig::seeded(42),
+    );
+    if let Some(e) = &result.error {
+        eprintln!("trace run failed: {e}");
+        std::process::exit(1);
+    }
+    let decisions = sched.provenance().decisions();
+    match chrome_trace_with(&result.trace, &decisions, &[]) {
+        Ok(json) => {
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "wrote {path}: {} task spans, {} transfers, {} decisions \
+                 (makespan {:.1} us; counters: {})",
+                result.trace.tasks.len(),
+                result.trace.transfers.len(),
+                decisions.len(),
+                result.makespan,
+                result.counters.render(),
+            );
+            if decisions.is_empty() {
+                println!("(rebuild with --features obs for scheduler decision instants)");
+            }
+        }
+        Err(e) => {
+            eprintln!("trace export failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -339,6 +339,9 @@ pub struct ScoredHeap {
     /// dead (via [`Self::note_stale`]) and that have not yet been
     /// physically dropped.
     stale: usize,
+    /// Compaction sweeps performed (observability; one plain increment
+    /// per O(n) sweep, so it stays on unconditionally).
+    compactions: u64,
 }
 
 /// Push-time bound on the sorted cache. Must comfortably exceed the
@@ -366,6 +369,11 @@ impl ScoredHeap {
     /// Entries the owner has lazily deleted but not yet compacted away.
     pub fn stale_len(&self) -> usize {
         self.stale
+    }
+
+    /// Compaction sweeps performed so far (observability).
+    pub fn compaction_count(&self) -> u64 {
+        self.compactions
     }
 
     /// Insert an entry stamped with the slot's current generation.
@@ -524,6 +532,7 @@ impl ScoredHeap {
     /// Drop every stale entry — from the cache (order-preserving) and the
     /// bulk heap (retain + Floyd heapify, O(n)).
     fn compact(&mut self, is_live: &mut impl FnMut(TaskId, u32) -> bool) {
+        self.compactions += 1;
         self.cache.retain(|e| is_live(e.task, e.gen));
         self.data.retain(|e| is_live(e.task, e.gen));
         self.stale = 0;

@@ -38,6 +38,7 @@ pub mod criticality;
 pub mod energy;
 pub mod heap;
 pub mod locality;
+pub mod provenance;
 pub mod reference;
 pub mod scheduler;
 pub mod score;
@@ -47,6 +48,7 @@ pub use criticality::nod;
 pub use energy::EnergyPolicy;
 pub use heap::{RemovableMaxHeap, Score, ScoredHeap};
 pub use locality::ls_sdh2;
+pub use provenance::{PopOutcome, PopRecord, ProvenanceRing, WindowEntry};
 pub use reference::ReferenceScheduler;
 pub use scheduler::MultiPrioScheduler;
 pub use score::{GainTracker, SharedGainTracker};

@@ -69,6 +69,7 @@ use crate::config::MultiPrioConfig;
 use crate::criticality::{nod, NodNormalizer};
 use crate::heap::{Score, ScoredHeap};
 use crate::locality::ls_sdh2;
+use crate::provenance::{PopOutcome, ProvenanceRing};
 use crate::score::{GainTracker, SharedGainTracker};
 
 /// Where a scheduler instance reads its gain scores from: its own
@@ -238,6 +239,11 @@ pub struct MultiPrioScheduler {
     evictions: u64,
     /// Diagnostics: pops rejected by the pop condition.
     holds: u64,
+    /// Observability counters (push-plan-arena hits/misses, estimator
+    /// consults). A no-op ZST unless built with `--features obs`.
+    obs: mp_trace::ObsCell,
+    /// Decision-provenance ring; populated only with `--features obs`.
+    provenance: ProvenanceRing,
     // Scratch buffers, reused across calls so the steady-state push/pop
     // paths never allocate (verified by tests/alloc_free.rs).
     window: Vec<(TaskId, Score)>,
@@ -262,6 +268,8 @@ impl MultiPrioScheduler {
             plans: HashMap::default(),
             evictions: 0,
             holds: 0,
+            obs: mp_trace::ObsCell::new(),
+            provenance: ProvenanceRing::default(),
             window: Vec::new(),
             skip: Vec::new(),
             archs: Vec::new(),
@@ -290,6 +298,13 @@ impl MultiPrioScheduler {
     /// Pop-condition rejections so far (diagnostics).
     pub fn hold_count(&self) -> u64 {
         self.holds
+    }
+
+    /// The decision-provenance ring (empty unless built with
+    /// `--features obs`). See [`ProvenanceRing::explain`] for the "why
+    /// was this worker idle" drill-down.
+    pub fn provenance(&self) -> &ProvenanceRing {
+        &self.provenance
     }
 
     /// `ready_tasks_count[m]`.
@@ -489,19 +504,81 @@ impl MultiPrioScheduler {
         self.pending -= 1;
     }
 
+    /// Provenance payload for a task about to be taken (obs builds only).
+    fn taken_outcome(&self, t: TaskId, w_arch: ArchId, w_m: MemNodeId) -> PopOutcome {
+        let slot = self.slot(t);
+        let plan = &self.plan_arena[slot.plan as usize];
+        PopOutcome::Taken {
+            task: t,
+            best_arch: slot.best_arch,
+            delta_best: slot.delta_best,
+            delta_here: plan
+                .delta_by_arch
+                .get(w_arch.index())
+                .copied()
+                .unwrap_or(f64::NAN),
+            node_gain: plan.node_gain.get(w_m.index()).copied().unwrap_or(f64::NAN),
+        }
+    }
+
+    /// Provenance payload for a held-back task (obs builds only):
+    /// recomputes the backlog the pop condition compared against.
+    fn held_outcome(
+        &self,
+        t: TaskId,
+        w_arch: ArchId,
+        evicted: bool,
+        view: &SchedView<'_>,
+    ) -> PopOutcome {
+        let slot = self.slot(t);
+        let plan = &self.plan_arena[slot.plan as usize];
+        let mut backlog = 0.0f64;
+        let mut bm = slot.brw_mask;
+        while bm != 0 {
+            let i = bm.trailing_zeros() as usize;
+            bm &= bm - 1;
+            let total = self.best_remaining_work[i];
+            let v = if self.cfg.brw_per_worker {
+                let nw = view
+                    .platform()
+                    .workers_on_node(MemNodeId::from_index(i))
+                    .len();
+                total / nw.max(1) as f64
+            } else {
+                total
+            };
+            backlog = backlog.max(v);
+        }
+        PopOutcome::Held {
+            task: t,
+            best_arch: slot.best_arch,
+            delta_best: slot.delta_best,
+            delta_here: plan
+                .delta_by_arch
+                .get(w_arch.index())
+                .copied()
+                .unwrap_or(f64::NAN),
+            backlog,
+            evicted,
+        }
+    }
+
     /// Fetch the cached push plan for `key` (by arena index), recomputing
     /// it in place when the gain epoch or model version moved
     /// (Algorithm 1's score computation).
     fn plan_for(&mut self, t: TaskId, key: PlanKey, view: &SchedView<'_>) -> u32 {
         let epoch = self.gain.epoch();
         let model_version = view.est.model_version();
+        self.obs.bump(mp_trace::Counter::EstimatorConsults);
         let cached = self.plans.get(&key).copied();
         if let Some(idx) = cached {
             let p = &self.plan_arena[idx as usize];
             if p.epoch == epoch && p.model_version == model_version {
+                self.obs.bump(mp_trace::Counter::ArenaHits);
                 return idx;
             }
         }
+        self.obs.bump(mp_trace::Counter::ArenaMisses);
         let platform = view.platform();
         let mut archs = std::mem::take(&mut self.archs);
         view.est.archs_by_delta_into(t, &mut archs);
@@ -631,9 +708,22 @@ impl Scheduler for MultiPrioScheduler {
         let mut found = None;
         for _ in 0..self.cfg.max_tries {
             let Some(t) = self.select_candidate(w_m, view, &skip) else {
+                // An exhausted heap with work elsewhere is exactly the
+                // "why was this worker idle" case the provenance ring
+                // answers — record it (obs builds only; the check
+                // constant-folds to nothing otherwise).
+                if mp_trace::obs::obs_enabled() {
+                    self.provenance
+                        .record(view.now, w, w_m, &self.window, PopOutcome::Empty);
+                }
                 break;
             };
             if !self.cfg.eviction || self.pop_condition(t, w_arch, view) {
+                if mp_trace::obs::obs_enabled() {
+                    let outcome = self.taken_outcome(t, w_arch, w_m);
+                    self.provenance
+                        .record(view.now, w, w_m, &self.window, outcome);
+                }
                 self.take(t);
                 found = Some(t);
                 break;
@@ -642,7 +732,13 @@ impl Scheduler for MultiPrioScheduler {
             // Reject: evict from this queue so another node's worker picks
             // it up — unless this heap holds the last live entry.
             let bit = 1u64 << w_m.index();
-            if self.slot(t).node_mask & !bit != 0 {
+            let evict = self.slot(t).node_mask & !bit != 0;
+            if mp_trace::obs::obs_enabled() {
+                let outcome = self.held_outcome(t, w_arch, evict, view);
+                self.provenance
+                    .record(view.now, w, w_m, &self.window, outcome);
+            }
+            if evict {
                 self.evict_entry(t, w_m);
                 self.evictions += 1;
             } else {
@@ -655,6 +751,16 @@ impl Scheduler for MultiPrioScheduler {
 
     fn pending(&self) -> usize {
         self.pending
+    }
+
+    fn counters(&self) -> mp_trace::CounterSnapshot {
+        let mut snap = self.obs.snapshot();
+        if mp_trace::obs::obs_enabled() {
+            snap.holds = self.holds;
+            snap.evictions = self.evictions;
+            snap.heap_compactions = self.heaps.iter().map(ScoredHeap::compaction_count).sum();
+        }
+        snap
     }
 }
 

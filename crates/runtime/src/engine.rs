@@ -24,7 +24,10 @@ use mp_perfmodel::{DeltaEstimate, Estimator, FallbackWarnings, PerfModel};
 use mp_platform::types::{ArchClass, MemNodeId, Platform, WorkerId};
 use mp_sched::api::{DataLocator, LoadInfo, SchedEvent, SchedView, Scheduler};
 use mp_sched::concurrent::{ConcurrentScheduler, GlobalLock, ShardedAdapter};
-use mp_trace::{TaskSpan, Trace};
+use mp_trace::obs::obs_enabled;
+use mp_trace::{
+    Counter, CounterSnapshot, ObsCell, RuntimeEvent, RuntimeEventKind, TaskSpan, Trace,
+};
 
 use crate::data::{BufRef, TaskCtx};
 use crate::fault::{FaultPlan, SkewedModel};
@@ -127,9 +130,9 @@ impl LoadInfo for AtomicLoads {
 
 /// Eventcount-style parking lot for idle workers.
 ///
-/// Protocol: a worker reads [`Self::current`] *before* attempting a pop;
-/// if the pop fails it parks with [`Self::wait`], which returns
-/// immediately when the epoch moved in between. Producers call
+/// Protocol: a worker reads [`Self::current`] *before* its exit check
+/// and pop attempt; if the pop fails it parks with [`Self::wait`], which
+/// returns immediately when the epoch moved in between. Producers call
 /// [`Self::notify`], which bumps the epoch *before* taking the mutex, so
 /// the pair (read epoch → pop → wait) can never sleep through a push or
 /// completion that happened after the epoch read.
@@ -212,6 +215,13 @@ pub enum RunError {
         /// The class of the worker it was sent to.
         class: ArchClass,
     },
+    /// A kernel body panicked. The panic is caught at the worker loop,
+    /// the run drains cleanly, and the spans recorded so far survive as
+    /// a partial trace (the panicking task records no span).
+    KernelPanicked {
+        /// The task whose kernel panicked.
+        task: TaskId,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -230,6 +240,12 @@ impl std::fmt::Display for RunError {
                 f,
                 "scheduler sent {task:?} to a {class:?} worker without an implementation"
             ),
+            RunError::KernelPanicked { task } => {
+                write!(
+                    f,
+                    "kernel of {task:?} panicked; run aborted with partial trace"
+                )
+            }
         }
     }
 }
@@ -241,10 +257,31 @@ impl std::error::Error for RunError {}
 pub struct RunReport {
     /// Wall-clock makespan in µs.
     pub makespan_us: f64,
-    /// Wall-clock execution trace.
+    /// Wall-clock execution trace. Partial when [`Self::error`] is set:
+    /// spans recorded before the failure are preserved, sorted by
+    /// `(end, task)` either way.
     pub trace: Trace,
     /// Name of the scheduler used.
     pub scheduler: String,
+    /// Why the run stopped early, if it did. `None` means every task
+    /// executed. Mid-run failures (a misrouted task, a panicking
+    /// kernel) land here with the partial trace preserved; only
+    /// submit-time [`RunError::NoUsableImpl`] makes
+    /// [`Runtime::run`] return `Err`.
+    pub error: Option<RunError>,
+    /// Scheduler/engine observability counters, merged at quiesce.
+    /// All-zero unless built with `--features obs`.
+    pub counters: CounterSnapshot,
+    /// Worker park/wake timeline. Empty unless built with
+    /// `--features obs`.
+    pub events: Vec<RuntimeEvent>,
+}
+
+impl RunReport {
+    /// Did the run execute every task without error?
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
 /// The runtime: buffers + submitted tasks, executed by [`Runtime::run`].
@@ -419,6 +456,12 @@ impl Runtime {
         let spans = Mutex::new(Vec::<TaskSpan>::new());
         // Fallback-estimate warnings: once per (task type, arch) per run.
         let warned = FallbackWarnings::new();
+        // Per-worker observability cells (no-ops unless `--features obs`)
+        // plus one for the submitting thread's seed pushes.
+        let cells: Vec<ObsCell> = (0..nw).map(|_| ObsCell::new()).collect();
+        let seed_obs = ObsCell::new();
+        // Park/wake timeline; only locked when obs is compiled in.
+        let park_events: Mutex<Vec<RuntimeEvent>> = Mutex::new(Vec::new());
 
         let make_view = |now: f64| SchedView {
             est: Estimator::new(&graph, platform, model),
@@ -433,13 +476,14 @@ impl Runtime {
             for (i, d) in indeg.iter().enumerate() {
                 if d.load(Ordering::Relaxed) == 0 {
                     front.push(TaskId::from_index(i), None, &view);
+                    seed_obs.bump(Counter::Pushes);
                 }
             }
             let _ = front.drain_prefetches(); // unified memory: no-op
         }
 
         std::thread::scope(|scope| {
-            for wi in 0..nw {
+            for (wi, obs) in cells.iter().enumerate() {
                 let w = WorkerId::from_index(wi);
                 let wake = &wake;
                 let abort = &abort;
@@ -452,18 +496,26 @@ impl Runtime {
                 let warned = &warned;
                 let graph = &graph;
                 let make_view = &make_view;
+                let park_events = &park_events;
                 scope.spawn(move || {
                     let arch = platform.worker(w).arch;
                     let class = platform.arch(arch).class;
                     loop {
+                        // Epoch BEFORE the exit check and the pop attempt:
+                        // any completion, abort or push bumps it *after*
+                        // its state change, so either the check/pop below
+                        // observes the change, or wait() sees a moved
+                        // epoch and returns immediately. (Reading the
+                        // epoch after the exit check left a window where
+                        // the final completed-increment and its notify
+                        // both landed in between: the worker then parked
+                        // on the fresh epoch with no notify ever coming —
+                        // a rare end-of-run hang.)
+                        let seen = wake.current();
                         if completed.load(Ordering::Acquire) >= n || abort.load(Ordering::Acquire) {
                             wake.notify();
                             return;
                         }
-                        // Epoch BEFORE the pop attempt: a push racing with
-                        // the failed pop bumps it and wait() returns
-                        // immediately.
-                        let seen = wake.current();
                         let popped = {
                             let view = make_view(now_us());
                             front.pop(w, &view)
@@ -478,9 +530,26 @@ impl Runtime {
                             } else {
                                 None
                             };
+                            if obs_enabled() {
+                                let mut ev = park_events.lock().unwrap_or_else(|e| e.into_inner());
+                                ev.push(RuntimeEvent {
+                                    worker: wi,
+                                    at: now_us(),
+                                    kind: RuntimeEventKind::Park,
+                                });
+                            }
                             wake.wait(seen, bound);
+                            if obs_enabled() {
+                                let mut ev = park_events.lock().unwrap_or_else(|e| e.into_inner());
+                                ev.push(RuntimeEvent {
+                                    worker: wi,
+                                    at: now_us(),
+                                    kind: RuntimeEventKind::Wake,
+                                });
+                            }
                             continue;
                         };
+                        obs.bump(Counter::Pops);
 
                         // Estimate for the load table, then execute. A
                         // missing model entry falls back to an arch mean
@@ -516,7 +585,7 @@ impl Runtime {
                         // typed error instead of panicking in a scoped
                         // thread.
                         let Some(kernel) = impls[t.index()].get(&class).cloned() else {
-                            let mut e = error.lock().expect("error slot poisoned");
+                            let mut e = error.lock().unwrap_or_else(|p| p.into_inner());
                             if e.is_none() {
                                 *e = Some(RunError::MissingKernel { task: t, class });
                             }
@@ -541,9 +610,34 @@ impl Runtime {
                                 (g, a.mode)
                             })
                             .unzip();
+                        // Run the kernel behind a panic boundary: a
+                        // panicking user kernel must not unwind through
+                        // the scoped-thread team (which would poison the
+                        // span mutex and re-panic the whole run) — it
+                        // becomes a typed error with a partial trace.
+                        // `ctx` lives outside the closure, so its buffer
+                        // guards drop on the normal path and the `RwLock`s
+                        // are never poisoned.
                         let mut ctx = TaskCtx::new(bufs, modes);
-                        kernel(&mut ctx);
+                        let panicked =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                if faults.kernel_panics(t.index()) {
+                                    panic!("injected kernel panic ({t:?})");
+                                }
+                                kernel(&mut ctx);
+                            }))
+                            .is_err();
                         drop(ctx);
+                        if panicked {
+                            let mut e = error.lock().unwrap_or_else(|p| p.into_inner());
+                            if e.is_none() {
+                                *e = Some(RunError::KernelPanicked { task: t });
+                            }
+                            drop(e);
+                            abort.store(true, Ordering::Release);
+                            wake.notify();
+                            return;
+                        }
                         // Injected slow-down/stall: sleeps *inside* the
                         // measured window, so history models observe the
                         // perturbed duration like a real hiccup.
@@ -553,14 +647,19 @@ impl Runtime {
                         let t_end = now_us();
                         loads.set(w, t_end);
                         est.record(t, arch, t_end - t_start);
-                        spans.lock().expect("spans poisoned").push(TaskSpan {
-                            task: t,
-                            ttype: task.ttype,
-                            worker: w,
-                            ready_at: f64::from_bits(ready_at[t.index()].load(Ordering::Relaxed)),
-                            start: t_start,
-                            end: t_end,
-                        });
+                        spans
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .push(TaskSpan {
+                                task: t,
+                                ttype: task.ttype,
+                                worker: w,
+                                ready_at: f64::from_bits(
+                                    ready_at[t.index()].load(Ordering::Relaxed),
+                                ),
+                                start: t_start,
+                                end: t_end,
+                            });
 
                         // Release successors and report completion. Events
                         // and pushes reach the front-end in this thread's
@@ -582,6 +681,7 @@ impl Runtime {
                                     ready_at[succ.index()]
                                         .store(t_end.to_bits(), Ordering::Relaxed);
                                     front.push(succ, Some(w), &view);
+                                    obs.bump(Counter::Pushes);
                                 }
                             }
                             let _ = front.drain_prefetches();
@@ -599,17 +699,32 @@ impl Runtime {
             }
         });
 
-        if let Some(err) = error.lock().expect("error slot poisoned").take() {
-            return Err(err);
-        }
+        // Mid-run failures surface on the report next to the partial
+        // trace — `Err` is reserved for submit-time NoUsableImpl above.
+        let run_error = error.lock().unwrap_or_else(|p| p.into_inner()).take();
         let makespan_us = now_us();
         let mut trace = Trace::new(nw);
-        trace.tasks = spans.into_inner().expect("spans poisoned");
-        trace.tasks.sort_by(|a, b| a.end.total_cmp(&b.end));
+        trace.tasks = spans.into_inner().unwrap_or_else(|p| p.into_inner());
+        // Wall-clock ties are real under coarse timers: break them by
+        // task id so the span order (and every downstream export) is
+        // deterministic.
+        trace
+            .tasks
+            .sort_by(|a, b| a.end.total_cmp(&b.end).then(a.task.cmp(&b.task)));
+        let mut counters = front.counters();
+        seed_obs.drain_into(&mut counters);
+        for c in &cells {
+            c.drain_into(&mut counters);
+        }
+        let mut events = park_events.into_inner().unwrap_or_else(|p| p.into_inner());
+        events.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.worker.cmp(&b.worker)));
         Ok(RunReport {
             makespan_us,
             trace,
             scheduler: sched_name,
+            error: run_error,
+            counters,
+            events,
         })
     }
 }
@@ -716,6 +831,102 @@ mod tests {
         assert!(report.trace.validate().is_ok());
         assert!(report.scheduler.contains("sharded"));
         assert!(rt.buffer(x).iter().all(|&v| v == 16.0));
+    }
+
+    /// Regression: quiesce must not lose the final wakeup. The worker
+    /// loop once read the wake epoch *after* its exit check; the last
+    /// completion (increment + notify) could land in between, leaving a
+    /// peer parked on the fresh epoch with no notify ever coming — a
+    /// rare end-of-run hang. Many tiny runs with more workers than
+    /// tasks maximize that window; the watchdog turns a recurrence into
+    /// a test failure instead of a hung suite.
+    #[test]
+    fn quiesce_never_loses_the_final_wakeup() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for round in 0..200u32 {
+                let mut rt = Runtime::new(homogeneous(4), model());
+                let x = rt.register(vec![0.0; 4], "x");
+                for _ in 0..2 {
+                    rt.submit(
+                        TaskBuilder::new("AXPY")
+                            .access(x, AccessMode::ReadWrite)
+                            .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                            .flops(1.0),
+                    );
+                }
+                let report = rt.run(Box::new(FifoScheduler::new())).expect("run failed");
+                assert_eq!(report.trace.tasks.len(), 2, "round {round}");
+            }
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(Duration::from_secs(120))
+            .expect("a worker parked through the final notify (lost-wakeup hang)");
+    }
+
+    #[test]
+    fn panicking_kernel_is_contained_with_a_partial_trace() {
+        // One worker, a ReadWrite chain: execution order is the submit
+        // order, so the panic victim and the partial-trace size are
+        // deterministic.
+        let mut rt = Runtime::new(homogeneous(1), model());
+        let x = rt.register(vec![0.0; 8], "x");
+        for _ in 0..2 {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(x, AccessMode::ReadWrite)
+                    .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                    .flops(1.0),
+            );
+        }
+        let bad = rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|_| panic!("kernel bug"))
+                .flops(1.0),
+        );
+        rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                .flops(1.0),
+        );
+        let report = rt
+            .run(Box::new(FifoScheduler::new()))
+            .expect("panic is contained, not returned as Err");
+        assert_eq!(report.error, Some(RunError::KernelPanicked { task: bad }));
+        assert!(!report.is_complete());
+        assert_eq!(report.trace.tasks.len(), 2, "spans up to the panic survive");
+        assert!(report.trace.validate().is_ok(), "partial trace stays valid");
+        // The panic never unwound while a buffer guard dropped, so the
+        // buffers stay readable afterwards.
+        assert_eq!(rt.buffer(x)[0], 2.0);
+    }
+
+    #[test]
+    fn fault_plan_panic_mode_reports_kernel_panicked() {
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let x = rt.register(vec![0.0; 8], "x");
+        for _ in 0..4 {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(x, AccessMode::ReadWrite)
+                    .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                    .flops(1.0),
+            );
+        }
+        rt.set_faults(FaultPlan {
+            seed: 5,
+            panic_prob: 1.0,
+            ..FaultPlan::default()
+        });
+        let report = rt.run(Box::new(FifoScheduler::new())).expect("contained");
+        assert!(
+            matches!(report.error, Some(RunError::KernelPanicked { .. })),
+            "got {:?}",
+            report.error
+        );
+        assert!(report.trace.tasks.is_empty(), "every kernel panics");
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct FaultPlan {
     pub estimate_skew: f64,
     /// Delay inserted before each completion's wakeup notification, µs.
     pub wake_delay_us: f64,
+    /// Fraction of tasks whose kernel panics outright ([0, 1]). The
+    /// engine catches the panic and reports
+    /// [`RunError::KernelPanicked`](crate::RunError::KernelPanicked)
+    /// with the partial trace. Not part of [`Self::chaos`]: a panic
+    /// aborts the run, so exactly-once/termination stress plans keep it
+    /// at zero.
+    pub panic_prob: f64,
 }
 
 impl FaultPlan {
@@ -61,6 +68,7 @@ impl FaultPlan {
             stall_us: 2_000.0,
             estimate_skew: 3.0,
             wake_delay_us: 50.0,
+            panic_prob: 0.0,
         }
     }
 
@@ -88,6 +96,12 @@ impl FaultPlan {
     /// The per-completion wakeup delay, if any.
     pub(crate) fn wake_delay(&self) -> Option<Duration> {
         (self.wake_delay_us > 0.0).then(|| Duration::from_nanos((self.wake_delay_us * 1e3) as u64))
+    }
+
+    /// Does the kernel of task index `t` panic? Pure hash of
+    /// `(seed, t)`, like the other victim selections.
+    pub(crate) fn kernel_panics(&self, t: usize) -> bool {
+        self.panic_prob > 0.0 && unit(self.seed, t as u64, 0xdead) < self.panic_prob
     }
 }
 
@@ -175,8 +189,26 @@ mod tests {
         };
         assert!(plan.is_noop());
         assert!((0..64).all(|t| plan.kernel_delay(t).is_none()));
+        assert!((0..64).all(|t| !plan.kernel_panics(t)));
         assert!(plan.wake_delay().is_none());
         assert!(!FaultPlan::chaos(42).is_noop());
+    }
+
+    #[test]
+    fn panic_victims_are_deterministic_and_chaos_free() {
+        let plan = FaultPlan {
+            seed: 11,
+            panic_prob: 0.25,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_noop());
+        let victims: Vec<bool> = (0..256).map(|t| plan.kernel_panics(t)).collect();
+        let again: Vec<bool> = (0..256).map(|t| plan.kernel_panics(t)).collect();
+        assert_eq!(victims, again, "same plan, same victims");
+        let hit = victims.iter().filter(|&&v| v).count();
+        assert!((30..110).contains(&hit), "plausible victim count: {hit}");
+        // Termination/exactly-once stress plans must never panic.
+        assert!((0..256).all(|t| !FaultPlan::chaos(3).kernel_panics(t)));
     }
 
     #[test]

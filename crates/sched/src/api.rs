@@ -218,6 +218,15 @@ pub trait Scheduler: Send {
     fn emits_prefetches(&self) -> bool {
         false
     }
+
+    /// Policy-internal observability counters (hold-backs, evictions,
+    /// push-plan-arena hits, heap compactions, ...). Engines add their
+    /// own pop/push/prefetch accounting on top and surface the merged
+    /// snapshot on `SimResult` / `RunReport`. Meaningful only when built
+    /// with `--features obs`; the default is all-zeros either way.
+    fn counters(&self) -> mp_trace::CounterSnapshot {
+        mp_trace::CounterSnapshot::default()
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,13 @@ pub trait ConcurrentScheduler: Send + Sync {
 
     /// Drain prefetch requests accumulated by the policy instances.
     fn drain_prefetches(&self) -> Vec<PrefetchReq>;
+
+    /// Merged observability counters of the wrapped policy instances,
+    /// plus front-end-level accounting (per-shard pops and steals for
+    /// [`ShardedAdapter`]). All-zeros unless built with `--features obs`.
+    fn counters(&self) -> mp_trace::CounterSnapshot {
+        mp_trace::CounterSnapshot::default()
+    }
 }
 
 /// Baseline front-end: one global mutex around a single policy instance.
@@ -129,6 +136,10 @@ impl ConcurrentScheduler for GlobalLock {
             .expect("scheduler poisoned")
             .drain_prefetches()
     }
+
+    fn counters(&self) -> mp_trace::CounterSnapshot {
+        self.inner.lock().expect("scheduler poisoned").counters()
+    }
 }
 
 /// One shard: a policy instance plus its replay cursor into the event
@@ -144,6 +155,12 @@ struct Shard {
     state: Mutex<ShardState>,
     /// Pushed-but-not-popped tasks in this shard (steal-victim choice).
     pending: AtomicUsize,
+    /// Observability: tasks popped from this shard / popped by a worker
+    /// whose home shard is elsewhere. Dormant (never written) unless
+    /// built with `--features obs` — the bump sites are behind a
+    /// constant-folded `obs_enabled()` check.
+    pops: AtomicU64,
+    steals: AtomicU64,
 }
 
 /// Sharded multi-queue front-end (see module docs).
@@ -175,6 +192,8 @@ impl ShardedAdapter {
                     applied: 0,
                 }),
                 pending: AtomicUsize::new(0),
+                pops: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
             })
             .collect();
         let (name, consumes_feedback, emits_prefetches) = {
@@ -248,6 +267,12 @@ impl ShardedAdapter {
         let t = state.policy.pop(w, view)?;
         shard.pending.fetch_sub(1, Ordering::AcqRel);
         self.pending_total.fetch_sub(1, Ordering::AcqRel);
+        if mp_trace::obs::obs_enabled() {
+            shard.pops.fetch_add(1, Ordering::Relaxed);
+            if i != self.home_shard(w) {
+                shard.steals.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Some(t)
     }
 }
@@ -339,6 +364,20 @@ impl ConcurrentScheduler for ShardedAdapter {
             all.extend(state.policy.drain_prefetches());
         }
         all
+    }
+
+    fn counters(&self) -> mp_trace::CounterSnapshot {
+        let mut snap = mp_trace::CounterSnapshot::default();
+        if !mp_trace::obs::obs_enabled() {
+            return snap;
+        }
+        for shard in &self.shards {
+            let state = shard.state.lock().expect("shard poisoned");
+            snap.merge(&state.policy.counters());
+            snap.shard_pops.push(shard.pops.load(Ordering::Relaxed));
+            snap.steals.push(shard.steals.load(Ordering::Relaxed));
+        }
+        snap
     }
 }
 

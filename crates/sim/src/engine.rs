@@ -9,7 +9,7 @@ use mp_dag::task::Task;
 use mp_perfmodel::{Estimator, PerfModel};
 use mp_platform::types::{MemNodeId, Platform, WorkerId};
 use mp_sched::api::{LoadInfo, PrefetchReq, SchedEvent, SchedView, Scheduler};
-use mp_trace::{AuditRecord, TaskSpan, Trace, TransferKind, TransferSpan};
+use mp_trace::{AuditRecord, Counter, ObsCell, TaskSpan, Trace, TransferKind, TransferSpan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -82,25 +82,31 @@ fn run_prefetches(
     trace: &mut Trace,
     stats: &mut SimStats,
     drained: &mut Vec<PrefetchReq>,
+    obs: &ObsCell,
 ) {
     drained.clear();
     scheduler.drain_prefetches_into(drained);
     for &req in drained.iter() {
         if !cfg.enable_prefetch {
+            obs.bump(Counter::PrefetchesCancelled);
             continue;
         }
         if store.replica(req.data, req.node).is_some() {
+            obs.bump(Counter::PrefetchesCancelled);
             continue;
         }
         let size = store.size(req.data);
         // Prefetches may evict clean LRU replicas but never force
         // write-backs; when that is not enough, skip the request.
         if !make_room_clean_only(store, req.node, size, platform, stats) {
+            obs.bump(Counter::PrefetchesCancelled);
             continue;
         }
         let Some((src, start, end)) = pick_source(store, platform, req.data, req.node, now) else {
+            obs.bump(Counter::PrefetchesCancelled);
             continue;
         };
+        obs.bump(Counter::PrefetchesIssued);
         store.set_link_busy(src, req.node, end);
         store.allocate(req.data, req.node, end, false);
         stats.prefetch_bytes += size;
@@ -371,6 +377,8 @@ pub fn simulate(
     let mut stats = SimStats::default();
     // First typed failure; stops dispatching and surfaces in the result.
     let mut failure: Option<SimError> = None;
+    // Engine-side observability cell (no-op unless `--features obs`).
+    let obs = ObsCell::new();
     // Engine-side audit records (event-time monotonicity); only written
     // under `--features audit`.
     let mut engine_audit: Vec<AuditRecord> = Vec::new();
@@ -558,6 +566,7 @@ pub fn simulate(
                                 failure = Some(e);
                                 break 'dispatch;
                             }
+                            obs.bump(Counter::Pops);
                             let arrive = match prepare_task(
                                 graph,
                                 platform,
@@ -603,6 +612,7 @@ pub fn simulate(
                                 failure = Some(e);
                                 break 'dispatch;
                             }
+                            obs.bump(Counter::Pops);
                             let arrive = match prepare_task(
                                 graph,
                                 platform,
@@ -650,6 +660,7 @@ pub fn simulate(
                 let t = TaskId::from_index(i);
                 let view = view!(0.0);
                 scheduler.push(t, None, &view);
+                obs.bump(Counter::Pushes);
             }
         }
         if emits_prefetches {
@@ -662,6 +673,7 @@ pub fn simulate(
                 &mut trace,
                 &mut stats,
                 &mut scratch.prefetches,
+                &obs,
             );
         }
     }
@@ -749,6 +761,7 @@ pub fn simulate(
                 pushed_at[s.index()] = now;
                 let view = view!(now);
                 scheduler.push(s, Some(w), &view);
+                obs.bump(Counter::Pushes);
             }
         }
         if emits_prefetches {
@@ -761,6 +774,7 @@ pub fn simulate(
                 &mut trace,
                 &mut stats,
                 &mut scratch.prefetches,
+                &obs,
             );
         }
 
@@ -809,6 +823,12 @@ pub fn simulate(
     let mut audit = store.take_audit();
     audit.append(&mut engine_audit);
 
+    // Quiesce-time counter aggregation: the engine-side cell (pops,
+    // pushes, prefetch fates) merged with whatever the policy reports
+    // (holds, evictions, arena hits, heap compactions, shard steals).
+    let mut counters = scheduler.counters();
+    obs.drain_into(&mut counters);
+
     SimResult {
         scheduler: scheduler.name().to_string(),
         makespan,
@@ -816,6 +836,7 @@ pub fn simulate(
         stats,
         error: failure,
         audit,
+        counters,
     }
 }
 

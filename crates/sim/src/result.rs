@@ -1,7 +1,7 @@
 //! Simulation results and aggregate statistics.
 
 use mp_platform::types::Platform;
-use mp_trace::{AuditRecord, Trace, TransferKind};
+use mp_trace::{AuditRecord, CounterSnapshot, Trace, TransferKind};
 
 use crate::error::SimError;
 
@@ -42,6 +42,9 @@ pub struct SimResult {
     /// the crate is built with `--features audit` (the checks compile to
     /// nothing otherwise).
     pub audit: Vec<AuditRecord>,
+    /// Scheduler/engine observability counters, merged at quiesce.
+    /// All-zero unless the crate is built with `--features obs`.
+    pub counters: CounterSnapshot,
 }
 
 impl SimResult {
@@ -95,6 +98,7 @@ mod tests {
             stats: SimStats::default(),
             error: None,
             audit: Vec::new(),
+            counters: CounterSnapshot::default(),
         };
         // 2e9 flops in 1 s = 2 GFlop/s.
         assert!((r.gflops(2e9) - 2.0).abs() < 1e-12);
@@ -116,6 +120,7 @@ mod tests {
                 pending: 1,
             }),
             audit: Vec::new(),
+            counters: CounterSnapshot::default(),
         };
         assert!(!r.is_complete());
         assert!(matches!(r.ok(), Err(crate::SimError::Deadlock { .. })));

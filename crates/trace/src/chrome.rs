@@ -1,0 +1,253 @@
+//! Chrome `trace_event` JSON export (Perfetto / `chrome://tracing`).
+//!
+//! One timeline unifies everything a run produced:
+//!
+//! * task spans — complete (`"ph":"X"`) events on pid 0, one thread lane
+//!   per worker;
+//! * transfer spans — complete events on pid 1, one lane per destination
+//!   memory node, colored by [`TransferKind`](crate::TransferKind);
+//! * scheduler decisions ([`DecisionInstant`]) — instant (`"ph":"i"`)
+//!   events pinned to the deciding worker's lane;
+//! * runtime park/wake events ([`RuntimeEvent`]) — instant events on the
+//!   worker lanes (recorded only with `--features obs`).
+//!
+//! Times are µs, which is exactly the `ts` unit the format wants. The
+//! output is **byte-stable** for a fixed input: every float is printed
+//! with fixed three-decimal precision and all collections are emitted in
+//! their recorded order (the golden-file test in `tests/chrome_golden.rs`
+//! relies on this).
+
+use std::fmt::Write as _;
+
+use crate::obs::{DecisionInstant, RuntimeEvent, RuntimeEventKind};
+use crate::record::Trace;
+
+/// Typed "nothing to export": the trace holds no task spans, so any
+/// chart or export of it would be silently empty/zero-width. Callers
+/// must decide (error out, skip the artifact, report truncation) rather
+/// than shipping a blank file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EmptyTrace;
+
+impl std::fmt::Display for EmptyTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace holds no task spans (empty or error-truncated run)"
+        )
+    }
+}
+
+impl std::error::Error for EmptyTrace {}
+
+/// Export `trace` alone (no decisions, no runtime events).
+pub fn chrome_trace(trace: &Trace) -> Result<String, EmptyTrace> {
+    chrome_trace_with(trace, &[], &[])
+}
+
+/// Export `trace` plus scheduler decisions and runtime park/wake events
+/// on the same timeline.
+pub fn chrome_trace_with(
+    trace: &Trace,
+    decisions: &[DecisionInstant],
+    events: &[RuntimeEvent],
+) -> Result<String, EmptyTrace> {
+    if trace.tasks.is_empty() {
+        return Err(EmptyTrace);
+    }
+    let mut out = String::with_capacity(128 * (trace.tasks.len() + trace.transfers.len()) + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Metadata: name the two processes and every worker lane.
+    meta(&mut out, &mut first, "process_name", 0, 0, "execution");
+    meta(&mut out, &mut first, "process_name", 1, 0, "transfers");
+    for w in 0..trace.worker_count {
+        meta(
+            &mut out,
+            &mut first,
+            "thread_name",
+            0,
+            w,
+            &format!("worker {w}"),
+        );
+    }
+
+    for s in &trace.tasks {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"t{} (type{})\",\"cat\":\"task\",\"ph\":\"X\",\
+             \"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\
+             \"args\":{{\"ready_at\":{:.3}}}}}",
+            s.task.index(),
+            s.ttype.index(),
+            s.start,
+            (s.end - s.start).max(0.0),
+            s.worker.index(),
+            s.ready_at,
+        );
+    }
+    for t in &trace.transfers {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"d{} {}->{} ({:?})\",\"cat\":\"transfer\",\"ph\":\"X\",\
+             \"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"bytes\":{}}}}}",
+            t.data.index(),
+            t.from.index(),
+            t.to.index(),
+            t.kind,
+            t.start,
+            (t.end - t.start).max(0.0),
+            t.to.index(),
+            t.bytes,
+        );
+    }
+    for d in decisions {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{:.3},\"pid\":0,\"tid\":{}}}",
+            escape(&d.label),
+            d.at,
+            d.worker,
+        );
+    }
+    for e in events {
+        sep(&mut out, &mut first);
+        let name = match e.kind {
+            RuntimeEventKind::Park => "park",
+            RuntimeEventKind::Wake => "wake",
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"runtime\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{:.3},\"pid\":0,\"tid\":{}}}",
+            name, e.at, e.worker,
+        );
+    }
+    out.push_str("\n]}\n");
+    Ok(out)
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+}
+
+fn meta(out: &mut String, first: &mut bool, what: &str, pid: usize, tid: usize, name: &str) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{what}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(name),
+    );
+}
+
+/// Minimal JSON string escaping for labels we generate ourselves.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{TaskSpan, TransferKind, TransferSpan};
+    use mp_dag::ids::{DataId, TaskId, TaskTypeId};
+    use mp_platform::types::{MemNodeId, WorkerId};
+
+    fn small_trace() -> Trace {
+        let mut tr = Trace::new(2);
+        tr.tasks.push(TaskSpan {
+            task: TaskId(0),
+            ttype: TaskTypeId(1),
+            worker: WorkerId(0),
+            ready_at: 0.0,
+            start: 1.0,
+            end: 4.5,
+        });
+        tr.tasks.push(TaskSpan {
+            task: TaskId(1),
+            ttype: TaskTypeId(0),
+            worker: WorkerId(1),
+            ready_at: 0.0,
+            start: 2.0,
+            end: 3.0,
+        });
+        tr.transfers.push(TransferSpan {
+            data: DataId(7),
+            from: MemNodeId(0),
+            to: MemNodeId(1),
+            bytes: 4096,
+            start: 0.5,
+            end: 1.0,
+            kind: TransferKind::Prefetch,
+        });
+        tr
+    }
+
+    #[test]
+    fn empty_trace_is_a_typed_error() {
+        assert_eq!(chrome_trace(&Trace::new(3)), Err(EmptyTrace));
+    }
+
+    #[test]
+    fn export_is_valid_enough_json_and_deterministic() {
+        let tr = small_trace();
+        let a = chrome_trace(&tr).unwrap();
+        let b = chrome_trace(&tr).unwrap();
+        assert_eq!(a, b, "export must be byte-stable");
+        assert!(a.starts_with("{\"displayTimeUnit\""));
+        assert!(a.trim_end().ends_with("]}"));
+        assert!(a.contains("\"t0 (type1)\""));
+        assert!(a.contains("\"d7 0->1 (Prefetch)\""));
+        assert!(a.contains("\"worker 1\""));
+        // Balanced braces/brackets — cheap structural sanity.
+        let opens = a.matches('{').count();
+        let closes = a.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn decisions_and_events_land_on_the_timeline() {
+        let tr = small_trace();
+        let decisions = vec![DecisionInstant {
+            at: 1.0,
+            worker: 0,
+            label: "pop t0".into(),
+        }];
+        let events = vec![RuntimeEvent {
+            worker: 1,
+            at: 3.5,
+            kind: RuntimeEventKind::Park,
+        }];
+        let out = chrome_trace_with(&tr, &decisions, &events).unwrap();
+        assert!(out.contains("\"pop t0\""));
+        assert!(out.contains("\"cat\":\"sched\""));
+        assert!(out.contains("\"park\""));
+        assert!(out.contains("\"cat\":\"runtime\""));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -5,22 +5,27 @@ use std::fmt::Write as _;
 use mp_dag::ids::TaskId;
 use mp_platform::types::Platform;
 
+use crate::chrome::EmptyTrace;
 use crate::record::Trace;
 
 /// Render an ASCII Gantt chart, one row per worker, `width` columns over
 /// the makespan. Busy cells show `#`, cells containing a highlighted task
 /// (e.g. the practical critical path) show `X`, idle cells show `.`.
+///
+/// An empty or error-truncated trace (no task spans, zero makespan) is a
+/// typed [`EmptyTrace`] error rather than a silently blank chart.
 pub fn gantt_ascii(
     trace: &Trace,
     platform: &Platform,
     width: usize,
     highlight: &[TaskId],
-) -> String {
+) -> Result<String, EmptyTrace> {
     let makespan = trace.makespan();
-    let mut out = String::new();
-    if makespan <= 0.0 || width == 0 {
-        return out;
+    if trace.tasks.is_empty() || makespan <= 0.0 {
+        return Err(EmptyTrace);
     }
+    let width = width.max(1);
+    let mut out = String::new();
     let label_w = platform
         .workers()
         .iter()
@@ -56,15 +61,24 @@ pub fn gantt_ascii(
     }
     writeln!(out, "{:<label_w$}  makespan: {:.1} us", "", makespan)
         .expect("writing to String cannot fail");
-    out
+    Ok(out)
 }
 
 /// Render an SVG Gantt chart (self-contained, no external assets).
 /// Tasks are colored by kernel type; highlighted tasks get a red border.
-pub fn gantt_svg(trace: &Trace, platform: &Platform, highlight: &[TaskId]) -> String {
+///
+/// Returns [`EmptyTrace`] when there are no task spans to draw.
+pub fn gantt_svg(
+    trace: &Trace,
+    platform: &Platform,
+    highlight: &[TaskId],
+) -> Result<String, EmptyTrace> {
     const ROW_H: f64 = 22.0;
     const LABEL_W: f64 = 130.0;
     const CHART_W: f64 = 1000.0;
+    if trace.tasks.is_empty() {
+        return Err(EmptyTrace);
+    }
     let makespan = trace.makespan().max(1e-9);
     let rows = platform.worker_count();
     let height = ROW_H * rows as f64 + 30.0;
@@ -122,7 +136,7 @@ pub fn gantt_svg(trace: &Trace, platform: &Platform, highlight: &[TaskId]) -> St
         height - 8.0
     )
     .expect("writing to String cannot fail");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -157,7 +171,7 @@ mod tests {
     #[test]
     fn ascii_rows_and_marks() {
         let p = homogeneous(2);
-        let out = gantt_ascii(&trace(), &p, 20, &[TaskId(1)]);
+        let out = gantt_ascii(&trace(), &p, 20, &[TaskId(1)]).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(
@@ -170,15 +184,16 @@ mod tests {
     }
 
     #[test]
-    fn ascii_empty_trace() {
+    fn ascii_empty_trace_is_a_typed_error() {
         let p = homogeneous(1);
-        assert!(gantt_ascii(&Trace::new(1), &p, 20, &[]).is_empty());
+        assert_eq!(gantt_ascii(&Trace::new(1), &p, 20, &[]), Err(EmptyTrace));
+        assert_eq!(gantt_svg(&Trace::new(1), &p, &[]), Err(EmptyTrace));
     }
 
     #[test]
     fn svg_is_wellformed_enough() {
         let p = homogeneous(2);
-        let svg = gantt_svg(&trace(), &p, &[TaskId(0)]);
+        let svg = gantt_svg(&trace(), &p, &[TaskId(0)]).unwrap();
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
         assert_eq!(svg.matches("<rect").count(), 2 + 2, "2 lanes + 2 tasks");

@@ -112,7 +112,13 @@ impl Trace {
     }
 
     /// CSV dump of task spans (`task,type,worker,ready,start,end`).
-    pub fn tasks_csv(&self) -> String {
+    ///
+    /// An empty or error-truncated trace is a typed
+    /// [`EmptyTrace`](crate::EmptyTrace) error, not a header-only file.
+    pub fn tasks_csv(&self) -> Result<String, crate::EmptyTrace> {
+        if self.tasks.is_empty() {
+            return Err(crate::EmptyTrace);
+        }
         let mut out = String::from("task,type,worker,ready_at,start,end\n");
         for s in &self.tasks {
             out.push_str(&format!(
@@ -125,7 +131,7 @@ impl Trace {
                 s.end
             ));
         }
-        out
+        Ok(out)
     }
 
     /// Validate basic sanity: spans are well-formed and workers never run
@@ -212,9 +218,10 @@ mod tests {
     fn csv_has_header_and_rows() {
         let mut tr = Trace::new(1);
         tr.tasks.push(span(0, 0, 0.0, 1.0));
-        let csv = tr.tasks_csv();
+        let csv = tr.tasks_csv().unwrap();
         assert!(csv.starts_with("task,type,worker"));
         assert_eq!(csv.lines().count(), 2);
+        assert_eq!(Trace::new(1).tasks_csv(), Err(crate::EmptyTrace));
     }
 
     #[test]
@@ -264,7 +271,14 @@ impl Trace {
     }
 
     /// CSV dump of transfers (`data,from,to,bytes,start,end,kind`).
-    pub fn transfers_csv(&self) -> String {
+    ///
+    /// A fully empty trace (no tasks *and* no transfers) is a typed
+    /// [`EmptyTrace`](crate::EmptyTrace) error; a run that legitimately
+    /// moved no data but executed tasks still exports a header-only CSV.
+    pub fn transfers_csv(&self) -> Result<String, crate::EmptyTrace> {
+        if self.tasks.is_empty() && self.transfers.is_empty() {
+            return Err(crate::EmptyTrace);
+        }
         let mut out = String::from("data,from,to,bytes,start,end,kind\n");
         for t in &self.transfers {
             out.push_str(&format!(
@@ -278,7 +292,7 @@ impl Trace {
                 t.kind
             ));
         }
-        out
+        Ok(out)
     }
 
     /// Aggregate wait time (readiness → execution start) over all tasks;
@@ -325,9 +339,10 @@ mod more_tests {
             end: 2.0,
             kind: TransferKind::Prefetch,
         });
-        let csv = tr.transfers_csv();
+        let csv = tr.transfers_csv().unwrap();
         assert!(csv.starts_with("data,from,to"));
         assert!(csv.contains("3,0,1,42,1.000,2.000,Prefetch"));
+        assert_eq!(Trace::new(1).transfers_csv(), Err(crate::EmptyTrace));
     }
 
     #[test]

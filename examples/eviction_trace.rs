@@ -37,10 +37,11 @@ fn main() {
         for stat in idle_per_arch(&r.trace, &platform) {
             println!("  {:10} idle {:5.1}%", stat.label, stat.idle_pct);
         }
-        println!("{}", gantt_ascii(&r.trace, &platform, 100, &cp));
+        let gantt = gantt_ascii(&r.trace, &platform, 100, &cp).expect("trace is non-empty");
+        println!("{gantt}");
         let path = format!("fig4_{}.svg", sched.replace('-', "_"));
-        std::fs::write(&path, gantt_svg(&r.trace, &platform, &cp))
-            .expect("write SVG next to the working directory");
+        let svg = gantt_svg(&r.trace, &platform, &cp).expect("trace is non-empty");
+        std::fs::write(&path, svg).expect("write SVG next to the working directory");
         println!("(SVG written to {path})\n");
     }
     println!("Paper reference: eviction reduces GPU idle time from 29% to 1%.");

@@ -75,5 +75,6 @@ fn main() {
     println!("scheduler: {}", result.scheduler);
     println!("makespan : {:.1} us", result.makespan);
     println!("tasks    : {}", result.stats.tasks);
-    println!("\n{}", gantt_ascii(&result.trace, &platform, 72, &[]));
+    let gantt = gantt_ascii(&result.trace, &platform, 72, &[]).expect("trace is non-empty");
+    println!("\n{gantt}");
 }

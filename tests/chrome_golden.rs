@@ -1,0 +1,100 @@
+//! Golden-file test: the Chrome `trace_event` export is byte-stable.
+//!
+//! Perfetto/CI artifact diffing and the determinism gate both rely on
+//! the exporter producing identical bytes for identical inputs, across
+//! runs, feature sets and toolchains. The golden file pins the exact
+//! bytes; regenerate it after an intentional format change with:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test --test chrome_golden
+//! ```
+
+use multiprio_suite::dag::{DataId, TaskId, TaskTypeId};
+use multiprio_suite::platform::types::{MemNodeId, WorkerId};
+use multiprio_suite::trace::{
+    chrome_trace_with, DecisionInstant, RuntimeEvent, RuntimeEventKind, TaskSpan, Trace,
+    TransferKind, TransferSpan,
+};
+
+const GOLDEN_PATH: &str = "tests/golden/chrome_trace.json";
+
+/// A fixed run: three tasks over two workers, one prefetch and one
+/// demand transfer, two scheduler decisions and a park/wake pair.
+fn fixture() -> (Trace, Vec<DecisionInstant>, Vec<RuntimeEvent>) {
+    let mut tr = Trace::new(2);
+    let span = |task: u32, ttype: u32, worker: u32, ready_at: f64, start: f64, end: f64| TaskSpan {
+        task: TaskId(task),
+        ttype: TaskTypeId(ttype),
+        worker: WorkerId(worker),
+        ready_at,
+        start,
+        end,
+    };
+    tr.tasks.push(span(0, 0, 0, 0.0, 0.0, 10.0));
+    tr.tasks.push(span(1, 1, 1, 0.0, 2.5, 12.125));
+    tr.tasks.push(span(2, 0, 0, 10.0, 12.125, 20.0));
+    tr.transfers.push(TransferSpan {
+        data: DataId(3),
+        from: MemNodeId(0),
+        to: MemNodeId(1),
+        bytes: 8192,
+        start: 0.25,
+        end: 2.5,
+        kind: TransferKind::Prefetch,
+    });
+    tr.transfers.push(TransferSpan {
+        data: DataId(4),
+        from: MemNodeId(1),
+        to: MemNodeId(0),
+        bytes: 1024,
+        start: 10.0,
+        end: 11.5,
+        kind: TransferKind::Demand,
+    });
+    let decisions = vec![
+        DecisionInstant {
+            at: 0.0,
+            worker: 0,
+            label: "pop t0".into(),
+        },
+        DecisionInstant {
+            at: 2.5,
+            worker: 1,
+            label: "hold t2".into(),
+        },
+    ];
+    let events = vec![
+        RuntimeEvent {
+            worker: 1,
+            at: 12.5,
+            kind: RuntimeEventKind::Park,
+        },
+        RuntimeEvent {
+            worker: 1,
+            at: 19.75,
+            kind: RuntimeEventKind::Wake,
+        },
+    ];
+    (tr, decisions, events)
+}
+
+#[test]
+fn chrome_export_matches_the_golden_file_byte_for_byte() {
+    let (tr, decisions, events) = fixture();
+    let rendered = chrome_trace_with(&tr, &decisions, &events).expect("fixture is non-empty");
+    // Re-render to prove stability within one process too.
+    let again = chrome_trace_with(&tr, &decisions, &events).expect("fixture is non-empty");
+    assert_eq!(rendered, again, "export must be byte-stable");
+
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with BLESS_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "Chrome export drifted from {GOLDEN_PATH}; if the format change is \
+         intentional, regenerate with BLESS_GOLDEN=1"
+    );
+}

@@ -19,13 +19,14 @@ use multiprio_suite::apps::dense::{potrf, DenseConfig};
 use multiprio_suite::apps::fmm::{fmm, Distribution, FmmConfig};
 use multiprio_suite::apps::random::{random_dag, random_model, RandomDagConfig};
 use multiprio_suite::apps::{dense_model, fmm_model};
-use multiprio_suite::audit::{differential, DiffConfig, DiffReport};
+use multiprio_suite::audit::{differential, mirror_graph, DiffConfig, DiffReport};
 use multiprio_suite::bench::make_scheduler_factory;
 use multiprio_suite::dag::TaskGraph;
 use multiprio_suite::perfmodel::PerfModel;
 use multiprio_suite::platform::presets::simple;
 use multiprio_suite::runtime::FaultPlan;
-use multiprio_suite::sim::SimConfig;
+use multiprio_suite::sim::{simulate, SimConfig};
+use multiprio_suite::trace::obs::obs_enabled;
 use proptest::prelude::*;
 
 /// The scheduler families the paper compares (Fig. 5–8).
@@ -118,6 +119,30 @@ fn fault_injection_preserves_exactly_once_and_termination() {
     }
 }
 
+/// The runtime's span order must be deterministic: wall-clock `end`
+/// ties are real under coarse timers, so the engine breaks them by task
+/// id. Every exporter downstream inherits this ordering.
+#[test]
+fn runtime_spans_are_sorted_by_end_then_task() {
+    let platform = simple(3, 1);
+    for (wname, graph, model) in &workloads() {
+        let factory = make_scheduler_factory("multiprio");
+        let (mut rt, edge_mismatches) = mirror_graph(graph, &platform, Arc::clone(model));
+        assert!(edge_mismatches.is_empty(), "{wname}: mirrored DAG diverged");
+        let report = rt.run_sharded(4, &*factory).expect("runtime run failed");
+        assert!(report.error.is_none(), "{wname}: {:?}", report.error);
+        for pair in report.trace.tasks.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(
+                a.end < b.end || (a.end == b.end && a.task < b.task),
+                "{wname}: spans for {:?} and {:?} not ordered by (end, task)",
+                a.task,
+                b.task
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
@@ -148,6 +173,9 @@ proptest! {
                 stall_us: 500.0,
                 estimate_skew: 2.0,
                 wake_delay_us: 20.0,
+                // Not exercised here: a panicking kernel truncates the
+                // run by design, so exactly-once cannot hold.
+                panic_prob: 0.0,
             }),
         };
         let report = differential(&g, &simple(2, 1), &model, &*factory, &cfg);
@@ -157,5 +185,67 @@ proptest! {
             SCHEDULERS[sched_idx],
             report.mismatches[0]
         );
+    }
+
+    /// Counter consistency (DESIGN.md §8): with `obs` compiled in, the
+    /// quiesce-time snapshot obeys the defining identities — pops equal
+    /// tasks executed, every task is pushed exactly once, per-shard
+    /// steals never exceed that shard's pops, and every push-plan-arena
+    /// lookup is either a hit or a miss. With `obs` off, every counter
+    /// is exactly zero.
+    #[test]
+    fn prop_counters_are_consistent(
+        seed in 0u64..500,
+        layers in 2usize..5,
+        width in 2usize..6,
+        sched_idx in 0usize..SCHEDULERS.len(),
+        shards in 0usize..4,
+    ) {
+        let g = random_dag(RandomDagConfig { layers, width, seed, ..Default::default() });
+        let n = g.task_count() as u64;
+        let model: Arc<dyn PerfModel> = Arc::new(random_model());
+        let platform = simple(2, 1);
+        let factory = make_scheduler_factory(SCHEDULERS[sched_idx]);
+
+        // Sim side.
+        let mut sched = factory();
+        let result = simulate(&g, &platform, &*model, sched.as_mut(), SimConfig::seeded(seed));
+        prop_assert!(result.error.is_none(), "sim failed: {:?}", result.error);
+        let c = &result.counters;
+        if obs_enabled() {
+            prop_assert!(c.pops == result.stats.tasks as u64, "sim pops {} != tasks {}", c.pops, result.stats.tasks);
+            prop_assert!(c.pushes == n, "sim pushes {} != tasks {n}", c.pushes);
+            prop_assert!(
+                c.arena_hits + c.arena_misses == c.estimator_consults,
+                "arena {}+{} != consults {}", c.arena_hits, c.arena_misses, c.estimator_consults
+            );
+        } else {
+            prop_assert!(c.is_empty(), "obs off but sim counters non-zero: {}", c.render());
+        }
+
+        // Runtime side, both front-ends.
+        let (mut rt, edge_mismatches) = mirror_graph(&g, &platform, Arc::clone(&model));
+        prop_assert!(edge_mismatches.is_empty());
+        let report = if shards == 0 {
+            rt.run(factory())
+        } else {
+            rt.run_sharded(shards, &*factory)
+        }.expect("runtime run failed");
+        prop_assert!(report.error.is_none(), "runtime failed: {:?}", report.error);
+        let c = &report.counters;
+        if obs_enabled() {
+            prop_assert!(c.pops == n, "runtime pops {} != tasks {n}", c.pops);
+            prop_assert!(c.pushes == n, "runtime pushes {} != tasks {n}", c.pushes);
+            prop_assert!(c.steals.len() == c.shard_pops.len());
+            for (i, (&s, &p)) in c.steals.iter().zip(&c.shard_pops).enumerate() {
+                prop_assert!(s <= p, "steals[{i}]={s} > shard_pops[{i}]={p}");
+            }
+            if shards > 0 {
+                let shard_total: u64 = c.shard_pops.iter().sum();
+                prop_assert!(shard_total == c.pops, "shard pops {shard_total} != pops {}", c.pops);
+            }
+        } else {
+            prop_assert!(c.is_empty(), "obs off but runtime counters non-zero: {}", c.render());
+        }
     }
 }
