@@ -176,34 +176,85 @@ pub fn check_exactly_once(graph: &TaskGraph, trace: &Trace, side: Side, out: &mu
     }
 }
 
+/// Effectively-once, for runs under retryable faults: every task commits
+/// at least once. More than one committed span per task is legitimate on
+/// the sim side — recompute-recovery re-executes a producer whose output
+/// was lost with a failed node — so only *missing* executions are
+/// findings here. Failed attempts never record spans on either side.
+pub fn check_effectively_once(
+    graph: &TaskGraph,
+    trace: &Trace,
+    side: Side,
+    out: &mut Vec<Mismatch>,
+) {
+    let mut counts = vec![0usize; graph.task_count()];
+    for span in &trace.tasks {
+        counts[span.task.index()] += 1;
+    }
+    for (i, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            out.push(Mismatch::ExecutionCount {
+                side,
+                task: TaskId::from_index(i),
+                count,
+            });
+        }
+    }
+}
+
 /// No task starts before all its predecessors ended (per-side clock).
+/// With several spans per task (recompute-recovery), every span of the
+/// successor is checked against the *earliest* end among the
+/// predecessor's spans — the dependency was first satisfied then.
 pub fn check_precedence(graph: &TaskGraph, trace: &Trace, side: Side, out: &mut Vec<Mismatch>) {
     let mut ends = vec![f64::NAN; graph.task_count()];
-    let mut starts = vec![f64::NAN; graph.task_count()];
     for span in &trace.tasks {
-        ends[span.task.index()] = span.end;
-        starts[span.task.index()] = span.start;
-    }
-    for (i, &start) in starts.iter().enumerate() {
-        let t = TaskId::from_index(i);
-        if start.is_nan() {
-            continue; // missing spans are ExecutionCount findings
+        let e = &mut ends[span.task.index()];
+        if e.is_nan() || span.end < *e {
+            *e = span.end;
         }
-        for &p in graph.preds(t) {
+    }
+    for span in &trace.tasks {
+        for &p in graph.preds(span.task) {
             if ends[p.index()].is_nan() {
-                continue;
+                continue; // missing spans are ExecutionCount findings
             }
-            if start < ends[p.index()] - EPS {
+            if span.start < ends[p.index()] - EPS {
                 out.push(Mismatch::PrecedenceViolation {
                     side,
-                    task: t,
+                    task: span.task,
                     pred: p,
-                    start,
+                    start: span.start,
                     pred_end: ends[p.index()],
                 });
             }
         }
     }
+}
+
+/// Order-sensitive FNV-1a hash over a trace's task spans: task id,
+/// worker id, and the exact bit patterns of the start/end times. Two
+/// runs of the same configuration — including the same fault plan —
+/// must produce the same hash: the repeat-determinism gate for fault
+/// injection.
+pub fn schedule_hash(trace: &Trace) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(mut h: u64, v: u64) -> u64 {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = OFFSET;
+    for s in &trace.tasks {
+        h = mix(h, s.task.index() as u64);
+        h = mix(h, s.worker.index() as u64);
+        h = mix(h, s.start.to_bits());
+        h = mix(h, s.end.to_bits());
+    }
+    h
 }
 
 #[cfg(test)]

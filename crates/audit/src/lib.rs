@@ -47,14 +47,14 @@ use std::sync::Arc;
 use mp_dag::TaskGraph;
 use mp_perfmodel::PerfModel;
 use mp_platform::types::Platform;
-use mp_runtime::FaultPlan;
+use mp_runtime::{FaultPlan, RetryPolicy};
 use mp_sched::Scheduler;
 use mp_sim::{simulate, SimConfig};
 
 pub mod diff;
 pub mod mirror;
 
-pub use diff::{DiffReport, Mismatch, Side};
+pub use diff::{schedule_hash, DiffReport, Mismatch, Side};
 pub use mirror::mirror_graph;
 
 /// One differential configuration.
@@ -67,8 +67,17 @@ pub struct DiffConfig {
     /// multi-queue with `n` policy instances
     /// ([`mp_runtime::Runtime::run_sharded`]).
     pub shards: usize,
-    /// Fault plan injected into the runtime side (`None` = no faults).
+    /// Fault plan injected into both sides (`None` = no faults). The
+    /// runtime honors every knob; the simulator mirrors the
+    /// deterministic subset (worker kills, transient failures) in
+    /// virtual time and ignores the wall-clock-only timing knobs.
     pub faults: Option<FaultPlan>,
+    /// Retry budget applied to both sides. With retryable faults in the
+    /// plan, the exactly-once check relaxes to *effectively-once*: at
+    /// least one committed execution per task (recompute-recovery may
+    /// legitimately commit a task more than once on the sim side), and
+    /// precedence still holds exactly.
+    pub retry: RetryPolicy,
 }
 
 /// Run one DAG through both executors under schedulers built by
@@ -86,10 +95,22 @@ pub fn differential(
     cfg: &DiffConfig,
 ) -> DiffReport {
     let mut mismatches = Vec::new();
+    // Under retryable faults or worker kills the trace may legitimately
+    // hold more than one committed span per task (sim-side recompute
+    // recovery re-commits producers whose output died with a device), so
+    // the per-side check relaxes to effectively-once.
+    let relaxes = |p: &FaultPlan| p.has_retryable_faults() || p.kills_any();
+    let lenient = cfg.faults.as_ref().is_some_and(relaxes) || relaxes(&cfg.sim_cfg.faults);
 
-    // Side 1: discrete-event simulation, virtual time.
+    // Side 1: discrete-event simulation, virtual time. The simulator
+    // mirrors the deterministic fault subset of the runtime's plan.
+    let mut sim_cfg = cfg.sim_cfg;
+    if let Some(plan) = cfg.faults {
+        sim_cfg.faults = plan;
+    }
+    sim_cfg.retry = cfg.retry;
     let mut sim_sched = factory();
-    let sim = simulate(graph, platform, &**model, sim_sched.as_mut(), cfg.sim_cfg);
+    let sim = simulate(graph, platform, &**model, sim_sched.as_mut(), sim_cfg);
     if let Some(err) = &sim.error {
         mismatches.push(Mismatch::SimFailed {
             error: err.to_string(),
@@ -106,6 +127,7 @@ pub fn differential(
         &sim.trace,
         Side::Sim,
         sim.error.is_some(),
+        lenient,
         &mut mismatches,
     );
 
@@ -115,6 +137,7 @@ pub fn differential(
     if let Some(plan) = cfg.faults {
         rt.set_faults(plan);
     }
+    rt.set_retry_policy(cfg.retry);
     let run = if cfg.shards == 0 {
         rt.run(factory())
     } else {
@@ -134,6 +157,7 @@ pub fn differential(
                 &report.trace,
                 Side::Runtime,
                 report.error.is_some(),
+                lenient,
                 &mut mismatches,
             );
             Some(report.makespan_us)
@@ -154,15 +178,17 @@ pub fn differential(
     }
 }
 
-/// The per-side checks: exactly-once execution and precedence order.
-/// A truncated trace (the side failed mid-run) flags the truncation
-/// once instead of one `ExecutionCount` finding per unexecuted task;
-/// precedence still applies to the prefix that did run.
+/// The per-side checks: exactly-once execution (effectively-once under
+/// retryable faults) and precedence order. A truncated trace (the side
+/// failed mid-run) flags the truncation once instead of one
+/// `ExecutionCount` finding per unexecuted task; precedence still
+/// applies to the prefix that did run.
 fn check_trace(
     graph: &TaskGraph,
     trace: &mp_trace::Trace,
     side: Side,
     truncated: bool,
+    lenient: bool,
     out: &mut Vec<Mismatch>,
 ) {
     if truncated {
@@ -171,6 +197,8 @@ fn check_trace(
             executed: trace.tasks.len(),
             total: graph.task_count(),
         });
+    } else if lenient {
+        diff::check_effectively_once(graph, trace, side, out);
     } else {
         diff::check_exactly_once(graph, trace, side, out);
     }
@@ -262,6 +290,49 @@ mod tests {
             .mismatches
             .iter()
             .any(|m| matches!(m, Mismatch::ExecutionCount { .. })));
+    }
+
+    #[test]
+    fn kill_plan_differential_is_clean_with_retries() {
+        // Kill worker 0 after one completed task: both sides quarantine
+        // the victim and the survivors finish the DAG. The checks relax
+        // to effectively-once; precedence must still hold exactly.
+        let g = diamond();
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 20.0 });
+        let cfg = DiffConfig {
+            faults: Some(FaultPlan::default().kill_worker(0, 1)),
+            retry: RetryPolicy::new(4, 0.0),
+            ..DiffConfig::default()
+        };
+        let report = differential(
+            &g,
+            &simple(2, 1),
+            &model,
+            &|| Box::new(FifoScheduler::new()),
+            &cfg,
+        );
+        assert!(report.is_clean(), "{:?}", report.mismatches);
+        assert!(report.runtime_makespan.is_some());
+    }
+
+    #[test]
+    fn fault_injection_is_repeat_deterministic() {
+        // The same kill plan must reproduce the schedule bit for bit:
+        // virtual time only, no wall clock anywhere in the fault path.
+        let g = diamond();
+        let model = UniformModel { time_us: 20.0 };
+        let platform = simple(2, 1);
+        let cfg = mp_sim::SimConfig::default()
+            .with_faults(FaultPlan::default().kill_worker(0, 1))
+            .with_retry(RetryPolicy::new(4, 0.0));
+        let run = || {
+            let mut s = FifoScheduler::new();
+            mp_sim::simulate(&g, &platform, &model, &mut s, cfg)
+        };
+        let (a, b) = (run(), run());
+        assert!(a.error.is_none(), "{:?}", a.error);
+        assert_eq!(a.stats.worker_failures, 1);
+        assert_eq!(schedule_hash(&a.trace), schedule_hash(&b.trace));
     }
 
     #[test]

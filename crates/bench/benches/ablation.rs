@@ -1,4 +1,4 @@
-//! Ablation study of MultiPrio's design choices (DESIGN.md §9):
+//! Ablation study of MultiPrio's design choices (DESIGN.md §10):
 //!
 //! * component ablations — eviction, locality, criticality, backlog
 //!   normalization, energy policy;

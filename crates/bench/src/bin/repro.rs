@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--trace-out <path>]
+//!       [--kill-worker W:N]... [--transient-prob P] [--retry-max M]
 //!       [table2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [probe <matrix>]
 //! ```
 //!
@@ -11,23 +12,62 @@
 //! writes a Chrome `trace_event` JSON timeline (open with Perfetto,
 //! <https://ui.perfetto.dev>); build with `--features obs` to include
 //! the scheduler's pop/hold decision instants.
+//!
+//! The fault flags apply to the `--trace-out` run (DESIGN.md §9):
+//! `--kill-worker W:N` (repeatable) kills worker `W` after it completes
+//! `N` tasks, `--transient-prob P` fails each attempt with deterministic
+//! pseudo-probability `P`, and `--retry-max M` caps attempts per task
+//! (default 4). All deterministic: the same flags reproduce the same
+//! timeline, failures included.
 
 use mp_bench::figures::{fig3, fig4, fig5, fig6, fig7, fig8, table2};
+use mp_sim::{FaultPlan, RetryPolicy};
+
+/// Pull `--flag <value>` out of `args`, exiting with usage on a missing
+/// value. Returns `None` when the flag is absent.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut trace_out: Option<String> = None;
-    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
-        args.remove(i);
-        if i < args.len() {
-            trace_out = Some(args.remove(i));
-        } else {
-            eprintln!("--trace-out needs a file path");
+    let trace_out = take_value(&mut args, "--trace-out");
+    let mut faults = FaultPlan::default();
+    while let Some(spec) = take_value(&mut args, "--kill-worker") {
+        let (w, n) = spec
+            .split_once(':')
+            .and_then(|(w, n)| Some((w.parse().ok()?, n.parse().ok()?)))
+            .unwrap_or_else(|| {
+                eprintln!("--kill-worker expects W:N (worker index : tasks before death)");
+                std::process::exit(2);
+            });
+        faults = faults.kill_worker(w, n);
+    }
+    if let Some(p) = take_value(&mut args, "--transient-prob") {
+        faults.transient_fail_prob = p.parse().unwrap_or_else(|_| {
+            eprintln!("--transient-prob expects a probability in [0, 1]");
             std::process::exit(2);
-        }
+        });
+    }
+    let retry_max: u32 = take_value(&mut args, "--retry-max").map_or(4, |m| {
+        m.parse().unwrap_or_else(|_| {
+            eprintln!("--retry-max expects a positive integer");
+            std::process::exit(2);
+        })
+    });
+    if (faults.kills_any() || faults.transient_fail_prob > 0.0) && trace_out.is_none() {
+        eprintln!("fault flags apply to the --trace-out run; add --trace-out <path>");
+        std::process::exit(2);
     }
     if let Some(path) = trace_out {
-        export_trace(&path);
+        export_trace(&path, faults, RetryPolicy::new(retry_max, 0.0));
         return;
     }
     let full = args.iter().any(|a| a == "--full");
@@ -146,8 +186,10 @@ fn main() {
 /// One fixed seeded quick run (potrf under MultiPrio), exported as a
 /// Chrome `trace_event` timeline: task spans, transfer spans and — when
 /// built with `--features obs` — the scheduler's decision instants from
-/// the provenance ring. Deterministic, so CI can diff the artifact.
-fn export_trace(path: &str) {
+/// the provenance ring. Deterministic, so CI can diff the artifact —
+/// including under a fault plan, whose kills/retries/recomputes show up
+/// as instant events on the timeline.
+fn export_trace(path: &str, faults: FaultPlan, retry: RetryPolicy) {
     use mp_apps::dense::{potrf, DenseConfig};
     use mp_sim::{simulate, SimConfig};
     use mp_trace::chrome_trace_with;
@@ -162,11 +204,20 @@ fn export_trace(path: &str) {
         &platform,
         &model,
         &mut sched,
-        SimConfig::seeded(42),
+        SimConfig::seeded(42).with_faults(faults).with_retry(retry),
     );
     if let Some(e) = &result.error {
         eprintln!("trace run failed: {e}");
         std::process::exit(1);
+    }
+    if result.stats.worker_failures > 0 || result.stats.tasks_retried > 0 {
+        println!(
+            "faults: {} worker(s) failed, {} retried, {} recomputed, {} replica(s) promoted",
+            result.stats.worker_failures,
+            result.stats.tasks_retried,
+            result.stats.tasks_recomputed,
+            result.stats.replicas_promoted,
+        );
     }
     let decisions = sched.provenance().decisions();
     match chrome_trace_with(&result.trace, &decisions, &[]) {

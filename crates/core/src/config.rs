@@ -8,7 +8,7 @@ use crate::energy::EnergyPolicy;
 /// `ε = 0.8` ("we empirically set the hyperparameters of the data
 /// locality heuristic as n = 10 and ε = 0.8"), eviction on. The boolean
 /// switches exist for the Fig. 4 ablation and the design-choice ablation
-/// benches listed in DESIGN.md §9.
+/// benches listed in DESIGN.md §10.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MultiPrioConfig {
     /// Locality window: the POP inspects the first `n` tasks of the heap.

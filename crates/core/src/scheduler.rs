@@ -244,6 +244,15 @@ pub struct MultiPrioScheduler {
     obs: mp_trace::ObsCell,
     /// Decision-provenance ring; populated only with `--features obs`.
     provenance: ProvenanceRing,
+    /// Quarantined workers (worker failure), indexed by worker id. All
+    /// `false` in fault-free runs, in which case every alive-filtered
+    /// path below reduces to the original computation bit for bit.
+    disabled: Vec<bool>,
+    /// `true` once any worker was disabled (fast path guard).
+    any_disabled: bool,
+    /// Memory nodes whose workers are all disabled (bit = node index).
+    /// Such a node's heap is unreachable: plans must not enqueue there.
+    dead_nodes: u64,
     // Scratch buffers, reused across calls so the steady-state push/pop
     // paths never allocate (verified by tests/alloc_free.rs).
     window: Vec<(TaskId, Score)>,
@@ -270,6 +279,9 @@ impl MultiPrioScheduler {
             holds: 0,
             obs: mp_trace::ObsCell::new(),
             provenance: ProvenanceRing::default(),
+            disabled: Vec::new(),
+            any_disabled: false,
+            dead_nodes: 0,
             window: Vec::new(),
             skip: Vec::new(),
             archs: Vec::new(),
@@ -334,6 +346,18 @@ impl MultiPrioScheduler {
 
     fn slot(&self, t: TaskId) -> &TaskSlot {
         &self.slab[t.index()]
+    }
+
+    /// Workers of memory node `i` still alive — the `brw_per_worker`
+    /// divisor. Equals the platform count until a worker is disabled.
+    fn alive_workers_on(&self, view: &SchedView<'_>, i: usize) -> usize {
+        let ws = view.platform().workers_on_node(MemNodeId::from_index(i));
+        if !self.any_disabled {
+            return ws.len();
+        }
+        ws.iter()
+            .filter(|w| !self.disabled.get(w.index()).copied().unwrap_or(false))
+            .count()
     }
 
     /// Lazily delete `t`'s entry from heap `m` (the eviction mechanism):
@@ -447,10 +471,7 @@ impl MultiPrioScheduler {
             bm &= bm - 1;
             let total = self.best_remaining_work[i];
             let v = if self.cfg.brw_per_worker {
-                let nw = view
-                    .platform()
-                    .workers_on_node(MemNodeId::from_index(i))
-                    .len();
+                let nw = self.alive_workers_on(view, i);
                 total / nw.max(1) as f64
             } else {
                 total
@@ -539,10 +560,7 @@ impl MultiPrioScheduler {
             bm &= bm - 1;
             let total = self.best_remaining_work[i];
             let v = if self.cfg.brw_per_worker {
-                let nw = view
-                    .platform()
-                    .workers_on_node(MemNodeId::from_index(i))
-                    .len();
+                let nw = self.alive_workers_on(view, i);
                 total / nw.max(1) as f64
             } else {
                 total
@@ -582,9 +600,23 @@ impl MultiPrioScheduler {
         let platform = view.platform();
         let mut archs = std::mem::take(&mut self.archs);
         view.est.archs_by_delta_into(t, &mut archs);
+        // After a node death, an architecture whose memory nodes are all
+        // dead must not win `best_arch`: its `best_remaining_work` credit
+        // would land nowhere and the pop condition could hold the task
+        // forever. Filter it out before ranking (no-op in fault-free runs).
+        if self.dead_nodes != 0 {
+            let dead = self.dead_nodes;
+            archs.retain(|&(a, _)| {
+                platform.mem_nodes().iter().any(|mem| {
+                    mem.arch == a
+                        && dead & (1u64 << mem.id.index()) == 0
+                        && !platform.workers_on_node(mem.id).is_empty()
+                })
+            });
+        }
         assert!(
             !archs.is_empty(),
-            "task {t:?} has no executable architecture on this platform"
+            "task {t:?} has no executable architecture on the surviving platform"
         );
         // Observing identical estimates is idempotent on the running
         // maxima, so skipping it on cache hits changes nothing.
@@ -618,10 +650,15 @@ impl MultiPrioScheduler {
         }
         let mut node_mask = 0u64;
         let mut brw_mask = 0u64;
+        let dead_nodes = self.dead_nodes;
         for mem in platform.mem_nodes() {
             let a = mem.arch;
-            // `can_exec(t, a) and get_worker_count(a) > 0`, per node.
+            // `can_exec(t, a) and get_worker_count(a) > 0`, per node —
+            // counting only surviving workers.
             if platform.workers_on_node(mem.id).is_empty() || !view.est.can_exec(t, a) {
+                continue;
+            }
+            if dead_nodes & (1u64 << mem.id.index()) != 0 {
                 continue;
             }
             let bit = 1u64 << mem.id.index();
@@ -654,6 +691,20 @@ impl Scheduler for MultiPrioScheduler {
         self.ensure(platform.mem_node_count());
         if self.slab.len() <= t.index() {
             self.slab.resize(t.index() + 1, TaskSlot::default());
+        }
+        if self.any_disabled {
+            // After a failure the surviving platform may have lost every
+            // implementation of this task's type. Hold the task as pending
+            // without bucketing it anywhere: the engine's capability sweep
+            // (which runs right after the failure hooks) raises the typed
+            // `NoCapableWorker` error, and must win over a scheduler panic.
+            let capable = (0..platform.worker_count()).any(|xi| {
+                !self.disabled[xi] && view.delta_on_worker(t, WorkerId::from_index(xi)).is_some()
+            });
+            if !capable {
+                self.pending += 1;
+                return;
+            }
         }
         let task = view.graph().task(t);
         let key = PlanKey {
@@ -751,6 +802,63 @@ impl Scheduler for MultiPrioScheduler {
 
     fn pending(&self) -> usize {
         self.pending
+    }
+
+    /// Quarantine `w`. While the worker's memory node keeps at least one
+    /// survivor nothing structural changes — the shared heap stays
+    /// reachable and only the `brw_per_worker` divisor shrinks. When the
+    /// *last* worker of a node dies, its heap becomes unreachable, so
+    /// every live task is retired and re-pushed against the surviving
+    /// nodes (recomputing node/brw masks, gains, and best arch), and the
+    /// push-plan cache is dropped because every cached plan baked the
+    /// dead node into its masks.
+    fn worker_disabled(&mut self, w: WorkerId, view: &SchedView<'_>) {
+        let platform = view.platform();
+        self.ensure(platform.mem_node_count());
+        let n = platform.worker_count();
+        if self.disabled.len() < n {
+            self.disabled.resize(n, false);
+        }
+        if self.disabled[w.index()] {
+            return;
+        }
+        self.disabled[w.index()] = true;
+        self.any_disabled = true;
+        let m = platform.worker(w).mem_node;
+        let node_dead = platform
+            .workers_on_node(m)
+            .iter()
+            .all(|x| self.disabled[x.index()]);
+        if !node_dead || self.dead_nodes & (1u64 << m.index()) != 0 {
+            return;
+        }
+        self.dead_nodes |= 1u64 << m.index();
+        self.plans.clear();
+        let live: Vec<TaskId> = self
+            .slab
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live)
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        for h in &mut self.heaps {
+            *h = ScoredHeap::new();
+        }
+        self.ready_count.iter_mut().for_each(|c| *c = 0);
+        self.best_remaining_work.iter_mut().for_each(|b| *b = 0.0);
+        for &t in &live {
+            let slot = &mut self.slab[t.index()];
+            slot.live = false;
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.node_mask = 0;
+            slot.brw_mask = 0;
+        }
+        self.pending -= live.len();
+        // Re-push in TaskId order: deterministic regardless of the order
+        // tasks originally arrived in.
+        for &t in &live {
+            self.push(t, None, view);
+        }
     }
 
     fn counters(&self) -> mp_trace::CounterSnapshot {
@@ -979,6 +1087,28 @@ mod tests {
         s.push(t_hub, None, &view);
         assert_eq!(s.pop(c0, &view), Some(t_hub), "higher NOD first");
         assert_eq!(s.pop(c0, &view), Some(t_leaf));
+    }
+
+    #[test]
+    fn gpu_death_rebuckets_work_onto_cpu() {
+        let mut fx = Fixture::two_arch();
+        let t = fx.add_task(fx.both, 64, "t");
+        let view = fx.view();
+        let (c0, _, g0) = fx.workers();
+        let mut s = sched();
+        s.push(t, None, &view);
+        // Fault-free the CPU is held back (δ_gpu = 10 ≪ δ_cpu = 100) and
+        // the rejected entry is evicted from the CPU heap.
+        assert_eq!(s.pop(c0, &view), None);
+        s.worker_disabled(g0, &view);
+        assert_eq!(s.ready_tasks_count(MemNodeId(1)), 0, "gpu heap dropped");
+        assert_eq!(
+            s.ready_tasks_count(MemNodeId(0)),
+            1,
+            "task re-bucketed to the surviving node"
+        );
+        assert_eq!(s.pop(c0, &view), Some(t), "cpu inherits the work");
+        assert_eq!(s.pending(), 0);
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! # mp-fault — deterministic fault injection plans
+//!
+//! The differential validation harness (`mp-audit`) needs to prove that
+//! every scheduler still executes each task effectively once and
+//! terminates when the real world misbehaves: kernels that run far
+//! longer than the model predicts, workers that stall or *die*, kernels
+//! that fail transiently, estimates that are plain wrong, and wakeups
+//! that arrive late. A [`FaultPlan`] describes exactly those
+//! perturbations; both execution engines consume it — `mp-runtime`
+//! injects them into real worker threads, `mp-sim` mirrors the same
+//! semantics in virtual time:
+//!
+//! * **slow kernels** — a fraction of tasks sleeps an extra delay after
+//!   the kernel body, inflating the measured time fed back to
+//!   history-based models;
+//! * **stalled kernels** — a (usually smaller) fraction sleeps a much
+//!   longer delay, emulating a preempted or thermally-throttled worker;
+//! * **perturbed estimates** — every model estimate is multiplied by a
+//!   per-kernel-type factor in `[1/(1+skew), 1+skew]`, so model-guided
+//!   policies (dmda*, MultiPrio) plan against systematically wrong costs;
+//! * **delayed wakeups** — completion notifications are postponed,
+//!   widening every window in the runtime's parking protocol;
+//! * **panicking kernels** — a fraction of kernel bodies panics; the
+//!   engines catch the panic and, under a [`RetryPolicy`] allowing more
+//!   than one attempt, retry the task elsewhere;
+//! * **killed workers** — [`kill_worker`](FaultPlan::kill_worker) marks
+//!   a worker dead after it completes a fixed number of tasks; the
+//!   engines quarantine it and re-enqueue its work;
+//! * **transient failures** — each execution attempt of a task fails
+//!   with probability [`transient_fail_prob`](FaultPlan::transient_fail_prob),
+//!   succeeding on a later attempt (the hash covers the attempt number).
+//!
+//! Which task is slowed, stalled, panicked or failed is a pure hash of
+//! `(seed, task id[, attempt])` — no RNG state, no wall clock — so a
+//! plan picks the same victims on every run regardless of thread
+//! interleaving, and a fixed plan yields a bit-identical schedule.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mp_perfmodel::{EstimateQuery, PerfModel};
+
+/// Maximum number of scheduled worker kills one plan can hold (keeps
+/// [`FaultPlan`] `Copy`).
+pub const MAX_KILLS: usize = 8;
+
+/// One scheduled worker death: `worker` dies right after completing its
+/// `after_tasks`-th task (0 = before its first completion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Worker index to kill.
+    pub worker: u32,
+    /// Tasks the worker completes before dying.
+    pub after_tasks: u32,
+}
+
+/// How failed execution attempts are retried.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total execution attempts allowed per task (1 = no retries; a
+    /// retryable failure then aborts the run exactly as before this
+    /// policy existed).
+    pub max_attempts: u32,
+    /// Base backoff before re-enqueueing a failed task, µs; attempt `k`
+    /// (1-based) waits `backoff_us * 2^(k-1)`.
+    pub backoff_us: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff_us: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` attempts with the given backoff.
+    pub fn new(max_attempts: u32, backoff_us: f64) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            backoff_us: backoff_us.max(0.0),
+        }
+    }
+
+    /// Backoff before attempt `attempt + 1`, given `attempt` failures so
+    /// far (exponential, 1-based).
+    pub fn backoff_for(&self, attempt: u32) -> f64 {
+        if self.backoff_us <= 0.0 {
+            0.0
+        } else {
+            self.backoff_us * f64::from(1u32 << (attempt.saturating_sub(1)).min(20))
+        }
+    }
+}
+
+/// What to break, and how hard. `Default` is the no-fault plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for victim selection and estimate skew.
+    pub seed: u64,
+    /// Fraction of tasks whose kernel is slowed ([0, 1]).
+    pub slow_prob: f64,
+    /// Extra delay added to a slowed kernel, in µs.
+    pub slow_us: f64,
+    /// Fraction of tasks whose kernel stalls outright ([0, 1]).
+    pub stall_prob: f64,
+    /// Stall duration, in µs.
+    pub stall_us: f64,
+    /// Relative magnitude of estimate perturbation: each kernel type's
+    /// estimate is scaled by a fixed factor in `[1/(1+skew), 1+skew]`.
+    /// `0.0` leaves the model untouched.
+    pub estimate_skew: f64,
+    /// Delay inserted before each completion's wakeup notification, µs.
+    pub wake_delay_us: f64,
+    /// Fraction of tasks whose kernel panics outright ([0, 1]). Under
+    /// the default [`RetryPolicy`] (one attempt) the run aborts with a
+    /// typed `KernelPanicked`; with retries enabled the task is re-run
+    /// and the panic recurs deterministically on every attempt (panic
+    /// victims are per-task, not per-attempt — a genuinely broken
+    /// kernel). Not part of [`Self::chaos`].
+    pub panic_prob: f64,
+    /// Scheduled worker deaths ([`Self::kill_worker`]); `None` slots are
+    /// unused.
+    pub kills: [Option<KillSpec>; MAX_KILLS],
+    /// Per-*attempt* transient failure probability ([0, 1]): each
+    /// execution attempt of each task fails independently with this
+    /// probability (hash of seed × task × attempt), so retries
+    /// eventually succeed.
+    pub transient_fail_prob: f64,
+}
+
+impl FaultPlan {
+    /// A moderately hostile plan for stress tests: 20% of kernels slowed
+    /// by 200 µs, 5% stalled for 2 ms, estimates skewed by up to 4×
+    /// either way, and every wakeup late by 50 µs.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            slow_prob: 0.2,
+            slow_us: 200.0,
+            stall_prob: 0.05,
+            stall_us: 2_000.0,
+            estimate_skew: 3.0,
+            wake_delay_us: 50.0,
+            ..Self::default()
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_noop(&self) -> bool {
+        *self
+            == Self {
+                seed: self.seed,
+                ..Self::default()
+            }
+    }
+
+    /// Schedule worker `worker` to die after completing `after_tasks`
+    /// tasks (builder style). Panics when all [`MAX_KILLS`] slots are
+    /// taken.
+    pub fn kill_worker(mut self, worker: usize, after_tasks: u32) -> Self {
+        let slot = self
+            .kills
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("fault plan holds at most MAX_KILLS scheduled kills");
+        *slot = Some(KillSpec {
+            worker: worker as u32,
+            after_tasks,
+        });
+        self
+    }
+
+    /// When worker `w` is scheduled to die: the number of tasks it
+    /// completes first.
+    pub fn kill_after(&self, w: usize) -> Option<u32> {
+        self.kills
+            .iter()
+            .flatten()
+            .find(|k| k.worker as usize == w)
+            .map(|k| k.after_tasks)
+    }
+
+    /// Does this plan kill any worker at all?
+    pub fn kills_any(&self) -> bool {
+        self.kills.iter().any(Option::is_some)
+    }
+
+    /// Does the plan contain *retryable* faults (panics or transient
+    /// failures) that a [`RetryPolicy`] with `max_attempts > 1` can
+    /// absorb?
+    pub fn has_retryable_faults(&self) -> bool {
+        self.panic_prob > 0.0 || self.transient_fail_prob > 0.0
+    }
+
+    /// Extra kernel delay for task index `t` (0 when not a victim).
+    pub fn kernel_delay(&self, t: usize) -> Option<Duration> {
+        let mut us = 0.0;
+        if self.slow_prob > 0.0 && unit(self.seed, t as u64, 0x510e) < self.slow_prob {
+            us += self.slow_us;
+        }
+        if self.stall_prob > 0.0 && unit(self.seed, t as u64, 0x57a11ed) < self.stall_prob {
+            us += self.stall_us;
+        }
+        (us > 0.0).then(|| Duration::from_nanos((us * 1e3) as u64))
+    }
+
+    /// The per-completion wakeup delay, if any.
+    pub fn wake_delay(&self) -> Option<Duration> {
+        (self.wake_delay_us > 0.0).then(|| Duration::from_nanos((self.wake_delay_us * 1e3) as u64))
+    }
+
+    /// Does the kernel of task index `t` panic? Pure hash of
+    /// `(seed, t)`, like the other victim selections.
+    pub fn kernel_panics(&self, t: usize) -> bool {
+        self.panic_prob > 0.0 && unit(self.seed, t as u64, 0xdead) < self.panic_prob
+    }
+
+    /// Does execution attempt `attempt` (0-based) of task index `t` fail
+    /// transiently? Pure hash of `(seed, t, attempt)`: the same attempt
+    /// of the same task always agrees, while later attempts draw fresh.
+    pub fn transient_fails(&self, t: usize, attempt: u32) -> bool {
+        self.transient_fail_prob > 0.0
+            && unit(self.seed, (t as u64) | (u64::from(attempt) << 32), 0x7a4e)
+                < self.transient_fail_prob
+    }
+}
+
+/// splitmix64: a single mixing round, enough to decorrelate (seed, salt).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash `(seed, key, salt)` to a uniform f64 in [0, 1).
+pub fn unit(seed: u64, key: u64, salt: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(key ^ splitmix64(salt)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A [`PerfModel`] whose estimates are deterministically wrong.
+///
+/// Each kernel type gets a fixed multiplicative factor, log-uniform in
+/// `[1/(1+skew), 1+skew]`, keyed on the type name — so the *relative*
+/// ordering schedulers rely on can flip, but the perturbation is stable
+/// across queries and runs. Measured feedback passes through unmodified:
+/// history models still learn the truth underneath the lies.
+pub struct SkewedModel {
+    inner: Arc<dyn PerfModel>,
+    skew: f64,
+    seed: u64,
+}
+
+impl SkewedModel {
+    /// Wrap `inner`, skewing every estimate by up to `1 + skew` either
+    /// way, with victim factors drawn from `seed`.
+    pub fn new(inner: Arc<dyn PerfModel>, skew: f64, seed: u64) -> Self {
+        Self { inner, skew, seed }
+    }
+
+    fn factor(&self, q: &EstimateQuery<'_>) -> f64 {
+        let mut key = 0xcbf2_9ce4_8422_2325u64;
+        for &b in q.ttype.name.as_bytes() {
+            key = splitmix64(key ^ u64::from(b));
+        }
+        key = splitmix64(key ^ u64::from(q.arch.id.0));
+        let span = (1.0 + self.skew).ln();
+        ((unit(self.seed, key, 0x5e1f) * 2.0 - 1.0) * span).exp()
+    }
+}
+
+impl PerfModel for SkewedModel {
+    fn estimate(&self, q: &EstimateQuery<'_>) -> Option<f64> {
+        self.inner.estimate(q).map(|d| d * self.factor(q))
+    }
+
+    fn record(&self, q: &EstimateQuery<'_>, measured_us: f64) {
+        self.inner.record(q, measured_us);
+    }
+
+    fn version(&self) -> u64 {
+        self.inner.version()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_perfmodel::model::UniformModel;
+
+    #[test]
+    fn victim_selection_is_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::chaos(7);
+        let victims: Vec<bool> = (0..256).map(|t| plan.kernel_delay(t).is_some()).collect();
+        let again: Vec<bool> = (0..256).map(|t| plan.kernel_delay(t).is_some()).collect();
+        assert_eq!(victims, again, "same plan, same victims");
+        let hit = victims.iter().filter(|&&v| v).count();
+        // ~23% expected (20% slow + 5% stall, minus overlap); allow slack.
+        assert!((20..150).contains(&hit), "plausible victim count: {hit}");
+        let other = FaultPlan::chaos(8);
+        let shifted: Vec<bool> = (0..256).map(|t| other.kernel_delay(t).is_some()).collect();
+        assert_ne!(victims, shifted, "different seed, different victims");
+    }
+
+    #[test]
+    fn noop_plan_injects_nothing() {
+        let plan = FaultPlan {
+            seed: 42,
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_noop());
+        assert!((0..64).all(|t| plan.kernel_delay(t).is_none()));
+        assert!((0..64).all(|t| !plan.kernel_panics(t)));
+        assert!((0..64).all(|t| !plan.transient_fails(t, 0)));
+        assert!(plan.wake_delay().is_none());
+        assert!(!plan.kills_any());
+        assert!(!FaultPlan::chaos(42).is_noop());
+        assert!(!plan.kill_worker(0, 3).is_noop(), "a kill is not a noop");
+    }
+
+    #[test]
+    fn panic_victims_are_deterministic_and_chaos_free() {
+        let plan = FaultPlan {
+            seed: 11,
+            panic_prob: 0.25,
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_noop());
+        let victims: Vec<bool> = (0..256).map(|t| plan.kernel_panics(t)).collect();
+        let again: Vec<bool> = (0..256).map(|t| plan.kernel_panics(t)).collect();
+        assert_eq!(victims, again, "same plan, same victims");
+        let hit = victims.iter().filter(|&&v| v).count();
+        assert!((30..110).contains(&hit), "plausible victim count: {hit}");
+        // Termination/exactly-once stress plans must never panic.
+        assert!((0..256).all(|t| !FaultPlan::chaos(3).kernel_panics(t)));
+    }
+
+    #[test]
+    fn skewed_model_is_stable_bounded_and_transparent_to_feedback() {
+        let mut g = mp_dag::TaskGraph::new();
+        let k = g.register_type("K", true, true);
+        let d = g.add_data(64, "d");
+        let t = g.add_task(k, vec![(d, mp_dag::AccessMode::Read)], 1.0, "t");
+        let p = mp_platform::presets::simple(1, 1);
+        let skew = 3.0;
+        let m = SkewedModel::new(Arc::new(UniformModel { time_us: 100.0 }), skew, 1);
+        let est = mp_perfmodel::Estimator::new(&g, &p, &m);
+        let a = mp_platform::types::ArchId(0);
+        let d1 = est.delta(t, a).unwrap();
+        let d2 = est.delta(t, a).unwrap();
+        assert_eq!(d1, d2, "same query, same skew");
+        assert!(
+            d1 >= 100.0 / (1.0 + skew) - 1e-9 && d1 <= 100.0 * (1.0 + skew) + 1e-9,
+            "skewed estimate {d1} within [1/(1+s), 1+s] of truth"
+        );
+    }
+
+    #[test]
+    fn kill_specs_register_and_resolve_per_worker() {
+        let plan = FaultPlan::default().kill_worker(2, 5).kill_worker(0, 0);
+        assert!(plan.kills_any());
+        assert!(!plan.is_noop());
+        assert_eq!(plan.kill_after(2), Some(5));
+        assert_eq!(plan.kill_after(0), Some(0));
+        assert_eq!(plan.kill_after(1), None);
+        assert_eq!(
+            plan.kills.iter().flatten().count(),
+            2,
+            "two slots taken, six free"
+        );
+    }
+
+    #[test]
+    fn transient_failures_are_per_attempt_and_deterministic() {
+        let plan = FaultPlan {
+            seed: 5,
+            transient_fail_prob: 0.5,
+            ..FaultPlan::default()
+        };
+        assert!(plan.has_retryable_faults());
+        let a0: Vec<bool> = (0..256).map(|t| plan.transient_fails(t, 0)).collect();
+        let again: Vec<bool> = (0..256).map(|t| plan.transient_fails(t, 0)).collect();
+        assert_eq!(a0, again, "same plan, same victims");
+        let a1: Vec<bool> = (0..256).map(|t| plan.transient_fails(t, 1)).collect();
+        assert_ne!(a0, a1, "a fresh attempt draws fresh victims");
+        // With p = 0.5 every task succeeds within a handful of attempts.
+        for t in 0..256 {
+            assert!(
+                (0..20).any(|k| !plan.transient_fails(t, k)),
+                "task {t} must eventually succeed"
+            );
+        }
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_exponential_from_base() {
+        let p = RetryPolicy::new(4, 100.0);
+        assert_eq!(p.backoff_for(1), 100.0);
+        assert_eq!(p.backoff_for(2), 200.0);
+        assert_eq!(p.backoff_for(3), 400.0);
+        let none = RetryPolicy::default();
+        assert_eq!(none.max_attempts, 1, "default keeps pre-retry semantics");
+        assert_eq!(none.backoff_for(3), 0.0);
+    }
+}

@@ -12,7 +12,7 @@
 //! condition waiting out a busy best-worker).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -30,7 +30,7 @@ use mp_trace::{
 };
 
 use crate::data::{BufRef, TaskCtx};
-use crate::fault::{FaultPlan, SkewedModel};
+use crate::fault::{FaultPlan, RetryPolicy, SkewedModel};
 
 /// A kernel implementation.
 pub type KernelFn = Arc<dyn Fn(&mut TaskCtx<'_>) + Send + Sync>;
@@ -215,12 +215,29 @@ pub enum RunError {
         /// The class of the worker it was sent to.
         class: ArchClass,
     },
-    /// A kernel body panicked. The panic is caught at the worker loop,
-    /// the run drains cleanly, and the spans recorded so far survive as
-    /// a partial trace (the panicking task records no span).
+    /// A kernel body panicked on its final allowed attempt. The panic is
+    /// caught at the worker loop, the run drains cleanly, and the spans
+    /// recorded so far survive as a partial trace (the panicking task
+    /// records no span). With a [`RetryPolicy`] allowing more than one
+    /// attempt, earlier panics are retried instead.
     KernelPanicked {
         /// The task whose kernel panicked.
         task: TaskId,
+    },
+    /// After a worker failure, a remaining task has no surviving worker
+    /// whose architecture class has an implementation of it — the run
+    /// could never complete and is aborted instead of hanging.
+    NoCapableWorker {
+        /// The unexecutable task.
+        task: TaskId,
+    },
+    /// A task failed (injected transient failure) on every attempt the
+    /// [`RetryPolicy`] allows.
+    RetryExhausted {
+        /// The failing task.
+        task: TaskId,
+        /// Attempts made.
+        attempts: u32,
     },
 }
 
@@ -245,6 +262,13 @@ impl std::fmt::Display for RunError {
                     f,
                     "kernel of {task:?} panicked; run aborted with partial trace"
                 )
+            }
+            RunError::NoCapableWorker { task } => write!(
+                f,
+                "no surviving worker can execute {task:?} after worker failure"
+            ),
+            RunError::RetryExhausted { task, attempts } => {
+                write!(f, "{task:?} failed on all {attempts} allowed attempt(s)")
             }
         }
     }
@@ -296,6 +320,9 @@ pub struct Runtime {
     submit_error: Option<RunError>,
     /// Fault-injection plan applied by the next run (`None` = no faults).
     faults: Option<FaultPlan>,
+    /// Retry budget for failed execution attempts (panics, injected
+    /// transient failures). The default allows exactly one attempt.
+    retry: RetryPolicy,
 }
 
 impl Runtime {
@@ -310,15 +337,27 @@ impl Runtime {
             impls: Vec::new(),
             submit_error: None,
             faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
     /// Apply a [`FaultPlan`] to every subsequent run: deterministic slow
-    /// and stalled kernels, skewed model estimates, delayed wakeups. Used
-    /// by the validation harness to prove exactly-once execution and
-    /// termination under adversarial timing; has no effect on results.
+    /// and stalled kernels, skewed model estimates, delayed wakeups —
+    /// plus worker kills after a fixed completion count and per-attempt
+    /// transient execution failures. Used by the validation harness to
+    /// prove effectively-once execution and termination under
+    /// adversarial timing; timing faults have no effect on results.
     pub fn set_faults(&mut self, plan: FaultPlan) {
         self.faults = (!plan.is_noop()).then_some(plan);
+    }
+
+    /// Retry failed execution attempts (kernel panics, injected
+    /// transient failures) under `policy`: up to `max_attempts` tries
+    /// per task with exponential backoff. The default policy allows a
+    /// single attempt — the first failure aborts the run, exactly as
+    /// before retry support existed.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Register a buffer; returns its handle.
@@ -428,6 +467,9 @@ impl Runtime {
         let nw = self.platform.worker_count();
         let platform = &self.platform;
         let faults = self.faults.unwrap_or_default();
+        let retry = self.retry;
+        let kills_on = faults.kills_any();
+        let transients_on = faults.transient_fail_prob > 0.0;
         // Estimate skew wraps the model; measured feedback still reaches
         // the real model underneath.
         let skewed: Option<SkewedModel> = (faults.estimate_skew > 0.0)
@@ -454,6 +496,19 @@ impl Runtime {
             .collect();
         let ready_at: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
         let spans = Mutex::new(Vec::<TaskSpan>::new());
+        // --- Worker-failure state (dormant without kill/transient
+        // faults). A worker only dies *between* tasks — after its k-th
+        // completion, before the next pop — so a death never strands an
+        // in-flight task; queued work is re-routed by `worker_disabled`.
+        let alive: Vec<AtomicBool> = (0..nw).map(|_| AtomicBool::new(true)).collect();
+        let attempts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let done_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let worker_classes: Vec<ArchClass> = (0..nw)
+            .map(|wi| {
+                let a = platform.worker(WorkerId::from_index(wi)).arch;
+                platform.arch(a).class
+            })
+            .collect();
         // Fallback-estimate warnings: once per (task type, arch) per run.
         let warned = FallbackWarnings::new();
         // Per-worker observability cells (no-ops unless `--features obs`)
@@ -497,9 +552,16 @@ impl Runtime {
                 let graph = &graph;
                 let make_view = &make_view;
                 let park_events = &park_events;
+                let alive = &alive;
+                let attempts = &attempts;
+                let done_flags = &done_flags;
+                let worker_classes = &worker_classes;
                 scope.spawn(move || {
                     let arch = platform.worker(w).arch;
                     let class = platform.arch(arch).class;
+                    // Committed tasks on this worker; read only by its
+                    // own kill-threshold check.
+                    let mut my_done = 0u32;
                     loop {
                         // Epoch BEFORE the exit check and the pop attempt:
                         // any completion, abort or push bumps it *after*
@@ -512,6 +574,56 @@ impl Runtime {
                         // on the fresh epoch with no notify ever coming —
                         // a rare end-of-run hang.)
                         let seen = wake.current();
+                        // Fault plan: die after the configured number of
+                        // completions. The death is self-published here,
+                        // between tasks — never mid-kernel — so nothing
+                        // is lost in flight; the front-end re-routes any
+                        // work queued for this worker.
+                        if kills_on
+                            && faults.kill_after(wi).is_some_and(|k| my_done >= k)
+                            && alive[wi].swap(false, Ordering::AcqRel)
+                        {
+                            obs.bump(Counter::WorkerFailures);
+                            if obs_enabled() {
+                                let mut ev = park_events.lock().unwrap_or_else(|e| e.into_inner());
+                                ev.push(RuntimeEvent {
+                                    worker: wi,
+                                    at: now_us(),
+                                    kind: RuntimeEventKind::WorkerFailed,
+                                });
+                            }
+                            {
+                                let view = make_view(now_us());
+                                front.worker_disabled(w, &view);
+                            }
+                            // The run can only finish if every remaining
+                            // task keeps a capable surviving worker —
+                            // abort typed instead of hanging otherwise.
+                            let mut doomed: Option<TaskId> = None;
+                            for i in 0..n {
+                                if done_flags[i].load(Ordering::Acquire) {
+                                    continue;
+                                }
+                                let capable = (0..nw).any(|xi| {
+                                    alive[xi].load(Ordering::Acquire)
+                                        && impls[i].contains_key(&worker_classes[xi])
+                                });
+                                if !capable {
+                                    doomed = Some(TaskId::from_index(i));
+                                    break;
+                                }
+                            }
+                            if let Some(t) = doomed {
+                                let mut e = error.lock().unwrap_or_else(|p| p.into_inner());
+                                if e.is_none() {
+                                    *e = Some(RunError::NoCapableWorker { task: t });
+                                }
+                                drop(e);
+                                abort.store(true, Ordering::Release);
+                            }
+                            wake.notify();
+                            return;
+                        }
                         if completed.load(Ordering::Acquire) >= n || abort.load(Ordering::Acquire) {
                             wake.notify();
                             return;
@@ -550,6 +662,53 @@ impl Runtime {
                             continue;
                         };
                         obs.bump(Counter::Pops);
+
+                        // Injected transient failure: the attempt dies
+                        // before the kernel runs, so a failed attempt
+                        // leaves no effect on the buffers (effectively-
+                        // once semantics need exactly one *committed*
+                        // execution; failed attempts must be pure).
+                        if transients_on
+                            && faults.transient_fails(
+                                t.index(),
+                                attempts[t.index()].load(Ordering::Relaxed),
+                            )
+                        {
+                            let made = attempts[t.index()].fetch_add(1, Ordering::AcqRel) + 1;
+                            if made >= retry.max_attempts {
+                                let mut e = error.lock().unwrap_or_else(|p| p.into_inner());
+                                if e.is_none() {
+                                    *e = Some(RunError::RetryExhausted {
+                                        task: t,
+                                        attempts: made,
+                                    });
+                                }
+                                drop(e);
+                                abort.store(true, Ordering::Release);
+                                wake.notify();
+                                return;
+                            }
+                            obs.bump(Counter::TasksRetried);
+                            if obs_enabled() {
+                                let mut ev = park_events.lock().unwrap_or_else(|e| e.into_inner());
+                                ev.push(RuntimeEvent {
+                                    worker: wi,
+                                    at: now_us(),
+                                    kind: RuntimeEventKind::TaskRetried,
+                                });
+                            }
+                            let backoff = retry.backoff_for(made);
+                            if backoff > 0.0 {
+                                std::thread::sleep(Duration::from_secs_f64(backoff * 1e-6));
+                            }
+                            {
+                                let view = make_view(now_us());
+                                front.push_retry(t, made, &view);
+                            }
+                            obs.bump(Counter::Pushes);
+                            wake.notify();
+                            continue;
+                        }
 
                         // Estimate for the load table, then execute. A
                         // missing model entry falls back to an arch mean
@@ -629,14 +788,40 @@ impl Runtime {
                             .is_err();
                         drop(ctx);
                         if panicked {
-                            let mut e = error.lock().unwrap_or_else(|p| p.into_inner());
-                            if e.is_none() {
-                                *e = Some(RunError::KernelPanicked { task: t });
+                            let made = attempts[t.index()].fetch_add(1, Ordering::AcqRel) + 1;
+                            if made >= retry.max_attempts {
+                                let mut e = error.lock().unwrap_or_else(|p| p.into_inner());
+                                if e.is_none() {
+                                    *e = Some(RunError::KernelPanicked { task: t });
+                                }
+                                drop(e);
+                                abort.store(true, Ordering::Release);
+                                wake.notify();
+                                return;
                             }
-                            drop(e);
-                            abort.store(true, Ordering::Release);
+                            // Retryable panic: the worker survives; the
+                            // task re-enters the scheduler after backoff.
+                            obs.bump(Counter::TasksRetried);
+                            if obs_enabled() {
+                                let mut ev = park_events.lock().unwrap_or_else(|e| e.into_inner());
+                                ev.push(RuntimeEvent {
+                                    worker: wi,
+                                    at: now_us(),
+                                    kind: RuntimeEventKind::TaskRetried,
+                                });
+                            }
+                            loads.set(w, now_us());
+                            let backoff = retry.backoff_for(made);
+                            if backoff > 0.0 {
+                                std::thread::sleep(Duration::from_secs_f64(backoff * 1e-6));
+                            }
+                            {
+                                let view = make_view(now_us());
+                                front.push_retry(t, made, &view);
+                            }
+                            obs.bump(Counter::Pushes);
                             wake.notify();
-                            return;
+                            continue;
                         }
                         // Injected slow-down/stall: sleeps *inside* the
                         // measured window, so history models observe the
@@ -686,7 +871,9 @@ impl Runtime {
                             }
                             let _ = front.drain_prefetches();
                         }
+                        done_flags[t.index()].store(true, Ordering::Release);
                         completed.fetch_add(1, Ordering::AcqRel);
+                        my_done += 1;
                         // Injected wakeup latency: successors were already
                         // pushed, but parked workers learn about it late.
                         if let Some(delay) = faults.wake_delay() {
@@ -927,6 +1114,103 @@ mod tests {
             report.error
         );
         assert!(report.trace.tasks.is_empty(), "every kernel panics");
+    }
+
+    #[test]
+    fn killed_worker_is_quarantined_and_the_run_completes() {
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let x = rt.register(vec![0.0; 4], "x");
+        for _ in 0..6 {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(x, AccessMode::ReadWrite)
+                    .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                    .flops(1.0),
+            );
+        }
+        rt.set_faults(FaultPlan::default().kill_worker(0, 1));
+        let report = rt.run(Box::new(FifoScheduler::new())).expect("run failed");
+        assert!(report.is_complete(), "{:?}", report.error);
+        assert_eq!(report.trace.tasks.len(), 6);
+        assert!(report.trace.validate().is_ok());
+        // Effectively-once: each of the six increments landed exactly once.
+        assert_eq!(rt.buffer(x)[0], 6.0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_completion() {
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let x = rt.register(vec![0.0; 4], "x");
+        for _ in 0..4 {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(x, AccessMode::ReadWrite)
+                    .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                    .flops(1.0),
+            );
+        }
+        rt.set_faults(FaultPlan {
+            seed: 7,
+            transient_fail_prob: 0.5,
+            ..FaultPlan::default()
+        });
+        rt.set_retry_policy(RetryPolicy::new(16, 0.0));
+        let report = rt.run(Box::new(FifoScheduler::new())).expect("run failed");
+        assert!(report.is_complete(), "{:?}", report.error);
+        // A failed attempt must leave no effect: exactly one committed
+        // execution (and one span) per task despite the retries.
+        assert_eq!(report.trace.tasks.len(), 4);
+        assert_eq!(rt.buffer(x)[0], 4.0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed() {
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let x = rt.register(vec![0.0; 4], "x");
+        let t = rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                .flops(1.0),
+        );
+        rt.set_faults(FaultPlan {
+            seed: 3,
+            transient_fail_prob: 1.0,
+            ..FaultPlan::default()
+        });
+        rt.set_retry_policy(RetryPolicy::new(3, 0.0));
+        let report = rt.run(Box::new(FifoScheduler::new())).expect("contained");
+        assert_eq!(
+            report.error,
+            Some(RunError::RetryExhausted {
+                task: t,
+                attempts: 3
+            })
+        );
+        assert!(report.trace.tasks.is_empty());
+        assert_eq!(rt.buffer(x)[0], 0.0, "failed attempts have no effect");
+    }
+
+    #[test]
+    fn killing_every_worker_is_a_typed_no_capable_worker() {
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let x = rt.register(vec![0.0; 4], "x");
+        for _ in 0..2 {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(x, AccessMode::ReadWrite)
+                    .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                    .flops(1.0),
+            );
+        }
+        rt.set_faults(FaultPlan::default().kill_worker(0, 0).kill_worker(1, 0));
+        let report = rt.run(Box::new(FifoScheduler::new())).expect("contained");
+        assert!(
+            matches!(report.error, Some(RunError::NoCapableWorker { .. })),
+            "got {:?}",
+            report.error
+        );
+        assert!(report.trace.tasks.is_empty(), "both workers died at start");
     }
 
     #[test]

@@ -1,233 +1,7 @@
-//! Deterministic fault injection for the threaded runtime.
+//! Fault injection — re-exported from the shared [`mp_fault`] crate.
 //!
-//! The differential validation harness (`mp-audit`) needs to prove that
-//! every scheduler still executes each task exactly once and terminates
-//! when the real world misbehaves: kernels that run far longer than the
-//! model predicts, workers that stall, estimates that are plain wrong,
-//! and wakeups that arrive late. A [`FaultPlan`] injects exactly those
-//! perturbations into [`Runtime::run`](crate::Runtime::run):
-//!
-//! * **slow kernels** — a fraction of tasks sleeps an extra delay after
-//!   the kernel body, inflating the measured time fed back to
-//!   history-based models;
-//! * **stalled kernels** — a (usually smaller) fraction sleeps a much
-//!   longer delay, emulating a preempted or thermally-throttled worker;
-//! * **perturbed estimates** — every model estimate is multiplied by a
-//!   per-kernel-type factor in `[1/(1+skew), 1+skew]`, so model-guided
-//!   policies (dmda*, MultiPrio) plan against systematically wrong costs;
-//! * **delayed wakeups** — completion notifications are postponed,
-//!   widening every window in the runtime's parking protocol.
-//!
-//! Which task is slowed or stalled is a pure hash of `(seed, task id)` —
-//! no RNG state, no wall clock — so a plan picks the same victims on
-//! every run regardless of thread interleaving.
+//! The plan types moved to `mp-fault` so the simulator can mirror the
+//! same deterministic fault semantics in virtual time; this module keeps
+//! the historical `mp_runtime::fault::FaultPlan` paths working.
 
-use std::sync::Arc;
-use std::time::Duration;
-
-use mp_perfmodel::{EstimateQuery, PerfModel};
-
-/// What to break, and how hard. `Default` is the no-fault plan.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct FaultPlan {
-    /// Seed for victim selection and estimate skew.
-    pub seed: u64,
-    /// Fraction of tasks whose kernel is slowed ([0, 1]).
-    pub slow_prob: f64,
-    /// Extra delay added to a slowed kernel, in µs.
-    pub slow_us: f64,
-    /// Fraction of tasks whose kernel stalls outright ([0, 1]).
-    pub stall_prob: f64,
-    /// Stall duration, in µs.
-    pub stall_us: f64,
-    /// Relative magnitude of estimate perturbation: each kernel type's
-    /// estimate is scaled by a fixed factor in `[1/(1+skew), 1+skew]`.
-    /// `0.0` leaves the model untouched.
-    pub estimate_skew: f64,
-    /// Delay inserted before each completion's wakeup notification, µs.
-    pub wake_delay_us: f64,
-    /// Fraction of tasks whose kernel panics outright ([0, 1]). The
-    /// engine catches the panic and reports
-    /// [`RunError::KernelPanicked`](crate::RunError::KernelPanicked)
-    /// with the partial trace. Not part of [`Self::chaos`]: a panic
-    /// aborts the run, so exactly-once/termination stress plans keep it
-    /// at zero.
-    pub panic_prob: f64,
-}
-
-impl FaultPlan {
-    /// A moderately hostile plan for stress tests: 20% of kernels slowed
-    /// by 200 µs, 5% stalled for 2 ms, estimates skewed by up to 4×
-    /// either way, and every wakeup late by 50 µs.
-    pub fn chaos(seed: u64) -> Self {
-        Self {
-            seed,
-            slow_prob: 0.2,
-            slow_us: 200.0,
-            stall_prob: 0.05,
-            stall_us: 2_000.0,
-            estimate_skew: 3.0,
-            wake_delay_us: 50.0,
-            panic_prob: 0.0,
-        }
-    }
-
-    /// Does this plan inject anything at all?
-    pub fn is_noop(&self) -> bool {
-        *self
-            == Self {
-                seed: self.seed,
-                ..Self::default()
-            }
-    }
-
-    /// Extra kernel delay for task index `t` (0 when not a victim).
-    pub(crate) fn kernel_delay(&self, t: usize) -> Option<Duration> {
-        let mut us = 0.0;
-        if self.slow_prob > 0.0 && unit(self.seed, t as u64, 0x510e) < self.slow_prob {
-            us += self.slow_us;
-        }
-        if self.stall_prob > 0.0 && unit(self.seed, t as u64, 0x57a11ed) < self.stall_prob {
-            us += self.stall_us;
-        }
-        (us > 0.0).then(|| Duration::from_nanos((us * 1e3) as u64))
-    }
-
-    /// The per-completion wakeup delay, if any.
-    pub(crate) fn wake_delay(&self) -> Option<Duration> {
-        (self.wake_delay_us > 0.0).then(|| Duration::from_nanos((self.wake_delay_us * 1e3) as u64))
-    }
-
-    /// Does the kernel of task index `t` panic? Pure hash of
-    /// `(seed, t)`, like the other victim selections.
-    pub(crate) fn kernel_panics(&self, t: usize) -> bool {
-        self.panic_prob > 0.0 && unit(self.seed, t as u64, 0xdead) < self.panic_prob
-    }
-}
-
-/// splitmix64: a single mixing round, enough to decorrelate (seed, salt).
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// Hash `(seed, key, salt)` to a uniform f64 in [0, 1).
-fn unit(seed: u64, key: u64, salt: u64) -> f64 {
-    let h = splitmix64(seed ^ splitmix64(key ^ splitmix64(salt)));
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
-
-/// A [`PerfModel`] whose estimates are deterministically wrong.
-///
-/// Each kernel type gets a fixed multiplicative factor, log-uniform in
-/// `[1/(1+skew), 1+skew]`, keyed on the type name — so the *relative*
-/// ordering schedulers rely on can flip, but the perturbation is stable
-/// across queries and runs. Measured feedback passes through unmodified:
-/// history models still learn the truth underneath the lies.
-pub(crate) struct SkewedModel {
-    inner: Arc<dyn PerfModel>,
-    skew: f64,
-    seed: u64,
-}
-
-impl SkewedModel {
-    pub(crate) fn new(inner: Arc<dyn PerfModel>, skew: f64, seed: u64) -> Self {
-        Self { inner, skew, seed }
-    }
-
-    fn factor(&self, q: &EstimateQuery<'_>) -> f64 {
-        let mut key = 0xcbf2_9ce4_8422_2325u64;
-        for &b in q.ttype.name.as_bytes() {
-            key = splitmix64(key ^ u64::from(b));
-        }
-        key = splitmix64(key ^ u64::from(q.arch.id.0));
-        let span = (1.0 + self.skew).ln();
-        ((unit(self.seed, key, 0x5e1f) * 2.0 - 1.0) * span).exp()
-    }
-}
-
-impl PerfModel for SkewedModel {
-    fn estimate(&self, q: &EstimateQuery<'_>) -> Option<f64> {
-        self.inner.estimate(q).map(|d| d * self.factor(q))
-    }
-
-    fn record(&self, q: &EstimateQuery<'_>, measured_us: f64) {
-        self.inner.record(q, measured_us);
-    }
-
-    fn version(&self) -> u64 {
-        self.inner.version()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mp_perfmodel::model::UniformModel;
-
-    #[test]
-    fn victim_selection_is_deterministic_and_seed_sensitive() {
-        let plan = FaultPlan::chaos(7);
-        let victims: Vec<bool> = (0..256).map(|t| plan.kernel_delay(t).is_some()).collect();
-        let again: Vec<bool> = (0..256).map(|t| plan.kernel_delay(t).is_some()).collect();
-        assert_eq!(victims, again, "same plan, same victims");
-        let hit = victims.iter().filter(|&&v| v).count();
-        // ~23% expected (20% slow + 5% stall, minus overlap); allow slack.
-        assert!((20..150).contains(&hit), "plausible victim count: {hit}");
-        let other = FaultPlan::chaos(8);
-        let shifted: Vec<bool> = (0..256).map(|t| other.kernel_delay(t).is_some()).collect();
-        assert_ne!(victims, shifted, "different seed, different victims");
-    }
-
-    #[test]
-    fn noop_plan_injects_nothing() {
-        let plan = FaultPlan {
-            seed: 42,
-            ..FaultPlan::default()
-        };
-        assert!(plan.is_noop());
-        assert!((0..64).all(|t| plan.kernel_delay(t).is_none()));
-        assert!((0..64).all(|t| !plan.kernel_panics(t)));
-        assert!(plan.wake_delay().is_none());
-        assert!(!FaultPlan::chaos(42).is_noop());
-    }
-
-    #[test]
-    fn panic_victims_are_deterministic_and_chaos_free() {
-        let plan = FaultPlan {
-            seed: 11,
-            panic_prob: 0.25,
-            ..FaultPlan::default()
-        };
-        assert!(!plan.is_noop());
-        let victims: Vec<bool> = (0..256).map(|t| plan.kernel_panics(t)).collect();
-        let again: Vec<bool> = (0..256).map(|t| plan.kernel_panics(t)).collect();
-        assert_eq!(victims, again, "same plan, same victims");
-        let hit = victims.iter().filter(|&&v| v).count();
-        assert!((30..110).contains(&hit), "plausible victim count: {hit}");
-        // Termination/exactly-once stress plans must never panic.
-        assert!((0..256).all(|t| !FaultPlan::chaos(3).kernel_panics(t)));
-    }
-
-    #[test]
-    fn skewed_model_is_stable_bounded_and_transparent_to_feedback() {
-        let mut g = mp_dag::TaskGraph::new();
-        let k = g.register_type("K", true, true);
-        let d = g.add_data(64, "d");
-        let t = g.add_task(k, vec![(d, mp_dag::AccessMode::Read)], 1.0, "t");
-        let p = mp_platform::presets::simple(1, 1);
-        let skew = 3.0;
-        let m = SkewedModel::new(Arc::new(UniformModel { time_us: 100.0 }), skew, 1);
-        let est = mp_perfmodel::Estimator::new(&g, &p, &m);
-        let a = mp_platform::types::ArchId(0);
-        let d1 = est.delta(t, a).unwrap();
-        let d2 = est.delta(t, a).unwrap();
-        assert_eq!(d1, d2, "same query, same skew");
-        assert!(
-            d1 >= 100.0 / (1.0 + skew) - 1e-9 && d1 <= 100.0 * (1.0 + skew) + 1e-9,
-            "skewed estimate {d1} within [1/(1+s), 1+s] of truth"
-        );
-    }
-}
+pub use mp_fault::{FaultPlan, KillSpec, RetryPolicy, SkewedModel, MAX_KILLS};

@@ -32,4 +32,4 @@ pub mod fault;
 
 pub use data::{BufRef, TaskCtx};
 pub use engine::{RunError, RunReport, Runtime, TaskBuilder};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, KillSpec, RetryPolicy};

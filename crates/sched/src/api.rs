@@ -165,9 +165,13 @@ pub struct PrefetchReq {
 /// A dynamic scheduler, driven at StarPU's PUSH / POP points.
 ///
 /// Engines guarantee:
-/// * `push` is called exactly once per task, when it becomes ready;
-/// * `pop(w)` is only called when `w` is idle;
-/// * a task returned by `pop` is executed — there is no cancellation;
+/// * `push` is called once per task when it becomes ready; a task comes
+///   back through [`Self::push_retry`] only after a failed execution
+///   attempt or a worker death invalidated a previous pop;
+/// * `pop(w)` is only called when `w` is idle, and never after
+///   [`Self::worker_disabled`] quarantined `w`;
+/// * a task returned by `pop` either executes to completion or returns
+///   via `push_retry` — a popped task is never silently dropped;
 /// * `pop` must only return tasks the requesting worker can execute.
 ///
 /// `pop` returning `None` does **not** imply the scheduler is empty: a
@@ -187,6 +191,23 @@ pub trait Scheduler: Send {
 
     /// Number of pushed-but-not-popped tasks (engine sanity checks).
     fn pending(&self) -> usize;
+
+    /// Worker `w` died (or was quarantined): the engine will never call
+    /// `pop(w)` again, and any task previously mapped to `w` internally
+    /// must become reachable from the surviving workers. The default is
+    /// a no-op, correct for every policy whose queues are shared or
+    /// stealable; policies with *private* per-worker mappings (the
+    /// deque-model family, MultiPrio's per-node heaps) must override
+    /// this to drain and remap.
+    fn worker_disabled(&mut self, _w: WorkerId, _view: &SchedView<'_>) {}
+
+    /// Re-enqueue task `t` after a failed execution attempt (`attempt`
+    /// failures so far) or a worker death. The default funnels into
+    /// [`Self::push`] with no releaser, which every policy already
+    /// handles; override only to treat retries specially.
+    fn push_retry(&mut self, t: TaskId, _attempt: u32, view: &SchedView<'_>) {
+        self.push(t, None, view);
+    }
 
     /// Execution feedback (default: ignored).
     fn feedback(&mut self, _ev: &SchedEvent, _view: &SchedView<'_>) {}

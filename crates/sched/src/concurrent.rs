@@ -63,6 +63,15 @@ pub trait ConcurrentScheduler: Send + Sync {
     /// Execution feedback, delivered in engine order.
     fn feedback(&self, ev: &SchedEvent, view: &SchedView<'_>);
 
+    /// Worker `w` died or was quarantined (see
+    /// [`Scheduler::worker_disabled`]); the engine never calls `pop(w)`
+    /// again.
+    fn worker_disabled(&self, w: WorkerId, view: &SchedView<'_>);
+
+    /// Re-enqueue `t` after a failed execution attempt or a worker death
+    /// (see [`Scheduler::push_retry`]).
+    fn push_retry(&self, t: TaskId, attempt: u32, view: &SchedView<'_>);
+
     /// Pushed-but-not-popped tasks across the whole front-end.
     fn pending(&self) -> usize;
 
@@ -121,6 +130,20 @@ impl ConcurrentScheduler for GlobalLock {
             .lock()
             .expect("scheduler poisoned")
             .feedback(ev, view);
+    }
+
+    fn worker_disabled(&self, w: WorkerId, view: &SchedView<'_>) {
+        self.inner
+            .lock()
+            .expect("scheduler poisoned")
+            .worker_disabled(w, view);
+    }
+
+    fn push_retry(&self, t: TaskId, attempt: u32, view: &SchedView<'_>) {
+        self.inner
+            .lock()
+            .expect("scheduler poisoned")
+            .push_retry(t, attempt, view);
     }
 
     fn pending(&self) -> usize {
@@ -348,6 +371,30 @@ impl ConcurrentScheduler for ShardedAdapter {
         // Append to the sequenced channel; shards replay lazily under
         // their own lock. The log lock serializes only a Vec push.
         self.events.lock().expect("event log poisoned").push(*ev);
+    }
+
+    fn worker_disabled(&self, w: WorkerId, view: &SchedView<'_>) {
+        // Every shard may hold tasks privately mapped to the dead worker
+        // (a policy instance does not know which shard it lives in), so
+        // the quarantine broadcasts. Policies re-push drained tasks into
+        // themselves, which conserves each shard's pending count.
+        for shard in &self.shards {
+            let mut state = shard.state.lock().expect("shard poisoned");
+            self.catch_up(&mut state, view);
+            state.policy.worker_disabled(w, view);
+        }
+    }
+
+    fn push_retry(&self, t: TaskId, attempt: u32, view: &SchedView<'_>) {
+        // A retried task has no releasing worker (its executor failed),
+        // so it spreads round-robin like an initial push.
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let shard = &self.shards[i];
+        let mut state = shard.state.lock().expect("shard poisoned");
+        self.catch_up(&mut state, view);
+        state.policy.push_retry(t, attempt, view);
+        shard.pending.fetch_add(1, Ordering::AcqRel);
+        self.pending_total.fetch_add(1, Ordering::AcqRel);
     }
 
     fn pending(&self) -> usize {

@@ -95,6 +95,8 @@ pub struct DequeModelScheduler {
     queues: Vec<WorkerQueue>,
     /// Work (µs) mapped to each worker but not yet popped.
     committed: Vec<f64>,
+    /// Quarantined workers (worker failure): excluded from EFT mapping.
+    disabled: Vec<bool>,
     prefetches: Vec<PrefetchReq>,
     /// Scratch for the dmdas locality band (≤ `LOCALITY_BAND` entries).
     band: Vec<Entry>,
@@ -109,6 +111,7 @@ impl DequeModelScheduler {
             variant,
             queues: Vec::new(),
             committed: Vec::new(),
+            disabled: Vec::new(),
             prefetches: Vec::new(),
             band: Vec::new(),
             seq: 0,
@@ -120,6 +123,7 @@ impl DequeModelScheduler {
         if self.queues.len() < n {
             self.queues.resize_with(n, WorkerQueue::default);
             self.committed.resize(n, 0.0);
+            self.disabled.resize(n, false);
         }
     }
 }
@@ -137,7 +141,11 @@ impl Scheduler for DequeModelScheduler {
         self.ensure(view.platform().worker_count());
         let data_aware = self.variant.data_aware();
         let committed = &self.committed;
+        let disabled = &self.disabled;
         let (w, _) = best_worker_by(view, |w| {
+            if disabled[w.index()] {
+                return None;
+            }
             expected_finish(view, t, w, committed[w.index()], data_aware)
         })
         .expect("task has no executable worker — generator/platform mismatch");
@@ -223,6 +231,44 @@ impl Scheduler for DequeModelScheduler {
 
     fn pending(&self) -> usize {
         self.pending
+    }
+
+    fn worker_disabled(&mut self, w: WorkerId, view: &SchedView<'_>) {
+        self.ensure(view.platform().worker_count());
+        self.disabled[w.index()] = true;
+        // The dead worker's queue is private: drain it and remap every
+        // entry through the ordinary EFT push, which now skips `w`.
+        let q = &mut self.queues[w.index()];
+        let mut stranded: Vec<Entry> = q.fifo.drain(..).collect();
+        stranded.extend(q.heap.drain());
+        self.committed[w.index()] = 0.0;
+        self.pending -= stranded.len();
+        // Preserve the original mapping order (dm/dmda queue order and
+        // the dmdas seq tie-break both descend from it).
+        stranded.sort_unstable_by_key(|e| e.seq);
+        for e in stranded {
+            let capable = (0..view.platform().worker_count()).any(|xi| {
+                !self.disabled[xi]
+                    && view
+                        .delta_on_worker(e.t, WorkerId::from_index(xi))
+                        .is_some()
+            });
+            if capable {
+                self.push(e.t, None, view);
+            } else {
+                // No surviving implementation anywhere: leave the entry
+                // parked on the dead queue. The engine's capability sweep
+                // runs right after this hook and surfaces the typed
+                // `NoCapableWorker` error naming the task.
+                let q = &mut self.queues[w.index()];
+                if self.variant.sorted() {
+                    q.heap.push(e);
+                } else {
+                    q.fifo.push_back(e);
+                }
+                self.pending += 1;
+            }
+        }
     }
 
     fn drain_prefetches(&mut self) -> Vec<PrefetchReq> {

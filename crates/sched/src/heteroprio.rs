@@ -53,6 +53,9 @@ pub struct HeteroPrioScheduler {
     cpu_order: Vec<usize>,
     gpu_order: Vec<usize>,
     orders_dirty: bool,
+    /// Quarantined workers (worker failure): the backlog guard must not
+    /// reserve work for dead "favored" workers.
+    disabled: Vec<bool>,
     /// Push-path scratch for `archs_by_delta_into`.
     archs: Vec<(mp_platform::types::ArchId, f64)>,
 }
@@ -138,17 +141,22 @@ impl Scheduler for HeteroPrioScheduler {
     fn pop(&mut self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
         let platform = view.platform();
         let class = platform.arch(platform.worker(w).arch).class;
-        // Worker counts per class, for the backlog guard.
+        if self.orders_dirty {
+            self.refresh_orders();
+        }
+        // *Alive* worker counts per class, for the backlog guard: a dead
+        // favored worker can no longer take the work it was owed.
+        let disabled = &self.disabled;
         let workers_of = |c: ArchClass| {
             platform
                 .workers()
                 .iter()
-                .filter(|x| platform.arch(x.arch).class == c)
+                .enumerate()
+                .filter(|&(i, x)| {
+                    platform.arch(x.arch).class == c && !disabled.get(i).copied().unwrap_or(false)
+                })
                 .count()
         };
-        if self.orders_dirty {
-            self.refresh_orders();
-        }
         for k in 0..self.buckets.len() {
             let b = match class {
                 ArchClass::Gpu => self.gpu_order[k],
@@ -188,6 +196,15 @@ impl Scheduler for HeteroPrioScheduler {
 
     fn pending(&self) -> usize {
         self.pending
+    }
+
+    fn worker_disabled(&mut self, w: WorkerId, view: &SchedView<'_>) {
+        let n = view.platform().worker_count();
+        if self.disabled.len() < n {
+            self.disabled.resize(n, false);
+        }
+        self.disabled[w.index()] = true;
+        // Buckets are shared across workers — nothing to drain.
     }
 }
 

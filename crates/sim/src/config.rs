@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use mp_fault::{FaultPlan, RetryPolicy};
+
 /// Knobs of one simulation run.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
@@ -20,6 +22,15 @@ pub struct SimConfig {
     /// Run the O(n) post-execution validation (every task ran once, no
     /// precedence violation, no worker overlap).
     pub validate: bool,
+    /// Deterministic fault injection: worker kills (virtual-time
+    /// mirror of the runtime's) and per-attempt transient execution
+    /// failures. The default injects nothing; slow/stall/panic knobs are
+    /// wall-clock effects and only apply to the threaded runtime.
+    pub faults: FaultPlan,
+    /// Retry budget for transient failures. The default (one attempt,
+    /// no backoff) aborts on the first failure, exactly as before retry
+    /// support existed.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SimConfig {
@@ -31,6 +42,8 @@ impl Default for SimConfig {
             record_trace: true,
             feedback_to_model: false,
             validate: true,
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -48,6 +61,18 @@ impl SimConfig {
     pub fn with_noise(mut self, cv: f64) -> Self {
         assert!((0.0..1.0).contains(&cv), "noise cv must be in [0,1)");
         self.noise_cv = cv;
+        self
+    }
+
+    /// Inject the given fault plan (kills and transient failures).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Retry failed attempts under the given policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }

@@ -231,6 +231,17 @@ impl DataStore {
         self.audit_coherence(d);
     }
 
+    /// Mark a replica dirty: worker-failure recovery promotes a surviving
+    /// copy to the sole authoritative value, which must be written back
+    /// before any future eviction.
+    pub fn mark_dirty(&mut self, d: DataId, m: MemNodeId) {
+        if let Some(r) = self.handles[d.index()].get_mut(m) {
+            r.dirty = true;
+        }
+        #[cfg(feature = "audit")]
+        self.audit_coherence(d);
+    }
+
     /// Free space on `m` until `needed` extra bytes fit, evicting
     /// least-recently-used unpinned replicas. Clean replicas are dropped
     /// instantly; dirty ones are written back to RAM over the link (the

@@ -18,13 +18,23 @@ use crate::data::DataStore;
 use crate::error::SimError;
 use crate::result::{SimResult, SimStats};
 
-/// Queue entry: finish of task `t` on worker `w` at `time`.
+/// What an event means when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EvKind {
+    /// Task `t` finishes executing on worker `w`.
+    Finish,
+    /// Task `t`'s retry backoff expires: hand it back to the scheduler.
+    Retry,
+}
+
+/// Queue entry: task `t` / worker `w` at `time`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 struct Event {
     time: f64,
     seq: u64,
     w: WorkerId,
     t: TaskId,
+    kind: EvKind,
 }
 
 impl Eq for Event {}
@@ -342,6 +352,150 @@ fn prepare_task(
     Ok(Some(arrive))
 }
 
+/// Worker-failure recovery: the last worker of memory node `m` died, so
+/// every replica it held is gone. Surviving copies elsewhere are
+/// promoted to authoritative (the freshest one, re-marked dirty unless
+/// it lives in RAM); a value whose *only* copy lived on `m` is
+/// regenerated by re-executing its producing task chain, tracked through
+/// `last_writer` and closed transitively over the producers' own lost
+/// inputs. Returns the recompute seeds whose member-predecessors are all
+/// intact — they go straight back to the scheduler; the rest are
+/// released through `rindeg` as their producers recommit.
+///
+/// The node's workers all drained cleanly before dying, so nothing on
+/// `m` is pinned when the replicas are dropped.
+#[allow(clippy::too_many_arguments)]
+fn recover_node(
+    graph: &TaskGraph,
+    store: &mut DataStore,
+    m: MemNodeId,
+    ram: MemNodeId,
+    last_writer: &[Option<TaskId>],
+    done: &mut [bool],
+    popped: &mut [bool],
+    recomputing: &mut [bool],
+    rindeg: &mut [u32],
+    completed: &mut usize,
+    recompute_live: &mut usize,
+    stats: &mut SimStats,
+    obs: &ObsCell,
+) -> Vec<TaskId> {
+    let mut lost: Vec<DataId> = Vec::new();
+    for i in 0..store.handle_count() {
+        let d = DataId::from_index(i);
+        let Some(rep) = store.replica(d, m) else {
+            continue;
+        };
+        let (dirty, valid_at) = (rep.dirty, rep.valid_at);
+        if valid_at == f64::MAX {
+            // Write-only placeholder of a failed attempt: no value yet.
+            store.drop_replica(d, m);
+            continue;
+        }
+        let survivor = store
+            .holders_full(d)
+            .iter()
+            .filter(|&&(n, r)| n != m && r.valid_at < f64::MAX)
+            // A dirty victim is the authoritative value: only copies
+            // fetched at/after it became valid carry that value.
+            .filter(|&&(_, r)| !dirty || r.valid_at >= valid_at - 1e-9)
+            .map(|&(n, r)| (n, r.valid_at))
+            // Freshest copy; lowest node id breaks ties deterministically.
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+        store.drop_replica(d, m);
+        match survivor {
+            Some((n, _)) if dirty => {
+                if n == ram {
+                    store.mark_clean(d, n);
+                } else {
+                    store.mark_dirty(d, n);
+                }
+                stats.replicas_promoted += 1;
+                obs.bump(Counter::ReplicasPromoted);
+            }
+            // A clean copy lost: the value survives elsewhere as-is.
+            Some(_) => {}
+            None => lost.push(d),
+        }
+    }
+
+    // Walk back through the producers of every lost value. A producer
+    // whose own input is also gone pulls *its* producer in, until the
+    // closure is grounded on values that still exist somewhere (the RAM
+    // copies of graph inputs survive by construction).
+    let mut stack: Vec<TaskId> = Vec::new();
+    for &d in &lost {
+        if let Some(p) = last_writer[d.index()] {
+            stack.push(p);
+        }
+    }
+    let mut members: Vec<TaskId> = Vec::new();
+    while let Some(q) = stack.pop() {
+        let qi = q.index();
+        // Still running, or already queued for recompute: it will
+        // (re)commit its outputs on its own.
+        if !done[qi] || recomputing[qi] {
+            continue;
+        }
+        recomputing[qi] = true;
+        done[qi] = false;
+        popped[qi] = false;
+        *completed -= 1;
+        *recompute_live += 1;
+        stats.tasks_recomputed += 1;
+        obs.bump(Counter::TasksRecomputed);
+        members.push(q);
+        for d in graph.task(q).reads() {
+            let present = store
+                .holders_full(d)
+                .iter()
+                .any(|&(_, r)| r.valid_at < f64::MAX);
+            if present {
+                continue;
+            }
+            // The value `q` consumed came from its closest predecessor
+            // writer — NOT `last_writer[d]`, which for an in-place
+            // read-write update is `q` itself (a self-loop that would
+            // leave the input unregenerated), and for a since-overwritten
+            // handle is a successor whose value `q` never saw.
+            let producer = graph
+                .preds(q)
+                .iter()
+                .copied()
+                .filter(|&p| graph.task(p).writes().any(|x| x == d))
+                .max();
+            match producer {
+                Some(p) => stack.push(p),
+                // No predecessor writes it: `q` consumed the graph-input
+                // value. The pristine host copy of every graph input
+                // survives device failure by construction (device commits
+                // shadow it, they cannot destroy it), so re-materialize
+                // it in RAM for the re-execution to read.
+                None => {
+                    if store.replica(d, ram).is_none() {
+                        let at = store.now;
+                        store.allocate(d, ram, at, false);
+                    }
+                }
+            }
+        }
+    }
+
+    // Order the recompute by the graph: a member waits (via `rindeg`)
+    // for its member predecessors; zero-indegree members re-enter the
+    // scheduler immediately.
+    for &q in &members {
+        rindeg[q.index()] = graph
+            .preds(q)
+            .iter()
+            .filter(|p| recomputing[p.index()])
+            .count() as u32;
+    }
+    members.sort_unstable();
+    members.retain(|&q| rindeg[q.index()] == 0);
+    members
+}
+
 /// Run `graph` on `platform` under `scheduler`, returning the makespan,
 /// trace and statistics. Deterministic for a fixed config.
 ///
@@ -373,6 +527,22 @@ pub fn simulate(
     // task is rejected as a typed error before it can corrupt state.
     let mut popped: Vec<bool> = vec![false; n];
     let mut completed = 0usize;
+    // --- Fault-injection state (all dormant without a fault plan) ---
+    let kills_on = cfg.faults.kills_any();
+    let transients_on = cfg.faults.transient_fail_prob > 0.0;
+    let mut alive: Vec<bool> = vec![true; nw];
+    let mut done_by: Vec<u32> = vec![0; nw]; // committed tasks per worker
+    let mut attempts: Vec<u32> = vec![0; n]; // failed attempts per task
+    let mut recomputing: Vec<bool> = vec![false; n];
+    let mut rindeg: Vec<u32> = vec![0; n]; // recompute-order indegree
+    let mut recompute_live = 0usize;
+    // Tasks popped but blocked on an input a recompute chain is still
+    // regenerating. Held outside the scheduler (so the chain's own tasks
+    // win every pop) and re-pushed whenever a write commits.
+    let mut parked: Vec<TaskId> = Vec::new();
+    // Committed producer of each handle's current value, for the
+    // lineage walk-back when a node dies with the only copy.
+    let mut last_writer: Vec<Option<TaskId>> = vec![None; store.handle_count()];
     let mut trace = Trace::new(nw);
     let mut stats = SimStats::default();
     // First typed failure; stops dispatching and surfaces in the result.
@@ -443,6 +613,73 @@ pub fn simulate(
         };
     }
 
+    // Kill worker `wi`: the fault plan's threshold was reached and the
+    // worker is idle with nothing staged (clean drain — a worker never
+    // dies holding pins, so replica cleanup needs no pin surgery).
+    macro_rules! kill_worker {
+        ($wi:expr, $now:expr) => {{
+            let (wi, now): (usize, f64) = ($wi, $now);
+            let w = WorkerId::from_index(wi);
+            alive[wi] = false;
+            stats.worker_failures += 1;
+            obs.bump(Counter::WorkerFailures);
+            {
+                let view = view!(now);
+                scheduler.worker_disabled(w, &view);
+            }
+            // Device memory dies with its last worker; host RAM outlives
+            // the compute threads pinned to it.
+            let m = platform.worker(w).mem_node;
+            let node_lost = m != platform.ram()
+                && platform
+                    .workers_on_node(m)
+                    .iter()
+                    .all(|x| !alive[x.index()]);
+            if node_lost {
+                let seeds = recover_node(
+                    graph,
+                    &mut store,
+                    m,
+                    platform.ram(),
+                    &last_writer,
+                    &mut done,
+                    &mut popped,
+                    &mut recomputing,
+                    &mut rindeg,
+                    &mut completed,
+                    &mut recompute_live,
+                    &mut stats,
+                    &obs,
+                );
+                for &s in &seeds {
+                    pushed_at[s.index()] = now;
+                    let view = view!(now);
+                    scheduler.push_retry(s, attempts[s.index()], &view);
+                    obs.bump(Counter::Pushes);
+                }
+            }
+            // Every unfinished task must keep a capable survivor, or the
+            // run can never complete — fail it now, with the culprit.
+            let est = Estimator::new(graph, platform, model);
+            for i in 0..n {
+                if done[i] {
+                    continue;
+                }
+                let t = TaskId::from_index(i);
+                let capable = (0..nw).any(|xi| {
+                    alive[xi]
+                        && est
+                            .delta(t, platform.worker(WorkerId::from_index(xi)).arch)
+                            .is_some()
+                });
+                if !capable {
+                    failure = Some(SimError::NoCapableWorker { task: t });
+                    break;
+                }
+            }
+        }};
+    }
+
     // Begin executing a prepared task on an idle worker.
     macro_rules! begin_exec {
         ($wi:expr, $t:expr, $arrive:expr, $nf:expr, $now:expr) => {{
@@ -476,6 +713,7 @@ pub fn simulate(
                 seq,
                 w,
                 t,
+                kind: EvKind::Finish,
             }));
             {
                 let view = view!(now);
@@ -525,6 +763,26 @@ pub fn simulate(
                     if running[wi] {
                         continue;
                     }
+                    if kills_on {
+                        if !alive[wi] {
+                            continue;
+                        }
+                        // Idle, nothing staged, threshold reached: die
+                        // before popping any more work.
+                        if next_slot[wi].is_empty()
+                            && cfg.faults.kill_after(wi).is_some_and(|k| done_by[wi] >= k)
+                        {
+                            kill_worker!(wi, now);
+                            if failure.is_some() {
+                                break 'dispatch;
+                            }
+                            // The death re-bucketed the scheduler and may
+                            // have re-pushed recompute seeds: workers
+                            // already polled this round must poll again.
+                            progress = true;
+                            continue;
+                        }
+                    }
                     // Drain a staged task first, then pop fresh.
                     if let Some((t, arrive_opt, nf)) = next_slot[wi].pop_front() {
                         let arrive = match arrive_opt {
@@ -546,6 +804,18 @@ pub fn simulate(
                                 false,
                             ) {
                                 Ok(a) => a.expect("strict prepare never defers"),
+                                Err(SimError::NoValidReplica { .. }) if recompute_live > 0 => {
+                                    // A lost input is being regenerated:
+                                    // park the task engine-side — NOT
+                                    // back into the scheduler, which
+                                    // could hand it straight back to
+                                    // every idle worker and stall the
+                                    // regenerating chain forever — and
+                                    // release it at the next commit.
+                                    popped[t.index()] = false;
+                                    parked.push(t);
+                                    continue;
+                                }
                                 Err(e) => {
                                     failure = Some(e);
                                     break 'dispatch;
@@ -582,6 +852,11 @@ pub fn simulate(
                                 false,
                             ) {
                                 Ok(a) => a.expect("strict prepare never defers"),
+                                Err(SimError::NoValidReplica { .. }) if recompute_live > 0 => {
+                                    popped[t.index()] = false;
+                                    parked.push(t);
+                                    continue;
+                                }
                                 Err(e) => {
                                     failure = Some(e);
                                     break 'dispatch;
@@ -600,6 +875,15 @@ pub fn simulate(
                     let wi = (k + rotation) % nw;
                     let w = WorkerId::from_index(wi);
                     if !running[wi] || !gpu_class[wi] || next_slot[wi].len() >= GPU_LOOKAHEAD {
+                        continue;
+                    }
+                    // Never stage more work onto a worker past its kill
+                    // threshold: the pipeline would otherwise keep it
+                    // perpetually busy and the kill would never fire.
+                    if kills_on
+                        && (!alive[wi]
+                            || cfg.faults.kill_after(wi).is_some_and(|k| done_by[wi] >= k))
+                    {
                         continue;
                     }
                     let fresh = {
@@ -628,6 +912,11 @@ pub fn simulate(
                                 true,
                             ) {
                                 Ok(a) => a,
+                                Err(SimError::NoValidReplica { .. }) if recompute_live > 0 => {
+                                    popped[t.index()] = false;
+                                    parked.push(t);
+                                    continue;
+                                }
                                 Err(e) => {
                                     failure = Some(e);
                                     break 'dispatch;
@@ -699,10 +988,56 @@ pub fn simulate(
         store.now = now;
         let t = ev.t;
         let w = ev.w;
+        if ev.kind == EvKind::Retry {
+            // Backoff expired: the failed task re-enters the scheduler.
+            pushed_at[t.index()] = now;
+            {
+                let view = view!(now);
+                scheduler.push_retry(t, attempts[t.index()], &view);
+            }
+            obs.bump(Counter::Pushes);
+            dispatch!(now);
+            continue;
+        }
         running[w.index()] = false;
         let worker = platform.worker(w);
         let m = worker.mem_node;
         let task = graph.task(t);
+
+        // Transient-failure injection: the attempt produced nothing.
+        // Release the input pins, commit no write, record no span; the
+        // write-only placeholders stay allocated for the retry.
+        if transients_on && cfg.faults.transient_fails(t.index(), attempts[t.index()]) {
+            scratch.seen.clear();
+            for a in &task.accesses {
+                if scratch.seen.contains(&a.data) {
+                    continue;
+                }
+                scratch.seen.push(a.data);
+                store.unpin(a.data, m);
+            }
+            attempts[t.index()] += 1;
+            if attempts[t.index()] >= cfg.retry.max_attempts {
+                failure = Some(SimError::RetryExhausted {
+                    task: t,
+                    attempts: attempts[t.index()],
+                });
+                break;
+            }
+            stats.tasks_retried += 1;
+            obs.bump(Counter::TasksRetried);
+            popped[t.index()] = false;
+            seq += 1;
+            events.push(Reverse(Event {
+                time: now + cfg.retry.backoff_for(attempts[t.index()]),
+                seq,
+                w,
+                t,
+                kind: EvKind::Retry,
+            }));
+            dispatch!(now);
+            continue;
+        }
 
         // Close out the execution (same folded view as start_task).
         {
@@ -720,12 +1055,14 @@ pub fn simulate(
                 if !scratch.written.contains(&d) {
                     scratch.written.push(d);
                     store.commit_write(d, m, now);
+                    last_writer[d.index()] = Some(t);
                 }
             }
         }
         assert!(!done[t.index()], "task {t:?} finished twice");
         done[t.index()] = true;
         completed += 1;
+        done_by[w.index()] += 1;
         if cfg.record_trace {
             trace.tasks.push(TaskSpan {
                 task: t,
@@ -754,15 +1091,45 @@ pub fn simulate(
 
         // Release successors: indegree decrements publish newly-ready
         // tasks straight into the scheduler — no intermediate collection,
-        // no rescan of the frontier.
-        for &s in graph.succs(t) {
-            indeg[s.index()] -= 1;
-            if indeg[s.index()] == 0 {
-                pushed_at[s.index()] = now;
+        // no rescan of the frontier. A *recomputed* task instead releases
+        // through the recompute indegree: the graph indegrees were
+        // already consumed by the original execution, and decrementing
+        // them again would underflow.
+        if recomputing[t.index()] {
+            recomputing[t.index()] = false;
+            recompute_live -= 1;
+            for &s in graph.succs(t) {
+                if recomputing[s.index()] && rindeg[s.index()] > 0 {
+                    rindeg[s.index()] -= 1;
+                    if rindeg[s.index()] == 0 {
+                        pushed_at[s.index()] = now;
+                        let view = view!(now);
+                        scheduler.push_retry(s, attempts[s.index()], &view);
+                        obs.bump(Counter::Pushes);
+                    }
+                }
+            }
+        } else {
+            for &s in graph.succs(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    pushed_at[s.index()] = now;
+                    let view = view!(now);
+                    scheduler.push(s, Some(w), &view);
+                    obs.bump(Counter::Pushes);
+                }
+            }
+        }
+        // A write just committed: tasks parked on a lost input may now
+        // find it (or discover the next missing one and re-park).
+        if !parked.is_empty() {
+            for &p in &parked {
+                pushed_at[p.index()] = now;
                 let view = view!(now);
-                scheduler.push(s, Some(w), &view);
+                scheduler.push_retry(p, attempts[p.index()], &view);
                 obs.bump(Counter::Pushes);
             }
+            parked.clear();
         }
         if emits_prefetches {
             run_prefetches(
@@ -782,10 +1149,32 @@ pub fn simulate(
     }
 
     if failure.is_none() && completed != n {
+        // Detail the first few stuck tasks with their unmet dependencies
+        // so the report distinguishes "the graph never released it" from
+        // "the scheduler is sitting on a ready task".
+        let mut stuck: Vec<(TaskId, Vec<TaskId>)> = Vec::new();
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            if stuck.len() >= SimError::DEADLOCK_DETAIL_CAP {
+                break;
+            }
+            let t = TaskId::from_index(i);
+            let unmet: Vec<TaskId> = graph
+                .preds(t)
+                .iter()
+                .copied()
+                .filter(|p| !done[p.index()])
+                .take(SimError::DEADLOCK_DETAIL_CAP)
+                .collect();
+            stuck.push((t, unmet));
+        }
         failure = Some(SimError::Deadlock {
             completed,
             total: n,
             pending: scheduler.pending(),
+            stuck,
         });
     }
     stats.tasks = completed;

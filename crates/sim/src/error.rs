@@ -59,7 +59,32 @@ pub enum SimError {
         total: usize,
         /// Tasks still held inside the scheduler.
         pending: usize,
+        /// The first few unfinished tasks, each with its unmet
+        /// predecessors (empty for a stuck task whose dependencies all
+        /// completed — it is the scheduler holding it, not the graph).
+        /// Capped at [`SimError::DEADLOCK_DETAIL_CAP`] entries.
+        stuck: Vec<(TaskId, Vec<TaskId>)>,
     },
+    /// After a worker failure, a remaining task has no surviving worker
+    /// whose architecture can execute it — the run can never complete.
+    NoCapableWorker {
+        /// The unexecutable task.
+        task: TaskId,
+    },
+    /// A task failed on every allowed attempt (see
+    /// `RetryPolicy::max_attempts`).
+    RetryExhausted {
+        /// The failing task.
+        task: TaskId,
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl SimError {
+    /// Max stuck tasks (and unmet preds per task) detailed in
+    /// [`SimError::Deadlock`].
+    pub const DEADLOCK_DETAIL_CAP: usize = 8;
 }
 
 impl std::fmt::Display for SimError {
@@ -92,11 +117,32 @@ impl std::fmt::Display for SimError {
                 completed,
                 total,
                 pending,
-            } => write!(
+                stuck,
+            } => {
+                write!(
+                    f,
+                    "scheduler deadlocked: {completed} of {total} tasks executed, \
+                     {pending} still pending inside the scheduler"
+                )?;
+                if !stuck.is_empty() {
+                    write!(f, "; stuck:")?;
+                    for (t, unmet) in stuck {
+                        if unmet.is_empty() {
+                            write!(f, " {t:?} (deps met, held by scheduler)")?;
+                        } else {
+                            write!(f, " {t:?} (waiting on {unmet:?})")?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            SimError::NoCapableWorker { task } => write!(
                 f,
-                "scheduler deadlocked: {completed} of {total} tasks executed, \
-                 {pending} still pending inside the scheduler"
+                "no surviving worker can execute {task:?} after worker failure"
             ),
+            SimError::RetryExhausted { task, attempts } => {
+                write!(f, "{task:?} failed on all {attempts} allowed attempt(s)")
+            }
         }
     }
 }
@@ -118,8 +164,18 @@ mod tests {
             completed: 2,
             total: 5,
             pending: 3,
+            stuck: vec![(TaskId(2), vec![TaskId(1)]), (TaskId(4), vec![])],
         };
         assert!(e.to_string().contains("deadlocked"));
         assert!(e.to_string().contains("2 of 5"));
+        assert!(e.to_string().contains("t2 (waiting on [t1])"), "{e}");
+        assert!(e.to_string().contains("t4 (deps met"), "{e}");
+        let e = SimError::NoCapableWorker { task: TaskId(7) };
+        assert!(e.to_string().contains("no surviving worker"));
+        let e = SimError::RetryExhausted {
+            task: TaskId(9),
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("all 3 allowed"));
     }
 }

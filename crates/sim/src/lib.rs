@@ -28,6 +28,16 @@
 //! satisfied stops the run with a [`SimError`] in [`SimResult::error`]
 //! rather than panicking.
 //!
+//! **Fault tolerance** (DESIGN.md §9): a [`FaultPlan`] can kill workers
+//! deterministically after a fixed number of completions and inject
+//! per-attempt transient execution failures. The engine quarantines dead
+//! workers (`Scheduler::worker_disabled`), retries failed attempts under
+//! a [`RetryPolicy`] with exponential backoff in virtual time, promotes
+//! surviving replicas when a memory node dies with its last worker, and
+//! re-executes the producing task chain of any value whose only copy was
+//! lost. A run that can no longer complete fails typed:
+//! [`SimError::NoCapableWorker`] / [`SimError::RetryExhausted`].
+//!
 //! Built with `--features audit`, every [`data::DataStore`] mutation and
 //! every event additionally runs an invariant auditor (MSI coherence,
 //! capacity, pin balance, link/event monotonicity); violations are
@@ -43,4 +53,5 @@ pub mod result;
 pub use config::SimConfig;
 pub use engine::simulate;
 pub use error::SimError;
+pub use mp_fault::{FaultPlan, KillSpec, RetryPolicy};
 pub use result::{SimResult, SimStats};

@@ -20,6 +20,15 @@ pub struct SimStats {
     pub capacity_evictions: u64,
     /// Scheduler pop calls that returned no task.
     pub empty_pops: u64,
+    /// Workers killed by the fault plan.
+    pub worker_failures: u64,
+    /// Failed execution attempts re-enqueued for retry.
+    pub tasks_retried: u64,
+    /// Completed tasks re-executed to regenerate replicas lost with a
+    /// failed node.
+    pub tasks_recomputed: u64,
+    /// Surviving replicas promoted to sole-valid after a node loss.
+    pub replicas_promoted: u64,
 }
 
 /// Everything a simulation run produces.
@@ -118,6 +127,7 @@ mod tests {
                 completed: 0,
                 total: 1,
                 pending: 1,
+                stuck: vec![],
             }),
             audit: Vec::new(),
             counters: CounterSnapshot::default(),

@@ -106,14 +106,21 @@ fn refusing_every_pop_is_a_typed_deadlock() {
     let (g, p, m) = cpu_only_fixture();
     let mut s = HoardingScheduler { held: 0 };
     let r = simulate(&g, &p, &m, &mut s, SimConfig::default());
-    assert_eq!(
-        r.error,
+    match r.error {
         Some(SimError::Deadlock {
-            completed: 0,
-            total: 2,
-            pending: 2,
-        })
-    );
+            completed,
+            total,
+            pending,
+            stuck,
+        }) => {
+            assert_eq!((completed, total, pending), (0, 2, 2));
+            // Both tasks are dependency-free: the report pins the blame
+            // on the scheduler holding them, not on the graph.
+            assert_eq!(stuck.len(), 2);
+            assert!(stuck.iter().all(|(_, unmet)| unmet.is_empty()), "{stuck:?}");
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
     assert_eq!(r.stats.tasks, 0);
 }
 

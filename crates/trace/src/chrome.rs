@@ -121,6 +121,10 @@ pub fn chrome_trace_with(
         let name = match e.kind {
             RuntimeEventKind::Park => "park",
             RuntimeEventKind::Wake => "wake",
+            RuntimeEventKind::WorkerFailed => "worker-failed",
+            RuntimeEventKind::TaskRetried => "task-retried",
+            RuntimeEventKind::TaskRecomputed => "task-recomputed",
+            RuntimeEventKind::ReplicaPromoted => "replica-promoted",
         };
         let _ = write!(
             out,
@@ -244,6 +248,33 @@ mod tests {
         assert!(out.contains("\"cat\":\"sched\""));
         assert!(out.contains("\"park\""));
         assert!(out.contains("\"cat\":\"runtime\""));
+    }
+
+    #[test]
+    fn fault_events_get_their_own_instant_names() {
+        let tr = small_trace();
+        let events: Vec<RuntimeEvent> = [
+            RuntimeEventKind::WorkerFailed,
+            RuntimeEventKind::TaskRetried,
+            RuntimeEventKind::TaskRecomputed,
+            RuntimeEventKind::ReplicaPromoted,
+        ]
+        .into_iter()
+        .map(|kind| RuntimeEvent {
+            worker: 0,
+            at: 2.0,
+            kind,
+        })
+        .collect();
+        let out = chrome_trace_with(&tr, &[], &events).unwrap();
+        for name in [
+            "\"worker-failed\"",
+            "\"task-retried\"",
+            "\"task-recomputed\"",
+            "\"replica-promoted\"",
+        ] {
+            assert!(out.contains(name), "missing {name}");
+        }
     }
 
     #[test]

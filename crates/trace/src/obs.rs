@@ -55,10 +55,18 @@ pub enum Counter {
     /// Prefetch requests dropped (disabled, already resident, no clean
     /// room, no source replica).
     PrefetchesCancelled,
+    /// Workers lost to an injected or detected failure.
+    WorkerFailures,
+    /// Failed execution attempts re-enqueued for retry.
+    TasksRetried,
+    /// Completed tasks re-executed to regenerate lost replicas.
+    TasksRecomputed,
+    /// Surviving replicas promoted to sole-valid after a node loss.
+    ReplicasPromoted,
 }
 
 /// Number of scalar counters (length of an [`ObsCell`]'s array).
-pub const COUNTER_COUNT: usize = 10;
+pub const COUNTER_COUNT: usize = 14;
 
 /// Aggregated counter values, as returned by `Scheduler::counters()`
 /// and surfaced on `SimResult` / `RunReport`.
@@ -87,6 +95,14 @@ pub struct CounterSnapshot {
     pub prefetches_issued: u64,
     /// Prefetches dropped before transferring.
     pub prefetches_cancelled: u64,
+    /// Workers lost to failures.
+    pub worker_failures: u64,
+    /// Failed attempts re-enqueued for retry.
+    pub tasks_retried: u64,
+    /// Tasks re-executed for replica recovery.
+    pub tasks_recomputed: u64,
+    /// Replicas promoted after a node loss.
+    pub replicas_promoted: u64,
     /// Per-shard stolen pops (empty for non-sharded front-ends).
     pub steals: Vec<u64>,
     /// Per-shard total pops (empty for non-sharded front-ends).
@@ -107,6 +123,10 @@ impl CounterSnapshot {
         self.heap_compactions += other.heap_compactions;
         self.prefetches_issued += other.prefetches_issued;
         self.prefetches_cancelled += other.prefetches_cancelled;
+        self.worker_failures += other.worker_failures;
+        self.tasks_retried += other.tasks_retried;
+        self.tasks_recomputed += other.tasks_recomputed;
+        self.replicas_promoted += other.replicas_promoted;
         merge_vec(&mut self.steals, &other.steals);
         merge_vec(&mut self.shard_pops, &other.shard_pops);
     }
@@ -125,7 +145,8 @@ impl CounterSnapshot {
     pub fn render(&self) -> String {
         format!(
             "pops={} pushes={} holds={} evictions={} arena={}/{} (consults={}) \
-             compactions={} prefetch={}+{}cancelled steals={:?}",
+             compactions={} prefetch={}+{}cancelled failures={} retried={} \
+             recomputed={} promoted={} steals={:?}",
             self.pops,
             self.pushes,
             self.holds,
@@ -136,6 +157,10 @@ impl CounterSnapshot {
             self.heap_compactions,
             self.prefetches_issued,
             self.prefetches_cancelled,
+            self.worker_failures,
+            self.tasks_retried,
+            self.tasks_recomputed,
+            self.replicas_promoted,
             self.steals,
         )
     }
@@ -197,6 +222,10 @@ impl ObsCell {
         snap.heap_compactions += self.get(Counter::HeapCompactions);
         snap.prefetches_issued += self.get(Counter::PrefetchesIssued);
         snap.prefetches_cancelled += self.get(Counter::PrefetchesCancelled);
+        snap.worker_failures += self.get(Counter::WorkerFailures);
+        snap.tasks_retried += self.get(Counter::TasksRetried);
+        snap.tasks_recomputed += self.get(Counter::TasksRecomputed);
+        snap.replicas_promoted += self.get(Counter::ReplicasPromoted);
     }
 
     /// Snapshot just this cell.
@@ -258,6 +287,14 @@ pub enum RuntimeEventKind {
     Park,
     /// The worker woke (notified or repoll deadline).
     Wake,
+    /// The worker died (injected kill or detected failure).
+    WorkerFailed,
+    /// A failed attempt of a task was re-enqueued on this worker's lane.
+    TaskRetried,
+    /// A completed task was re-executed to regenerate a lost replica.
+    TaskRecomputed,
+    /// A surviving replica was promoted after a node loss.
+    ReplicaPromoted,
 }
 
 /// One timestamped runtime event, for the Chrome-trace timeline.

@@ -82,7 +82,7 @@ fn differential_sweep_sim_vs_runtime() {
                     let cfg = DiffConfig {
                         sim_cfg: SimConfig::seeded(seed).with_noise(0.1),
                         shards,
-                        faults: None,
+                        ..DiffConfig::default()
                     };
                     let report = differential(graph, &platform, model, &*factory, &cfg);
                     assert_clean(
@@ -111,6 +111,7 @@ fn fault_injection_preserves_exactly_once_and_termination() {
                     sim_cfg: SimConfig::seeded(7),
                     shards,
                     faults: Some(FaultPlan::chaos(13)),
+                    ..DiffConfig::default()
                 };
                 let report = differential(graph, &platform, model, &*factory, &cfg);
                 assert_clean(&report, &format!("faulty {wname}/{sched}/shards={shards}"));
@@ -174,9 +175,12 @@ proptest! {
                 estimate_skew: 2.0,
                 wake_delay_us: 20.0,
                 // Not exercised here: a panicking kernel truncates the
-                // run by design, so exactly-once cannot hold.
-                panic_prob: 0.0,
+                // run by design, so exactly-once cannot hold. Worker
+                // kills and transient failures get their own sweep in
+                // tests/fault_tolerance.rs.
+                ..FaultPlan::default()
             }),
+            ..DiffConfig::default()
         };
         let report = differential(&g, &simple(2, 1), &model, &*factory, &cfg);
         prop_assert!(
@@ -219,6 +223,12 @@ proptest! {
                 c.arena_hits + c.arena_misses == c.estimator_consults,
                 "arena {}+{} != consults {}", c.arena_hits, c.arena_misses, c.estimator_consults
             );
+            // No fault plan: every fault-path counter stays zero.
+            prop_assert!(
+                c.worker_failures == 0 && c.tasks_retried == 0
+                    && c.tasks_recomputed == 0 && c.replicas_promoted == 0,
+                "fault counters non-zero in fault-free sim: {}", c.render()
+            );
         } else {
             prop_assert!(c.is_empty(), "obs off but sim counters non-zero: {}", c.render());
         }
@@ -244,6 +254,11 @@ proptest! {
                 let shard_total: u64 = c.shard_pops.iter().sum();
                 prop_assert!(shard_total == c.pops, "shard pops {shard_total} != pops {}", c.pops);
             }
+            prop_assert!(
+                c.worker_failures == 0 && c.tasks_retried == 0
+                    && c.tasks_recomputed == 0 && c.replicas_promoted == 0,
+                "fault counters non-zero in fault-free run: {}", c.render()
+            );
         } else {
             prop_assert!(c.is_empty(), "obs off but runtime counters non-zero: {}", c.render());
         }
