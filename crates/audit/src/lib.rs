@@ -47,7 +47,7 @@ use std::sync::Arc;
 use mp_dag::TaskGraph;
 use mp_perfmodel::PerfModel;
 use mp_platform::types::Platform;
-use mp_runtime::{FaultPlan, RetryPolicy};
+use mp_runtime::{FaultPlan, RelaxedSeqScheduler, RetryPolicy};
 use mp_sched::Scheduler;
 use mp_sim::{simulate, SimConfig};
 
@@ -78,6 +78,16 @@ pub struct DiffConfig {
     /// legitimately commit a task more than once on the sim side), and
     /// precedence still holds exactly.
     pub retry: RetryPolicy,
+    /// Relaxed-mode override: drive the runtime through the relaxed
+    /// multi-queue front-end ([`mp_runtime::Runtime::run_relaxed`]) and
+    /// the simulator through its deterministic sequential twin
+    /// ([`RelaxedSeqScheduler`]), both under this configuration.
+    /// `factory` is ignored — the relaxed front-end *is* the policy
+    /// (priority order). Set
+    /// [`track_rank`](mp_runtime::RelaxedConfig::track_rank) to get
+    /// staleness statistics on the report. Takes precedence over
+    /// [`Self::shards`].
+    pub relaxed: Option<mp_runtime::RelaxedConfig>,
 }
 
 /// Run one DAG through both executors under schedulers built by
@@ -109,8 +119,19 @@ pub fn differential(
         sim_cfg.faults = plan;
     }
     sim_cfg.retry = cfg.retry;
-    let mut sim_sched = factory();
-    let sim = simulate(graph, platform, &**model, sim_sched.as_mut(), sim_cfg);
+    let mut relaxed_seq = cfg
+        .relaxed
+        .map(|rc| RelaxedSeqScheduler::new(platform.worker_count(), rc));
+    let mut factory_sched = match relaxed_seq {
+        Some(_) => None,
+        None => Some(factory()),
+    };
+    let sim_sched: &mut dyn Scheduler = match relaxed_seq.as_mut() {
+        Some(s) => s,
+        None => factory_sched.as_mut().expect("factory scheduler").as_mut(),
+    };
+    let sim = simulate(graph, platform, &**model, sim_sched, sim_cfg);
+    let sim_rank = relaxed_seq.as_ref().and_then(|s| s.rank_stats());
     if let Some(err) = &sim.error {
         mismatches.push(Mismatch::SimFailed {
             error: err.to_string(),
@@ -138,13 +159,17 @@ pub fn differential(
         rt.set_faults(plan);
     }
     rt.set_retry_policy(cfg.retry);
-    let run = if cfg.shards == 0 {
+    let run = if let Some(rc) = cfg.relaxed {
+        rt.run_relaxed(rc)
+    } else if cfg.shards == 0 {
         rt.run(factory())
     } else {
         rt.run_sharded(cfg.shards, factory)
     };
+    let mut runtime_rank = None;
     let runtime_makespan = match run {
         Ok(report) => {
+            runtime_rank = report.rank.clone();
             // Mid-run failures (misrouted task, panicking kernel) come
             // back as a report carrying the error and a partial trace.
             if let Some(err) = &report.error {
@@ -175,6 +200,8 @@ pub fn differential(
         mismatches,
         sim_makespan: sim.makespan,
         runtime_makespan,
+        sim_rank,
+        runtime_rank,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Reproduction driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [--trace-out <path>]
+//! repro [--quick|--full] [--trace-out <path>] [--front <multiprio|relaxed>]
 //!       [--kill-worker W:N]... [--transient-prob P] [--retry-max M]
 //!       [table2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [probe <matrix>]
 //! ```
@@ -12,6 +12,10 @@
 //! writes a Chrome `trace_event` JSON timeline (open with Perfetto,
 //! <https://ui.perfetto.dev>); build with `--features obs` to include
 //! the scheduler's pop/hold decision instants.
+//!
+//! `--front relaxed` swaps the `--trace-out` run's scheduler for the
+//! relaxed multi-queue's deterministic sequential twin (DESIGN.md §6c)
+//! and reports its measured rank error — the timeline stays diffable.
 //!
 //! The fault flags apply to the `--trace-out` run (DESIGN.md §9):
 //! `--kill-worker W:N` (repeatable) kills worker `W` after it completes
@@ -39,6 +43,11 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace_out = take_value(&mut args, "--trace-out");
+    let front = take_value(&mut args, "--front").unwrap_or_else(|| "multiprio".to_string());
+    if !matches!(front.as_str(), "multiprio" | "relaxed") {
+        eprintln!("--front expects 'multiprio' or 'relaxed'");
+        std::process::exit(2);
+    }
     let mut faults = FaultPlan::default();
     while let Some(spec) = take_value(&mut args, "--kill-worker") {
         let (w, n) = spec
@@ -67,7 +76,7 @@ fn main() {
         std::process::exit(2);
     }
     if let Some(path) = trace_out {
-        export_trace(&path, faults, RetryPolicy::new(retry_max, 0.0));
+        export_trace(&path, &front, faults, RetryPolicy::new(retry_max, 0.0));
         return;
     }
     let full = args.iter().any(|a| a == "--full");
@@ -189,8 +198,9 @@ fn main() {
 /// the provenance ring. Deterministic, so CI can diff the artifact —
 /// including under a fault plan, whose kills/retries/recomputes show up
 /// as instant events on the timeline.
-fn export_trace(path: &str, faults: FaultPlan, retry: RetryPolicy) {
+fn export_trace(path: &str, front: &str, faults: FaultPlan, retry: RetryPolicy) {
     use mp_apps::dense::{potrf, DenseConfig};
+    use mp_sched::concurrent::{RelaxedConfig, RelaxedSeqScheduler};
     use mp_sim::{simulate, SimConfig};
     use mp_trace::chrome_trace_with;
     use multiprio::MultiPrioScheduler;
@@ -198,17 +208,31 @@ fn export_trace(path: &str, faults: FaultPlan, retry: RetryPolicy) {
     let w = potrf(DenseConfig::new(8 * 480, 480));
     let model = mp_apps::dense_model();
     let platform = mp_platform::presets::simple(6, 2);
+    let cfg = SimConfig::seeded(42).with_faults(faults).with_retry(retry);
     let mut sched = MultiPrioScheduler::with_defaults();
-    let result = simulate(
-        &w.graph,
-        &platform,
-        &model,
-        &mut sched,
-        SimConfig::seeded(42).with_faults(faults).with_retry(retry),
+    let mut relaxed_sched = RelaxedSeqScheduler::new(
+        platform.worker_count(),
+        RelaxedConfig {
+            queues_per_worker: 2,
+            seed: 42,
+            track_rank: true,
+        },
     );
+    let result = match front {
+        "relaxed" => simulate(&w.graph, &platform, &model, &mut relaxed_sched, cfg),
+        _ => simulate(&w.graph, &platform, &model, &mut sched, cfg),
+    };
     if let Some(e) = &result.error {
         eprintln!("trace run failed: {e}");
         std::process::exit(1);
+    }
+    if let Some(rank) = relaxed_sched.rank_stats() {
+        println!(
+            "relaxed front-end rank error: mean {:.2}, max {} over {} pops",
+            rank.mean(),
+            rank.rank_max,
+            rank.pops
+        );
     }
     if result.stats.worker_failures > 0 || result.stats.tasks_retried > 0 {
         println!(

@@ -23,7 +23,9 @@ use mp_dag::TaskGraph;
 use mp_perfmodel::{DeltaEstimate, Estimator, FallbackWarnings, PerfModel};
 use mp_platform::types::{ArchClass, MemNodeId, Platform, WorkerId};
 use mp_sched::api::{DataLocator, LoadInfo, SchedEvent, SchedView, Scheduler};
-use mp_sched::concurrent::{ConcurrentScheduler, GlobalLock, ShardedAdapter};
+use mp_sched::concurrent::{
+    ConcurrentScheduler, GlobalLock, RelaxedConfig, RelaxedMultiQueue, ShardedAdapter,
+};
 use mp_trace::obs::obs_enabled;
 use mp_trace::{
     Counter, CounterSnapshot, ObsCell, RuntimeEvent, RuntimeEventKind, TaskSpan, Trace,
@@ -299,6 +301,10 @@ pub struct RunReport {
     /// Worker park/wake timeline. Empty unless built with
     /// `--features obs`.
     pub events: Vec<RuntimeEvent>,
+    /// Rank-error statistics against the exact-priority oracle. `Some`
+    /// only for [`Runtime::run_relaxed`] with
+    /// [`RelaxedConfig::track_rank`] set.
+    pub rank: Option<mp_trace::RankStats>,
 }
 
 impl RunReport {
@@ -451,6 +457,21 @@ impl Runtime {
     ) -> Result<RunReport, RunError> {
         let front = ShardedAdapter::new(shards, factory);
         self.run_concurrent(&front)
+    }
+
+    /// Execute under the relaxed multi-queue front-end
+    /// ([`RelaxedMultiQueue`]): `cfg.queues_per_worker · workers`
+    /// try-locked sequential queues with two-choice pops over published
+    /// score tops. Ordering is *relaxed* — a pop may return a task that
+    /// is not the current global best — with the bounded rank error
+    /// measurable via [`RelaxedConfig::track_rank`] (reported on
+    /// [`RunReport::rank`]). The policy order is `prio`: descending user
+    /// priority, FIFO within a level.
+    pub fn run_relaxed(&mut self, cfg: RelaxedConfig) -> Result<RunReport, RunError> {
+        let front = RelaxedMultiQueue::new(self.platform.worker_count(), cfg);
+        let mut report = self.run_concurrent(&front)?;
+        report.rank = front.rank_stats();
+        Ok(report)
     }
 
     /// Execute every submitted task by driving `front` from one thread
@@ -912,6 +933,7 @@ impl Runtime {
             error: run_error,
             counters,
             events,
+            rank: None,
         })
     }
 }

@@ -33,3 +33,4 @@ pub mod fault;
 pub use data::{BufRef, TaskCtx};
 pub use engine::{RunError, RunReport, Runtime, TaskBuilder};
 pub use fault::{FaultPlan, KillSpec, RetryPolicy};
+pub use mp_sched::concurrent::{RelaxedConfig, RelaxedMultiQueue, RelaxedSeqScheduler};

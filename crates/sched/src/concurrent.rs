@@ -34,13 +34,16 @@
 //! The cited work shows this preserves scheduling quality for pop-heavy
 //! workloads while removing the scalability collapse of a global lock.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mp_dag::ids::TaskId;
 use mp_platform::types::WorkerId;
 
 use crate::api::{PrefetchReq, SchedEvent, SchedView, Scheduler};
+use crate::relaxed::{two_distinct, SPLITMIX_GAMMA};
+
+pub use crate::relaxed::{RelaxedConfig, RelaxedMultiQueue, RelaxedSeqScheduler};
 
 /// A scheduler front-end callable concurrently from every worker thread.
 ///
@@ -200,6 +203,15 @@ pub struct ShardedAdapter {
     events: Mutex<Vec<SchedEvent>>,
     /// Steal randomness (splitmix64 state).
     rng: AtomicU64,
+    /// Dead workers by index (grown lazily in `worker_disabled`; the
+    /// adapter learns the platform's worker count from the view there).
+    dead_workers: Mutex<Vec<bool>>,
+    /// `orphaned[i]` — every worker whose home shard is `i` has died.
+    /// New pushes must not route here: the owner will never pop again,
+    /// so under sustained load the shard only drains through the steal
+    /// path while its backlog keeps growing. Read on the push hot path,
+    /// written only from the cold quarantine path.
+    orphaned: Vec<AtomicBool>,
 }
 
 impl ShardedAdapter {
@@ -227,6 +239,7 @@ impl ShardedAdapter {
                 s.policy.emits_prefetches(),
             )
         };
+        let n = built.len();
         Self {
             name,
             consumes_feedback,
@@ -236,6 +249,8 @@ impl ShardedAdapter {
             rr: AtomicUsize::new(0),
             events: Mutex::new(Vec::new()),
             rng: AtomicU64::new(0x5817_55ca_11ab_1e5e),
+            dead_workers: Mutex::new(Vec::new()),
+            orphaned: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -244,16 +259,41 @@ impl ShardedAdapter {
         self.shards.len()
     }
 
-    fn next_rand(&self) -> u64 {
-        let s = self.rng.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
-        let mut z = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+    /// Pushed-but-not-popped tasks currently queued on shard `i`
+    /// (observability and routing tests).
+    pub fn shard_pending(&self, i: usize) -> usize {
+        self.shards[i].pending.load(Ordering::Acquire)
+    }
+
+    /// Advance the splitmix64 state by one draw.
+    fn draw(&self) -> u64 {
+        self.rng
+            .fetch_add(SPLITMIX_GAMMA, Ordering::Relaxed)
+            .wrapping_add(SPLITMIX_GAMMA)
     }
 
     fn home_shard(&self, w: WorkerId) -> usize {
         w.index() % self.shards.len()
+    }
+
+    /// `preferred`, unless that shard is orphaned — then the next live
+    /// shard from the round-robin cursor, so redistributed pushes spread
+    /// instead of piling onto one survivor. Falls back to `preferred`
+    /// only in the degenerate all-orphaned state (the engine is about
+    /// to abort with `NoCapableWorker` anyway).
+    fn live_shard(&self, preferred: usize) -> usize {
+        if !self.orphaned[preferred].load(Ordering::Relaxed) {
+            return preferred;
+        }
+        let n = self.shards.len();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed);
+        for off in 0..n {
+            let j = (start + off) % n;
+            if !self.orphaned[j].load(Ordering::Relaxed) {
+                return j;
+            }
+        }
+        preferred
     }
 
     /// Replay the global event log into this shard's policy, in order.
@@ -308,11 +348,13 @@ impl ConcurrentScheduler for ShardedAdapter {
     fn push(&self, t: TaskId, releaser: Option<WorkerId>, view: &SchedView<'_>) {
         // Locality: a task released by worker w lands on w's shard, so a
         // producer chain stays on one queue; initial tasks spread
-        // round-robin.
-        let i = match releaser {
+        // round-robin. Either route detours around orphaned shards —
+        // a releaser is alive by definition, but its shard can share an
+        // index with a dead worker's under shards < workers.
+        let i = self.live_shard(match releaser {
             Some(w) => self.home_shard(w),
             None => self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
-        };
+        });
         let shard = &self.shards[i];
         let mut state = shard.state.lock().expect("shard poisoned");
         self.catch_up(&mut state, view);
@@ -331,10 +373,12 @@ impl ConcurrentScheduler for ShardedAdapter {
             return None;
         }
         // Randomized two-choice stealing: probe the better-loaded of two
-        // random victims first.
-        let r = self.next_rand();
-        let a = (r as usize) % n;
-        let b = ((r >> 32) as usize) % n;
+        // *distinct* random victims first. The two indices come from two
+        // independent splitmix64 streams over one state draw — the old
+        // scheme reused the high/low halves of a single mixed draw,
+        // which collides with probability 1/n and degenerates into
+        // one-choice probing of a possibly-empty shard at small n.
+        let (a, b) = two_distinct(self.draw(), n);
         let (first, second) = if self.shards[a].pending.load(Ordering::Acquire)
             >= self.shards[b].pending.load(Ordering::Acquire)
         {
@@ -374,6 +418,30 @@ impl ConcurrentScheduler for ShardedAdapter {
     }
 
     fn worker_disabled(&self, w: WorkerId, view: &SchedView<'_>) {
+        // Routing first: mark the worker dead and recompute which shards
+        // are orphaned (every owner dead), so pushes racing with the
+        // quarantine stop targeting them as early as possible.
+        {
+            let n = self.shards.len();
+            let workers = view.platform().worker_count();
+            let mut dead = self.dead_workers.lock().expect("liveness poisoned");
+            if dead.len() < workers {
+                dead.resize(workers, false);
+            }
+            if w.index() < dead.len() {
+                dead[w.index()] = true;
+            }
+            for i in 0..n {
+                let all_dead = (0..workers)
+                    .filter(|wi| wi % n == i)
+                    .all(|wi| dead.get(wi).copied().unwrap_or(false));
+                // A shard with no owner at all (shards > workers) only
+                // ever receives round-robin pushes; it keeps them, since
+                // it was never anyone's home and drains evenly.
+                let has_owner = (0..workers).any(|wi| wi % n == i);
+                self.orphaned[i].store(has_owner && all_dead, Ordering::Relaxed);
+            }
+        }
         // Every shard may hold tasks privately mapped to the dead worker
         // (a policy instance does not know which shard it lives in), so
         // the quarantine broadcasts. Policies re-push drained tasks into
@@ -387,8 +455,10 @@ impl ConcurrentScheduler for ShardedAdapter {
 
     fn push_retry(&self, t: TaskId, attempt: u32, view: &SchedView<'_>) {
         // A retried task has no releasing worker (its executor failed),
-        // so it spreads round-robin like an initial push.
-        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        // so it spreads round-robin like an initial push — skipping
+        // orphaned shards: the retry often *is* the dead worker's task,
+        // and parking it on the dead worker's shard starves it.
+        let i = self.live_shard(self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len());
         let shard = &self.shards[i];
         let mut state = shard.state.lock().expect("shard poisoned");
         self.catch_up(&mut state, view);
@@ -418,9 +488,22 @@ impl ConcurrentScheduler for ShardedAdapter {
         if !mp_trace::obs::obs_enabled() {
             return snap;
         }
+        // Scalars fold across policies; the per-queue *vectors* are the
+        // front-end's own accounting, indexed by shard. A policy's
+        // internal per-queue vectors (e.g. a nested relaxed multi-queue)
+        // live in a different index space — summing them positionally
+        // into the shard vectors, as the old interleaved merge-then-push
+        // loop did, misaligns both and double-counts pops against the
+        // `sum(shard_pops) == pops` invariant. The nesting boundary
+        // keeps the scalars and drops the inner vectors.
         for shard in &self.shards {
             let state = shard.state.lock().expect("shard poisoned");
-            snap.merge(&state.policy.counters());
+            let mut inner = state.policy.counters();
+            inner.shard_pops.clear();
+            inner.steals.clear();
+            snap.merge(&inner);
+        }
+        for shard in &self.shards {
             snap.shard_pops.push(shard.pops.load(Ordering::Relaxed));
             snap.steals.push(shard.steals.load(Ordering::Relaxed));
         }

@@ -33,6 +33,7 @@ pub mod heteroprio;
 pub mod lws;
 pub mod prio;
 pub mod random;
+pub mod relaxed;
 pub mod testutil;
 pub mod util;
 
@@ -46,3 +47,4 @@ pub use heteroprio::HeteroPrioScheduler;
 pub use lws::LwsScheduler;
 pub use prio::EagerPrioScheduler;
 pub use random::RandomScheduler;
+pub use relaxed::{RankTracker, RelaxedConfig, RelaxedMultiQueue, RelaxedSeqScheduler};

@@ -21,5 +21,7 @@ pub mod record;
 pub use analysis::{practical_critical_path, IdleStats};
 pub use audit::{AuditKind, AuditRecord};
 pub use chrome::{chrome_trace, chrome_trace_with, EmptyTrace};
-pub use obs::{Counter, CounterSnapshot, DecisionInstant, ObsCell, RuntimeEvent, RuntimeEventKind};
+pub use obs::{
+    Counter, CounterSnapshot, DecisionInstant, ObsCell, RankStats, RuntimeEvent, RuntimeEventKind,
+};
 pub use record::{TaskSpan, Trace, TransferKind, TransferSpan};

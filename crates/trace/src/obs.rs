@@ -105,8 +105,21 @@ pub struct CounterSnapshot {
     pub replicas_promoted: u64,
     /// Per-shard stolen pops (empty for non-sharded front-ends).
     pub steals: Vec<u64>,
-    /// Per-shard total pops (empty for non-sharded front-ends).
+    /// Per-shard total pops (empty for non-sharded front-ends). For the
+    /// relaxed multi-queue this has one entry per sequential queue
+    /// (`c·P` entries), so its length may differ from the worker count.
     pub shard_pops: Vec<u64>,
+    /// Try-lock acquisitions that failed and fell through to another
+    /// queue (relaxed multi-queue front-end only).
+    pub failed_trylocks: u64,
+    /// Largest rank inversion observed by a relaxed pop: how many
+    /// strictly-better tasks were pending when the popped task was
+    /// chosen. Merged by `max`, not sum.
+    pub rank_max: u64,
+    /// Rank-inversion histogram with exponential buckets: index 0 counts
+    /// exact pops (rank 0), index `i >= 1` counts pops whose rank fell
+    /// in `[2^(i-1), 2^i)`.
+    pub rank_hist: Vec<u64>,
 }
 
 impl CounterSnapshot {
@@ -129,6 +142,11 @@ impl CounterSnapshot {
         self.replicas_promoted += other.replicas_promoted;
         merge_vec(&mut self.steals, &other.steals);
         merge_vec(&mut self.shard_pops, &other.shard_pops);
+        self.failed_trylocks += other.failed_trylocks;
+        // A maximum over disjoint observation windows is the max of the
+        // per-window maxima — summing would overstate the bound.
+        self.rank_max = self.rank_max.max(other.rank_max);
+        merge_vec(&mut self.rank_hist, &other.rank_hist);
     }
 
     /// All counters at zero (the obs-off rendering).
@@ -146,7 +164,7 @@ impl CounterSnapshot {
         format!(
             "pops={} pushes={} holds={} evictions={} arena={}/{} (consults={}) \
              compactions={} prefetch={}+{}cancelled failures={} retried={} \
-             recomputed={} promoted={} steals={:?}",
+             recomputed={} promoted={} trylock_fails={} rank_max={} steals={:?}",
             self.pops,
             self.pushes,
             self.holds,
@@ -161,8 +179,76 @@ impl CounterSnapshot {
             self.tasks_retried,
             self.tasks_recomputed,
             self.replicas_promoted,
+            self.failed_trylocks,
+            self.rank_max,
             self.steals,
         )
+    }
+}
+
+/// Staleness of a relaxed priority queue, measured against the exact
+/// oracle order: per pop, the *rank* is the number of strictly-better
+/// tasks pending at the instant of the pop (0 = the pop was exact).
+///
+/// Always compiled (independent of the `obs` feature): rank tracking is
+/// an opt-in audit instrument with its own cost (an exact mirror of the
+/// queue contents), enabled per run, and surfaced on `RunReport` /
+/// `DiffReport` rather than through the counter plumbing.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankStats {
+    /// Pops observed.
+    pub pops: u64,
+    /// Sum of ranks over all pops (`mean = rank_sum / pops`).
+    pub rank_sum: u64,
+    /// Worst rank observed.
+    pub rank_max: u64,
+    /// Exponential histogram: bucket 0 = rank 0, bucket `i >= 1` =
+    /// ranks in `[2^(i-1), 2^i)`.
+    pub hist: Vec<u64>,
+}
+
+impl RankStats {
+    /// Histogram bucket for `rank` (see field docs).
+    pub fn bucket(rank: u64) -> usize {
+        if rank == 0 {
+            0
+        } else {
+            64 - rank.leading_zeros() as usize
+        }
+    }
+
+    /// Record one pop of the given rank.
+    pub fn record(&mut self, rank: u64) {
+        self.pops += 1;
+        self.rank_sum += rank;
+        self.rank_max = self.rank_max.max(rank);
+        let b = Self::bucket(rank);
+        if self.hist.len() <= b {
+            self.hist.resize(b + 1, 0);
+        }
+        self.hist[b] += 1;
+    }
+
+    /// Mean rank over all pops (0.0 when nothing was popped).
+    pub fn mean(&self) -> f64 {
+        if self.pops == 0 {
+            0.0
+        } else {
+            self.rank_sum as f64 / self.pops as f64
+        }
+    }
+
+    /// Fold another window of observations into this one.
+    pub fn merge(&mut self, other: &RankStats) {
+        self.pops += other.pops;
+        self.rank_sum += other.rank_sum;
+        self.rank_max = self.rank_max.max(other.rank_max);
+        if self.hist.len() < other.hist.len() {
+            self.hist.resize(other.hist.len(), 0);
+        }
+        for (a, &b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += b;
+        }
     }
 }
 
@@ -346,6 +432,45 @@ mod tests {
         assert_eq!(a.total_steals(), 6);
         assert!(!a.is_empty());
         assert!(CounterSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn merge_takes_max_of_rank_max_and_sums_hist() {
+        let mut a = CounterSnapshot {
+            rank_max: 7,
+            rank_hist: vec![10, 2],
+            failed_trylocks: 3,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            rank_max: 4,
+            rank_hist: vec![5, 0, 1],
+            failed_trylocks: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rank_max, 7, "rank_max merges by max, not sum");
+        assert_eq!(a.rank_hist, vec![15, 2, 1]);
+        assert_eq!(a.failed_trylocks, 5);
+    }
+
+    #[test]
+    fn rank_stats_buckets_and_mean() {
+        let mut r = RankStats::default();
+        for rank in [0, 0, 0, 1, 2, 3, 4, 9] {
+            r.record(rank);
+        }
+        assert_eq!(r.pops, 8);
+        assert_eq!(r.rank_max, 9);
+        // Buckets: rank 0 ×3 | rank 1 ×1 | ranks 2–3 ×2 | 4–7 ×1 | 8–15 ×1.
+        assert_eq!(r.hist, vec![3, 1, 2, 1, 1]);
+        assert!((r.mean() - 19.0 / 8.0).abs() < 1e-12);
+        let mut m = RankStats::default();
+        m.record(20);
+        m.merge(&r);
+        assert_eq!(m.pops, 9);
+        assert_eq!(m.rank_max, 20);
+        assert_eq!(m.hist.len(), 6);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Concurrency invariants of the threaded runtime: under randomized DAGs,
 //! worker counts and shard counts, every task executes exactly once and
-//! no task starts before all of its predecessors finished — under both
-//! scheduler front-ends.
+//! no task starts before all of its predecessors finished — under all
+//! three scheduler front-ends (global lock, sharded, relaxed multi-queue).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,7 +11,7 @@ use multiprio_suite::dag::{AccessMode, DataId, TaskId};
 use multiprio_suite::perfmodel::{PerfModel, TableModel, TimeFn};
 use multiprio_suite::platform::presets::homogeneous;
 use multiprio_suite::platform::types::ArchClass;
-use multiprio_suite::runtime::{RunReport, Runtime, TaskBuilder};
+use multiprio_suite::runtime::{RelaxedConfig, RunReport, Runtime, TaskBuilder};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
@@ -106,6 +106,32 @@ fn run_and_check(layers: usize, width: usize, workers: usize, shards: usize, see
             "buffer {i} corrupted: {b:?}"
         );
     }
+
+    // Relaxed multi-queue front-end, same DAG. The pop order may deviate
+    // from exact priority order, but exactly-once and precedence are
+    // unconditional.
+    let mut rt = Runtime::new(homogeneous(workers), model());
+    let n = submit_random_dag(&mut rt, layers, width, seed);
+    let report = rt
+        .run_relaxed(RelaxedConfig {
+            queues_per_worker: 1 + (shards % 3),
+            seed,
+            track_rank: true,
+        })
+        .expect("relaxed run failed");
+    check_invariants(&rt, &report, n);
+    let rank = report
+        .rank
+        .as_ref()
+        .expect("relaxed run reports rank stats");
+    assert_eq!(rank.pops as usize, n);
+    for i in 0..width {
+        let b = rt.buffer(DataId::from_index(i));
+        assert!(
+            b.iter().all(|&v| v == layers as f64),
+            "buffer {i} corrupted under relaxed front-end: {b:?}"
+        );
+    }
 }
 
 proptest! {
@@ -142,5 +168,16 @@ fn stress_many_workers_many_tasks() {
     let report = rt
         .run_sharded(8, &*make_scheduler_factory("multiprio"))
         .expect("multiprio sharded run failed");
+    check_invariants(&rt, &report, n);
+    // Relaxed front-end at full width and c=4 (32 queues, 8 workers).
+    let mut rt = Runtime::new(homogeneous(8), model());
+    let n = submit_random_dag(&mut rt, layers, width, 42);
+    let report = rt
+        .run_relaxed(RelaxedConfig {
+            queues_per_worker: 4,
+            seed: 42,
+            track_rank: false,
+        })
+        .expect("relaxed stress run failed");
     check_invariants(&rt, &report, n);
 }

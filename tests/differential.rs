@@ -24,7 +24,7 @@ use multiprio_suite::bench::make_scheduler_factory;
 use multiprio_suite::dag::TaskGraph;
 use multiprio_suite::perfmodel::PerfModel;
 use multiprio_suite::platform::presets::simple;
-use multiprio_suite::runtime::FaultPlan;
+use multiprio_suite::runtime::{FaultPlan, RelaxedConfig};
 use multiprio_suite::sim::{simulate, SimConfig};
 use multiprio_suite::trace::obs::obs_enabled;
 use proptest::prelude::*;
@@ -261,6 +261,37 @@ proptest! {
             );
         } else {
             prop_assert!(c.is_empty(), "obs off but runtime counters non-zero: {}", c.render());
+        }
+
+        // Relaxed multi-queue front-end: the per-queue vectors index
+        // c·P queues, not workers or shards, and must still sum to the
+        // scalar pop count after the nesting-boundary merge.
+        let c = 1 + shards; // 1..=4 queues per worker, 3 workers
+        let (mut rt, edge_mismatches) = mirror_graph(&g, &platform, Arc::clone(&model));
+        prop_assert!(edge_mismatches.is_empty());
+        let report = rt
+            .run_relaxed(RelaxedConfig { queues_per_worker: c, seed, track_rank: true })
+            .expect("relaxed runtime run failed");
+        prop_assert!(report.error.is_none(), "relaxed runtime failed: {:?}", report.error);
+        let rank = report.rank.as_ref().expect("relaxed run reports rank stats");
+        prop_assert!(rank.pops == n, "rank pops {} != tasks {n}", rank.pops);
+        let cnt = &report.counters;
+        if obs_enabled() {
+            prop_assert!(cnt.pops == n, "relaxed pops {} != tasks {n}", cnt.pops);
+            prop_assert!(cnt.pushes == n, "relaxed pushes {} != tasks {n}", cnt.pushes);
+            prop_assert!(
+                cnt.shard_pops.len() == c * 3,
+                "relaxed queue vector len {} != c·P = {}", cnt.shard_pops.len(), c * 3
+            );
+            prop_assert!(cnt.steals.len() == cnt.shard_pops.len());
+            let queue_total: u64 = cnt.shard_pops.iter().sum();
+            prop_assert!(queue_total == cnt.pops, "queue pops {queue_total} != pops {}", cnt.pops);
+            for (i, (&s, &p)) in cnt.steals.iter().zip(&cnt.shard_pops).enumerate() {
+                prop_assert!(s <= p, "relaxed steals[{i}]={s} > queue_pops[{i}]={p}");
+            }
+            prop_assert!(cnt.rank_max == rank.rank_max, "counter rank_max diverges from report");
+        } else {
+            prop_assert!(cnt.is_empty(), "obs off but relaxed counters non-zero: {}", cnt.render());
         }
     }
 }

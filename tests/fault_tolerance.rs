@@ -66,6 +66,7 @@ fn kill_sweep_differential_agrees_across_front_ends() {
                     shards,
                     faults: Some(plan),
                     retry: RetryPolicy::new(4, 0.0),
+                    relaxed: None,
                 };
                 let report = differential(&g, &platform, &model, &*factory, &cfg);
                 assert!(
@@ -104,6 +105,7 @@ fn transient_sweep_differential_agrees_across_front_ends() {
                 shards,
                 faults: Some(plan),
                 retry: RetryPolicy::new(16, 2.0),
+                relaxed: None,
             };
             let report = differential(&g, &platform, &model, &*factory, &cfg);
             assert!(
