@@ -89,6 +89,25 @@ pub enum Mismatch {
         /// Rendering of the first record.
         first: String,
     },
+    /// A cached run left the buffers in a different bit-for-bit state
+    /// than the uncached reference execution (DESIGN.md §12: the cache
+    /// may serve wrong-speed, never wrong-data).
+    CachedOutputDivergence {
+        /// Which run diverged ("cold" or "warm").
+        phase: &'static str,
+        /// Buffer digest of the uncached reference run.
+        expected: u64,
+        /// Buffer digest the cached run produced.
+        got: u64,
+    },
+    /// A warm run re-executed tasks it should have served from the
+    /// cache (or vice versa).
+    CacheCoverage {
+        /// Tasks the warm run executed.
+        executed: usize,
+        /// Tasks it was expected to execute.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for Mismatch {
@@ -129,6 +148,19 @@ impl std::fmt::Display for Mismatch {
             Mismatch::InvariantViolations { count, first } => {
                 write!(f, "{count} invariant violation(s), first: {first}")
             }
+            Mismatch::CachedOutputDivergence {
+                phase,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{phase} cached run left buffers at {got:#018x}, \
+                 uncached reference at {expected:#018x}"
+            ),
+            Mismatch::CacheCoverage { executed, expected } => write!(
+                f,
+                "warm run executed {executed} task(s), expected {expected}"
+            ),
         }
     }
 }

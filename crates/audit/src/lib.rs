@@ -55,7 +55,7 @@ pub mod diff;
 pub mod mirror;
 
 pub use diff::{schedule_hash, DiffReport, Mismatch, Side};
-pub use mirror::mirror_graph;
+pub use mirror::{mirror_graph, mirror_graph_computing};
 
 /// One differential configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -205,6 +205,122 @@ pub fn differential(
     }
 }
 
+/// Result of one warm/cold cache audit (see [`warm_cold_audit`]).
+#[derive(Debug)]
+pub struct WarmColdReport {
+    /// Every disagreement found; empty means the config passed.
+    pub mismatches: Vec<Mismatch>,
+    /// Buffer digest of the uncached reference run.
+    pub reference_digest: u64,
+    /// Buffer digest after the cold (cache-populating) run.
+    pub cold_digest: u64,
+    /// Buffer digest after the warm (cache-consuming) run.
+    pub warm_digest: u64,
+    /// Tasks the cold run executed (== DAG size on a clean pass).
+    pub cold_executed: usize,
+    /// Tasks the warm run executed (0 on a clean fault-free pass; under
+    /// retryable faults re-executions are legal, so only the digest
+    /// must agree).
+    pub warm_executed: usize,
+}
+
+impl WarmColdReport {
+    /// Did every run agree bit-for-bit?
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Prove cache-hit outputs bit-identical to recomputed ones for one
+/// configuration: run the *computing* mirror of `graph`
+/// ([`mirror_graph_computing`]) three times — uncached reference, cold
+/// run populating a fresh [`mp_runtime::ResultCache`], warm run
+/// consuming it — and compare the final buffer digests bit for bit.
+/// Honors [`DiffConfig::shards`], [`DiffConfig::faults`] and
+/// [`DiffConfig::retry`], so the proof also covers kill/transient fault
+/// plans; fault-free configs additionally require the warm run to
+/// execute exactly zero tasks (100 % hit rate).
+pub fn warm_cold_audit(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &Arc<dyn PerfModel>,
+    factory: &dyn Fn() -> Box<dyn Scheduler>,
+    cfg: &DiffConfig,
+) -> WarmColdReport {
+    let mut mismatches = Vec::new();
+    let run_once = |cache: Option<&Arc<mp_runtime::ResultCache>>,
+                    phase: &'static str,
+                    mismatches: &mut Vec<Mismatch>|
+     -> (u64, usize) {
+        let (mut rt, edge_mismatches) = mirror_graph_computing(graph, platform, Arc::clone(model));
+        mismatches.extend(edge_mismatches);
+        if let Some(c) = cache {
+            rt.set_cache(Arc::clone(c));
+        }
+        if let Some(plan) = cfg.faults {
+            rt.set_faults(plan);
+        }
+        rt.set_retry_policy(cfg.retry);
+        let run = if cfg.shards == 0 {
+            rt.run(factory())
+        } else {
+            rt.run_sharded(cfg.shards, factory)
+        };
+        match run {
+            Ok(report) => {
+                if let Some(err) = &report.error {
+                    mismatches.push(Mismatch::RuntimeFailed {
+                        error: format!("{phase}: {err}"),
+                    });
+                }
+                (rt.buffers_digest(), report.trace.tasks.len())
+            }
+            Err(err) => {
+                mismatches.push(Mismatch::RuntimeFailed {
+                    error: format!("{phase}: {err}"),
+                });
+                (0, 0)
+            }
+        }
+    };
+
+    let (reference_digest, _) = run_once(None, "reference", &mut mismatches);
+    let cache = Arc::new(mp_runtime::ResultCache::new());
+    let (cold_digest, cold_executed) = run_once(Some(&cache), "cold", &mut mismatches);
+    let (warm_digest, warm_executed) = run_once(Some(&cache), "warm", &mut mismatches);
+
+    if cold_digest != reference_digest {
+        mismatches.push(Mismatch::CachedOutputDivergence {
+            phase: "cold",
+            expected: reference_digest,
+            got: cold_digest,
+        });
+    }
+    if warm_digest != reference_digest {
+        mismatches.push(Mismatch::CachedOutputDivergence {
+            phase: "warm",
+            expected: reference_digest,
+            got: warm_digest,
+        });
+    }
+    // Fault-free: the warm run must be all hits. Under retryable fault
+    // plans legitimate re-executions exist, so only digests are checked.
+    if cfg.faults.is_none() && warm_executed != 0 {
+        mismatches.push(Mismatch::CacheCoverage {
+            executed: warm_executed,
+            expected: 0,
+        });
+    }
+    WarmColdReport {
+        mismatches,
+        reference_digest,
+        cold_digest,
+        warm_digest,
+        cold_executed,
+        warm_executed,
+    }
+}
+
 /// The per-side checks: exactly-once execution (effectively-once under
 /// retryable faults) and precedence order. A truncated trace (the side
 /// failed mid-run) flags the truncation once instead of one
@@ -340,6 +456,46 @@ mod tests {
         );
         assert!(report.is_clean(), "{:?}", report.mismatches);
         assert!(report.runtime_makespan.is_some());
+    }
+
+    #[test]
+    fn warm_cold_audit_is_clean_and_all_hit() {
+        let g = diamond();
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 20.0 });
+        let report = warm_cold_audit(
+            &g,
+            &simple(2, 1),
+            &model,
+            &|| Box::new(FifoScheduler::new()),
+            &DiffConfig::default(),
+        );
+        assert!(report.is_clean(), "{:?}", report.mismatches);
+        assert_eq!(report.cold_executed, g.task_count());
+        assert_eq!(report.warm_executed, 0, "fault-free warm run is all hits");
+        assert_eq!(report.warm_digest, report.reference_digest);
+    }
+
+    #[test]
+    fn warm_cold_audit_survives_kill_and_transient_faults() {
+        let g = diamond();
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 20.0 });
+        let cfg = DiffConfig {
+            faults: Some(FaultPlan {
+                transient_fail_prob: 0.3,
+                ..FaultPlan::default().kill_worker(0, 1)
+            }),
+            retry: RetryPolicy::new(8, 0.0),
+            ..DiffConfig::default()
+        };
+        let report = warm_cold_audit(
+            &g,
+            &simple(2, 1),
+            &model,
+            &|| Box::new(FifoScheduler::new()),
+            &cfg,
+        );
+        assert!(report.is_clean(), "{:?}", report.mismatches);
+        assert_eq!(report.warm_digest, report.reference_digest);
     }
 
     #[test]

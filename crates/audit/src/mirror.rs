@@ -12,10 +12,11 @@
 
 use std::sync::Arc;
 
+use mp_dag::access::AccessMode;
 use mp_dag::TaskGraph;
 use mp_perfmodel::PerfModel;
 use mp_platform::types::Platform;
-use mp_runtime::{Runtime, TaskBuilder};
+use mp_runtime::{Runtime, TaskBuilder, TaskCtx};
 
 use crate::diff::Mismatch;
 
@@ -37,6 +38,52 @@ pub fn mirror_graph(
     platform: &Platform,
     model: Arc<dyn PerfModel>,
 ) -> (Runtime, Vec<Mismatch>) {
+    mirror_with(graph, platform, model, false)
+}
+
+/// Like [`mirror_graph`], but with *computing* kernels: every task
+/// folds its readable buffers into an accumulator and writes a value
+/// derived from it (plus the task index and access position) into every
+/// written element. Deterministic, input-dependent and order-sensitive
+/// — if a result cache ever materializes stale or corrupted bytes, the
+/// divergence propagates to the final buffer digest. Used by
+/// [`warm_cold_audit`](crate::warm_cold_audit).
+pub fn mirror_graph_computing(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: Arc<dyn PerfModel>,
+) -> (Runtime, Vec<Mismatch>) {
+    mirror_with(graph, platform, model, true)
+}
+
+fn computing_kernel(
+    task_idx: usize,
+    modes: Vec<AccessMode>,
+) -> impl Fn(&mut TaskCtx<'_>) + Send + Sync + Clone {
+    move |ctx: &mut TaskCtx<'_>| {
+        let mut acc = 1.0 + task_idx as f64;
+        for (i, m) in modes.iter().enumerate() {
+            if m.reads() {
+                acc += ctx.r(i).iter().sum::<f64>() * (i as f64 + 1.0);
+            }
+        }
+        for (i, m) in modes.iter().enumerate() {
+            if m.writes() {
+                let salt = (task_idx * 31 + i) as f64;
+                for (j, v) in ctx.w(i).iter_mut().enumerate() {
+                    *v = acc * 0.5 + salt + j as f64 * 1e-3;
+                }
+            }
+        }
+    }
+}
+
+fn mirror_with(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: Arc<dyn PerfModel>,
+    computing: bool,
+) -> (Runtime, Vec<Mismatch>) {
     let mut rt = Runtime::new(platform.clone(), model);
     for d in graph.data() {
         rt.register(vec![0.0; mirror_len(d.size)], &d.label);
@@ -50,11 +97,22 @@ pub fn mirror_graph(
         for a in &task.accesses {
             tb = tb.access(a.data, a.mode);
         }
-        if ttype.cpu_impl {
-            tb = tb.cpu(|_| {});
-        }
-        if ttype.gpu_impl {
-            tb = tb.gpu(|_| {});
+        if computing {
+            let modes: Vec<AccessMode> = task.accesses.iter().map(|a| a.mode).collect();
+            let kernel = computing_kernel(task.id.index(), modes);
+            if ttype.cpu_impl {
+                tb = tb.cpu(kernel.clone());
+            }
+            if ttype.gpu_impl {
+                tb = tb.gpu(kernel);
+            }
+        } else {
+            if ttype.cpu_impl {
+                tb = tb.cpu(|_| {});
+            }
+            if ttype.gpu_impl {
+                tb = tb.gpu(|_| {});
+            }
         }
         let mirrored = rt.submit(tb);
         debug_assert_eq!(mirrored, task.id, "submission order preserves ids");

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick|--full] [--trace-out <path>] [--front <multiprio|relaxed>]
 //!       [--kill-worker W:N]... [--transient-prob P] [--retry-max M]
+//!       [--cache] [--warm-runs N] [--mutate-frac F]
 //!       [table2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [probe <matrix>]
 //! ```
 //!
@@ -23,6 +24,14 @@
 //! pseudo-probability `P`, and `--retry-max M` caps attempts per task
 //! (default 4). All deterministic: the same flags reproduce the same
 //! timeline, failures included.
+//!
+//! `--cache` demonstrates the result cache (DESIGN.md §12) on a seeded
+//! potrf: one cold run populates a content-addressed cache, then
+//! `--warm-runs N` (default 2) warm runs replay it, printing per-run
+//! hit-rate and warm/cold wall-time speedup. `--mutate-frac F`
+//! additionally resubmits the DAG with a fraction `F` of its tasks
+//! mutated and reports how much of the graph re-executed (the dirty
+//! cone) versus served from cache.
 
 use mp_bench::figures::{fig3, fig4, fig5, fig6, fig7, fig8, table2};
 use mp_sim::{FaultPlan, RetryPolicy};
@@ -75,11 +84,42 @@ fn main() {
         eprintln!("fault flags apply to the --trace-out run; add --trace-out <path>");
         std::process::exit(2);
     }
+    let cache_mode = args
+        .iter()
+        .position(|a| a == "--cache")
+        .map(|i| args.remove(i))
+        .is_some();
+    let warm_runs = take_value(&mut args, "--warm-runs").map(|v| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("--warm-runs expects a positive integer");
+                std::process::exit(2);
+            })
+    });
+    let mutate_frac = take_value(&mut args, "--mutate-frac").map(|v| {
+        v.parse::<f64>()
+            .ok()
+            .filter(|f| (0.0..=1.0).contains(f))
+            .unwrap_or_else(|| {
+                eprintln!("--mutate-frac expects a fraction in [0, 1]");
+                std::process::exit(2);
+            })
+    });
+    if (warm_runs.is_some() || mutate_frac.is_some()) && !cache_mode {
+        eprintln!("--warm-runs / --mutate-frac apply to the --cache run; add --cache");
+        std::process::exit(2);
+    }
     if let Some(path) = trace_out {
         export_trace(&path, &front, faults, RetryPolicy::new(retry_max, 0.0));
         return;
     }
     let full = args.iter().any(|a| a == "--full");
+    if cache_mode {
+        cache_demo(full, warm_runs.unwrap_or(2), mutate_frac.unwrap_or(0.0));
+        return;
+    }
     let names: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -267,6 +307,76 @@ fn export_trace(path: &str, front: &str, faults: FaultPlan, retry: RetryPolicy) 
             eprintln!("trace export failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Result-cache demonstration (DESIGN.md §12): a seeded potrf run cold
+/// into a fresh content-addressed cache, then `warm_runs` warm replays
+/// (printing hit-rate and warm/cold wall speedup), then — with
+/// `mutate_frac > 0` — a mutated resubmission showing incremental
+/// re-execution of just the dirty cone.
+fn cache_demo(full: bool, warm_runs: usize, mutate_frac: f64) {
+    use mp_apps::dense::{potrf, DenseConfig};
+    use mp_cache::{changed_tasks, resubmit_with_mutation};
+    use mp_sim::{simulate_cached, ResultCache, SimConfig};
+    use multiprio::MultiPrioScheduler;
+    use std::time::Instant;
+
+    let nt = if full { 48 } else { 16 };
+    let w = potrf(DenseConfig::new(nt * 480, 480));
+    let model = mp_apps::dense_model();
+    let platform = mp_platform::presets::simple(6, 2);
+    let n = w.graph.task_count();
+    let cache = ResultCache::new();
+    let run = |g: &mp_dag::TaskGraph| {
+        let mut sched = MultiPrioScheduler::with_defaults();
+        let t0 = Instant::now();
+        let r = simulate_cached(
+            g,
+            &platform,
+            &model,
+            &mut sched,
+            SimConfig::seeded(42),
+            Some(&cache),
+        );
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if let Some(e) = &r.error {
+            eprintln!("cached run failed: {e}");
+            std::process::exit(1);
+        }
+        (r, wall_ms)
+    };
+
+    println!("== result cache: potrf {}x{} ({n} tasks) ==", nt * 480, 480);
+    let (cold, cold_ms) = run(&w.graph);
+    println!(
+        "cold:    {} misses, makespan {:9.1} us, wall {cold_ms:8.2} ms",
+        cold.stats.cache_misses, cold.makespan
+    );
+    for i in 1..=warm_runs {
+        let (warm, warm_ms) = run(&w.graph);
+        println!(
+            "warm #{i}: {} hits ({:5.1}%), makespan {:9.1} us, wall {warm_ms:8.2} ms \
+             ({:.1}x vs cold)",
+            warm.stats.cache_hits,
+            warm.stats.cache_hits as f64 / n as f64 * 100.0,
+            warm.makespan,
+            cold_ms / warm_ms.max(1e-9),
+        );
+    }
+    if mutate_frac > 0.0 {
+        let edited = resubmit_with_mutation(&w.graph, mutate_frac, 42);
+        let cone = changed_tasks(&w.graph, &edited);
+        let (inc, inc_ms) = run(&edited);
+        println!(
+            "mutated: {:.1}% of tasks edited -> dirty cone {} of {n}; re-executed {}, \
+             {} hits ({:5.1}%), wall {inc_ms:8.2} ms",
+            mutate_frac * 100.0,
+            cone.len(),
+            inc.trace.tasks.len(),
+            inc.stats.cache_hits,
+            inc.stats.cache_hits as f64 / n as f64 * 100.0,
+        );
     }
 }
 

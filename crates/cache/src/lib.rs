@@ -1,0 +1,307 @@
+//! # mp-cache — content-addressed result memoization
+//!
+//! Production DAG services re-run near-identical subgraphs constantly.
+//! This crate provides the shared store both engines consult before
+//! executing a task: entries are keyed by the STF builder's
+//! content-address key (`(task type, flops, access modes, input data
+//! versions)` folded through FNV-1a — see [`mp_dag::CacheMeta`]), so a
+//! hit means "this exact computation over these exact input versions
+//! already ran" and execution can be skipped outright.
+//!
+//! Design points (DESIGN.md §12):
+//!
+//! * **Verified lookups.** The 64-bit key alone is not trusted: every
+//!   entry stores the full canonical fingerprint it was inserted under,
+//!   and [`ResultCache::lookup`] compares it word-for-word. A mismatch
+//!   (hash collision, poisoned or stale entry) evicts the entry and
+//!   reports [`Lookup::Invalidated`] — the caller treats it as a miss
+//!   and recomputes. The cache can serve wrong-speed, never wrong-data.
+//! * **Engine-agnostic payloads.** The threaded runtime stores the
+//!   written buffers (`payload`) so a hit can materialize real bytes;
+//!   the simulator stores `None` (virtual time has no payload) and a
+//!   payload-requiring lookup of such an entry misses.
+//! * **Incremental re-execution.** Keys propagate through data versions:
+//!   mutate one task and every transitive consumer re-keys (the *dirty
+//!   cone*) while the rest of the DAG still hits. [`resubmit_with_mutation`]
+//!   builds that scenario deterministically and [`changed_tasks`]
+//!   computes the exact expected cone for assertions.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use mp_dag::graph::CacheMeta;
+use mp_dag::{AccessMode, StfBuilder, TaskGraph, TaskId};
+
+/// One memoized result: the fingerprint it was stored under, the data
+/// versions of its outputs, and (runtime only) the written buffers.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// Canonical fingerprint words — verified on every lookup.
+    pub fingerprint: Vec<u64>,
+    /// Version assigned to each written handle, in access order.
+    pub out_versions: Vec<u64>,
+    /// Written buffers in access order (`None` for sim-populated
+    /// entries, which carry no payload).
+    pub payload: Option<Vec<Vec<f64>>>,
+    /// Total bytes this entry materializes on a hit.
+    pub bytes: u64,
+}
+
+/// Outcome of a cache probe.
+#[derive(Clone, Debug)]
+pub enum Lookup {
+    /// Verified entry — skip execution and materialize.
+    Hit(Arc<CacheEntry>),
+    /// An entry existed under this key but its fingerprint did not
+    /// match (collision / poison / stale): it was evicted. Recompute.
+    Invalidated,
+    /// Nothing stored under this key (or no payload where one is
+    /// required). Execute and populate.
+    Miss,
+}
+
+/// Thread-safe content-addressed result store, shared across runs (and
+/// across engines) via `Arc`.
+#[derive(Default, Debug)]
+pub struct ResultCache {
+    inner: Mutex<HashMap<u64, Arc<CacheEntry>>>,
+}
+
+impl ResultCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Probe for `meta.key`, verifying the stored fingerprint. With
+    /// `need_payload` (the threaded runtime), payload-less entries are
+    /// misses — the sim and the runtime can share one cache without the
+    /// runtime ever "hitting" an entry it cannot materialize.
+    pub fn lookup(&self, meta: &CacheMeta, need_payload: bool) -> Lookup {
+        let mut map = self.inner.lock().unwrap();
+        let Some(entry) = map.get(&meta.key) else {
+            return Lookup::Miss;
+        };
+        if entry.fingerprint != meta.fingerprint {
+            map.remove(&meta.key);
+            return Lookup::Invalidated;
+        }
+        if need_payload && entry.payload.is_none() {
+            return Lookup::Miss;
+        }
+        Lookup::Hit(Arc::clone(entry))
+    }
+
+    /// Store (or replace) the entry for `meta.key`.
+    pub fn insert(&self, meta: &CacheMeta, payload: Option<Vec<Vec<f64>>>, bytes: u64) {
+        let entry = Arc::new(CacheEntry {
+            fingerprint: meta.fingerprint.clone(),
+            out_versions: meta.out_versions.clone(),
+            payload,
+            bytes,
+        });
+        self.inner.lock().unwrap().insert(meta.key, entry);
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// Corrupt the stored fingerprint under `key` (fault-injection hook
+    /// for tests): the next lookup must detect the mismatch and report
+    /// [`Lookup::Invalidated`], never serve the entry. Returns `false`
+    /// if no entry exists under `key`.
+    pub fn poison(&self, key: u64) -> bool {
+        let mut map = self.inner.lock().unwrap();
+        match map.get_mut(&key) {
+            Some(slot) => {
+                let mut e = (**slot).clone();
+                match e.fingerprint.first_mut() {
+                    Some(w) => *w ^= 1,
+                    None => e.fingerprint.push(0xdead),
+                }
+                *slot = Arc::new(e);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Rebuild `graph` through a fresh [`StfBuilder`], perturbing the flops
+/// of a deterministic ~`frac` fraction of tasks (selected by
+/// `mp_fault::unit(seed, task, 0xCACE)`). Task/data/type ids are
+/// preserved by construction, so the result is "the same program with a
+/// few edited tasks" — the incremental-re-execution scenario. Cache
+/// keys are re-derived during the rebuild, which re-versions every
+/// mutated task's write cone.
+pub fn resubmit_with_mutation(graph: &TaskGraph, frac: f64, seed: u64) -> TaskGraph {
+    let mut stf = StfBuilder::new();
+    for ty in graph.types() {
+        stf.graph_mut()
+            .register_type(&ty.name, ty.cpu_impl, ty.gpu_impl);
+    }
+    for d in graph.data() {
+        stf.graph_mut().add_data(d.size, d.label.clone());
+    }
+    for task in graph.tasks() {
+        let accesses: Vec<(mp_dag::DataId, AccessMode)> =
+            task.accesses.iter().map(|a| (a.data, a.mode)).collect();
+        let mutate = frac > 0.0 && mp_fault::unit(seed, task.id.index() as u64, 0xCACE) < frac;
+        let flops = if mutate {
+            task.flops * 1.0625 + 1.0
+        } else {
+            task.flops
+        };
+        let t = stf.submit_prio(task.ttype, accesses, flops, task.user_priority, &task.label);
+        debug_assert_eq!(t, task.id);
+    }
+    stf.finish()
+}
+
+/// Tasks whose cache key differs between two id-aligned graphs — the
+/// exact set a warm re-run of `new` must re-execute after `old`
+/// populated the cache (mutated tasks plus their transitive consumers).
+/// Tasks without metadata in either graph are counted as changed (they
+/// can never hit).
+pub fn changed_tasks(old: &TaskGraph, new: &TaskGraph) -> Vec<TaskId> {
+    assert_eq!(old.task_count(), new.task_count(), "graphs must id-align");
+    (0..new.task_count())
+        .map(TaskId::from_index)
+        .filter(|&t| match (old.cache_meta(t), new.cache_meta(t)) {
+            (Some(a), Some(b)) => a.key != b.key,
+            _ => true,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(flops0: f64) -> TaskGraph {
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("K", true, true);
+        let a = stf.graph_mut().add_data(64, "a");
+        let b = stf.graph_mut().add_data(64, "b");
+        stf.submit(k, vec![(a, AccessMode::Write)], flops0, "t0");
+        stf.submit(
+            k,
+            vec![(a, AccessMode::Read), (b, AccessMode::Write)],
+            2.0,
+            "t1",
+        );
+        stf.submit(k, vec![(b, AccessMode::ReadWrite)], 3.0, "t2");
+        stf.finish()
+    }
+
+    fn meta(g: &TaskGraph, i: usize) -> &CacheMeta {
+        g.cache_meta(TaskId::from_index(i)).unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let g = chain(1.0);
+        let cache = ResultCache::new();
+        let m = meta(&g, 0);
+        assert!(matches!(cache.lookup(m, false), Lookup::Miss));
+        cache.insert(m, None, 64);
+        match cache.lookup(m, false) {
+            Lookup::Hit(e) => {
+                assert_eq!(e.out_versions, m.out_versions);
+                assert_eq!(e.bytes, 64);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_requirement_misses_simulator_entries() {
+        let g = chain(1.0);
+        let cache = ResultCache::new();
+        cache.insert(meta(&g, 0), None, 64);
+        assert!(matches!(cache.lookup(meta(&g, 0), true), Lookup::Miss));
+        cache.insert(meta(&g, 0), Some(vec![vec![1.0; 8]]), 64);
+        assert!(matches!(cache.lookup(meta(&g, 0), true), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn poisoned_entry_is_invalidated_never_served() {
+        let g = chain(1.0);
+        let cache = ResultCache::new();
+        let m = meta(&g, 0);
+        cache.insert(m, None, 64);
+        assert!(cache.poison(m.key));
+        assert!(matches!(cache.lookup(m, false), Lookup::Invalidated));
+        // The corrupt entry was evicted: the key is free again.
+        assert!(matches!(cache.lookup(m, false), Lookup::Miss));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stale_version_is_a_miss_not_wrong_data() {
+        // Same key slot, different input version (fingerprint differs):
+        // must invalidate, never return the old entry.
+        let g0 = chain(1.0);
+        let cache = ResultCache::new();
+        cache.insert(meta(&g0, 1), None, 64);
+        let mut stale = meta(&g0, 1).clone();
+        // Fake a re-keyed consumer that (improbably) landed on the same
+        // key: fingerprint comparison still catches it.
+        stale.fingerprint[1] ^= 0xff;
+        assert!(matches!(cache.lookup(&stale, false), Lookup::Invalidated));
+    }
+
+    #[test]
+    fn mutation_rebuild_preserves_structure_and_marks_cone() {
+        let g = chain(1.0);
+        let same = resubmit_with_mutation(&g, 0.0, 42);
+        assert!(changed_tasks(&g, &same).is_empty());
+        assert_eq!(g.edge_count(), same.edge_count());
+
+        // Mutate everything: every key must change.
+        let all = resubmit_with_mutation(&g, 1.1, 42);
+        assert_eq!(changed_tasks(&g, &all).len(), g.task_count());
+    }
+
+    #[test]
+    fn dirty_cone_is_transitively_closed() {
+        let g = chain(1.0);
+        // Hand-mutate t0 only: t0, t1 (reads a), t2 (reads b) all re-key.
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("K", true, true);
+        let a = stf.graph_mut().add_data(64, "a");
+        let b = stf.graph_mut().add_data(64, "b");
+        stf.submit(k, vec![(a, AccessMode::Write)], 9.0, "t0");
+        stf.submit(
+            k,
+            vec![(a, AccessMode::Read), (b, AccessMode::Write)],
+            2.0,
+            "t1",
+        );
+        stf.submit(k, vec![(b, AccessMode::ReadWrite)], 3.0, "t2");
+        let edited = stf.finish();
+        let cone = changed_tasks(&g, &edited);
+        assert_eq!(cone.len(), 3, "whole cone of t0 is dirty: {cone:?}");
+
+        // Sanity: the cone respects reachability — every dirty task is
+        // t0 or a transitive successor of a dirty task.
+        for &t in &cone {
+            assert!(
+                t == TaskId(0) || g.preds(t).iter().any(|p| cone.contains(p)),
+                "{t:?} dirty without a dirty predecessor"
+            );
+        }
+    }
+}

@@ -19,6 +19,24 @@ pub struct DataDesc {
     pub label: String,
 }
 
+/// Content-address metadata derived by the [`crate::stf::StfBuilder`]
+/// for one task: the memoization key, the canonical fingerprint it was
+/// folded from, and the data versions this task assigns to the handles
+/// it writes. Tasks added through [`TaskGraph::add_task`] directly (no
+/// STF inference) carry no metadata and are never cacheable.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheMeta {
+    /// FNV-1a fold of `fingerprint` — the cache key.
+    pub key: u64,
+    /// Canonical word sequence: type-name hash, flops bits, then per
+    /// access (mode code, handle identity, input version if the mode
+    /// reads). Stored so lookups can verify an entry byte-for-byte
+    /// instead of trusting the 64-bit key alone.
+    pub fingerprint: Vec<u64>,
+    /// Version assigned to each written handle, in access order.
+    pub out_versions: Vec<u64>,
+}
+
 /// Aggregate statistics of a graph, used by tests and reports.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GraphStats {
@@ -53,6 +71,10 @@ pub struct TaskGraph {
     preds: Vec<Vec<TaskId>>,
     succs: Vec<Vec<TaskId>>,
     edge_count: usize,
+    /// Parallel to `tasks`; `None` for tasks without STF-derived keys.
+    /// Defaulted on deserialization so pre-cache serialized graphs load.
+    #[serde(default)]
+    cache_meta: Vec<Option<CacheMeta>>,
 }
 
 impl TaskGraph {
@@ -131,7 +153,22 @@ impl TaskGraph {
         });
         self.preds.push(Vec::new());
         self.succs.push(Vec::new());
+        self.cache_meta.resize(self.tasks.len(), None);
         id
+    }
+
+    /// Attach content-address metadata to a task (STF builder only).
+    pub fn set_cache_meta(&mut self, t: TaskId, meta: CacheMeta) {
+        if self.cache_meta.len() < self.tasks.len() {
+            self.cache_meta.resize(self.tasks.len(), None);
+        }
+        self.cache_meta[t.index()] = Some(meta);
+    }
+
+    /// Content-address metadata of `t`, if it was STF-submitted.
+    #[inline]
+    pub fn cache_meta(&self, t: TaskId) -> Option<&CacheMeta> {
+        self.cache_meta.get(t.index()).and_then(|m| m.as_ref())
     }
 
     /// Set the expert-provided priority of a task (read by Dmdas only).

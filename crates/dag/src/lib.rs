@@ -19,13 +19,14 @@ pub mod access;
 pub mod analysis;
 pub mod dot;
 pub mod graph;
+pub mod hash;
 pub mod ids;
 pub mod stf;
 pub mod task;
 
 pub use access::AccessMode;
 pub use analysis::{bottom_levels, critical_path, topological_order, width_profile, CriticalPath};
-pub use graph::{DataDesc, GraphStats, TaskGraph};
+pub use graph::{CacheMeta, DataDesc, GraphStats, TaskGraph};
 pub use ids::{DataId, TaskId, TaskTypeId};
 pub use stf::StfBuilder;
 pub use task::{Task, TaskType};

@@ -14,7 +14,8 @@
 use std::collections::HashMap;
 
 use crate::access::AccessMode;
-use crate::graph::TaskGraph;
+use crate::graph::{CacheMeta, TaskGraph};
+use crate::hash;
 use crate::ids::{DataId, TaskId, TaskTypeId};
 
 /// Per-data bookkeeping for inference.
@@ -43,6 +44,12 @@ struct DataFlow {
 pub struct StfBuilder {
     graph: TaskGraph,
     flows: HashMap<DataId, DataFlow>,
+    /// Current data version of every handle, updated on each write. A
+    /// handle that was never written (and never seeded through
+    /// [`Self::set_data_version`]) gets a deterministic identity-based
+    /// initial version, so rebuilding the same program yields the same
+    /// versions — and the same cache keys.
+    versions: HashMap<DataId, u64>,
 }
 
 impl StfBuilder {
@@ -57,6 +64,7 @@ impl StfBuilder {
         Self {
             graph,
             flows: HashMap::new(),
+            versions: HashMap::new(),
         }
     }
 
@@ -80,6 +88,8 @@ impl StfBuilder {
         label: impl Into<String>,
     ) -> TaskId {
         let t = self.graph.add_task(ttype, accesses.clone(), flops, label);
+        let meta = self.derive_cache_meta(ttype, &accesses, flops);
+        self.graph.set_cache_meta(t, meta);
         for (d, mode) in accesses {
             let flow = self.flows.entry(d).or_default();
             if mode.reads() {
@@ -124,6 +134,91 @@ impl StfBuilder {
         let t = self.submit(ttype, accesses, flops, label);
         self.graph.set_user_priority(t, prio);
         t
+    }
+
+    /// Override the current version of a data handle. The runtime calls
+    /// this from `register` with a content hash of the initial buffer so
+    /// cache keys reflect actual input *values*; the simulator keeps the
+    /// identity-based default (handles have no payload in virtual time).
+    ///
+    /// Must be called before the first task touching `d` is submitted to
+    /// affect that task's key.
+    pub fn set_data_version(&mut self, d: DataId, version: u64) {
+        self.versions.insert(d, version);
+    }
+
+    /// The current version of `d` (as the next reader would observe it).
+    pub fn data_version(&mut self, d: DataId) -> u64 {
+        let init = self.initial_version(d);
+        *self.versions.entry(d).or_insert(init)
+    }
+
+    /// Deterministic initial version for a never-written handle, derived
+    /// from its identity (dense id + size) so a rebuilt program sees the
+    /// same versions.
+    fn initial_version(&self, d: DataId) -> u64 {
+        let desc = self.graph.data_desc(d);
+        hash::mix64(hash::fnv1a_words(&[d.index() as u64, desc.size]))
+    }
+
+    /// Stable identity word for a handle, independent of its (mutable)
+    /// data version. Included in fingerprints for *written* handles so
+    /// two otherwise-identical tasks initializing different tiles get
+    /// distinct keys, without making write-only tasks inherit dirtiness
+    /// from values they never read.
+    fn identity_word(&self, d: DataId) -> u64 {
+        hash::mix64(self.initial_version(d) ^ 0x5157_4944_454e_5449)
+    }
+
+    /// Compute the content-address metadata for a task about to be
+    /// submitted, and advance written handles to their new versions.
+    ///
+    /// Fingerprint layout (64-bit words):
+    /// `[hash(type name), flops bits, (mode, identity, in-version?)*]`
+    /// where the in-version word is present only for reading modes. The
+    /// key is the FNV-1a fold of the fingerprint; each written handle's
+    /// new version is a splitmix of the key and the access index, so a
+    /// changed key re-versions every output — the transitive consumers'
+    /// keys change in turn, which is exactly the dirty cone of an
+    /// incremental resubmission.
+    fn derive_cache_meta(
+        &mut self,
+        ttype: TaskTypeId,
+        accesses: &[(DataId, AccessMode)],
+        flops: f64,
+    ) -> CacheMeta {
+        let mut fingerprint = Vec::with_capacity(2 + 3 * accesses.len());
+        fingerprint.push(hash::fnv1a_bytes(
+            self.graph.task_type(ttype).name.as_bytes(),
+        ));
+        fingerprint.push(flops.to_bits());
+        for &(d, mode) in accesses {
+            let code = match mode {
+                AccessMode::Read => 1u64,
+                AccessMode::Write => 2,
+                AccessMode::ReadWrite => 3,
+            };
+            fingerprint.push(code);
+            fingerprint.push(self.identity_word(d));
+            if mode.reads() {
+                let v = self.data_version(d);
+                fingerprint.push(v);
+            }
+        }
+        let key = hash::fnv1a_words(&fingerprint);
+        let mut out_versions = Vec::new();
+        for (i, &(d, mode)) in accesses.iter().enumerate() {
+            if mode.writes() {
+                let v = hash::mix64(key ^ hash::mix64(i as u64 + 1));
+                self.versions.insert(d, v);
+                out_versions.push(v);
+            }
+        }
+        CacheMeta {
+            key,
+            fingerprint,
+            out_versions,
+        }
     }
 
     /// Finish and return the inferred DAG.
@@ -251,6 +346,94 @@ mod tests {
         assert_eq!(g.preds(g1), &[g0]);
         assert!(g.preds(g2).is_empty());
         assert!(g.validate_acyclic().is_ok());
+    }
+
+    #[test]
+    fn cache_keys_are_rebuild_stable() {
+        let build = || {
+            let (mut stf, k, a, b) = setup();
+            stf.submit(k, vec![(a, AccessMode::Write)], 1.0, "w");
+            stf.submit(
+                k,
+                vec![(a, AccessMode::Read), (b, AccessMode::ReadWrite)],
+                2.0,
+                "r",
+            );
+            stf.finish()
+        };
+        let (g0, g1) = (build(), build());
+        for t in g0.tasks() {
+            assert_eq!(g0.cache_meta(t.id), g1.cache_meta(t.id));
+        }
+    }
+
+    #[test]
+    fn mutated_flops_dirty_the_downstream_cone() {
+        let build = |flops0: f64| {
+            let (mut stf, k, a, b) = setup();
+            stf.submit(k, vec![(a, AccessMode::Write)], flops0, "w_a");
+            stf.submit(k, vec![(b, AccessMode::Write)], 1.0, "w_b");
+            stf.submit(k, vec![(a, AccessMode::ReadWrite)], 1.0, "touch_a");
+            stf.submit(k, vec![(b, AccessMode::Read)], 1.0, "read_b");
+            stf.finish()
+        };
+        let (clean, dirty) = (build(1.0), build(1.5));
+        let key = |g: &TaskGraph, i: usize| g.cache_meta(TaskId(i as u32)).unwrap().key;
+        // The mutated task and its transitive consumer on `a` re-key...
+        assert_ne!(key(&clean, 0), key(&dirty, 0));
+        assert_ne!(key(&clean, 2), key(&dirty, 2));
+        // ...while the independent chain on `b` is untouched.
+        assert_eq!(key(&clean, 1), key(&dirty, 1));
+        assert_eq!(key(&clean, 3), key(&dirty, 3));
+    }
+
+    #[test]
+    fn write_only_tasks_do_not_inherit_input_dirtiness() {
+        // A pure writer over-writes the handle: its key must not depend
+        // on the previous version (nothing of it is read).
+        let build = |seed_version: u64| {
+            let (mut stf, k, a, _) = setup();
+            stf.set_data_version(a, seed_version);
+            stf.submit(k, vec![(a, AccessMode::Write)], 1.0, "w");
+            stf.finish()
+        };
+        let (g0, g1) = (build(7), build(8));
+        assert_eq!(
+            g0.cache_meta(TaskId(0)).unwrap().key,
+            g1.cache_meta(TaskId(0)).unwrap().key
+        );
+    }
+
+    #[test]
+    fn identical_writers_on_different_tiles_get_distinct_keys() {
+        let (mut stf, k, a, b) = setup();
+        let wa = stf.submit(k, vec![(a, AccessMode::Write)], 1.0, "init");
+        let wb = stf.submit(k, vec![(b, AccessMode::Write)], 1.0, "init");
+        let g = stf.finish();
+        assert_ne!(g.cache_meta(wa).unwrap().key, g.cache_meta(wb).unwrap().key);
+    }
+
+    #[test]
+    fn seeded_data_version_changes_reader_keys() {
+        let build = |v: u64| {
+            let (mut stf, k, a, _) = setup();
+            stf.set_data_version(a, v);
+            stf.submit(k, vec![(a, AccessMode::Read)], 1.0, "r");
+            stf.finish()
+        };
+        let (g0, g1) = (build(1), build(2));
+        assert_ne!(
+            g0.cache_meta(TaskId(0)).unwrap().key,
+            g1.cache_meta(TaskId(0)).unwrap().key
+        );
+    }
+
+    #[test]
+    fn bare_add_task_has_no_cache_meta() {
+        let mut g = TaskGraph::new();
+        let k = g.register_type("K", true, true);
+        let t = g.add_task(k, vec![], 1.0, "bare");
+        assert!(g.cache_meta(t).is_none());
     }
 }
 

@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use mp_cache::{CacheEntry, Lookup, ResultCache};
 use mp_dag::access::AccessMode;
+use mp_dag::hash;
 use mp_dag::ids::{DataId, TaskId};
 use mp_dag::stf::StfBuilder;
 use mp_dag::TaskGraph;
@@ -329,6 +331,13 @@ pub struct Runtime {
     /// Retry budget for failed execution attempts (panics, injected
     /// transient failures). The default allows exactly one attempt.
     retry: RetryPolicy,
+    /// Shared content-addressed result cache (`None` = caching off).
+    /// A hit skips execution entirely — see [`Runtime::set_cache`].
+    cache: Option<Arc<ResultCache>>,
+    /// Fallback-estimate warnings, deduped per (task type, arch) across
+    /// every run of this runtime — a warm re-run never re-prints them,
+    /// and cache-hit tasks never reach the estimator at all.
+    warned: FallbackWarnings,
 }
 
 impl Runtime {
@@ -344,7 +353,38 @@ impl Runtime {
             submit_error: None,
             faults: None,
             retry: RetryPolicy::default(),
+            cache: None,
+            warned: FallbackWarnings::new(),
         }
+    }
+
+    /// Consult `cache` before executing each task (DESIGN.md §12). A
+    /// verified hit materializes the memoized output buffers and
+    /// completes the task without ever pushing it into the scheduler;
+    /// a miss executes normally and populates the cache with the
+    /// written buffers. Share one cache across `Runtime` instances (or
+    /// runs) via `Arc` to get warm starts and incremental
+    /// re-execution.
+    pub fn set_cache(&mut self, cache: Arc<ResultCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// FNV-1a digest over every registered buffer (length + f64 bit
+    /// patterns, in registration order). Bit-identical buffer states —
+    /// e.g. after a cold run and after a warm all-hit re-run — produce
+    /// equal digests; any payload corruption shows up here.
+    pub fn buffers_digest(&self) -> u64 {
+        let mut h = hash::FNV_OFFSET;
+        for b in &self.buffers {
+            let buf = b.read().expect("buffer poisoned");
+            h ^= buf.len() as u64;
+            h = h.wrapping_mul(hash::FNV_PRIME);
+            for v in buf.iter() {
+                h ^= v.to_bits();
+                h = h.wrapping_mul(hash::FNV_PRIME);
+            }
+        }
+        h
     }
 
     /// Apply a [`FaultPlan`] to every subsequent run: deterministic slow
@@ -366,10 +406,22 @@ impl Runtime {
         self.retry = policy;
     }
 
-    /// Register a buffer; returns its handle.
+    /// Register a buffer; returns its handle. The initial contents are
+    /// content-hashed into the handle's data version, so cache keys of
+    /// tasks reading pre-write inputs follow the actual bytes:
+    /// registering different inputs re-keys (and re-executes) their
+    /// read cones, even across `Runtime` instances sharing one cache.
     pub fn register(&mut self, data: Vec<f64>, label: &str) -> DataId {
         let bytes = (data.len() * 8) as u64;
         let id = self.stf.graph_mut().add_data(bytes, label);
+        let mut h = hash::FNV_OFFSET;
+        h ^= data.len() as u64;
+        h = h.wrapping_mul(hash::FNV_PRIME);
+        for v in &data {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(hash::FNV_PRIME);
+        }
+        self.stf.set_data_version(id, hash::mix64(h));
         self.buffers.push(RwLock::new(data));
         debug_assert_eq!(id.index() + 1, self.buffers.len());
         id
@@ -530,8 +582,10 @@ impl Runtime {
                 platform.arch(a).class
             })
             .collect();
-        // Fallback-estimate warnings: once per (task type, arch) per run.
-        let warned = FallbackWarnings::new();
+        // Fallback-estimate warnings: once per (task type, arch) per
+        // runtime — warm re-runs stay silent.
+        let warned = &self.warned;
+        let cache = self.cache.clone();
         // Per-worker observability cells (no-ops unless `--features obs`)
         // plus one for the submitting thread's seed pushes.
         let cells: Vec<ObsCell> = (0..nw).map(|_| ObsCell::new()).collect();
@@ -546,12 +600,111 @@ impl Runtime {
             now,
         };
 
-        // Seed initial ready tasks.
+        // Result-cache probe for a newly-ready task (DESIGN.md §12). On
+        // a verified payload-carrying hit the task completes right here:
+        // the memoized buffers are copied back under the write locks,
+        // the completion is published, and newly-ready successors are
+        // probed in turn — the task never reaches the scheduler front,
+        // the estimator, or a kernel. Anything else returns `false` and
+        // the caller pushes the task as before. Runs on the submitting
+        // thread (seeding) and on worker threads (successor release);
+        // every touched piece of state is atomic or lock-guarded, and a
+        // task is probed exactly once (by its unique releaser), so on a
+        // cached run `hits + misses == tasks`.
+        let cache_complete = |t0: TaskId, via: Option<WorkerId>, obs: &ObsCell| -> bool {
+            let Some(rc) = cache.as_deref() else {
+                return false;
+            };
+            let lane = via.map_or(nw, |w| w.index());
+            let probe = |t: TaskId| -> Option<Arc<CacheEntry>> {
+                match graph.cache_meta(t).map(|m| rc.lookup(m, true)) {
+                    Some(Lookup::Hit(e)) => return Some(e),
+                    Some(Lookup::Invalidated) => {
+                        obs.bump(Counter::CacheInvalidations);
+                        obs.bump(Counter::CacheMisses);
+                        if obs_enabled() {
+                            let mut ev = park_events.lock().unwrap_or_else(|e| e.into_inner());
+                            ev.push(RuntimeEvent {
+                                worker: lane,
+                                at: now_us(),
+                                kind: RuntimeEventKind::CacheInvalidated,
+                            });
+                        }
+                    }
+                    _ => obs.bump(Counter::CacheMisses),
+                }
+                None
+            };
+            let Some(first) = probe(t0) else {
+                return false;
+            };
+            let mut worklist = vec![(t0, first)];
+            while let Some((t, entry)) = worklist.pop() {
+                // Materialize the payload in the same dedup'd write
+                // order the populate path stored it. The task is ready,
+                // so WAR/RAW edges guarantee no live reader or writer
+                // of these buffers — locking is as safe as executing.
+                let payload = entry
+                    .payload
+                    .as_ref()
+                    .expect("payload-less entry served to the runtime");
+                let mut written: Vec<DataId> = Vec::new();
+                for d in graph.task(t).writes() {
+                    if written.contains(&d) {
+                        continue;
+                    }
+                    let src = &payload[written.len()];
+                    written.push(d);
+                    let mut buf = buffers[d.index()].write().expect("buffer poisoned");
+                    buf.clear();
+                    buf.extend_from_slice(src);
+                }
+                obs.bump(Counter::CacheHits);
+                obs.add(Counter::BytesMaterialized, entry.bytes);
+                if obs_enabled() {
+                    let mut ev = park_events.lock().unwrap_or_else(|e| e.into_inner());
+                    ev.push(RuntimeEvent {
+                        worker: lane,
+                        at: now_us(),
+                        kind: RuntimeEventKind::CacheHit,
+                    });
+                }
+                done_flags[t.index()].store(true, Ordering::Release);
+                completed.fetch_add(1, Ordering::AcqRel);
+                let now = now_us();
+                let view = make_view(now);
+                for &succ in graph.succs(t) {
+                    if indeg[succ.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        ready_at[succ.index()].store(now.to_bits(), Ordering::Relaxed);
+                        match probe(succ) {
+                            Some(e) => worklist.push((succ, e)),
+                            None => {
+                                front.push(succ, via, &view);
+                                obs.bump(Counter::Pushes);
+                            }
+                        }
+                    }
+                }
+                let _ = front.drain_prefetches();
+            }
+            wake.notify();
+            true
+        };
+
+        // Seed initial ready tasks. Snapshot the sources before probing:
+        // a cache hit completes in place and can drive successors'
+        // indegrees to zero mid-scan, and those are released inside
+        // `cache_complete` — the outer scan must only ever see true
+        // sources (whose indegree no release can touch).
         {
             let view = make_view(0.0);
-            for (i, d) in indeg.iter().enumerate() {
-                if d.load(Ordering::Relaxed) == 0 {
-                    front.push(TaskId::from_index(i), None, &view);
+            let sources: Vec<TaskId> = (0..n)
+                .map(TaskId::from_index)
+                .filter(|t| indeg[t.index()].load(Ordering::Relaxed) == 0)
+                .collect();
+            for t in sources {
+                if !cache_complete(t, None, &seed_obs) {
+                    front.push(t, None, &view);
                     seed_obs.bump(Counter::Pushes);
                 }
             }
@@ -577,6 +730,8 @@ impl Runtime {
                 let attempts = &attempts;
                 let done_flags = &done_flags;
                 let worker_classes = &worker_classes;
+                let cache = &cache;
+                let cache_complete = &cache_complete;
                 scope.spawn(move || {
                     let arch = platform.worker(w).arch;
                     let class = platform.arch(arch).class;
@@ -866,6 +1021,26 @@ impl Runtime {
                                 start: t_start,
                                 end: t_end,
                             });
+                        // Populate the result cache: clone the written
+                        // buffers in dedup'd write order — the same
+                        // order a future hit materializes them back.
+                        if let Some(rc) = cache.as_deref() {
+                            if let Some(meta) = graph.cache_meta(t) {
+                                let mut written: Vec<DataId> = Vec::new();
+                                let mut payload: Vec<Vec<f64>> = Vec::new();
+                                let mut bytes = 0u64;
+                                for d in task.writes() {
+                                    if written.contains(&d) {
+                                        continue;
+                                    }
+                                    written.push(d);
+                                    let buf = buffers[d.index()].read().expect("buffer poisoned");
+                                    bytes += (buf.len() * 8) as u64;
+                                    payload.push(buf.clone());
+                                }
+                                rc.insert(meta, Some(payload), bytes);
+                            }
+                        }
 
                         // Release successors and report completion. Events
                         // and pushes reach the front-end in this thread's
@@ -884,6 +1059,9 @@ impl Runtime {
                             );
                             for &succ in graph.succs(t) {
                                 if indeg[succ.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    if cache_complete(succ, Some(w), obs) {
+                                        continue;
+                                    }
                                     ready_at[succ.index()]
                                         .store(t_end.to_bits(), Ordering::Relaxed);
                                     front.push(succ, Some(w), &view);
@@ -1233,6 +1411,154 @@ mod tests {
             report.error
         );
         assert!(report.trace.tasks.is_empty(), "both workers died at start");
+    }
+
+    /// A pipeline with real data flow: init writes, two scale passes,
+    /// a reduction. Registering `input` as the seed value exercises the
+    /// content-addressed input versioning.
+    fn cached_pipeline(input: f64) -> (Runtime, DataId, DataId) {
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let x = rt.register(vec![input; 64], "x");
+        let sum = rt.register(vec![0.0], "sum");
+        for _ in 0..2 {
+            rt.submit(
+                TaskBuilder::new("AXPY")
+                    .access(x, AccessMode::ReadWrite)
+                    .cpu(|ctx| {
+                        for v in ctx.w(0) {
+                            *v *= 3.0;
+                        }
+                    })
+                    .flops(64.0),
+            );
+        }
+        rt.submit(
+            TaskBuilder::new("SUM")
+                .access(sum, AccessMode::Write)
+                .access(x, AccessMode::Read)
+                .cpu(|ctx| ctx.w(0)[0] = ctx.r(1).iter().sum())
+                .flops(64.0),
+        );
+        (rt, x, sum)
+    }
+
+    #[test]
+    fn warm_run_hits_everything_with_bit_identical_buffers() {
+        let cache = Arc::new(ResultCache::new());
+        let (mut cold, _, sum) = cached_pipeline(1.0);
+        cold.set_cache(Arc::clone(&cache));
+        let report = cold.run(Box::new(FifoScheduler::new())).expect("cold run");
+        assert!(report.is_complete());
+        assert_eq!(report.trace.tasks.len(), 3, "cold run executes everything");
+        assert_eq!(cold.buffer(sum)[0], 9.0 * 64.0);
+        let cold_digest = cold.buffers_digest();
+        assert_eq!(cache.len(), 3);
+
+        // Same program, same inputs, fresh runtime: every task hits.
+        let (mut warm, x, sum) = cached_pipeline(1.0);
+        warm.set_cache(Arc::clone(&cache));
+        let report = warm.run(Box::new(FifoScheduler::new())).expect("warm run");
+        assert!(report.is_complete(), "{:?}", report.error);
+        assert!(
+            report.trace.tasks.is_empty(),
+            "a fully-warm run executes nothing, got {} spans",
+            report.trace.tasks.len()
+        );
+        assert!(warm.buffer(x).iter().all(|&v| v == 9.0));
+        assert_eq!(warm.buffer(sum)[0], 9.0 * 64.0);
+        assert_eq!(
+            warm.buffers_digest(),
+            cold_digest,
+            "materialized outputs must be bit-identical to recomputed ones"
+        );
+    }
+
+    #[test]
+    fn changed_input_re_executes_and_never_serves_stale_data() {
+        let cache = Arc::new(ResultCache::new());
+        let (mut cold, _, _) = cached_pipeline(1.0);
+        cold.set_cache(Arc::clone(&cache));
+        cold.run(Box::new(FifoScheduler::new())).expect("cold run");
+
+        // Different input contents: the registration content-hash
+        // re-keys the whole read cone, so nothing may hit.
+        let (mut edited, x, sum) = cached_pipeline(2.0);
+        edited.set_cache(Arc::clone(&cache));
+        let report = edited.run(Box::new(FifoScheduler::new())).expect("run");
+        assert!(report.is_complete());
+        assert_eq!(report.trace.tasks.len(), 3, "whole cone re-executes");
+        assert!(edited.buffer(x).iter().all(|&v| v == 18.0));
+        assert_eq!(edited.buffer(sum)[0], 18.0 * 64.0);
+    }
+
+    #[test]
+    fn poisoned_entry_recomputes_instead_of_serving_garbage() {
+        let cache = Arc::new(ResultCache::new());
+        let (mut cold, _, _) = cached_pipeline(1.0);
+        cold.set_cache(Arc::clone(&cache));
+        cold.run(Box::new(FifoScheduler::new())).expect("cold run");
+        let k0 = cold
+            .graph()
+            .cache_meta(TaskId::from_index(0))
+            .expect("meta")
+            .key;
+        assert!(cache.poison(k0), "entry for t0 exists");
+
+        let (mut warm, x, sum) = cached_pipeline(1.0);
+        warm.set_cache(Arc::clone(&cache));
+        let report = warm.run(Box::new(FifoScheduler::new())).expect("warm run");
+        assert!(report.is_complete());
+        // The poisoned entry is detected (fingerprint mismatch), t0
+        // re-executes, and its downstream tasks still hit.
+        assert_eq!(report.trace.tasks.len(), 1, "only t0 re-executes");
+        assert_eq!(report.trace.tasks[0].task, TaskId::from_index(0));
+        assert!(warm.buffer(x).iter().all(|&v| v == 9.0));
+        assert_eq!(warm.buffer(sum)[0], 9.0 * 64.0);
+    }
+
+    #[test]
+    fn warm_run_works_under_the_sharded_front_end() {
+        let cache = Arc::new(ResultCache::new());
+        let (mut cold, _, _) = cached_pipeline(1.0);
+        cold.set_cache(Arc::clone(&cache));
+        cold.run_sharded(2, &|| Box::new(FifoScheduler::new()))
+            .expect("cold run");
+        let digest = cold.buffers_digest();
+
+        let (mut warm, _, _) = cached_pipeline(1.0);
+        warm.set_cache(Arc::clone(&cache));
+        let report = warm
+            .run_sharded(2, &|| Box::new(FifoScheduler::new()))
+            .expect("warm run");
+        assert!(report.is_complete());
+        assert!(report.trace.tasks.is_empty());
+        assert_eq!(warm.buffers_digest(), digest);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn cache_counters_balance_and_hit_tasks_skip_the_scheduler() {
+        let cache = Arc::new(ResultCache::new());
+        let (mut cold, _, _) = cached_pipeline(1.0);
+        cold.set_cache(Arc::clone(&cache));
+        let cold_report = cold.run(Box::new(FifoScheduler::new())).expect("cold run");
+        assert_eq!(cold_report.counters.cache_hits, 0);
+        assert_eq!(cold_report.counters.cache_misses, 3);
+
+        let (mut warm, _, _) = cached_pipeline(1.0);
+        warm.set_cache(Arc::clone(&cache));
+        let warm_report = warm.run(Box::new(FifoScheduler::new())).expect("warm run");
+        assert_eq!(warm_report.counters.cache_hits, 3);
+        assert_eq!(warm_report.counters.cache_misses, 0);
+        assert!(warm_report.counters.bytes_materialized > 0);
+        // Hit tasks bypass the scheduler front entirely — no pushes, no
+        // pops, and therefore no estimator consults for them.
+        assert_eq!(warm_report.counters.pushes, 0);
+        assert_eq!(warm_report.counters.pops, 0);
+        assert!(warm_report
+            .events
+            .iter()
+            .any(|e| e.kind == RuntimeEventKind::CacheHit));
     }
 
     #[test]

@@ -33,4 +33,5 @@ pub mod fault;
 pub use data::{BufRef, TaskCtx};
 pub use engine::{RunError, RunReport, Runtime, TaskBuilder};
 pub use fault::{FaultPlan, KillSpec, RetryPolicy};
+pub use mp_cache::{Lookup, ResultCache};
 pub use mp_sched::concurrent::{RelaxedConfig, RelaxedMultiQueue, RelaxedSeqScheduler};

@@ -3,13 +3,17 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use mp_cache::{Lookup, ResultCache};
 use mp_dag::graph::TaskGraph;
 use mp_dag::ids::{DataId, TaskId};
 use mp_dag::task::Task;
 use mp_perfmodel::{Estimator, PerfModel};
 use mp_platform::types::{MemNodeId, Platform, WorkerId};
 use mp_sched::api::{LoadInfo, PrefetchReq, SchedEvent, SchedView, Scheduler};
-use mp_trace::{AuditRecord, Counter, ObsCell, TaskSpan, Trace, TransferKind, TransferSpan};
+use mp_trace::{
+    AuditRecord, Counter, ObsCell, RuntimeEvent, RuntimeEventKind, TaskSpan, Trace, TransferKind,
+    TransferSpan,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -511,6 +515,26 @@ pub fn simulate(
     scheduler: &mut dyn Scheduler,
     cfg: SimConfig,
 ) -> SimResult {
+    simulate_cached(graph, platform, model, scheduler, cfg, None)
+}
+
+/// [`simulate`] with an optional content-addressed result cache
+/// (DESIGN.md §12). Tasks are probed when they become ready, *before*
+/// entering the scheduler: a verified hit completes the task on the
+/// spot in zero virtual time — its outputs are committed to host RAM
+/// through the ordinary MSI machinery and its successors release (and
+/// are probed) immediately — so hit tasks never touch the scheduler or
+/// the performance model. A miss executes normally and populates the
+/// cache at commit. With `cache == None` this is bit-identical to
+/// [`simulate`] (enforced by the CI determinism gate).
+pub fn simulate_cached(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &dyn PerfModel,
+    scheduler: &mut dyn Scheduler,
+    cfg: SimConfig,
+    cache: Option<&ResultCache>,
+) -> SimResult {
     let n = graph.task_count();
     let nw = platform.worker_count();
     let mut store = DataStore::new(graph, platform);
@@ -545,6 +569,15 @@ pub fn simulate(
     let mut last_writer: Vec<Option<TaskId>> = vec![None; store.handle_count()];
     let mut trace = Trace::new(nw);
     let mut stats = SimStats::default();
+    // Cache-hit / invalidation instants for the Chrome timeline, and the
+    // worklist driving hit cascades (a hit releases successors that may
+    // hit in turn — iterative, no recursion).
+    let mut cache_events: Vec<RuntimeEvent> = Vec::new();
+    let mut cache_worklist: Vec<(TaskId, Option<WorkerId>)> = Vec::new();
+    // Guards the seed loop against re-releasing a task a hit cascade
+    // already released (a source's hit can zero later sources' indeg
+    // before the loop reaches them).
+    let mut released: Vec<bool> = vec![false; n];
     // First typed failure; stops dispatching and surfaces in the result.
     let mut failure: Option<SimError> = None;
     // Engine-side observability cell (no-op unless `--features obs`).
@@ -941,15 +974,106 @@ pub fn simulate(
         }};
     }
 
-    // Initially-ready tasks, in submission order.
+    // Hand a newly-ready task to the scheduler — unless the result
+    // cache already holds a verified entry for it, in which case the
+    // task completes on the spot: outputs commit to host RAM at `now`
+    // (zero virtual cost), successors release immediately and are
+    // probed in turn via the worklist. Cache-off expands to exactly the
+    // pre-cache push path (one worklist item, popped immediately), so
+    // schedules are bit-identical.
+    macro_rules! push_ready {
+        ($t:expr, $from:expr, $now:expr) => {{
+            let (t0, from0, now): (TaskId, Option<WorkerId>, f64) = ($t, $from, $now);
+            cache_worklist.push((t0, from0));
+            while let Some((t, from)) = cache_worklist.pop() {
+                released[t.index()] = true;
+                let mut hit = None;
+                if let Some(rc) = cache {
+                    match graph.cache_meta(t).map(|m| (m, rc.lookup(m, false))) {
+                        Some((_, Lookup::Hit(e))) => hit = Some(e),
+                        Some((_, Lookup::Invalidated)) => {
+                            stats.cache_invalidations += 1;
+                            stats.cache_misses += 1;
+                            obs.bump(Counter::CacheInvalidations);
+                            obs.bump(Counter::CacheMisses);
+                            if cfg.record_trace {
+                                cache_events.push(RuntimeEvent {
+                                    worker: 0,
+                                    at: now,
+                                    kind: RuntimeEventKind::CacheInvalidated,
+                                });
+                            }
+                        }
+                        _ => {
+                            // No entry — or no metadata at all (bare
+                            // `add_task` graphs can never hit).
+                            stats.cache_misses += 1;
+                            obs.bump(Counter::CacheMisses);
+                        }
+                    }
+                }
+                match hit {
+                    Some(_entry) => {
+                        let task = graph.task(t);
+                        let ram = platform.ram();
+                        let mut bytes = 0u64;
+                        scratch.written.clear();
+                        for d in task.writes() {
+                            if scratch.written.contains(&d) {
+                                continue;
+                            }
+                            scratch.written.push(d);
+                            // Materialize the output where it was born:
+                            // the home RAM node (never evicted, survives
+                            // device deaths). Same commit the executing
+                            // path uses, so MSI invariants hold.
+                            if store.replica(d, ram).is_none() {
+                                store.allocate(d, ram, now, false);
+                            }
+                            store.commit_write(d, ram, now);
+                            last_writer[d.index()] = Some(t);
+                            bytes += store.size(d);
+                        }
+                        done[t.index()] = true;
+                        completed += 1;
+                        stats.cache_hits += 1;
+                        stats.bytes_materialized += bytes;
+                        obs.bump(Counter::CacheHits);
+                        obs.add(Counter::BytesMaterialized, bytes);
+                        if cfg.record_trace {
+                            cache_events.push(RuntimeEvent {
+                                worker: 0,
+                                at: now,
+                                kind: RuntimeEventKind::CacheHit,
+                            });
+                        }
+                        for &s in graph.succs(t) {
+                            indeg[s.index()] -= 1;
+                            if indeg[s.index()] == 0 {
+                                cache_worklist.push((s, None));
+                            }
+                        }
+                    }
+                    None => {
+                        pushed_at[t.index()] = now;
+                        let view = view!(now);
+                        scheduler.push(t, from, &view);
+                        obs.bump(Counter::Pushes);
+                    }
+                }
+            }
+        }};
+    }
+
+    // Initially-ready tasks, in submission order. A hit cascade can
+    // zero the indegree of (and release) tasks the loop has not reached
+    // yet — the `released` guard keeps each task released exactly once.
     {
         store.now = 0.0;
-        for (i, &d) in indeg.iter().enumerate() {
-            if d == 0 {
+        for i in 0..n {
+            if indeg[i] == 0 && !released[i] {
                 let t = TaskId::from_index(i);
-                let view = view!(0.0);
-                scheduler.push(t, None, &view);
-                obs.bump(Counter::Pushes);
+                push_ready!(t, None, 0.0);
             }
         }
         if emits_prefetches {
@@ -1059,6 +1183,14 @@ pub fn simulate(
                 }
             }
         }
+        // Populate the result cache (payload-less: virtual time has no
+        // bytes — the threaded runtime stores real buffers).
+        if let Some(rc) = cache {
+            if let Some(meta) = graph.cache_meta(t) {
+                let bytes = scratch.written.iter().map(|&d| store.size(d)).sum();
+                rc.insert(meta, None, bytes);
+            }
+        }
         assert!(!done[t.index()], "task {t:?} finished twice");
         done[t.index()] = true;
         completed += 1;
@@ -1113,10 +1245,7 @@ pub fn simulate(
             for &s in graph.succs(t) {
                 indeg[s.index()] -= 1;
                 if indeg[s.index()] == 0 {
-                    pushed_at[s.index()] = now;
-                    let view = view!(now);
-                    scheduler.push(s, Some(w), &view);
-                    obs.bump(Counter::Pushes);
+                    push_ready!(s, Some(w), now);
                 }
             }
         }
@@ -1195,7 +1324,17 @@ pub fn simulate(
             // Precedence: every task starts at or after all predecessors end.
             for span in &trace.tasks {
                 for &p in graph.preds(span.task) {
-                    let pe = trace.span_of(p).expect("predecessor executed").end;
+                    let Some(pspan) = trace.span_of(p) else {
+                        // No span: the predecessor must have been served
+                        // from the result cache (it completed, at or
+                        // before the instant it released this task).
+                        assert!(
+                            cache.is_some() && done[p.index()],
+                            "predecessor {p:?} executed without a span"
+                        );
+                        continue;
+                    };
+                    let pe = pspan.end;
                     assert!(
                         span.start >= pe - 1e-6,
                         "{:?} started at {} before predecessor {:?} ended at {}",
@@ -1226,6 +1365,7 @@ pub fn simulate(
         error: failure,
         audit,
         counters,
+        cache_events,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Simulation results and aggregate statistics.
 
 use mp_platform::types::Platform;
-use mp_trace::{AuditRecord, CounterSnapshot, Trace, TransferKind};
+use mp_trace::{AuditRecord, CounterSnapshot, RuntimeEvent, Trace, TransferKind};
 
 use crate::error::SimError;
 
@@ -29,6 +29,15 @@ pub struct SimStats {
     pub tasks_recomputed: u64,
     /// Surviving replicas promoted to sole-valid after a node loss.
     pub replicas_promoted: u64,
+    /// Tasks served from the result cache (execution skipped). Always
+    /// populated when a cache is passed, independent of `--features obs`.
+    pub cache_hits: u64,
+    /// Cache probes that found no verified entry (task executed).
+    pub cache_misses: u64,
+    /// Cache entries evicted on fingerprint mismatch (also misses).
+    pub cache_invalidations: u64,
+    /// Output bytes materialized directly from the cache on hits.
+    pub bytes_materialized: u64,
 }
 
 /// Everything a simulation run produces.
@@ -54,6 +63,9 @@ pub struct SimResult {
     /// Scheduler/engine observability counters, merged at quiesce.
     /// All-zero unless the crate is built with `--features obs`.
     pub counters: CounterSnapshot,
+    /// Cache hit / invalidation instants for the Chrome-trace timeline.
+    /// Empty without a cache or with `record_trace` off.
+    pub cache_events: Vec<RuntimeEvent>,
 }
 
 impl SimResult {
@@ -108,6 +120,7 @@ mod tests {
             error: None,
             audit: Vec::new(),
             counters: CounterSnapshot::default(),
+            cache_events: Vec::new(),
         };
         // 2e9 flops in 1 s = 2 GFlop/s.
         assert!((r.gflops(2e9) - 2.0).abs() < 1e-12);
@@ -131,6 +144,7 @@ mod tests {
             }),
             audit: Vec::new(),
             counters: CounterSnapshot::default(),
+            cache_events: Vec::new(),
         };
         assert!(!r.is_complete());
         assert!(matches!(r.ok(), Err(crate::SimError::Deadlock { .. })));

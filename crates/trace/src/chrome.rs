@@ -125,6 +125,8 @@ pub fn chrome_trace_with(
             RuntimeEventKind::TaskRetried => "task-retried",
             RuntimeEventKind::TaskRecomputed => "task-recomputed",
             RuntimeEventKind::ReplicaPromoted => "replica-promoted",
+            RuntimeEventKind::CacheHit => "cache-hit",
+            RuntimeEventKind::CacheInvalidated => "cache-invalidated",
         };
         let _ = write!(
             out,

@@ -63,10 +63,21 @@ pub enum Counter {
     TasksRecomputed,
     /// Surviving replicas promoted to sole-valid after a node loss.
     ReplicasPromoted,
+    /// Tasks served from the result cache (execution skipped).
+    CacheHits,
+    /// Cache probes that found no verified entry (task executed and the
+    /// cache was populated).
+    CacheMisses,
+    /// Cache entries evicted because their stored fingerprint did not
+    /// match the probe (stale / poisoned / collision) — always also
+    /// counted as a miss.
+    CacheInvalidations,
+    /// Output bytes materialized directly from the cache on hits.
+    BytesMaterialized,
 }
 
 /// Number of scalar counters (length of an [`ObsCell`]'s array).
-pub const COUNTER_COUNT: usize = 14;
+pub const COUNTER_COUNT: usize = 18;
 
 /// Aggregated counter values, as returned by `Scheduler::counters()`
 /// and surfaced on `SimResult` / `RunReport`.
@@ -103,6 +114,14 @@ pub struct CounterSnapshot {
     pub tasks_recomputed: u64,
     /// Replicas promoted after a node loss.
     pub replicas_promoted: u64,
+    /// Tasks served from the result cache.
+    pub cache_hits: u64,
+    /// Cache probes that executed (no verified entry).
+    pub cache_misses: u64,
+    /// Entries evicted on fingerprint mismatch.
+    pub cache_invalidations: u64,
+    /// Output bytes materialized from the cache.
+    pub bytes_materialized: u64,
     /// Per-shard stolen pops (empty for non-sharded front-ends).
     pub steals: Vec<u64>,
     /// Per-shard total pops (empty for non-sharded front-ends). For the
@@ -140,6 +159,10 @@ impl CounterSnapshot {
         self.tasks_retried += other.tasks_retried;
         self.tasks_recomputed += other.tasks_recomputed;
         self.replicas_promoted += other.replicas_promoted;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
+        self.bytes_materialized += other.bytes_materialized;
         merge_vec(&mut self.steals, &other.steals);
         merge_vec(&mut self.shard_pops, &other.shard_pops);
         self.failed_trylocks += other.failed_trylocks;
@@ -164,7 +187,8 @@ impl CounterSnapshot {
         format!(
             "pops={} pushes={} holds={} evictions={} arena={}/{} (consults={}) \
              compactions={} prefetch={}+{}cancelled failures={} retried={} \
-             recomputed={} promoted={} trylock_fails={} rank_max={} steals={:?}",
+             recomputed={} promoted={} cache={}hit/{}miss/{}inval ({}B) \
+             trylock_fails={} rank_max={} steals={:?}",
             self.pops,
             self.pushes,
             self.holds,
@@ -179,6 +203,10 @@ impl CounterSnapshot {
             self.tasks_retried,
             self.tasks_recomputed,
             self.replicas_promoted,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidations,
+            self.bytes_materialized,
             self.failed_trylocks,
             self.rank_max,
             self.steals,
@@ -312,6 +340,10 @@ impl ObsCell {
         snap.tasks_retried += self.get(Counter::TasksRetried);
         snap.tasks_recomputed += self.get(Counter::TasksRecomputed);
         snap.replicas_promoted += self.get(Counter::ReplicasPromoted);
+        snap.cache_hits += self.get(Counter::CacheHits);
+        snap.cache_misses += self.get(Counter::CacheMisses);
+        snap.cache_invalidations += self.get(Counter::CacheInvalidations);
+        snap.bytes_materialized += self.get(Counter::BytesMaterialized);
     }
 
     /// Snapshot just this cell.
@@ -381,6 +413,12 @@ pub enum RuntimeEventKind {
     TaskRecomputed,
     /// A surviving replica was promoted after a node loss.
     ReplicaPromoted,
+    /// A task was served from the result cache (execution skipped, its
+    /// outputs materialized directly).
+    CacheHit,
+    /// A cache entry was evicted on fingerprint mismatch (stale or
+    /// poisoned) and the task recomputed.
+    CacheInvalidated,
 }
 
 /// One timestamped runtime event, for the Chrome-trace timeline.

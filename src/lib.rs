@@ -10,6 +10,7 @@
 pub use mp_apps as apps;
 pub use mp_audit as audit;
 pub use mp_bench as bench;
+pub use mp_cache as cache;
 pub use mp_dag as dag;
 pub use mp_perfmodel as perfmodel;
 pub use mp_platform as platform;

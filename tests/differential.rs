@@ -19,13 +19,13 @@ use multiprio_suite::apps::dense::{potrf, DenseConfig};
 use multiprio_suite::apps::fmm::{fmm, Distribution, FmmConfig};
 use multiprio_suite::apps::random::{random_dag, random_model, RandomDagConfig};
 use multiprio_suite::apps::{dense_model, fmm_model};
-use multiprio_suite::audit::{differential, mirror_graph, DiffConfig, DiffReport};
+use multiprio_suite::audit::{differential, mirror_graph, warm_cold_audit, DiffConfig, DiffReport};
 use multiprio_suite::bench::make_scheduler_factory;
 use multiprio_suite::dag::TaskGraph;
 use multiprio_suite::perfmodel::PerfModel;
 use multiprio_suite::platform::presets::simple;
-use multiprio_suite::runtime::{FaultPlan, RelaxedConfig};
-use multiprio_suite::sim::{simulate, SimConfig};
+use multiprio_suite::runtime::{FaultPlan, RelaxedConfig, RetryPolicy};
+use multiprio_suite::sim::{simulate, simulate_cached, ResultCache, SimConfig};
 use multiprio_suite::trace::obs::obs_enabled;
 use proptest::prelude::*;
 
@@ -115,6 +115,40 @@ fn fault_injection_preserves_exactly_once_and_termination() {
                 };
                 let report = differential(graph, &platform, model, &*factory, &cfg);
                 assert_clean(&report, &format!("faulty {wname}/{sched}/shards={shards}"));
+            }
+        }
+    }
+}
+
+/// Result-cache acceptance: cache-hit outputs are bit-identical to
+/// recomputed ones across the sweep — computing mirror kernels, both
+/// runtime front-ends, with and without a kill/transient fault plan.
+/// Fault-free warm runs must additionally execute zero tasks (100 % hit
+/// rate); see [`warm_cold_audit`].
+#[test]
+fn warm_cold_cache_sweep_outputs_bit_identical() {
+    let platform = simple(3, 1);
+    for (wname, graph, model) in &workloads() {
+        for sched in SCHEDULERS {
+            let factory = make_scheduler_factory(sched);
+            for shards in FRONT_ENDS {
+                for faulty in [false, true] {
+                    let cfg = DiffConfig {
+                        shards,
+                        faults: faulty.then(|| FaultPlan {
+                            transient_fail_prob: 0.2,
+                            ..FaultPlan::default().kill_worker(0, 3)
+                        }),
+                        retry: RetryPolicy::new(8, 0.0),
+                        ..DiffConfig::default()
+                    };
+                    let report = warm_cold_audit(graph, &platform, model, &*factory, &cfg);
+                    assert!(
+                        report.is_clean(),
+                        "{wname}/{sched}/shards={shards}/faulty={faulty}: {}",
+                        report.mismatches[0]
+                    );
+                }
             }
         }
     }
@@ -231,6 +265,50 @@ proptest! {
             );
         } else {
             prop_assert!(c.is_empty(), "obs off but sim counters non-zero: {}", c.render());
+        }
+        // Cache-off: the always-on cache stats stay exactly zero.
+        prop_assert!(
+            result.stats.cache_hits == 0 && result.stats.cache_misses == 0
+                && result.stats.cache_invalidations == 0
+                && result.stats.bytes_materialized == 0,
+            "cache stats non-zero in a cache-off sim"
+        );
+
+        // Cache-on identities: a cold run hits nothing and probes every
+        // task exactly once; the warm re-run hits everything, and on
+        // any cached run hits + misses == tasks.
+        let cache = ResultCache::new();
+        let mut sched = factory();
+        let cold = simulate_cached(
+            &g, &platform, &*model, sched.as_mut(), SimConfig::seeded(seed), Some(&cache),
+        );
+        prop_assert!(cold.error.is_none(), "cold sim failed: {:?}", cold.error);
+        prop_assert!(cold.stats.cache_hits == 0, "cold hits {} != 0", cold.stats.cache_hits);
+        prop_assert!(
+            cold.stats.cache_misses == n,
+            "cold misses {} != tasks {n}", cold.stats.cache_misses
+        );
+        let mut sched = factory();
+        let warm = simulate_cached(
+            &g, &platform, &*model, sched.as_mut(), SimConfig::seeded(seed), Some(&cache),
+        );
+        prop_assert!(warm.error.is_none(), "warm sim failed: {:?}", warm.error);
+        prop_assert!(
+            warm.stats.cache_hits + warm.stats.cache_misses == n,
+            "warm hits {} + misses {} != tasks {n}",
+            warm.stats.cache_hits, warm.stats.cache_misses
+        );
+        prop_assert!(warm.stats.cache_hits == n, "warm run not all hits");
+        if obs_enabled() {
+            prop_assert!(cold.counters.cache_misses == cold.stats.cache_misses);
+            prop_assert!(warm.counters.cache_hits == warm.stats.cache_hits);
+            // Hit tasks bypass the scheduler: a fully-warm run makes no
+            // pushes, no pops — and thus zero estimator consults.
+            prop_assert!(
+                warm.counters.pushes == 0 && warm.counters.pops == 0
+                    && warm.counters.estimator_consults == 0,
+                "warm run consulted the scheduler/estimator: {}", warm.counters.render()
+            );
         }
 
         // Runtime side, both front-ends.
