@@ -247,6 +247,24 @@ pub fn warm_cold_audit(
     factory: &dyn Fn() -> Box<dyn Scheduler>,
     cfg: &DiffConfig,
 ) -> WarmColdReport {
+    let cache = Arc::new(mp_runtime::ResultCache::new());
+    warm_cold_audit_with_cache(graph, platform, model, factory, cfg, &cache)
+}
+
+/// [`warm_cold_audit`] against a caller-supplied cache — in particular a
+/// byte-capped one ([`mp_runtime::ResultCache::with_capacity`]). Under a
+/// cap the warm run may legitimately re-execute evicted tasks, so the
+/// 100 %-hit-rate requirement only applies while the cache reports zero
+/// capacity evictions; the bit-identical-digest requirement always
+/// applies (eviction costs recomputes, never correctness).
+pub fn warm_cold_audit_with_cache(
+    graph: &TaskGraph,
+    platform: &Platform,
+    model: &Arc<dyn PerfModel>,
+    factory: &dyn Fn() -> Box<dyn Scheduler>,
+    cfg: &DiffConfig,
+    cache: &Arc<mp_runtime::ResultCache>,
+) -> WarmColdReport {
     let mut mismatches = Vec::new();
     let run_once = |cache: Option<&Arc<mp_runtime::ResultCache>>,
                     phase: &'static str,
@@ -285,9 +303,8 @@ pub fn warm_cold_audit(
     };
 
     let (reference_digest, _) = run_once(None, "reference", &mut mismatches);
-    let cache = Arc::new(mp_runtime::ResultCache::new());
-    let (cold_digest, cold_executed) = run_once(Some(&cache), "cold", &mut mismatches);
-    let (warm_digest, warm_executed) = run_once(Some(&cache), "warm", &mut mismatches);
+    let (cold_digest, cold_executed) = run_once(Some(cache), "cold", &mut mismatches);
+    let (warm_digest, warm_executed) = run_once(Some(cache), "warm", &mut mismatches);
 
     if cold_digest != reference_digest {
         mismatches.push(Mismatch::CachedOutputDivergence {
@@ -303,9 +320,11 @@ pub fn warm_cold_audit(
             got: warm_digest,
         });
     }
-    // Fault-free: the warm run must be all hits. Under retryable fault
-    // plans legitimate re-executions exist, so only digests are checked.
-    if cfg.faults.is_none() && warm_executed != 0 {
+    // Fault-free with an uncapped (or never-pressed) cache: the warm
+    // run must be all hits. Under retryable fault plans or capacity
+    // eviction, legitimate re-executions exist, so only digests are
+    // checked.
+    if cfg.faults.is_none() && cache.evictions() == 0 && warm_executed != 0 {
         mismatches.push(Mismatch::CacheCoverage {
             executed: warm_executed,
             expected: 0,
@@ -319,6 +338,32 @@ pub fn warm_cold_audit(
         cold_executed,
         warm_executed,
     }
+}
+
+/// Audit one **streaming** (serving-mode) run: exactly-once execution
+/// and precedence over the final grown graph.
+///
+/// Under streaming admission the final graph *is* the admitted set — a
+/// rejected [`mp_dag::SubmissionStage`] is dropped before touching the
+/// graph — so these two checks together prove the serving invariants:
+///
+/// * every admitted task of every interleaved sub-DAG executed exactly
+///   once (nothing lost to backpressure, nothing double-executed by the
+///   concurrent front-ends);
+/// * per-sub-DAG precedence held, including cross-submission edges
+///   resolved by data identity (no task started before each of its
+///   predecessors — possibly from an earlier submission — ended);
+/// * rejections stranded nothing: a stranded dependency would surface
+///   as an admitted task with zero executions.
+///
+/// Pass [`mp_runtime::StreamReport::trace`] and the post-serve
+/// [`mp_runtime::Runtime::graph`]. Returns every violation found;
+/// empty means the run passed.
+pub fn streaming_audit(graph: &TaskGraph, trace: &mp_trace::Trace) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    diff::check_exactly_once(graph, trace, Side::Runtime, &mut out);
+    diff::check_precedence(graph, trace, Side::Runtime, &mut out);
+    out
 }
 
 /// The per-side checks: exactly-once execution (effectively-once under
@@ -516,6 +561,47 @@ mod tests {
         assert!(a.error.is_none(), "{:?}", a.error);
         assert_eq!(a.stats.worker_failures, 1);
         assert_eq!(schedule_hash(&a.trace), schedule_hash(&b.trace));
+    }
+
+    #[test]
+    fn streaming_audit_passes_a_served_stream_and_catches_tampering() {
+        use mp_runtime::serve::TenantSpec;
+        use mp_runtime::{Runtime, StreamConfig, Submission, TaskBuilder};
+
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 5.0 });
+        let mut rt = Runtime::new(mp_platform::presets::homogeneous(2), model);
+        let d = rt.register(vec![0.0], "d");
+        let cfg = StreamConfig::new(TenantSpec::equal(2));
+        let stream: Vec<Submission> = (0..6)
+            .map(|i| Submission {
+                tenant: i % 2,
+                tasks: vec![
+                    TaskBuilder::new("K")
+                        .access(d, AccessMode::ReadWrite)
+                        .cpu(|ctx| ctx.w(0)[0] += 1.0),
+                    TaskBuilder::new("K")
+                        .access(d, AccessMode::Read)
+                        .cpu(|_| {}),
+                ],
+            })
+            .collect();
+        let report = rt
+            .serve(Box::new(FifoScheduler::new()), &cfg, stream)
+            .expect("serve failed");
+        assert!(report.is_complete(), "{:?}", report.error);
+        let clean = streaming_audit(rt.graph(), &report.trace);
+        assert!(clean.is_empty(), "{clean:?}");
+        // Tampering must be caught: drop a span (a stranded/lost task)...
+        let mut lost = report.trace.clone();
+        lost.tasks.pop();
+        assert!(streaming_audit(rt.graph(), &lost)
+            .iter()
+            .any(|m| matches!(m, Mismatch::ExecutionCount { count: 0, .. })));
+        // ...and rewind a start past its predecessor's end.
+        let mut early = report.trace.clone();
+        let last = early.tasks.len() - 1;
+        early.tasks[last].start = -1.0;
+        assert!(!streaming_audit(rt.graph(), &early).is_empty());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Serving-mode bench: sustained scheduling throughput and latency of
+//! the open-loop multi-tenant streaming front-end (`mp_serve::serve_sim`)
+//! in **virtual time** — decisions per second, p50/p99 scheduling
+//! latency (ready → popped) — at 16/32/64 workers under Poisson and
+//! bursty arrivals (quick mode drops the 64-worker point).
+//!
+//! Every configuration runs twice and the run is rejected unless the
+//! two schedule hashes are bit-identical: the serving layer must be a
+//! pure function of its config, with no wall clock anywhere. Every
+//! number in the emitted JSON derives from virtual time, so
+//! `BENCH_serve.json` itself is bit-deterministic across repeats.
+//!
+//! Emits `BENCH_serve.json` at the repository root (override with
+//! `BENCH_SERVE_OUT`). Exits non-zero on a determinism violation, an
+//! incomplete run (stall), or an admission ledger that does not balance.
+//!
+//! `BENCH_QUICK=1` shrinks the sweep to CI scale.
+
+use std::fmt::Write as _;
+
+use mp_bench::make_scheduler;
+use mp_perfmodel::{PerfModel, TableModel, TimeFn};
+use mp_platform::presets::homogeneous;
+use mp_platform::types::ArchClass;
+use mp_serve::{serve_sim, ArrivalProcess, ServeConfig, ServeReport, TenantSpec};
+
+/// Per-task service time in virtual µs (every task of the fork-join).
+const TASK_US: f64 = 25.0;
+/// Tasks per submitted sub-DAG: root + width(4) + join.
+const TASKS_PER_SUBDAG: f64 = 6.0;
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("gold", 4.0),
+        TenantSpec::new("silver", 2.0),
+        TenantSpec::new("bronze", 1.0),
+        TenantSpec::new("bronze2", 1.0),
+    ]
+}
+
+fn run_once(workers: usize, arrivals: ArrivalProcess, submissions: usize) -> ServeReport {
+    let platform = homogeneous(workers);
+    let model = TableModel::builder()
+        .set("SRV", ArchClass::Cpu, TimeFn::Const(TASK_US))
+        .build();
+    let model: &dyn PerfModel = &model;
+    let mut sched = make_scheduler("prio");
+    let cfg = ServeConfig::new(tenants(), arrivals, submissions);
+    serve_sim(&platform, model, sched.as_mut(), &cfg)
+}
+
+struct Row {
+    workers: usize,
+    arrivals: String,
+    submissions: usize,
+    decisions: u64,
+    decisions_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    subdags_admitted: u64,
+    subdags_rejected: u64,
+    makespan_us: f64,
+    schedule_hash: u64,
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let mut failed = false;
+
+    let worker_counts: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64] };
+    let submissions = if quick { 2_000 } else { 20_000 };
+    let mut rows: Vec<Row> = Vec::new();
+
+    eprintln!("== serving mode (prio policy, {TASK_US} µs tasks, open loop) ==");
+    for &workers in worker_counts {
+        // ~80% offered utilization: tasks/s capacity × 0.8, in sub-DAGs.
+        let rate = (workers as f64 * 1e6 / TASK_US / TASKS_PER_SUBDAG * 0.8).round();
+        let arrival_set = [
+            ArrivalProcess::Poisson { rate_per_sec: rate },
+            ArrivalProcess::Bursty {
+                rate_per_sec: rate,
+                burst: 16,
+            },
+        ];
+        for arrivals in arrival_set {
+            let a = run_once(workers, arrivals.clone(), submissions);
+            let b = run_once(workers, arrivals.clone(), submissions);
+            if a.schedule_hash != b.schedule_hash {
+                eprintln!(
+                    "!! {workers}w {}: schedule hash diverged across repeats \
+                     ({:016x} vs {:016x})",
+                    arrivals.label(),
+                    a.schedule_hash,
+                    b.schedule_hash
+                );
+                failed = true;
+            }
+            if !a.is_complete() {
+                eprintln!(
+                    "!! {workers}w {}: run incomplete ({}/{} tasks, error {:?})",
+                    arrivals.label(),
+                    a.tasks_completed,
+                    a.tasks_admitted,
+                    a.error
+                );
+                failed = true;
+            }
+            if a.subdags_admitted + a.subdags_rejected != submissions as u64 {
+                eprintln!(
+                    "!! {workers}w {}: admission ledger does not balance \
+                     ({} + {} != {submissions})",
+                    arrivals.label(),
+                    a.subdags_admitted,
+                    a.subdags_rejected
+                );
+                failed = true;
+            }
+            eprintln!(
+                "   {workers:>2}w {:<18} {:>9.0} dec/s  p50 {:>5} µs  p99 {:>6} µs  \
+                 adm {:>6}  rej {:>5}  makespan {:>9.0} µs",
+                arrivals.label(),
+                a.decisions_per_sec(),
+                a.p50_us(),
+                a.p99_us(),
+                a.subdags_admitted,
+                a.subdags_rejected,
+                a.makespan_us
+            );
+            rows.push(Row {
+                workers,
+                arrivals: arrivals.label(),
+                submissions,
+                decisions: a.decisions,
+                decisions_per_sec: a.decisions_per_sec(),
+                p50_us: a.p50_us(),
+                p99_us: a.p99_us(),
+                subdags_admitted: a.subdags_admitted,
+                subdags_rejected: a.subdags_rejected,
+                makespan_us: a.makespan_us,
+                schedule_hash: a.schedule_hash,
+            });
+        }
+    }
+
+    // ---- JSON emission (hand-rolled: no serde_json in this tree).
+    // Virtual-time quantities only — the file is repeat-deterministic.
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"bench-serve/v1\",");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(j, "  \"policy\": \"prio\",");
+    let _ = writeln!(j, "  \"task_us\": {TASK_US},");
+    let _ = writeln!(j, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"workers\": {}, \"arrivals\": \"{}\", \"submissions\": {}, \
+             \"decisions\": {}, \"decisions_per_sec\": {:.1}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"subdags_admitted\": {}, \"subdags_rejected\": {}, \
+             \"makespan_us\": {:.3}, \"schedule_hash\": \"{:016x}\"}}{comma}",
+            r.workers,
+            r.arrivals,
+            r.submissions,
+            r.decisions,
+            r.decisions_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.subdags_admitted,
+            r.subdags_rejected,
+            r.makespan_us,
+            r.schedule_hash
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"failed\": {failed}");
+    let _ = writeln!(j, "}}");
+
+    let out = std::env::var("BENCH_SERVE_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &j).expect("write BENCH_serve.json");
+    eprintln!("wrote {out}");
+
+    if failed {
+        eprintln!("FAIL: serve bench gate");
+        std::process::exit(1);
+    }
+}

@@ -4,6 +4,8 @@
 //! repro [--quick|--full] [--trace-out <path>] [--front <multiprio|relaxed>]
 //!       [--kill-worker W:N]... [--transient-prob P] [--retry-max M]
 //!       [--cache] [--warm-runs N] [--mutate-frac F]
+//!       [--serve] [--arrivals poisson:RATE|bursty:RATE[:BURST]] [--tenants N]
+//!       [--workers W] [--submissions N] [--policy NAME]
 //!       [table2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [probe <matrix>]
 //! ```
 //!
@@ -32,6 +34,15 @@
 //! additionally resubmits the DAG with a fraction `F` of its tasks
 //! mutated and reports how much of the graph re-executed (the dirty
 //! cone) versus served from cache.
+//!
+//! `--serve` runs the open-loop multi-tenant serving mode (DESIGN.md
+//! §13) in virtual time: sub-DAGs stream in from `--tenants N` clients
+//! (graded fair-share weights N..1) under `--arrivals` (default: a
+//! Poisson process at ~80% of the platform's task throughput), with
+//! bounded-queue admission control. Prints sustained decisions/sec,
+//! p50/p99 *scheduling latency*, the admission ledger and the
+//! per-tenant fairness breakdown. Bit-deterministic: the same flags
+//! print the same numbers on every machine.
 
 use mp_bench::figures::{fig3, fig4, fig5, fig6, fig7, fig8, table2};
 use mp_sim::{FaultPlan, RetryPolicy};
@@ -111,6 +122,35 @@ fn main() {
         eprintln!("--warm-runs / --mutate-frac apply to the --cache run; add --cache");
         std::process::exit(2);
     }
+    let serve_mode = args
+        .iter()
+        .position(|a| a == "--serve")
+        .map(|i| args.remove(i))
+        .is_some();
+    let arrivals = take_value(&mut args, "--arrivals");
+    let positive = |flag: &str, v: String| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} expects a positive integer");
+                std::process::exit(2);
+            })
+    };
+    let tenants = take_value(&mut args, "--tenants").map(|v| positive("--tenants", v));
+    let workers = take_value(&mut args, "--workers").map(|v| positive("--workers", v));
+    let submissions = take_value(&mut args, "--submissions").map(|v| positive("--submissions", v));
+    let policy = take_value(&mut args, "--policy");
+    if !serve_mode
+        && (arrivals.is_some()
+            || tenants.is_some()
+            || workers.is_some()
+            || submissions.is_some()
+            || policy.is_some())
+    {
+        eprintln!("--arrivals/--tenants/--workers/--submissions/--policy need --serve");
+        std::process::exit(2);
+    }
     if let Some(path) = trace_out {
         export_trace(&path, &front, faults, RetryPolicy::new(retry_max, 0.0));
         return;
@@ -118,6 +158,16 @@ fn main() {
     let full = args.iter().any(|a| a == "--full");
     if cache_mode {
         cache_demo(full, warm_runs.unwrap_or(2), mutate_frac.unwrap_or(0.0));
+        return;
+    }
+    if serve_mode {
+        serve_demo(
+            arrivals,
+            tenants.unwrap_or(4),
+            workers.unwrap_or(16),
+            submissions.unwrap_or(if full { 50_000 } else { 5_000 }),
+            policy.as_deref().unwrap_or("prio"),
+        );
         return;
     }
     let names: Vec<&str> = args
@@ -377,6 +427,83 @@ fn cache_demo(full: bool, warm_runs: usize, mutate_frac: f64) {
             inc.stats.cache_hits,
             inc.stats.cache_hits as f64 / n as f64 * 100.0,
         );
+    }
+}
+
+/// Open-loop serving demo (DESIGN.md §13): `--tenants N` clients with
+/// graded fair-share weights `N..1` stream fork-join sub-DAGs at the
+/// given arrival process through the bounded-admission serving engine,
+/// entirely in virtual time. Reports throughput (decisions/sec),
+/// scheduling latency (p50/p99: ready → popped), the admission ledger
+/// and the per-tenant fairness breakdown.
+fn serve_demo(
+    arrivals: Option<String>,
+    tenants: usize,
+    workers: usize,
+    submissions: usize,
+    policy: &str,
+) {
+    use mp_bench::make_scheduler;
+    use mp_perfmodel::{TableModel, TimeFn};
+    use mp_platform::types::ArchClass;
+    use mp_serve::{serve_sim, ArrivalProcess, ServeConfig, TenantSpec};
+
+    /// Per-task virtual service time (µs) under the demo model.
+    const TASK_US: f64 = 25.0;
+    let arrivals = match arrivals {
+        Some(s) => ArrivalProcess::parse(&s).unwrap_or_else(|e| {
+            eprintln!("--arrivals: {e}");
+            std::process::exit(2);
+        }),
+        // Default: ~80% offered utilization in whole sub-DAGs.
+        None => ArrivalProcess::Poisson {
+            rate_per_sec: (workers as f64 * 1e6 / TASK_US / 6.0 * 0.8).round(),
+        },
+    };
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|i| TenantSpec::new(format!("t{i}"), (tenants - i) as f64))
+        .collect();
+    let cfg = ServeConfig::new(specs, arrivals.clone(), submissions);
+    let platform = mp_platform::presets::homogeneous(workers);
+    let model = TableModel::builder()
+        .set("SRV", ArchClass::Cpu, TimeFn::Const(TASK_US))
+        .build();
+    let mut sched = make_scheduler(policy);
+    let report = serve_sim(&platform, &model, sched.as_mut(), &cfg);
+
+    println!(
+        "== serving mode: {policy}, {workers} workers, {}, {submissions} sub-DAG submissions ==",
+        arrivals.label()
+    );
+    println!(
+        "throughput {:.0} decisions/s  latency p50 {} µs  p99 {} µs  makespan {:.0} µs",
+        report.decisions_per_sec(),
+        report.p50_us(),
+        report.p99_us(),
+        report.makespan_us
+    );
+    println!(
+        "admitted {} sub-DAGs ({} tasks), rejected {} with backpressure",
+        report.subdags_admitted, report.tasks_admitted, report.subdags_rejected
+    );
+    println!("tenant     weight   adm    rej   mean µs   max µs");
+    for t in &report.tenants {
+        println!(
+            "{:10} {:6.1} {:6} {:6} {:9.1} {:8}",
+            t.name,
+            t.weight,
+            t.subdags_admitted,
+            t.subdags_rejected,
+            t.latency.mean_us(),
+            t.latency.max_us
+        );
+    }
+    if !report.is_complete() {
+        eprintln!(
+            "serve run incomplete: {}/{} tasks, error {:?}",
+            report.tasks_completed, report.tasks_admitted, report.error
+        );
+        std::process::exit(1);
     }
 }
 

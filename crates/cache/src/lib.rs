@@ -25,8 +25,15 @@
 //!   cone*) while the rest of the DAG still hits. [`resubmit_with_mutation`]
 //!   builds that scenario deterministically and [`changed_tasks`]
 //!   computes the exact expected cone for assertions.
+//! * **Bounded residency.** A long-lived serving process would otherwise
+//!   leak payload bytes forever. [`ResultCache::with_capacity`] installs
+//!   a byte cap with LRU eviction: every entry is charged its payload
+//!   bytes plus a fixed bookkeeping overhead, lookups refresh recency,
+//!   and inserts evict the least-recently-used entries until the cap
+//!   holds again. Eviction only ever costs a recompute (the next lookup
+//!   of an evicted key is a plain miss), never correctness.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 use mp_dag::graph::CacheMeta;
@@ -60,39 +67,123 @@ pub enum Lookup {
     Miss,
 }
 
+/// Fixed per-entry residency charge on top of the payload bytes:
+/// fingerprint words, out-versions, map/recency bookkeeping. Charging it
+/// keeps even payload-less (simulator) entries bounded under a cap.
+pub const ENTRY_OVERHEAD_BYTES: u64 = 64;
+
+/// One resident entry plus its recency stamp (key into `order`).
+#[derive(Debug)]
+struct Slot {
+    entry: Arc<CacheEntry>,
+    stamp: u64,
+}
+
+/// State behind the cache lock. `order` maps recency stamps (monotonic,
+/// unique) to keys: the first entry is always the least recently used.
+#[derive(Default, Debug)]
+struct CacheState {
+    map: HashMap<u64, Slot>,
+    order: BTreeMap<u64, u64>,
+    next_stamp: u64,
+    used_bytes: u64,
+    evictions: u64,
+}
+
+impl CacheState {
+    fn fresh_stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    /// Detach `key` from both indexes, returning its charge.
+    fn remove(&mut self, key: u64) -> Option<Arc<CacheEntry>> {
+        let slot = self.map.remove(&key)?;
+        self.order.remove(&slot.stamp);
+        self.used_bytes -= charge(&slot.entry);
+        Some(slot.entry)
+    }
+
+    /// Evict least-recently-used entries until `used_bytes <= cap`.
+    fn evict_to(&mut self, cap: u64) {
+        while self.used_bytes > cap {
+            let Some((_, &key)) = self.order.iter().next() else {
+                break;
+            };
+            self.remove(key);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Residency charge of one entry (payload bytes are `entry.bytes` when a
+/// payload is resident; version/fingerprint overhead always applies).
+fn charge(entry: &CacheEntry) -> u64 {
+    let payload = if entry.payload.is_some() {
+        entry.bytes
+    } else {
+        0
+    };
+    payload + ENTRY_OVERHEAD_BYTES
+}
+
 /// Thread-safe content-addressed result store, shared across runs (and
-/// across engines) via `Arc`.
+/// across engines) via `Arc`. Unbounded by default; see
+/// [`ResultCache::with_capacity`].
 #[derive(Default, Debug)]
 pub struct ResultCache {
-    inner: Mutex<HashMap<u64, Arc<CacheEntry>>>,
+    inner: Mutex<CacheState>,
+    capacity: Option<u64>,
 }
 
 impl ResultCache {
-    /// Empty cache.
+    /// Empty cache without a residency bound (test/batch use; serving
+    /// processes should prefer [`Self::with_capacity`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty cache bounded to `capacity_bytes` of resident charge
+    /// (payload bytes + [`ENTRY_OVERHEAD_BYTES`] per entry), enforced by
+    /// LRU eviction at insert time. An entry whose own charge exceeds
+    /// the cap is not stored at all (counted as an eviction) — the
+    /// invariant `used_bytes() <= capacity` holds at every return.
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        Self {
+            inner: Mutex::new(CacheState::default()),
+            capacity: Some(capacity_bytes),
+        }
     }
 
     /// Probe for `meta.key`, verifying the stored fingerprint. With
     /// `need_payload` (the threaded runtime), payload-less entries are
     /// misses — the sim and the runtime can share one cache without the
-    /// runtime ever "hitting" an entry it cannot materialize.
+    /// runtime ever "hitting" an entry it cannot materialize. A hit
+    /// refreshes the entry's LRU recency.
     pub fn lookup(&self, meta: &CacheMeta, need_payload: bool) -> Lookup {
-        let mut map = self.inner.lock().unwrap();
-        let Some(entry) = map.get(&meta.key) else {
+        let mut st = self.inner.lock().unwrap();
+        let Some(slot) = st.map.get(&meta.key) else {
             return Lookup::Miss;
         };
-        if entry.fingerprint != meta.fingerprint {
-            map.remove(&meta.key);
+        if slot.entry.fingerprint != meta.fingerprint {
+            st.remove(meta.key);
             return Lookup::Invalidated;
         }
-        if need_payload && entry.payload.is_none() {
+        if need_payload && slot.entry.payload.is_none() {
             return Lookup::Miss;
         }
-        Lookup::Hit(Arc::clone(entry))
+        let entry = Arc::clone(&slot.entry);
+        let old_stamp = slot.stamp;
+        let stamp = st.fresh_stamp();
+        st.order.remove(&old_stamp);
+        st.order.insert(stamp, meta.key);
+        st.map.get_mut(&meta.key).unwrap().stamp = stamp;
+        Lookup::Hit(entry)
     }
 
-    /// Store (or replace) the entry for `meta.key`.
+    /// Store (or replace) the entry for `meta.key`, evicting
+    /// least-recently-used entries past the capacity.
     pub fn insert(&self, meta: &CacheMeta, payload: Option<Vec<Vec<f64>>>, bytes: u64) {
         let entry = Arc::new(CacheEntry {
             fingerprint: meta.fingerprint.clone(),
@@ -100,12 +191,27 @@ impl ResultCache {
             payload,
             bytes,
         });
-        self.inner.lock().unwrap().insert(meta.key, entry);
+        let cost = charge(&entry);
+        let mut st = self.inner.lock().unwrap();
+        st.remove(meta.key);
+        if let Some(cap) = self.capacity {
+            if cost > cap {
+                st.evictions += 1;
+                return;
+            }
+        }
+        let stamp = st.fresh_stamp();
+        st.order.insert(stamp, meta.key);
+        st.map.insert(meta.key, Slot { entry, stamp });
+        st.used_bytes += cost;
+        if let Some(cap) = self.capacity {
+            st.evict_to(cap);
+        }
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.lock().unwrap().map.len()
     }
 
     /// True when no entries are stored.
@@ -113,9 +219,28 @@ impl ResultCache {
         self.len() == 0
     }
 
-    /// Drop every entry.
+    /// Resident charge in bytes (payload + per-entry overhead). Always
+    /// `<=` the configured capacity, when one is set.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().used_bytes
+    }
+
+    /// Configured byte capacity, `None` when unbounded.
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        self.capacity
+    }
+
+    /// Entries evicted (or refused) by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
+    }
+
+    /// Drop every entry (capacity and eviction count are kept).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().clear();
+        let mut st = self.inner.lock().unwrap();
+        st.map.clear();
+        st.order.clear();
+        st.used_bytes = 0;
     }
 
     /// Corrupt the stored fingerprint under `key` (fault-injection hook
@@ -123,15 +248,15 @@ impl ResultCache {
     /// [`Lookup::Invalidated`], never serve the entry. Returns `false`
     /// if no entry exists under `key`.
     pub fn poison(&self, key: u64) -> bool {
-        let mut map = self.inner.lock().unwrap();
-        match map.get_mut(&key) {
+        let mut st = self.inner.lock().unwrap();
+        match st.map.get_mut(&key) {
             Some(slot) => {
-                let mut e = (**slot).clone();
+                let mut e = (*slot.entry).clone();
                 match e.fingerprint.first_mut() {
                     Some(w) => *w ^= 1,
                     None => e.fingerprint.push(0xdead),
                 }
-                *slot = Arc::new(e);
+                slot.entry = Arc::new(e);
                 true
             }
             None => false,
@@ -261,6 +386,94 @@ mod tests {
         // key: fingerprint comparison still catches it.
         stale.fingerprint[1] ^= 0xff;
         assert!(matches!(cache.lookup(&stale, false), Lookup::Invalidated));
+    }
+
+    /// A wide independent graph: `n` tasks, each writing its own datum —
+    /// `n` distinct cache keys for churn tests.
+    fn wide(n: usize) -> TaskGraph {
+        let mut stf = StfBuilder::new();
+        let k = stf.graph_mut().register_type("K", true, true);
+        for i in 0..n {
+            let d = stf.graph_mut().add_data(64, format!("d{i}"));
+            stf.submit(k, vec![(d, AccessMode::Write)], 1.0 + i as f64, "t");
+        }
+        stf.finish()
+    }
+
+    #[test]
+    fn capped_cache_stays_under_the_cap_during_churn() {
+        let g = wide(64);
+        let payload_bytes = 256u64;
+        let per_entry = payload_bytes + ENTRY_OVERHEAD_BYTES;
+        // Room for 4 full entries.
+        let cache = ResultCache::with_capacity(4 * per_entry);
+        for round in 0..3 {
+            for i in 0..64 {
+                let m = meta(&g, i);
+                cache.insert(m, Some(vec![vec![round as f64; 32]]), payload_bytes);
+                assert!(
+                    cache.used_bytes() <= cache.capacity_bytes().unwrap(),
+                    "over cap after insert {i} round {round}"
+                );
+            }
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.used_bytes(), 4 * per_entry);
+        // 3 rounds × 64 inserts, 4 still resident; re-inserts of a
+        // resident key replace (no eviction), so rounds 2 and 3 each
+        // evict their predecessors' full complement.
+        assert_eq!(cache.evictions(), 3 * 64 - 4);
+        // The survivors are the last four inserted, and they still hit.
+        for i in 60..64 {
+            assert!(matches!(cache.lookup(meta(&g, i), true), Lookup::Hit(_)));
+        }
+        assert!(matches!(cache.lookup(meta(&g, 0), true), Lookup::Miss));
+    }
+
+    #[test]
+    fn lookup_refreshes_lru_recency() {
+        let g = wide(4);
+        let per_entry = 64 + ENTRY_OVERHEAD_BYTES;
+        let cache = ResultCache::with_capacity(2 * per_entry);
+        cache.insert(meta(&g, 0), Some(vec![vec![0.0; 8]]), 64);
+        cache.insert(meta(&g, 1), Some(vec![vec![0.0; 8]]), 64);
+        // Touch entry 0: entry 1 becomes the LRU victim.
+        assert!(matches!(cache.lookup(meta(&g, 0), true), Lookup::Hit(_)));
+        cache.insert(meta(&g, 2), Some(vec![vec![0.0; 8]]), 64);
+        assert!(matches!(cache.lookup(meta(&g, 0), true), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(meta(&g, 1), true), Lookup::Miss));
+        assert!(matches!(cache.lookup(meta(&g, 2), true), Lookup::Hit(_)));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_refused_not_thrashed() {
+        let g = wide(2);
+        let cache = ResultCache::with_capacity(ENTRY_OVERHEAD_BYTES + 16);
+        cache.insert(meta(&g, 0), Some(vec![vec![0.0; 2]]), 16);
+        assert_eq!(cache.len(), 1);
+        // An entry bigger than the whole cap must not wipe the cache.
+        cache.insert(meta(&g, 1), Some(vec![vec![0.0; 1024]]), 8192);
+        assert_eq!(cache.len(), 1);
+        assert!(matches!(cache.lookup(meta(&g, 0), true), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(meta(&g, 1), true), Lookup::Miss));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn invalidation_releases_the_entry_charge() {
+        let g = wide(2);
+        let cache = ResultCache::with_capacity(1 << 20);
+        cache.insert(meta(&g, 0), Some(vec![vec![0.0; 8]]), 64);
+        let used = cache.used_bytes();
+        assert_eq!(used, 64 + ENTRY_OVERHEAD_BYTES);
+        assert!(cache.poison(meta(&g, 0).key));
+        assert!(matches!(
+            cache.lookup(meta(&g, 0), false),
+            Lookup::Invalidated
+        ));
+        assert_eq!(cache.used_bytes(), 0);
+        assert_eq!(cache.len(), 0);
     }
 
     #[test]

@@ -136,6 +136,23 @@ impl StfBuilder {
         t
     }
 
+    /// Open a staged submission: a batch of tasks recorded *without*
+    /// touching the graph or the inference state. [`SubmissionStage::commit`]
+    /// applies the whole batch through the normal [`Self::submit_prio`]
+    /// path (so RAW/WAR/WAW edges and cache keys come out exactly as if
+    /// the tasks had been submitted directly); dropping the stage
+    /// discards it with **zero** side effects. This is the ingest
+    /// primitive of the serving mode (DESIGN.md §13): an admission
+    /// controller can inspect a staged sub-DAG, reject it under
+    /// backpressure, and later submissions still see the pre-rejection
+    /// writers — a rejected stage never strands a dependency.
+    pub fn begin_submission(&mut self) -> SubmissionStage<'_> {
+        SubmissionStage {
+            builder: self,
+            staged: Vec::new(),
+        }
+    }
+
     /// Override the current version of a data handle. The runtime calls
     /// this from `register` with a content hash of the initial buffer so
     /// cache keys reflect actual input *values*; the simulator keeps the
@@ -224,6 +241,114 @@ impl StfBuilder {
     /// Finish and return the inferred DAG.
     pub fn finish(self) -> TaskGraph {
         self.graph
+    }
+}
+
+/// One task of a staged (not yet committed) submission.
+#[derive(Clone, Debug)]
+struct StagedTask {
+    ttype: TaskTypeId,
+    accesses: Vec<(DataId, AccessMode)>,
+    flops: f64,
+    prio: i64,
+    label: String,
+}
+
+/// A batch of task submissions recorded against a [`StfBuilder`] but not
+/// yet applied (see [`StfBuilder::begin_submission`]).
+///
+/// The stage borrows the builder mutably, so the type system guarantees
+/// no interleaved direct submission can observe half a batch: a stage is
+/// either committed atomically (w.r.t. the builder's inference state) or
+/// discarded without a trace.
+///
+/// ```
+/// use mp_dag::{AccessMode, StfBuilder};
+///
+/// let mut stf = StfBuilder::new();
+/// let k = stf.graph_mut().register_type("K", true, true);
+/// let x = stf.graph_mut().add_data(8, "x");
+/// let w = stf.submit(k, vec![(x, AccessMode::Write)], 1.0, "w");
+///
+/// // A rejected stage leaves no trace...
+/// let mut stage = stf.begin_submission();
+/// stage.submit(k, vec![(x, AccessMode::ReadWrite)], 1.0, "rejected");
+/// drop(stage);
+///
+/// // ...so the next admitted batch still depends on the real writer.
+/// let mut stage = stf.begin_submission();
+/// stage.submit(k, vec![(x, AccessMode::Read)], 1.0, "r");
+/// let ids = stage.commit();
+/// assert_eq!(stf.graph().preds(ids[0]), &[w]);
+/// ```
+#[derive(Debug)]
+pub struct SubmissionStage<'a> {
+    builder: &'a mut StfBuilder,
+    staged: Vec<StagedTask>,
+}
+
+impl SubmissionStage<'_> {
+    /// Record a task in the stage; returns its stage-local index. No
+    /// graph or inference state is touched until [`Self::commit`].
+    pub fn submit(
+        &mut self,
+        ttype: TaskTypeId,
+        accesses: Vec<(DataId, AccessMode)>,
+        flops: f64,
+        label: impl Into<String>,
+    ) -> usize {
+        self.submit_prio(ttype, accesses, flops, 0, label)
+    }
+
+    /// Record a task with an explicit user priority.
+    pub fn submit_prio(
+        &mut self,
+        ttype: TaskTypeId,
+        accesses: Vec<(DataId, AccessMode)>,
+        flops: f64,
+        prio: i64,
+        label: impl Into<String>,
+    ) -> usize {
+        self.staged.push(StagedTask {
+            ttype,
+            accesses,
+            flops,
+            prio,
+            label: label.into(),
+        });
+        self.staged.len() - 1
+    }
+
+    /// Rewrite the priority of a staged task (by stage-local index).
+    /// The serving mode's fairness layer uses this to apply tenant
+    /// weighting and starvation aging at admission time, after the
+    /// sub-DAG is staged but before it reaches the scheduler.
+    pub fn set_priority(&mut self, idx: usize, prio: i64) {
+        self.staged[idx].prio = prio;
+    }
+
+    /// Number of staged tasks.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// True when nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Apply the whole batch in staged order through the normal
+    /// inference path and return the assigned task ids (aligned with the
+    /// stage-local indices). Cross-submission dependencies resolve by
+    /// data identity against whatever was *committed* before — staged
+    /// tasks of this batch see each other exactly as if submitted
+    /// directly.
+    pub fn commit(self) -> Vec<TaskId> {
+        let SubmissionStage { builder, staged } = self;
+        staged
+            .into_iter()
+            .map(|s| builder.submit_prio(s.ttype, s.accesses, s.flops, s.prio, s.label))
+            .collect()
     }
 }
 
@@ -426,6 +551,91 @@ mod tests {
             g0.cache_meta(TaskId(0)).unwrap().key,
             g1.cache_meta(TaskId(0)).unwrap().key
         );
+    }
+
+    #[test]
+    fn staged_commit_resolves_cross_submission_deps_by_data_identity() {
+        let (mut stf, k, a, b) = setup();
+        let w = stf.submit(k, vec![(a, AccessMode::Write)], 1.0, "w");
+        let mut stage = stf.begin_submission();
+        let r = stage.submit(k, vec![(a, AccessMode::Read)], 1.0, "r");
+        let wb = stage.submit(k, vec![(b, AccessMode::Write)], 1.0, "wb");
+        let ids = stage.commit();
+        // RAW against the earlier *committed* submission...
+        assert_eq!(stf.graph().preds(ids[r]), &[w]);
+        assert!(stf.graph().preds(ids[wb]).is_empty());
+        // ...and a later batch chains on this one.
+        let mut stage = stf.begin_submission();
+        let rb = stage.submit(k, vec![(b, AccessMode::Read)], 1.0, "rb");
+        let ids2 = stage.commit();
+        assert_eq!(stf.graph().preds(ids2[rb]), &[ids[wb]]);
+    }
+
+    #[test]
+    fn staged_tasks_see_each_other_in_stage_order() {
+        let (mut stf, k, a, _) = setup();
+        let mut stage = stf.begin_submission();
+        let w = stage.submit(k, vec![(a, AccessMode::Write)], 1.0, "w");
+        let r = stage.submit(k, vec![(a, AccessMode::Read)], 1.0, "r");
+        let ids = stage.commit();
+        assert_eq!(stf.graph().preds(ids[r]), &[ids[w]]);
+    }
+
+    #[test]
+    fn discarded_stage_leaves_no_trace() {
+        let (mut stf, k, a, _) = setup();
+        let w0 = stf.submit(k, vec![(a, AccessMode::Write)], 1.0, "w0");
+        let version_before = stf.data_version(a);
+        let mut stage = stf.begin_submission();
+        stage.submit(k, vec![(a, AccessMode::ReadWrite)], 1.0, "rejected");
+        assert_eq!(stage.len(), 1);
+        assert!(!stage.is_empty());
+        drop(stage);
+        // No task, no edge, no version advance: the next reader depends
+        // on the pre-rejection writer and keys against its version.
+        assert_eq!(stf.graph().task_count(), 1);
+        assert_eq!(stf.data_version(a), version_before);
+        let r = stf.submit(k, vec![(a, AccessMode::Read)], 1.0, "r");
+        assert_eq!(stf.graph().preds(r), &[w0]);
+    }
+
+    #[test]
+    fn staged_commit_matches_direct_submission_bit_for_bit() {
+        let direct = {
+            let (mut stf, k, a, b) = setup();
+            stf.submit(k, vec![(a, AccessMode::Write)], 1.0, "w");
+            stf.submit_prio(
+                k,
+                vec![(a, AccessMode::Read), (b, AccessMode::ReadWrite)],
+                2.0,
+                7,
+                "r",
+            );
+            stf.finish()
+        };
+        let staged = {
+            let (mut stf, k, a, b) = setup();
+            let mut stage = stf.begin_submission();
+            stage.submit(k, vec![(a, AccessMode::Write)], 1.0, "w");
+            let r = stage.submit(
+                k,
+                vec![(a, AccessMode::Read), (b, AccessMode::ReadWrite)],
+                2.0,
+                "r",
+            );
+            stage.set_priority(r, 7);
+            stage.commit();
+            stf.finish()
+        };
+        assert_eq!(direct.task_count(), staged.task_count());
+        for t in direct.tasks() {
+            assert_eq!(direct.cache_meta(t.id), staged.cache_meta(t.id));
+            assert_eq!(direct.preds(t.id), staged.preds(t.id));
+            assert_eq!(
+                direct.task(t.id).user_priority,
+                staged.task(t.id).user_priority
+            );
+        }
     }
 
     #[test]

@@ -41,12 +41,12 @@ pub type KernelFn = Arc<dyn Fn(&mut TaskCtx<'_>) + Send + Sync>;
 
 /// Fluent builder for one task submission.
 pub struct TaskBuilder {
-    ttype: String,
-    accesses: Vec<(DataId, AccessMode)>,
-    impls: HashMap<ArchClass, KernelFn>,
-    flops: f64,
-    priority: i64,
-    label: String,
+    pub(crate) ttype: String,
+    pub(crate) accesses: Vec<(DataId, AccessMode)>,
+    pub(crate) impls: HashMap<ArchClass, KernelFn>,
+    pub(crate) flops: f64,
+    pub(crate) priority: i64,
+    pub(crate) label: String,
 }
 
 impl TaskBuilder {
@@ -101,7 +101,7 @@ impl TaskBuilder {
 }
 
 /// Unified-memory locality: every handle is resident everywhere.
-struct UnifiedMemory;
+pub(crate) struct UnifiedMemory;
 
 impl DataLocator for UnifiedMemory {
     fn is_on(&self, _d: DataId, _m: MemNodeId) -> bool {
@@ -114,14 +114,14 @@ impl DataLocator for UnifiedMemory {
 }
 
 /// Lock-free busy-until table (µs since run start, f64 bits).
-struct AtomicLoads(Vec<AtomicU64>);
+pub(crate) struct AtomicLoads(Vec<AtomicU64>);
 
 impl AtomicLoads {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self((0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect())
     }
 
-    fn set(&self, w: WorkerId, v: f64) {
+    pub(crate) fn set(&self, w: WorkerId, v: f64) {
         self.0[w.index()].store(v.to_bits(), Ordering::Relaxed);
     }
 }
@@ -140,7 +140,7 @@ impl LoadInfo for AtomicLoads {
 /// [`Self::notify`], which bumps the epoch *before* taking the mutex, so
 /// the pair (read epoch → pop → wait) can never sleep through a push or
 /// completion that happened after the epoch read.
-struct WakeEpoch {
+pub(crate) struct WakeEpoch {
     epoch: AtomicU64,
     /// Workers inside [`Self::wait`]; lets [`Self::notify`] skip the
     /// mutex on the (hot) nobody-parked path.
@@ -150,7 +150,7 @@ struct WakeEpoch {
 }
 
 impl WakeEpoch {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             epoch: AtomicU64::new(0),
             waiters: AtomicUsize::new(0),
@@ -159,11 +159,11 @@ impl WakeEpoch {
         }
     }
 
-    fn current(&self) -> u64 {
+    pub(crate) fn current(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
     }
 
-    fn notify(&self) {
+    pub(crate) fn notify(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
         // SeqCst pairs with the waiter's increment-then-recheck: either
         // the waiter's re-check sees the new epoch, or this load sees the
@@ -179,7 +179,7 @@ impl WakeEpoch {
 
     /// Park until the epoch differs from `seen` (or `bound` elapses, or a
     /// spurious wakeup — callers re-poll in a loop either way).
-    fn wait(&self, seen: u64, bound: Option<Duration>) {
+    pub(crate) fn wait(&self, seen: u64, bound: Option<Duration>) {
         self.waiters.fetch_add(1, Ordering::SeqCst);
         let g = self.lock.lock().expect("wake lock poisoned");
         if self.epoch.load(Ordering::SeqCst) == seen {
@@ -195,7 +195,7 @@ impl WakeEpoch {
 /// Bounded park when the scheduler holds work back: MultiPrio's pop
 /// condition compares against wall-clock `busy_until`, so a held-back
 /// task becomes poppable by time passing alone — no event fires.
-const HOLDBACK_REPOLL: Duration = Duration::from_micros(200);
+pub(crate) const HOLDBACK_REPOLL: Duration = Duration::from_micros(200);
 
 /// Typed failure of [`Runtime::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -318,14 +318,14 @@ impl RunReport {
 
 /// The runtime: buffers + submitted tasks, executed by [`Runtime::run`].
 pub struct Runtime {
-    platform: Platform,
-    model: Arc<dyn PerfModel>,
-    stf: StfBuilder,
-    buffers: Vec<RwLock<Vec<f64>>>,
-    impls: Vec<HashMap<ArchClass, KernelFn>>,
+    pub(crate) platform: Platform,
+    pub(crate) model: Arc<dyn PerfModel>,
+    pub(crate) stf: StfBuilder,
+    pub(crate) buffers: Vec<RwLock<Vec<f64>>>,
+    pub(crate) impls: Vec<HashMap<ArchClass, KernelFn>>,
     /// First impl-coverage violation found at submit time; reported by
     /// [`Runtime::run`] before any thread spawns.
-    submit_error: Option<RunError>,
+    pub(crate) submit_error: Option<RunError>,
     /// Fault-injection plan applied by the next run (`None` = no faults).
     faults: Option<FaultPlan>,
     /// Retry budget for failed execution attempts (panics, injected
@@ -586,6 +586,9 @@ impl Runtime {
         // runtime — warm re-runs stay silent.
         let warned = &self.warned;
         let cache = self.cache.clone();
+        // The shared cache outlives runs: this run's capacity evictions
+        // are the delta over its lifetime counter.
+        let cache_evictions_at_start = cache.as_ref().map_or(0, |rc| rc.evictions());
         // Per-worker observability cells (no-ops unless `--features obs`)
         // plus one for the submitting thread's seed pushes.
         let cells: Vec<ObsCell> = (0..nw).map(|_| ObsCell::new()).collect();
@@ -1102,6 +1105,9 @@ impl Runtime {
         for c in &cells {
             c.drain_into(&mut counters);
         }
+        if let Some(rc) = &cache {
+            counters.cache_evictions += rc.evictions() - cache_evictions_at_start;
+        }
         let mut events = park_events.into_inner().unwrap_or_else(|p| p.into_inner());
         events.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.worker.cmp(&b.worker)));
         Ok(RunReport {
@@ -1288,6 +1294,73 @@ mod tests {
         // The panic never unwound while a buffer guard dropped, so the
         // buffers stay readable afterwards.
         assert_eq!(rt.buffer(x)[0], 2.0);
+    }
+
+    /// Regression for the lock-poisoning cascade: a kernel panic is
+    /// contained by the worker loop's `catch_unwind`, but the panic
+    /// machinery can poison scheduler-side mutexes touched during the
+    /// unwind/abort window. The sharded and relaxed front-ends used to
+    /// `expect("... poisoned")` on those, turning one `KernelPanicked`
+    /// into a panic storm across the surviving workers. Both must now
+    /// finish the run and surface the typed error.
+    #[test]
+    fn panicking_kernel_under_sharded_front_end_reports_kernel_panicked() {
+        let mut rt = Runtime::new(homogeneous(4), model());
+        let x = rt.register(vec![0.0; 8], "x");
+        rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                .flops(1.0),
+        );
+        let bad = rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|_| panic!("kernel bug"))
+                .flops(1.0),
+        );
+        rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                .flops(1.0),
+        );
+        let report = rt
+            .run_sharded(4, &|| Box::new(FifoScheduler::new()))
+            .expect("panic is contained, not returned as Err");
+        assert_eq!(report.error, Some(RunError::KernelPanicked { task: bad }));
+        assert!(!report.is_complete());
+        assert!(report.trace.validate().is_ok(), "partial trace stays valid");
+    }
+
+    #[test]
+    fn panicking_kernel_under_relaxed_front_end_reports_kernel_panicked() {
+        let mut rt = Runtime::new(homogeneous(4), model());
+        let x = rt.register(vec![0.0; 8], "x");
+        rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                .flops(1.0),
+        );
+        let bad = rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|_| panic!("kernel bug"))
+                .flops(1.0),
+        );
+        rt.submit(
+            TaskBuilder::new("AXPY")
+                .access(x, AccessMode::ReadWrite)
+                .cpu(|ctx| ctx.w(0)[0] += 1.0)
+                .flops(1.0),
+        );
+        let report = rt
+            .run_relaxed(RelaxedConfig::default())
+            .expect("panic is contained, not returned as Err");
+        assert_eq!(report.error, Some(RunError::KernelPanicked { task: bad }));
+        assert!(!report.is_complete());
+        assert!(report.trace.validate().is_ok(), "partial trace stays valid");
     }
 
     #[test]

@@ -33,6 +33,15 @@
 //! score is not the global maximum (it is the best of the probed shards).
 //! The cited work shows this preserves scheduling quality for pop-heavy
 //! workloads while removing the scalability collapse of a global lock.
+//!
+//! **Lock poisoning.** Every mutex in this module recovers from poison
+//! (`unwrap_or_else(|p| p.into_inner())`) instead of propagating it.
+//! Front-end state is only mutated at push/pop/replay boundaries — no
+//! user kernel ever runs under these locks — so a panic unwinding
+//! through a holder (e.g. a panicking kernel caught by the engine's
+//! worker-loop `catch_unwind`) leaves the protected state consistent.
+//! Propagating the poison instead turns one `KernelPanicked` into a
+//! cascade that aborts every surviving worker's next pop.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -117,12 +126,15 @@ impl ConcurrentScheduler for GlobalLock {
     fn push(&self, t: TaskId, releaser: Option<WorkerId>, view: &SchedView<'_>) {
         self.inner
             .lock()
-            .expect("scheduler poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .push(t, releaser, view);
     }
 
     fn pop(&self, w: WorkerId, view: &SchedView<'_>) -> Option<TaskId> {
-        self.inner.lock().expect("scheduler poisoned").pop(w, view)
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop(w, view)
     }
 
     fn feedback(&self, ev: &SchedEvent, view: &SchedView<'_>) {
@@ -131,26 +143,29 @@ impl ConcurrentScheduler for GlobalLock {
         }
         self.inner
             .lock()
-            .expect("scheduler poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .feedback(ev, view);
     }
 
     fn worker_disabled(&self, w: WorkerId, view: &SchedView<'_>) {
         self.inner
             .lock()
-            .expect("scheduler poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .worker_disabled(w, view);
     }
 
     fn push_retry(&self, t: TaskId, attempt: u32, view: &SchedView<'_>) {
         self.inner
             .lock()
-            .expect("scheduler poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .push_retry(t, attempt, view);
     }
 
     fn pending(&self) -> usize {
-        self.inner.lock().expect("scheduler poisoned").pending()
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pending()
     }
 
     fn drain_prefetches(&self) -> Vec<PrefetchReq> {
@@ -159,12 +174,15 @@ impl ConcurrentScheduler for GlobalLock {
         }
         self.inner
             .lock()
-            .expect("scheduler poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .drain_prefetches()
     }
 
     fn counters(&self) -> mp_trace::CounterSnapshot {
-        self.inner.lock().expect("scheduler poisoned").counters()
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .counters()
     }
 }
 
@@ -232,7 +250,7 @@ impl ShardedAdapter {
             })
             .collect();
         let (name, consumes_feedback, emits_prefetches) = {
-            let s = built[0].state.lock().expect("shard poisoned");
+            let s = built[0].state.lock().unwrap_or_else(|p| p.into_inner());
             (
                 format!("{}+sharded{}", s.policy.name(), shards),
                 s.policy.consumes_feedback(),
@@ -305,7 +323,7 @@ impl ShardedAdapter {
         }
         loop {
             let fresh: Vec<SchedEvent> = {
-                let log = self.events.lock().expect("event log poisoned");
+                let log = self.events.lock().unwrap_or_else(|p| p.into_inner());
                 if state.applied >= log.len() {
                     return;
                 }
@@ -325,7 +343,7 @@ impl ShardedAdapter {
         if shard.pending.load(Ordering::Acquire) == 0 {
             return None;
         }
-        let mut state = shard.state.lock().expect("shard poisoned");
+        let mut state = shard.state.lock().unwrap_or_else(|p| p.into_inner());
         self.catch_up(&mut state, view);
         let t = state.policy.pop(w, view)?;
         shard.pending.fetch_sub(1, Ordering::AcqRel);
@@ -356,7 +374,7 @@ impl ConcurrentScheduler for ShardedAdapter {
             None => self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len(),
         });
         let shard = &self.shards[i];
-        let mut state = shard.state.lock().expect("shard poisoned");
+        let mut state = shard.state.lock().unwrap_or_else(|p| p.into_inner());
         self.catch_up(&mut state, view);
         state.policy.push(t, releaser, view);
         shard.pending.fetch_add(1, Ordering::AcqRel);
@@ -414,7 +432,10 @@ impl ConcurrentScheduler for ShardedAdapter {
         }
         // Append to the sequenced channel; shards replay lazily under
         // their own lock. The log lock serializes only a Vec push.
-        self.events.lock().expect("event log poisoned").push(*ev);
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(*ev);
     }
 
     fn worker_disabled(&self, w: WorkerId, view: &SchedView<'_>) {
@@ -424,7 +445,7 @@ impl ConcurrentScheduler for ShardedAdapter {
         {
             let n = self.shards.len();
             let workers = view.platform().worker_count();
-            let mut dead = self.dead_workers.lock().expect("liveness poisoned");
+            let mut dead = self.dead_workers.lock().unwrap_or_else(|p| p.into_inner());
             if dead.len() < workers {
                 dead.resize(workers, false);
             }
@@ -447,7 +468,7 @@ impl ConcurrentScheduler for ShardedAdapter {
         // the quarantine broadcasts. Policies re-push drained tasks into
         // themselves, which conserves each shard's pending count.
         for shard in &self.shards {
-            let mut state = shard.state.lock().expect("shard poisoned");
+            let mut state = shard.state.lock().unwrap_or_else(|p| p.into_inner());
             self.catch_up(&mut state, view);
             state.policy.worker_disabled(w, view);
         }
@@ -460,7 +481,7 @@ impl ConcurrentScheduler for ShardedAdapter {
         // and parking it on the dead worker's shard starves it.
         let i = self.live_shard(self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len());
         let shard = &self.shards[i];
-        let mut state = shard.state.lock().expect("shard poisoned");
+        let mut state = shard.state.lock().unwrap_or_else(|p| p.into_inner());
         self.catch_up(&mut state, view);
         state.policy.push_retry(t, attempt, view);
         shard.pending.fetch_add(1, Ordering::AcqRel);
@@ -477,7 +498,7 @@ impl ConcurrentScheduler for ShardedAdapter {
         }
         let mut all = Vec::new();
         for shard in &self.shards {
-            let mut state = shard.state.lock().expect("shard poisoned");
+            let mut state = shard.state.lock().unwrap_or_else(|p| p.into_inner());
             all.extend(state.policy.drain_prefetches());
         }
         all
@@ -497,7 +518,7 @@ impl ConcurrentScheduler for ShardedAdapter {
         // `sum(shard_pops) == pops` invariant. The nesting boundary
         // keeps the scalars and drops the inner vectors.
         for shard in &self.shards {
-            let state = shard.state.lock().expect("shard poisoned");
+            let state = shard.state.lock().unwrap_or_else(|p| p.into_inner());
             let mut inner = state.policy.counters();
             inner.shard_pops.clear();
             inner.steals.clear();
@@ -565,6 +586,101 @@ mod tests {
             assert!(seen.insert(t), "duplicate pop of {t:?}");
         }
         assert_eq!(seen.len(), 40);
+        assert_eq!(fe.pending(), 0);
+    }
+
+    /// Pops delegate to FIFO, except the first pop of an armed instance
+    /// panics *before* touching any state — the consistent push/pop
+    /// boundary a contained kernel panic leaves behind.
+    struct PanicOnce {
+        inner: FifoScheduler,
+        armed: bool,
+    }
+
+    impl Scheduler for PanicOnce {
+        fn name(&self) -> &'static str {
+            "panic-once"
+        }
+        fn push(&mut self, t: TaskId, r: Option<WorkerId>, v: &SchedView<'_>) {
+            self.inner.push(t, r, v);
+        }
+        fn pop(&mut self, w: WorkerId, v: &SchedView<'_>) -> Option<TaskId> {
+            if self.armed {
+                self.armed = false;
+                panic!("deliberate poison");
+            }
+            self.inner.pop(w, v)
+        }
+        fn pending(&self) -> usize {
+            self.inner.pending()
+        }
+    }
+
+    /// Regression: a panic unwinding out of the wrapped policy used to
+    /// poison the global mutex and turn every later call into an
+    /// `expect("scheduler poisoned")` abort. The guard is recovered
+    /// now, so one contained panic costs one pop, not the front end.
+    #[test]
+    fn poisoned_global_lock_recovers_instead_of_cascading() {
+        let mut fx = Fixture::two_arch();
+        let a = fx.add_task(fx.both, 8, "a");
+        let b = fx.add_task(fx.both, 8, "b");
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let fe = GlobalLock::new(Box::new(PanicOnce {
+            inner: FifoScheduler::new(),
+            armed: true,
+        }));
+        fe.push(a, None, &view);
+        fe.push(b, None, &view);
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fe.pop(c0, &view)));
+        assert!(poisoner.is_err(), "armed pop must panic under the lock");
+        assert_eq!(fe.pending(), 2);
+        assert_eq!(fe.pop(c0, &view), Some(a));
+        assert_eq!(fe.pop(c0, &view), Some(b));
+        assert_eq!(fe.pending(), 0);
+    }
+
+    /// Same regression for the sharded front-end: shard and event-log
+    /// mutexes recover from poison instead of cascade-aborting every
+    /// subsequent pop of the surviving workers.
+    #[test]
+    fn poisoned_shard_recovers_instead_of_cascading() {
+        use std::sync::atomic::AtomicUsize;
+
+        let mut fx = Fixture::two_arch();
+        let tasks: Vec<_> = (0..4)
+            .map(|i| fx.add_task(fx.both, 8, &format!("t{i}")))
+            .collect();
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        // Only the first-built instance (shard 0) is armed.
+        let built = AtomicUsize::new(0);
+        let factory = move || -> Box<dyn Scheduler> {
+            Box::new(PanicOnce {
+                inner: FifoScheduler::new(),
+                armed: built.fetch_add(1, Ordering::Relaxed) == 0,
+            })
+        };
+        let fe = ShardedAdapter::new(2, &factory);
+        // Route every task to c0's home shard (shard 0), the armed one.
+        for &t in &tasks {
+            fe.push(t, Some(c0), &view);
+        }
+        assert_eq!(fe.shard_pending(0), 4);
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fe.pop(c0, &view)));
+        assert!(poisoner.is_err(), "armed pop must panic under the lock");
+        // Shard 0's mutex is poisoned; pushes and pops keep working and
+        // every task still executes exactly once.
+        assert_eq!(fe.pending(), 4);
+        let extra = fx.add_task(fx.both, 8, "extra");
+        let view = fx.view();
+        fe.push(extra, Some(c0), &view);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(t) = fe.pop(c0, &view) {
+            assert!(seen.insert(t), "duplicate pop of {t:?}");
+        }
+        assert_eq!(seen.len(), 5);
         assert_eq!(fe.pending(), 0);
     }
 

@@ -164,14 +164,14 @@ impl RankTracker {
 
     /// A task entered the structure under `key`.
     pub fn on_push(&self, key: u64, t: TaskId) {
-        let mut g = self.inner.lock().expect("rank tracker poisoned");
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         g.live.insert((key, t));
     }
 
     /// A task left the structure; records its rank (number of pending
     /// entries with a strictly larger key). O(rank) per pop.
     pub fn on_pop(&self, key: u64, t: TaskId) {
-        let mut g = self.inner.lock().expect("rank tracker poisoned");
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         let rank = g.live.iter().rev().take_while(|&&(k, _)| k > key).count() as u64;
         g.live.remove(&(key, t));
         g.stats.record(rank);
@@ -181,7 +181,7 @@ impl RankTracker {
     pub fn stats(&self) -> RankStats {
         self.inner
             .lock()
-            .expect("rank tracker poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .stats
             .clone()
     }
@@ -316,10 +316,18 @@ impl RelaxedMultiQueue {
             None => (mix64(r) % n as u64) as usize,
         };
         // Try-lock, falling through to the next queue on failure —
-        // never spin on a held lock.
+        // never spin on a held lock. Poison is sticky on a mutex, so a
+        // once-poisoned queue must be recovered here rather than
+        // skipped as busy: treating it as `WouldBlock` forever would
+        // starve the queue of pushes after one contained panic.
         for off in 0..n {
             let q = &self.queues[(start + off) % n];
-            if let Ok(mut qs) = q.state.try_lock() {
+            let got = match q.state.try_lock() {
+                Ok(g) => Some(g),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            };
+            if let Some(mut qs) = got {
                 Self::insert_locked(q, &mut qs, e);
                 return;
             }
@@ -328,9 +336,14 @@ impl RelaxedMultiQueue {
             }
         }
         // Every queue was momentarily held (only possible with more
-        // pushers than queues): block once rather than spin.
+        // pushers than queues): block once rather than spin. A poisoned
+        // queue is recovered, not propagated: heap and published
+        // metadata are only mutated together under the lock, so the
+        // state a panicking holder left behind is a consistent
+        // push/pop boundary (the engine's `catch_unwind` already turned
+        // the panic itself into `KernelPanicked`).
         let q = &self.queues[start % n];
-        let mut qs = q.state.lock().expect("relaxed queue poisoned");
+        let mut qs = q.state.lock().unwrap_or_else(|p| p.into_inner());
         Self::insert_locked(q, &mut qs, e);
     }
 
@@ -349,8 +362,11 @@ impl RelaxedMultiQueue {
         if q.len.load(Ordering::Acquire) == 0 {
             return None;
         }
+        // Poisoned queues are recovered (see `push_entry`): cascading
+        // the panic here would abort every subsequent pop of surviving
+        // workers instead of letting the run drain to `KernelPanicked`.
         let mut qs = if blocking {
-            q.state.lock().expect("relaxed queue poisoned")
+            q.state.lock().unwrap_or_else(|p| p.into_inner())
         } else {
             match q.state.try_lock() {
                 Ok(g) => g,
@@ -360,7 +376,7 @@ impl RelaxedMultiQueue {
                     }
                     return None;
                 }
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("relaxed queue poisoned"),
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
             }
         };
         let mut found = None;
@@ -759,6 +775,60 @@ mod tests {
             order
         };
         assert_eq!(run(), run());
+    }
+
+    /// Poison every queue mutex (and the rank tracker's) of `mq` the
+    /// way a panicking lock holder would: a helper thread acquires the
+    /// lock, touches nothing, and unwinds. The state it leaves behind
+    /// is exactly a push/pop boundary.
+    fn poison_all_queues(mq: &RelaxedMultiQueue) {
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let guards: Vec<_> = mq.queues.iter().map(|q| q.state.lock().unwrap()).collect();
+                let rank = mq.rank.as_ref().map(|tr| tr.inner.lock().unwrap());
+                let _ = (&guards, &rank);
+                panic!("deliberate poison");
+            });
+            assert!(h.join().is_err());
+        });
+    }
+
+    /// Regression: a panic that unwinds while a queue mutex is held
+    /// used to poison the queue and turn every subsequent push/pop into
+    /// a cascade of `expect("relaxed queue poisoned")` aborts — one
+    /// contained kernel panic cost every surviving worker its front
+    /// end. The guards are recovered now: state is consistent at
+    /// push/pop boundaries, so the structure keeps working.
+    #[test]
+    fn poisoned_queue_recovers_instead_of_cascading() {
+        let mut fx = Fixture::two_arch();
+        let a = fx.add_task(fx.both, 8, "a");
+        let b = fx.add_task(fx.both, 8, "b");
+        let view = fx.view();
+        let (c0, ..) = fx.workers();
+        let mq = RelaxedMultiQueue::new(
+            1,
+            RelaxedConfig {
+                queues_per_worker: 1,
+                track_rank: true,
+                ..RelaxedConfig::default()
+            },
+        );
+        mq.push(a, None, &view);
+        poison_all_queues(&mq);
+        // Every queue mutex is now poisoned; pushes and pops must still
+        // drain both tasks instead of aborting.
+        mq.push(b, None, &view);
+        assert_eq!(mq.pending(), 2);
+        let mut got = Vec::new();
+        while let Some(t) = mq.pop(c0, &view) {
+            got.push(t);
+        }
+        got.sort();
+        assert_eq!(got, vec![a, b]);
+        assert_eq!(mq.pending(), 0);
+        // The rank tracker (poisoned alongside) keeps accounting too.
+        assert_eq!(mq.rank_stats().unwrap().pops, 2);
     }
 
     #[test]

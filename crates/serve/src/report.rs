@@ -1,0 +1,144 @@
+//! Serving-run reports: throughput, latency distributions, fairness.
+
+use mp_trace::{CounterSnapshot, LatencyStats};
+
+use crate::engine::ServeError;
+
+/// Per-tenant outcome of a serving run.
+#[derive(Clone, Debug, Default)]
+pub struct TenantStats {
+    /// Tenant display name.
+    pub name: String,
+    /// Fair-share weight the run used.
+    pub weight: f64,
+    /// Whole sub-DAG submissions admitted / rejected.
+    pub subdags_admitted: u64,
+    /// Submissions rejected with backpressure.
+    pub subdags_rejected: u64,
+    /// Tasks admitted (sum over admitted sub-DAGs).
+    pub tasks_admitted: u64,
+    /// Tasks that completed execution.
+    pub tasks_completed: u64,
+    /// Scheduling latency (ready → popped) of this tenant's tasks.
+    pub latency: LatencyStats,
+}
+
+/// Everything one serving run produces.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Scheduler policy name.
+    pub scheduler: String,
+    /// Worker count of the platform.
+    pub workers: usize,
+    /// Arrival process spec (`ArrivalProcess::label`).
+    pub arrivals: String,
+    /// Virtual time when the last task completed (µs).
+    pub makespan_us: f64,
+    /// Scheduling decisions made (successful pops).
+    pub decisions: u64,
+    /// Tasks admitted across all tenants.
+    pub tasks_admitted: u64,
+    /// Tasks completed (equals admitted on a clean run).
+    pub tasks_completed: u64,
+    /// Whole sub-DAG submissions admitted / rejected.
+    pub subdags_admitted: u64,
+    /// Submissions rejected with typed backpressure.
+    pub subdags_rejected: u64,
+    /// Scheduling latency over every admitted task: the virtual-time
+    /// span from a task becoming ready (all predecessors done) to the
+    /// scheduler handing it to a worker.
+    pub latency: LatencyStats,
+    /// Every latency sample in µs, completion order — exact percentile
+    /// computation and bit-exact repeat comparison.
+    pub samples_us: Vec<u64>,
+    /// Per-tenant breakdown (fairness accounting).
+    pub tenants: Vec<TenantStats>,
+    /// Scheduler/engine counters, including the per-tenant
+    /// admitted/rejected/completed task counts.
+    pub counters: CounterSnapshot,
+    /// FNV-1a over the (task, worker, start-time) decision sequence —
+    /// the determinism fingerprint of the whole schedule.
+    pub schedule_hash: u64,
+    /// Why the run stopped early, if it did.
+    pub error: Option<ServeError>,
+}
+
+impl ServeReport {
+    /// Did every admitted task complete?
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none() && self.tasks_completed == self.tasks_admitted
+    }
+
+    /// Sustained scheduling throughput in decisions per virtual second.
+    pub fn decisions_per_sec(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        self.decisions as f64 / (self.makespan_us / 1e6)
+    }
+
+    /// Exact latency percentile (nearest-rank) in µs; 0 when empty.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Median scheduling latency in µs.
+    pub fn p50_us(&self) -> u64 {
+        self.percentile_us(0.50)
+    }
+
+    /// Tail scheduling latency in µs.
+    pub fn p99_us(&self) -> u64 {
+        self.percentile_us(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> ServeReport {
+        ServeReport {
+            scheduler: "x".into(),
+            workers: 0,
+            arrivals: "poisson:1".into(),
+            makespan_us: 0.0,
+            decisions: 0,
+            tasks_admitted: 0,
+            tasks_completed: 0,
+            subdags_admitted: 0,
+            subdags_rejected: 0,
+            latency: LatencyStats::default(),
+            samples_us: Vec::new(),
+            tenants: Vec::new(),
+            counters: CounterSnapshot::default(),
+            schedule_hash: 0,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut r = empty_report();
+        r.samples_us = (1..=100).rev().collect();
+        assert_eq!(r.p50_us(), 50);
+        assert_eq!(r.p99_us(), 99);
+        assert_eq!(r.percentile_us(1.0), 100);
+        assert_eq!(empty_report().p99_us(), 0);
+    }
+
+    #[test]
+    fn throughput_guards_zero_makespan() {
+        let mut r = empty_report();
+        assert_eq!(r.decisions_per_sec(), 0.0);
+        r.decisions = 500;
+        r.makespan_us = 2e6;
+        assert!((r.decisions_per_sec() - 250.0).abs() < 1e-9);
+    }
+}

@@ -569,6 +569,7 @@ pub fn simulate_cached(
     let mut last_writer: Vec<Option<TaskId>> = vec![None; store.handle_count()];
     let mut trace = Trace::new(nw);
     let mut stats = SimStats::default();
+    let cache_evictions_at_start = cache.map_or(0, |rc| rc.evictions());
     // Cache-hit / invalidation instants for the Chrome timeline, and the
     // worklist driving hit cascades (a hit releases successors that may
     // hit in turn — iterative, no recursion).
@@ -1351,11 +1352,19 @@ pub fn simulate_cached(
     let mut audit = store.take_audit();
     audit.append(&mut engine_audit);
 
+    // Capacity evictions happen inside the shared cache (it can be
+    // shared across runs), so this run's share is the delta over its
+    // lifetime counter.
+    if let Some(rc) = cache {
+        stats.cache_evictions = rc.evictions() - cache_evictions_at_start;
+    }
+
     // Quiesce-time counter aggregation: the engine-side cell (pops,
     // pushes, prefetch fates) merged with whatever the policy reports
     // (holds, evictions, arena hits, heap compactions, shard steals).
     let mut counters = scheduler.counters();
     obs.drain_into(&mut counters);
+    counters.cache_evictions += stats.cache_evictions;
 
     SimResult {
         scheduler: scheduler.name().to_string(),

@@ -38,6 +38,9 @@ pub struct SimStats {
     pub cache_invalidations: u64,
     /// Output bytes materialized directly from the cache on hits.
     pub bytes_materialized: u64,
+    /// Cache entries evicted by the byte-capacity bound during this run
+    /// (capacity pressure, not correctness — see `cache_invalidations`).
+    pub cache_evictions: u64,
 }
 
 /// Everything a simulation run produces.

@@ -22,6 +22,7 @@ pub use analysis::{practical_critical_path, IdleStats};
 pub use audit::{AuditKind, AuditRecord};
 pub use chrome::{chrome_trace, chrome_trace_with, EmptyTrace};
 pub use obs::{
-    Counter, CounterSnapshot, DecisionInstant, ObsCell, RankStats, RuntimeEvent, RuntimeEventKind,
+    Counter, CounterSnapshot, DecisionInstant, LatencyStats, ObsCell, RankStats, RuntimeEvent,
+    RuntimeEventKind,
 };
 pub use record::{TaskSpan, Trace, TransferKind, TransferSpan};

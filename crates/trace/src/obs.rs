@@ -74,10 +74,14 @@ pub enum Counter {
     CacheInvalidations,
     /// Output bytes materialized directly from the cache on hits.
     BytesMaterialized,
+    /// Result-cache entries evicted (or refused) by the byte-capacity
+    /// bound — a capacity signal, distinct from `CacheInvalidations`
+    /// (which are correctness evictions on fingerprint mismatch).
+    CacheEvictions,
 }
 
 /// Number of scalar counters (length of an [`ObsCell`]'s array).
-pub const COUNTER_COUNT: usize = 18;
+pub const COUNTER_COUNT: usize = 19;
 
 /// Aggregated counter values, as returned by `Scheduler::counters()`
 /// and surfaced on `SimResult` / `RunReport`.
@@ -122,6 +126,15 @@ pub struct CounterSnapshot {
     pub cache_invalidations: u64,
     /// Output bytes materialized from the cache.
     pub bytes_materialized: u64,
+    /// Result-cache entries evicted by the byte-capacity bound.
+    pub cache_evictions: u64,
+    /// Per-tenant admitted submissions (serving mode; indexed by tenant,
+    /// empty outside it).
+    pub tenant_admitted: Vec<u64>,
+    /// Per-tenant submissions rejected by admission control.
+    pub tenant_rejected: Vec<u64>,
+    /// Per-tenant completed tasks.
+    pub tenant_completed: Vec<u64>,
     /// Per-shard stolen pops (empty for non-sharded front-ends).
     pub steals: Vec<u64>,
     /// Per-shard total pops (empty for non-sharded front-ends). For the
@@ -163,6 +176,10 @@ impl CounterSnapshot {
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
         self.bytes_materialized += other.bytes_materialized;
+        self.cache_evictions += other.cache_evictions;
+        merge_vec(&mut self.tenant_admitted, &other.tenant_admitted);
+        merge_vec(&mut self.tenant_rejected, &other.tenant_rejected);
+        merge_vec(&mut self.tenant_completed, &other.tenant_completed);
         merge_vec(&mut self.steals, &other.steals);
         merge_vec(&mut self.shard_pops, &other.shard_pops);
         self.failed_trylocks += other.failed_trylocks;
@@ -187,7 +204,7 @@ impl CounterSnapshot {
         format!(
             "pops={} pushes={} holds={} evictions={} arena={}/{} (consults={}) \
              compactions={} prefetch={}+{}cancelled failures={} retried={} \
-             recomputed={} promoted={} cache={}hit/{}miss/{}inval ({}B) \
+             recomputed={} promoted={} cache={}hit/{}miss/{}inval/{}evict ({}B) \
              trylock_fails={} rank_max={} steals={:?}",
             self.pops,
             self.pushes,
@@ -206,6 +223,7 @@ impl CounterSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.cache_invalidations,
+            self.cache_evictions,
             self.bytes_materialized,
             self.failed_trylocks,
             self.rank_max,
@@ -280,6 +298,57 @@ impl RankStats {
     }
 }
 
+/// Scheduling-latency accounting for the serving mode: per executed
+/// task, the latency is `pop instant − ready instant` (how long a ready
+/// task waited in the scheduler, in µs of the run's clock — virtual time
+/// under `mp-sim`, so the numbers are bit-deterministic).
+///
+/// Always compiled (like [`RankStats`]): serving latency is a product
+/// metric surfaced on serve reports, not an opt-in debug counter.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LatencyStats {
+    /// Tasks observed.
+    pub count: u64,
+    /// Sum of latencies (µs).
+    pub sum_us: u64,
+    /// Worst latency (µs).
+    pub max_us: u64,
+    /// Exponential histogram: bucket 0 = 0 µs, bucket `i >= 1` counts
+    /// latencies in `[2^(i-1), 2^i)` µs.
+    pub hist: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Record one task's scheduling latency in µs.
+    pub fn record(&mut self, us: u64) {
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+        let b = RankStats::bucket(us);
+        if self.hist.len() <= b {
+            self.hist.resize(b + 1, 0);
+        }
+        self.hist[b] += 1;
+    }
+
+    /// Mean latency in µs (0.0 when nothing was recorded).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another window of observations into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        merge_vec(&mut self.hist, &other.hist);
+    }
+}
+
 fn merge_vec(into: &mut Vec<u64>, from: &[u64]) {
     if into.len() < from.len() {
         into.resize(from.len(), 0);
@@ -344,6 +413,7 @@ impl ObsCell {
         snap.cache_misses += self.get(Counter::CacheMisses);
         snap.cache_invalidations += self.get(Counter::CacheInvalidations);
         snap.bytes_materialized += self.get(Counter::BytesMaterialized);
+        snap.cache_evictions += self.get(Counter::CacheEvictions);
     }
 
     /// Snapshot just this cell.

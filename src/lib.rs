@@ -16,6 +16,7 @@ pub use mp_perfmodel as perfmodel;
 pub use mp_platform as platform;
 pub use mp_runtime as runtime;
 pub use mp_sched as sched;
+pub use mp_serve as serve;
 pub use mp_sim as sim;
 pub use mp_trace as trace;
 pub use multiprio;

@@ -19,7 +19,9 @@ use multiprio_suite::apps::dense::{potrf, DenseConfig};
 use multiprio_suite::apps::fmm::{fmm, Distribution, FmmConfig};
 use multiprio_suite::apps::random::{random_dag, random_model, RandomDagConfig};
 use multiprio_suite::apps::{dense_model, fmm_model};
-use multiprio_suite::audit::{differential, mirror_graph, warm_cold_audit, DiffConfig, DiffReport};
+use multiprio_suite::audit::{
+    differential, mirror_graph, warm_cold_audit, warm_cold_audit_with_cache, DiffConfig, DiffReport,
+};
 use multiprio_suite::bench::make_scheduler_factory;
 use multiprio_suite::dag::TaskGraph;
 use multiprio_suite::perfmodel::PerfModel;
@@ -152,6 +154,39 @@ fn warm_cold_cache_sweep_outputs_bit_identical() {
             }
         }
     }
+}
+
+/// A byte-capped cache under the same sweep: the cap forces evictions
+/// (warm runs legitimately recompute the evicted cone), residency never
+/// exceeds the cap, and output digests stay bit-identical to the
+/// uncached reference — eviction costs recomputes, never correctness.
+#[test]
+fn capped_cache_evicts_under_pressure_but_stays_bit_identical() {
+    let platform = simple(3, 1);
+    let (wname, graph, model) = &workloads().swap_remove(2);
+    let factory = make_scheduler_factory("multiprio");
+    // Small enough to churn on this workload, big enough to hold a few
+    // entries at a time.
+    let cap = 4 * 1024u64;
+    let cache = Arc::new(multiprio_suite::runtime::ResultCache::with_capacity(cap));
+    let cfg = DiffConfig::default();
+    let report = warm_cold_audit_with_cache(graph, &platform, model, &*factory, &cfg, &cache);
+    assert!(
+        report.is_clean(),
+        "{wname}: {} mismatch(es), first: {}",
+        report.mismatches.len(),
+        report.mismatches[0]
+    );
+    assert!(
+        cache.evictions() > 0,
+        "cap {cap} never pressed on {wname} (used {} bytes) — shrink it",
+        cache.used_bytes()
+    );
+    assert!(cache.used_bytes() <= cap, "residency exceeded the cap");
+    assert!(
+        report.warm_executed > 0,
+        "every entry survived despite evictions"
+    );
 }
 
 /// The runtime's span order must be deterministic: wall-clock `end`
