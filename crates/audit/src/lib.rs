@@ -366,6 +366,96 @@ pub fn streaming_audit(graph: &TaskGraph, trace: &mp_trace::Trace) -> Vec<Mismat
     out
 }
 
+/// [`streaming_audit`] for a **cache-backed** serving run.
+///
+/// A task served from the [`mp_runtime::ResultCache`] completes at its
+/// release instant and records no trace span, so exactly-once relaxes
+/// to *at most once* — plus an exact hit ledger: the number of
+/// span-less tasks must equal the `cache_hits` the report claims
+/// ([`mp_runtime::StreamReport::cache_hits`]). A hit that silently
+/// swallowed a task the cache never served (or a double execution
+/// slipping through as a "hit") therefore surfaces as
+/// [`Mismatch::CacheCoverage`] or [`Mismatch::ExecutionCount`].
+/// Precedence applies to the executed spans exactly as in the uncached
+/// audit; span-less (hit) predecessors are release-ordered by
+/// construction.
+///
+/// With `cache_hits == 0` this is equivalent to [`streaming_audit`].
+pub fn streaming_audit_cached(
+    graph: &TaskGraph,
+    trace: &mp_trace::Trace,
+    cache_hits: u64,
+) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let mut count = vec![0usize; graph.task_count()];
+    for s in &trace.tasks {
+        if s.task.index() < count.len() {
+            count[s.task.index()] += 1;
+        }
+    }
+    for (i, &c) in count.iter().enumerate() {
+        if c > 1 {
+            out.push(Mismatch::ExecutionCount {
+                side: Side::Runtime,
+                task: mp_dag::ids::TaskId::from_index(i),
+                count: c,
+            });
+        }
+    }
+    let executed = count.iter().filter(|&&c| c > 0).count();
+    let expected = graph.task_count().saturating_sub(cache_hits as usize);
+    if executed != expected {
+        out.push(Mismatch::CacheCoverage { executed, expected });
+    }
+    diff::check_precedence(graph, trace, Side::Runtime, &mut out);
+    out
+}
+
+/// Result of [`streaming_warm_cold_audit`].
+#[derive(Debug)]
+pub struct StreamingWarmColdReport {
+    /// Findings of the cache-aware streaming checks
+    /// ([`streaming_audit_cached`]) over the served trace.
+    pub streaming: Vec<Mismatch>,
+    /// The warm/cold digest proof re-run over the grown graph.
+    pub warm_cold: WarmColdReport,
+}
+
+impl StreamingWarmColdReport {
+    /// Did both layers pass?
+    pub fn is_clean(&self) -> bool {
+        self.streaming.is_empty() && self.warm_cold.is_clean()
+    }
+}
+
+/// Audit a cache-backed streaming run end to end: the cache-aware
+/// serving invariants over the trace ([`streaming_audit_cached`]),
+/// *plus* a warm/cold digest proof ([`warm_cold_audit`]) over the
+/// **grown graph** the stream left behind — the final graph is a closed
+/// DAG, so the three-run (reference / cold / warm) bit-identical-digest
+/// check applies to it directly, covering exactly the sub-DAG shapes
+/// and cross-submission edges the stream produced. Honors
+/// [`DiffConfig::shards`], [`DiffConfig::faults`] and
+/// [`DiffConfig::retry`], so the digest proof also runs under
+/// kill/transient fault plans.
+///
+/// Pass the post-serve [`mp_runtime::Runtime::graph`], the
+/// [`mp_runtime::StreamReport`]'s trace and `cache_hits`.
+pub fn streaming_warm_cold_audit(
+    graph: &TaskGraph,
+    trace: &mp_trace::Trace,
+    cache_hits: u64,
+    platform: &Platform,
+    model: &Arc<dyn PerfModel>,
+    factory: &dyn Fn() -> Box<dyn Scheduler>,
+    cfg: &DiffConfig,
+) -> StreamingWarmColdReport {
+    StreamingWarmColdReport {
+        streaming: streaming_audit_cached(graph, trace, cache_hits),
+        warm_cold: warm_cold_audit(graph, platform, model, factory, cfg),
+    }
+}
+
 /// The per-side checks: exactly-once execution (effectively-once under
 /// retryable faults) and precedence order. A truncated trace (the side
 /// failed mid-run) flags the truncation once instead of one
@@ -602,6 +692,113 @@ mod tests {
         let last = early.tasks.len() - 1;
         early.tasks[last].start = -1.0;
         assert!(!streaming_audit(rt.graph(), &early).is_empty());
+    }
+
+    /// A cache-backed stream of write-only fork-join sub-DAGs: identical
+    /// resubmissions hit, so the trace holds spans only for the cold
+    /// rounds.
+    fn served_warm_stream() -> (mp_runtime::Runtime, mp_runtime::StreamReport) {
+        use mp_runtime::serve::TenantSpec;
+        use mp_runtime::{Runtime, StreamConfig, Submission, TaskBuilder};
+
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 5.0 });
+        let mut rt = Runtime::new(mp_platform::presets::homogeneous(2), model);
+        rt.set_cache(Arc::new(mp_runtime::ResultCache::new()));
+        let d = rt.register(vec![0.0], "d");
+        let cfg = StreamConfig::new(TenantSpec::equal(2));
+        let stream: Vec<Submission> = (0..8)
+            .map(|i| Submission {
+                tenant: i % 2,
+                tasks: vec![
+                    TaskBuilder::new("K")
+                        .access(d, AccessMode::Write)
+                        .cpu(|ctx| ctx.w(0)[0] = 3.0),
+                    TaskBuilder::new("K")
+                        .access(d, AccessMode::Read)
+                        .cpu(|_| {}),
+                ],
+            })
+            .collect();
+        let report = rt
+            .serve(Box::new(FifoScheduler::new()), &cfg, stream)
+            .expect("serve failed");
+        assert!(report.is_complete(), "{:?}", report.error);
+        assert!(report.cache_hits > 0, "warm stream should hit");
+        (rt, report)
+    }
+
+    #[test]
+    fn cached_streaming_audit_accounts_for_every_hit() {
+        let (rt, report) = served_warm_stream();
+        let clean = streaming_audit_cached(rt.graph(), &report.trace, report.cache_hits);
+        assert!(clean.is_empty(), "{clean:?}");
+        // The uncached audit would flag each span-less hit as a lost
+        // task — the cached variant must account for them exactly.
+        assert!(!streaming_audit(rt.graph(), &report.trace).is_empty());
+        // A lying hit count is caught...
+        assert!(
+            streaming_audit_cached(rt.graph(), &report.trace, report.cache_hits + 1)
+                .iter()
+                .any(|m| matches!(m, Mismatch::CacheCoverage { .. }))
+        );
+        // ...and so is a double execution smuggled in as a "hit".
+        let mut doubled = report.trace.clone();
+        let dup = doubled.tasks[0].clone();
+        doubled.tasks.push(dup);
+        assert!(
+            streaming_audit_cached(rt.graph(), &doubled, report.cache_hits)
+                .iter()
+                .any(|m| matches!(m, Mismatch::ExecutionCount { count: 2, .. }))
+        );
+    }
+
+    #[test]
+    fn streaming_warm_cold_audit_is_clean_over_the_grown_graph() {
+        let (rt, report) = served_warm_stream();
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 5.0 });
+        let audit = streaming_warm_cold_audit(
+            rt.graph(),
+            &report.trace,
+            report.cache_hits,
+            &simple(2, 1),
+            &model,
+            &|| Box::new(FifoScheduler::new()),
+            &DiffConfig::default(),
+        );
+        assert!(audit.is_clean(), "{:?}", audit);
+        assert_eq!(audit.warm_cold.warm_executed, 0);
+        assert_eq!(
+            audit.warm_cold.warm_digest,
+            audit.warm_cold.reference_digest
+        );
+    }
+
+    #[test]
+    fn streaming_warm_cold_audit_survives_kill_and_transient_faults() {
+        let (rt, report) = served_warm_stream();
+        let model: Arc<dyn PerfModel> = Arc::new(UniformModel { time_us: 5.0 });
+        let cfg = DiffConfig {
+            faults: Some(FaultPlan {
+                transient_fail_prob: 0.3,
+                ..FaultPlan::default().kill_worker(0, 1)
+            }),
+            retry: RetryPolicy::new(8, 0.0),
+            ..DiffConfig::default()
+        };
+        let audit = streaming_warm_cold_audit(
+            rt.graph(),
+            &report.trace,
+            report.cache_hits,
+            &simple(2, 1),
+            &model,
+            &|| Box::new(FifoScheduler::new()),
+            &cfg,
+        );
+        assert!(audit.is_clean(), "{:?}", audit);
+        assert_eq!(
+            audit.warm_cold.warm_digest,
+            audit.warm_cold.reference_digest
+        );
     }
 
     #[test]

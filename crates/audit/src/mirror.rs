@@ -43,11 +43,18 @@ pub fn mirror_graph(
 
 /// Like [`mirror_graph`], but with *computing* kernels: every task
 /// folds its readable buffers into an accumulator and writes a value
-/// derived from it (plus the task index and access position) into every
-/// written element. Deterministic, input-dependent and order-sensitive
-/// — if a result cache ever materializes stale or corrupted bytes, the
-/// divergence propagates to the final buffer digest. Used by
-/// [`warm_cold_audit`](crate::warm_cold_audit).
+/// derived from it (plus a per-task salt and access position) into
+/// every written element. Deterministic, input-dependent and
+/// order-sensitive — if a result cache ever materializes stale or
+/// corrupted bytes, the divergence propagates to the final buffer
+/// digest. Used by [`warm_cold_audit`](crate::warm_cold_audit).
+///
+/// The salt is the task's cache-fingerprint key when it carries one
+/// (falling back to the task index): the cache presumes
+/// fingerprint-identical tasks compute the same function, so the
+/// mirror must honor that — a graph grown by warm resubmission
+/// legitimately contains such twins, and a within-run hit between them
+/// must reproduce the reference digest, not corrupt it.
 pub fn mirror_graph_computing(
     graph: &TaskGraph,
     platform: &Platform,
@@ -57,11 +64,11 @@ pub fn mirror_graph_computing(
 }
 
 fn computing_kernel(
-    task_idx: usize,
+    seed: u64,
     modes: Vec<AccessMode>,
 ) -> impl Fn(&mut TaskCtx<'_>) + Send + Sync + Clone {
     move |ctx: &mut TaskCtx<'_>| {
-        let mut acc = 1.0 + task_idx as f64;
+        let mut acc = 1.0 + (seed % 8191) as f64;
         for (i, m) in modes.iter().enumerate() {
             if m.reads() {
                 acc += ctx.r(i).iter().sum::<f64>() * (i as f64 + 1.0);
@@ -69,7 +76,7 @@ fn computing_kernel(
         }
         for (i, m) in modes.iter().enumerate() {
             if m.writes() {
-                let salt = (task_idx * 31 + i) as f64;
+                let salt = ((seed >> 13) % 4096) as f64 * 31.0 + i as f64;
                 for (j, v) in ctx.w(i).iter_mut().enumerate() {
                     *v = acc * 0.5 + salt + j as f64 * 1e-3;
                 }
@@ -99,7 +106,11 @@ fn mirror_with(
         }
         if computing {
             let modes: Vec<AccessMode> = task.accesses.iter().map(|a| a.mode).collect();
-            let kernel = computing_kernel(task.id.index(), modes);
+            let seed = graph
+                .cache_meta(task.id)
+                .map(|m| m.key)
+                .unwrap_or(task.id.index() as u64);
+            let kernel = computing_kernel(seed, modes);
             if ttype.cpu_impl {
                 tb = tb.cpu(kernel.clone());
             }

@@ -10,6 +10,16 @@
 //! number in the emitted JSON derives from virtual time, so
 //! `BENCH_serve.json` itself is bit-deterministic across repeats.
 //!
+//! A second sweep benchmarks **warm serving**: the same open-loop
+//! stream under a 20×-overload arrival process, cache off (cold) vs a
+//! fresh [`mp_cache::ResultCache`] (warm), at mutation fractions 0 and
+//! 0.25 ([`mp_serve::SubDagShape::mutation_frac`]). With mutation 0
+//! every resubmission past the pool-warmup rounds is served from the
+//! cache, so the gate requires ≥95 % hit rate and a ≥5× served-tasks
+//! throughput speedup over cold; warm runs must stay bit-deterministic
+//! too. Emits `BENCH_serve_cache.json` (override
+//! `BENCH_SERVE_CACHE_OUT`).
+//!
 //! Emits `BENCH_serve.json` at the repository root (override with
 //! `BENCH_SERVE_OUT`). Exits non-zero on a determinism violation, an
 //! incomplete run (stall), or an admission ledger that does not balance.
@@ -19,10 +29,11 @@
 use std::fmt::Write as _;
 
 use mp_bench::make_scheduler;
+use mp_cache::ResultCache;
 use mp_perfmodel::{PerfModel, TableModel, TimeFn};
 use mp_platform::presets::homogeneous;
 use mp_platform::types::ArchClass;
-use mp_serve::{serve_sim, ArrivalProcess, ServeConfig, ServeReport, TenantSpec};
+use mp_serve::{serve_sim, serve_sim_cached, ArrivalProcess, ServeConfig, ServeReport, TenantSpec};
 
 /// Per-task service time in virtual µs (every task of the fork-join).
 const TASK_US: f64 = 25.0;
@@ -141,6 +152,171 @@ fn main() {
             });
         }
     }
+
+    // ---- Warm-resubmission cache scenario: near-identical sub-DAG
+    // streams under 20× overload, cache off vs on. Cold is
+    // service-limited; warm collapses to the arrival span because hits
+    // complete at release without ever entering the scheduler.
+    struct CacheRow {
+        workers: usize,
+        mutation_frac: f64,
+        submissions: usize,
+        cold_decisions: u64,
+        warm_decisions: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+        hit_rate: f64,
+        cold_served_per_sec: f64,
+        warm_served_per_sec: f64,
+        speedup_served: f64,
+        cold_hash: u64,
+        warm_hash: u64,
+    }
+    let cache_workers: &[usize] = if quick { &[16] } else { &[16, 32] };
+    let cache_submissions = if quick { 1_000 } else { 10_000 };
+    let mut crows: Vec<CacheRow> = Vec::new();
+
+    eprintln!("== warm serving (cache-backed resubmission, 20x overload) ==");
+    for &workers in cache_workers {
+        for &mf in &[0.0f64, 0.25] {
+            let rate = (workers as f64 * 1e6 / TASK_US / TASKS_PER_SUBDAG * 20.0).round();
+            let run_cached = |cache: Option<&ResultCache>| -> ServeReport {
+                let platform = homogeneous(workers);
+                let model = TableModel::builder()
+                    .set("SRV", ArchClass::Cpu, TimeFn::Const(TASK_US))
+                    .build();
+                let model: &dyn PerfModel = &model;
+                let mut sched = make_scheduler("prio");
+                let mut cfg = ServeConfig::new(
+                    tenants(),
+                    ArrivalProcess::Poisson { rate_per_sec: rate },
+                    cache_submissions,
+                );
+                // Overload on purpose: admission must not shed load, or
+                // cold and warm would serve different streams.
+                cfg.admission.max_in_flight = 1 << 30;
+                cfg.subdag.mutation_frac = mf;
+                serve_sim_cached(&platform, model, sched.as_mut(), &cfg, cache)
+            };
+            let served_per_sec = |r: &ServeReport| r.tasks_completed as f64 / r.makespan_us * 1e6;
+
+            let cold = run_cached(None);
+            let cold2 = run_cached(None);
+            let warm = run_cached(Some(&ResultCache::new()));
+            let warm2 = run_cached(Some(&ResultCache::new()));
+            for (label, a, b) in [("cold", &cold, &cold2), ("warm", &warm, &warm2)] {
+                if a.schedule_hash != b.schedule_hash {
+                    eprintln!(
+                        "!! {workers}w mf={mf}: {label} schedule hash diverged across \
+                         repeats ({:016x} vs {:016x})",
+                        a.schedule_hash, b.schedule_hash
+                    );
+                    failed = true;
+                }
+                if !a.is_complete() {
+                    eprintln!(
+                        "!! {workers}w mf={mf}: {label} run incomplete ({}/{} tasks, error {:?})",
+                        a.tasks_completed, a.tasks_admitted, a.error
+                    );
+                    failed = true;
+                }
+                if a.subdags_rejected != 0 {
+                    eprintln!(
+                        "!! {workers}w mf={mf}: {label} rejected {} sub-DAGs under \
+                         unbounded admission",
+                        a.subdags_rejected
+                    );
+                    failed = true;
+                }
+            }
+            if cold.cache_hits != 0 || cold.cache_misses != 0 {
+                eprintln!("!! {workers}w mf={mf}: cache-off run reported cache traffic");
+                failed = true;
+            }
+            let hit_rate = warm.cache_hits as f64 / warm.tasks_admitted as f64;
+            let speedup = served_per_sec(&warm) / served_per_sec(&cold);
+            // The acceptance gate applies to pure resubmission: the
+            // stream past pool warmup is all hits and the scheduler is
+            // out of the path entirely.
+            if mf == 0.0 && hit_rate < 0.95 {
+                eprintln!("!! {workers}w mf=0: hit rate {hit_rate:.3} below 0.95 gate");
+                failed = true;
+            }
+            if mf == 0.0 && speedup < 5.0 {
+                eprintln!("!! {workers}w mf=0: warm speedup {speedup:.2}x below 5x gate");
+                failed = true;
+            }
+            eprintln!(
+                "   {workers:>2}w mf {mf:.2}  hits {:>6}  misses {:>5}  hit-rate {:>5.1}%  \
+                 cold {:>9.0} t/s  warm {:>10.0} t/s  speedup {:>5.1}x",
+                warm.cache_hits,
+                warm.cache_misses,
+                hit_rate * 100.0,
+                served_per_sec(&cold),
+                served_per_sec(&warm),
+                speedup
+            );
+            crows.push(CacheRow {
+                workers,
+                mutation_frac: mf,
+                submissions: cache_submissions,
+                cold_decisions: cold.decisions,
+                warm_decisions: warm.decisions,
+                cache_hits: warm.cache_hits,
+                cache_misses: warm.cache_misses,
+                hit_rate,
+                cold_served_per_sec: served_per_sec(&cold),
+                warm_served_per_sec: served_per_sec(&warm),
+                speedup_served: speedup,
+                cold_hash: cold.schedule_hash,
+                warm_hash: warm.schedule_hash,
+            });
+        }
+    }
+
+    let mut cj = String::new();
+    let _ = writeln!(cj, "{{");
+    let _ = writeln!(cj, "  \"schema\": \"bench-serve-cache/v1\",");
+    let _ = writeln!(cj, "  \"quick\": {quick},");
+    let _ = writeln!(cj, "  \"policy\": \"prio\",");
+    let _ = writeln!(cj, "  \"task_us\": {TASK_US},");
+    let _ = writeln!(cj, "  \"overload\": 20.0,");
+    let _ = writeln!(cj, "  \"rows\": [");
+    for (i, r) in crows.iter().enumerate() {
+        let comma = if i + 1 < crows.len() { "," } else { "" };
+        let _ = writeln!(
+            cj,
+            "    {{\"workers\": {}, \"mutation_frac\": {:.2}, \"submissions\": {}, \
+             \"cold_decisions\": {}, \"warm_decisions\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"hit_rate\": {:.4}, \"cold_served_per_sec\": {:.1}, \
+             \"warm_served_per_sec\": {:.1}, \"speedup_served\": {:.2}, \
+             \"cold_schedule_hash\": \"{:016x}\", \"warm_schedule_hash\": \"{:016x}\"}}{comma}",
+            r.workers,
+            r.mutation_frac,
+            r.submissions,
+            r.cold_decisions,
+            r.warm_decisions,
+            r.cache_hits,
+            r.cache_misses,
+            r.hit_rate,
+            r.cold_served_per_sec,
+            r.warm_served_per_sec,
+            r.speedup_served,
+            r.cold_hash,
+            r.warm_hash
+        );
+    }
+    let _ = writeln!(cj, "  ],");
+    let _ = writeln!(cj, "  \"failed\": {failed}");
+    let _ = writeln!(cj, "}}");
+    let cache_out = std::env::var("BENCH_SERVE_CACHE_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_serve_cache.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    std::fs::write(&cache_out, &cj).expect("write BENCH_serve_cache.json");
+    eprintln!("wrote {cache_out}");
 
     // ---- JSON emission (hand-rolled: no serde_json in this tree).
     // Virtual-time quantities only — the file is repeat-deterministic.

@@ -43,6 +43,16 @@
 //! p50/p99 *scheduling latency*, the admission ledger and the
 //! per-tenant fairness breakdown. Bit-deterministic: the same flags
 //! print the same numbers on every machine.
+//!
+//! `--serve --cache` runs the cache-backed warm-serving scenario
+//! (DESIGN.md §13): the same deterministic sub-DAG stream is served
+//! once cold (no cache) and once against a fresh result cache, where
+//! every resubmission over a tenant's slot pool after the first hits
+//! end to end and bypasses the scheduler. Defaults to a 20x-overload
+//! arrival rate with unbounded admission so the warm run is
+//! arrival-limited rather than service-limited. `--mutate-frac F`
+//! perturbs a fraction of arrivals so only their dirty cones
+//! re-execute. Prints hit-rate and warm/cold served-tasks/sec speedup.
 
 use mp_bench::figures::{fig3, fig4, fig5, fig6, fig7, fig8, table2};
 use mp_sim::{FaultPlan, RetryPolicy};
@@ -127,6 +137,10 @@ fn main() {
         .position(|a| a == "--serve")
         .map(|i| args.remove(i))
         .is_some();
+    if serve_mode && warm_runs.is_some() {
+        eprintln!("--warm-runs applies to the closed-DAG --cache demo, not --serve --cache");
+        std::process::exit(2);
+    }
     let arrivals = take_value(&mut args, "--arrivals");
     let positive = |flag: &str, v: String| {
         v.parse::<usize>()
@@ -156,6 +170,17 @@ fn main() {
         return;
     }
     let full = args.iter().any(|a| a == "--full");
+    if serve_mode && cache_mode {
+        serve_cache_demo(
+            arrivals,
+            tenants.unwrap_or(4),
+            workers.unwrap_or(16),
+            submissions.unwrap_or(if full { 10_000 } else { 1_000 }),
+            policy.as_deref().unwrap_or("prio"),
+            mutate_frac.unwrap_or(0.0),
+        );
+        return;
+    }
     if cache_mode {
         cache_demo(full, warm_runs.unwrap_or(2), mutate_frac.unwrap_or(0.0));
         return;
@@ -504,6 +529,109 @@ fn serve_demo(
             report.tasks_completed, report.tasks_admitted, report.error
         );
         std::process::exit(1);
+    }
+}
+
+/// Cache-backed warm-serving demo (DESIGN.md §13): the same seeded
+/// sub-DAG stream served cold (no cache) and warm (fresh result cache,
+/// so every resubmission over a tenant's slot pool after the first hits
+/// at release and never enters the scheduler). Runs at 20x overload
+/// with unbounded admission so the warm run is arrival-limited and the
+/// served-tasks/sec speedup is visible; `mutate_frac` perturbs a
+/// fraction of arrivals so only their dirty cones re-execute.
+fn serve_cache_demo(
+    arrivals: Option<String>,
+    tenants: usize,
+    workers: usize,
+    submissions: usize,
+    policy: &str,
+    mutate_frac: f64,
+) {
+    use mp_bench::make_scheduler;
+    use mp_perfmodel::{TableModel, TimeFn};
+    use mp_platform::types::ArchClass;
+    use mp_serve::{serve_sim_cached, ArrivalProcess, ServeConfig, TenantSpec};
+    use mp_sim::ResultCache;
+
+    /// Per-task virtual service time (µs) under the demo model.
+    const TASK_US: f64 = 25.0;
+    /// Root + width mids + join under the default [`SubDagShape`].
+    const TASKS_PER_SUBDAG: f64 = 6.0;
+    let arrivals = match arrivals {
+        Some(s) => ArrivalProcess::parse(&s).unwrap_or_else(|e| {
+            eprintln!("--arrivals: {e}");
+            std::process::exit(2);
+        }),
+        // 20x overload: the cold run is service-limited, the warm run
+        // collapses to the arrival span.
+        None => ArrivalProcess::Poisson {
+            rate_per_sec: (workers as f64 * 1e6 / TASK_US / TASKS_PER_SUBDAG * 20.0).round(),
+        },
+    };
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|i| TenantSpec::new(format!("t{i}"), (tenants - i) as f64))
+        .collect();
+    let mut cfg = ServeConfig::new(specs, arrivals.clone(), submissions);
+    cfg.admission.max_in_flight = 1 << 30;
+    cfg.subdag.mutation_frac = mutate_frac;
+    let platform = mp_platform::presets::homogeneous(workers);
+    let model = TableModel::builder()
+        .set("SRV", ArchClass::Cpu, TimeFn::Const(TASK_US))
+        .build();
+    let served_per_sec = |r: &mp_serve::ServeReport| {
+        if r.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        r.tasks_completed as f64 / (r.makespan_us / 1e6)
+    };
+
+    let mut sched = make_scheduler(policy);
+    let cold = serve_sim_cached(&platform, &model, sched.as_mut(), &cfg, None);
+    let cache = ResultCache::new();
+    let mut sched = make_scheduler(policy);
+    let warm = serve_sim_cached(&platform, &model, sched.as_mut(), &cfg, Some(&cache));
+    for (label, r) in [("cold", &cold), ("warm", &warm)] {
+        if !r.is_complete() {
+            eprintln!(
+                "{label} serve run incomplete: {}/{} tasks, error {:?}",
+                r.tasks_completed, r.tasks_admitted, r.error
+            );
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "== warm serving: {policy}, {workers} workers, {}, {submissions} sub-DAG submissions, \
+         mutate {mutate_frac:.2} ==",
+        arrivals.label()
+    );
+    println!(
+        "cold: {:10.0} served tasks/s  {:8} decisions  makespan {:10.0} µs  hash {:#018x}",
+        served_per_sec(&cold),
+        cold.decisions,
+        cold.makespan_us,
+        cold.schedule_hash
+    );
+    println!(
+        "warm: {:10.0} served tasks/s  {:8} decisions  makespan {:10.0} µs",
+        served_per_sec(&warm),
+        warm.decisions,
+        warm.makespan_us
+    );
+    let total = warm.cache_hits + warm.cache_misses;
+    println!(
+        "warm cache: {} hits / {} misses ({:.1}% hit-rate)  speedup {:.1}x served/s",
+        warm.cache_hits,
+        warm.cache_misses,
+        warm.cache_hits as f64 / (total.max(1)) as f64 * 100.0,
+        served_per_sec(&warm) / served_per_sec(&cold).max(1e-9),
+    );
+    println!("tenant     weight   adm   hits  completed");
+    for t in &warm.tenants {
+        println!(
+            "{:10} {:6.1} {:6} {:6} {:10}",
+            t.name, t.weight, t.subdags_admitted, t.cache_hits, t.tasks_completed
+        );
     }
 }
 

@@ -34,7 +34,7 @@
 //!   of an evicted key is a plain miss), never correctness.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use mp_dag::graph::CacheMeta;
 use mp_dag::{AccessMode, StfBuilder, TaskGraph, TaskId};
@@ -156,13 +156,26 @@ impl ResultCache {
         }
     }
 
+    /// Lock the cache state, recovering from poisoning. A worker that
+    /// panics mid-`insert` (e.g. a `KernelPanicked` kernel whose payload
+    /// clone trips a debug assertion) poisons the mutex; every cache
+    /// operation is written so the state stays consistent at any
+    /// unwind point (stamps are allocated before indexes are linked),
+    /// so the worst a recovered guard can observe is a missing or
+    /// stale entry — a recompute, never wrong data. Wedging every
+    /// later lookup behind an `unwrap` panic would turn one dead
+    /// worker into a dead serving process.
+    fn state(&self) -> MutexGuard<'_, CacheState> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Probe for `meta.key`, verifying the stored fingerprint. With
     /// `need_payload` (the threaded runtime), payload-less entries are
     /// misses — the sim and the runtime can share one cache without the
     /// runtime ever "hitting" an entry it cannot materialize. A hit
     /// refreshes the entry's LRU recency.
     pub fn lookup(&self, meta: &CacheMeta, need_payload: bool) -> Lookup {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.state();
         let Some(slot) = st.map.get(&meta.key) else {
             return Lookup::Miss;
         };
@@ -192,7 +205,7 @@ impl ResultCache {
             bytes,
         });
         let cost = charge(&entry);
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.state();
         st.remove(meta.key);
         if let Some(cap) = self.capacity {
             if cost > cap {
@@ -211,7 +224,7 @@ impl ResultCache {
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().map.len()
+        self.state().map.len()
     }
 
     /// True when no entries are stored.
@@ -222,7 +235,7 @@ impl ResultCache {
     /// Resident charge in bytes (payload + per-entry overhead). Always
     /// `<=` the configured capacity, when one is set.
     pub fn used_bytes(&self) -> u64 {
-        self.inner.lock().unwrap().used_bytes
+        self.state().used_bytes
     }
 
     /// Configured byte capacity, `None` when unbounded.
@@ -232,12 +245,12 @@ impl ResultCache {
 
     /// Entries evicted (or refused) by the capacity bound so far.
     pub fn evictions(&self) -> u64 {
-        self.inner.lock().unwrap().evictions
+        self.state().evictions
     }
 
     /// Drop every entry (capacity and eviction count are kept).
     pub fn clear(&self) {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.state();
         st.map.clear();
         st.order.clear();
         st.used_bytes = 0;
@@ -248,7 +261,7 @@ impl ResultCache {
     /// [`Lookup::Invalidated`], never serve the entry. Returns `false`
     /// if no entry exists under `key`.
     pub fn poison(&self, key: u64) -> bool {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.state();
         match st.map.get_mut(&key) {
             Some(slot) => {
                 let mut e = (*slot.entry).clone();
@@ -474,6 +487,38 @@ mod tests {
         ));
         assert_eq!(cache.used_bytes(), 0);
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn panicked_holder_does_not_wedge_the_cache() {
+        // A thread that panics while holding the cache lock poisons the
+        // mutex. Every later operation must keep working (recovered
+        // guard), not propagate the poison panic — one dead worker must
+        // not turn into a dead serving process.
+        let g = chain(1.0);
+        let cache = Arc::new(ResultCache::new());
+        cache.insert(meta(&g, 0), Some(vec![vec![1.0; 8]]), 64);
+        let poisoner = Arc::clone(&cache);
+        let key = meta(&g, 0).key;
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state();
+            panic!("worker dies holding the cache lock");
+        })
+        .join();
+        assert!(cache.inner.is_poisoned(), "test setup: mutex not poisoned");
+        // Reads, writes, maintenance — all still usable.
+        assert!(matches!(cache.lookup(meta(&g, 0), true), Lookup::Hit(_)));
+        cache.insert(meta(&g, 1), None, 64);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.used_bytes() > 0);
+        assert_eq!(cache.evictions(), 0);
+        assert!(cache.poison(key));
+        assert!(matches!(
+            cache.lookup(meta(&g, 0), true),
+            Lookup::Invalidated
+        ));
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -333,7 +333,7 @@ pub struct Runtime {
     retry: RetryPolicy,
     /// Shared content-addressed result cache (`None` = caching off).
     /// A hit skips execution entirely — see [`Runtime::set_cache`].
-    cache: Option<Arc<ResultCache>>,
+    pub(crate) cache: Option<Arc<ResultCache>>,
     /// Fallback-estimate warnings, deduped per (task type, arch) across
     /// every run of this runtime — a warm re-run never re-prints them,
     /// and cache-hit tasks never reach the estimator at all.

@@ -13,10 +13,20 @@
 //!   per tenant, rejecting overflowing submissions whole with a typed
 //!   [`AdmitError`];
 //! * every admitted task carries its tenant's weight-scaled
-//!   [`effective_priority`] through the normal `user_priority` channel
-//!   (starvation aging is a virtual-time notion and lives in
-//!   `serve_sim` only — wall-clock progress timestamps would make the
-//!   priority sequence nondeterministic).
+//!   [`effective_priority`] through the normal `user_priority` channel,
+//!   with starvation aging driven by the driver's **virtual arrival
+//!   clock** and the tenant completion ledger
+//!   ([`StreamConfig::arrival_gap_us`]) — never by wall time, so the
+//!   boost a given arrival/completion interleaving produces is
+//!   reproducible;
+//! * when a [`mp_cache::ResultCache`] is installed
+//!   ([`Runtime::set_cache`]), every released task is probed before it
+//!   reaches the front-end: a verified payload-carrying hit
+//!   materializes the memoized buffers under the write locks and
+//!   completes in place — never pushed, popped or estimated — with the
+//!   cascade of all-hit successors drained in the same step, exactly as
+//!   the batch engine's cache path. A warm resubmission of an identical
+//!   sub-DAG therefore costs no scheduler or queue capacity at all.
 //!
 //! The driver runs on the calling thread; workers drive any
 //! [`ConcurrentScheduler`] front-end (global-lock, sharded, relaxed).
@@ -25,18 +35,19 @@
 //! sub-DAG under the write guard, so a completion can never race the
 //! indegree snapshot of a commit. Kernels execute outside the guard.
 //!
-//! Unlike the batch paths, serving does not consult the result cache
-//! and does not retry or fault-inject: a kernel panic or a misrouted
-//! task aborts the stream with a typed error and a partial trace.
+//! Unlike the batch paths, serving does not retry or fault-inject: a
+//! kernel panic or a misrouted task aborts the stream with a typed
+//! error and a partial trace.
 
 use std::collections::HashMap;
 use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+use mp_cache::{CacheEntry, Lookup};
 use mp_dag::access::AccessMode;
-use mp_dag::ids::{TaskId, TaskTypeId};
+use mp_dag::ids::{DataId, TaskId, TaskTypeId};
 use mp_dag::stf::StfBuilder;
 use mp_perfmodel::{Estimator, PerfModel};
 use mp_platform::types::{ArchClass, WorkerId};
@@ -60,11 +71,21 @@ use crate::engine::{
 pub struct StreamConfig {
     /// The tenants submissions may name (by index).
     pub tenants: Vec<TenantSpec>,
-    /// Weight-scaling fairness layer (aging fields are ignored here —
-    /// see the module docs).
+    /// Weight-scaling fairness layer. The aging knobs apply on the
+    /// driver's virtual arrival clock when [`Self::arrival_gap_us`] is
+    /// set.
     pub fairness: FairnessConfig,
     /// In-flight bounds enforced at admission.
     pub admission: AdmissionConfig,
+    /// Virtual inter-submission gap in µs: submission `i` "arrives" at
+    /// virtual instant `i * arrival_gap_us` on the driver's clock, and
+    /// starvation aging measures a tenant's progress drought on that
+    /// clock — a tenant whose completion ledger has not advanced
+    /// between its arrivals accrues [`FairnessConfig::aging_boost`]
+    /// like the virtual-time engine, without any wall-clock reads.
+    /// `0.0` (the default) disables aging: priorities are exactly the
+    /// weight-scaled base, as before.
+    pub arrival_gap_us: f64,
 }
 
 impl StreamConfig {
@@ -74,6 +95,7 @@ impl StreamConfig {
             tenants,
             fairness: FairnessConfig::default(),
             admission: AdmissionConfig::default(),
+            arrival_gap_us: 0.0,
         }
     }
 }
@@ -104,6 +126,13 @@ pub struct StreamReport {
     pub tasks_admitted: usize,
     /// Tasks that completed execution.
     pub tasks_completed: usize,
+    /// Completions served straight from the result cache: a subset of
+    /// `tasks_completed` that never reached the scheduler and records
+    /// no trace span. Always 0 without [`Runtime::set_cache`].
+    pub cache_hits: u64,
+    /// Cache probes that missed (or were invalidated) and executed
+    /// normally. Always 0 without a cache.
+    pub cache_misses: u64,
     /// Streamed submissions admitted / rejected.
     pub subdags_admitted: u64,
     /// Streamed submissions rejected with backpressure.
@@ -243,6 +272,7 @@ impl Runtime {
         let model: &dyn PerfModel = &*self.model;
         let buffers = &self.buffers;
         let sched_name = front.name();
+        let cache = self.cache.clone();
 
         let shared = RwLock::new(Shared {
             indeg: (0..pre)
@@ -267,6 +297,9 @@ impl Runtime {
         let tenant_in_flight: Vec<AtomicUsize> = (0..nt).map(|_| AtomicUsize::new(0)).collect();
         let tenant_admitted: Vec<AtomicU64> = (0..nt).map(|_| AtomicU64::new(0)).collect();
         let tenant_completed: Vec<AtomicU64> = (0..nt).map(|_| AtomicU64::new(0)).collect();
+        let tenant_cache_hits: Vec<AtomicU64> = (0..nt).map(|_| AtomicU64::new(0)).collect();
+        let cache_hits_n = AtomicU64::new(0);
+        let cache_misses_n = AtomicU64::new(0);
         tenant_in_flight[0].fetch_add(pre, Ordering::Relaxed);
         tenant_admitted[0].fetch_add(pre as u64, Ordering::Relaxed);
         let spans = Mutex::new(Vec::<TaskSpan>::new());
@@ -276,7 +309,98 @@ impl Runtime {
         let start = Instant::now();
         let now_us = || start.elapsed().as_secs_f64() * 1e6;
 
-        // Seed pre-existing sources before any worker spawns.
+        // Result-cache probe for a released task, mirroring the batch
+        // engine's `cache_complete`: on a verified payload-carrying hit
+        // the memoized buffers are copied back under the buffer write
+        // locks, the completion (tenant ledger included) is published,
+        // and newly-ready successors are probed in turn — the task
+        // never reaches the front-end, the estimator or a kernel.
+        // Returns `false` on a miss and the caller pushes as before.
+        // Callers hold a `shared` guard: a read guard on workers, the
+        // write guard on the driver — either way the graph cannot grow
+        // under the cascade, and a released task's WAR/RAW edges
+        // guarantee no live reader or writer of its written buffers.
+        let cache_complete =
+            |g: &Shared, t0: TaskId, via: Option<WorkerId>, obs: &ObsCell| -> bool {
+                let Some(rc) = cache.as_deref() else {
+                    return false;
+                };
+                let probe = |t: TaskId| -> Option<Arc<CacheEntry>> {
+                    match g.stf.graph().cache_meta(t).map(|m| rc.lookup(m, true)) {
+                        Some(Lookup::Hit(e)) => return Some(e),
+                        Some(Lookup::Invalidated) => {
+                            cache_misses_n.fetch_add(1, Ordering::Relaxed);
+                            obs.bump(Counter::CacheInvalidations);
+                            obs.bump(Counter::CacheMisses);
+                        }
+                        _ => {
+                            cache_misses_n.fetch_add(1, Ordering::Relaxed);
+                            obs.bump(Counter::CacheMisses);
+                        }
+                    }
+                    None
+                };
+                let Some(first) = probe(t0) else {
+                    return false;
+                };
+                let mut worklist = vec![(t0, first)];
+                while let Some((t, entry)) = worklist.pop() {
+                    // Materialize the payload in the same dedup'd write
+                    // order the populate path stored it.
+                    let payload = entry
+                        .payload
+                        .as_ref()
+                        .expect("payload-less entry served to the runtime");
+                    let mut written: Vec<DataId> = Vec::new();
+                    for d in g.stf.graph().task(t).writes() {
+                        if written.contains(&d) {
+                            continue;
+                        }
+                        let src = &payload[written.len()];
+                        written.push(d);
+                        let mut buf = buffers[d.index()].write().expect("buffer poisoned");
+                        buf.clear();
+                        buf.extend_from_slice(src);
+                    }
+                    cache_hits_n.fetch_add(1, Ordering::Relaxed);
+                    obs.bump(Counter::CacheHits);
+                    obs.add(Counter::BytesMaterialized, entry.bytes);
+                    g.done[t.index()].store(true, Ordering::Release);
+                    let ti = g.tenant_of[t.index()] as usize;
+                    tenant_in_flight[ti].fetch_sub(1, Ordering::AcqRel);
+                    tenant_completed[ti].fetch_add(1, Ordering::AcqRel);
+                    tenant_cache_hits[ti].fetch_add(1, Ordering::Relaxed);
+                    completed_tasks.fetch_add(1, Ordering::AcqRel);
+                    let now = now_us();
+                    let view = SchedView {
+                        est: Estimator::new(g.stf.graph(), platform, model),
+                        loc: &unified,
+                        load: &loads,
+                        now,
+                    };
+                    for &succ in g.stf.graph().succs(t) {
+                        if g.indeg[succ.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            g.ready_at[succ.index()].store(now.to_bits(), Ordering::Relaxed);
+                            match probe(succ) {
+                                Some(e) => worklist.push((succ, e)),
+                                None => {
+                                    front.push(succ, via, &view);
+                                    obs.bump(Counter::Pushes);
+                                }
+                            }
+                        }
+                    }
+                    let _ = front.drain_prefetches();
+                }
+                wake.notify();
+                true
+            };
+
+        // Seed pre-existing sources before any worker spawns. Snapshot
+        // the sources first: a cache hit completes in place and can
+        // drive successors' indegrees to zero mid-scan, and those are
+        // released inside `cache_complete` — the outer scan must only
+        // ever see true sources.
         {
             let g = shared.read().unwrap_or_else(|e| e.into_inner());
             let view = SchedView {
@@ -285,11 +409,16 @@ impl Runtime {
                 load: &loads,
                 now: 0.0,
             };
-            for i in 0..pre {
-                if g.indeg[i].load(Ordering::Relaxed) == 0 {
-                    front.push(TaskId::from_index(i), None, &view);
-                    driver_obs.bump(Counter::Pushes);
+            let sources: Vec<TaskId> = (0..pre)
+                .map(TaskId::from_index)
+                .filter(|t| g.indeg[t.index()].load(Ordering::Relaxed) == 0)
+                .collect();
+            for t in sources {
+                if cache_complete(&g, t, None, &driver_obs) {
+                    continue;
                 }
+                front.push(t, None, &view);
+                driver_obs.bump(Counter::Pushes);
             }
             let _ = front.drain_prefetches();
         }
@@ -312,6 +441,8 @@ impl Runtime {
                 let spans = &spans;
                 let loads = &loads;
                 let unified = &unified;
+                let cache = &cache;
+                let cache_complete = &cache_complete;
                 scope.spawn(move || {
                     let arch = platform.worker(w).arch;
                     let class = platform.arch(arch).class;
@@ -452,11 +583,37 @@ impl Runtime {
                                 },
                                 &view,
                             );
+                            // Populate the result cache before releasing
+                            // successors: clone the written buffers in
+                            // dedup'd write order — the same order a
+                            // future hit materializes them back — while
+                            // no successor can yet be re-writing them.
+                            if let Some(rc) = cache.as_deref() {
+                                if let Some(meta) = g.stf.graph().cache_meta(t) {
+                                    let mut written: Vec<DataId> = Vec::new();
+                                    let mut payload: Vec<Vec<f64>> = Vec::new();
+                                    let mut bytes = 0u64;
+                                    for d in g.stf.graph().task(t).writes() {
+                                        if written.contains(&d) {
+                                            continue;
+                                        }
+                                        written.push(d);
+                                        let buf =
+                                            buffers[d.index()].read().expect("buffer poisoned");
+                                        bytes += (buf.len() * 8) as u64;
+                                        payload.push(buf.clone());
+                                    }
+                                    rc.insert(meta, Some(payload), bytes);
+                                }
+                            }
                             g.done[t.index()].store(true, Ordering::Release);
                             for &succ in g.stf.graph().succs(t) {
                                 if g.indeg[succ.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     g.ready_at[succ.index()]
                                         .store(t_end.to_bits(), Ordering::Relaxed);
+                                    if cache_complete(&g, succ, Some(w), obs) {
+                                        continue;
+                                    }
                                     front.push(succ, Some(w), &view);
                                     obs.bump(Counter::Pushes);
                                 }
@@ -475,6 +632,14 @@ impl Runtime {
             // ---- The open-loop driver (this thread). Submissions are
             // processed in order as fast as admission allows; a
             // rejection drops the stage and moves on — no waiting.
+            //
+            // Starvation aging runs on the driver's virtual arrival
+            // clock: submission `si` arrives at `si * arrival_gap_us`,
+            // and a tenant's progress is read off the completion ledger
+            // — the boost depends only on the arrival/completion
+            // interleaving, never on wall time.
+            let mut last_progress_v = vec![0.0f64; nt];
+            let mut last_completed_seen = vec![0u64; nt];
             for (si, sub) in stream.into_iter().enumerate() {
                 if abort.load(Ordering::Acquire) {
                     admitted.push(None);
@@ -484,6 +649,23 @@ impl Runtime {
                 let spec = &cfg.tenants[ti];
                 let staged_n = sub.tasks.len();
                 let mut g = shared.write().unwrap_or_else(|e| e.into_inner());
+                let boost = if cfg.arrival_gap_us > 0.0 {
+                    let vnow = si as f64 * cfg.arrival_gap_us;
+                    let done_now = tenant_completed[ti].load(Ordering::Acquire);
+                    if done_now != last_completed_seen[ti]
+                        || tenant_in_flight[ti].load(Ordering::Acquire) == 0
+                    {
+                        // The ledger moved (or the tenant is idle):
+                        // progress, reset the drought.
+                        last_completed_seen[ti] = done_now;
+                        last_progress_v[ti] = vnow;
+                        0
+                    } else {
+                        cfg.fairness.aging_boost(vnow - last_progress_v[ti])
+                    }
+                } else {
+                    0
+                };
                 // Workers only mutate the counters under read guards, so
                 // this in-flight snapshot is exact while we hold write.
                 let in_flight = admitted_tasks.load(Ordering::Acquire)
@@ -510,7 +692,7 @@ impl Runtime {
                             spec.base_priority.saturating_add(tb.priority),
                             spec.weight,
                             &cfg.fairness,
-                            0,
+                            boost,
                         ),
                         label: if tb.label.is_empty() {
                             tb.ttype.clone()
@@ -561,11 +743,20 @@ impl Runtime {
                     load: &loads,
                     now,
                 };
-                for &t in &ids {
-                    if g.indeg[t.index()].load(Ordering::Relaxed) == 0 {
-                        front.push(t, None, &view);
-                        driver_obs.bump(Counter::Pushes);
+                // Snapshot the sources before probing: a cache hit
+                // cascade completes successors in place, and those must
+                // not be re-seen by this scan.
+                let sources: Vec<TaskId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|t| g.indeg[t.index()].load(Ordering::Relaxed) == 0)
+                    .collect();
+                for t in sources {
+                    if cache_complete(&g, t, None, &driver_obs) {
+                        continue;
                     }
+                    front.push(t, None, &view);
+                    driver_obs.bump(Counter::Pushes);
                 }
                 let _ = front.drain_prefetches();
                 drop(g);
@@ -603,6 +794,10 @@ impl Runtime {
             .iter()
             .map(|a| a.load(Ordering::Relaxed))
             .collect();
+        counters.tenant_cache_hits = tenant_cache_hits
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
         let mut tenant_rejected = vec![0u64; nt];
         let subdags_admitted = admitted.iter().filter(|a| a.is_some()).count() as u64;
         for (_, err) in &rejections {
@@ -623,6 +818,8 @@ impl Runtime {
             rejections,
             tasks_admitted: admitted_tasks.load(Ordering::Relaxed),
             tasks_completed: completed_tasks.load(Ordering::Relaxed),
+            cache_hits: cache_hits_n.load(Ordering::Relaxed),
+            cache_misses: cache_misses_n.load(Ordering::Relaxed),
             counters,
             error: run_error,
         })
@@ -753,5 +950,132 @@ mod tests {
         let f = FairnessConfig::default();
         assert_eq!(g.task(light).user_priority, f.resolution);
         assert_eq!(g.task(heavy).user_priority, 4 * f.resolution);
+    }
+
+    /// A warm-serving submission: a write-only root plus `width`
+    /// readers. Write-only roots key independently of the prior
+    /// version, so identical resubmissions on the same root hit.
+    fn warm_sub(tenant: usize, root: mp_dag::ids::DataId, width: usize) -> Submission {
+        let mut tasks = Vec::new();
+        tasks.push(
+            TaskBuilder::new("STREAM")
+                .access(root, AccessMode::Write)
+                .cpu(|ctx| ctx.w(0)[0] = 7.0)
+                .flops(10.0),
+        );
+        for _ in 0..width {
+            tasks.push(
+                TaskBuilder::new("STREAM")
+                    .access(root, AccessMode::Read)
+                    .cpu(|_| {})
+                    .flops(10.0),
+            );
+        }
+        Submission { tenant, tasks }
+    }
+
+    #[test]
+    fn warm_resubmission_bypasses_the_scheduler_on_the_threaded_path() {
+        let mut rt = Runtime::new(homogeneous(4), model());
+        rt.set_cache(Arc::new(mp_cache::ResultCache::new()));
+        let r0 = rt.register(vec![0.0], "root0");
+        let r1 = rt.register(vec![0.0], "root1");
+        let cfg = StreamConfig::new(TenantSpec::equal(2));
+        let roots = [r0, r1];
+        let stream: Vec<Submission> = (0..40).map(|i| warm_sub(i % 2, roots[i % 2], 3)).collect();
+        let report = rt
+            .serve(Box::new(EagerPrioScheduler::new()), &cfg, stream)
+            .expect("serve failed");
+        assert!(report.is_complete(), "{:?}", report.error);
+        assert_eq!(report.subdags_admitted, 40);
+        assert_eq!(report.tasks_admitted, 160);
+        assert_eq!(report.tasks_completed, 160);
+        // One cold round per root — a writer and 3 readers each — then
+        // every later release hits: the entry is always populated
+        // before the WAR/WAW chain releases the resubmitted twin, so
+        // the counts are exact despite the threading.
+        assert_eq!(report.cache_misses, 8);
+        assert_eq!(report.cache_hits, 152);
+        // Hit tasks never reached the scheduler and record no span.
+        assert_eq!(report.trace.tasks.len(), 8);
+        assert_eq!(report.counters.tenant_cache_hits.iter().sum::<u64>(), 152);
+        assert_eq!(
+            report.counters.tenant_cache_hits,
+            vec![76, 76],
+            "both tenants warm equally"
+        );
+        assert_eq!(rt.buffer(r0)[0], 7.0);
+        assert_eq!(rt.buffer(r1)[0], 7.0);
+    }
+
+    #[test]
+    fn cache_off_serving_reports_zero_cache_traffic() {
+        let mut rt = Runtime::new(homogeneous(4), model());
+        let root = rt.register(vec![0.0], "root");
+        let cfg = StreamConfig::new(TenantSpec::equal(1));
+        let stream: Vec<Submission> = (0..10).map(|_| forkjoin(0, root, 2)).collect();
+        let report = rt
+            .serve(Box::new(EagerPrioScheduler::new()), &cfg, stream)
+            .expect("serve failed");
+        assert!(report.is_complete());
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.cache_misses, 0);
+        assert_eq!(report.trace.tasks.len(), report.tasks_completed);
+    }
+
+    /// Threaded twin of the virtual-time engine's
+    /// `starvation_aging_narrows_the_latency_gap`: the boost comes off
+    /// the driver's virtual arrival clock and the completion ledger,
+    /// never wall time, so with completions provably held back the
+    /// boost ladder is exact and reproducible.
+    #[test]
+    fn virtual_clock_aging_boosts_starved_streamed_priorities() {
+        // A gate keeps every kernel from finishing while the driver
+        // commits, so the completion ledger cannot advance mid-stream.
+        let gate = Arc::new(AtomicBool::new(false));
+        let mut rt = Runtime::new(homogeneous(2), model());
+        let d = rt.register(vec![0.0], "chain");
+        let mut cfg = StreamConfig::new(TenantSpec::equal(1));
+        cfg.arrival_gap_us = 50_000.0; // one aging quantum per arrival
+        let stream: Vec<Submission> = (0..6)
+            .map(|_| {
+                let gate = gate.clone();
+                Submission {
+                    tenant: 0,
+                    tasks: vec![TaskBuilder::new("STREAM")
+                        .access(d, AccessMode::ReadWrite)
+                        .cpu(move |ctx| {
+                            while !gate.load(Ordering::Acquire) {
+                                std::thread::yield_now();
+                            }
+                            ctx.w(0)[0] += 1.0;
+                        })],
+                }
+            })
+            .collect();
+        let opener = {
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                gate.store(true, Ordering::Release);
+            })
+        };
+        let report = rt
+            .serve(Box::new(EagerPrioScheduler::new()), &cfg, stream)
+            .expect("serve failed");
+        opener.join().unwrap();
+        assert!(report.is_complete(), "{:?}", report.error);
+        let f = FairnessConfig::default();
+        for (si, ids) in report.admitted.iter().enumerate() {
+            let t = ids.as_ref().unwrap()[0];
+            let expect = f.resolution + (si as i64).min(f.max_aging_boost);
+            assert_eq!(
+                rt.graph().task(t).user_priority,
+                expect,
+                "submission {si} should carry boost {}",
+                expect - f.resolution
+            );
+        }
+        assert_eq!(rt.buffer(d)[0], 6.0);
     }
 }

@@ -26,7 +26,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
+use mp_cache::{Lookup, ResultCache};
 use mp_dag::access::AccessMode;
 use mp_dag::hash;
 use mp_dag::ids::{DataId, TaskId, TaskTypeId};
@@ -56,6 +58,12 @@ pub struct SubDagShape {
     /// chains on its predecessor by data identity (RAW/WAR/WAW on the
     /// slot's handles).
     pub pool: usize,
+    /// Fraction of submissions whose flops are deterministically
+    /// perturbed (drawn per arrival index from [`ServeConfig::seed`]).
+    /// Flops are part of the cache fingerprint, so a mutated
+    /// submission's whole sub-DAG re-executes under warm serving —
+    /// `0.0` (the default) streams bit-identical resubmissions.
+    pub mutation_frac: f64,
 }
 
 impl Default for SubDagShape {
@@ -64,6 +72,7 @@ impl Default for SubDagShape {
             width: 4,
             flops: 1000.0,
             pool: 4,
+            mutation_frac: 0.0,
         }
     }
 }
@@ -210,6 +219,9 @@ struct Engine<'e> {
     platform: &'e Platform,
     model: &'e dyn PerfModel,
     cfg: &'e ServeConfig,
+    /// Shared result cache (`None` = caching off, bit-identical to the
+    /// pre-cache engine).
+    cache: Option<&'e ResultCache>,
     stf: StfBuilder,
     loc: Unified,
     load: Loads,
@@ -232,6 +244,9 @@ struct Engine<'e> {
     latency: LatencyStats,
     samples: Vec<u64>,
     decisions: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_invalidations: u64,
     schedule_hash: u64,
     makespan: f64,
     ttype: TaskTypeId,
@@ -250,7 +265,12 @@ struct SlotHandles {
 }
 
 impl<'e> Engine<'e> {
-    fn new(platform: &'e Platform, model: &'e dyn PerfModel, cfg: &'e ServeConfig) -> Self {
+    fn new(
+        platform: &'e Platform,
+        model: &'e dyn PerfModel,
+        cfg: &'e ServeConfig,
+        cache: Option<&'e ResultCache>,
+    ) -> Self {
         assert!(!cfg.tenants.is_empty(), "serving needs at least one tenant");
         let nw = platform.worker_count();
         let mut stf = StfBuilder::new();
@@ -290,6 +310,7 @@ impl<'e> Engine<'e> {
             platform,
             model,
             cfg,
+            cache,
             stf,
             loc: Unified,
             load: Loads::new(nw),
@@ -308,6 +329,9 @@ impl<'e> Engine<'e> {
             latency: LatencyStats::default(),
             samples: Vec::new(),
             decisions: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_invalidations: 0,
             schedule_hash: hash::FNV_OFFSET,
             makespan: 0.0,
             ttype,
@@ -366,7 +390,18 @@ impl<'e> Engine<'e> {
         };
         let spec = &self.cfg.tenants[ti];
         let eff = effective_priority(spec.base_priority, spec.weight, &self.cfg.fairness, boost);
-        let flops = self.cfg.subdag.flops;
+        // Flops feed the fingerprint, so a mutated arrival is a cache
+        // miss over its whole sub-DAG. The perturbation is drawn per
+        // arrival index — a constant offset (as `resubmit_with_mutation`
+        // uses on closed DAGs) would make all mutated arrivals a second
+        // warm family that hits itself.
+        let mutate = self.cfg.subdag.mutation_frac > 0.0
+            && mp_fault::unit(self.cfg.seed, k as u64, 0xCACE) < self.cfg.subdag.mutation_frac;
+        let flops = if mutate {
+            self.cfg.subdag.flops * (1.0625 + mp_fault::unit(self.cfg.seed, k as u64, 0xF10)) + 1.0
+        } else {
+            self.cfg.subdag.flops
+        };
         let sh = &self.slots[ti][slot];
         let (ttype, root, join) = (self.ttype, sh.root, sh.join);
         let outs = sh.outs.clone();
@@ -417,8 +452,72 @@ impl<'e> Engine<'e> {
             }
         }
         for t in ready {
-            let view = self.view(now);
-            sched.push(t, None, &view);
+            self.release(sched, t, None, now);
+        }
+    }
+
+    /// Release a task whose dependencies are all met: probe the result
+    /// cache first (when one is installed) and complete verified hits
+    /// in place — never pushed, popped or estimated, no latency sample
+    /// — draining the cascade of successors those completions release.
+    /// Misses (and every task when caching is off) go to the scheduler
+    /// exactly as before.
+    fn release(&mut self, sched: &mut dyn Scheduler, t: TaskId, from: Option<WorkerId>, now: f64) {
+        let mut work = vec![(t, from)];
+        while let Some((t, from)) = work.pop() {
+            self.ready_at[t.index()] = now;
+            if !self.probe_hit(t) {
+                let view = self.view(now);
+                sched.push(t, from, &view);
+                continue;
+            }
+            // Verified hit: completes at `now` with zero virtual cost.
+            self.done[t.index()] = true;
+            self.completed_tasks += 1;
+            let ti = self.tenant_of[t.index()] as usize;
+            self.tstats[ti].tasks_completed += 1;
+            self.tstats[ti].cache_hits += 1;
+            self.tenant_in_flight[ti] -= 1;
+            self.last_progress[ti] = now;
+            self.makespan = now;
+            let succs: Vec<TaskId> = self.stf.graph().succs(t).to_vec();
+            for s in succs {
+                self.indeg[s.index()] -= 1;
+                if self.indeg[s.index()] == 0 {
+                    work.push((s, None));
+                }
+            }
+        }
+    }
+
+    /// Probe the cache for `t` (`need_payload = false`: virtual time
+    /// materializes no bytes). Counts every outcome; `true` on a
+    /// verified hit.
+    fn probe_hit(&mut self, t: TaskId) -> bool {
+        let Some(cache) = self.cache else {
+            return false;
+        };
+        match self
+            .stf
+            .graph()
+            .cache_meta(t)
+            .map(|m| cache.lookup(m, false))
+        {
+            Some(Lookup::Hit(_)) => {
+                self.cache_hits += 1;
+                true
+            }
+            Some(Lookup::Invalidated) => {
+                self.cache_invalidations += 1;
+                self.cache_misses += 1;
+                false
+            }
+            _ => {
+                // No entry — or no metadata at all (such tasks can
+                // never hit).
+                self.cache_misses += 1;
+                false
+            }
         }
     }
 
@@ -440,6 +539,21 @@ impl<'e> Engine<'e> {
         self.last_progress[ti] = now;
         self.makespan = now;
         self.idle[wi] = true;
+        // Populate the result cache (payload-less: virtual time has no
+        // bytes — the threaded runtime stores real buffers).
+        if let Some(cache) = self.cache {
+            if let Some(meta) = self.stf.graph().cache_meta(t) {
+                let g = self.stf.graph();
+                let bytes: u64 = g
+                    .task(t)
+                    .accesses
+                    .iter()
+                    .filter(|a| a.mode.writes())
+                    .map(|a| g.data_desc(a.data).size)
+                    .sum();
+                cache.insert(meta, None, bytes);
+            }
+        }
         if sched.consumes_feedback() {
             let view = self.view(now);
             sched.feedback(
@@ -455,9 +569,7 @@ impl<'e> Engine<'e> {
         for s in succs {
             self.indeg[s.index()] -= 1;
             if self.indeg[s.index()] == 0 {
-                self.ready_at[s.index()] = now;
-                let view = self.view(now);
-                sched.push(s, Some(WorkerId::from_index(wi)), &view);
+                self.release(sched, s, Some(WorkerId::from_index(wi)), now);
             }
         }
     }
@@ -538,6 +650,9 @@ impl<'e> Engine<'e> {
             counters.tenant_rejected[ti] = ts.subdags_rejected;
             counters.tenant_completed[ti] = ts.tasks_completed;
         }
+        counters.cache_hits = self.cache_hits;
+        counters.cache_misses = self.cache_misses;
+        counters.cache_invalidations = self.cache_invalidations;
         ServeReport {
             scheduler,
             workers: self.platform.worker_count(),
@@ -546,6 +661,8 @@ impl<'e> Engine<'e> {
             decisions: self.decisions,
             tasks_admitted: self.admitted_tasks,
             tasks_completed: self.completed_tasks,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
             subdags_admitted: self.tstats.iter().map(|t| t.subdags_admitted).sum(),
             subdags_rejected: self.tstats.iter().map(|t| t.subdags_rejected).sum(),
             latency: self.latency,
@@ -554,19 +671,40 @@ impl<'e> Engine<'e> {
             counters,
             schedule_hash: self.schedule_hash,
             error,
+            sorted: OnceLock::new(),
         }
     }
 }
 
 /// Run one open-loop serving session in virtual time (see module docs).
 /// Deterministic: equal inputs produce a bit-identical [`ServeReport`].
+/// Equivalent to [`serve_sim_cached`] with caching off.
 pub fn serve_sim(
     platform: &Platform,
     model: &dyn PerfModel,
     sched: &mut dyn Scheduler,
     cfg: &ServeConfig,
 ) -> ServeReport {
-    let mut eng = Engine::new(platform, model, cfg);
+    serve_sim_cached(platform, model, sched, cfg, None)
+}
+
+/// [`serve_sim`] with an optional shared [`ResultCache`]: every task
+/// released with all dependencies met probes the cache first, and a
+/// verified hit completes at the release instant without ever entering
+/// the scheduler (no push/pop/estimate, no latency sample, no decision
+/// fold) — cascades of all-hit successors drain in the same instant.
+/// Completed tasks populate the cache payload-less, so a warm
+/// resubmission of an identical sub-DAG over the same tenant slot hits
+/// end to end. With `cache: None` the run is bit-identical to the
+/// pre-cache engine.
+pub fn serve_sim_cached(
+    platform: &Platform,
+    model: &dyn PerfModel,
+    sched: &mut dyn Scheduler,
+    cfg: &ServeConfig,
+    cache: Option<&ResultCache>,
+) -> ServeReport {
+    let mut eng = Engine::new(platform, model, cfg, cache);
     let times = cfg.arrivals.times_us(cfg.submissions, cfg.seed);
     for (k, &at) in times.iter().enumerate() {
         eng.push_event(at, EvKind::Arrival(k as u32));
@@ -716,6 +854,161 @@ mod tests {
             gap(&r1),
             gap(&r0)
         );
+    }
+
+    #[test]
+    fn warm_resubmission_hits_the_cache_and_skips_the_scheduler() {
+        let cfg = ServeConfig::new(
+            TenantSpec::equal(3),
+            ArrivalProcess::Poisson {
+                rate_per_sec: 5000.0,
+            },
+            200,
+        );
+        let platform = homogeneous(8);
+        let model = model();
+        let cache = mp_cache::ResultCache::new();
+        let mut sched = EagerPrioScheduler::new();
+        let r = serve_sim_cached(&platform, &model, &mut sched, &cfg, Some(&cache));
+        assert!(r.is_complete(), "error: {:?}", r.error);
+        // Serve roots are write-only, so submission s and s+pool on the
+        // same tenant slot key identically: after one cold round per
+        // (tenant, slot) — 3 tenants × 4 slots × 6 tasks — everything
+        // hits, in the same single run.
+        let cold = 3 * 4 * 6;
+        assert_eq!(r.cache_misses, cold);
+        assert_eq!(r.cache_hits, r.tasks_admitted - cold);
+        assert!(
+            r.cache_hits as f64 >= 0.9 * r.tasks_admitted as f64,
+            "hits {} of {}",
+            r.cache_hits,
+            r.tasks_admitted
+        );
+        // Hit tasks never entered the scheduler: decisions and latency
+        // samples cover only the cold misses.
+        assert_eq!(r.decisions, r.cache_misses);
+        assert_eq!(r.samples_us.len() as u64, r.decisions);
+        assert_eq!(r.latency.count, r.decisions);
+        // Per-tenant hit accounting adds up, and hits are a subset of
+        // completions.
+        assert_eq!(
+            r.tenants.iter().map(|t| t.cache_hits).sum::<u64>(),
+            r.cache_hits
+        );
+        for t in &r.tenants {
+            assert!(t.cache_hits <= t.tasks_completed);
+        }
+        assert_eq!(r.counters.cache_hits, r.cache_hits);
+        assert_eq!(r.counters.cache_misses, r.cache_misses);
+    }
+
+    #[test]
+    fn warm_cache_carries_across_runs() {
+        let cfg = ServeConfig::new(
+            TenantSpec::equal(2),
+            ArrivalProcess::Poisson {
+                rate_per_sec: 5000.0,
+            },
+            60,
+        );
+        let platform = homogeneous(4);
+        let model = model();
+        let cache = mp_cache::ResultCache::new();
+        let cold = serve_sim_cached(
+            &platform,
+            &model,
+            &mut EagerPrioScheduler::new(),
+            &cfg,
+            Some(&cache),
+        );
+        // Handle identities are (dense id, size)-derived, so a second
+        // engine over the same config re-creates the same keys: every
+        // task of the warm run hits and the scheduler is never used.
+        let warm = serve_sim_cached(
+            &platform,
+            &model,
+            &mut EagerPrioScheduler::new(),
+            &cfg,
+            Some(&cache),
+        );
+        assert!(cold.cache_misses > 0);
+        assert!(warm.is_complete());
+        assert_eq!(warm.cache_hits, warm.tasks_admitted);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.decisions, 0);
+        // All-hit completions collapse onto arrival instants: the warm
+        // makespan is the last arrival, well under the cold makespan's
+        // trailing execution.
+        assert!(warm.makespan_us <= cold.makespan_us);
+    }
+
+    #[test]
+    fn mutated_resubmissions_re_execute_their_dirty_cone() {
+        let mk = |mf: f64| {
+            let mut cfg = ServeConfig::new(
+                TenantSpec::equal(2),
+                ArrivalProcess::Poisson {
+                    rate_per_sec: 5000.0,
+                },
+                200,
+            );
+            cfg.subdag.mutation_frac = mf;
+            let platform = homogeneous(8);
+            let model = model();
+            let cache = mp_cache::ResultCache::new();
+            serve_sim_cached(
+                &platform,
+                &model,
+                &mut EagerPrioScheduler::new(),
+                &cfg,
+                Some(&cache),
+            )
+        };
+        let pure = mk(0.0);
+        let dirty = mk(0.3);
+        assert!(pure.is_complete() && dirty.is_complete());
+        // Mutated flops change the fingerprint of the whole sub-DAG
+        // (root key, then every in-version downstream), so the dirty
+        // stream re-executes more and still serves the rest warm.
+        assert!(
+            dirty.cache_misses > pure.cache_misses,
+            "mutation must add misses: {} vs {}",
+            dirty.cache_misses,
+            pure.cache_misses
+        );
+        assert!(dirty.cache_hits > 0, "unmutated arrivals still hit");
+        assert_eq!(dirty.decisions, dirty.cache_misses);
+        // Repeat-deterministic: the mutation draw is seeded, not random.
+        let again = mk(0.3);
+        assert_eq!(again.schedule_hash, dirty.schedule_hash);
+        assert_eq!(again.cache_misses, dirty.cache_misses);
+    }
+
+    #[test]
+    fn cache_off_is_bit_identical_to_the_uncached_engine() {
+        let cfg = ServeConfig::new(
+            TenantSpec::equal(3),
+            ArrivalProcess::Bursty {
+                rate_per_sec: 20_000.0,
+                burst: 8,
+            },
+            150,
+        );
+        let platform = homogeneous(4);
+        let model = model();
+        let a = serve_sim(&platform, &model, &mut EagerPrioScheduler::new(), &cfg);
+        let b = serve_sim_cached(
+            &platform,
+            &model,
+            &mut EagerPrioScheduler::new(),
+            &cfg,
+            None,
+        );
+        assert_eq!(a.schedule_hash, b.schedule_hash);
+        assert_eq!(a.samples_us, b.samples_us);
+        assert_eq!(a.makespan_us.to_bits(), b.makespan_us.to_bits());
+        assert_eq!(b.cache_hits, 0);
+        assert_eq!(b.cache_misses, 0);
     }
 
     #[test]

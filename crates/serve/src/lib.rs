@@ -21,7 +21,14 @@
 //!   dependencies resolve by data identity), drives any sequential
 //!   [`mp_sched::Scheduler`], and reports sustained decision throughput
 //!   and per-tenant scheduling-latency distributions, bit-identically
-//!   across repeats.
+//!   across repeats;
+//! * **warm serving** — [`serve_sim_cached`] layers a shared
+//!   [`mp_cache::ResultCache`] under the same engine: released tasks
+//!   probe the cache before the scheduler ever sees them, verified hits
+//!   complete at the release instant (cascading through all-hit
+//!   successors), and hit counts land per tenant in
+//!   [`TenantStats::cache_hits`]. A resubmitted near-identical sub-DAG
+//!   re-executes only its dirty cone.
 //!
 //! The threaded counterpart (`mp_runtime::Runtime::serve`) reuses the
 //! tenant/admission/arrival vocabulary defined here and executes real
@@ -36,6 +43,6 @@ pub mod tenant;
 
 pub use admission::{AdmissionConfig, AdmitError};
 pub use arrival::ArrivalProcess;
-pub use engine::{serve_sim, ServeConfig, ServeError, SubDagShape};
+pub use engine::{serve_sim, serve_sim_cached, ServeConfig, ServeError, SubDagShape};
 pub use report::{ServeReport, TenantStats};
 pub use tenant::{effective_priority, FairnessConfig, TenantSpec};

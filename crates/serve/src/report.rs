@@ -1,5 +1,7 @@
 //! Serving-run reports: throughput, latency distributions, fairness.
 
+use std::sync::OnceLock;
+
 use mp_trace::{CounterSnapshot, LatencyStats};
 
 use crate::engine::ServeError;
@@ -19,6 +21,10 @@ pub struct TenantStats {
     pub tasks_admitted: u64,
     /// Tasks that completed execution.
     pub tasks_completed: u64,
+    /// Completions served from the result cache (a subset of
+    /// `tasks_completed`): the task never entered the scheduler and
+    /// contributes no latency sample.
+    pub cache_hits: u64,
     /// Scheduling latency (ready → popped) of this tenant's tasks.
     pub latency: LatencyStats,
 }
@@ -40,6 +46,13 @@ pub struct ServeReport {
     pub tasks_admitted: u64,
     /// Tasks completed (equals admitted on a clean run).
     pub tasks_completed: u64,
+    /// Completions served straight from the result cache across all
+    /// tenants — never pushed, popped or estimated. Always 0 with
+    /// caching off.
+    pub cache_hits: u64,
+    /// Cache probes that missed (or were invalidated) and executed
+    /// normally. Always 0 with caching off.
+    pub cache_misses: u64,
     /// Whole sub-DAG submissions admitted / rejected.
     pub subdags_admitted: u64,
     /// Submissions rejected with typed backpressure.
@@ -61,6 +74,11 @@ pub struct ServeReport {
     pub schedule_hash: u64,
     /// Why the run stopped early, if it did.
     pub error: Option<ServeError>,
+    /// Sorted copy of `samples_us`, built once on the first percentile
+    /// query and reused by every later one (a report is read many
+    /// times; `samples_us` itself stays in completion order for
+    /// bit-exact repeat comparison).
+    pub(crate) sorted: OnceLock<Vec<u64>>,
 }
 
 impl ServeReport {
@@ -82,8 +100,11 @@ impl ServeReport {
         if self.samples_us.is_empty() {
             return 0;
         }
-        let mut sorted = self.samples_us.clone();
-        sorted.sort_unstable();
+        let sorted = self.sorted.get_or_init(|| {
+            let mut s = self.samples_us.clone();
+            s.sort_unstable();
+            s
+        });
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         sorted[rank - 1]
     }
@@ -112,6 +133,8 @@ mod tests {
             decisions: 0,
             tasks_admitted: 0,
             tasks_completed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             subdags_admitted: 0,
             subdags_rejected: 0,
             latency: LatencyStats::default(),
@@ -120,6 +143,7 @@ mod tests {
             counters: CounterSnapshot::default(),
             schedule_hash: 0,
             error: None,
+            sorted: OnceLock::new(),
         }
     }
 
@@ -131,6 +155,23 @@ mod tests {
         assert_eq!(r.p99_us(), 99);
         assert_eq!(r.percentile_us(1.0), 100);
         assert_eq!(empty_report().p99_us(), 0);
+    }
+
+    #[test]
+    fn percentiles_sort_once_and_leave_samples_untouched() {
+        let mut r = empty_report();
+        r.samples_us = vec![30, 10, 50, 20, 40];
+        // Repeated and interleaved queries agree with nearest-rank over
+        // a fresh sort every time...
+        for _ in 0..3 {
+            assert_eq!(r.p50_us(), 30);
+            assert_eq!(r.percentile_us(0.2), 10);
+            assert_eq!(r.percentile_us(1.0), 50);
+        }
+        // ...while the raw sample order (the repeat-comparison surface)
+        // is untouched and exactly one sorted copy exists.
+        assert_eq!(r.samples_us, vec![30, 10, 50, 20, 40]);
+        assert_eq!(r.sorted.get().unwrap(), &vec![10, 20, 30, 40, 50]);
     }
 
     #[test]

@@ -135,6 +135,9 @@ pub struct CounterSnapshot {
     pub tenant_rejected: Vec<u64>,
     /// Per-tenant completed tasks.
     pub tenant_completed: Vec<u64>,
+    /// Per-tenant completions served from the result cache (warm
+    /// serving; a subset of `tenant_completed`).
+    pub tenant_cache_hits: Vec<u64>,
     /// Per-shard stolen pops (empty for non-sharded front-ends).
     pub steals: Vec<u64>,
     /// Per-shard total pops (empty for non-sharded front-ends). For the
@@ -180,6 +183,7 @@ impl CounterSnapshot {
         merge_vec(&mut self.tenant_admitted, &other.tenant_admitted);
         merge_vec(&mut self.tenant_rejected, &other.tenant_rejected);
         merge_vec(&mut self.tenant_completed, &other.tenant_completed);
+        merge_vec(&mut self.tenant_cache_hits, &other.tenant_cache_hits);
         merge_vec(&mut self.steals, &other.steals);
         merge_vec(&mut self.shard_pops, &other.shard_pops);
         self.failed_trylocks += other.failed_trylocks;
