@@ -108,6 +108,13 @@ pub enum Mismatch {
         /// Tasks it was expected to execute.
         expected: usize,
     },
+    /// The persistent cache log broke a durability or recovery rule
+    /// (DESIGN.md §14): unbalanced load ledger, a clean shutdown losing
+    /// records, or a restart run disagreeing with its in-process twin.
+    PersistInvariant {
+        /// What broke, in words.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Mismatch {
@@ -161,6 +168,9 @@ impl std::fmt::Display for Mismatch {
                 f,
                 "warm run executed {executed} task(s), expected {expected}"
             ),
+            Mismatch::PersistInvariant { detail } => {
+                write!(f, "persistence invariant broken: {detail}")
+            }
         }
     }
 }

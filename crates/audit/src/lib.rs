@@ -53,9 +53,14 @@ use mp_sim::{simulate, SimConfig};
 
 pub mod diff;
 pub mod mirror;
+pub mod restart;
 
 pub use diff::{schedule_hash, DiffReport, Mismatch, Side};
 pub use mirror::{mirror_graph, mirror_graph_computing};
+pub use restart::{
+    restart_audit, restart_audit_sim, restart_serve_audit, RestartReport, RestartServeReport,
+    RestartSimReport, ServeFrontend,
+};
 
 /// One differential configuration.
 #[derive(Clone, Copy, Debug, Default)]

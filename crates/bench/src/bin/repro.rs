@@ -4,6 +4,7 @@
 //! repro [--quick|--full] [--trace-out <path>] [--front <multiprio|relaxed>]
 //!       [--kill-worker W:N]... [--transient-prob P] [--retry-max M]
 //!       [--cache] [--warm-runs N] [--mutate-frac F]
+//!       [--cache-dir PATH] [--crash-after N]
 //!       [--serve] [--arrivals poisson:RATE|bursty:RATE[:BURST]] [--tenants N]
 //!       [--workers W] [--submissions N] [--policy NAME]
 //!       [table2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [probe <matrix>]
@@ -34,6 +35,16 @@
 //! additionally resubmits the DAG with a fraction `F` of its tasks
 //! mutated and reports how much of the graph re-executed (the dirty
 //! cone) versus served from cache.
+//!
+//! `--cache-dir PATH` makes the `--cache` demo's result cache
+//! **persistent** (DESIGN.md §14): the cache opens from `PATH`'s
+//! checksummed segment log (printing how many records loaded and how
+//! many a recovery rule skipped) and streams every insert back to it —
+//! so a second invocation with the same `PATH` starts warm across the
+//! process restart. `--crash-after N` kills the log writer after `N`
+//! record-stream bytes and truncates to the durable frontier at exit,
+//! simulating a mid-write crash; the next invocation demonstrates
+//! torn-write recovery (a cold-degraded prefix, never wrong data).
 //!
 //! `--serve` runs the open-loop multi-tenant serving mode (DESIGN.md
 //! §13) in virtual time: sub-DAGs stream in from `--tenants N` clients
@@ -132,6 +143,17 @@ fn main() {
         eprintln!("--warm-runs / --mutate-frac apply to the --cache run; add --cache");
         std::process::exit(2);
     }
+    let cache_dir = take_value(&mut args, "--cache-dir");
+    let crash_after = take_value(&mut args, "--crash-after").map(|v| {
+        v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("--crash-after expects a byte count");
+            std::process::exit(2);
+        })
+    });
+    if crash_after.is_some() && cache_dir.is_none() {
+        eprintln!("--crash-after applies to the persistent cache; add --cache-dir <path>");
+        std::process::exit(2);
+    }
     let serve_mode = args
         .iter()
         .position(|a| a == "--serve")
@@ -139,6 +161,10 @@ fn main() {
         .is_some();
     if serve_mode && warm_runs.is_some() {
         eprintln!("--warm-runs applies to the closed-DAG --cache demo, not --serve --cache");
+        std::process::exit(2);
+    }
+    if cache_dir.is_some() && (!cache_mode || serve_mode) {
+        eprintln!("--cache-dir applies to the closed-DAG --cache demo; add --cache");
         std::process::exit(2);
     }
     let arrivals = take_value(&mut args, "--arrivals");
@@ -182,7 +208,13 @@ fn main() {
         return;
     }
     if cache_mode {
-        cache_demo(full, warm_runs.unwrap_or(2), mutate_frac.unwrap_or(0.0));
+        cache_demo(
+            full,
+            warm_runs.unwrap_or(2),
+            mutate_frac.unwrap_or(0.0),
+            cache_dir,
+            crash_after,
+        );
         return;
     }
     if serve_mode {
@@ -389,11 +421,22 @@ fn export_trace(path: &str, front: &str, faults: FaultPlan, retry: RetryPolicy) 
 /// into a fresh content-addressed cache, then `warm_runs` warm replays
 /// (printing hit-rate and warm/cold wall speedup), then — with
 /// `mutate_frac > 0` — a mutated resubmission showing incremental
-/// re-execution of just the dirty cone.
-fn cache_demo(full: bool, warm_runs: usize, mutate_frac: f64) {
+/// re-execution of just the dirty cone. With `cache_dir` the cache is
+/// backed by the crash-safe segment log (DESIGN.md §14): records replay
+/// on open (loaded/skipped counts printed, so the first run starts warm
+/// across a process restart) and every insert streams back to disk;
+/// `crash_after` kills the log writer mid-stream to stage a torn write
+/// for the next invocation to recover from.
+fn cache_demo(
+    full: bool,
+    warm_runs: usize,
+    mutate_frac: f64,
+    cache_dir: Option<String>,
+    crash_after: Option<u64>,
+) {
     use mp_apps::dense::{potrf, DenseConfig};
     use mp_cache::{changed_tasks, resubmit_with_mutation};
-    use mp_sim::{simulate_cached, ResultCache, SimConfig};
+    use mp_sim::{simulate_cached, PersistConfig, PersistFaultPlan, ResultCache, SimConfig};
     use multiprio::MultiPrioScheduler;
     use std::time::Instant;
 
@@ -402,7 +445,29 @@ fn cache_demo(full: bool, warm_runs: usize, mutate_frac: f64) {
     let model = mp_apps::dense_model();
     let platform = mp_platform::presets::simple(6, 2);
     let n = w.graph.task_count();
-    let cache = ResultCache::new();
+    let cache = match &cache_dir {
+        Some(dir) => {
+            let mut fault = PersistFaultPlan::default();
+            if let Some(bytes) = crash_after {
+                fault = fault.kill_after_bytes(bytes);
+            }
+            let cfg = PersistConfig {
+                fault,
+                ..PersistConfig::default()
+            };
+            let (cache, load) = ResultCache::open_with(dir, None, cfg).unwrap_or_else(|e| {
+                eprintln!("--cache-dir {dir}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "persist: {dir}: loaded {} record(s), skipped {} of {} scanned \
+                 across {} segment(s)",
+                load.loaded, load.rejected, load.records_scanned, load.segments
+            );
+            cache
+        }
+        None => ResultCache::new(),
+    };
     let run = |g: &mp_dag::TaskGraph| {
         let mut sched = MultiPrioScheduler::with_defaults();
         let t0 = Instant::now();
@@ -425,8 +490,11 @@ fn cache_demo(full: bool, warm_runs: usize, mutate_frac: f64) {
     println!("== result cache: potrf {}x{} ({n} tasks) ==", nt * 480, 480);
     let (cold, cold_ms) = run(&w.graph);
     println!(
-        "cold:    {} misses, makespan {:9.1} us, wall {cold_ms:8.2} ms",
-        cold.stats.cache_misses, cold.makespan
+        "cold:    {} hits ({:5.1}%) / {} misses, makespan {:9.1} us, wall {cold_ms:8.2} ms",
+        cold.stats.cache_hits,
+        cold.stats.cache_hits as f64 / n as f64 * 100.0,
+        cold.stats.cache_misses,
+        cold.makespan
     );
     for i in 1..=warm_runs {
         let (warm, warm_ms) = run(&w.graph);
@@ -452,6 +520,23 @@ fn cache_demo(full: bool, warm_runs: usize, mutate_frac: f64) {
             inc.stats.cache_hits,
             inc.stats.cache_hits as f64 / n as f64 * 100.0,
         );
+    }
+    if cache_dir.is_some() {
+        let ps = cache.persist_stats();
+        match crash_after {
+            Some(bytes) => {
+                if let Err(e) = cache.crash() {
+                    eprintln!("crash injection failed: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "persist: writer killed after {bytes} record-stream byte(s); \
+                     {} record(s) committed before death (torn tail truncated)",
+                    ps.writes
+                );
+            }
+            None => println!("persist: {} record(s) written this run", ps.writes),
+        }
     }
 }
 

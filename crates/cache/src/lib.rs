@@ -32,12 +32,28 @@
 //!   and inserts evict the least-recently-used entries until the cap
 //!   holds again. Eviction only ever costs a recompute (the next lookup
 //!   of an evicted key is a plain miss), never correctness.
+//! * **Crash-safe persistence.** [`ResultCache::persist_to`] attaches a
+//!   checksummed append-only segment log so inserts stream to disk, and
+//!   [`ResultCache::open`] replays it after a restart (DESIGN.md §14).
+//!   Recovery is paranoid: torn tails, truncated segments, flipped bits
+//!   and forged records are skipped and counted ([`LoadReport`]) — a
+//!   corrupt store degrades to a cold cache, never to wrong data — and
+//!   loaded entries still pass the fingerprint verification on lookup.
+//!   [`PersistFaultPlan`] injects deterministic kill/flush-drop/bit-flip
+//!   faults for the chaos suites.
 
 use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use mp_dag::graph::CacheMeta;
 use mp_dag::{AccessMode, StfBuilder, TaskGraph, TaskId};
+
+pub mod persist;
+
+pub use persist::{BitFlip, LoadReport, PersistConfig, PersistFaultPlan, PersistStats};
 
 /// One memoized result: the fingerprint it was stored under, the data
 /// versions of its outputs, and (runtime only) the written buffers.
@@ -117,15 +133,19 @@ impl CacheState {
     }
 }
 
-/// Residency charge of one entry (payload bytes are `entry.bytes` when a
-/// payload is resident; version/fingerprint overhead always applies).
+/// Residency charge of one entry: payload bytes (when a payload is
+/// resident) plus the *actual* fingerprint and out-version words, plus
+/// the fixed bookkeeping overhead. Charging the real word counts keeps
+/// the byte-capacity LRU honest — a long-fingerprint entry cannot
+/// squat under a flat per-entry guess.
 fn charge(entry: &CacheEntry) -> u64 {
     let payload = if entry.payload.is_some() {
         entry.bytes
     } else {
         0
     };
-    payload + ENTRY_OVERHEAD_BYTES
+    let words = (entry.fingerprint.len() + entry.out_versions.len()) as u64;
+    payload + words * 8 + ENTRY_OVERHEAD_BYTES
 }
 
 /// Thread-safe content-addressed result store, shared across runs (and
@@ -135,6 +155,15 @@ fn charge(entry: &CacheEntry) -> u64 {
 pub struct ResultCache {
     inner: Mutex<CacheState>,
     capacity: Option<u64>,
+    /// Segment-log writer, when persistence is attached. A separate
+    /// lock from `inner` so disk IO never serializes lookups; the only
+    /// nesting is log → state (never the reverse), so the pair cannot
+    /// deadlock.
+    log: Mutex<Option<persist::SegmentWriter>>,
+    /// Lifetime persistence counters (see [`PersistStats`]).
+    pstats: persist::PersistCounters,
+    /// Report of the replay that opened this cache, if any.
+    last_load: Mutex<Option<LoadReport>>,
 }
 
 impl ResultCache {
@@ -151,8 +180,8 @@ impl ResultCache {
     /// invariant `used_bytes() <= capacity` holds at every return.
     pub fn with_capacity(capacity_bytes: u64) -> Self {
         Self {
-            inner: Mutex::new(CacheState::default()),
             capacity: Some(capacity_bytes),
+            ..Self::default()
         }
     }
 
@@ -196,7 +225,9 @@ impl ResultCache {
     }
 
     /// Store (or replace) the entry for `meta.key`, evicting
-    /// least-recently-used entries past the capacity.
+    /// least-recently-used entries past the capacity. With persistence
+    /// attached ([`Self::persist_to`]) the record streams to the
+    /// segment log before entering the in-memory store.
     pub fn insert(&self, meta: &CacheMeta, payload: Option<Vec<Vec<f64>>>, bytes: u64) {
         let entry = Arc::new(CacheEntry {
             fingerprint: meta.fingerprint.clone(),
@@ -204,9 +235,35 @@ impl ResultCache {
             payload,
             bytes,
         });
+        if let Some(cap) = self.capacity {
+            if charge(&entry) > cap {
+                // Refused outright: neither stored nor persisted (a
+                // reload would just refuse it again).
+                self.state().evictions += 1;
+                return;
+            }
+        }
+        self.persist_entry(meta.key, &entry);
+        self.store_entry(meta.key, entry);
+    }
+
+    /// Append one entry to the segment log, when a live writer is
+    /// attached. Never takes the state lock.
+    fn persist_entry(&self, key: u64, entry: &Arc<CacheEntry>) {
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(w) = log.as_mut() {
+            if w.append(key, entry) {
+                self.pstats.writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Link `entry` into the in-memory indexes (shared by [`Self::insert`]
+    /// and segment replay, which must not re-persist what it loads).
+    fn store_entry(&self, key: u64, entry: Arc<CacheEntry>) {
         let cost = charge(&entry);
         let mut st = self.state();
-        st.remove(meta.key);
+        st.remove(key);
         if let Some(cap) = self.capacity {
             if cost > cap {
                 st.evictions += 1;
@@ -214,8 +271,8 @@ impl ResultCache {
             }
         }
         let stamp = st.fresh_stamp();
-        st.order.insert(stamp, meta.key);
-        st.map.insert(meta.key, Slot { entry, stamp });
+        st.order.insert(stamp, key);
+        st.map.insert(key, Slot { entry, stamp });
         st.used_bytes += cost;
         if let Some(cap) = self.capacity {
             st.evict_to(cap);
@@ -274,6 +331,143 @@ impl ResultCache {
             }
             None => false,
         }
+    }
+
+    /// Attach crash-safe persistence with default settings: every
+    /// insert streams to an append-only segment log in `dir` (created
+    /// if missing), and the current in-memory contents are snapshotted
+    /// into it immediately. See [`Self::open`] for the restart side.
+    pub fn persist_to(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        self.persist_with(dir, PersistConfig::default())
+    }
+
+    /// [`Self::persist_to`] with explicit [`PersistConfig`] (segment
+    /// size, fsync, deterministic fault injection).
+    pub fn persist_with(&self, dir: impl AsRef<Path>, cfg: PersistConfig) -> io::Result<()> {
+        let mut writer = persist::SegmentWriter::attach(dir.as_ref(), cfg)?;
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        // Snapshot what is already resident (LRU order, so replay
+        // recency roughly matches memory recency).
+        let entries: Vec<(u64, Arc<CacheEntry>)> = {
+            let st = self.state();
+            st.order
+                .values()
+                .map(|&k| (k, Arc::clone(&st.map[&k].entry)))
+                .collect()
+        };
+        for (key, entry) in &entries {
+            if writer.append(*key, entry) {
+                self.pstats.writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        *log = Some(writer);
+        Ok(())
+    }
+
+    /// Reopen a persisted cache after a restart: replay every segment
+    /// of `dir` under the paranoid recovery rules (see
+    /// [`persist::replay`]'s module docs), then keep appending to the
+    /// log. Returns the cache plus the [`LoadReport`] ledger
+    /// (`loaded + rejected == records_scanned` always). A corrupt or
+    /// missing store yields a colder cache, never an error about
+    /// content and never wrong data.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<(Self, LoadReport)> {
+        Self::open_with(dir, None, PersistConfig::default())
+    }
+
+    /// [`Self::open`] with a byte capacity and explicit config. Loaded
+    /// entries pass through the same LRU accounting as inserts, so a
+    /// store larger than the cap reloads only its most recent entries.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        capacity: Option<u64>,
+        cfg: PersistConfig,
+    ) -> io::Result<(Self, LoadReport)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let cache = match capacity {
+            Some(c) => Self::with_capacity(c),
+            None => Self::new(),
+        };
+        let report = persist::replay(dir, |key, entry| cache.store_entry(key, Arc::new(entry)))?;
+        cache
+            .pstats
+            .loaded
+            .fetch_add(report.loaded, Ordering::Relaxed);
+        cache
+            .pstats
+            .load_rejects
+            .fetch_add(report.rejected, Ordering::Relaxed);
+        *cache
+            .last_load
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(report);
+        // Continue appending after the replayed segments; the resident
+        // entries are already on disk, so no snapshot this time.
+        let writer = persist::SegmentWriter::attach(dir, cfg)?;
+        *cache.log.lock().unwrap_or_else(PoisonError::into_inner) = Some(writer);
+        Ok((cache, report))
+    }
+
+    /// Rewrite the live entries as one fresh segment (tmp file + atomic
+    /// rename) and delete the older segments, dropping evicted,
+    /// invalidated and superseded garbage from disk. Returns the number
+    /// of records written. Errors if no persistence is attached.
+    pub fn compact(&self) -> io::Result<u64> {
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(w) = log.as_mut() else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "no persistence directory attached",
+            ));
+        };
+        let entries: Vec<(u64, Arc<CacheEntry>)> = {
+            let st = self.state();
+            st.order
+                .values()
+                .map(|&k| (k, Arc::clone(&st.map[&k].entry)))
+                .collect()
+        };
+        let n = w.compact(&entries)?;
+        self.pstats.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// Simulate a process crash (fault-injection hook): realize the
+    /// attached [`PersistFaultPlan`]'s on-disk consequences — truncate
+    /// back to the durable frontier, apply the configured bit flip —
+    /// and detach the writer. The in-memory contents are untouched;
+    /// drop the cache itself to complete the "restart".
+    pub fn crash(&self) -> io::Result<()> {
+        let mut log = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(mut w) = log.take() {
+            w.crash()?;
+        }
+        Ok(())
+    }
+
+    /// Is a persistence writer currently attached?
+    pub fn is_persisting(&self) -> bool {
+        self.log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Lifetime persistence counters (all zero when persistence was
+    /// never attached). Engines fold per-run deltas of these into the
+    /// observability snapshot, like capacity evictions.
+    pub fn persist_stats(&self) -> PersistStats {
+        self.pstats.snapshot()
+    }
+
+    /// The [`LoadReport`] of the replay that opened this cache, if it
+    /// came from [`Self::open`].
+    pub fn load_report(&self) -> Option<LoadReport> {
+        *self
+            .last_load
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -413,11 +607,18 @@ mod tests {
         stf.finish()
     }
 
+    /// Actual fingerprint + out-version residency charge of one task's
+    /// entry, in bytes (tests compute expected totals from this rather
+    /// than a flat guess).
+    fn meta_words_bytes(m: &CacheMeta) -> u64 {
+        8 * (m.fingerprint.len() + m.out_versions.len()) as u64
+    }
+
     #[test]
     fn capped_cache_stays_under_the_cap_during_churn() {
         let g = wide(64);
         let payload_bytes = 256u64;
-        let per_entry = payload_bytes + ENTRY_OVERHEAD_BYTES;
+        let per_entry = payload_bytes + meta_words_bytes(meta(&g, 0)) + ENTRY_OVERHEAD_BYTES;
         // Room for 4 full entries.
         let cache = ResultCache::with_capacity(4 * per_entry);
         for round in 0..3 {
@@ -446,7 +647,7 @@ mod tests {
     #[test]
     fn lookup_refreshes_lru_recency() {
         let g = wide(4);
-        let per_entry = 64 + ENTRY_OVERHEAD_BYTES;
+        let per_entry = 64 + meta_words_bytes(meta(&g, 0)) + ENTRY_OVERHEAD_BYTES;
         let cache = ResultCache::with_capacity(2 * per_entry);
         cache.insert(meta(&g, 0), Some(vec![vec![0.0; 8]]), 64);
         cache.insert(meta(&g, 1), Some(vec![vec![0.0; 8]]), 64);
@@ -462,7 +663,8 @@ mod tests {
     #[test]
     fn oversized_entry_is_refused_not_thrashed() {
         let g = wide(2);
-        let cache = ResultCache::with_capacity(ENTRY_OVERHEAD_BYTES + 16);
+        let cache =
+            ResultCache::with_capacity(ENTRY_OVERHEAD_BYTES + meta_words_bytes(meta(&g, 0)) + 16);
         cache.insert(meta(&g, 0), Some(vec![vec![0.0; 2]]), 16);
         assert_eq!(cache.len(), 1);
         // An entry bigger than the whole cap must not wipe the cache.
@@ -479,7 +681,10 @@ mod tests {
         let cache = ResultCache::with_capacity(1 << 20);
         cache.insert(meta(&g, 0), Some(vec![vec![0.0; 8]]), 64);
         let used = cache.used_bytes();
-        assert_eq!(used, 64 + ENTRY_OVERHEAD_BYTES);
+        assert_eq!(
+            used,
+            64 + meta_words_bytes(meta(&g, 0)) + ENTRY_OVERHEAD_BYTES
+        );
         assert!(cache.poison(meta(&g, 0).key));
         assert!(matches!(
             cache.lookup(meta(&g, 0), false),
@@ -561,5 +766,178 @@ mod tests {
                 "{t:?} dirty without a dirty predecessor"
             );
         }
+    }
+
+    #[test]
+    fn long_fingerprints_pay_their_own_residency() {
+        // A chain consumer's fingerprint (2 reads + writes) carries more
+        // words than an input-free producer's; the charge must reflect
+        // that, or long-fingerprint entries could game a byte cap.
+        let g = chain(1.0);
+        let cache = ResultCache::new();
+        cache.insert(meta(&g, 0), None, 0);
+        let small = cache.used_bytes();
+        cache.clear();
+        cache.insert(meta(&g, 2), None, 0);
+        let large = cache.used_bytes();
+        assert!(
+            meta(&g, 2).fingerprint.len() > meta(&g, 0).fingerprint.len(),
+            "test premise: t2 has the longer fingerprint"
+        );
+        assert!(
+            large > small,
+            "longer fingerprint must charge more ({large} vs {small})"
+        );
+        assert_eq!(
+            large - small,
+            8 * (meta(&g, 2).fingerprint.len() - meta(&g, 0).fingerprint.len()) as u64
+        );
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mp-cache-lib-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn persisted_cache_survives_a_restart() {
+        let g = wide(8);
+        let dir = tmpdir("restart");
+        let cache = ResultCache::new();
+        cache.persist_to(&dir).unwrap();
+        assert!(cache.is_persisting());
+        for i in 0..8 {
+            cache.insert(meta(&g, i), Some(vec![vec![i as f64; 4]]), 32);
+        }
+        assert_eq!(cache.persist_stats().writes, 8);
+        drop(cache); // "process exit"
+
+        let (reopened, report) = ResultCache::open(&dir).unwrap();
+        assert_eq!(report.loaded, 8);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.loaded + report.rejected, report.records_scanned);
+        assert_eq!(reopened.load_report(), Some(report));
+        assert_eq!(reopened.persist_stats().loaded, 8);
+        assert_eq!(reopened.len(), 8);
+        for i in 0..8 {
+            match reopened.lookup(meta(&g, i), true) {
+                Lookup::Hit(e) => {
+                    assert_eq!(e.payload.as_ref().unwrap()[0], vec![i as f64; 4]);
+                }
+                other => panic!("entry {i} lost across restart: {other:?}"),
+            }
+        }
+        // The reopened cache keeps persisting: a third generation sees
+        // entries inserted after the restart.
+        third_generation_sees_post_restart_inserts(&g, &reopened, &dir);
+    }
+
+    fn third_generation_sees_post_restart_inserts(
+        g: &TaskGraph,
+        reopened: &ResultCache,
+        dir: &std::path::Path,
+    ) {
+        let extra = resubmit_with_mutation(g, 1.1, 7);
+        reopened.insert(meta(&extra, 0), Some(vec![vec![9.0]]), 8);
+        let (third, report) = ResultCache::open(dir).unwrap();
+        assert_eq!(report.loaded, 9);
+        assert!(matches!(
+            third.lookup(meta(&extra, 0), true),
+            Lookup::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn snapshot_on_attach_persists_preexisting_entries() {
+        let g = wide(4);
+        let dir = tmpdir("snapshot");
+        let cache = ResultCache::new();
+        for i in 0..4 {
+            cache.insert(meta(&g, i), None, 16);
+        }
+        cache.persist_to(&dir).unwrap(); // attach after the fact
+        assert_eq!(cache.persist_stats().writes, 4, "snapshot counted");
+        let (reopened, report) = ResultCache::open(&dir).unwrap();
+        assert_eq!(report.loaded, 4);
+        assert!(matches!(
+            reopened.lookup(meta(&g, 2), false),
+            Lookup::Hit(_)
+        ));
+    }
+
+    #[test]
+    fn compaction_drops_garbage_and_preserves_hits() {
+        let g = wide(16);
+        let dir = tmpdir("compact");
+        let m0 = meta(&g, 0);
+        let per_entry = 16 + meta_words_bytes(m0) + ENTRY_OVERHEAD_BYTES;
+        let cache = ResultCache::with_capacity(4 * per_entry);
+        cache.persist_to(&dir).unwrap();
+        for i in 0..16 {
+            cache.insert(meta(&g, i), Some(vec![vec![0.5; 2]]), 16);
+        }
+        assert_eq!(cache.len(), 4, "cap holds 4");
+        let live = cache.compact().unwrap();
+        assert_eq!(live, 4);
+        assert_eq!(cache.persist_stats().compactions, 1);
+        // Reopen: only the live set comes back — evicted garbage gone.
+        let (reopened, report) = ResultCache::open(&dir).unwrap();
+        assert_eq!(report.loaded, 4);
+        assert_eq!(reopened.len(), 4);
+        for i in 12..16 {
+            assert!(matches!(reopened.lookup(meta(&g, i), true), Lookup::Hit(_)));
+        }
+    }
+
+    #[test]
+    fn open_with_capacity_reloads_only_the_most_recent() {
+        let g = wide(8);
+        let dir = tmpdir("cap-open");
+        let cache = ResultCache::new();
+        cache.persist_to(&dir).unwrap();
+        for i in 0..8 {
+            cache.insert(meta(&g, i), Some(vec![vec![0.0; 2]]), 16);
+        }
+        let per_entry = 16 + meta_words_bytes(meta(&g, 0)) + ENTRY_OVERHEAD_BYTES;
+        let (reopened, report) =
+            ResultCache::open_with(&dir, Some(2 * per_entry), PersistConfig::default()).unwrap();
+        assert_eq!(report.loaded, 8, "all records replayed");
+        assert_eq!(reopened.len(), 2, "but only 2 fit the cap");
+        assert!(matches!(reopened.lookup(meta(&g, 7), true), Lookup::Hit(_)));
+        assert!(matches!(reopened.lookup(meta(&g, 0), true), Lookup::Miss));
+    }
+
+    #[test]
+    fn crash_with_clean_plan_loses_nothing() {
+        let g = wide(5);
+        let dir = tmpdir("clean-crash");
+        let cache = ResultCache::new();
+        cache.persist_with(&dir, PersistConfig::default()).unwrap();
+        for i in 0..5 {
+            cache.insert(meta(&g, i), None, 8);
+        }
+        cache.crash().unwrap();
+        assert!(!cache.is_persisting(), "writer detached by crash");
+        cache.insert(meta(&g, 0), None, 8); // post-crash insert: dropped
+        let (_, report) = ResultCache::open(&dir).unwrap();
+        assert_eq!(report.loaded, 5);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn open_on_a_missing_dir_is_an_empty_cache() {
+        let dir = tmpdir("fresh");
+        let (cache, report) = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(report, LoadReport::default());
+        assert!(cache.is_persisting(), "ready to persist from day one");
+    }
+
+    #[test]
+    fn compact_without_persistence_is_a_typed_error() {
+        let cache = ResultCache::new();
+        let err = cache.compact().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotConnected);
     }
 }

@@ -589,6 +589,9 @@ impl Runtime {
         // The shared cache outlives runs: this run's capacity evictions
         // are the delta over its lifetime counter.
         let cache_evictions_at_start = cache.as_ref().map_or(0, |rc| rc.evictions());
+        let cache_persist_at_start = cache
+            .as_ref()
+            .map_or_else(Default::default, |rc| rc.persist_stats());
         // Per-worker observability cells (no-ops unless `--features obs`)
         // plus one for the submitting thread's seed pushes.
         let cells: Vec<ObsCell> = (0..nw).map(|_| ObsCell::new()).collect();
@@ -1107,6 +1110,11 @@ impl Runtime {
         }
         if let Some(rc) = &cache {
             counters.cache_evictions += rc.evictions() - cache_evictions_at_start;
+            let ps = rc.persist_stats();
+            counters.cache_persist_writes += ps.writes - cache_persist_at_start.writes;
+            counters.cache_loaded += ps.loaded - cache_persist_at_start.loaded;
+            counters.cache_load_rejects += ps.load_rejects - cache_persist_at_start.load_rejects;
+            counters.cache_compactions += ps.compactions - cache_persist_at_start.compactions;
         }
         let mut events = park_events.into_inner().unwrap_or_else(|p| p.into_inner());
         events.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.worker.cmp(&b.worker)));

@@ -34,6 +34,8 @@ pub mod serve;
 pub use data::{BufRef, TaskCtx};
 pub use engine::{RunError, RunReport, Runtime, TaskBuilder};
 pub use fault::{FaultPlan, KillSpec, RetryPolicy};
-pub use mp_cache::{Lookup, ResultCache};
+pub use mp_cache::{
+    BitFlip, LoadReport, Lookup, PersistConfig, PersistFaultPlan, PersistStats, ResultCache,
+};
 pub use mp_sched::concurrent::{RelaxedConfig, RelaxedMultiQueue, RelaxedSeqScheduler};
 pub use serve::{StreamConfig, StreamReport, Submission};

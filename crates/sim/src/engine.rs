@@ -570,6 +570,7 @@ pub fn simulate_cached(
     let mut trace = Trace::new(nw);
     let mut stats = SimStats::default();
     let cache_evictions_at_start = cache.map_or(0, |rc| rc.evictions());
+    let cache_persist_at_start = cache.map_or_else(Default::default, |rc| rc.persist_stats());
     // Cache-hit / invalidation instants for the Chrome timeline, and the
     // worklist driving hit cascades (a hit releases successors that may
     // hit in turn — iterative, no recursion).
@@ -1365,6 +1366,13 @@ pub fn simulate_cached(
     let mut counters = scheduler.counters();
     obs.drain_into(&mut counters);
     counters.cache_evictions += stats.cache_evictions;
+    if let Some(rc) = cache {
+        let ps = rc.persist_stats();
+        counters.cache_persist_writes += ps.writes - cache_persist_at_start.writes;
+        counters.cache_loaded += ps.loaded - cache_persist_at_start.loaded;
+        counters.cache_load_rejects += ps.load_rejects - cache_persist_at_start.load_rejects;
+        counters.cache_compactions += ps.compactions - cache_persist_at_start.compactions;
+    }
 
     SimResult {
         scheduler: scheduler.name().to_string(),

@@ -53,6 +53,8 @@ pub mod result;
 pub use config::SimConfig;
 pub use engine::{simulate, simulate_cached};
 pub use error::SimError;
-pub use mp_cache::{Lookup, ResultCache};
+pub use mp_cache::{
+    BitFlip, LoadReport, Lookup, PersistConfig, PersistFaultPlan, PersistStats, ResultCache,
+};
 pub use mp_fault::{FaultPlan, KillSpec, RetryPolicy};
 pub use result::{SimResult, SimStats};

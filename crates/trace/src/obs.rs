@@ -78,10 +78,21 @@ pub enum Counter {
     /// bound — a capacity signal, distinct from `CacheInvalidations`
     /// (which are correctness evictions on fingerprint mismatch).
     CacheEvictions,
+    /// Result-cache records fully committed to the persistent segment
+    /// log (zero when no persistence directory is attached).
+    CachePersistWrites,
+    /// Result-cache records accepted from disk by a segment replay.
+    CacheLoaded,
+    /// Result-cache records rejected by a recovery rule during replay
+    /// (torn tail, bad checksum, missing commit marker, forged key) —
+    /// `loaded + rejects` equals the records scanned on open.
+    CacheLoadRejects,
+    /// Persistent-log snapshot compactions completed.
+    CacheCompactions,
 }
 
 /// Number of scalar counters (length of an [`ObsCell`]'s array).
-pub const COUNTER_COUNT: usize = 19;
+pub const COUNTER_COUNT: usize = 23;
 
 /// Aggregated counter values, as returned by `Scheduler::counters()`
 /// and surfaced on `SimResult` / `RunReport`.
@@ -128,6 +139,14 @@ pub struct CounterSnapshot {
     pub bytes_materialized: u64,
     /// Result-cache entries evicted by the byte-capacity bound.
     pub cache_evictions: u64,
+    /// Records committed to the persistent cache log this run.
+    pub cache_persist_writes: u64,
+    /// Records accepted from disk by segment replay this run.
+    pub cache_loaded: u64,
+    /// Records rejected by a recovery rule this run.
+    pub cache_load_rejects: u64,
+    /// Persistent-log compactions this run.
+    pub cache_compactions: u64,
     /// Per-tenant admitted submissions (serving mode; indexed by tenant,
     /// empty outside it).
     pub tenant_admitted: Vec<u64>,
@@ -180,6 +199,10 @@ impl CounterSnapshot {
         self.cache_invalidations += other.cache_invalidations;
         self.bytes_materialized += other.bytes_materialized;
         self.cache_evictions += other.cache_evictions;
+        self.cache_persist_writes += other.cache_persist_writes;
+        self.cache_loaded += other.cache_loaded;
+        self.cache_load_rejects += other.cache_load_rejects;
+        self.cache_compactions += other.cache_compactions;
         merge_vec(&mut self.tenant_admitted, &other.tenant_admitted);
         merge_vec(&mut self.tenant_rejected, &other.tenant_rejected);
         merge_vec(&mut self.tenant_completed, &other.tenant_completed);
@@ -209,7 +232,7 @@ impl CounterSnapshot {
             "pops={} pushes={} holds={} evictions={} arena={}/{} (consults={}) \
              compactions={} prefetch={}+{}cancelled failures={} retried={} \
              recomputed={} promoted={} cache={}hit/{}miss/{}inval/{}evict ({}B) \
-             trylock_fails={} rank_max={} steals={:?}",
+             persist={}w/{}ld/{}rej/{}cmp trylock_fails={} rank_max={} steals={:?}",
             self.pops,
             self.pushes,
             self.holds,
@@ -229,6 +252,10 @@ impl CounterSnapshot {
             self.cache_invalidations,
             self.cache_evictions,
             self.bytes_materialized,
+            self.cache_persist_writes,
+            self.cache_loaded,
+            self.cache_load_rejects,
+            self.cache_compactions,
             self.failed_trylocks,
             self.rank_max,
             self.steals,
@@ -418,6 +445,10 @@ impl ObsCell {
         snap.cache_invalidations += self.get(Counter::CacheInvalidations);
         snap.bytes_materialized += self.get(Counter::BytesMaterialized);
         snap.cache_evictions += self.get(Counter::CacheEvictions);
+        snap.cache_persist_writes += self.get(Counter::CachePersistWrites);
+        snap.cache_loaded += self.get(Counter::CacheLoaded);
+        snap.cache_load_rejects += self.get(Counter::CacheLoadRejects);
+        snap.cache_compactions += self.get(Counter::CacheCompactions);
     }
 
     /// Snapshot just this cell.

@@ -346,6 +346,67 @@ proptest! {
             );
         }
 
+        // Persist counters (DESIGN.md §14): with no directory attached,
+        // all four stay exactly zero on every cached run. These fold
+        // from the cache's own atomics (like cache_evictions), so the
+        // identity holds with obs compiled in or out.
+        for (label, r) in [("cold", &cold), ("warm", &warm)] {
+            let pc = &r.counters;
+            prop_assert!(
+                pc.cache_persist_writes == 0 && pc.cache_loaded == 0
+                    && pc.cache_load_rejects == 0 && pc.cache_compactions == 0,
+                "{label}: persist counters non-zero without a cache dir: {}", pc.render()
+            );
+        }
+
+        // Persisted round trip: a cold run against a log-backed cache
+        // commits one record per task; the reopen's ledger balances
+        // (loaded + rejects == records scanned) and loses nothing on a
+        // clean shutdown; the restarted warm run is all hits and writes
+        // nothing new.
+        let dir = std::env::temp_dir().join(format!(
+            "mp-diff-persist-{}-{seed}-{layers}-{width}-{sched_idx}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pcache = ResultCache::new();
+        pcache.persist_to(&dir).expect("persist_to failed");
+        let mut sched = factory();
+        let pcold = simulate_cached(
+            &g, &platform, &*model, sched.as_mut(), SimConfig::seeded(seed), Some(&pcache),
+        );
+        prop_assert!(pcold.error.is_none(), "persisted cold sim failed: {:?}", pcold.error);
+        prop_assert!(
+            pcold.counters.cache_persist_writes == n,
+            "cold run persisted {} of {n} records", pcold.counters.cache_persist_writes
+        );
+        drop(pcache);
+        let (rcache, load) = ResultCache::open(&dir).expect("reopen failed");
+        prop_assert!(
+            load.loaded + load.rejected == load.records_scanned,
+            "load ledger unbalanced: {load:?}"
+        );
+        prop_assert!(
+            load.loaded == n && load.rejected == 0,
+            "clean reopen lost records: {load:?}"
+        );
+        let ps = rcache.persist_stats();
+        prop_assert!(
+            ps.loaded == load.loaded && ps.load_rejects == load.rejected,
+            "persist_stats {ps:?} disagrees with load report {load:?}"
+        );
+        let mut sched = factory();
+        let pwarm = simulate_cached(
+            &g, &platform, &*model, sched.as_mut(), SimConfig::seeded(seed), Some(&rcache),
+        );
+        prop_assert!(pwarm.error.is_none(), "persisted warm sim failed: {:?}", pwarm.error);
+        prop_assert!(pwarm.stats.cache_hits == n, "restarted warm run not all hits");
+        prop_assert!(
+            pwarm.counters.cache_persist_writes == 0,
+            "all-hit warm run persisted {} record(s)", pwarm.counters.cache_persist_writes
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+
         // Runtime side, both front-ends.
         let (mut rt, edge_mismatches) = mirror_graph(&g, &platform, Arc::clone(&model));
         prop_assert!(edge_mismatches.is_empty());
